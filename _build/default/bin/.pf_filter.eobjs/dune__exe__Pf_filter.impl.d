@@ -1,0 +1,1 @@
+bin/pf_filter.ml: Arg Cmd Cmdliner Format Hashtbl In_channel List Pf_bench Pf_core Pf_xml Pf_xpath Printf String Term

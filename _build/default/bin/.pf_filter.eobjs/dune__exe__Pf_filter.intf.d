@@ -1,0 +1,1 @@
+bin/pf_filter.mli:

@@ -1,0 +1,1 @@
+bin/pf_gen.ml: Arg Cmd Cmdliner Filename List Pf_workload Pf_xml Pf_xpath Printf Sys Term

@@ -1,0 +1,113 @@
+(* pf-filter: filter XML documents against a file of XPath expressions.
+
+   Expressions are read one per line (blank lines and #-comments ignored);
+   each XML document given on the command line is matched and the matching
+   expressions reported. *)
+
+open Cmdliner
+
+let read_expressions path =
+  let ic = open_in path in
+  let rec go acc lineno =
+    match input_line ic with
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc (lineno + 1)
+      else go ((lineno, line) :: acc) (lineno + 1)
+  in
+  go [] 1
+
+let run engine_name quiet count_only exprs_file docs =
+  let algo =
+    match engine_name with
+    | "yfilter" -> Pf_bench.Bench_util.yfilter ()
+    | "index-filter" -> Pf_bench.Bench_util.index_filter ()
+    | name -> (
+      match Pf_core.Expr_index.variant_of_name name with
+      | Some variant -> Pf_bench.Bench_util.predicate_engine ~variant ()
+      | None ->
+        Printf.eprintf "unknown engine %S\n" name;
+        exit 2)
+  in
+  (* for per-expression reporting keep our own engine handle when possible *)
+  let engine =
+    match Pf_core.Expr_index.variant_of_name engine_name with
+    | Some variant -> Some (Pf_core.Engine.create ~variant ())
+    | None -> None
+  in
+  let exprs = read_expressions exprs_file in
+  let table = Hashtbl.create (List.length exprs) in
+  List.iter
+    (fun (lineno, src) ->
+      match Pf_xpath.Parser.parse src with
+      | exception Pf_xpath.Parser.Error msg ->
+        Printf.eprintf "%s:%d: %s\n" exprs_file lineno msg;
+        exit 2
+      | p -> (
+        try
+          match engine with
+          | Some e -> Hashtbl.add table (Pf_core.Engine.add e p) src
+          | None -> algo.Pf_bench.Bench_util.add p
+        with Pf_core.Encoder.Unsupported msg | Invalid_argument msg ->
+          Printf.eprintf "%s:%d: unsupported expression: %s\n" exprs_file lineno msg;
+          exit 2))
+    exprs;
+  let exit_code = ref 1 in
+  List.iter
+    (fun doc_path ->
+      match Pf_xml.Sax.parse_document (In_channel.with_open_bin doc_path In_channel.input_all) with
+      | exception Pf_xml.Sax.Parse_error (pos, msg) ->
+        Printf.eprintf "%s: %s (%s)\n" doc_path msg
+          (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
+        exit 2
+      | doc -> (
+        match engine with
+        | Some e ->
+          let matched = Pf_core.Engine.match_document e doc in
+          if matched <> [] then exit_code := 0;
+          if count_only then Printf.printf "%s: %d\n" doc_path (List.length matched)
+          else if not quiet then
+            List.iter
+              (fun sid -> Printf.printf "%s: %s\n" doc_path (Hashtbl.find table sid))
+              matched
+        | None ->
+          let n = algo.Pf_bench.Bench_util.match_doc doc in
+          if n > 0 then exit_code := 0;
+          Printf.printf "%s: %d\n" doc_path n))
+    docs;
+  exit !exit_code
+
+let engine_arg =
+  let doc =
+    "Filtering engine: basic, basic-pc, basic-pc-ap, shared, yfilter or \
+     index-filter. The baselines only report match counts."
+  in
+  Arg.(value & opt string "basic-pc-ap" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-match output.")
+
+let count_arg =
+  Arg.(value & flag & info [ "c"; "count" ] ~doc:"Print match counts only.")
+
+let exprs_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"EXPRESSIONS" ~doc:"File of XPath expressions, one per line.")
+
+let docs_arg =
+  Arg.(
+    non_empty
+    & pos_right 0 file []
+    & info [] ~docv:"XML" ~doc:"XML documents to filter.")
+
+let cmd =
+  let doc = "filter XML documents against a set of XPath expressions" in
+  let info = Cmd.info "pf-filter" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const run $ engine_arg $ quiet_arg $ count_arg $ exprs_arg $ docs_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,98 @@
+(* pf-gen: generate XPath expression workloads and XML documents from the
+   built-in DTD models (the paper's workload setup, Section 6.1). *)
+
+open Cmdliner
+
+let get_dtd name =
+  match Pf_workload.Dtd.by_name name with
+  | Some d -> d
+  | None ->
+    Printf.eprintf "unknown DTD %S (expected nitf or psd)\n" name;
+    exit 2
+
+let gen_queries dtd_name count length wildcard descendant distinct filters nested seed out =
+  let dtd = get_dtd dtd_name in
+  let params =
+    {
+      Pf_workload.Xpath_gen.count;
+      max_depth = length;
+      wildcard_prob = wildcard;
+      descendant_prob = descendant;
+      distinct;
+      filters_per_path = filters;
+      nested_prob = nested;
+      seed;
+    }
+  in
+  let paths = Pf_workload.Xpath_gen.generate dtd params in
+  let oc = match out with None -> stdout | Some f -> open_out f in
+  List.iter (fun p -> output_string oc (Pf_xpath.Parser.to_string p ^ "\n")) paths;
+  if out <> None then close_out oc;
+  Printf.eprintf "generated %d expressions (%d distinct)\n" (List.length paths)
+    (Pf_workload.Xpath_gen.distinct_count paths)
+
+let gen_docs dtd_name count levels fanout attr_prob skew text_prob seed out_dir =
+  let dtd = get_dtd dtd_name in
+  let preset = Pf_workload.Presets.documents_for dtd_name in
+  let params =
+    {
+      Pf_workload.Xml_gen.max_levels = (match levels with Some l -> l | None -> preset.Pf_workload.Xml_gen.max_levels);
+      max_fanout = (match fanout with Some f -> f | None -> preset.Pf_workload.Xml_gen.max_fanout);
+      attr_prob;
+      skew = (match skew with Some s -> s | None -> preset.Pf_workload.Xml_gen.skew);
+      text_prob;
+      seed;
+    }
+  in
+  (match Sys.is_directory out_dir with
+  | true -> ()
+  | false ->
+    Printf.eprintf "%s is not a directory\n" out_dir;
+    exit 2
+  | exception Sys_error _ -> Sys.mkdir out_dir 0o755);
+  let docs = Pf_workload.Xml_gen.generate_many dtd params count in
+  List.iteri
+    (fun i doc ->
+      Pf_xml.Print.to_file (Filename.concat out_dir (Printf.sprintf "%s-%04d.xml" dtd_name i)) doc)
+    docs;
+  let tags = List.fold_left (fun acc d -> acc + Pf_xml.Tree.count_elements d) 0 docs in
+  Printf.eprintf "wrote %d documents to %s (avg %d tags)\n" count out_dir
+    (tags / max 1 count)
+
+let dtd_arg =
+  Arg.(value & opt string "nitf" & info [ "d"; "dtd" ] ~docv:"DTD" ~doc:"DTD model: nitf or psd.")
+
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let queries_cmd =
+  let count = Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Number of expressions.") in
+  let length = Arg.(value & opt int 6 & info [ "L"; "length" ] ~docv:"N" ~doc:"Maximum expression length.") in
+  let wildcard = Arg.(value & opt float 0.2 & info [ "W"; "wildcard" ] ~docv:"P" ~doc:"Wildcard probability.") in
+  let descendant = Arg.(value & opt float 0.2 & info [ "DO"; "descendant" ] ~docv:"P" ~doc:"Descendant probability.") in
+  let distinct = Arg.(value & opt bool true & info [ "D"; "distinct" ] ~docv:"BOOL" ~doc:"Deduplicate expressions.") in
+  let filters = Arg.(value & opt int 0 & info [ "filters" ] ~docv:"N" ~doc:"Attribute filters per expression.") in
+  let nested = Arg.(value & opt float 0. & info [ "nested" ] ~docv:"P" ~doc:"Nested path filter probability.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).") in
+  let doc = "generate an XPath expression workload" in
+  Cmd.v (Cmd.info "queries" ~doc)
+    Term.(
+      const gen_queries $ dtd_arg $ count $ length $ wildcard $ descendant $ distinct
+      $ filters $ nested $ seed_arg $ out)
+
+let docs_cmd =
+  let count = Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Number of documents.") in
+  let levels = Arg.(value & opt (some int) None & info [ "levels" ] ~docv:"N" ~doc:"Maximum document depth (default: DTD preset).") in
+  let fanout = Arg.(value & opt (some int) None & info [ "fanout" ] ~docv:"N" ~doc:"Maximum children per element (default: DTD preset).") in
+  let attr_prob = Arg.(value & opt float 0.6 & info [ "attrs" ] ~docv:"P" ~doc:"Attribute emission probability.") in
+  let skew = Arg.(value & opt (some float) None & info [ "skew" ] ~docv:"P" ~doc:"Child-selection skew (default: DTD preset).") in
+  let text_prob = Arg.(value & opt float 0. & info [ "text" ] ~docv:"P" ~doc:"Probability a leaf carries numeric text content.") in
+  let out_dir = Arg.(value & opt string "generated-docs" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.") in
+  let doc = "generate XML documents" in
+  Cmd.v (Cmd.info "docs" ~doc)
+    Term.(const gen_docs $ dtd_arg $ count $ levels $ fanout $ attr_prob $ skew $ text_prob $ seed_arg $ out_dir)
+
+let cmd =
+  let doc = "generate filtering workloads (Diao-style queries, IBM-generator-style documents)" in
+  Cmd.group (Cmd.info "pf-gen" ~version:"1.0.0" ~doc) [ queries_cmd; docs_cmd ]
+
+let () = exit (Cmd.eval cmd)

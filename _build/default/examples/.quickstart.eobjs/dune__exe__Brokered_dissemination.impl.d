@@ -1,0 +1,1 @@
+examples/brokered_dissemination.ml: Array Format List Pf_bench Pf_broker Pf_workload Pf_xpath Printf Random

@@ -1,0 +1,1 @@
+examples/brokered_dissemination.mli:

@@ -1,0 +1,1 @@
+examples/engine_comparison.ml: Array List Pf_bench Pf_workload Printf Sys

@@ -1,0 +1,1 @@
+examples/news_dissemination.ml: Hashtbl List Pf_bench Pf_core Pf_workload Printf

@@ -1,0 +1,1 @@
+examples/protein_feed.ml: List Pf_bench Pf_core Pf_workload Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Pf_core Pf_xml Printf

@@ -1,0 +1,1 @@
+examples/subscription_churn.ml: Array List Pf_bench Pf_core Pf_workload Pf_xml Printf Random

@@ -1,0 +1,47 @@
+(* Side-by-side engine comparison on one workload — a miniature of the
+   paper's Figure 6 experiment, with agreement checking.
+
+   Run with:  dune exec examples/engine_comparison.exe [-- nitf|psd [NEXPRS]] *)
+
+let () =
+  let dtd_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "psd" in
+  let count =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 10_000
+  in
+  let dtd =
+    match Pf_workload.Dtd.by_name dtd_name with
+    | Some d -> d
+    | None -> failwith ("unknown DTD: " ^ dtd_name)
+  in
+  let queries =
+    Pf_workload.Xpath_gen.generate dtd
+      { Pf_workload.Presets.paper_queries with Pf_workload.Xpath_gen.count }
+  in
+  let docs =
+    Pf_workload.Xml_gen.generate_many dtd (Pf_workload.Presets.documents_for dtd_name) 50
+  in
+  Printf.printf "workload: %s, %d expressions, %d documents\n\n" dtd_name
+    (List.length queries) (List.length docs);
+  let algorithms = Pf_bench.Bench_util.all_paper_algorithms () in
+  let results =
+    List.map
+      (fun (algo : Pf_bench.Bench_util.algorithm) ->
+        let (), build_ms =
+          Pf_bench.Bench_util.time_ms (fun () -> List.iter algo.add queries)
+        in
+        let per_doc = List.map (fun d -> algo.match_doc d) docs in
+        let ms = Pf_bench.Bench_util.filter_time_ms algo docs in
+        algo.name, build_ms, ms, per_doc)
+      algorithms
+  in
+  Printf.printf "%-14s %12s %14s %10s\n" "algorithm" "build (ms)" "filter (ms/doc)" "matches";
+  List.iter
+    (fun (name, build, ms, per_doc) ->
+      Printf.printf "%-14s %12.1f %14.3f %10d\n" name build ms
+        (List.fold_left ( + ) 0 per_doc))
+    results;
+  (* every algorithm must report the same per-document match counts *)
+  let counts = List.map (fun (_, _, _, c) -> c) results in
+  let agree = List.for_all (fun c -> c = List.hd counts) counts in
+  Printf.printf "\nall engines agree on every document: %b\n" agree;
+  if not agree then exit 1

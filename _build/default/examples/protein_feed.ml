@@ -1,0 +1,65 @@
+(* Protein-database change feed — the paper's matching-heavy scenario.
+
+   Research groups subscribe to structural patterns over protein entries
+   (the PSD workload). Because most expressions match most entries, this is
+   the regime where the predicate engine's sharing pays off; the example
+   also demonstrates a large auto-generated subscription population
+   alongside hand-written ones, and the inline vs. selection-postponed
+   attribute modes.
+
+   Run with:  dune exec examples/protein_feed.exe *)
+
+let hand_written =
+  [
+    "lab-a", "/ProteinDatabase/ProteinEntry/protein/classification/superfamily";
+    "lab-a", "//refinfo[@refid >= 500]/year";
+    "lab-b", "/ProteinDatabase/ProteinEntry[genetics]/sequence";
+    "lab-b", "//reference/refinfo/authors/author";
+    "lab-c", "/ProteinDatabase/*/organism/source";
+    "lab-c", "ProteinEntry[@id >= 5000]//citation";
+  ]
+
+let () =
+  let dtd = Pf_workload.Dtd.psd_like () in
+  let run attr_mode =
+    let engine = Pf_core.Engine.create ~attr_mode () in
+    List.iter (fun (_, e) -> ignore (Pf_core.Engine.add_string engine e)) hand_written;
+    (* a large generated population on top, with attribute filters *)
+    let generated =
+      Pf_workload.Xpath_gen.generate dtd
+        { Pf_workload.Presets.paper_queries with
+          Pf_workload.Xpath_gen.count = 20_000; filters_per_path = 1; seed = 99 }
+    in
+    List.iter (fun p -> ignore (Pf_core.Engine.add engine p)) generated;
+    let entries =
+      Pf_workload.Xml_gen.generate_many dtd
+        { Pf_workload.Presets.psd_documents with Pf_workload.Xml_gen.seed = 7 }
+        100
+    in
+    let matches = ref 0 in
+    let (), ms =
+      Pf_bench.Bench_util.time_ms (fun () ->
+          List.iter
+            (fun doc ->
+              matches := !matches + List.length (Pf_core.Engine.match_document engine doc))
+            entries)
+    in
+    engine, !matches, ms, List.length entries
+  in
+  let engine, matches, ms, ndocs = run Pf_core.Engine.Inline in
+  Printf.printf "inline attribute evaluation:\n";
+  Printf.printf "  %d expressions, %d distinct predicates\n"
+    (Pf_core.Engine.expression_count engine)
+    (Pf_core.Engine.distinct_predicate_count engine);
+  Printf.printf "  %d entries filtered in %.1f ms (%.3f ms/entry)\n" ndocs ms
+    (ms /. float ndocs);
+  Printf.printf "  %d total matches (%.1f%% of expressions per entry)\n\n" matches
+    (100. *. float matches /. float (ndocs * Pf_core.Engine.expression_count engine));
+  let engine_sp, matches_sp, ms_sp, _ = run Pf_core.Engine.Postponed in
+  Printf.printf "selection-postponed attribute evaluation:\n";
+  Printf.printf "  %d distinct predicates (fewer: constraints are not interned)\n"
+    (Pf_core.Engine.distinct_predicate_count engine_sp);
+  Printf.printf "  same matches: %b, time %.1f ms\n" (matches = matches_sp) ms_sp;
+  Printf.printf
+    "\nthe paper's Section 6.4 finding: on matching-heavy workloads inline wins,\n\
+     because postponing re-runs the occurrence determination per structural match.\n"

@@ -1,0 +1,70 @@
+(* Quickstart: register a handful of XPath expressions, filter a document,
+   inspect what the engine built.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Create an engine. The default configuration is the paper's best
+     variant (basic-pc-ap: prefix covering + access predicates) with inline
+     attribute evaluation. *)
+  let engine = Pf_core.Engine.create () in
+
+  (* 2. Register filter expressions. Each gets a dense subscription id. *)
+  let subscriptions =
+    [
+      "/catalog/book/title";           (* absolute path *)
+      "book//author";                  (* relative, descendant *)
+      "/catalog/*/price";              (* wildcard *)
+      "book[@year >= 2000]";           (* attribute filter *)
+      "/catalog/book[author]/price";   (* nested path filter *)
+      "/catalog/cd/artist";            (* will not match below *)
+    ]
+  in
+  let sids = List.map (fun s -> Pf_core.Engine.add_string engine s, s) subscriptions in
+
+  (* 3. Filter a document. *)
+  let document =
+    {|<catalog>
+        <book year="2003">
+          <title>The Art of Filtering</title>
+          <author>H. Jacobsen</author>
+          <price currency="CAD">42</price>
+        </book>
+        <book year="1998">
+          <title>Streams of XML</title>
+          <price currency="USD">13</price>
+        </book>
+      </catalog>|}
+  in
+  let matched = Pf_core.Engine.match_string engine document in
+
+  (* 4. Report. *)
+  Printf.printf "matched %d of %d subscriptions:\n" (List.length matched)
+    (List.length sids);
+  List.iter
+    (fun (sid, src) ->
+      Printf.printf "  [%s] %s\n" (if List.mem sid matched then "x" else " ") src)
+    sids;
+
+  (* 5. A peek inside: how expressions were encoded, and how much sharing
+     the predicate index achieved. *)
+  print_newline ();
+  List.iter
+    (fun (_, src) ->
+      match Pf_core.Encoder.encode_string src with
+      | enc -> Format.printf "%a@." Pf_core.Encoder.pp enc
+      | exception Pf_core.Encoder.Unsupported _ ->
+        Format.printf "%s : (nested, handled by decomposition)@." src)
+    sids;
+  Printf.printf "\ndistinct predicates stored: %d (for %d expressions)\n"
+    (Pf_core.Engine.distinct_predicate_count engine)
+    (Pf_core.Engine.expression_count engine);
+
+  (* 6. Why did a subscription match? Ask for a witness. *)
+  let doc = Pf_xml.Sax.parse_document document in
+  (match Pf_core.Engine.explain engine doc 1 (* book//author *) with
+  | Some explanation ->
+    Format.printf "@.witness for %S:@.%a"
+      (List.assoc 1 (List.map (fun (s, src) -> s, src) sids))
+      Pf_core.Engine.pp_explanation explanation
+  | None -> print_endline "no witness")

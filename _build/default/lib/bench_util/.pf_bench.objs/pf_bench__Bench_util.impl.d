@@ -1,0 +1,1 @@
+lib/bench_util/bench_util.ml: Float List Pf_core Pf_indexfilter Pf_xml Pf_xpath Pf_yfilter Printf String Unix

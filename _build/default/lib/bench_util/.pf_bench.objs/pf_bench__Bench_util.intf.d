@@ -1,0 +1,1 @@
+lib/bench_util/bench_util.mli: Pf_core Pf_xml Pf_xpath

@@ -1,0 +1,1 @@
+lib/broker/broker.ml: Ast Format Hashtbl List Parser Pf_core Pf_xml Pf_xpath String

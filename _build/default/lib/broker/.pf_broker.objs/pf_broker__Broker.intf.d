@@ -1,0 +1,1 @@
+lib/broker/broker.mli: Format Pf_core Pf_xml Pf_xpath

@@ -1,0 +1,210 @@
+open Pf_xpath
+
+type config = {
+  variant : Pf_core.Expr_index.variant;
+  attr_mode : Pf_core.Engine.attr_mode;
+  dedup_paths : bool;
+  covering_suppression : bool;
+}
+
+let default_config =
+  {
+    variant = Pf_core.Expr_index.Access_predicate;
+    attr_mode = Pf_core.Engine.Inline;
+    dedup_paths = true;
+    covering_suppression = true;
+  }
+
+type state =
+  | Active of int  (* engine sid *)
+  | Suppressed of int  (* uid of the covering subscription *)
+  | Cancelled
+
+type subscription = {
+  uid : int;
+  subscriber : string;
+  expr : Ast.path;
+  mutable state : state;
+}
+
+type t = {
+  config : config;
+  engine : Pf_core.Engine.t;
+  by_sid : (int, subscription) Hashtbl.t;
+  by_subscriber : (string, subscription list ref) Hashtbl.t;
+  mutable next_uid : int;
+  mutable n_docs : int;
+  mutable n_deliveries : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    engine =
+      Pf_core.Engine.create ~variant:config.variant ~attr_mode:config.attr_mode
+        ~dedup_paths:config.dedup_paths ();
+    by_sid = Hashtbl.create 1024;
+    by_subscriber = Hashtbl.create 64;
+    next_uid = 0;
+    n_docs = 0;
+    n_deliveries = 0;
+  }
+
+let subscriber_of sub = sub.subscriber
+let expression_of sub = sub.expr
+
+let is_suppressed _t sub = match sub.state with Suppressed _ -> true | Active _ | Cancelled -> false
+
+let subscriber_subs t subscriber =
+  match Hashtbl.find_opt t.by_subscriber subscriber with
+  | Some l -> !l
+  | None -> []
+
+(* An active single-path subscription of the same subscriber that covers
+   [expr] makes it redundant: it can never add a delivery. *)
+let find_cover t ~subscriber (expr : Ast.path) =
+  if (not t.config.covering_suppression) || not (Ast.is_single_path expr) then None
+  else
+    List.find_opt
+      (fun sub ->
+        match sub.state with
+        | Active _ ->
+          Ast.is_single_path sub.expr && Pf_core.Containment.covers sub.expr expr
+        | Suppressed _ | Cancelled -> false)
+      (subscriber_subs t subscriber)
+
+let activate t sub =
+  let sid = Pf_core.Engine.add t.engine sub.expr in
+  sub.state <- Active sid;
+  Hashtbl.replace t.by_sid sid sub
+
+let subscribe_path t ~subscriber (expr : Ast.path) =
+  let sub = { uid = t.next_uid; subscriber; expr; state = Cancelled } in
+  t.next_uid <- t.next_uid + 1;
+  (match find_cover t ~subscriber expr with
+  | Some cover -> sub.state <- Suppressed cover.uid
+  | None -> activate t sub);
+  (match Hashtbl.find_opt t.by_subscriber subscriber with
+  | Some l -> l := sub :: !l
+  | None -> Hashtbl.add t.by_subscriber subscriber (ref [ sub ]));
+  sub
+
+let subscribe t ~subscriber expr = subscribe_path t ~subscriber (Parser.parse expr)
+
+let deactivate t sub =
+  match sub.state with
+  | Active sid ->
+    ignore (Pf_core.Engine.remove t.engine sid);
+    Hashtbl.remove t.by_sid sid;
+    sub.state <- Cancelled
+  | Suppressed _ | Cancelled -> sub.state <- Cancelled
+
+let unsubscribe t sub =
+  match sub.state with
+  | Cancelled -> false
+  | Suppressed _ ->
+    sub.state <- Cancelled;
+    true
+  | Active _ ->
+    let uid = sub.uid in
+    deactivate t sub;
+    (* re-home the subscriptions this one was suppressing: another active
+       subscription may still cover them, otherwise they enter the engine *)
+    List.iter
+      (fun dependent ->
+        match dependent.state with
+        | Suppressed cover_uid when cover_uid = uid -> (
+          match find_cover t ~subscriber:dependent.subscriber dependent.expr with
+          | Some cover -> dependent.state <- Suppressed cover.uid
+          | None -> activate t dependent)
+        | Suppressed _ | Active _ | Cancelled -> ())
+      (subscriber_subs t sub.subscriber);
+    true
+
+let drop_subscriber t subscriber =
+  let subs = subscriber_subs t subscriber in
+  let n =
+    List.fold_left
+      (fun acc sub ->
+        match sub.state with
+        | Cancelled -> acc
+        | Active _ | Suppressed _ ->
+          deactivate t sub;
+          acc + 1)
+      0 subs
+  in
+  Hashtbl.remove t.by_subscriber subscriber;
+  n
+
+type delivery = {
+  subscriber : string;
+  via : subscription list;
+}
+
+let publish t doc =
+  t.n_docs <- t.n_docs + 1;
+  let sids = Pf_core.Engine.match_document t.engine doc in
+  let per_subscriber : (string, subscription list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun sid ->
+      match Hashtbl.find_opt t.by_sid sid with
+      | Some sub -> (
+        match Hashtbl.find_opt per_subscriber sub.subscriber with
+        | Some l -> l := sub :: !l
+        | None -> Hashtbl.add per_subscriber sub.subscriber (ref [ sub ]))
+      | None -> ())
+    sids;
+  let deliveries =
+    Hashtbl.fold
+      (fun subscriber via acc -> { subscriber; via = List.rev !via } :: acc)
+      per_subscriber []
+    |> List.sort (fun d1 d2 -> String.compare d1.subscriber d2.subscriber)
+  in
+  t.n_deliveries <- t.n_deliveries + List.length deliveries;
+  deliveries
+
+let publish_string t src = publish t (Pf_xml.Sax.parse_document src)
+
+type stats = {
+  subscribers : int;
+  subscriptions : int;
+  suppressed : int;
+  engine_expressions : int;
+  distinct_predicates : int;
+  documents_published : int;
+  deliveries : int;
+}
+
+let stats t =
+  let subscribers = ref 0 and subscriptions = ref 0 and suppressed = ref 0 in
+  Hashtbl.iter
+    (fun _ subs ->
+      let live =
+        List.filter
+          (fun s -> match s.state with Cancelled -> false | Active _ | Suppressed _ -> true)
+          !subs
+      in
+      if live <> [] then incr subscribers;
+      subscriptions := !subscriptions + List.length live;
+      suppressed :=
+        !suppressed
+        + List.length
+            (List.filter (fun s -> match s.state with Suppressed _ -> true | _ -> false) live))
+    t.by_subscriber;
+  {
+    subscribers = !subscribers;
+    subscriptions = !subscriptions;
+    suppressed = !suppressed;
+    engine_expressions = Hashtbl.length t.by_sid;
+    distinct_predicates = Pf_core.Engine.distinct_predicate_count t.engine;
+    documents_published = t.n_docs;
+    deliveries = t.n_deliveries;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>subscribers: %d@,subscriptions: %d (%d suppressed by covering)@,\
+     engine expressions: %d@,distinct predicates: %d@,documents published: %d@,\
+     deliveries: %d@]"
+    s.subscribers s.subscriptions s.suppressed s.engine_expressions s.distinct_predicates
+    s.documents_published s.deliveries

@@ -1,0 +1,90 @@
+(** A selective-dissemination broker on top of the filtering engine.
+
+    The paper's motivating deployment (Section 1): subscribers register
+    XPath expressions describing their interests; the broker filters each
+    incoming XML document and reports which subscribers it must be
+    delivered to, and through which subscriptions.
+
+    Two system-level concerns the raw engine does not handle live here:
+
+    - {e subscriber bookkeeping}: subscriptions are grouped per subscriber,
+      can be cancelled individually or wholesale, and deliveries are
+      aggregated per subscriber;
+    - {e covering suppression} (built on {!Pf_core.Containment}): a new
+      subscription that is covered by one the same subscriber already
+      holds cannot change that subscriber's deliveries, so it is recorded
+      but not registered in the engine; when the covering subscription is
+      cancelled, its suppressed dependents are activated transparently.
+      With the redundancy typical of large subscription populations this
+      keeps the engine's expression count well below the subscription
+      count (the broker's {!stats} reports both). *)
+
+type t
+
+type config = {
+  variant : Pf_core.Expr_index.variant;
+  attr_mode : Pf_core.Engine.attr_mode;
+  dedup_paths : bool;
+  covering_suppression : bool;
+}
+
+val default_config : config
+(** Access-predicate variant, inline attributes, path dedup on, covering
+    suppression on. *)
+
+val create : ?config:config -> unit -> t
+
+(** {1 Subscriptions} *)
+
+type subscription
+(** Handle to one registered subscription. *)
+
+val subscribe : t -> subscriber:string -> string -> subscription
+(** [subscribe t ~subscriber expr] parses and registers [expr].
+    Raises {!Pf_xpath.Parser.Error} on bad syntax and
+    {!Pf_core.Encoder.Unsupported} on unsupported constructs. *)
+
+val subscribe_path : t -> subscriber:string -> Pf_xpath.Ast.path -> subscription
+
+val unsubscribe : t -> subscription -> bool
+(** Cancel one subscription; false if already cancelled. Suppressed
+    dependents of a cancelled covering subscription are re-activated. *)
+
+val drop_subscriber : t -> string -> int
+(** Cancel all of a subscriber's subscriptions; returns how many. *)
+
+val subscriber_of : subscription -> string
+val expression_of : subscription -> Pf_xpath.Ast.path
+val is_suppressed : t -> subscription -> bool
+(** True while the subscription is redundant (covered by another active
+    subscription of the same subscriber) and therefore not registered in
+    the engine. *)
+
+(** {1 Publishing} *)
+
+type delivery = {
+  subscriber : string;
+  via : subscription list;  (** the active subscriptions that matched *)
+}
+
+val publish : t -> Pf_xml.Tree.t -> delivery list
+(** Deliveries for one document, one entry per matching subscriber,
+    sorted by subscriber name. *)
+
+val publish_string : t -> string -> delivery list
+(** Parse then {!publish}. Raises {!Pf_xml.Sax.Parse_error}. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  subscribers : int;
+  subscriptions : int;  (** active + suppressed *)
+  suppressed : int;
+  engine_expressions : int;
+  distinct_predicates : int;
+  documents_published : int;
+  deliveries : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

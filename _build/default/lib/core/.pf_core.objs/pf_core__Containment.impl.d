@@ -1,0 +1,1 @@
+lib/core/containment.ml: Array Ast Hashtbl List Pf_xpath String

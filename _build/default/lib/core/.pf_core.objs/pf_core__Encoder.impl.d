@@ -1,0 +1,1 @@
+lib/core/encoder.ml: Array Ast Format List Parser Pf_xpath Predicate

@@ -1,0 +1,1 @@
+lib/core/encoder.mli: Format Pf_xpath Predicate

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Ast Buffer Encoder Expr_index Format Hashtbl List Nested Occurrence Parser Pf_xml Pf_xpath Predicate Predicate_index Publication Unix Vec

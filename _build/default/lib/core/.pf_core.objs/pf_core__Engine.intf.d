@@ -1,0 +1,1 @@
+lib/core/engine.mli: Expr_index Format Pf_xml Pf_xpath Predicate

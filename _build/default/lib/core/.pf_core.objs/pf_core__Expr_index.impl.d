@@ -1,0 +1,1 @@
+lib/core/expr_index.ml: Array Hashtbl List Predicate_index Vec

@@ -1,0 +1,1 @@
+lib/core/expr_index.mli: Predicate_index

@@ -1,0 +1,1 @@
+lib/core/nested.ml: Array Ast Encoder Hashtbl Lazy List Logs Occurrence Pf_xpath Predicate_index Publication Vec

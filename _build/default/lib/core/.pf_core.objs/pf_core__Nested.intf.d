@@ -1,0 +1,1 @@
+lib/core/nested.mli: Pf_xpath Predicate_index Publication

@@ -1,0 +1,1 @@
+lib/core/occurrence.ml: Array List

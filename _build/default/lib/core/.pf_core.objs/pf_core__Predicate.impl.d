@@ -1,0 +1,1 @@
+lib/core/predicate.ml: Format Hashtbl List Pf_xpath Stdlib

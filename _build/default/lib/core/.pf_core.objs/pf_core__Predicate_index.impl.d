@@ -1,0 +1,1 @@
+lib/core/predicate_index.ml: Array Hashtbl List Predicate Publication Vec

@@ -1,0 +1,1 @@
+lib/core/predicate_index.mli: Predicate Publication

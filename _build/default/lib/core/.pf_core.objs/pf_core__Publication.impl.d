@@ -1,0 +1,1 @@
+lib/core/publication.ml: Array Format Pf_xml String

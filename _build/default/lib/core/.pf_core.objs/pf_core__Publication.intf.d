@@ -1,0 +1,1 @@
+lib/core/publication.mli: Format Pf_xml

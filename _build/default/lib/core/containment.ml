@@ -1,0 +1,169 @@
+open Pf_xpath
+
+(* ------------------------------------------------------------------ *)
+(* Filter implication *)
+
+(* Does the value set selected by (c2, v2) lie inside the one selected by
+   (c1, v1)? Integer sets are points, punctured lines or rays; the integer
+   cases exploit adjacency (x < v  <=>  x <= v - 1). *)
+let int_subset (c2, v2) (c1, v1) =
+  match c1 with
+  | Ast.Eq -> (
+    match c2 with Ast.Eq -> v2 = v1 | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> false)
+  | Ast.Ne -> (
+    match c2 with
+    | Ast.Eq -> v2 <> v1
+    | Ast.Ne -> v2 = v1
+    | Ast.Lt -> v2 <= v1
+    | Ast.Le -> v2 < v1
+    | Ast.Gt -> v2 >= v1
+    | Ast.Ge -> v2 > v1)
+  | Ast.Lt -> (
+    match c2 with
+    | Ast.Eq -> v2 < v1
+    | Ast.Lt -> v2 <= v1
+    | Ast.Le -> v2 < v1
+    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
+  | Ast.Le -> (
+    match c2 with
+    | Ast.Eq -> v2 <= v1
+    | Ast.Lt -> v2 <= v1 + 1
+    | Ast.Le -> v2 <= v1
+    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
+  | Ast.Gt -> (
+    match c2 with
+    | Ast.Eq -> v2 > v1
+    | Ast.Gt -> v2 >= v1
+    | Ast.Ge -> v2 > v1
+    | Ast.Ne | Ast.Lt | Ast.Le -> false)
+  | Ast.Ge -> (
+    match c2 with
+    | Ast.Eq -> v2 >= v1
+    | Ast.Gt -> v2 >= v1 - 1
+    | Ast.Ge -> v2 >= v1
+    | Ast.Ne | Ast.Lt | Ast.Le -> false)
+
+(* Sound (adjacency-free) version for string-ordered domains. *)
+let str_subset (c2, v2) (c1, v1) =
+  match c1 with
+  | Ast.Eq -> c2 = Ast.Eq && String.equal v2 v1
+  | Ast.Ne -> (
+    match c2 with
+    | Ast.Eq -> not (String.equal v2 v1)
+    | Ast.Ne -> String.equal v2 v1
+    | Ast.Lt -> String.compare v2 v1 <= 0
+    | Ast.Le -> String.compare v2 v1 < 0
+    | Ast.Gt -> String.compare v2 v1 >= 0
+    | Ast.Ge -> String.compare v2 v1 > 0)
+  | Ast.Lt -> (
+    match c2 with
+    | Ast.Eq -> String.compare v2 v1 < 0
+    | Ast.Lt | Ast.Le -> String.compare v2 v1 < 0 || (c2 = Ast.Lt && String.equal v2 v1)
+    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
+  | Ast.Le -> (
+    match c2 with
+    | Ast.Eq | Ast.Le -> String.compare v2 v1 <= 0
+    | Ast.Lt -> String.compare v2 v1 <= 0
+    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
+  | Ast.Gt -> (
+    match c2 with
+    | Ast.Eq -> String.compare v2 v1 > 0
+    | Ast.Gt | Ast.Ge -> String.compare v2 v1 > 0 || (c2 = Ast.Gt && String.equal v2 v1)
+    | Ast.Ne | Ast.Lt | Ast.Le -> false)
+  | Ast.Ge -> (
+    match c2 with
+    | Ast.Eq | Ast.Ge -> String.compare v2 v1 >= 0
+    | Ast.Gt -> String.compare v2 v1 >= 0
+    | Ast.Ne | Ast.Lt | Ast.Le -> false)
+
+let implied_filter (f : Ast.attr_filter) (g : Ast.attr_filter) =
+  String.equal f.Ast.attr g.Ast.attr
+  &&
+  match f.Ast.value, g.Ast.value with
+  | Ast.Int v1, Ast.Int v2 -> int_subset (g.Ast.cmp, v2) (f.Ast.cmp, v1)
+  | Ast.Str v1, Ast.Str v2 -> str_subset (g.Ast.cmp, v2) (f.Ast.cmp, v1)
+  | Ast.Int _, Ast.Str _ | Ast.Str _, Ast.Int _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphism test *)
+
+let attr_filters (s : Ast.step) =
+  List.filter_map (function Ast.Attr f -> Some f | Ast.Nested _ -> None) s.Ast.filters
+
+let check_single name (p : Ast.path) =
+  if not (Ast.is_single_path p) then
+    invalid_arg (name ^ ": nested path filters are not supported")
+
+let all_wild (p : Ast.path) =
+  List.for_all (fun (s : Ast.step) -> s.Ast.test = Ast.Wildcard && s.Ast.filters = []) p.Ast.steps
+
+let rooted (p : Ast.path) =
+  p.Ast.absolute
+  && match p.Ast.steps with s :: _ -> s.Ast.axis = Ast.Child | [] -> false
+
+(* Can step [a] of the general pattern land on step [b] of the specific
+   one? Name tests must agree exactly (a wildcard target admits documents
+   with any tag there) and every filter of [a] must be implied by some
+   filter of [b]. *)
+let step_compat (a : Ast.step) (b : Ast.step) =
+  (match a.Ast.test with
+  | Ast.Wildcard -> true
+  | Ast.Tag t -> ( match b.Ast.test with Ast.Tag t' -> String.equal t t' | Ast.Wildcard -> false))
+  &&
+  let fb = attr_filters b in
+  List.for_all (fun f -> List.exists (fun g -> implied_filter f g) fb) (attr_filters a)
+
+let covers (s1 : Ast.path) (s2 : Ast.path) =
+  check_single "Containment.covers" s1;
+  check_single "Containment.covers" s2;
+  if all_wild s1 then
+    (* pure length constraint: s2 pins at least as many location steps *)
+    List.length s2.Ast.steps >= List.length s1.Ast.steps
+  else begin
+    let a1 = Array.of_list s1.Ast.steps and a2 = Array.of_list s2.Ast.steps in
+    let n1 = Array.length a1 and n2 = Array.length a2 in
+    let memo = Hashtbl.create 64 in
+    (* [place i j]: steps i.. of s1 can map onto steps of s2 starting with
+       step i on step j. *)
+    let rec place i j =
+      match Hashtbl.find_opt memo (i, j) with
+      | Some r -> r
+      | None ->
+        let r =
+          step_compat a1.(i) a2.(j)
+          &&
+          (i = n1 - 1
+          ||
+          match a1.(i + 1).Ast.axis with
+          | Ast.Child ->
+            (* an exact-distance edge must ride an exact-distance edge *)
+            j + 1 < n2 && a2.(j + 1).Ast.axis = Ast.Child && place (i + 1) (j + 1)
+          | Ast.Descendant ->
+            (* any later landing keeps document distance >= 1 *)
+            let rec try_from j' = j' < n2 && (place (i + 1) j' || try_from (j' + 1)) in
+            try_from (j + 1))
+        in
+        Hashtbl.add memo (i, j) r;
+        r
+    in
+    if rooted s1 then rooted s2 && n2 > 0 && place 0 0
+    else begin
+      (* unanchored: the first step may land anywhere; if s1's first step
+         is reachable only at depth >= 1 that always holds in documents *)
+      let rec try_start j = j < n2 && (place 0 j || try_start (j + 1)) in
+      n2 > 0 && try_start 0
+    end
+  end
+
+let redundant exprs =
+  let arr = Array.of_list exprs in
+  let n = Array.length arr in
+  let singles = Array.map Ast.is_single_path arr in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && singles.(i) && singles.(j) && covers arr.(i) arr.(j) then
+        acc := (i, j) :: !acc
+    done
+  done;
+  List.rev !acc

@@ -1,0 +1,46 @@
+(** Covering (containment) analysis between XPath expressions.
+
+    Section 4.2.2 defines: [s1] {e covers} [s2] iff every publication
+    matching [s2] also matches [s1] — then a match of [s2] implies a match
+    of [s1] for free. The paper exploits the prefix special case (through
+    the expression trie) and "postpones suffix and containment covering to
+    future work"; this module implements that future work for single-path
+    expressions over the [/], [//], [*] fragment (with attribute filters).
+
+    The test is the classic {e homomorphism} check: [s1] covers [s2] if
+    [s1]'s steps can be mapped, order-preserving and axis-respecting, onto
+    [s2]'s steps, with every name test of [s1] landing on an equal name
+    test of [s2] and every attribute filter of [s1] implied by filters of
+    [s2] at the target step. For the [*]-free fragment the homomorphism
+    test is exact; with wildcards and descendants it is {e sound but
+    incomplete} (Miklau & Suciu showed exact containment for the child/descendant/wildcard fragment is
+    coNP-complete), so [covers] may answer [false] for some true covering
+    pairs — safe for every optimization built on it. The property test
+    suite checks soundness against randomized documents.
+
+    Beyond the matching-time optimization, covering analysis is useful for
+    workload diagnostics: {!redundant} finds expressions subsumed by
+    others, which an operator can drop without changing any match set
+    semantics (the subsumed expression matches {e at least} whenever the
+    subsuming one does... note the direction: dropping [s1] is safe only
+    if a reported match of [s2] can stand in for it, i.e. when match
+    results are unioned per user, as in the dissemination scenario). *)
+
+val covers : Pf_xpath.Ast.path -> Pf_xpath.Ast.path -> bool
+(** [covers s1 s2]: sound test that every document path matching [s2]
+    matches [s1]. Both must be single paths ([Invalid_argument]
+    otherwise). Reflexive; transitive. *)
+
+val implied_filter :
+  Pf_xpath.Ast.attr_filter -> Pf_xpath.Ast.attr_filter -> bool
+(** [implied_filter f g]: does filter [g] (on the same step) imply filter
+    [f]? E.g. [@x >= 5] implies [@x >= 3]; [@x = 4] implies [@x < 10].
+    Sound and complete for integer comparisons on a single attribute;
+    filters on different attributes never imply each other. *)
+
+val redundant : Pf_xpath.Ast.path list -> (int * int) list
+(** [redundant exprs] lists pairs [(i, j)], [i <> j], such that
+    [covers (nth i) (nth j)] holds: every match of expression [j] is also
+    a match of expression [i] (restricted to single-path expressions;
+    others are skipped). Quadratic; intended for offline workload
+    analysis. *)

@@ -1,0 +1,111 @@
+open Pf_xpath
+
+exception Unsupported of string
+
+type side = First | Second
+
+type t = {
+  source : Ast.path;
+  preds : Predicate.t array;
+  step_vars : (int * side) option array;
+}
+
+let constraints_of_step (s : Ast.step) =
+  List.map
+    (function
+      | Ast.Attr { attr; cmp; value } -> { Predicate.attr; cmp; value }
+      | Ast.Nested _ ->
+        raise (Unsupported "nested path filter (decompose with Nested first)"))
+    s.Ast.filters
+
+let encode (p : Ast.path) =
+  let steps = Array.of_list p.Ast.steps in
+  let n = Array.length steps in
+  if n = 0 then raise (Unsupported "empty path");
+  (* Tag variables per step; wildcard steps must be unconstrained. *)
+  let vars =
+    Array.map
+      (fun (s : Ast.step) ->
+        match s.Ast.test with
+        | Ast.Tag name -> Some (Predicate.tagvar ~constraints:(constraints_of_step s) name)
+        | Ast.Wildcard ->
+          if s.Ast.filters <> [] then
+            raise (Unsupported "attribute filter on a wildcard step");
+          None)
+      steps
+  in
+  let tag_indices =
+    Array.to_list vars
+    |> List.mapi (fun i v -> i, v)
+    |> List.filter_map (function i, Some v -> Some (i, v) | _, None -> None)
+  in
+  (* A tag variable may occur in several predicates; its constraints are
+     attached only to the first occurrence (see interface). [fresh] yields a
+     constrained variable once, then unconstrained copies. *)
+  let used = Array.make n false in
+  let fresh i (tv : Predicate.tagvar) =
+    if used.(i) then { tv with Predicate.constraints = [] }
+    else begin
+      used.(i) <- true;
+      tv
+    end
+  in
+  let desc_within lo hi =
+    (* is there a descendant axis on any step in [lo..hi] (0-based)? *)
+    let rec go i = i <= hi && (steps.(i).Ast.axis = Ast.Descendant || go (i + 1)) in
+    go lo
+  in
+  let preds = ref [] in
+  let step_vars = Array.make n None in
+  let npred = ref 0 in
+  let emit pred refs =
+    let idx = !npred in
+    preds := pred :: !preds;
+    incr npred;
+    List.iter
+      (fun (step_idx, side) ->
+        if step_vars.(step_idx) = None then step_vars.(step_idx) <- Some (idx, side))
+      refs
+  in
+  (match tag_indices with
+  | [] ->
+    (* all wildcards: a single length predicate *)
+    emit (Predicate.Length { v = n }) []
+  | (u, tv1) :: rest ->
+    let trailing = n - 1 - (match List.rev tag_indices with (z, _) :: _ -> z | [] -> assert false) in
+    let first_abs =
+      if p.Ast.absolute then
+        let op = if desc_within 0 u then Predicate.Ge else Predicate.Eq in
+        Some op
+      else if u > 0 || desc_within 0 u then Some Predicate.Ge
+      else if rest = [] && trailing = 0 then Some Predicate.Ge
+      else None
+    in
+    (match first_abs with
+    | Some op ->
+      emit (Predicate.Absolute { tag = fresh u tv1; op; v = u + 1 }) [ u, First ]
+    | None -> ());
+    (* relative predicates between adjacent tags *)
+    let rec relatives (prev_i, prev_tv) = function
+      | [] -> prev_i
+      | (w, tvw) :: more ->
+        let op = if desc_within (prev_i + 1) w then Predicate.Ge else Predicate.Eq in
+        emit
+          (Predicate.Relative
+             { first = fresh prev_i prev_tv; second = fresh w tvw; op; v = w - prev_i })
+          [ prev_i, First; w, Second ];
+        relatives (w, tvw) more
+    in
+    let last_i = relatives (u, tv1) rest in
+    let last_tv =
+      match vars.(last_i) with Some tv -> tv | None -> assert false
+    in
+    if trailing > 0 then
+      emit (Predicate.End_of_path { tag = fresh last_i last_tv; v = trailing }) [ last_i, First ]);
+  { source = p; preds = Array.of_list (List.rev !preds); step_vars }
+
+let encode_string s = encode (Parser.parse s)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>%a : %a@]" Ast.pp t.source Predicate.pp_list
+    (Array.to_list t.preds)

@@ -1,0 +1,46 @@
+(** XPE → ordered predicate encoding (Section 3.2).
+
+    The mapping records the position of the first non-wildcard location step
+    and the relative positions of every two adjacent tags:
+
+    - leading wildcards shift the first tag's absolute predicate value;
+      the first tag gets an absolute predicate iff the expression is
+      absolute, has leading wildcards or descendants before the tag, or
+      consists of a single tag with nothing after it (the paper's rule:
+      emit just enough to uniquely represent the expression, e.g.
+      [a/a/b/c] needs no [(p_a,>=,1)]);
+    - between adjacent tags the distance counts every intervening location
+      step once, with [>=] iff a descendant operator occurs between them
+      (e.g. [a/*//b] → [(d(p_a,p_b),>=,2)], the proof's [k-u+1] form);
+    - trailing wildcards yield an end-of-path predicate;
+    - all-wildcard expressions collapse to a single length predicate
+      ([/*/*] and [*/*] are deliberately identified).
+
+    Attribute filters become attribute constraints on the {e first}
+    predicate occurrence of the filtered tag's variable (one constrained
+    occurrence suffices: occurrence-number chaining propagates the
+    restriction to the other occurrences). *)
+
+exception Unsupported of string
+(** Raised for expressions outside the encodable subset: nested path
+    filters (decompose with {!Nested} first) and attribute filters on
+    wildcard steps (no tag variable to attach them to). *)
+
+type side = First | Second
+
+type t = {
+  source : Pf_xpath.Ast.path;
+  preds : Predicate.t array;  (** the ordered predicate set; non-empty *)
+  step_vars : (int * side) option array;
+      (** for each location step (0-based), the predicate index and variable
+          side that represents its tag; [None] for wildcard steps and for
+          tags of all-wildcard (length-only) encodings *)
+}
+
+val encode : Pf_xpath.Ast.path -> t
+(** Raises {!Unsupported}. The result has at least one predicate. *)
+
+val encode_string : string -> t
+(** Parse then encode. Raises {!Pf_xpath.Parser.Error} or {!Unsupported}. *)
+
+val pp : Format.formatter -> t -> unit

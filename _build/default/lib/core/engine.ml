@@ -1,0 +1,358 @@
+open Pf_xpath
+
+type attr_mode = Inline | Postponed
+
+(* Postponed attribute constraints for one expression: per predicate, the
+   variable names and the constraints to check once a structural match is
+   found. *)
+type post = {
+  names1 : string array;
+  names2 : string array;
+  pcons1 : Predicate.attr_constraint list array;
+  pcons2 : Predicate.attr_constraint list array;
+}
+
+type kind =
+  | Single of { pids : int array; post : post option }
+  | Nested_expr
+
+type expr_info = { source : Ast.path; kind : kind; mutable active : bool }
+
+type stats = {
+  mutable predicate_ns : float;
+  mutable expr_ns : float;
+  mutable collect_ns : float;
+  mutable paths : int;
+  mutable documents : int;
+}
+
+type t = {
+  variant : Expr_index.variant;
+  attr_mode : attr_mode;
+  collect_stats : bool;
+  dedup_paths : bool;
+  pidx : Predicate_index.t;
+  results : Predicate_index.results;
+  eidx : Expr_index.t;
+  nested : Nested.t;
+  exprs : expr_info Vec.t;
+  stats : stats;
+  mutable sid_stamp : int array;
+  mutable doc_epoch : int;
+  mutable constrained : bool;
+      (* some expression carries attribute filters: publications are then
+         attribute-sensitive and duplicate-path elimination must not apply *)
+  seen_paths : (string, unit) Hashtbl.t;  (* per-document duplicate-path filter *)
+}
+
+let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
+    ?(collect_stats = false) ?(dedup_paths = false) () =
+  let pidx = Predicate_index.create () in
+  {
+    variant;
+    attr_mode;
+    collect_stats;
+    dedup_paths;
+    pidx;
+    results = Predicate_index.create_results ();
+    eidx = Expr_index.create variant;
+    nested = Nested.create pidx;
+    exprs =
+      Vec.create
+        ~dummy:{ source = Ast.path [ Ast.step (Ast.Tag "x") ]; kind = Nested_expr; active = false }
+        ();
+    stats = { predicate_ns = 0.; expr_ns = 0.; collect_ns = 0.; paths = 0; documents = 0 };
+    sid_stamp = [||];
+    doc_epoch = 0;
+    constrained = false;
+    seen_paths = Hashtbl.create 64;
+  }
+
+let variant t = t.variant
+let attr_mode t = t.attr_mode
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.predicate_ns <- 0.;
+  t.stats.expr_ns <- 0.;
+  t.stats.collect_ns <- 0.;
+  t.stats.paths <- 0;
+  t.stats.documents <- 0
+
+let expression_count t = Vec.length t.exprs
+let distinct_predicate_count t = Predicate_index.size t.pidx
+let occurrence_runs t = Expr_index.occurrence_runs t.eidx
+
+let expression t sid = (Vec.get t.exprs sid).source
+
+let build_post (enc : Encoder.t) =
+  if Array.exists Predicate.has_constraints enc.Encoder.preds then begin
+    let n = Array.length enc.Encoder.preds in
+    let names1 = Array.make n "" and names2 = Array.make n "" in
+    let pcons1 = Array.make n [] and pcons2 = Array.make n [] in
+    Array.iteri
+      (fun i p ->
+        let c1, c2 = Predicate.constraints_of p in
+        (match p with
+        | Predicate.Absolute { tag; _ } | Predicate.End_of_path { tag; _ } ->
+          names1.(i) <- tag.Predicate.name;
+          names2.(i) <- tag.Predicate.name
+        | Predicate.Relative { first; second; _ } ->
+          names1.(i) <- first.Predicate.name;
+          names2.(i) <- second.Predicate.name
+        | Predicate.Length _ -> ());
+        (* constraints_of duplicates one-variable constraints on both
+           sides; checking one side suffices *)
+        match p with
+        | Predicate.Relative _ ->
+          pcons1.(i) <- c1;
+          pcons2.(i) <- c2
+        | Predicate.Absolute _ | Predicate.End_of_path _ ->
+          pcons1.(i) <- c1
+        | Predicate.Length _ -> ())
+      enc.Encoder.preds;
+    Some { names1; names2; pcons1; pcons2 }
+  end
+  else None
+
+let add t (p : Ast.path) =
+  let info =
+    if Ast.is_single_path p then begin
+      let enc = Encoder.encode p in
+      match t.attr_mode with
+      | Inline ->
+        let pids = Array.map (Predicate_index.intern t.pidx) enc.Encoder.preds in
+        { source = p; kind = Single { pids; post = None }; active = true }
+      | Postponed ->
+        let pids =
+          Array.map
+            (fun pred -> Predicate_index.intern t.pidx (Predicate.strip pred))
+            enc.Encoder.preds
+        in
+        { source = p; kind = Single { pids; post = build_post enc }; active = true }
+    end
+    else { source = p; kind = Nested_expr; active = true }
+  in
+  let sid = Vec.push t.exprs info in
+  if Ast.has_attr_filters p then t.constrained <- true;
+  (match info.kind with
+  | Single { pids; _ } -> Expr_index.add t.eidx ~sid ~pids
+  | Nested_expr -> Nested.add t.nested ~sid p);
+  sid
+
+let add_string t s = add t (Parser.parse s)
+
+let remove t sid =
+  if sid < 0 || sid >= Vec.length t.exprs then false
+  else begin
+    let info = Vec.get t.exprs sid in
+    if not info.active then false
+    else begin
+      let removed =
+        match info.kind with
+        | Single { pids; _ } -> Expr_index.remove t.eidx ~sid ~pids
+        | Nested_expr -> Nested.remove t.nested ~sid
+      in
+      if removed then info.active <- false;
+      removed
+    end
+  end
+
+let is_active t sid = sid >= 0 && sid < Vec.length t.exprs && (Vec.get t.exprs sid).active
+
+let ensure_stamp t =
+  let n = Vec.length t.exprs in
+  if Array.length t.sid_stamp < n then begin
+    let bigger = Array.make (max n (2 * Array.length t.sid_stamp)) 0 in
+    Array.blit t.sid_stamp 0 bigger 0 (Array.length t.sid_stamp);
+    t.sid_stamp <- bigger
+  end
+
+let now () = Unix.gettimeofday ()
+
+(* Check an expression's postponed attribute constraints against one
+   occurrence chain: each constrained variable's occurrence is mapped back
+   to its tuple and the tuple's attributes are tested. *)
+let chain_satisfies post pub chain =
+  let n = Array.length chain in
+  let ok_side names cons i occ =
+    match cons.(i) with
+    | [] -> true
+    | cs -> (
+      match Publication.pos_of_occurrence pub ~tag:names.(i) ~occurrence:occ with
+      | Some pos -> Predicate.check_constraints cs (Publication.attrs_at pub ~pos)
+      | None -> false)
+  in
+  let rec go i =
+    i >= n
+    ||
+    let o1, o2 = chain.(i) in
+    ok_side post.names1 post.pcons1 i o1
+    && ok_side post.names2 post.pcons2 i o2
+    && go (i + 1)
+  in
+  go 0
+
+(* Core per-document matching loop; [iter_paths] drives the document's
+   paths through it (from a materialized list or streaming off a SAX
+   parse). *)
+let match_iter t iter_paths =
+  ensure_stamp t;
+  t.doc_epoch <- t.doc_epoch + 1;
+  let acc = ref [] in
+  let mark sid =
+    if t.sid_stamp.(sid) <> t.doc_epoch then begin
+      t.sid_stamp.(sid) <- t.doc_epoch;
+      acc := sid :: !acc
+    end
+  in
+  let timed = t.collect_stats in
+  let nested_active = not (Nested.is_empty t.nested) in
+  if nested_active then Nested.begin_document t.nested;
+  (* Sibling subtrees yield literally identical publications (occurrence
+     numbers are per path), so a tag-identical path cannot change the match
+     set and is skipped — unless attributes matter (constrained
+     expressions) or per-path structure tuples do (nested expressions). *)
+  let dedup = t.dedup_paths && (not t.constrained) && not nested_active in
+  if dedup then Hashtbl.reset t.seen_paths;
+  let fresh_path (path : Pf_xml.Path.t) =
+    (not dedup)
+    ||
+    let buf = Buffer.create 64 in
+    Array.iter
+      (fun (s : Pf_xml.Path.step) ->
+        Buffer.add_string buf s.Pf_xml.Path.tag;
+        Buffer.add_char buf '\x00')
+      path.Pf_xml.Path.steps;
+    let key = Buffer.contents buf in
+    if Hashtbl.mem t.seen_paths key then false
+    else begin
+      Hashtbl.add t.seen_paths key ();
+      true
+    end
+  in
+  iter_paths
+    (fun path ->
+      if fresh_path path then begin
+      t.stats.paths <- t.stats.paths + 1;
+      let pub = Publication.of_path path in
+      let t0 = if timed then now () else 0. in
+      Predicate_index.run t.pidx t.results pub;
+      let t1 = if timed then now () else 0. in
+      let on_match sid =
+        if t.sid_stamp.(sid) <> t.doc_epoch then
+          match (Vec.get t.exprs sid).kind with
+          | Single { post = None; _ } -> mark sid
+          | Single { pids; post = Some post } ->
+            let rs = Array.map (Predicate_index.get t.results) pids in
+            if Occurrence.iter_chains rs (chain_satisfies post pub) then mark sid
+          | Nested_expr -> assert false
+      in
+      Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline)
+        ~doc_tag:t.doc_epoch ~on_match ();
+      if nested_active then Nested.observe_path t.nested t.results pub;
+      if timed then begin
+        let t2 = now () in
+        t.stats.predicate_ns <- t.stats.predicate_ns +. ((t1 -. t0) *. 1e9);
+        t.stats.expr_ns <- t.stats.expr_ns +. ((t2 -. t1) *. 1e9)
+      end
+      end);
+  let t2 = if timed then now () else 0. in
+  if nested_active then Nested.finish_document t.nested ~on_match:mark;
+  let result = List.sort compare !acc in
+  if timed then begin
+    t.stats.collect_ns <- t.stats.collect_ns +. ((now () -. t2) *. 1e9);
+    t.stats.documents <- t.stats.documents + 1
+  end;
+  result
+
+let match_paths t paths = match_iter t (fun f -> List.iter f paths)
+
+let match_document t doc = match_paths t (Pf_xml.Path.of_document doc)
+
+let match_string t s = match_document t (Pf_xml.Sax.parse_document s)
+
+let match_stream t src =
+  match_iter t (fun f ->
+      Pf_xml.Path.fold_of_string src ~init:() ~f:(fun () path -> f path))
+
+type explanation = {
+  expl_path : Pf_xml.Path.t;
+  expl_chain : (Predicate.t * (int * int)) list;
+}
+
+let explain t doc sid =
+  if sid < 0 || sid >= Vec.length t.exprs then None
+  else
+    let info = Vec.get t.exprs sid in
+    match info.kind with
+    | Nested_expr -> None
+    | Single _ when not info.active -> None
+    | Single { pids; post } ->
+      let paths = Pf_xml.Path.of_document doc in
+      let witness = ref None in
+      let try_path path =
+        let pub = Publication.of_path path in
+        Predicate_index.run t.pidx t.results pub;
+        let rs = Array.map (Predicate_index.get t.results) pids in
+        if Array.for_all (fun r -> r <> []) rs then
+          ignore
+            (Occurrence.iter_chains rs (fun chain ->
+                 let ok =
+                   match post with
+                   | None -> true
+                   | Some post -> chain_satisfies post pub chain
+                 in
+                 if ok then begin
+                   let preds =
+                     Array.to_list
+                       (Array.mapi
+                          (fun i pid -> Predicate_index.predicate t.pidx pid, chain.(i))
+                          pids)
+                   in
+                   witness := Some { expl_path = path; expl_chain = preds }
+                 end;
+                 ok))
+      in
+      let rec first = function
+        | [] -> ()
+        | path :: rest ->
+          try_path path;
+          if !witness = None then first rest
+      in
+      first paths;
+      !witness
+
+let pp_explanation fmt e =
+  Format.fprintf fmt "@[<v>path: %a@," Pf_xml.Path.pp e.expl_path;
+  List.iter
+    (fun (pred, (o1, o2)) ->
+      Format.fprintf fmt "  %a matched by occurrences (%d,%d)@," Predicate.pp pred o1 o2)
+    e.expl_chain;
+  Format.fprintf fmt "@]"
+
+let match_path t path =
+  (* single-path matching: nested expressions need whole documents *)
+  ensure_stamp t;
+  t.doc_epoch <- t.doc_epoch + 1;
+  let acc = ref [] in
+  let pub = Publication.of_path path in
+  Predicate_index.run t.pidx t.results pub;
+  let on_match sid =
+    if t.sid_stamp.(sid) <> t.doc_epoch then begin
+      match (Vec.get t.exprs sid).kind with
+      | Single { post = None; _ } ->
+        t.sid_stamp.(sid) <- t.doc_epoch;
+        acc := sid :: !acc
+      | Single { pids; post = Some post } ->
+        let rs = Array.map (Predicate_index.get t.results) pids in
+        if Occurrence.iter_chains rs (chain_satisfies post pub) then begin
+          t.sid_stamp.(sid) <- t.doc_epoch;
+          acc := sid :: !acc
+        end
+      | Nested_expr -> assert false
+    end
+  in
+  Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline) ~doc_tag:t.doc_epoch
+    ~on_match ();
+  List.sort compare !acc

@@ -1,0 +1,137 @@
+(** The predicate-based XPath filtering engine — public API.
+
+    Usage:
+    {[
+      let engine = Engine.create () in
+      let sid = Engine.add_string engine "/nitf/head//title" in
+      let doc = Pf_xml.Sax.parse_document xml_text in
+      let matched = Engine.match_document engine doc in
+      (* matched = sorted sids of all matching expressions *)
+    ]}
+
+    The engine implements the two-stage algorithm of Section 4 over the
+    shared predicate index, with the expression organization selected by
+    {!Expr_index.variant} and attribute filters evaluated inline or
+    selection-postponed (Section 5). Nested path expressions are accepted
+    transparently and processed by the decomposition of Section 5. *)
+
+type attr_mode =
+  | Inline
+      (** attribute constraints are part of stored predicates and checked
+          during predicate matching *)
+  | Postponed
+      (** predicates are stored position-only; attribute filters are checked
+          after structural matching by re-running the occurrence
+          determination over candidate chains *)
+
+type t
+
+val create :
+  ?variant:Expr_index.variant ->
+  ?attr_mode:attr_mode ->
+  ?collect_stats:bool ->
+  ?dedup_paths:bool ->
+  unit ->
+  t
+(** Defaults: [variant = Access_predicate] (the paper's best variant,
+    "basic-pc-ap"), [attr_mode = Inline], [collect_stats = false],
+    [dedup_paths = false].
+
+    [dedup_paths] is an extension beyond the paper: sibling subtrees
+    produce literally identical publications (occurrence numbers are
+    per-path), so tag-identical paths of one document can be matched once.
+    The optimization is sound only while no registered expression carries
+    attribute filters and none is nested (it disables itself otherwise)
+    and speeds up repetitive documents severalfold — see the [ablation]
+    benchmark. Off by default to keep the default engine the paper's
+    algorithm. *)
+
+val variant : t -> Expr_index.variant
+val attr_mode : t -> attr_mode
+
+val add : t -> Pf_xpath.Ast.path -> int
+(** Register an expression; returns its sid (dense, starting at 0).
+    Duplicate expressions receive distinct sids but share all predicate
+    and trie structure. Insertion is constant-time per predicate.
+    Raises {!Encoder.Unsupported} for expressions outside the supported
+    subset. *)
+
+val add_string : t -> string -> int
+(** Parse then {!add}. Raises {!Pf_xpath.Parser.Error} on bad syntax. *)
+
+val expression : t -> int -> Pf_xpath.Ast.path
+(** The expression registered under a sid. Raises [Invalid_argument] for
+    unknown sids. *)
+
+val remove : t -> int -> bool
+(** Unregister an expression. Returns false if the sid is unknown or was
+    already removed. Constant-time (like insertion — one of the approach's
+    advantages over compiled automata such as XPush); the predicates it
+    interned are not reclaimed, so {!distinct_predicate_count} does not
+    decrease. *)
+
+val is_active : t -> int -> bool
+(** True iff the sid is registered and not removed. *)
+
+val match_document : t -> Pf_xml.Tree.t -> int list
+(** Sids of all expressions matched by the document, sorted ascending.
+    An expression matches iff its evaluation over the document yields a
+    non-empty node set (single-path expressions: iff some root-to-leaf
+    path matches). *)
+
+val match_string : t -> string -> int list
+(** Parse the XML (raises {!Pf_xml.Sax.Parse_error}) then
+    {!match_document}. *)
+
+val match_stream : t -> string -> int list
+(** Like {!match_string}, but never materializes the document tree: paths
+    are extracted from the SAX event stream one at a time and matched as
+    their leaves close — the pipeline the paper describes. Equivalent
+    results to {!match_string}. *)
+
+val match_path : t -> Pf_xml.Path.t -> int list
+(** Match the single-path expressions against one document path (nested
+    expressions need whole documents and are not reported here). *)
+
+(** {1 Match provenance} *)
+
+type explanation = {
+  expl_path : Pf_xml.Path.t;  (** the matching document path *)
+  expl_chain : (Predicate.t * (int * int)) list;
+      (** the expression's ordered predicates, each with the occurrence
+          pair it matched through (the chain the occurrence determination
+          found) *)
+}
+
+val explain : t -> Pf_xml.Tree.t -> int -> explanation option
+(** [explain t doc sid] produces a witness for why the single-path
+    expression [sid] matches [doc]: the document path and the occurrence
+    chain. [None] if it does not match (or was removed). Nested path
+    expressions are not explained ([None]). Runs an independent match —
+    intended for debugging subscriptions, not for the hot path. *)
+
+val pp_explanation : Format.formatter -> explanation -> unit
+
+(** {1 Introspection} *)
+
+val expression_count : t -> int
+val distinct_predicate_count : t -> int
+(** Distinct predicates stored — the sharing metric of Figure 10. *)
+
+val occurrence_runs : t -> int
+
+(** {1 Timing breakdown (Figure 10)}
+
+    When created with [collect_stats:true] the engine accumulates wall-clock
+    time per stage. *)
+
+type stats = {
+  mutable predicate_ns : float;  (** predicate matching stage *)
+  mutable expr_ns : float;  (** expression matching (occurrence determination) *)
+  mutable collect_ns : float;  (** result collection and attribute post-checks *)
+  mutable paths : int;
+  mutable documents : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,376 @@
+type variant = Basic | Prefix_covering | Access_predicate | Shared
+
+let variant_name = function
+  | Basic -> "basic"
+  | Prefix_covering -> "basic-pc"
+  | Access_predicate -> "basic-pc-ap"
+  | Shared -> "shared"
+
+let variant_of_name = function
+  | "basic" -> Some Basic
+  | "basic-pc" | "pc" -> Some Prefix_covering
+  | "basic-pc-ap" | "pc-ap" | "ap" -> Some Access_predicate
+  | "shared" -> Some Shared
+  | _ -> None
+
+(* Trie nodes keep children in an association list and promote to a
+   hashtable past a small fan-out, keeping millions of mostly-linear chains
+   cheap while root-level fan-out stays O(1). *)
+type node = {
+  pid : int;
+  depth : int;  (* 0 at roots *)
+  parent : node option;
+  mutable sids : int list;
+  mutable children : children;
+  mutable covered_epoch : int;  (* prefix-covering mark, per eval pass *)
+  mutable mark_epoch : int;
+      (* document tag of the last sticky sid report: a document has many
+         paths, and once a node's sids are reported for one path they need
+         not be re-reported for the document's remaining paths (valid only
+         when on_match marks unconditionally, i.e. no postponed checks) *)
+}
+
+and children =
+  | Small of (int * node) list
+  | Big of (int, node) Hashtbl.t
+
+let promote_threshold = 16
+
+let child_find children pid =
+  match children with
+  | Small l -> List.assoc_opt pid l
+  | Big tbl -> Hashtbl.find_opt tbl pid
+
+let child_add n pid child =
+  match n.children with
+  | Small l ->
+    if List.length l >= promote_threshold then begin
+      let tbl = Hashtbl.create 32 in
+      List.iter (fun (p, c) -> Hashtbl.add tbl p c) l;
+      Hashtbl.add tbl pid child;
+      n.children <- Big tbl
+    end
+    else n.children <- Small ((pid, child) :: l)
+  | Big tbl -> Hashtbl.add tbl pid child
+
+let child_iter f = function
+  | Small l -> List.iter (fun (_, c) -> f c) l
+  | Big tbl -> Hashtbl.iter (fun _ c -> f c) tbl
+
+let child_fold f acc = function
+  | Small l -> List.fold_left (fun acc (_, c) -> f acc c) acc l
+  | Big tbl -> Hashtbl.fold (fun _ c acc -> f acc c) tbl acc
+
+type t = {
+  variant : variant;
+  (* Basic *)
+  flat : (int * int array) Vec.t;  (* (sid, pids); removed entries have pids = [||] *)
+  flat_pos : (int, int) Hashtbl.t;  (* sid -> index in [flat] *)
+  (* trie variants *)
+  roots : (int, node) Hashtbl.t;
+  (* prefix covering: sid-bearing nodes bucketed by depth, evaluated
+     longest-first so a deep match covers its prefixes *)
+  by_depth : node Vec.t Vec.t;
+  mutable pc_epoch : int;
+  mutable n_exprs : int;
+  mutable n_nodes : int;
+  mutable n_runs : int;
+}
+
+let dummy_node =
+  { pid = -1; depth = 0; parent = None; sids = []; children = Small []; covered_epoch = 0;
+    mark_epoch = 0 }
+
+(* Shared placeholder filling unused [by_depth] slots (Vec.ensure fills with
+   one dummy value); recognized by physical identity and replaced by a fresh
+   bucket on first use. Never written through. *)
+let dummy_bucket : node Vec.t = Vec.create ~dummy:dummy_node ()
+
+let create variant =
+  {
+    variant;
+    flat = Vec.create ~dummy:(0, [||]) ();
+    flat_pos = Hashtbl.create 16;
+    roots = Hashtbl.create 256;
+    by_depth = Vec.create ~dummy:dummy_bucket ();
+    pc_epoch = 0;
+    n_exprs = 0;
+    n_nodes = 0;
+    n_runs = 0;
+  }
+
+let add t ~sid ~pids =
+  if Array.length pids = 0 then invalid_arg "Expr_index.add: empty pid sequence";
+  t.n_exprs <- t.n_exprs + 1;
+  match t.variant with
+  | Basic ->
+    t.n_nodes <- t.n_nodes + 1;
+    Hashtbl.replace t.flat_pos sid (Vec.push t.flat (sid, pids))
+  | Prefix_covering | Access_predicate | Shared ->
+    let register node =
+      (* index sid-bearing nodes by depth for longest-first evaluation *)
+      if node.sids = [] then begin
+        Vec.ensure t.by_depth (node.depth + 1);
+        let bucket = Vec.get t.by_depth node.depth in
+        let bucket =
+          if bucket == dummy_bucket then begin
+            let fresh = Vec.create ~dummy:dummy_node () in
+            Vec.set t.by_depth node.depth fresh;
+            fresh
+          end
+          else bucket
+        in
+        ignore (Vec.push bucket node)
+      end;
+      node.sids <- sid :: node.sids
+    in
+    let root =
+      match Hashtbl.find_opt t.roots pids.(0) with
+      | Some node -> node
+      | None ->
+        let node =
+          { pid = pids.(0); depth = 0; parent = None; sids = []; children = Small [];
+            covered_epoch = 0; mark_epoch = 0 }
+        in
+        t.n_nodes <- t.n_nodes + 1;
+        Hashtbl.add t.roots pids.(0) node;
+        node
+    in
+    let rec descend node i =
+      if i >= Array.length pids then register node
+      else begin
+        let child =
+          match child_find node.children pids.(i) with
+          | Some c -> c
+          | None ->
+            let c =
+              { pid = pids.(i); depth = i; parent = Some node; sids = [];
+                children = Small []; covered_epoch = 0; mark_epoch = 0 }
+            in
+            t.n_nodes <- t.n_nodes + 1;
+            child_add node pids.(i) c;
+            c
+        in
+        descend child (i + 1)
+      end
+    in
+    descend root 1
+
+let expression_count t = t.n_exprs
+let node_count t = t.n_nodes
+let occurrence_runs t = t.n_runs
+
+let remove t ~sid ~pids =
+  match t.variant with
+  | Basic -> (
+    match Hashtbl.find_opt t.flat_pos sid with
+    | None -> false
+    | Some i ->
+      Hashtbl.remove t.flat_pos sid;
+      Vec.set t.flat i (sid, [||]);
+      t.n_exprs <- t.n_exprs - 1;
+      true)
+  | Prefix_covering | Access_predicate | Shared -> (
+    let rec descend node i =
+      if i >= Array.length pids then
+        if List.mem sid node.sids then begin
+          node.sids <- List.filter (fun s -> s <> sid) node.sids;
+          true
+        end
+        else false
+      else
+        match child_find node.children pids.(i) with
+        | Some c -> descend c (i + 1)
+        | None -> false
+    in
+    match
+      if Array.length pids = 0 then false
+      else
+        match Hashtbl.find_opt t.roots pids.(0) with
+        | Some root -> descend root 1
+        | None -> false
+    with
+    | true ->
+      t.n_exprs <- t.n_exprs - 1;
+      true
+    | false -> false)
+
+(* ------------------------------------------------------------------ *)
+
+(* Chain search over a prefix of a result stack of packed occurrence pairs,
+   allocation-free: does a chain exist through stack.(0 .. depth)? *)
+let stack_matches (stack : int list array) depth =
+  let rec go i prev =
+    i > depth
+    || List.exists
+         (fun p -> Predicate_index.packed_first p = prev && go (i + 1) (Predicate_index.packed_second p))
+         stack.(i)
+  in
+  List.exists (fun p -> go 1 (Predicate_index.packed_second p)) stack.(0)
+
+let eval_basic t res ~on_match =
+  let stack = ref (Array.make 64 []) in
+  Vec.iter
+    (fun (sid, pids) ->
+      let n = Array.length pids in
+      if n > 0 then begin
+      if n > Array.length !stack then stack := Array.make (2 * n) [];
+      let stack = !stack in
+      (* fetch each predicate's results; stop at the first empty one *)
+      let rec fetch i =
+        if i >= n then true
+        else
+          match Predicate_index.get_packed res pids.(i) with
+          | [] -> false
+          | pairs ->
+            stack.(i) <- pairs;
+            fetch (i + 1)
+      in
+      if fetch 0 then begin
+        t.n_runs <- t.n_runs + 1;
+        if stack_matches stack (n - 1) then on_match sid
+      end
+      end)
+    t.flat
+
+(* Prefix covering (without access predicates). Sid-bearing trie nodes are
+   evaluated longest-first (by descending depth): each gets the flat
+   algorithm's treatment — fetch its own predicate chain with
+   short-circuit, then one occurrence determination run — but a match
+   marks every ancestor node covered, so prefix expressions (and all
+   duplicates, which share the node) are reported without evaluation.
+   Unlike the access-predicate variant, a dead predicate does not rule out
+   anything beyond the one expression being checked. *)
+let eval_pc t res ~sticky ~doc_tag ~on_match =
+  t.pc_epoch <- t.pc_epoch + 1;
+  let epoch = t.pc_epoch in
+  let report node =
+    if sticky then node.mark_epoch <- doc_tag;
+    List.iter on_match node.sids
+  in
+  let stack = ref (Array.make 64 []) in
+  let evaluate node =
+    if node.depth >= Array.length !stack then
+      stack := Array.make (2 * (node.depth + 1)) [];
+    let stack = !stack in
+    (* fetch the chain leaf-to-root with short-circuit; indices by depth *)
+    let rec fetch n =
+      match Predicate_index.get_packed res n.pid with
+      | [] -> false
+      | pairs ->
+        stack.(n.depth) <- pairs;
+        (match n.parent with None -> true | Some p -> fetch p)
+    in
+    if fetch node then begin
+      t.n_runs <- t.n_runs + 1;
+      stack_matches stack node.depth
+    end
+    else false
+  in
+  let rec cover = function
+    | None -> ()
+    | Some p ->
+      if p.covered_epoch <> epoch then begin
+        p.covered_epoch <- epoch;
+        cover p.parent
+      end
+  in
+  for depth = Vec.length t.by_depth - 1 downto 0 do
+    let bucket = Vec.get t.by_depth depth in
+    Vec.iter
+      (fun node ->
+        if node.sids <> [] && not (sticky && node.mark_epoch = doc_tag) then
+          if node.covered_epoch = epoch then report node
+          else if evaluate node then begin
+            report node;
+            node.covered_epoch <- epoch;
+            cover node.parent
+          end)
+      bucket
+  done
+
+(* Access predicates on top of prefix covering: a subtree whose entry
+   predicate has no matching result is ruled out without visiting it (at
+   the root this is the paper's clustering by first predicate; applying it
+   at every node generalizes the same rule recursively). The per-depth
+   result stack is filled on the way down, so an occurrence run at a sid
+   node reuses the fetches of all its ancestors. *)
+let eval_ap t res ~sticky ~doc_tag ~on_match =
+  let stack = ref (Array.make 64 []) in
+  let report node =
+    if sticky then node.mark_epoch <- doc_tag;
+    List.iter on_match node.sids
+  in
+  let ensure_depth d =
+    if d >= Array.length !stack then begin
+      let bigger = Array.make (2 * (d + 1)) [] in
+      Array.blit !stack 0 bigger 0 (Array.length !stack);
+      stack := bigger
+    end
+  in
+  let rec visit node depth =
+    match Predicate_index.get_packed res node.pid with
+    | [] -> false
+    | pairs ->
+      ensure_depth depth;
+      !stack.(depth) <- pairs;
+      let below = child_fold (fun acc c -> visit c (depth + 1) || acc) false node.children in
+      if node.sids = [] then below
+      else if sticky && node.mark_epoch = doc_tag then
+        (* already fully reported for this document: no run needed *)
+        below
+      else if below then begin
+        report node;
+        true
+      end
+      else begin
+        t.n_runs <- t.n_runs + 1;
+        if stack_matches !stack depth then begin
+          report node;
+          true
+        end
+        else false
+      end
+  in
+  Hashtbl.iter (fun _ root -> ignore (visit root 0)) t.roots
+
+(* Shared: propagate the set of reachable chain endings down the trie. A
+   node is reachable with endings S iff a chain exists through the pids on
+   the root path ending with some o2 in S; its expressions match iff S is
+   non-empty. Sets are tiny (bounded by occurrence counts in one path), so
+   sorted int lists suffice. *)
+let eval_shared res roots ~sticky ~doc_tag ~on_match =
+  let report node =
+    if sticky then node.mark_epoch <- doc_tag;
+    List.iter on_match node.sids
+  in
+  let rec visit node incoming =
+    match Predicate_index.get_packed res node.pid with
+    | [] -> ()
+    | pairs ->
+      let reach =
+        match incoming with
+        | None ->
+          List.sort_uniq compare (List.map Predicate_index.packed_second pairs)
+        | Some s ->
+          List.sort_uniq compare
+            (List.filter_map
+               (fun p ->
+                 if List.mem (Predicate_index.packed_first p) s then
+                   Some (Predicate_index.packed_second p)
+                 else None)
+               pairs)
+      in
+      if reach <> [] then begin
+        if node.sids <> [] && not (sticky && node.mark_epoch = doc_tag) then report node;
+        child_iter (fun c -> visit c (Some reach)) node.children
+      end
+  in
+  Hashtbl.iter (fun _ root -> visit root None) roots
+
+let eval t res ?(sticky = false) ?(doc_tag = 0) ~on_match () =
+  match t.variant with
+  | Basic -> eval_basic t res ~on_match
+  | Prefix_covering -> eval_pc t res ~sticky ~doc_tag ~on_match
+  | Access_predicate -> eval_ap t res ~sticky ~doc_tag ~on_match
+  | Shared -> eval_shared res t.roots ~sticky ~doc_tag ~on_match

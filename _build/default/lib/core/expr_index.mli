@@ -1,0 +1,75 @@
+(** Expression organizations (Section 4.2.2).
+
+    Expressions are registered as ordered pid sequences; after the predicate
+    matching stage, {!eval} reports every structurally matched expression.
+    Four organizations trade off how many occurrence determination runs they
+    need:
+
+    - {!Basic}: a flat list; every expression whose predicates all matched
+      gets its own occurrence determination run.
+    - {!Prefix_covering}: expressions share a trie over pid sequences;
+      within a covering chain the longest expression is evaluated first and
+      a match covers all its prefixes (which are then not evaluated).
+    - {!Access_predicate}: prefix covering plus clustering — a trie subtree
+      is skipped entirely when its entry predicate (the {e access
+      predicate}; at the root this is the paper's first-predicate
+      clustering) has no matching result.
+    - {!Shared}: our ablation extension — instead of per-expression
+      backtracking runs, sets of reachable chain endings (occurrence
+      numbers) are propagated down the trie once, so the work of the
+      occurrence determination itself is shared across expressions with
+      common prefixes. *)
+
+type variant = Basic | Prefix_covering | Access_predicate | Shared
+
+val variant_name : variant -> string
+(** ["basic"], ["basic-pc"], ["basic-pc-ap"], ["shared"] — the paper's
+    algorithm labels. *)
+
+val variant_of_name : string -> variant option
+
+type t
+
+val create : variant -> t
+
+val add : t -> sid:int -> pids:int array -> unit
+(** Register expression [sid] with its ordered predicate ids (non-empty).
+    Duplicate pid sequences share all per-expression structure in the trie
+    variants. *)
+
+val remove : t -> sid:int -> pids:int array -> bool
+(** Unregister an expression; [pids] must be the sequence it was added
+    with. Returns false if it was not (or no longer) registered. Constant
+    time in the number of expressions (a tombstone for {!Basic}, a sid-list
+    removal at one trie node otherwise); interned predicates are not
+    reclaimed. *)
+
+val eval :
+  t ->
+  Predicate_index.results ->
+  ?sticky:bool ->
+  ?doc_tag:int ->
+  on_match:(int -> unit) ->
+  unit ->
+  unit
+(** Report each structurally matched sid exactly once for this publication.
+    [on_match] receives sids in an unspecified order.
+
+    [sticky]/[doc_tag] (trie variants): a document is many publications;
+    when [sticky] is true, a node whose sids were already reported under
+    the same [doc_tag] is neither re-reported nor re-evaluated on the
+    document's later paths, making per-document collection linear in the
+    number of matched expressions rather than paths × expressions. Only
+    sound when [on_match] accepts unconditionally (the engine's inline
+    mode; with postponed attribute checks a later path may succeed where
+    an earlier one failed). *)
+
+val expression_count : t -> int
+val node_count : t -> int
+(** Trie nodes (= stored expressions for {!Basic}); an indicator of the
+    sharing achieved. *)
+
+val occurrence_runs : t -> int
+(** Cumulative number of occurrence determination runs performed by
+    {!eval} since creation — the quantity the Section 4.2.2 optimizations
+    minimize (0 for {!Shared}). *)

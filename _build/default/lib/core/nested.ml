@@ -1,0 +1,269 @@
+open Pf_xpath
+
+let src = Logs.Src.create "predfilter.nested" ~doc:"Nested path filter matching"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type child = { sub : int; at_step : int }
+
+type sub = {
+  enc : Encoder.t;
+  pids : int array;
+  mutable children : child list;
+  relevant : int array;  (* step indices whose bound node matters, sorted *)
+  self_slot : int;  (* index into [relevant] of the branch step; -1 for roots *)
+  (* per-document state *)
+  mutable obs : int array list;  (* node ids per relevant slot *)
+  mutable seen : (int array, unit) Hashtbl.t;
+  mutable matched_nodes : (int, unit) Hashtbl.t;  (* node ids at self_slot *)
+  mutable root_matched : bool;
+}
+
+type t = {
+  index : Predicate_index.t;
+  subs : sub Vec.t;
+  mutable roots : (int * int) list;  (* (sid, root sub id) *)
+  mutable n_exprs : int;
+  (* per-document node identification: node at depth d is (parent node, m_d) *)
+  mutable node_tbl : (int * int, int) Hashtbl.t;
+  mutable next_node : int;
+}
+
+let max_chains_per_path = 4096
+
+let dummy_sub =
+  {
+    enc =
+      {
+        Encoder.source = Ast.path [ Ast.step (Ast.Tag "x") ];
+        preds = [||];
+        step_vars = [||];
+      };
+    pids = [||];
+    children = [];
+    relevant = [||];
+    self_slot = -1;
+    obs = [];
+    seen = Hashtbl.create 1;
+    matched_nodes = Hashtbl.create 1;
+    root_matched = false;
+  }
+
+let create index =
+  {
+    index;
+    subs = Vec.create ~dummy:dummy_sub ();
+    roots = [];
+    n_exprs = 0;
+    node_tbl = Hashtbl.create 64;
+    next_node = 0;
+  }
+
+let is_empty t = t.roots = []
+let expression_count t = t.n_exprs
+let sub_expression_count t = Vec.length t.subs
+
+let strip_nested (s : Ast.step) =
+  {
+    s with
+    Ast.filters =
+      List.filter (function Ast.Attr _ -> true | Ast.Nested _ -> false) s.Ast.filters;
+  }
+
+(* Decompose [p] into a sub-expression tree; returns the new sub's id.
+   [branch_step] is the 0-based step index at which [p] forks from its
+   parent (-1 for the root). *)
+let rec decompose t (p : Ast.path) ~branch_step =
+  let steps = Array.of_list p.Ast.steps in
+  let main = { p with Ast.steps = List.map strip_nested p.Ast.steps } in
+  let enc = Encoder.encode main in
+  let pids = Array.map (Predicate_index.intern t.index) enc.Encoder.preds in
+  (* collect (step index, nested filter) pairs *)
+  let forks = ref [] in
+  Array.iteri
+    (fun i (s : Ast.step) ->
+      List.iter
+        (function
+          | Ast.Attr _ -> ()
+          | Ast.Nested q ->
+            (match s.Ast.test with
+            | Ast.Tag _ -> ()
+            | Ast.Wildcard ->
+              raise (Encoder.Unsupported "nested path filter on a wildcard step"));
+            forks := (i, q) :: !forks)
+        s.Ast.filters)
+    steps;
+  let forks = List.rev !forks in
+  let fork_steps = List.map fst forks in
+  let relevant =
+    List.sort_uniq compare
+      (if branch_step >= 0 then branch_step :: fork_steps else fork_steps)
+  in
+  (* every relevant step must be locatable from an occurrence chain *)
+  List.iter
+    (fun k ->
+      match enc.Encoder.step_vars.(k) with
+      | Some _ -> ()
+      | None -> raise (Encoder.Unsupported "nested path filter on a wildcard step"))
+    relevant;
+  let relevant = Array.of_list relevant in
+  let slot_of k =
+    let rec go i = if relevant.(i) = k then i else go (i + 1) in
+    go 0
+  in
+  let self_slot = if branch_step >= 0 then slot_of branch_step else -1 in
+  let s =
+    {
+      enc;
+      pids;
+      children = [];
+      relevant;
+      self_slot;
+      obs = [];
+      seen = Hashtbl.create 8;
+      matched_nodes = Hashtbl.create 8;
+      root_matched = false;
+    }
+  in
+  let id = Vec.push t.subs s in
+  let children =
+    List.map
+      (fun (i, (q : Ast.path)) ->
+        let prefix =
+          List.filteri (fun j _ -> j <= i) (Array.to_list steps) |> List.map strip_nested
+        in
+        let ext = { Ast.absolute = p.Ast.absolute; steps = prefix @ q.Ast.steps } in
+        { sub = decompose t ext ~branch_step:i; at_step = i })
+      forks
+  in
+  s.children <- children;
+  id
+
+let add t ~sid (p : Ast.path) =
+  if Ast.is_single_path p then
+    invalid_arg "Nested.add: single-path expression (use the main pipeline)";
+  let root = decompose t p ~branch_step:(-1) in
+  t.roots <- (sid, root) :: t.roots;
+  t.n_exprs <- t.n_exprs + 1
+
+let remove t ~sid =
+  if List.mem_assoc sid t.roots then begin
+    t.roots <- List.filter (fun (s, _) -> s <> sid) t.roots;
+    t.n_exprs <- t.n_exprs - 1;
+    true
+  end
+  else false
+
+let begin_document t =
+  Vec.iter
+    (fun s ->
+      s.obs <- [];
+      Hashtbl.reset s.seen;
+      Hashtbl.reset s.matched_nodes;
+      s.root_matched <- false)
+    t.subs;
+  Hashtbl.reset t.node_tbl;
+  t.next_node <- 0
+
+(* Node ids along one path: node at depth d (1-based) is identified by its
+   parent's id and its child index, so any two paths through the same
+   document node compute the same id. *)
+let node_ids t (pub : Publication.t) =
+  let n = pub.Publication.length in
+  let ids = Array.make n 0 in
+  let parent = ref (-1) in
+  for d = 0 to n - 1 do
+    let key = !parent, pub.Publication.structure.(d) in
+    let id =
+      match Hashtbl.find_opt t.node_tbl key with
+      | Some id -> id
+      | None ->
+        let id = t.next_node in
+        t.next_node <- id + 1;
+        Hashtbl.add t.node_tbl key id;
+        id
+    in
+    ids.(d) <- id;
+    parent := id
+  done;
+  ids
+
+let observe_path t res (pub : Publication.t) =
+  if t.roots <> [] then begin
+    let ids = lazy (node_ids t pub) in
+    Vec.iter
+      (fun s ->
+        let n = Array.length s.pids in
+        let rec all_matched i =
+          i >= n || (Predicate_index.is_matched res s.pids.(i) && all_matched (i + 1))
+        in
+        if all_matched 0 then begin
+          let rs = Array.map (Predicate_index.get res) s.pids in
+          let ids = Lazy.force ids in
+          let steps = Array.of_list s.enc.Encoder.source.Ast.steps in
+          let count = ref 0 in
+          let record chain =
+            incr count;
+            if !count = max_chains_per_path then
+              Log.warn (fun m ->
+                  m
+                    "occurrence chain enumeration capped at %d for %a on a path; \
+                     nested matching may under-report on this document"
+                    max_chains_per_path Ast.pp s.enc.Encoder.source);
+            let nodes =
+              Array.map
+                (fun k ->
+                  let pred_idx, side =
+                    match s.enc.Encoder.step_vars.(k) with
+                    | Some v -> v
+                    | None -> assert false
+                  in
+                  let o1, o2 = chain.(pred_idx) in
+                  let occ = match side with Encoder.First -> o1 | Encoder.Second -> o2 in
+                  let tag =
+                    match steps.(k).Ast.test with
+                    | Ast.Tag tag -> tag
+                    | Ast.Wildcard -> assert false
+                  in
+                  match Publication.pos_of_occurrence pub ~tag ~occurrence:occ with
+                  | Some pos -> ids.(pos - 1)
+                  | None -> assert false)
+                s.relevant
+            in
+            if not (Hashtbl.mem s.seen nodes) then begin
+              Hashtbl.add s.seen nodes ();
+              s.obs <- nodes :: s.obs
+            end;
+            !count >= max_chains_per_path (* true stops the enumeration *)
+          in
+          if Array.length s.relevant = 0 then begin
+            (* no branch bookkeeping needed: one successful chain suffices *)
+            if Occurrence.matches rs then s.obs <- [||] :: s.obs
+          end
+          else ignore (Occurrence.iter_chains rs record)
+        end)
+      t.subs
+  end
+
+let finish_document t ~on_match =
+  (* children were created after their parents, so descending ids is a
+     bottom-up order *)
+  for id = Vec.length t.subs - 1 downto 0 do
+    let s = Vec.get t.subs id in
+    let child_ok nodes { sub; at_step } =
+      let c = Vec.get t.subs sub in
+      let slot =
+        let rec go i = if s.relevant.(i) = at_step then i else go (i + 1) in
+        go 0
+      in
+      Hashtbl.mem c.matched_nodes nodes.(slot)
+    in
+    List.iter
+      (fun nodes ->
+        if List.for_all (child_ok nodes) s.children then begin
+          if s.self_slot >= 0 then Hashtbl.replace s.matched_nodes nodes.(s.self_slot) ()
+          else s.root_matched <- true
+        end)
+      s.obs
+  done;
+  List.iter (fun (sid, root) -> if (Vec.get t.subs root).root_matched then on_match sid) t.roots

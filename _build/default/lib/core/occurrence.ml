@@ -1,0 +1,89 @@
+(* Depth-first search over partial chains. [go i prev] asks whether
+   predicates i..n-1 can be chained starting from a pair whose first
+   occurrence equals [prev]. *)
+let matches (rs : (int * int) list array) =
+  let n = Array.length rs in
+  if n = 0 then false
+  else begin
+    let rec go i prev =
+      if i >= n then true
+      else List.exists (fun (o1, o2) -> o1 = prev && go (i + 1) o2) rs.(i)
+    in
+    List.exists (fun (_, o2) -> go 1 o2) rs.(0)
+  end
+
+(* Literal transcription of Algorithm 1. [r'] holds the mutable candidate
+   sets R'_i; [chosen.(i)] is the pair currently selected for predicate i. *)
+let matches_faithful (rs : (int * int) list array) =
+  let n = Array.length rs in
+  if n = 0 then false
+  else if Array.exists (fun r -> r = []) rs then false (* lines 2-6 *)
+  else begin
+    let r' = Array.make n [] in
+    let chosen = Array.make n (0, 0) in
+    (* line 7: R'_1 <- R_1, select one pair and delete it *)
+    (match rs.(0) with
+    | first :: rest ->
+      chosen.(0) <- first;
+      r'.(0) <- rest
+    | [] -> assert false);
+    let current = ref 0 (* 0-based; paper's line 1 sets current <- 1 *) in
+    let step = ref 0 in
+    let back = ref false in
+    let result = ref None in
+    while !result = None do
+      if not !back then begin
+        if !current = n - 1 then result := Some true (* lines 10-11 *)
+        else begin
+          (* line 13: current++, R'_current <- R_current(o2) *)
+          let _, o2 = chosen.(!current) in
+          incr current;
+          step := !current;
+          r'.(!current) <- List.filter (fun (o1, _) -> o1 = o2) rs.(!current)
+        end
+      end;
+      if !result = None then begin
+        match r'.(!current) with
+        | pair :: rest ->
+          (* lines 16-17: select a pair, remove it, go forward *)
+          chosen.(!current) <- pair;
+          r'.(!current) <- rest;
+          back := false
+        | [] ->
+          (* lines 18-27: backtrack to the deepest level with candidates *)
+          decr step;
+          while !step >= 0 && r'.(!step) = [] do
+            decr step
+          done;
+          if !step < 0 then result := Some false (* lines 23-24 *)
+          else begin
+            current := !step;
+            back := true
+          end
+      end
+    done;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let iter_chains (rs : (int * int) list array) accept =
+  let n = Array.length rs in
+  if n = 0 then false
+  else begin
+    let chain = Array.make n (0, 0) in
+    let rec go i prev =
+      if i >= n then accept chain
+      else
+        List.exists
+          (fun (o1, o2) ->
+            o1 = prev
+            &&
+            (chain.(i) <- (o1, o2);
+             go (i + 1) o2))
+          rs.(i)
+    in
+    List.exists
+      (fun (o1, o2) ->
+        chain.(0) <- (o1, o2);
+        go 1 o2)
+      rs.(0)
+  end

@@ -1,0 +1,28 @@
+(** The occurrence determination algorithm (Section 4.2.1, Algorithm 1).
+
+    Given the ordered matching results [R = (R_1, ..., R_n)] of an
+    expression's predicates — each [R_i] a set of occurrence-number pairs —
+    the expression is matched iff a chain
+    [(o1_1,o2_1), ..., (o1_n,o2_n)] exists with [o2_(i-1) = o1_i] for all
+    [i], a constraint satisfaction problem solved by backtracking.
+
+    Two interchangeable implementations are provided: [matches_faithful]
+    transcribes Algorithm 1 literally (the [current]/[step]/[back]
+    bookkeeping over mutable candidate sets) and [matches] is an equivalent
+    recursive depth-first search; the test suite checks they agree on random
+    inputs. *)
+
+val matches : (int * int) list array -> bool
+(** Recursive DFS. [matches [||]] is [false] (an expression has at least
+    one predicate); an empty [R_i] yields [false]. *)
+
+val matches_faithful : (int * int) list array -> bool
+(** Literal transcription of Algorithm 1. *)
+
+val iter_chains : (int * int) list array -> ((int * int) array -> bool) -> bool
+(** [iter_chains rs accept] enumerates complete chains lazily, calling
+    [accept] on each; stops and returns [true] as soon as [accept] does,
+    returns [false] if no chain is accepted. The chain array is reused
+    between calls — copy it to retain it. Used by the selection-postponed
+    attribute mode (re-running the occurrence determination per candidate
+    chain, Section 5) and by the nested path matcher. *)

@@ -1,0 +1,76 @@
+type op = Eq | Ge
+
+type attr_constraint = {
+  attr : string;
+  cmp : Pf_xpath.Ast.comparison;
+  value : Pf_xpath.Ast.value;
+}
+
+type tagvar = { name : string; constraints : attr_constraint list }
+
+type t =
+  | Absolute of { tag : tagvar; op : op; v : int }
+  | Relative of { first : tagvar; second : tagvar; op : op; v : int }
+  | End_of_path of { tag : tagvar; v : int }
+  | Length of { v : int }
+
+let tagvar ?(constraints = []) name =
+  { name; constraints = List.sort_uniq Stdlib.compare constraints }
+
+let strip = function
+  | Absolute a -> Absolute { a with tag = { a.tag with constraints = [] } }
+  | Relative r ->
+    Relative
+      {
+        r with
+        first = { r.first with constraints = [] };
+        second = { r.second with constraints = [] };
+      }
+  | End_of_path e -> End_of_path { e with tag = { e.tag with constraints = [] } }
+  | Length _ as p -> p
+
+let constraints_of = function
+  | Absolute { tag; _ } | End_of_path { tag; _ } -> tag.constraints, tag.constraints
+  | Relative { first; second; _ } -> first.constraints, second.constraints
+  | Length _ -> [], []
+
+let has_constraints p =
+  let c1, c2 = constraints_of p in
+  c1 <> [] || c2 <> []
+
+let check_constraints cs attrs =
+  List.for_all
+    (fun { attr; cmp; value } ->
+      Pf_xpath.Eval.attr_satisfies attrs { Pf_xpath.Ast.attr; cmp; value })
+    cs
+
+let equal (p1 : t) (p2 : t) = p1 = p2
+
+let compare (p1 : t) (p2 : t) = Stdlib.compare p1 p2
+
+let hash (p : t) = Hashtbl.hash p
+
+let pp_op fmt = function
+  | Eq -> Format.pp_print_string fmt "="
+  | Ge -> Format.pp_print_string fmt ">="
+
+let pp_tagvar fmt tv =
+  Format.pp_print_string fmt tv.name;
+  List.iter
+    (fun { attr; cmp; value } ->
+      Format.fprintf fmt "[@@%s%a%a]" attr Pf_xpath.Ast.pp_comparison cmp
+        Pf_xpath.Ast.pp_value value)
+    tv.constraints
+
+let pp fmt = function
+  | Absolute { tag; op; v } ->
+    Format.fprintf fmt "(p_%a,%a,%d)" pp_tagvar tag pp_op op v
+  | Relative { first; second; op; v } ->
+    Format.fprintf fmt "(d(p_%a,p_%a),%a,%d)" pp_tagvar first pp_tagvar second pp_op op v
+  | End_of_path { tag; v } -> Format.fprintf fmt "(p_%a-|,>=,%d)" pp_tagvar tag v
+  | Length { v } -> Format.fprintf fmt "(length,>=,%d)" v
+
+let pp_list fmt ps =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " |-> ")
+    pp fmt ps

@@ -1,0 +1,60 @@
+(** The predicate language of Section 3.2.
+
+    Each XPath expression is encoded as an {e ordered} list of predicates,
+    each a constraint over tag positions in a document path:
+
+    - {e absolute} [(p_t, op, v)]: tag [t] occurs at position [= v] (or
+      [>= v]);
+    - {e relative} [(d(p_t1, p_t2), op, v)]: tag [t2] occurs exactly (or at
+      least) [v] location steps after tag [t1];
+    - {e end-of-path} [(p_t⊣, >=, v)]: at least [v] steps follow tag [t];
+    - {e length-of-expression} [(length, >=, v)]: the document path has at
+      least [v] steps.
+
+    Tag variables may carry {e attribute constraints} (Section 5): a
+    predicate with constraints is matched only by tuples whose attributes
+    satisfy them. Predicates are compared structurally for interning in the
+    predicate index, so constraint lists are kept in a normal form (sorted). *)
+
+type op = Eq | Ge
+
+type attr_constraint = {
+  attr : string;
+  cmp : Pf_xpath.Ast.comparison;
+  value : Pf_xpath.Ast.value;
+}
+
+type tagvar = {
+  name : string;
+  constraints : attr_constraint list;  (** sorted; empty when unconstrained *)
+}
+
+type t =
+  | Absolute of { tag : tagvar; op : op; v : int }
+  | Relative of { first : tagvar; second : tagvar; op : op; v : int }
+  | End_of_path of { tag : tagvar; v : int }
+  | Length of { v : int }
+
+val tagvar : ?constraints:attr_constraint list -> string -> tagvar
+(** Builds a tag variable, normalizing the constraint list. *)
+
+val strip : t -> t
+(** The same predicate with all attribute constraints removed (used by the
+    selection-postponed mode, which stores positional predicates only). *)
+
+val constraints_of : t -> attr_constraint list * attr_constraint list
+(** Constraints of the (first, second) tag variables; for one-variable
+    predicates both components are that variable's constraints, for
+    [Length] both are empty. *)
+
+val has_constraints : t -> bool
+
+val check_constraints : attr_constraint list -> (string * string) list -> bool
+(** [check_constraints cs attrs] — all of [cs] hold on [attrs]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+(** Prints in the paper's notation, e.g. [(p_a,=,1) |-> (d(p_a,p_b),>=,1)]. *)

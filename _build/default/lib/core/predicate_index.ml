@@ -1,0 +1,238 @@
+type pid = int
+
+(* Per-operator arrays of pid lists, indexed by predicate value. A slot
+   holds a list because predicates sharing (tags, op, value) but differing
+   in attribute constraints are distinct. *)
+type slots = {
+  eq : pid list Vec.t;
+  ge : pid list Vec.t;
+}
+
+let make_slots () =
+  { eq = Vec.create ~dummy:[] (); ge = Vec.create ~dummy:[] () }
+
+let slot_vec slots (op : Predicate.op) =
+  match op with Predicate.Eq -> slots.eq | Predicate.Ge -> slots.ge
+
+type t = {
+  preds : Predicate.t Vec.t;  (* pid -> predicate *)
+  cons1 : Predicate.attr_constraint list Vec.t;  (* pid -> first-var constraints *)
+  cons2 : Predicate.attr_constraint list Vec.t;
+  absolute : (string, slots) Hashtbl.t;
+  relative : (string, (string, slots) Hashtbl.t) Hashtbl.t;
+  end_of_path : (string, pid list Vec.t) Hashtbl.t;
+  length_slots : pid list Vec.t;  (* value-indexed; op is always >= *)
+}
+
+let create () =
+  {
+    preds = Vec.create ~dummy:(Predicate.Length { v = 0 }) ();
+    cons1 = Vec.create ~dummy:[] ();
+    cons2 = Vec.create ~dummy:[] ();
+    absolute = Hashtbl.create 64;
+    relative = Hashtbl.create 64;
+    end_of_path = Hashtbl.create 64;
+    length_slots = Vec.create ~dummy:[] ();
+  }
+
+let predicate t pid = Vec.get t.preds pid
+
+let size t = Vec.length t.preds
+
+(* The value-indexed slot vector and value for a predicate. *)
+let locate t (p : Predicate.t) : pid list Vec.t * int =
+  match p with
+  | Predicate.Absolute { tag; op; v } ->
+    let slots =
+      match Hashtbl.find_opt t.absolute tag.name with
+      | Some s -> s
+      | None ->
+        let s = make_slots () in
+        Hashtbl.add t.absolute tag.name s;
+        s
+    in
+    slot_vec slots op, v
+  | Predicate.Relative { first; second; op; v } ->
+    let tbl2 =
+      match Hashtbl.find_opt t.relative first.name with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.add t.relative first.name tbl;
+        tbl
+    in
+    let slots =
+      match Hashtbl.find_opt tbl2 second.name with
+      | Some s -> s
+      | None ->
+        let s = make_slots () in
+        Hashtbl.add tbl2 second.name s;
+        s
+    in
+    slot_vec slots op, v
+  | Predicate.End_of_path { tag; v } ->
+    let vec =
+      match Hashtbl.find_opt t.end_of_path tag.name with
+      | Some vec -> vec
+      | None ->
+        let vec = Vec.create ~dummy:[] () in
+        Hashtbl.add t.end_of_path tag.name vec;
+        vec
+    in
+    vec, v
+  | Predicate.Length { v } -> t.length_slots, v
+
+let find t p =
+  let vec, v = locate t p in
+  if v >= Vec.length vec then None
+  else
+    List.find_opt (fun pid -> Predicate.equal (Vec.get t.preds pid) p) (Vec.get vec v)
+
+let intern t p =
+  let vec, v = locate t p in
+  Vec.ensure vec (v + 1);
+  match List.find_opt (fun pid -> Predicate.equal (Vec.get t.preds pid) p) (Vec.get vec v) with
+  | Some pid -> pid
+  | None ->
+    let pid = Vec.push t.preds p in
+    let c1, c2 = Predicate.constraints_of p in
+    let (_ : int) = Vec.push t.cons1 c1 in
+    let (_ : int) = Vec.push t.cons2 c2 in
+    Vec.set vec v (pid :: Vec.get vec v);
+    pid
+
+(* ------------------------------------------------------------------ *)
+(* Predicate matching                                                   *)
+
+(* Occurrence pairs are packed into single immediate ints ((o1 << 16) | o2)
+   so result lists are plain int lists: one cons cell per match, no tuple
+   boxes, and the chain search compares unboxed ints. Occurrence numbers
+   are bounded by the document path length, far below 2^16. *)
+let pack o1 o2 = (o1 lsl 16) lor o2
+
+let packed_first p = p lsr 16
+let packed_second p = p land 0xffff
+
+type results = {
+  mutable epoch : int;
+  mutable stamp : int array;  (* pid -> epoch of last match *)
+  mutable pairs : int list array;  (* pid -> packed occurrence pairs, reversed *)
+  mutable matched : int;  (* matched predicates this epoch *)
+}
+
+let create_results () = { epoch = 0; stamp = [||]; pairs = [||]; matched = 0 }
+
+let ensure_capacity res n =
+  if Array.length res.stamp < n then begin
+    let cap = max n (2 * Array.length res.stamp) in
+    let stamp = Array.make cap 0 and pairs = Array.make cap [] in
+    Array.blit res.stamp 0 stamp 0 (Array.length res.stamp);
+    Array.blit res.pairs 0 pairs 0 (Array.length res.pairs);
+    res.stamp <- stamp;
+    res.pairs <- pairs
+  end
+
+let record res pid packed =
+  if res.stamp.(pid) = res.epoch then res.pairs.(pid) <- packed :: res.pairs.(pid)
+  else begin
+    res.stamp.(pid) <- res.epoch;
+    res.pairs.(pid) <- [ packed ];
+    res.matched <- res.matched + 1
+  end
+
+let get_packed res pid =
+  if pid < Array.length res.stamp && res.stamp.(pid) = res.epoch then res.pairs.(pid)
+  else []
+
+let get res pid =
+  List.map (fun p -> packed_first p, packed_second p) (get_packed res pid)
+
+let is_matched res pid =
+  pid < Array.length res.stamp && res.stamp.(pid) = res.epoch
+
+let matched_count res = res.matched
+
+(* Check the attribute constraints of [pid]'s first/second variable against
+   tuple attributes. Unconstrained predicates skip the list traversal. *)
+let cons_ok t pid ~first ~second =
+  (match Vec.get t.cons1 pid with
+  | [] -> true
+  | cs -> Predicate.check_constraints cs first)
+  &&
+  match Vec.get t.cons2 pid with
+  | [] -> true
+  | cs -> Predicate.check_constraints cs second
+
+let run t res (pub : Publication.t) =
+  ensure_capacity res (Vec.length t.preds);
+  res.epoch <- res.epoch + 1;
+  res.matched <- 0;
+  let l = pub.Publication.length in
+  (* length-of-expression predicates: (length,>=,v) matches iff l >= v *)
+  let stop = min l (Vec.length t.length_slots - 1) in
+  for v = 1 to stop do
+    List.iter (fun pid -> record res pid (pack 0 0)) (Vec.get t.length_slots v)
+  done;
+  let tuples = pub.Publication.tuples in
+  let n = Array.length tuples in
+  for i = 0 to n - 1 do
+    let tu = tuples.(i) in
+    let o = tu.Publication.occurrence in
+    (* absolute predicates *)
+    (match Hashtbl.find_opt t.absolute tu.Publication.tag with
+    | None -> ()
+    | Some slots ->
+      let pos = tu.Publication.pos in
+      if pos < Vec.length slots.eq then
+        List.iter
+          (fun pid ->
+            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs then
+              record res pid (pack o o))
+          (Vec.get slots.eq pos);
+      let stop = min pos (Vec.length slots.ge - 1) in
+      for v = 1 to stop do
+        List.iter
+          (fun pid ->
+            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs then
+              record res pid (pack o o))
+          (Vec.get slots.ge v)
+      done);
+    (* end-of-path predicates: (p_t-|,>=,v) matches iff l - pos >= v *)
+    (match Hashtbl.find_opt t.end_of_path tu.Publication.tag with
+    | None -> ()
+    | Some vec ->
+      let stop = min (l - tu.Publication.pos) (Vec.length vec - 1) in
+      for v = 1 to stop do
+        List.iter
+          (fun pid ->
+            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs then
+              record res pid (pack o o))
+          (Vec.get vec v)
+      done);
+    (* relative predicates: pair this tuple with every later tuple *)
+    match Hashtbl.find_opt t.relative tu.Publication.tag with
+    | None -> ()
+    | Some tbl2 ->
+      for j = i + 1 to n - 1 do
+        let tu2 = tuples.(j) in
+        match Hashtbl.find_opt tbl2 tu2.Publication.tag with
+        | None -> ()
+        | Some slots ->
+          let d = tu2.Publication.pos - tu.Publication.pos in
+          let o2 = tu2.Publication.occurrence in
+          if d < Vec.length slots.eq then
+            List.iter
+              (fun pid ->
+                if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
+                then record res pid (pack o o2))
+              (Vec.get slots.eq d);
+          let stop = min d (Vec.length slots.ge - 1) in
+          for v = 1 to stop do
+            List.iter
+              (fun pid ->
+                if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
+                then record res pid (pack o o2))
+              (Vec.get slots.ge v)
+          done
+      done
+  done

@@ -1,0 +1,64 @@
+(** The predicate index (Section 4.1.2, Figure 1) and the predicate
+    matching stage (Section 4.1).
+
+    Distinct predicates are stored once and identified by dense integer
+    {e pids}. The index is staged: predicates are first dispatched on their
+    type, then hashed on tag name(s), then stored in per-operator arrays
+    indexed by the predicate value — insertion and exact lookup are
+    constant-time, and matching a publication touches exactly the array
+    slots its tuples can satisfy.
+
+    Matching results (the occurrence pairs of Section 4.2) are stored in a
+    reusable {!results} buffer; an epoch counter makes resets free so the
+    per-document cost is proportional to the number of {e matched}
+    predicates, not the number of stored ones. *)
+
+type pid = int
+
+type t
+
+val create : unit -> t
+
+val intern : t -> Predicate.t -> pid
+(** [intern idx p] returns the pid of [p], allocating one if [p] was not
+    yet stored. Structural identity includes attribute constraints. *)
+
+val find : t -> Predicate.t -> pid option
+(** Lookup without inserting. *)
+
+val predicate : t -> pid -> Predicate.t
+
+val size : t -> int
+(** Number of distinct predicates stored (the paper's Figure 10 reports
+    this count). *)
+
+(** {1 Predicate matching} *)
+
+type results
+
+val create_results : unit -> results
+
+val run : t -> results -> Publication.t -> unit
+(** Evaluate every stored predicate against the publication per the rules
+    of Section 4.1.1, recording occurrence pairs. Previous contents of
+    [results] are discarded (O(1)). Predicates with attribute constraints
+    only match tuples whose attributes satisfy them (inline evaluation). *)
+
+val get : results -> pid -> (int * int) list
+(** Matching occurrence pairs for [pid] in the last {!run}; [[]] if the
+    predicate was not matched. One-variable predicates duplicate the
+    occurrence ([(o, o)]); length predicates report [(0, 0)]. *)
+
+val get_packed : results -> pid -> int list
+(** Allocation-free variant of {!get}: each pair is packed as
+    [(o1 lsl 16) lor o2] (see {!packed_first}/{!packed_second}). The hot
+    path of the expression organizations uses this form. *)
+
+val packed_first : int -> int
+val packed_second : int -> int
+val pack : int -> int -> int
+
+val is_matched : results -> pid -> bool
+
+val matched_count : results -> int
+(** Number of predicates matched by the last {!run}. *)

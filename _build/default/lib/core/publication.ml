@@ -1,0 +1,42 @@
+type tuple = {
+  tag : string;
+  pos : int;
+  occurrence : int;
+  attrs : (string * string) list;
+}
+
+type t = {
+  length : int;
+  tuples : tuple array;
+  structure : int array;
+}
+
+let of_path (p : Pf_xml.Path.t) =
+  let n = Array.length p.Pf_xml.Path.steps in
+  let tuples =
+    Array.mapi
+      (fun i (s : Pf_xml.Path.step) ->
+        { tag = s.tag; pos = i + 1; occurrence = s.occurrence; attrs = s.attrs })
+      p.Pf_xml.Path.steps
+  in
+  { length = n; tuples; structure = Pf_xml.Path.structure p }
+
+let of_tags tags = of_path (Pf_xml.Path.of_tags tags)
+
+let pos_of_occurrence t ~tag ~occurrence =
+  let n = Array.length t.tuples in
+  let rec go i =
+    if i >= n then None
+    else
+      let tu = t.tuples.(i) in
+      if String.equal tu.tag tag && tu.occurrence = occurrence then Some tu.pos
+      else go (i + 1)
+  in
+  go 0
+
+let attrs_at t ~pos = t.tuples.(pos - 1).attrs
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>(length,%d)" t.length;
+  Array.iter (fun tu -> Format.fprintf fmt ", (%s^%d,%d)" tu.tag tu.occurrence tu.pos) t.tuples;
+  Format.fprintf fmt "@]"

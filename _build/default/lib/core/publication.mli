@@ -1,0 +1,36 @@
+(** Publications: the tuple encoding of document paths (Section 3.3).
+
+    A document path [e = (t1, ..., tn)] becomes the tuple set
+    [(length, n), (t1, 1), ..., (tn, n)], with each tag annotated with its
+    per-path {e occurrence number} (the paper's superscripts: how many times
+    the tag name has already appeared in this path). Attributes are kept on
+    each tuple for attribute-predicate evaluation, and the structure tuple
+    [<m1, ..., mn>] of Section 5 is carried along for nested path
+    matching. *)
+
+type tuple = {
+  tag : string;
+  pos : int;  (** 1-based position in the path *)
+  occurrence : int;  (** 1-based occurrence number of [tag] in the path *)
+  attrs : (string * string) list;
+}
+
+type t = {
+  length : int;
+  tuples : tuple array;  (** in position order; [tuples.(i).pos = i + 1] *)
+  structure : int array;  (** the structure tuple [<m1, ..., mn>] *)
+}
+
+val of_path : Pf_xml.Path.t -> t
+
+val of_tags : string list -> t
+(** Convenience for tests, mirroring the paper's examples
+    (e.g. [of_tags ["a";"b";"c";"a";"b";"c"]]). *)
+
+val pos_of_occurrence : t -> tag:string -> occurrence:int -> int option
+(** Position of the [occurrence]-th occurrence of [tag], if any — the
+    inverse annotation used to map occurrence chains back to depths. *)
+
+val attrs_at : t -> pos:int -> (string * string) list
+
+val pp : Format.formatter -> t -> unit

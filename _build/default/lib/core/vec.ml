@@ -1,0 +1,62 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 16) ~dummy () =
+  { data = Array.make (max capacity 1) dummy; len = 0; dummy }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (length %d)" i v.len)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow_to v capacity =
+  if capacity > Array.length v.data then begin
+    let cap = max capacity (2 * Array.length v.data) in
+    let data = Array.make cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  grow_to v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let ensure v n =
+  if n > v.len then begin
+    grow_to v n;
+    Array.fill v.data v.len (n - v.len) v.dummy;
+    v.len <- n
+  end
+
+let clear v =
+  Array.fill v.data 0 v.len v.dummy;
+  v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f init v =
+  let acc = ref init in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v = List.rev (fold_left (fun acc x -> x :: acc) [] v)

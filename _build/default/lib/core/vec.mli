@@ -1,0 +1,25 @@
+(** Growable arrays (OCaml 5.1 predates [Dynarray]).
+
+    Used for pid-indexed and sid-indexed tables that grow as expressions are
+    inserted. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused capacity; it is never observable through the API. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** [push v x] appends [x] and returns its index. *)
+
+val ensure : 'a t -> int -> unit
+(** [ensure v n] grows [v] with dummies so that indices [0 .. n-1] are
+    valid. *)
+
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list

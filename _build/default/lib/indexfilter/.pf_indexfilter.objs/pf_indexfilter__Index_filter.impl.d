@@ -1,0 +1,1 @@
+lib/indexfilter/index_filter.ml: Array Ast Eval Hashtbl List Parser Pf_xml Pf_xpath

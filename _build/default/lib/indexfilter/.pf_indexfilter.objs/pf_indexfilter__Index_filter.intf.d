@@ -1,0 +1,1 @@
+lib/indexfilter/index_filter.mli: Pf_xml Pf_xpath

@@ -1,0 +1,212 @@
+open Pf_xpath
+
+type qnode = {
+  axis : Ast.axis;
+  test : Ast.node_test;
+  filters : Ast.attr_filter list;  (* sorted, part of the sharing key *)
+  mutable sids : int list;
+  mutable children : qnode list;
+  (* per-document scratch, epoch-guarded *)
+  mutable visited : (int, unit) Hashtbl.t;
+  mutable visited_epoch : int;
+  mutable matched_epoch : int;  (* this node's sids have been reported *)
+  mutable done_epoch : int;  (* entire subtree matched: prune *)
+}
+
+type t = {
+  mutable roots : qnode list;
+  mutable n_exprs : int;
+  mutable n_nodes : int;
+  mutable sid_stamp : int array;
+  mutable doc_epoch : int;
+}
+
+let create () = { roots = []; n_exprs = 0; n_nodes = 0; sid_stamp = [||]; doc_epoch = 0 }
+
+let expression_count t = t.n_exprs
+let node_count t = t.n_nodes
+
+let attr_filters (s : Ast.step) =
+  List.sort compare
+    (List.filter_map
+       (function
+         | Ast.Attr f -> Some f
+         | Ast.Nested _ ->
+           invalid_arg "Index_filter.add: nested path filters are not supported")
+       s.Ast.filters)
+
+let add t (p : Ast.path) =
+  let sid = t.n_exprs in
+  t.n_exprs <- t.n_exprs + 1;
+  if Array.length t.sid_stamp < t.n_exprs then begin
+    let bigger = Array.make (max 16 (2 * Array.length t.sid_stamp)) 0 in
+    Array.blit t.sid_stamp 0 bigger 0 (Array.length t.sid_stamp);
+    t.sid_stamp <- bigger
+  end;
+  let fresh axis test filters =
+    t.n_nodes <- t.n_nodes + 1;
+    {
+      axis;
+      test;
+      filters;
+      sids = [];
+      children = [];
+      visited = Hashtbl.create 8;
+      visited_epoch = 0;
+      matched_epoch = 0;
+      done_epoch = 0;
+    }
+  in
+  let find_or_add get_set add_child axis test filters =
+    match
+      List.find_opt
+        (fun (n : qnode) -> n.axis = axis && n.test = test && n.filters = filters)
+        (get_set ())
+    with
+    | Some n -> n
+    | None ->
+      let n = fresh axis test filters in
+      add_child n;
+      n
+  in
+  let final =
+    match p.Ast.steps with
+    | [] -> invalid_arg "Index_filter.add: empty path"
+    | first :: rest ->
+      let first_axis =
+        if (not p.Ast.absolute) || first.Ast.axis = Ast.Descendant then Ast.Descendant
+        else Ast.Child
+      in
+      let node =
+        find_or_add
+          (fun () -> t.roots)
+          (fun n -> t.roots <- n :: t.roots)
+          first_axis first.Ast.test (attr_filters first)
+      in
+      List.fold_left
+        (fun (parent : qnode) (s : Ast.step) ->
+          find_or_add
+            (fun () -> parent.children)
+            (fun n -> parent.children <- n :: parent.children)
+            s.Ast.axis s.Ast.test (attr_filters s))
+        node rest
+  in
+  final.sids <- sid :: final.sids;
+  sid
+
+let add_string t s = add t (Parser.parse s)
+
+(* ------------------------------------------------------------------ *)
+(* Index streams: per tag, the pre-order list of structural intervals. *)
+
+type elem = {
+  start : int;
+  stop : int;
+  level : int;
+  attrs : (string * string) list;
+}
+
+type streams = {
+  by_tag : (string, elem array) Hashtbl.t;
+  all : elem array;  (* wildcards match any element *)
+}
+
+let build_streams (doc : Pf_xml.Tree.t) =
+  let counter = ref 0 in
+  let by_tag : (string, elem list ref) Hashtbl.t = Hashtbl.create 32 in
+  let all = ref [] in
+  let rec walk (e : Pf_xml.Tree.element) level =
+    let start = !counter in
+    incr counter;
+    List.iter (fun c -> walk c (level + 1)) (Pf_xml.Tree.element_children e);
+    let stop = !counter in
+    incr counter;
+    let attrs =
+      match Pf_xml.Tree.text_content e with
+      | "" -> e.Pf_xml.Tree.attrs
+      | txt -> e.Pf_xml.Tree.attrs @ [ "#text", txt ]
+    in
+    let el = { start; stop; level; attrs } in
+    (match Hashtbl.find_opt by_tag e.Pf_xml.Tree.tag with
+    | Some l -> l := el :: !l
+    | None -> Hashtbl.add by_tag e.Pf_xml.Tree.tag (ref [ el ]));
+    all := el :: !all
+  in
+  walk doc.Pf_xml.Tree.root 1;
+  let sort_stream l = Array.of_list (List.sort (fun a b -> compare a.start b.start) l) in
+  let by_tag' = Hashtbl.create (Hashtbl.length by_tag) in
+  Hashtbl.iter (fun tag l -> Hashtbl.add by_tag' tag (sort_stream !l)) by_tag;
+  { by_tag = by_tag'; all = sort_stream !all }
+
+let empty_stream = [||]
+
+let stream_of streams = function
+  | Ast.Wildcard -> streams.all
+  | Ast.Tag tag -> (
+    match Hashtbl.find_opt streams.by_tag tag with
+    | Some s -> s
+    | None -> empty_stream)
+
+(* First index whose start exceeds [x] (streams are sorted by start). *)
+let lower_bound (s : elem array) x =
+  let lo = ref 0 and hi = ref (Array.length s) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.(mid).start <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let filters_hold (e : elem) filters =
+  List.for_all (fun f -> Eval.attr_satisfies e.attrs f) filters
+
+let match_document t (doc : Pf_xml.Tree.t) =
+  t.doc_epoch <- t.doc_epoch + 1;
+  let epoch = t.doc_epoch in
+  let streams = build_streams doc in
+  let matches = ref [] in
+  let mark sid =
+    if t.sid_stamp.(sid) <> epoch then begin
+      t.sid_stamp.(sid) <- epoch;
+      matches := sid :: !matches
+    end
+  in
+  let rec explore (q : qnode) ~(parent : elem) =
+    if q.done_epoch <> epoch then begin
+      if q.visited_epoch <> epoch then begin
+        q.visited_epoch <- epoch;
+        Hashtbl.reset q.visited
+      end;
+      let stream = stream_of streams q.test in
+      let i = ref (lower_bound stream parent.start) in
+      let n = Array.length stream in
+      while !i < n && stream.(!i).start < parent.stop && q.done_epoch <> epoch do
+        let e = stream.(!i) in
+        incr i;
+        let level_ok =
+          match q.axis with
+          | Ast.Child -> e.level = parent.level + 1
+          | Ast.Descendant -> e.level > parent.level
+        in
+        if level_ok && (not (Hashtbl.mem q.visited e.start)) && filters_hold e q.filters
+        then begin
+          Hashtbl.add q.visited e.start ();
+          if q.sids <> [] && q.matched_epoch <> epoch then begin
+            q.matched_epoch <- epoch;
+            List.iter mark q.sids
+          end;
+          List.iter (fun c -> explore c ~parent:e) q.children;
+          (* stop working on this subtree once everything below matched *)
+          let self_done = q.sids = [] || q.matched_epoch = epoch in
+          let children_done =
+            List.for_all (fun (c : qnode) -> c.done_epoch = epoch) q.children
+          in
+          if self_done && children_done then q.done_epoch <- epoch
+        end
+      done
+    end
+  in
+  let virtual_root = { start = -1; stop = max_int; level = 0; attrs = [] } in
+  List.iter (fun q -> explore q ~parent:virtual_root) t.roots;
+  List.sort compare !matches
+
+let match_string t s = match_document t (Pf_xml.Sax.parse_document s)

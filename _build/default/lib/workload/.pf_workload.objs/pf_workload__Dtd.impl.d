@@ -1,0 +1,1 @@
+lib/workload/dtd.ml: Array Hashtbl List Printf

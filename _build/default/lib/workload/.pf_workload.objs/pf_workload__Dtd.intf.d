@@ -1,0 +1,1 @@
+lib/workload/dtd.mli: Hashtbl

@@ -1,0 +1,1 @@
+lib/workload/presets.ml: Printf Xml_gen Xpath_gen

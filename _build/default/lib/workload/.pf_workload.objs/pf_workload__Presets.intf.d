@@ -1,0 +1,1 @@
+lib/workload/presets.mli: Xml_gen Xpath_gen

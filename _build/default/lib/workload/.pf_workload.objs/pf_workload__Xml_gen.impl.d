@@ -1,0 +1,1 @@
+lib/workload/xml_gen.ml: Array Dtd List Pf_xml Random

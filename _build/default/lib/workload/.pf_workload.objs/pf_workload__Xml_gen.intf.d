@@ -1,0 +1,1 @@
+lib/workload/xml_gen.mli: Dtd Pf_xml

@@ -1,0 +1,1 @@
+lib/workload/xpath_gen.ml: Ast Dtd Hashtbl List Parser Pf_xpath Random

@@ -1,0 +1,1 @@
+lib/workload/xpath_gen.mli: Dtd Pf_xpath

@@ -1,0 +1,280 @@
+type element_decl = {
+  name : string;
+  children : string list;
+  attrs : (string * int) list;
+}
+
+type t = {
+  root : string;
+  decls : (string, element_decl) Hashtbl.t;
+  names : string array;
+}
+
+let make ~root decl_list =
+  let decls = Hashtbl.create (List.length decl_list) in
+  List.iter (fun d -> Hashtbl.replace decls d.name d) decl_list;
+  if not (Hashtbl.mem decls root) then
+    invalid_arg (Printf.sprintf "Dtd.make: undeclared root %S" root);
+  List.iter
+    (fun d ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem decls c) then
+            invalid_arg
+              (Printf.sprintf "Dtd.make: element %S references undeclared child %S"
+                 d.name c))
+        d.children)
+    decl_list;
+  { root; decls; names = Array.of_list (List.map (fun d -> d.name) decl_list) }
+
+let decl t name =
+  match Hashtbl.find_opt t.decls name with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Dtd.decl: unknown element %S" name)
+
+let element_names t = Array.to_list t.names
+
+let e ?(children = []) ?(attrs = []) name = { name; children; attrs }
+
+(* A news-industry-like DTD modeled on the public NITF structure: a wide
+   alphabet, documents branch early (head vs. body) so a random query walk
+   frequently commits to structure a given document does not instantiate —
+   the source of the paper's ~6% match rate on NITF workloads. *)
+let nitf_like () =
+  make ~root:"nitf"
+    [
+      (* children lists are ordered with structural containers first: the
+         document generator's skew parameter favors the head of the list,
+         keeping skewed documents deep while rarely instantiating the
+         leaf-heavy tail a uniform query walk still samples *)
+      e "nitf" ~children:[ "body"; "head" ] ~attrs:[ "version", 9; "change.date", 30 ];
+      e "head" ~children:[ "docdata"; "tobject"; "title"; "meta"; "pubdata"; "revision"; "iim"; "ds"; "rights" ]
+        ~attrs:[ "id", 99 ];
+      e "iim" ~children:[ "ds" ] ~attrs:[ "ver", 9 ];
+      e "ds" ~attrs:[ "num", 999; "value", 99 ];
+      e "rights" ~children:[ "rights.owner"; "rights.startdate"; "rights.enddate"; "rights.geography" ];
+      e "rights.owner" ~attrs:[ "contact", 99 ];
+      e "rights.startdate" ~attrs:[ "norm", 365 ];
+      e "rights.enddate" ~attrs:[ "norm", 365 ];
+      e "rights.geography" ~attrs:[ "location-code", 99 ];
+      e "title" ~attrs:[ "type", 4 ];
+      e "meta" ~attrs:[ "name", 49; "content", 99 ];
+      e "tobject" ~children:[ "tobject.property"; "tobject.subject" ]
+        ~attrs:[ "tobject.type", 9 ];
+      e "tobject.property" ~attrs:[ "tobject.property.type", 9 ];
+      e "tobject.subject" ~attrs:[ "tobject.subject.code", 99; "tobject.subject.type", 9 ];
+      e "docdata" ~children:[ "identified-content"; "key-list"; "doc-id"; "urgency"; "date.issue"; "date.release"; "doc.copyright"; "correction"; "evloc"; "doc-scope"; "series"; "ed-msg"; "du-key"; "doc.rights"; "fixture" ]
+        ~attrs:[ "management-status", 4 ];
+      e "evloc" ~attrs:[ "county-dist", 99; "iso-cc", 40 ];
+      e "doc-scope" ~attrs:[ "scope", 49 ];
+      e "ed-msg" ~attrs:[ "info", 99 ];
+      e "du-key" ~attrs:[ "generation", 9; "part", 9; "version", 9 ];
+      e "doc.rights" ~attrs:[ "owner", 49; "startdate", 365; "enddate", 365; "agent", 49 ];
+      e "fixture" ~attrs:[ "fix-id", 99 ];
+      e "doc-id" ~attrs:[ "id-string", 999; "regsrc", 9 ];
+      e "urgency" ~attrs:[ "ed-urg", 8 ];
+      e "date.issue" ~attrs:[ "norm", 365 ];
+      e "date.release" ~attrs:[ "norm", 365 ];
+      e "doc.copyright" ~attrs:[ "year", 40; "holder", 19 ];
+      e "key-list" ~children:[ "keyword" ];
+      e "keyword" ~attrs:[ "key", 199 ];
+      e "identified-content" ~children:[ "location"; "classifier"; "person"; "org"; "event"; "object.title"; "function"; "money"; "chron"; "num" ];
+      e "event" ~children:[ "location" ] ~attrs:[ "start-date", 365; "end-date", 365 ];
+      e "object.title" ~attrs:[ "idsrc", 9 ];
+      e "function" ~attrs:[ "idsrc", 9; "value", 99 ];
+      e "classifier" ~attrs:[ "type", 9; "value", 99 ];
+      e "location" ~children:[ "city"; "country"; "region"; "state"; "sublocation" ]
+        ~attrs:[ "location-code", 99 ];
+      e "city" ~attrs:[ "city-code", 99 ];
+      e "country" ~attrs:[ "iso-cc", 40 ];
+      e "region" ~attrs:[ "region-code", 99 ];
+      e "state" ~attrs:[ "state-code", 60 ];
+      e "sublocation" ~attrs:[ "code", 99 ];
+      e "person" ~children:[ "name.given"; "name.family"; "function" ] ~attrs:[ "idsrc", 9 ];
+      e "name.given" ~attrs:[ "id", 99 ];
+      e "name.family" ~attrs:[ "id", 99 ];
+      e "org" ~attrs:[ "idsrc", 9; "value", 99 ];
+      e "pubdata" ~attrs:[ "edition.area", 9; "item-length", 999 ];
+      e "revision" ~attrs:[ "norm", 365 ];
+      e "body" ~children:[ "body.head"; "body.content"; "body.end" ];
+      e "body.head" ~children:[ "hedline"; "byline"; "abstract"; "dateline"; "note"; "series" ];
+      e "hedline" ~children:[ "hl1"; "hl2" ];
+      e "hl1" ~attrs:[ "id", 99 ];
+      e "hl2" ~attrs:[ "id", 99 ];
+      e "note" ~children:[ "p" ] ~attrs:[ "noteclass", 4 ];
+      e "byline" ~children:[ "person" ] ~attrs:[ "id", 99 ];
+      e "dateline" ~children:[ "location" ];
+      e "abstract" ~children:[ "p" ];
+      e "series" ~attrs:[ "series.name", 19; "series.part", 9; "series.totalpart", 9 ];
+      e "body.content" ~children:[ "block"; "media"; "table"; "ol"; "ul"; "pre"; "bq"; "fn"; "hr" ];
+      e "block" ~children:[ "p"; "media"; "datasource"; "ol"; "ul"; "pre"; "bq"; "fn"; "table"; "ednote"; "correction"; "nitf-table" ]
+        ~attrs:[ "id", 99 ];
+      e "ednote" ~children:[ "p" ];
+      e "correction" ~attrs:[ "info", 99; "id-string", 999 ];
+      e "nitf-table" ~children:[ "nitf-table-metadata"; "table" ];
+      e "nitf-table-metadata" ~children:[ "nitf-col" ] ~attrs:[ "subclass", 9; "status", 3 ];
+      e "nitf-col" ~attrs:[ "value", 99; "occurrences", 20 ];
+      e "p" ~children:[ "em"; "q"; "lang"; "pronounce"; "num"; "money"; "chron"; "copyrite"; "virtloc"; "br"; "sup"; "sub"; "frac"; "person"; "location"; "org" ]
+        ~attrs:[ "lede", 1; "summary", 1; "optional-text", 1 ];
+      e "br" ;
+      e "sup" ~attrs:[ "id", 99 ];
+      e "sub" ~attrs:[ "id", 99 ];
+      e "frac" ~children:[ "frac-num"; "frac-den" ];
+      e "frac-num" ~attrs:[ "v", 99 ];
+      e "frac-den" ~attrs:[ "v", 99 ];
+      e "em" ~attrs:[ "class", 4 ];
+      e "q" ~attrs:[ "quote-source", 49 ];
+      e "lang" ~attrs:[ "iso-lang", 30 ];
+      e "pronounce" ~attrs:[ "guide", 19 ];
+      e "num" ~attrs:[ "units", 9; "decimals", 4 ];
+      e "money" ~attrs:[ "unit", 19; "date", 365 ];
+      e "chron" ~attrs:[ "norm", 365 ];
+      e "copyrite" ~children:[ "copyrite.year"; "copyrite.holder" ];
+      e "copyrite.year" ~attrs:[ "year", 40 ];
+      e "copyrite.holder" ~attrs:[ "id", 99 ];
+      e "virtloc" ~attrs:[ "idsrc", 9; "value", 99 ];
+      e "ol" ~children:[ "li" ] ~attrs:[ "seqnum", 20; "type", 4 ];
+      e "ul" ~children:[ "li" ];
+      e "li" ~children:[ "p" ] ~attrs:[ "id", 99 ];
+      e "pre" ~attrs:[ "id", 99 ];
+      e "bq" ~children:[ "block"; "credit" ] ~attrs:[ "nowrap", 1; "quote-source", 49 ];
+      e "credit" ~attrs:[ "id", 99 ];
+      e "fn" ~children:[ "p" ] ~attrs:[ "id", 99 ];
+      e "hr" ~attrs:[ "width", 800 ];
+      e "media" ~children:[ "media-reference"; "media-metadata"; "media-caption"; "media-producer" ]
+        ~attrs:[ "media-type", 5 ];
+      e "media-reference" ~attrs:[ "mime-type", 19; "source", 99; "height", 600; "width", 800 ];
+      e "media-metadata" ~attrs:[ "name", 49; "value", 99 ];
+      e "media-caption" ~children:[ "p" ];
+      e "media-producer" ~attrs:[ "idsrc", 9 ];
+      e "datasource" ~attrs:[ "id", 99 ];
+      e "table" ~children:[ "table-row" ] ~attrs:[ "width", 800; "border", 1 ];
+      e "table-row" ~children:[ "table-cell" ];
+      e "table-cell" ~attrs:[ "colspan", 5; "rowspan", 5 ];
+      e "body.end" ~children:[ "tagline"; "bibliography" ];
+      e "tagline" ~attrs:[ "type", 4 ];
+      e "bibliography" ~attrs:[ "idsrc", 9 ];
+    ]
+
+(* A protein-sequence-database-like DTD modeled on the public PIR-PSD
+   structure: a small alphabet of record fields that almost every entry
+   instantiates, so most random query walks are satisfied by most documents
+   — the source of the paper's ~75% match rate on PSD workloads. *)
+let psd_like () =
+  make ~root:"ProteinDatabase"
+    [
+      e "ProteinDatabase" ~children:[ "ProteinEntry" ];
+      e "ProteinEntry" ~children:[ "header"; "protein"; "organism"; "reference"; "genetics"; "sequence" ]
+        ~attrs:[ "id", 9999 ];
+      e "header" ~children:[ "uid"; "accession" ];
+      e "uid" ~attrs:[ "n", 9999 ];
+      e "accession" ~attrs:[ "n", 9999 ];
+      e "protein" ~children:[ "name"; "classification" ];
+      e "name" ~attrs:[ "n", 99 ];
+      e "classification" ~children:[ "superfamily" ];
+      e "superfamily" ~attrs:[ "n", 99 ];
+      e "organism" ~children:[ "source"; "common" ];
+      e "source" ~attrs:[ "n", 99 ];
+      e "common" ~attrs:[ "n", 99 ];
+      e "reference" ~children:[ "refinfo" ];
+      e "refinfo" ~children:[ "authors"; "citation"; "year"; "title" ] ~attrs:[ "refid", 999 ];
+      e "authors" ~children:[ "author" ];
+      e "author" ~attrs:[ "n", 999 ];
+      e "citation" ~attrs:[ "n", 99 ];
+      e "year" ~attrs:[ "v", 60 ];
+      e "title" ~attrs:[ "n", 99 ];
+      e "genetics" ~children:[ "gene" ];
+      e "gene" ~attrs:[ "n", 999 ];
+      e "sequence" ~attrs:[ "length", 2000 ];
+    ]
+
+(* An auction-site DTD modeled on the public XMark benchmark schema —
+   an intermediate regime between NITF and PSD: moderate alphabet,
+   recursive description markup, moderately selective workloads. *)
+let auction_like () =
+  make ~root:"site"
+    [
+      e "site"
+        ~children:[ "regions"; "categories"; "catgraph"; "people"; "open_auctions"; "closed_auctions" ];
+      e "regions" ~children:[ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ];
+      e "africa" ~children:[ "item" ];
+      e "asia" ~children:[ "item" ];
+      e "australia" ~children:[ "item" ];
+      e "europe" ~children:[ "item" ];
+      e "namerica" ~children:[ "item" ];
+      e "samerica" ~children:[ "item" ];
+      e "item" ~children:[ "location"; "quantity"; "name"; "payment"; "description"; "shipping"; "incategory"; "mailbox" ]
+        ~attrs:[ "id", 9999; "featured", 1 ];
+      e "location" ~attrs:[ "code", 200 ];
+      e "quantity" ~attrs:[ "n", 10 ];
+      e "name" ~attrs:[ "n", 999 ];
+      e "payment" ~attrs:[ "kind", 4 ];
+      e "description" ~children:[ "text"; "parlist" ];
+      e "text" ~children:[ "bold"; "keyword"; "emph" ];
+      e "bold" ~children:[ "keyword" ];
+      e "keyword" ~children:[ "emph" ] ~attrs:[ "k", 499 ];
+      e "emph" ~attrs:[ "k", 499 ];
+      e "parlist" ~children:[ "listitem" ];
+      e "listitem" ~children:[ "text"; "parlist" ];
+      e "shipping" ~attrs:[ "kind", 4 ];
+      e "incategory" ~attrs:[ "category", 999 ];
+      e "mailbox" ~children:[ "mail" ];
+      e "mail" ~children:[ "text" ] ~attrs:[ "date", 365 ];
+      e "categories" ~children:[ "category" ];
+      e "category" ~children:[ "name"; "description" ] ~attrs:[ "id", 999 ];
+      e "catgraph" ~children:[ "edge" ];
+      e "edge" ~attrs:[ "from", 999; "to", 999 ];
+      e "people" ~children:[ "person" ];
+      e "person" ~children:[ "name"; "emailaddress"; "phone"; "address"; "homepage"; "creditcard"; "profile"; "watches" ]
+        ~attrs:[ "id", 9999 ];
+      e "emailaddress" ~attrs:[ "n", 9999 ];
+      e "phone" ~attrs:[ "n", 9999 ];
+      e "address" ~children:[ "street"; "city"; "country"; "province"; "zipcode" ];
+      e "street" ~attrs:[ "n", 999 ];
+      e "city" ~attrs:[ "city-code", 99 ];
+      e "country" ~attrs:[ "iso-cc", 40 ];
+      e "province" ~attrs:[ "n", 99 ];
+      e "zipcode" ~attrs:[ "n", 99999 ];
+      e "homepage" ~attrs:[ "n", 999 ];
+      e "creditcard" ~attrs:[ "n", 9999 ];
+      e "profile" ~children:[ "interest"; "education"; "gender"; "business"; "age" ]
+        ~attrs:[ "income", 99999 ];
+      e "interest" ~attrs:[ "category", 999 ];
+      e "education" ~attrs:[ "level", 4 ];
+      e "gender" ~attrs:[ "g", 1 ];
+      e "business" ~attrs:[ "b", 1 ];
+      e "age" ~attrs:[ "years", 99 ];
+      e "watches" ~children:[ "watch" ];
+      e "watch" ~attrs:[ "open_auction", 9999 ];
+      e "open_auctions" ~children:[ "open_auction" ];
+      e "open_auction" ~children:[ "initial"; "reserve"; "bidder"; "current"; "privacy"; "itemref"; "seller"; "annotation"; "quantity"; "type"; "interval" ]
+        ~attrs:[ "id", 9999 ];
+      e "initial" ~attrs:[ "amount", 99999 ];
+      e "reserve" ~attrs:[ "amount", 99999 ];
+      e "bidder" ~children:[ "date"; "time"; "personref"; "increase" ];
+      e "date" ~attrs:[ "d", 365 ];
+      e "time" ~attrs:[ "t", 1439 ];
+      e "personref" ~attrs:[ "person", 9999 ];
+      e "increase" ~attrs:[ "amount", 9999 ];
+      e "current" ~attrs:[ "amount", 99999 ];
+      e "privacy" ~attrs:[ "p", 1 ];
+      e "itemref" ~attrs:[ "item", 9999 ];
+      e "seller" ~attrs:[ "person", 9999 ];
+      e "annotation" ~children:[ "author"; "description"; "happiness" ];
+      e "author" ~attrs:[ "person", 9999 ];
+      e "happiness" ~attrs:[ "h", 10 ];
+      e "type" ~attrs:[ "t", 3 ];
+      e "interval" ~children:[ "start"; "end" ];
+      e "start" ~attrs:[ "d", 365 ];
+      e "end" ~attrs:[ "d", 365 ];
+      e "closed_auctions" ~children:[ "closed_auction" ];
+      e "closed_auction" ~children:[ "seller"; "buyer"; "itemref"; "price"; "date"; "quantity"; "type"; "annotation" ];
+      e "buyer" ~attrs:[ "person", 9999 ];
+      e "price" ~attrs:[ "amount", 99999 ];
+    ]
+
+let by_name = function
+  | "nitf" | "NITF" -> Some (nitf_like ())
+  | "psd" | "PSD" -> Some (psd_like ())
+  | "auction" | "AUCTION" | "xmark" -> Some (auction_like ())
+  | _ -> None

@@ -1,0 +1,46 @@
+(** DTD models driving the workload generators.
+
+    A simplified document type: per element, the candidate child elements
+    and the integer-valued attributes it may carry. The two built-in DTDs
+    substitute for the real News Industry Text Format and Protein Sequence
+    Database DTDs the paper uses (not redistributable here, see DESIGN.md):
+    they preserve the characteristics the evaluation depends on —
+    {!nitf_like} has a large tag alphabet with deep, branchy, attribute-rich
+    structure (yielding highly selective expression workloads, ~6% matched),
+    {!psd_like} a small repetitive alphabet (yielding matching-heavy
+    workloads, ~75% matched). *)
+
+type element_decl = {
+  name : string;
+  children : string list;  (** candidate child element tags, possibly empty *)
+  attrs : (string * int) list;
+      (** attribute name and value bound; generated values are drawn
+          uniformly from [0..bound] *)
+}
+
+type t = {
+  root : string;
+  decls : (string, element_decl) Hashtbl.t;
+  names : string array;  (** all element names, in declaration order *)
+}
+
+val make : root:string -> element_decl list -> t
+(** Raises [Invalid_argument] if a child references an undeclared element
+    or the root is undeclared. *)
+
+val decl : t -> string -> element_decl
+val element_names : t -> string list
+
+val nitf_like : unit -> t
+(** News-like DTD: ~40 elements, depth ≥ 6, many attributes. *)
+
+val psd_like : unit -> t
+(** Protein-sequence-like DTD: ~16 elements, shallow repetitive records. *)
+
+val auction_like : unit -> t
+(** XMark-style auction-site DTD: ~55 elements with recursive description
+    markup — an intermediate regime between {!nitf_like} and {!psd_like}
+    (not used by the paper, provided for broader experimentation). *)
+
+val by_name : string -> t option
+(** ["nitf"], ["psd"] or ["auction"]. *)

@@ -1,0 +1,16 @@
+let nitf_documents =
+  { Xml_gen.default with Xml_gen.max_levels = 8; max_fanout = 4; skew = 0.95 }
+
+let psd_documents =
+  { Xml_gen.default with Xml_gen.max_levels = 8; max_fanout = 6; skew = 0. }
+
+let auction_documents =
+  { Xml_gen.default with Xml_gen.max_levels = 8; max_fanout = 4; skew = 0.5 }
+
+let documents_for = function
+  | "nitf" | "NITF" -> nitf_documents
+  | "psd" | "PSD" -> psd_documents
+  | "auction" | "AUCTION" | "xmark" -> auction_documents
+  | s -> invalid_arg (Printf.sprintf "Presets.documents_for: unknown DTD %S" s)
+
+let paper_queries = Xpath_gen.default

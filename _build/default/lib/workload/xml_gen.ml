@@ -1,0 +1,54 @@
+type params = {
+  max_levels : int;
+  max_fanout : int;
+  attr_prob : float;
+  skew : float;
+  text_prob : float;
+  seed : int;
+}
+
+let default =
+  { max_levels = 8; max_fanout = 4; attr_prob = 0.6; skew = 0.; text_prob = 0.; seed = 42 }
+
+(* Child selection: with probability [skew] draw from the first third of
+   the candidate list, otherwise uniformly. Skewed documents instantiate
+   rare DTD branches rarely while query walks sample uniformly, which is
+   what makes a workload selective (low match percentage). *)
+let pick_child rng ~skew (candidates : string array) =
+  let n = Array.length candidates in
+  if skew > 0. && Random.State.float rng 1.0 < skew then
+    candidates.(Random.State.int rng (max 1 (n / 3)))
+  else candidates.(Random.State.int rng n)
+
+let gen_attrs rng p (decl : Dtd.element_decl) =
+  List.filter_map
+    (fun (name, bound) ->
+      if Random.State.float rng 1.0 < p.attr_prob then
+        Some (name, string_of_int (Random.State.int rng (bound + 1)))
+      else None)
+    decl.Dtd.attrs
+
+let generate dtd p =
+  let rng = Random.State.make [| p.seed; 0x9e3779b9 |] in
+  let rec build name level =
+    let decl = Dtd.decl dtd name in
+    let attrs = gen_attrs rng p decl in
+    let children =
+      if level >= p.max_levels || decl.Dtd.children = [] then
+        if p.text_prob > 0. && Random.State.float rng 1.0 < p.text_prob then
+          [ Pf_xml.Tree.Text (string_of_int (Random.State.int rng 100)) ]
+        else []
+      else begin
+        let candidates = Array.of_list decl.Dtd.children in
+        let n = 1 + Random.State.int rng p.max_fanout in
+        List.init n (fun _ ->
+            let child = pick_child rng ~skew:p.skew candidates in
+            Pf_xml.Tree.Element (build child (level + 1)))
+      end
+    in
+    Pf_xml.Tree.element ~attrs ~children name
+  in
+  Pf_xml.Tree.doc (build dtd.Dtd.root 1)
+
+let generate_many dtd p n =
+  List.init n (fun i -> generate dtd { p with seed = p.seed + i })

@@ -1,0 +1,34 @@
+(** XML document generation from a DTD model.
+
+    Stands in for the IBM XML Generator the paper uses: documents are
+    random derivations from the DTD, bounded by [max_levels] (the paper
+    varies 6–10, consistent with expression length), with a random number
+    of children per element up to [max_fanout] and attributes emitted with
+    probability [attr_prob]. Generation is deterministic in [seed]. *)
+
+type params = {
+  max_levels : int;  (** maximum document depth (paper: 6–10) *)
+  max_fanout : int;  (** maximum element children per element *)
+  attr_prob : float;  (** probability each declared attribute is emitted *)
+  skew : float;
+      (** probability a child is drawn from the first third of its parent's
+          candidate list instead of uniformly; skewed documents instantiate
+          rare DTD branches rarely, making query workloads selective *)
+  text_prob : float;
+      (** probability a leaf element receives numeric text content (for
+          [text()] filter workloads; 0 by default, matching the paper's
+          structure-and-attribute experiments) *)
+  seed : int;
+}
+
+val default : params
+(** [{ max_levels = 8; max_fanout = 4; attr_prob = 0.6; skew = 0.;
+    text_prob = 0.; seed = 42 }] — tuned to the paper's reported document
+    shape (~140 tags, ~8.8 KB). *)
+
+val generate : Dtd.t -> params -> Pf_xml.Tree.t
+(** One random document. *)
+
+val generate_many : Dtd.t -> params -> int -> Pf_xml.Tree.t list
+(** [generate_many dtd p n] produces [n] documents (seeds
+    [p.seed, p.seed+1, ...]). *)

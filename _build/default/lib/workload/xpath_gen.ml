@@ -1,0 +1,169 @@
+open Pf_xpath
+
+type params = {
+  count : int;
+  max_depth : int;
+  wildcard_prob : float;
+  descendant_prob : float;
+  distinct : bool;
+  filters_per_path : int;
+  nested_prob : float;
+  seed : int;
+}
+
+let default =
+  {
+    count = 1000;
+    max_depth = 6;
+    wildcard_prob = 0.2;
+    descendant_prob = 0.2;
+    distinct = true;
+    filters_per_path = 0;
+    nested_prob = 0.;
+    seed = 7;
+  }
+
+let pick rng l =
+  match l with
+  | [] -> invalid_arg "Xpath_gen.pick: empty"
+  | l -> List.nth l (Random.State.int rng (List.length l))
+
+(* Random walk down the DTD starting below [from]; returns the tag
+   sequence (up to [len] tags) with a per-step flag telling whether the
+   step skipped levels (to pair with a descendant operator). *)
+let walk dtd rng ~from ~len ~descendant_prob =
+  let rec go current remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      let decl = Dtd.decl dtd current in
+      match decl.Dtd.children with
+      | [] -> List.rev acc
+      | children ->
+        let descend = Random.State.float rng 1.0 < descendant_prob in
+        let next = pick rng children in
+        (* a descendant operator may skip an extra level when possible *)
+        let next =
+          if descend && Random.State.bool rng then
+            match (Dtd.decl dtd next).Dtd.children with
+            | [] -> next
+            | grandchildren -> pick rng grandchildren
+          else next
+        in
+        go next (remaining - 1) ((next, descend) :: acc)
+  in
+  go from len []
+
+let gen_filters dtd rng ~per_path steps =
+  (* attach attribute filters to randomly chosen tag steps that declare
+     attributes *)
+  let candidates =
+    List.mapi (fun i s -> i, s) steps
+    |> List.filter_map (fun (i, (s : Ast.step)) ->
+           match s.Ast.test with
+           | Ast.Tag name when (Dtd.decl dtd name).Dtd.attrs <> [] -> Some i
+           | Ast.Tag _ | Ast.Wildcard -> None)
+  in
+  if candidates = [] then steps
+  else begin
+    let chosen = List.init per_path (fun _ -> pick rng candidates) in
+    List.mapi
+      (fun i (s : Ast.step) ->
+        let k = List.length (List.filter (( = ) i) chosen) in
+        if k = 0 then s
+        else begin
+          let name = match s.Ast.test with Ast.Tag n -> n | Ast.Wildcard -> assert false in
+          let attrs = (Dtd.decl dtd name).Dtd.attrs in
+          let filters =
+            List.init k (fun _ ->
+                let attr, bound = pick rng attrs in
+                let cmp =
+                  match Random.State.int rng 4 with
+                  | 0 | 1 -> Ast.Eq
+                  | 2 -> Ast.Ge
+                  | _ -> Ast.Le
+                in
+                let value = Ast.Int (Random.State.int rng (bound + 1)) in
+                Ast.Attr { Ast.attr; cmp; value })
+          in
+          { s with Ast.filters = s.Ast.filters @ filters }
+        end)
+      steps
+  end
+
+let gen_path dtd rng p ~allow_nested =
+  (* expression length biased long, as generated query workloads are *)
+  let len =
+    1 + max (Random.State.int rng p.max_depth) (Random.State.int rng p.max_depth)
+  in
+  let root = dtd.Dtd.root in
+  let root_descend = Random.State.float rng 1.0 < p.descendant_prob in
+  let tags = (root, root_descend) :: walk dtd rng ~from:root ~len:(len - 1) ~descendant_prob:p.descendant_prob in
+  let steps =
+    List.map
+      (fun (tag, descend) ->
+        let test =
+          if Random.State.float rng 1.0 < p.wildcard_prob then Ast.Wildcard
+          else Ast.Tag tag
+        in
+        let axis = if descend then Ast.Descendant else Ast.Child in
+        { Ast.axis; test; filters = [] })
+      tags
+  in
+  let steps =
+    if p.filters_per_path > 0 then gen_filters dtd rng ~per_path:p.filters_per_path steps
+    else steps
+  in
+  let steps =
+    if allow_nested && p.nested_prob > 0. then
+      List.map
+        (fun (s : Ast.step) ->
+          match s.Ast.test with
+          | Ast.Tag name when Random.State.float rng 1.0 < p.nested_prob ->
+            (* root the nested filter below this element *)
+            let nested_steps =
+              walk dtd rng ~from:name ~len:(1 + Random.State.int rng 2)
+                ~descendant_prob:p.descendant_prob
+              |> List.map (fun (tag, descend) ->
+                     {
+                       Ast.axis = (if descend then Ast.Descendant else Ast.Child);
+                       test = Ast.Tag tag;
+                       filters = [];
+                     })
+            in
+            if nested_steps = [] then s
+            else
+              {
+                s with
+                Ast.filters =
+                  Ast.Nested { Ast.absolute = false; steps = nested_steps } :: s.Ast.filters;
+              }
+          | Ast.Tag _ | Ast.Wildcard -> s)
+        steps
+    else steps
+  in
+  { Ast.absolute = true; steps }
+
+let generate dtd p =
+  let rng = Random.State.make [| p.seed; 0x51f15e |] in
+  if p.distinct then begin
+    let seen = Hashtbl.create (2 * p.count) in
+    let acc = ref [] and n = ref 0 and attempts = ref 0 in
+    let max_attempts = p.count * 40 in
+    while !n < p.count && !attempts < max_attempts do
+      incr attempts;
+      let path = gen_path dtd rng p ~allow_nested:true in
+      let key = Parser.to_string path in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        acc := path :: !acc;
+        incr n
+      end
+    done;
+    List.rev !acc
+  end
+  else List.init p.count (fun _ -> gen_path dtd rng p ~allow_nested:true)
+
+let distinct_count paths =
+  let seen = Hashtbl.create 1024 in
+  List.iter (fun p -> Hashtbl.replace seen (Parser.to_string p) ()) paths;
+  Hashtbl.length seen

@@ -1,0 +1,38 @@
+(** XPath expression workload generation.
+
+    Re-implements the parameterization of the XPath generator of Diao et
+    al. that the paper uses: expressions are random walks over the DTD
+    graph with maximum length [L = max_depth], each location step turned
+    into a wildcard with probability [W = wildcard_prob] and reached
+    through a descendant operator with probability [DO = descendant_prob];
+    the [distinct] flag selects deduplicated workloads (the paper's [D]).
+    Attribute filters ([filters_per_path] per expression, as in Section
+    6.4) compare a DTD-declared attribute of a tag step against a random
+    value; [nested_prob] optionally grafts nested path filters (the
+    Section 5 extension). Deterministic in [seed]. *)
+
+type params = {
+  count : int;
+  max_depth : int;  (** L; lengths are drawn in [1..L], biased long *)
+  wildcard_prob : float;  (** W *)
+  descendant_prob : float;  (** DO *)
+  distinct : bool;  (** D *)
+  filters_per_path : int;
+  nested_prob : float;  (** probability a tag step receives a nested filter *)
+  seed : int;
+}
+
+val default : params
+(** [count = 1000; max_depth = 6; wildcard_prob = 0.2;
+    descendant_prob = 0.2; distinct = true; filters_per_path = 0;
+    nested_prob = 0.; seed = 7] — the paper's Section 6.2 settings. *)
+
+val generate : Dtd.t -> params -> Pf_xpath.Ast.path list
+(** Generates [count] expressions. With [distinct = true] the result may be
+    shorter than [count] if the DTD cannot supply enough distinct
+    expressions under the given parameters (the generator gives up after a
+    bounded number of redraws); callers should check the length. *)
+
+val distinct_count : Pf_xpath.Ast.path list -> int
+(** Number of distinct expressions in a workload (the paper reports it for
+    the duplicate workloads). *)

@@ -1,0 +1,1 @@
+lib/xml/path.ml: Array Buffer Format Hashtbl List Sax String Tree

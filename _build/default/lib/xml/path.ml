@@ -1,0 +1,143 @@
+type step = {
+  tag : string;
+  attrs : (string * string) list;
+  occurrence : int;
+  child_index : int;
+}
+
+type t = { steps : step array }
+
+let length t = Array.length t.steps
+
+let tags t = Array.to_list (Array.map (fun s -> s.tag) t.steps)
+
+let structure t = Array.map (fun s -> s.child_index) t.steps
+
+(* Occurrence numbers are computed as the path is extended: [counts] maps a
+   tag name to how many times it already occurred on the current root-to-node
+   path. Counts are decremented on the way back up, so one table serves the
+   whole traversal. *)
+let of_document (doc : Tree.t) : t list =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump tag =
+    let n = (match Hashtbl.find_opt counts tag with Some n -> n | None -> 0) + 1 in
+    Hashtbl.replace counts tag n;
+    n
+  in
+  let unbump tag =
+    match Hashtbl.find_opt counts tag with
+    | Some 1 -> Hashtbl.remove counts tag
+    | Some n -> Hashtbl.replace counts tag (n - 1)
+    | None -> assert false
+  in
+  let paths = ref [] in
+  let rec walk (e : Tree.element) child_index prefix =
+    let occurrence = bump e.Tree.tag in
+    (* text content rides along as the reserved pseudo-attribute #text, so
+       text() filters evaluate through the ordinary attribute machinery *)
+    let attrs =
+      match Tree.text_content e with
+      | "" -> e.Tree.attrs
+      | txt -> e.Tree.attrs @ [ "#text", txt ]
+    in
+    let step = { tag = e.Tree.tag; attrs; occurrence; child_index } in
+    let prefix = step :: prefix in
+    (match Tree.element_children e with
+    | [] -> paths := { steps = Array.of_list (List.rev prefix) } :: !paths
+    | children ->
+      List.iteri (fun i c -> walk c (i + 1) prefix) children);
+    unbump e.Tree.tag
+  in
+  walk doc.Tree.root 1 [];
+  List.rev !paths
+
+(* Streaming extraction: maintain the open-element stack; a path is
+   complete when an element containing no child elements closes. The stack
+   carries each open element's step plus its running element-child count
+   (the next child's child_index). *)
+type open_element = {
+  oe_step : step;
+  mutable oe_children : int;  (* element children seen so far *)
+  oe_text : Buffer.t;  (* immediate text seen so far *)
+}
+
+let fold_of_string src ~init ~f =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump tag =
+    let n = (match Hashtbl.find_opt counts tag with Some n -> n | None -> 0) + 1 in
+    Hashtbl.replace counts tag n;
+    n
+  in
+  let unbump tag =
+    match Hashtbl.find_opt counts tag with
+    | Some 1 -> Hashtbl.remove counts tag
+    | Some n -> Hashtbl.replace counts tag (n - 1)
+    | None -> assert false
+  in
+  let stack : open_element list ref = ref [] in
+  (* Text seen so far becomes the #text pseudo-attribute. For ancestors
+     with mixed content this covers only the text preceding the branch
+     point — text() on non-leaf steps is best-effort in streaming mode
+     (see the interface). *)
+  let finalize oe =
+    match String.trim (Buffer.contents oe.oe_text) with
+    | "" -> oe.oe_step
+    | txt -> { oe.oe_step with attrs = oe.oe_step.attrs @ [ "#text", txt ] }
+  in
+  let emit acc =
+    let steps = List.rev_map finalize !stack in
+    f acc { steps = Array.of_list steps }
+  in
+  let on_event acc = function
+    | Sax.Start_element (tag, attrs) ->
+      let child_index =
+        match !stack with
+        | [] -> 1
+        | parent :: _ ->
+          parent.oe_children <- parent.oe_children + 1;
+          parent.oe_children
+      in
+      let step = { tag; attrs; occurrence = bump tag; child_index } in
+      stack := { oe_step = step; oe_children = 0; oe_text = Buffer.create 8 } :: !stack;
+      acc
+    | Sax.End_element _ -> (
+      match !stack with
+      | [] -> acc
+      | top :: rest ->
+        let acc = if top.oe_children = 0 then emit acc else acc in
+        unbump top.oe_step.tag;
+        stack := rest;
+        acc)
+    | Sax.Chars s -> (
+      match !stack with
+      | top :: _ ->
+        Buffer.add_string top.oe_text s;
+        acc
+      | [] -> acc)
+    | Sax.Comment _ | Sax.Pi _ -> acc
+  in
+  Sax.fold_events src ~init ~f:on_event
+
+let of_string src =
+  List.rev (fold_of_string src ~init:[] ~f:(fun acc p -> p :: acc))
+
+let of_tags tag_list =
+  let counts = Hashtbl.create 8 in
+  let steps =
+    List.map
+      (fun tag ->
+        let n = (match Hashtbl.find_opt counts tag with Some n -> n | None -> 0) + 1 in
+        Hashtbl.replace counts tag n;
+        { tag; attrs = []; occurrence = n; child_index = 1 })
+      tag_list
+  in
+  { steps = Array.of_list steps }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>";
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Format.pp_print_string fmt "/";
+      Format.fprintf fmt "%s^%d" s.tag s.occurrence)
+    t.steps;
+  Format.fprintf fmt "@]"

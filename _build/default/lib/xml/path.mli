@@ -1,0 +1,53 @@
+(** Root-to-leaf document paths.
+
+    The filtering algorithms of the paper operate on the set of root-to-leaf
+    element paths of a document (Section 3.1). Each step records the tag, its
+    attributes, its per-path {e occurrence number} (how many times this tag
+    name has appeared in the path so far, used by the occurrence
+    determination algorithm) and its {e child index} (the structure tuple
+    entry [m_k] of Section 5: this element is the [m_k]-th element child of
+    its parent, used for nested path filters). *)
+
+type step = {
+  tag : string;
+  attrs : (string * string) list;
+      (** attributes in document order; the element's (trimmed) immediate
+          text content, if any, is appended as the reserved
+          pseudo-attribute [#text], through which [text()] filters are
+          evaluated *)
+  occurrence : int;  (** 1-based occurrence number of [tag] within the path *)
+  child_index : int;  (** 1-based index among parent's element children; 1 for the root *)
+}
+
+type t = { steps : step array }
+
+val of_document : Tree.t -> t list
+(** All root-to-leaf element paths in document order. A document with a
+    single element yields one path of length 1. *)
+
+val fold_of_string : string -> init:'a -> f:('a -> t -> 'a) -> 'a
+(** Extract paths directly from XML text, one at a time as their leaves
+    close, without materializing the document tree — the paper's SAX
+    pipeline ("we use a SAX parser and extract one path at a time").
+    Paths are visited in document order. Raises {!Sax.Parse_error}. *)
+
+val of_string : string -> t list
+(** [of_string s = fold_of_string s ~init:[] ~f:(fun acc p -> p :: acc)
+    |> List.rev]; agrees with [of_document (Sax.parse_document s)], except
+    that for mixed-content {e ancestors} the streaming [#text] covers only
+    the text preceding the emitted leaf (a leaf's own text is always
+    complete). *)
+
+val length : t -> int
+
+val tags : t -> string list
+(** Tag names in root-to-leaf order. *)
+
+val structure : t -> int array
+(** The structure tuple [<m_1, ..., m_n>] of Section 5. *)
+
+val of_tags : string list -> t
+(** Build a bare path from tag names (no attributes, child indices all 1);
+    convenience for tests mirroring the paper's examples. *)
+
+val pp : Format.formatter -> t -> unit

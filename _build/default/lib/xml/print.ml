@@ -1,0 +1,54 @@
+let escape buf ~quote s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quote -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~quote:false s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  escape buf ~quote:true s;
+  Buffer.contents buf
+
+let to_string ?(decl = true) (doc : Tree.t) =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  let rec emit_element (e : Tree.element) =
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.Tree.tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        escape buf ~quote:true v;
+        Buffer.add_char buf '"')
+      e.Tree.attrs;
+    match e.Tree.children with
+    | [] -> Buffer.add_string buf "/>"
+    | children ->
+      Buffer.add_char buf '>';
+      List.iter emit_node children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.Tree.tag;
+      Buffer.add_char buf '>'
+  and emit_node = function
+    | Tree.Element e -> emit_element e
+    | Tree.Text s -> escape buf ~quote:false s
+  in
+  emit_element doc.Tree.root;
+  Buffer.contents buf
+
+let to_file ?decl path doc =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?decl doc);
+  close_out oc

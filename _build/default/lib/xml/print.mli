@@ -1,0 +1,18 @@
+(** XML serialization.
+
+    Produces well-formed XML that {!Sax.parse_document} parses back to an
+    equal tree (modulo whitespace-only text nodes); the workload generator
+    uses it to materialize documents. *)
+
+val escape_text : string -> string
+(** Escape ampersand and angle brackets for use in character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and double quotes for use in a
+    double-quoted attribute value. *)
+
+val to_string : ?decl:bool -> Tree.t -> string
+(** Serialize a document. [decl] (default [true]) prepends an XML
+    declaration. *)
+
+val to_file : ?decl:bool -> string -> Tree.t -> unit

@@ -1,0 +1,332 @@
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Chars of string
+  | Comment of string
+  | Pi of string
+
+type position = { line : int; column : int }
+
+exception Parse_error of position * string
+
+let pp_position fmt p = Format.fprintf fmt "line %d, column %d" p.line p.column
+
+(* Mutable cursor over the input string. Line/column are tracked for error
+   messages only and updated lazily when an error is raised. *)
+type cursor = { src : string; mutable pos : int }
+
+let position_of cur =
+  let line = ref 1 and col = ref 1 in
+  let stop = min cur.pos (String.length cur.src) in
+  for i = 0 to stop - 1 do
+    if cur.src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  { line = !line; column = !col }
+
+let fail cur msg = raise (Parse_error (position_of cur, msg))
+
+let eof cur = cur.pos >= String.length cur.src
+
+let peek cur = if eof cur then '\000' else cur.src.[cur.pos]
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space cur =
+  while (not (eof cur)) && is_space (peek cur) do
+    advance cur
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c
+  || match c with '0' .. '9' | '-' | '.' -> true | _ -> false
+
+let read_name cur =
+  if not (is_name_start (peek cur)) then fail cur "expected a name";
+  let start = cur.pos in
+  while (not (eof cur)) && is_name_char (peek cur) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let expect cur c =
+  if peek cur <> c then fail cur (Printf.sprintf "expected %C" c);
+  advance cur
+
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = s
+
+(* Find [needle] from the current position; returns the index of its first
+   character or fails. *)
+let find_str cur needle =
+  let n = String.length needle and len = String.length cur.src in
+  let rec go i =
+    if i + n > len then fail cur (Printf.sprintf "unterminated construct, expected %S" needle)
+    else if String.sub cur.src i n = needle then i
+    else go (i + 1)
+  in
+  go cur.pos
+
+let decode_entity cur buf =
+  (* cursor is positioned just after '&' *)
+  let stop = find_str cur ";" in
+  let name = String.sub cur.src cur.pos (stop - cur.pos) in
+  cur.pos <- stop + 1;
+  match name with
+  | "lt" -> Buffer.add_char buf '<'
+  | "gt" -> Buffer.add_char buf '>'
+  | "amp" -> Buffer.add_char buf '&'
+  | "apos" -> Buffer.add_char buf '\''
+  | "quot" -> Buffer.add_char buf '"'
+  | _ ->
+    if String.length name > 1 && name.[0] = '#' then begin
+      let code =
+        try
+          if name.[1] = 'x' || name.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+          else int_of_string (String.sub name 1 (String.length name - 1))
+        with Failure _ -> fail cur (Printf.sprintf "bad character reference &%s;" name)
+      in
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else begin
+        (* UTF-8 encode *)
+        if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else if code < 0x10000 then begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+      end
+    end
+    else fail cur (Printf.sprintf "unknown entity &%s;" name)
+
+let read_attr_value cur =
+  let quote = peek cur in
+  if quote <> '"' && quote <> '\'' then fail cur "expected quoted attribute value";
+  advance cur;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof cur then fail cur "unterminated attribute value"
+    else
+      let c = peek cur in
+      if c = quote then advance cur
+      else if c = '&' then begin
+        advance cur;
+        decode_entity cur buf;
+        go ()
+      end
+      else if c = '<' then fail cur "'<' in attribute value"
+      else begin
+        Buffer.add_char buf c;
+        advance cur;
+        go ()
+      end
+  in
+  go ();
+  Buffer.contents buf
+
+let read_attributes cur =
+  let rec go acc =
+    skip_space cur;
+    match peek cur with
+    | '>' | '/' | '?' -> List.rev acc
+    | _ ->
+      let name = read_name cur in
+      skip_space cur;
+      expect cur '=';
+      skip_space cur;
+      let value = read_attr_value cur in
+      go ((name, value) :: acc)
+  in
+  go []
+
+(* Skip a DOCTYPE declaration, including an internal subset in brackets. *)
+let skip_doctype cur =
+  let rec go depth =
+    if eof cur then fail cur "unterminated DOCTYPE"
+    else
+      match peek cur with
+      | '[' ->
+        advance cur;
+        go (depth + 1)
+      | ']' ->
+        advance cur;
+        go (depth - 1)
+      | '>' when depth = 0 -> advance cur
+      | '"' | '\'' ->
+        let q = peek cur in
+        advance cur;
+        let stop = find_str cur (String.make 1 q) in
+        cur.pos <- stop + 1;
+        go depth
+      | _ ->
+        advance cur;
+        go depth
+  in
+  go 0
+
+let read_text cur =
+  let buf = Buffer.create 32 in
+  let rec go () =
+    if eof cur then ()
+    else
+      let c = peek cur in
+      if c = '<' then ()
+      else if c = '&' then begin
+        advance cur;
+        decode_entity cur buf;
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        advance cur;
+        go ()
+      end
+  in
+  go ();
+  Buffer.contents buf
+
+let fold_events src ~init ~f =
+  let cur = { src; pos = 0 } in
+  let acc = ref init in
+  let emit ev = acc := f !acc ev in
+  let stack = ref [] in
+  let rec loop () =
+    if eof cur then ()
+    else if peek cur = '<' then begin
+      advance cur;
+      (match peek cur with
+      | '?' ->
+        advance cur;
+        let stop = find_str cur "?>" in
+        emit (Pi (String.sub cur.src cur.pos (stop - cur.pos)));
+        cur.pos <- stop + 2
+      | '!' ->
+        advance cur;
+        if looking_at cur "--" then begin
+          cur.pos <- cur.pos + 2;
+          let stop = find_str cur "-->" in
+          emit (Comment (String.sub cur.src cur.pos (stop - cur.pos)));
+          cur.pos <- stop + 3
+        end
+        else if looking_at cur "[CDATA[" then begin
+          cur.pos <- cur.pos + 7;
+          let stop = find_str cur "]]>" in
+          emit (Chars (String.sub cur.src cur.pos (stop - cur.pos)));
+          cur.pos <- stop + 3
+        end
+        else if looking_at cur "DOCTYPE" then begin
+          cur.pos <- cur.pos + 7;
+          skip_doctype cur
+        end
+        else fail cur "unexpected markup declaration"
+      | '/' ->
+        advance cur;
+        let name = read_name cur in
+        skip_space cur;
+        expect cur '>';
+        (match !stack with
+        | top :: rest when String.equal top name ->
+          stack := rest;
+          emit (End_element name)
+        | top :: _ ->
+          fail cur (Printf.sprintf "mismatched end tag </%s>, expected </%s>" name top)
+        | [] -> fail cur (Printf.sprintf "unexpected end tag </%s>" name))
+      | _ ->
+        let name = read_name cur in
+        let attrs = read_attributes cur in
+        skip_space cur;
+        if peek cur = '/' then begin
+          advance cur;
+          expect cur '>';
+          emit (Start_element (name, attrs));
+          emit (End_element name)
+        end
+        else begin
+          expect cur '>';
+          stack := name :: !stack;
+          emit (Start_element (name, attrs))
+        end);
+      loop ()
+    end
+    else begin
+      let text = read_text cur in
+      if text <> "" then emit (Chars text);
+      loop ()
+    end
+  in
+  loop ();
+  (match !stack with
+  | [] -> ()
+  | top :: _ -> fail cur (Printf.sprintf "unclosed element <%s>" top));
+  !acc
+
+let is_blank s = String.for_all is_space s
+
+type builder = {
+  b_tag : string;
+  b_attrs : (string * string) list;
+  mutable b_children : Tree.node list;  (* reversed *)
+}
+
+let parse_document src =
+  (* Stack of open elements being built; [root] is set when the outermost
+     element closes. *)
+  let stack : builder list ref = ref [] in
+  let root : Tree.element option ref = ref None in
+  let cur_for_errors = { src; pos = String.length src } in
+  let finish (b : builder) : Tree.element =
+    { Tree.tag = b.b_tag; attrs = b.b_attrs; children = List.rev b.b_children }
+  in
+  let on_event () ev =
+    match ev with
+    | Start_element (tag, attrs) ->
+      if !root <> None && !stack = [] then
+        fail cur_for_errors "content after the root element";
+      stack := { b_tag = tag; b_attrs = attrs; b_children = [] } :: !stack
+    | End_element _ -> (
+      match !stack with
+      | b :: rest ->
+        stack := rest;
+        let e = finish b in
+        (match rest with
+        | parent :: _ -> parent.b_children <- Tree.Element e :: parent.b_children
+        | [] -> root := Some e)
+      | [] -> assert false)
+    | Chars s -> (
+      match !stack with
+      | parent :: _ when not (is_blank s) ->
+        parent.b_children <- Tree.Text s :: parent.b_children
+      | _ -> ())
+    | Comment _ | Pi _ -> ()
+  in
+  fold_events src ~init:() ~f:on_event;
+  match !root with
+  | Some e -> { Tree.root = e }
+  | None -> fail cur_for_errors "no root element"
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_document s

@@ -1,0 +1,36 @@
+(** Streaming (SAX-style) XML parser.
+
+    A small, dependency-free parser covering the XML subset the filtering
+    workloads exercise: elements, attributes (single or double quoted),
+    character data, CDATA sections, comments, processing instructions, a
+    DOCTYPE declaration (skipped, including an internal subset) and the five
+    predefined entities plus numeric character references.
+
+    The parser reports events in document order; [parse_document] folds the
+    events into a {!Tree.t}. Errors carry a line/column position. *)
+
+type event =
+  | Start_element of string * (string * string) list
+  | End_element of string
+  | Chars of string  (** character data; adjacent runs may be split *)
+  | Comment of string
+  | Pi of string  (** processing instruction, raw content *)
+
+type position = { line : int; column : int }
+
+exception Parse_error of position * string
+(** Raised on malformed input. *)
+
+val pp_position : Format.formatter -> position -> unit
+
+val fold_events : string -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** [fold_events s ~init ~f] parses the XML document in [s], calling [f] on
+    each event in document order. Raises {!Parse_error} on malformed input.
+    Verifies that start and end tags balance. *)
+
+val parse_document : string -> Tree.t
+(** Parse a complete document into a tree. Whitespace-only text between
+    elements is dropped; other text is kept. Raises {!Parse_error}. *)
+
+val parse_file : string -> Tree.t
+(** [parse_file path] reads and parses the file at [path]. *)

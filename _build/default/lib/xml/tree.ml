@@ -1,0 +1,74 @@
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+}
+
+type t = { root : element }
+
+let element ?(attrs = []) ?(children = []) tag = { tag; attrs; children }
+
+let doc root = { root }
+
+let attr e name = List.assoc_opt name e.attrs
+
+let text_content e =
+  let buf = Buffer.create 16 in
+  List.iter
+    (function
+      | Text s -> Buffer.add_string buf s
+      | Element _ -> ())
+    e.children;
+  String.trim (Buffer.contents buf)
+
+let element_children e =
+  List.filter_map (function Element c -> Some c | Text _ -> None) e.children
+
+let is_leaf e = element_children e = []
+
+let count_elements t =
+  let rec count e = List.fold_left (fun acc c -> acc + count c) 1 (element_children e) in
+  count t.root
+
+let depth t =
+  let rec go e =
+    match element_children e with
+    | [] -> 1
+    | cs -> 1 + List.fold_left (fun acc c -> max acc (go c)) 0 cs
+  in
+  go t.root
+
+let rec equal_element e1 e2 =
+  String.equal e1.tag e2.tag
+  && e1.attrs = e2.attrs
+  && List.length e1.children = List.length e2.children
+  && List.for_all2 equal_node e1.children e2.children
+
+and equal_node n1 n2 =
+  match n1, n2 with
+  | Element e1, Element e2 -> equal_element e1 e2
+  | Text t1, Text t2 -> String.equal t1 t2
+  | Element _, Text _ | Text _, Element _ -> false
+
+let equal t1 t2 = equal_element t1.root t2.root
+
+let rec pp_element fmt e =
+  match e.children with
+  | [] -> Format.fprintf fmt "@[<h><%s%a/>@]" e.tag pp_attrs e.attrs
+  | cs ->
+    Format.fprintf fmt "@[<v 2><%s%a>%a@]@,</%s>" e.tag pp_attrs e.attrs
+      (fun fmt -> List.iter (fun c -> Format.fprintf fmt "@,%a" pp_node c))
+      cs e.tag
+
+and pp_attrs fmt attrs =
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%S" k v) attrs
+
+and pp_node fmt = function
+  | Element e -> pp_element fmt e
+  | Text s -> Format.pp_print_string fmt s
+
+let pp fmt t = Format.fprintf fmt "@[<v>%a@]" pp_element t.root

@@ -1,0 +1,47 @@
+(** In-memory XML document model.
+
+    A document is a tree of elements; each element carries a tag name, an
+    association list of attributes and an ordered list of child nodes. Text
+    nodes are retained (the filtering algorithms ignore them, but the
+    serializer and the reference evaluator keep documents faithful). *)
+
+type node =
+  | Element of element
+  | Text of string
+
+and element = {
+  tag : string;  (** element name, namespace prefixes kept verbatim *)
+  attrs : (string * string) list;  (** attributes in document order *)
+  children : node list;  (** child nodes in document order *)
+}
+
+type t = { root : element }
+
+val element : ?attrs:(string * string) list -> ?children:node list -> string -> element
+(** [element tag] builds an element; convenience constructor for tests and
+    generators. *)
+
+val doc : element -> t
+
+val attr : element -> string -> string option
+(** [attr e name] is the value of attribute [name] on [e], if present. *)
+
+val text_content : element -> string
+(** Concatenation of the element's immediate text children, trimmed —
+    the value [text()] filters compare against. *)
+
+val element_children : element -> element list
+(** Child nodes that are elements, in document order. *)
+
+val is_leaf : element -> bool
+(** [is_leaf e] is true iff [e] has no element children. *)
+
+val count_elements : t -> int
+(** Total number of elements in the document (the paper reports documents of
+    ~140 tags on average). *)
+
+val depth : t -> int
+(** Length of the longest root-to-leaf element path. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Array Ast List Path Pf_xml String Tree

@@ -1,0 +1,84 @@
+type axis = Child | Descendant
+
+type value = Int of int | Str of string
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type attr_filter = { attr : string; cmp : comparison; value : value }
+
+(* reserved attribute name carrying element text content; '#' cannot occur
+   in a parsed attribute name, so it never collides with user attributes *)
+let text_attr = "#text"
+
+type node_test = Tag of string | Wildcard
+
+type step = { axis : axis; test : node_test; filters : filter list }
+
+and filter = Attr of attr_filter | Nested of path
+
+and path = { absolute : bool; steps : step list }
+
+let step ?(axis = Child) ?(filters = []) test = { axis; test; filters }
+
+let path ?(absolute = false) steps = { absolute; steps }
+
+let rec is_single_path p = List.for_all step_is_single p.steps
+
+and step_is_single s =
+  List.for_all (function Attr _ -> true | Nested _ -> false) s.filters
+
+let rec has_attr_filters p = List.exists step_has_attr p.steps
+
+and step_has_attr s =
+  List.exists
+    (function Attr _ -> true | Nested p -> has_attr_filters p)
+    s.filters
+
+let num_steps p = List.length p.steps
+
+let tag_steps p =
+  List.length (List.filter (fun s -> match s.test with Tag _ -> true | Wildcard -> false) p.steps)
+
+let equal (p1 : path) (p2 : path) = p1 = p2
+
+let compare (p1 : path) (p2 : path) = Stdlib.compare p1 p2
+
+let pp_comparison fmt cmp =
+  Format.pp_print_string fmt
+    (match cmp with
+    | Eq -> "="
+    | Ne -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">=")
+
+let pp_value fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Str s -> Format.fprintf fmt "%S" s
+
+let rec pp fmt (p : path) =
+  List.iteri
+    (fun i s ->
+      let sep =
+        match s.axis, i, p.absolute with
+        | Child, 0, false -> ""
+        | Child, 0, true -> "/"
+        | Child, _, _ -> "/"
+        | Descendant, _, _ -> "//"
+      in
+      Format.fprintf fmt "%s%a" sep pp_step s)
+    p.steps
+
+and pp_step fmt s =
+  (match s.test with
+  | Tag t -> Format.pp_print_string fmt t
+  | Wildcard -> Format.pp_print_char fmt '*');
+  List.iter (fun f -> Format.fprintf fmt "[%a]" pp_filter f) s.filters
+
+and pp_filter fmt = function
+  | Attr { attr; cmp; value } when String.equal attr text_attr ->
+    Format.fprintf fmt "text() %a %a" pp_comparison cmp pp_value value
+  | Attr { attr; cmp; value } ->
+    Format.fprintf fmt "@@%s %a %a" attr pp_comparison cmp pp_value value
+  | Nested p -> pp fmt p

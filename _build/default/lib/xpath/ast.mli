@@ -1,0 +1,67 @@
+(** Abstract syntax of the XPath subset used for filtering.
+
+    The paper's filter language (Sections 3 and 5): location paths built from
+    the child ([/]) and descendant ([//]) axes, name tests and wildcards
+    ([*]), attribute-based filters ([\[@a op v\]]) and nested path filters
+    ([\[p\]]).
+
+    A top-level path is either {e absolute} (written with a leading [/] or
+    [//]) or {e relative}; following the paper's matching semantics a
+    relative path matches anywhere in a document path, i.e. it behaves like
+    an absolute path whose first step uses the descendant axis. *)
+
+type axis =
+  | Child  (** [/] — exactly one location step down *)
+  | Descendant  (** [//] — one or more location steps down *)
+
+type value =
+  | Int of int
+  | Str of string
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type attr_filter = { attr : string; cmp : comparison; value : value }
+
+val text_attr : string
+(** The reserved attribute name (["#text"]) through which [text()] content
+    filters are represented and evaluated; it cannot collide with parsed
+    attribute names. *)
+
+type node_test =
+  | Tag of string
+  | Wildcard
+
+type step = { axis : axis; test : node_test; filters : filter list }
+
+and filter =
+  | Attr of attr_filter
+  | Nested of path
+      (** nested path filter, evaluated relative to the containing node;
+          [absolute] is meaningless here and always [false] *)
+
+and path = {
+  absolute : bool;  (** written with a leading [/] or [//] *)
+  steps : step list;  (** non-empty *)
+}
+
+val step : ?axis:axis -> ?filters:filter list -> node_test -> step
+val path : ?absolute:bool -> step list -> path
+
+val is_single_path : path -> bool
+(** True iff the path contains no nested path filters (attribute filters are
+    allowed). The core engine's basic pipeline handles single paths; nested
+    paths go through the decomposition of Section 5. *)
+
+val has_attr_filters : path -> bool
+
+val num_steps : path -> int
+
+val tag_steps : path -> int
+(** Number of steps whose test is a tag name (not a wildcard). *)
+
+val equal : path -> path -> bool
+val compare : path -> path -> int
+val pp : Format.formatter -> path -> unit
+
+val pp_comparison : Format.formatter -> comparison -> unit
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,121 @@
+open Pf_xml
+
+let cmp_holds cmp c =
+  match cmp with
+  | Ast.Eq -> c = 0
+  | Ast.Ne -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+let attr_satisfies attrs { Ast.attr; cmp; value } =
+  match List.assoc_opt attr attrs with
+  | None -> false
+  | Some v -> (
+    match value with
+    | Ast.Int n -> (
+      match int_of_string_opt (String.trim v) with
+      | Some m -> cmp_holds cmp (compare m n)
+      | None -> false)
+    | Ast.Str s -> cmp_holds cmp (String.compare v s))
+
+let rec descendants (e : Tree.element) =
+  List.concat_map
+    (fun c -> c :: descendants c)
+    (Tree.element_children e)
+
+(* Deduplicate by physical identity, preserving first-occurrence order.
+   Quadratic, acceptable for an oracle over small documents. *)
+let dedup_phys nodes =
+  let rec go seen = function
+    | [] -> List.rev seen
+    | n :: rest -> if List.memq n seen then go seen rest else go (n :: seen) rest
+  in
+  go [] nodes
+
+let test_holds test (e : Tree.element) =
+  match test with
+  | Ast.Wildcard -> true
+  | Ast.Tag t -> String.equal t e.Tree.tag
+
+let rec step_selects (s : Ast.step) (e : Tree.element) =
+  test_holds s.Ast.test e && List.for_all (filter_holds e) s.Ast.filters
+
+and filter_holds e = function
+  | Ast.Attr f when String.equal f.Ast.attr Ast.text_attr -> (
+    (* text() filter: compare against the element's immediate content *)
+    match Tree.text_content e with
+    | "" -> false
+    | txt -> attr_satisfies [ Ast.text_attr, txt ] f)
+  | Ast.Attr f -> attr_satisfies e.Tree.attrs f
+  | Ast.Nested p -> eval_nested e p <> []
+
+(* [run ctx steps]: [ctx] holds the nodes matched by the previous step; each
+   step expands by its own axis and filters by its test. *)
+and run ctx = function
+  | [] -> ctx
+  | (s : Ast.step) :: rest ->
+    let candidates =
+      match s.Ast.axis with
+      | Ast.Child -> List.concat_map Tree.element_children ctx
+      | Ast.Descendant -> List.concat_map descendants ctx
+    in
+    let selected = dedup_phys (List.filter (step_selects s) candidates) in
+    if selected = [] then [] else run selected rest
+
+and eval_nested containing (p : Ast.path) = run [ containing ] p.Ast.steps
+
+let select (p : Ast.path) (doc : Tree.t) =
+  match p.Ast.steps with
+  | [] -> []
+  | first :: rest ->
+    let candidates =
+      if p.Ast.absolute && first.Ast.axis = Ast.Child then [ doc.Tree.root ]
+      else doc.Tree.root :: descendants doc.Tree.root
+    in
+    let selected = dedup_phys (List.filter (step_selects first) candidates) in
+    if selected = [] then [] else run selected rest
+
+let matches p doc = select p doc <> []
+
+let matches_doc_path (p : Ast.path) (dp : Path.t) =
+  if not (Ast.is_single_path p) then
+    invalid_arg "Eval.matches_doc_path: nested path filters not supported";
+  let n = Array.length dp.Path.steps in
+  let ok_at (s : Ast.step) i =
+    let st = dp.Path.steps.(i - 1) in
+    test_holds s.Ast.test { Tree.tag = st.Path.tag; attrs = st.Path.attrs; children = [] }
+    && List.for_all
+         (function
+           | Ast.Attr f -> attr_satisfies st.Path.attrs f
+           | Ast.Nested _ -> assert false)
+         s.Ast.filters
+  in
+  (* [place prev steps]: can the remaining steps be placed at positions
+     strictly after [prev]? Child forces position [prev + 1]; Descendant
+     allows any later position. *)
+  let rec place prev = function
+    | [] -> true
+    | (s : Ast.step) :: rest -> (
+      match s.Ast.axis with
+      | Ast.Child ->
+        let i = prev + 1 in
+        i <= n && ok_at s i && place i rest
+      | Ast.Descendant ->
+        let rec try_at i =
+          if i > n then false
+          else if ok_at s i && place i rest then true
+          else try_at (i + 1)
+        in
+        try_at (prev + 1))
+  in
+  match p.Ast.steps with
+  | [] -> false
+  | first :: rest ->
+    let first =
+      (* a relative path matches anywhere: its first step behaves like a
+         descendant step from the virtual position 0 *)
+      if p.Ast.absolute then first else { first with Ast.axis = Ast.Descendant }
+    in
+    place 0 (first :: rest)

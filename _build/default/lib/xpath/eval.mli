@@ -1,0 +1,29 @@
+(** Reference XPath evaluator — the correctness oracle.
+
+    A direct, unoptimized implementation of the matching semantics every
+    engine in this repository must agree with: an XPE matches a document iff
+    its evaluation over the document tree yields a non-empty node set
+    (Section 3.1). Relative paths match starting at any element (the
+    filtering convention), nested path filters are evaluated relative to
+    their containing node, and attribute filters compare attribute values
+    (numerically when the filter value is an integer and the attribute
+    parses as one, as strings otherwise). *)
+
+val select : Ast.path -> Pf_xml.Tree.t -> Pf_xml.Tree.element list
+(** All elements selected by the path, in document order, without
+    duplicates (physical identity). *)
+
+val matches : Ast.path -> Pf_xml.Tree.t -> bool
+(** [matches p doc] iff [select p doc] is non-empty. *)
+
+val matches_doc_path : Ast.path -> Pf_xml.Path.t -> bool
+(** Match a {e single-path} XPE against one document path (tag sequence plus
+    attributes). This is the per-path semantics the predicate engine
+    implements; [matches p doc] for a single-path [p] is the disjunction of
+    [matches_doc_path p e] over the root-to-leaf paths [e] of [doc].
+
+    @raise Invalid_argument if [p] contains nested path filters. *)
+
+val attr_satisfies : (string * string) list -> Ast.attr_filter -> bool
+(** [attr_satisfies attrs f] checks one attribute filter against an
+    attribute list (exposed for the engines' attribute predicate code). *)

@@ -1,0 +1,183 @@
+exception Error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg =
+  raise (Error (Printf.sprintf "%s at offset %d in %S" msg cur.pos cur.src))
+
+let eof cur = cur.pos >= String.length cur.src
+
+let peek cur = if eof cur then '\000' else cur.src.[cur.pos]
+
+let peek2 cur =
+  if cur.pos + 1 >= String.length cur.src then '\000' else cur.src.[cur.pos + 1]
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_space cur =
+  while (not (eof cur)) && (peek cur = ' ' || peek cur = '\t') do
+    advance cur
+  done
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let read_name cur =
+  let start = cur.pos in
+  while (not (eof cur)) && is_name_char (peek cur) do
+    advance cur
+  done;
+  if cur.pos = start then fail cur "expected a name";
+  String.sub cur.src start (cur.pos - start)
+
+(* Leading axis before a step: "/" is Child, "//" is Descendant. *)
+let read_axis cur =
+  if peek cur = '/' then begin
+    advance cur;
+    if peek cur = '/' then begin
+      advance cur;
+      Ast.Descendant
+    end
+    else Ast.Child
+  end
+  else fail cur "expected '/' or '//'"
+
+let read_comparison cur =
+  skip_space cur;
+  match peek cur with
+  | '=' ->
+    advance cur;
+    Ast.Eq
+  | '!' ->
+    advance cur;
+    if peek cur = '=' then begin
+      advance cur;
+      Ast.Ne
+    end
+    else fail cur "expected '!='"
+  | '<' ->
+    advance cur;
+    if peek cur = '=' then begin
+      advance cur;
+      Ast.Le
+    end
+    else Ast.Lt
+  | '>' ->
+    advance cur;
+    if peek cur = '=' then begin
+      advance cur;
+      Ast.Ge
+    end
+    else Ast.Gt
+  | _ -> fail cur "expected a comparison operator"
+
+let read_value cur =
+  skip_space cur;
+  match peek cur with
+  | '"' | '\'' ->
+    let quote = peek cur in
+    advance cur;
+    let start = cur.pos in
+    while (not (eof cur)) && peek cur <> quote do
+      advance cur
+    done;
+    if eof cur then fail cur "unterminated string literal";
+    let s = String.sub cur.src start (cur.pos - start) in
+    advance cur;
+    Ast.Str s
+  | '-' | '0' .. '9' ->
+    let start = cur.pos in
+    if peek cur = '-' then advance cur;
+    while (not (eof cur)) && match peek cur with '0' .. '9' -> true | _ -> false do
+      advance cur
+    done;
+    let s = String.sub cur.src start (cur.pos - start) in
+    (try Ast.Int (int_of_string s) with Failure _ -> fail cur "bad integer literal")
+  | _ -> fail cur "expected a value (integer or quoted string)"
+
+let rec read_steps cur ~first_axis =
+  let first = read_step cur ~axis:first_axis in
+  let rec go acc =
+    skip_space cur;
+    if peek cur = '/' then begin
+      let axis = read_axis cur in
+      let s = read_step cur ~axis in
+      go (s :: acc)
+    end
+    else List.rev acc
+  in
+  go [ first ]
+
+and read_step cur ~axis =
+  skip_space cur;
+  let test =
+    if peek cur = '*' then begin
+      advance cur;
+      Ast.Wildcard
+    end
+    else Ast.Tag (read_name cur)
+  in
+  let rec filters acc =
+    skip_space cur;
+    if peek cur = '[' then begin
+      advance cur;
+      let f = read_filter cur in
+      skip_space cur;
+      if peek cur <> ']' then fail cur "expected ']'";
+      advance cur;
+      filters (f :: acc)
+    end
+    else List.rev acc
+  in
+  { Ast.axis; test; filters = filters [] }
+
+and looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = s
+
+and read_filter cur =
+  skip_space cur;
+  if peek cur = '@' then begin
+    advance cur;
+    let attr = read_name cur in
+    let cmp = read_comparison cur in
+    let value = read_value cur in
+    Ast.Attr { attr; cmp; value }
+  end
+  else if looking_at cur "text()" then begin
+    (* content filter: evaluated through the reserved #text attribute *)
+    cur.pos <- cur.pos + 6;
+    let cmp = read_comparison cur in
+    let value = read_value cur in
+    Ast.Attr { attr = Ast.text_attr; cmp; value }
+  end
+  else begin
+    (* nested path filter, relative to the containing node; an optional
+       leading "//" selects descendants *)
+    let first_axis =
+      if peek cur = '/' && peek2 cur = '/' then begin
+        advance cur;
+        advance cur;
+        Ast.Descendant
+      end
+      else Ast.Child
+    in
+    let steps = read_steps cur ~first_axis in
+    Ast.Nested { absolute = false; steps }
+  end
+
+let parse src =
+  let cur = { src; pos = 0 } in
+  skip_space cur;
+  if eof cur then fail cur "empty expression";
+  let absolute = peek cur = '/' in
+  let first_axis = if absolute then read_axis cur else Ast.Child in
+  let steps = read_steps cur ~first_axis in
+  skip_space cur;
+  if not (eof cur) then fail cur "trailing characters";
+  { Ast.absolute; steps }
+
+let parse_opt src = try Some (parse src) with Error _ -> None
+
+let to_string p = Format.asprintf "%a" Ast.pp p

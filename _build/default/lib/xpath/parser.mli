@@ -1,0 +1,30 @@
+(** Parser for the XPath filter subset.
+
+    Grammar (whitespace allowed between tokens):
+    {v
+      path    ::= ("/" | "//")? steps
+      steps   ::= step (("/" | "//") step)*
+      step    ::= ("*" | NAME) filter*
+      filter  ::= "[" ( "@" NAME cmp value | nested ) "]"
+      nested  ::= "//"? steps            (relative to the containing node)
+      cmp     ::= "=" | "!=" | "<" | "<=" | ">" | ">="
+      value   ::= INTEGER | '"' chars '"' | "'" chars "'"
+      NAME    ::= XML name (letters, digits, "_", "-", ".", ":")
+    v}
+
+    A shorthand attribute existence filter [\[@a\]] is accepted and parsed
+    as [\[@a != ""\]] is {e not} supported — the paper's filters always
+    compare; use an explicit comparison. *)
+
+exception Error of string
+(** Raised with a human-readable message on malformed input. *)
+
+val parse : string -> Ast.path
+(** Parse an XPath expression. Raises {!Error}. *)
+
+val parse_opt : string -> Ast.path option
+(** [parse_opt s] is [Some p] on success, [None] on a parse error. *)
+
+val to_string : Ast.path -> string
+(** Print a path in a form [parse] accepts ([parse (to_string p)] equals
+    [p] up to the absolute/descendant normalization noted in {!Ast}). *)

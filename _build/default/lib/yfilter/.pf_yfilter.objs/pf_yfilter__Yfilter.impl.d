@@ -1,0 +1,1 @@
+lib/yfilter/yfilter.ml: Array Ast Eval Hashtbl List Parser Pf_xml Pf_xpath

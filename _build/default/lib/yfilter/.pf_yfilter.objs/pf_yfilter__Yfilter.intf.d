@@ -1,0 +1,1 @@
+lib/yfilter/yfilter.mli: Pf_xml Pf_xpath

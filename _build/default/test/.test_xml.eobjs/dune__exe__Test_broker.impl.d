@@ -1,0 +1,1 @@
+test/test_broker.ml: Alcotest Broker Gen_helpers List Pf_broker Pf_xml QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Containment Gen_helpers List Pf_core Pf_xpath Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest List Pf_core Pf_indexfilter Pf_xml Pf_xpath Pf_yfilter Printf

@@ -1,0 +1,1 @@
+test/test_encoder.ml: Alcotest Array Encoder Format Fun Gen_helpers List Pf_core Pf_xpath Predicate QCheck2 QCheck_alcotest String

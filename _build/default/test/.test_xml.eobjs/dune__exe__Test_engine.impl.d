@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Encoder Engine Expr_index Gen_helpers List Pf_core Pf_xml Pf_xpath Printf QCheck2 QCheck_alcotest String

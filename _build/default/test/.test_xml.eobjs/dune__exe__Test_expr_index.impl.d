@@ -1,0 +1,1 @@
+test/test_expr_index.ml: Alcotest Array Encoder Expr_index Fun Gen Gen_helpers List Occurrence Option Pf_core Predicate_index Publication QCheck2 QCheck_alcotest String Test

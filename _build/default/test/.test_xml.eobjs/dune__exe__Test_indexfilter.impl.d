@@ -1,0 +1,1 @@
+test/test_indexfilter.ml: Alcotest Gen_helpers List Pf_core Pf_indexfilter Pf_xpath QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dtd Hashtbl List Pf_core Pf_indexfilter Pf_workload Pf_xml Pf_xpath Pf_yfilter Presets Printf Xml_gen Xpath_gen

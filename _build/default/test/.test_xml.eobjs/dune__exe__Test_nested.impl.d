@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Encoder Engine Gen_helpers List Nested Pf_core Pf_workload Pf_xml Pf_xpath Predicate_index QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_occurrence.ml: Alcotest Array Gen_helpers List Occurrence Pf_core QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_predicate_index.ml: Alcotest Array Encoder Format Gen Gen_helpers List Pf_core Pf_xml Pf_xpath Predicate Predicate_index Publication QCheck2 QCheck_alcotest String Test

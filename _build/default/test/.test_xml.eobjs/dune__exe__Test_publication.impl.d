@@ -1,0 +1,1 @@
+test/test_publication.ml: Alcotest Array Format Gen_helpers List Pf_core Pf_xml Publication QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Format List Pf_core Pf_xpath Predicate Predicate_index Printf QCheck2 QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dtd List Pf_core Pf_workload Pf_xml Pf_xpath Presets Printf Xml_gen Xpath_gen

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Bytes Gen Gen_helpers List Path Pf_xml Print Printf QCheck2 QCheck_alcotest Sax String Test Tree

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Ast Eval Gen Gen_helpers List Parser Pf_xml Pf_xpath Printf QCheck2 QCheck_alcotest String Test

@@ -1,0 +1,1 @@
+test/test_yfilter.ml: Alcotest Gen_helpers List Pf_core Pf_xpath Pf_yfilter QCheck2 QCheck_alcotest String

@@ -1,0 +1,111 @@
+(* Shared QCheck generators for property tests.
+
+   A deliberately small tag alphabet (a..e) maximizes collisions: repeated
+   tags on one path exercise occurrence numbers, and overlapping query
+   fragments exercise predicate sharing. *)
+
+open QCheck2
+
+let tag_gen = Gen.oneofl [ "a"; "b"; "c"; "d"; "e" ]
+
+let attr_name_gen = Gen.oneofl [ "x"; "y"; "z" ]
+
+let attr_value_gen = Gen.map string_of_int (Gen.int_range 0 5)
+
+(* ------------------------------------------------------------------ *)
+(* Documents *)
+
+let rec element_gen ~depth ~fanout =
+  let open Gen in
+  tag_gen >>= fun tag ->
+  list_size (int_range 0 2)
+    (pair attr_name_gen attr_value_gen)
+  >>= fun attrs ->
+  let attrs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) attrs in
+  (if depth <= 1 then return []
+   else
+     list_size (int_range 0 fanout)
+       (map (fun e -> Pf_xml.Tree.Element e) (element_gen ~depth:(depth - 1) ~fanout)))
+  >>= fun children ->
+  (* leaf elements may carry numeric text, exercising text() filters;
+     leaves only, so streaming and tree path extraction agree exactly *)
+  (if children = [] then
+     frequency
+       [ 2, return children;
+         1, map (fun v -> [ Pf_xml.Tree.Text (string_of_int v) ]) (int_range 0 5) ]
+   else return children)
+  >>= fun children -> return (Pf_xml.Tree.element ~attrs ~children tag)
+
+let doc_gen =
+  Gen.(int_range 1 5 >>= fun depth -> map Pf_xml.Tree.doc (element_gen ~depth ~fanout:3))
+
+let doc_print d = Pf_xml.Print.to_string ~decl:false d
+
+(* ------------------------------------------------------------------ *)
+(* XPath expressions *)
+
+let comparison_gen = Gen.oneofl Pf_xpath.Ast.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let attr_filter_gen =
+  let open Gen in
+  frequency [ 3, attr_name_gen; 1, return Pf_xpath.Ast.text_attr ] >>= fun attr ->
+  comparison_gen >>= fun cmp ->
+  int_range 0 5 >>= fun v ->
+  return (Pf_xpath.Ast.Attr { Pf_xpath.Ast.attr; cmp; value = Pf_xpath.Ast.Int v })
+
+let rec step_gen ~nested_depth ~allow_filters =
+  let open Gen in
+  oneofl Pf_xpath.Ast.[ Child; Child; Child; Descendant ] >>= fun axis ->
+  frequency [ 4, map (fun t -> Pf_xpath.Ast.Tag t) tag_gen; 1, return Pf_xpath.Ast.Wildcard ]
+  >>= fun test ->
+  (match test with
+  | Pf_xpath.Ast.Wildcard -> return []
+  | Pf_xpath.Ast.Tag _ when allow_filters ->
+    let nested =
+      if nested_depth > 0 then
+        [ ( 1,
+            map
+              (fun p -> Pf_xpath.Ast.Nested p)
+              (relative_path_gen ~nested_depth:(nested_depth - 1) ~allow_filters) ) ]
+      else []
+    in
+    list_size (int_range 0 1) (frequency ((3, attr_filter_gen) :: nested))
+  | Pf_xpath.Ast.Tag _ -> return [])
+  >>= fun filters -> return { Pf_xpath.Ast.axis; test; filters }
+
+and relative_path_gen ~nested_depth ~allow_filters =
+  let open Gen in
+  list_size (int_range 1 3) (step_gen ~nested_depth ~allow_filters) >>= fun steps ->
+  return { Pf_xpath.Ast.absolute = false; steps }
+
+let path_gen_with ~nested_depth ~allow_filters =
+  let open Gen in
+  bool >>= fun absolute ->
+  list_size (int_range 1 5) (step_gen ~nested_depth ~allow_filters) >>= fun steps ->
+  return { Pf_xpath.Ast.absolute; steps }
+
+let single_path_gen = path_gen_with ~nested_depth:0 ~allow_filters:false
+
+let single_path_attr_gen = path_gen_with ~nested_depth:0 ~allow_filters:true
+
+let any_path_gen = path_gen_with ~nested_depth:2 ~allow_filters:true
+
+let path_print p = Pf_xpath.Parser.to_string p
+
+(* ------------------------------------------------------------------ *)
+
+(* Occurrence-pair result sets for the occurrence determination tests. *)
+let results_gen =
+  let open Gen in
+  let pair_gen = pair (int_range 1 4) (int_range 1 4) in
+  list_size (int_range 1 5) (list_size (int_range 0 4) pair_gen)
+  >>= fun rs -> return (Array.of_list rs)
+
+let results_print rs =
+  String.concat " | "
+    (Array.to_list
+       (Array.map
+          (fun l ->
+            String.concat ","
+              (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) l))
+          rs))

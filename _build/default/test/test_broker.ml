@@ -1,0 +1,182 @@
+(* Tests for the dissemination broker. *)
+
+open Pf_broker
+
+let doc = Pf_xml.Sax.parse_document "<a><b n=\"1\"><c/></b><d/></a>"
+
+let delivery_names ds = List.map (fun d -> d.Broker.subscriber) ds
+
+let test_basic_delivery () =
+  let b = Broker.create () in
+  let _ = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe b ~subscriber:"bob" "/a/x" in
+  let _ = Broker.subscribe b ~subscriber:"carol" "b[@n = 1]" in
+  let ds = Broker.publish b doc in
+  Alcotest.(check (list string)) "subscribers" [ "alice"; "carol" ] (delivery_names ds)
+
+let test_delivery_via () =
+  let b = Broker.create () in
+  let s1 = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  let s2 = Broker.subscribe b ~subscriber:"alice" "/a/d" in
+  let _s3 = Broker.subscribe b ~subscriber:"alice" "/a/x" in
+  match Broker.publish b doc with
+  | [ { Broker.subscriber = "alice"; via } ] ->
+    Alcotest.(check int) "two matching subscriptions" 2 (List.length via);
+    Alcotest.(check bool) "s1 via" true (List.memq s1 via);
+    Alcotest.(check bool) "s2 via" true (List.memq s2 via)
+  | _ -> Alcotest.fail "expected one delivery to alice"
+
+let test_covering_suppression () =
+  let b = Broker.create () in
+  let general = Broker.subscribe b ~subscriber:"alice" "/a//c" in
+  let specific = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  Alcotest.(check bool) "specific suppressed" true (Broker.is_suppressed b specific);
+  Alcotest.(check bool) "general active" false (Broker.is_suppressed b general);
+  let st = Broker.stats b in
+  Alcotest.(check int) "one engine expression" 1 st.Broker.engine_expressions;
+  Alcotest.(check int) "two subscriptions" 2 st.Broker.subscriptions;
+  (* deliveries unaffected by suppression *)
+  Alcotest.(check (list string)) "delivered" [ "alice" ]
+    (delivery_names (Broker.publish b doc))
+
+let test_suppression_not_across_subscribers () =
+  let b = Broker.create () in
+  let _ = Broker.subscribe b ~subscriber:"alice" "/a//c" in
+  let bobs = Broker.subscribe b ~subscriber:"bob" "/a/b/c" in
+  Alcotest.(check bool) "bob's is active" false (Broker.is_suppressed b bobs)
+
+let test_unsubscribe_reactivates () =
+  let b = Broker.create () in
+  let general = Broker.subscribe b ~subscriber:"alice" "/a//c" in
+  let specific = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  Alcotest.(check bool) "suppressed at first" true (Broker.is_suppressed b specific);
+  Alcotest.(check bool) "unsubscribe general" true (Broker.unsubscribe b general);
+  Alcotest.(check bool) "specific re-activated" false (Broker.is_suppressed b specific);
+  Alcotest.(check (list string)) "still delivered via specific" [ "alice" ]
+    (delivery_names (Broker.publish b doc));
+  Alcotest.(check bool) "double unsubscribe" false (Broker.unsubscribe b general)
+
+let test_reactivation_finds_other_cover () =
+  let b = Broker.create () in
+  let g1 = Broker.subscribe b ~subscriber:"alice" "/a//c" in
+  let g2 = Broker.subscribe b ~subscriber:"alice" "//c" in
+  let specific = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  (* covered by g1 (insertion order); dropping g1 re-homes it under g2 *)
+  Alcotest.(check bool) "g2 is itself covered by nothing... active" false
+    (Broker.is_suppressed b g2);
+  Alcotest.(check bool) "drop g1" true (Broker.unsubscribe b g1);
+  Alcotest.(check bool) "still suppressed (g2 covers)" true (Broker.is_suppressed b specific);
+  Alcotest.(check (list string)) "delivery survives" [ "alice" ]
+    (delivery_names (Broker.publish b doc))
+
+let test_duplicate_subscription_suppressed () =
+  let b = Broker.create () in
+  let _ = Broker.subscribe b ~subscriber:"alice" "/a/b" in
+  let dup = Broker.subscribe b ~subscriber:"alice" "/a/b" in
+  Alcotest.(check bool) "duplicate suppressed (covering is reflexive)" true
+    (Broker.is_suppressed b dup)
+
+let test_drop_subscriber () =
+  let b = Broker.create () in
+  let _ = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe b ~subscriber:"alice" "/a//c" in
+  let _ = Broker.subscribe b ~subscriber:"bob" "/a/d" in
+  Alcotest.(check int) "two cancelled" 2 (Broker.drop_subscriber b "alice");
+  Alcotest.(check (list string)) "only bob left" [ "bob" ]
+    (delivery_names (Broker.publish b doc));
+  Alcotest.(check int) "nothing to drop twice" 0 (Broker.drop_subscriber b "alice")
+
+let test_suppression_disabled () =
+  let b =
+    Broker.create
+      ~config:{ Broker.default_config with Broker.covering_suppression = false }
+      ()
+  in
+  let _ = Broker.subscribe b ~subscriber:"alice" "/a//c" in
+  let specific = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  Alcotest.(check bool) "not suppressed" false (Broker.is_suppressed b specific);
+  Alcotest.(check int) "both in the engine" 2 (Broker.stats b).Broker.engine_expressions
+
+let test_stats () =
+  let b = Broker.create () in
+  let _ = Broker.subscribe b ~subscriber:"alice" "/a//c" in
+  let _ = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe b ~subscriber:"bob" "/a/d" in
+  ignore (Broker.publish b doc);
+  let st = Broker.stats b in
+  Alcotest.(check int) "subscribers" 2 st.Broker.subscribers;
+  Alcotest.(check int) "subscriptions" 3 st.Broker.subscriptions;
+  Alcotest.(check int) "suppressed" 1 st.Broker.suppressed;
+  Alcotest.(check int) "engine expressions" 2 st.Broker.engine_expressions;
+  Alcotest.(check int) "documents" 1 st.Broker.documents_published;
+  Alcotest.(check int) "deliveries" 2 st.Broker.deliveries
+
+(* property: suppression never changes the set of delivered subscribers *)
+let prop_suppression_transparent =
+  QCheck2.Test.make ~name:"covering suppression is delivery-transparent" ~count:200
+    ~print:(fun (paths, d) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 10) Gen_helpers.single_path_gen) Gen_helpers.doc_gen)
+    (fun (paths, d) ->
+      let run suppression =
+        let b =
+          Broker.create
+            ~config:{ Broker.default_config with Broker.covering_suppression = suppression }
+            ()
+        in
+        (* two subscribers sharing the workload halves *)
+        List.iteri
+          (fun i p ->
+            ignore
+              (Broker.subscribe_path b
+                 ~subscriber:(if i mod 2 = 0 then "even" else "odd")
+                 p))
+          paths;
+        List.map (fun dl -> dl.Broker.subscriber) (Broker.publish b d)
+      in
+      run true = run false)
+
+(* property: unsubscribing and resubscribing is delivery-equivalent *)
+let prop_churn_consistent =
+  QCheck2.Test.make ~name:"unsubscribe all = empty deliveries" ~count:200
+    ~print:(fun (paths, d) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 8) Gen_helpers.single_path_gen) Gen_helpers.doc_gen)
+    (fun (paths, d) ->
+      let b = Broker.create () in
+      let subs =
+        List.map (fun p -> Broker.subscribe_path b ~subscriber:"s" p) paths
+      in
+      let before = Broker.publish b d <> [] in
+      List.iter (fun s -> ignore (Broker.unsubscribe b s)) subs;
+      let after = Broker.publish b d in
+      (* after cancelling everything nothing is delivered, regardless of
+         what was delivered before *)
+      after = [] && (before || true))
+
+let () =
+  Alcotest.run "broker"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+          Alcotest.test_case "delivery via" `Quick test_delivery_via;
+          Alcotest.test_case "covering suppression" `Quick test_covering_suppression;
+          Alcotest.test_case "no cross-subscriber suppression" `Quick
+            test_suppression_not_across_subscribers;
+          Alcotest.test_case "unsubscribe reactivates" `Quick test_unsubscribe_reactivates;
+          Alcotest.test_case "reactivation finds another cover" `Quick
+            test_reactivation_finds_other_cover;
+          Alcotest.test_case "duplicates suppressed" `Quick test_duplicate_subscription_suppressed;
+          Alcotest.test_case "drop subscriber" `Quick test_drop_subscriber;
+          Alcotest.test_case "suppression disabled" `Quick test_suppression_disabled;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_suppression_transparent; prop_churn_consistent ] );
+    ]

@@ -1,0 +1,162 @@
+(* Tests for the covering / containment analysis (the paper's Section 4.2.2
+   covering relation, generalized beyond prefixes). *)
+
+open Pf_core
+
+let p = Pf_xpath.Parser.parse
+
+let check_covers expected s1 s2 =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s covers %s" s1 s2)
+    expected
+    (Containment.covers (p s1) (p s2))
+
+let test_reflexive () =
+  List.iter
+    (fun s -> check_covers true s s)
+    [ "/a/b"; "a//b"; "/*/a"; "a[@x = 3]"; "//a/*/b" ]
+
+let test_prefix_covering () =
+  (* the special case the engine's trie exploits *)
+  check_covers true "/a/b" "/a/b/c";
+  check_covers true "/a" "/a/b/c";
+  check_covers true "a/b" "a/b/c";
+  check_covers false "/a/b/c" "/a/b"
+
+let test_suffix_covering () =
+  (* the paper's "future work" case: a suffix of a relative expression *)
+  check_covers true "b/c" "a/b/c";
+  check_covers true "c" "a/b/c";
+  check_covers true "b/c" "/a/b/c";
+  check_covers false "/b/c" "/a/b/c"
+
+let test_contained_covering () =
+  check_covers true "b" "a/b/c";
+  check_covers true "a//c" "a/b/c";
+  check_covers true "a//c" "a/b//c/d";
+  check_covers true "/a//c" "/a/b/c";
+  check_covers false "a/c" "a/b/c"
+
+let test_wildcards () =
+  check_covers true "/a/*/c" "/a/b/c";
+  check_covers false "/a/b/c" "/a/*/c";
+  check_covers true "/*/b" "/a/b";
+  check_covers true "a/*" "a/b/c";
+  check_covers true "*/b" "a/b";
+  check_covers true "/*" "/a/b";
+  check_covers true "*/*" "a/b";
+  check_covers false "*/*/*" "a/b"
+
+let test_descendants () =
+  check_covers true "a//b" "a/b";
+  check_covers true "a//b" "a/x/b";
+  check_covers false "a/b" "a//b";
+  check_covers true "a//c" "a//b/c";
+  check_covers true "//b" "/a/b";
+  check_covers false "/a/b" "/a//b"
+
+let test_attr_filters () =
+  check_covers true "a[@x >= 3]" "a[@x >= 5]";
+  check_covers false "a[@x >= 5]" "a[@x >= 3]";
+  check_covers true "a[@x >= 3]" "a[@x = 7]";
+  check_covers true "a" "a[@x = 7]";
+  check_covers false "a[@x = 7]" "a";
+  check_covers true "a[@x != 2]" "a[@x >= 3]";
+  check_covers true "a[@x <= 4]" "a[@x < 5]";
+  check_covers false "a[@x <= 4]" "a[@y <= 4]"
+
+let test_implied_filter () =
+  let f attr cmp value = { Pf_xpath.Ast.attr; cmp; value = Pf_xpath.Ast.Int value } in
+  let imp a b = Containment.implied_filter a b in
+  Alcotest.(check bool) "ge/ge" true (imp (f "x" Pf_xpath.Ast.Ge 3) (f "x" Pf_xpath.Ast.Ge 5));
+  Alcotest.(check bool) "lt adjacency" true (imp (f "x" Pf_xpath.Ast.Le 4) (f "x" Pf_xpath.Ast.Lt 5));
+  Alcotest.(check bool) "gt adjacency" true (imp (f "x" Pf_xpath.Ast.Ge 5) (f "x" Pf_xpath.Ast.Gt 4));
+  Alcotest.(check bool) "ne from eq" true (imp (f "x" Pf_xpath.Ast.Ne 2) (f "x" Pf_xpath.Ast.Eq 3));
+  Alcotest.(check bool) "eq needs eq" false (imp (f "x" Pf_xpath.Ast.Eq 3) (f "x" Pf_xpath.Ast.Ge 3));
+  Alcotest.(check bool) "different attrs" false (imp (f "x" Pf_xpath.Ast.Ge 1) (f "y" Pf_xpath.Ast.Ge 5))
+
+let test_redundant () =
+  let exprs = List.map p [ "/a/b/c"; "/a/b"; "x/y"; "/a/*/c" ] in
+  let pairs = Containment.redundant exprs in
+  (* /a/b covers /a/b/c; /a/*/c covers /a/b/c *)
+  Alcotest.(check bool) "prefix pair" true (List.mem (1, 0) pairs);
+  Alcotest.(check bool) "wildcard pair" true (List.mem (3, 0) pairs);
+  Alcotest.(check bool) "no reverse" false (List.mem (0, 1) pairs);
+  Alcotest.(check bool) "unrelated" false (List.exists (fun (i, j) -> i = 2 || j = 2) pairs)
+
+let test_text_filter_covering () =
+  check_covers true "b[text() >= 3]" "b[text() >= 5]";
+  check_covers false "b[text() >= 5]" "b[text() >= 3]";
+  check_covers true "b" "b[text() = 4]";
+  (* a text() filter and an attribute filter never imply each other *)
+  check_covers false "b[text() >= 3]" "b[@x >= 5]"
+
+let test_absolute_relative_interplay () =
+  check_covers true "//a" "a";
+  check_covers true "a" "//a";
+  check_covers true "a/b" "//a/b";
+  check_covers false "/a/b" "a/b";
+  check_covers true "//a//b" "/a/b"
+
+let test_transitivity_spot () =
+  (* a//c covers a/b/c covers /x... chain sample: if covers p q and covers
+     q r then covers p r should hold for these concrete cases *)
+  let p = p "a//c" and q = Pf_xpath.Parser.parse "a/*/c" and r = Pf_xpath.Parser.parse "a/b/c" in
+  Alcotest.(check bool) "p covers q" true (Containment.covers p q);
+  Alcotest.(check bool) "q covers r" true (Containment.covers q r);
+  Alcotest.(check bool) "p covers r" true (Containment.covers p r)
+
+let test_nested_rejected () =
+  match Containment.covers (p "a[b]") (p "a[b]/c") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nested paths should be rejected"
+
+(* Soundness: whenever [covers s1 s2] claims containment, no random
+   document may match s2 but not s1. *)
+let prop_soundness =
+  QCheck2.Test.make ~name:"covers is sound (no counterexample document)" ~count:1500
+    ~print:(fun (s1, s2, d) ->
+      Gen_helpers.path_print s1 ^ " covers? " ^ Gen_helpers.path_print s2 ^ " on "
+      ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      triple Gen_helpers.single_path_attr_gen Gen_helpers.single_path_attr_gen
+        Gen_helpers.doc_gen)
+    (fun (s1, s2, d) ->
+      (not (Containment.covers s1 s2))
+      || (not (Pf_xpath.Eval.matches s2 d))
+      || Pf_xpath.Eval.matches s1 d)
+
+(* The trie's prefix relation is always confirmed. *)
+let prop_prefix_complete =
+  QCheck2.Test.make ~name:"prefixes are always covered" ~count:800
+    ~print:Gen_helpers.path_print Gen_helpers.single_path_gen (fun s ->
+      let n = Pf_xpath.Ast.num_steps s in
+      n < 2
+      ||
+      let prefix =
+        { s with Pf_xpath.Ast.steps = List.filteri (fun i _ -> i < n - 1) s.Pf_xpath.Ast.steps }
+      in
+      Containment.covers prefix s)
+
+let () =
+  Alcotest.run "containment"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "reflexive" `Quick test_reflexive;
+          Alcotest.test_case "prefix covering" `Quick test_prefix_covering;
+          Alcotest.test_case "suffix covering" `Quick test_suffix_covering;
+          Alcotest.test_case "contained covering" `Quick test_contained_covering;
+          Alcotest.test_case "wildcards" `Quick test_wildcards;
+          Alcotest.test_case "descendants" `Quick test_descendants;
+          Alcotest.test_case "attribute filters" `Quick test_attr_filters;
+          Alcotest.test_case "implied_filter" `Quick test_implied_filter;
+          Alcotest.test_case "redundant" `Quick test_redundant;
+          Alcotest.test_case "text() covering" `Quick test_text_filter_covering;
+          Alcotest.test_case "absolute/relative" `Quick test_absolute_relative_interplay;
+          Alcotest.test_case "transitivity spot-check" `Quick test_transitivity_spot;
+          Alcotest.test_case "nested rejected" `Quick test_nested_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_soundness; prop_prefix_complete ] );
+    ]

@@ -1,0 +1,187 @@
+(* Tests for the XPE -> ordered predicate encoding (Section 3.2). The
+   paper's three mapping tables (simple XPEs, wildcards, descendants) are
+   transcribed verbatim as test vectors. *)
+
+open Pf_core
+
+let enc_string src =
+  Format.asprintf "%a" Predicate.pp_list
+    (Array.to_list (Encoder.encode_string src).Encoder.preds)
+
+let check src expected =
+  Alcotest.(check string) src expected (enc_string src)
+
+(* Table "Simple XPEs" (s1-s3) *)
+let test_simple_table () =
+  check "/a/b/b" "(p_a,=,1) |-> (d(p_a,p_b),=,1) |-> (d(p_b,p_b),=,1)";
+  check "a" "(p_a,>=,1)";
+  check "a/a/b/c" "(d(p_a,p_a),=,1) |-> (d(p_a,p_b),=,1) |-> (d(p_b,p_c),=,1)"
+
+(* Table "Wildcards in XPEs" (s4-s11) *)
+let test_wildcard_table () =
+  check "/a/*/*/b" "(p_a,=,1) |-> (d(p_a,p_b),=,3)";
+  check "/a/b/*/*" "(p_a,=,1) |-> (d(p_a,p_b),=,1) |-> (p_b-|,>=,2)";
+  check "/*/a/b" "(p_a,=,2) |-> (d(p_a,p_b),=,1)";
+  check "/*/*/*/*" "(length,>=,4)";
+  check "a/b/*/*" "(d(p_a,p_b),=,1) |-> (p_b-|,>=,2)";
+  check "*/*/a/*/b" "(p_a,>=,3) |-> (d(p_a,p_b),=,2)";
+  check "a/*/*/b/c" "(d(p_a,p_b),=,3) |-> (d(p_b,p_c),=,1)";
+  check "*/*/*/*" "(length,>=,4)"
+
+(* Table "Descendant operator in XPEs" (s12-s15) *)
+let test_descendant_table () =
+  check "/a//b/c" "(p_a,=,1) |-> (d(p_a,p_b),>=,1) |-> (d(p_b,p_c),=,1)";
+  check "/*/b//c/*" "(p_b,=,2) |-> (d(p_b,p_c),>=,1) |-> (p_c-|,>=,1)";
+  check "a/b//c" "(d(p_a,p_b),=,1) |-> (d(p_b,p_c),>=,1)";
+  check "*/a/*/b//c/*/*"
+    "(p_a,>=,2) |-> (d(p_a,p_b),=,2) |-> (d(p_b,p_c),>=,1) |-> (p_c-|,>=,2)"
+
+(* The order-dependence example from the end of Section 3.2 *)
+let test_order_dependence () =
+  check "a/c/*/a//c" "(d(p_a,p_c),=,1) |-> (d(p_c,p_a),=,2) |-> (d(p_a,p_c),>=,1)";
+  check "a//c/*/a/c" "(d(p_a,p_c),>=,1) |-> (d(p_c,p_a),=,2) |-> (d(p_a,p_c),=,1)"
+
+(* Edge cases exercising the first-tag rule *)
+let test_first_tag_rule () =
+  check "//a" "(p_a,>=,1)";
+  check "/a" "(p_a,=,1)";
+  check "/*//a" "(p_a,>=,2)";
+  check "//*/a" "(p_a,>=,2)";
+  check "a/*/*" "(p_a-|,>=,2)";
+  check "a//*" "(p_a-|,>=,1)";
+  check "*//a" "(p_a,>=,2)";
+  check "/a//*/b" "(p_a,=,1) |-> (d(p_a,p_b),>=,2)";
+  check "a/*//b" "(d(p_a,p_b),>=,2)"
+
+let test_mixed_descendant_distance () =
+  (* the proof's k-u+1 distance: wildcards between tags still count under >= *)
+  check "/a/*//*/b" "(p_a,=,1) |-> (d(p_a,p_b),>=,3)";
+  check "a//*//b" "(d(p_a,p_b),>=,2)"
+
+let test_length_only () =
+  check "*" "(length,>=,1)";
+  check "/*" "(length,>=,1)";
+  check "//*" "(length,>=,1)";
+  check "*//*" "(length,>=,2)"
+
+(* Attribute constraints attach to the first predicate occurrence of the
+   filtered tag's variable *)
+let test_attr_constraints () =
+  check "/a[@x = 3]" "(p_a[@x=3],=,1)";
+  check "/a[@x = 3]/b" "(p_a[@x=3],=,1) |-> (d(p_a,p_b),=,1)";
+  check "a[@x = 3]/b" "(d(p_a[@x=3],p_b),=,1)";
+  check "a/b[@y >= 2]" "(d(p_a,p_b[@y>=2]),=,1)";
+  check "a/b[@y >= 2]/*" "(d(p_a,p_b[@y>=2]),=,1) |-> (p_b-|,>=,1)";
+  (* two filters on one step are sorted into normal form *)
+  check "a[@y = 2][@x = 1]/b" "(d(p_a[@x=1][@y=2],p_b),=,1)"
+
+let test_step_vars () =
+  let enc = Encoder.encode_string "/a/*/b//c" in
+  let vars = enc.Encoder.step_vars in
+  Alcotest.(check int) "4 steps" 4 (Array.length vars);
+  (match vars.(0) with
+  | Some (0, Encoder.First) -> ()
+  | _ -> Alcotest.fail "step 0 should be var of predicate 0");
+  Alcotest.(check bool) "wildcard has no var" true (vars.(1) = None);
+  (match vars.(2) with
+  | Some (1, Encoder.Second) -> ()
+  | _ -> Alcotest.fail "step 2 should be second var of predicate 1");
+  match vars.(3) with
+  | Some (2, Encoder.Second) -> ()
+  | _ -> Alcotest.fail "step 3 should be second var of predicate 2"
+
+let test_unsupported () =
+  (match Encoder.encode_string "a[b]/c" with
+  | exception Encoder.Unsupported _ -> ()
+  | _ -> Alcotest.fail "nested filter should be Unsupported here");
+  match Encoder.encode (Pf_xpath.Parser.parse "/*[@x = 1]/a") with
+  | exception Encoder.Unsupported _ -> ()
+  | _ -> Alcotest.fail "attr filter on wildcard should be Unsupported"
+
+(* properties *)
+
+let prop_nonempty =
+  QCheck2.Test.make ~name:"encoding is non-empty and bounded" ~count:1000
+    ~print:Gen_helpers.path_print Gen_helpers.single_path_attr_gen (fun p ->
+      let enc = Encoder.encode p in
+      let n = Array.length enc.Encoder.preds in
+      n >= 1 && n <= Pf_xpath.Ast.num_steps p + 1)
+
+let prop_tag_steps_have_vars =
+  QCheck2.Test.make ~name:"every tag step is represented by a variable" ~count:1000
+    ~print:Gen_helpers.path_print Gen_helpers.single_path_attr_gen (fun p ->
+      let enc = Encoder.encode p in
+      let steps = Array.of_list p.Pf_xpath.Ast.steps in
+      Array.for_all
+        (fun i ->
+          match steps.(i).Pf_xpath.Ast.test, enc.Encoder.step_vars.(i) with
+          | Pf_xpath.Ast.Tag _, Some _ -> true
+          | Pf_xpath.Ast.Tag _, None -> false
+          | Pf_xpath.Ast.Wildcard, None -> true
+          | Pf_xpath.Ast.Wildcard, Some _ -> false)
+        (Array.init (Array.length steps) Fun.id))
+
+(* the chaining invariant the occurrence algorithm relies on: adjacent
+   predicates share a tag variable *)
+let prop_adjacent_share_var =
+  QCheck2.Test.make ~name:"adjacent predicates chain on a shared variable" ~count:1000
+    ~print:Gen_helpers.path_print Gen_helpers.single_path_gen (fun p ->
+      let enc = Encoder.encode p in
+      let preds = enc.Encoder.preds in
+      let second_name = function
+        | Predicate.Absolute { tag; _ } | Predicate.End_of_path { tag; _ } ->
+          Some tag.Predicate.name
+        | Predicate.Relative { second; _ } -> Some second.Predicate.name
+        | Predicate.Length _ -> None
+      in
+      let first_name = function
+        | Predicate.Absolute { tag; _ } | Predicate.End_of_path { tag; _ } ->
+          Some tag.Predicate.name
+        | Predicate.Relative { first; _ } -> Some first.Predicate.name
+        | Predicate.Length _ -> None
+      in
+      let ok = ref true in
+      for i = 1 to Array.length preds - 1 do
+        match second_name preds.(i - 1), first_name preds.(i) with
+        | Some a, Some b when String.equal a b -> ()
+        | _ -> ok := false
+      done;
+      !ok)
+
+let prop_stable_under_reparse =
+  QCheck2.Test.make ~name:"encoding is stable under print/parse" ~count:800
+    ~print:Gen_helpers.path_print Gen_helpers.single_path_attr_gen (fun p ->
+      let enc1 = Encoder.encode p in
+      let enc2 = Encoder.encode (Pf_xpath.Parser.parse (Pf_xpath.Parser.to_string p)) in
+      Array.length enc1.Encoder.preds = Array.length enc2.Encoder.preds
+      && Array.for_all2 Predicate.equal enc1.Encoder.preds enc2.Encoder.preds)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "encoder"
+    [
+      ( "paper tables",
+        [
+          Alcotest.test_case "simple XPEs (s1-s3)" `Quick test_simple_table;
+          Alcotest.test_case "wildcards (s4-s11)" `Quick test_wildcard_table;
+          Alcotest.test_case "descendants (s12-s15)" `Quick test_descendant_table;
+          Alcotest.test_case "order dependence" `Quick test_order_dependence;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "first-tag rule" `Quick test_first_tag_rule;
+          Alcotest.test_case "mixed descendant distances" `Quick test_mixed_descendant_distance;
+          Alcotest.test_case "length-only" `Quick test_length_only;
+          Alcotest.test_case "attribute constraints" `Quick test_attr_constraints;
+          Alcotest.test_case "step variables" `Quick test_step_vars;
+          Alcotest.test_case "unsupported forms" `Quick test_unsupported;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_nonempty;
+            prop_tag_steps_have_vars;
+            prop_adjacent_share_var;
+            prop_stable_under_reparse;
+          ] );
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the expression organizations (Section 4.2.2): the four
+   variants must report identical match sets, while differing in how many
+   occurrence determination runs they need. *)
+
+open Pf_core
+
+let variants =
+  Expr_index.[ Basic; Prefix_covering; Access_predicate; Shared ]
+
+(* Build one index per variant over the same expressions and evaluate
+   against the same publication; returns (variant, sorted sids, runs). *)
+let eval_all exprs tags =
+  let idx = Predicate_index.create () in
+  let encoded =
+    List.map (fun src -> Array.map (Predicate_index.intern idx) (Encoder.encode_string src).Encoder.preds) exprs
+  in
+  let res = Predicate_index.create_results () in
+  Predicate_index.run idx res (Publication.of_tags tags);
+  List.map
+    (fun variant ->
+      let e = Expr_index.create variant in
+      List.iteri (fun sid pids -> Expr_index.add e ~sid ~pids) encoded;
+      let matched = ref [] in
+      Expr_index.eval e res ~on_match:(fun sid -> matched := sid :: !matched) ();
+      variant, List.sort compare !matched, Expr_index.occurrence_runs e)
+    variants
+
+let test_variants_agree_simple () =
+  let exprs = [ "/a/b"; "/a/b/c"; "/a/b/c/d"; "a//c"; "/a/x"; "b/c" ] in
+  let results = eval_all exprs [ "a"; "b"; "c" ] in
+  let expected = [ 0; 1; 3; 5 ] in
+  List.iter
+    (fun (v, sids, _) ->
+      Alcotest.(check (list int)) (Expr_index.variant_name v) expected sids)
+    results
+
+let test_covering_reduces_runs () =
+  (* /a/b is a predicate-prefix of /a/b/c, which matches: with prefix
+     covering the shorter expression must not get its own run *)
+  let exprs = [ "/a/b"; "/a/b/c" ] in
+  let results = eval_all exprs [ "a"; "b"; "c" ] in
+  let runs v = match List.find (fun (v', _, _) -> v' = v) results with _, _, r -> r in
+  Alcotest.(check int) "basic runs both" 2 (runs Expr_index.Basic);
+  Alcotest.(check int) "pc runs the longest only" 1 (runs Expr_index.Prefix_covering);
+  Alcotest.(check int) "pc-ap runs the longest only" 1 (runs Expr_index.Access_predicate);
+  Alcotest.(check int) "shared needs no runs" 0 (runs Expr_index.Shared)
+
+let test_access_predicate_prunes () =
+  (* no x in the path: the whole /x/... cluster is skipped without any
+     occurrence run; basic still runs nothing (pid check fails) but pc
+     walks the trie *)
+  let exprs = [ "/x/y"; "/x/y/z"; "/x/w" ] in
+  let results = eval_all exprs [ "a"; "b" ] in
+  List.iter
+    (fun (v, sids, runs) ->
+      Alcotest.(check (list int)) (Expr_index.variant_name v ^ " no match") [] sids;
+      Alcotest.(check int) (Expr_index.variant_name v ^ " no runs") 0 runs)
+    results
+
+let test_duplicates_share () =
+  let e = Expr_index.create Expr_index.Access_predicate in
+  let idx = Predicate_index.create () in
+  let pids = Array.map (Predicate_index.intern idx) (Encoder.encode_string "/a/b").Encoder.preds in
+  Expr_index.add e ~sid:0 ~pids;
+  Expr_index.add e ~sid:1 ~pids;
+  Expr_index.add e ~sid:2 ~pids;
+  Alcotest.(check int) "3 expressions" 3 (Expr_index.expression_count e);
+  Alcotest.(check int) "2 trie nodes" 2 (Expr_index.node_count e);
+  let res = Predicate_index.create_results () in
+  Predicate_index.run idx res (Publication.of_tags [ "a"; "b" ]);
+  let matched = ref [] in
+  Expr_index.eval e res ~on_match:(fun sid -> matched := sid :: !matched) ();
+  Alcotest.(check (list int)) "all three sids" [ 0; 1; 2 ] (List.sort compare !matched);
+  Alcotest.(check int) "one run serves all duplicates" 1 (Expr_index.occurrence_runs e)
+
+let test_variant_names () =
+  List.iter
+    (fun v ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (Expr_index.variant_name v))
+        (Option.map Expr_index.variant_name (Expr_index.variant_of_name (Expr_index.variant_name v))))
+    variants;
+  Alcotest.(check bool) "unknown" true (Expr_index.variant_of_name "bogus" = None)
+
+let test_empty_pids_rejected () =
+  let e = Expr_index.create Expr_index.Basic in
+  match Expr_index.add e ~sid:0 ~pids:[||] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "empty pid sequence should be rejected"
+
+(* property: on random single-path workloads and random linear paths, all
+   four variants produce the same match set, and it equals the per-
+   expression ground truth *)
+let prop_variants_agree =
+  let open QCheck2 in
+  Test.make ~name:"all variants = ground truth" ~count:500
+    ~print:(fun (paths, tags) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " on " ^ String.concat "/" tags)
+    Gen.(
+      pair
+        (list_size (int_range 1 12) Gen_helpers.single_path_gen)
+        (list_size (int_range 1 7) Gen_helpers.tag_gen))
+    (fun (paths, tags) ->
+      let idx = Predicate_index.create () in
+      let encoded =
+        List.map
+          (fun p -> Array.map (Predicate_index.intern idx) (Encoder.encode p).Encoder.preds)
+          paths
+      in
+      let res = Predicate_index.create_results () in
+      let pub = Publication.of_tags tags in
+      Predicate_index.run idx res pub;
+      let truth =
+        List.mapi
+          (fun sid pids ->
+            let rs = Array.map (Predicate_index.get res) pids in
+            if Array.exists (fun l -> l = []) rs then None
+            else if Occurrence.matches rs then Some sid
+            else None)
+          encoded
+        |> List.filter_map Fun.id
+      in
+      List.for_all
+        (fun variant ->
+          let e = Expr_index.create variant in
+          List.iteri (fun sid pids -> Expr_index.add e ~sid ~pids) encoded;
+          let matched = ref [] in
+          Expr_index.eval e res ~on_match:(fun sid -> matched := sid :: !matched) ();
+          List.sort compare !matched = truth)
+        variants)
+
+let () =
+  Alcotest.run "expr_index"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "variants agree" `Quick test_variants_agree_simple;
+          Alcotest.test_case "covering reduces runs" `Quick test_covering_reduces_runs;
+          Alcotest.test_case "access predicate prunes" `Quick test_access_predicate_prunes;
+          Alcotest.test_case "duplicates share structure" `Quick test_duplicates_share;
+          Alcotest.test_case "variant names" `Quick test_variant_names;
+          Alcotest.test_case "empty pids rejected" `Quick test_empty_pids_rejected;
+        ] );
+      "properties", List.map QCheck_alcotest.to_alcotest [ prop_variants_agree ];
+    ]

@@ -1,0 +1,104 @@
+(* Tests for the Index-Filter baseline. *)
+
+let add = Pf_indexfilter.Index_filter.add_string
+
+let test_basic () =
+  let f = Pf_indexfilter.Index_filter.create () in
+  let s1 = add f "/a/b" in
+  let s2 = add f "/a/c" in
+  let s3 = add f "b" in
+  let m = Pf_indexfilter.Index_filter.match_string f "<a><b/></a>" in
+  Alcotest.(check (list int)) "matches" [ s1; s3 ] m;
+  ignore s2
+
+let test_prefix_tree_sharing () =
+  let f = Pf_indexfilter.Index_filter.create () in
+  let _ = add f "/a/b/c" in
+  let n1 = Pf_indexfilter.Index_filter.node_count f in
+  let _ = add f "/a/b/d" in
+  let n2 = Pf_indexfilter.Index_filter.node_count f in
+  Alcotest.(check int) "three nodes" 3 n1;
+  Alcotest.(check int) "one more node" 4 n2
+
+let test_containment_axes () =
+  let f = Pf_indexfilter.Index_filter.create () in
+  let child = add f "/a/d" in
+  let desc = add f "/a//d" in
+  Alcotest.(check (list int)) "child fails, descendant holds" [ desc ]
+    (Pf_indexfilter.Index_filter.match_string f "<a><b><d/></b></a>");
+  Alcotest.(check (list int)) "both hold on direct child" [ child; desc ]
+    (Pf_indexfilter.Index_filter.match_string f "<a><d/></a>")
+
+let test_wildcards_match_any () =
+  let f = Pf_indexfilter.Index_filter.create () in
+  let s = add f "/a/*/c" in
+  Alcotest.(check (list int)) "wildcard" [ s ]
+    (Pf_indexfilter.Index_filter.match_string f "<a><b><c/></b></a>");
+  Alcotest.(check (list int)) "too shallow" []
+    (Pf_indexfilter.Index_filter.match_string f "<a><c/></a>")
+
+let test_attr_filters () =
+  let f = Pf_indexfilter.Index_filter.create () in
+  let s1 = add f "/a/b[@x >= 2]" in
+  Alcotest.(check (list int)) "holds" [ s1 ]
+    (Pf_indexfilter.Index_filter.match_string f "<a><b x=\"3\"/></a>");
+  Alcotest.(check (list int)) "fails" []
+    (Pf_indexfilter.Index_filter.match_string f "<a><b x=\"1\"/></a>")
+
+let test_nested_rejected () =
+  let f = Pf_indexfilter.Index_filter.create () in
+  match add f "/a[b]/c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nested paths unsupported in the baseline"
+
+let test_repeated_tags () =
+  let f = Pf_indexfilter.Index_filter.create () in
+  let s = add f "/a//a/b" in
+  Alcotest.(check (list int)) "nested same tag" [ s ]
+    (Pf_indexfilter.Index_filter.match_string f "<a><c><a><b/></a></c></a>");
+  Alcotest.(check (list int)) "no inner a" []
+    (Pf_indexfilter.Index_filter.match_string f "<a><b/></a>")
+
+let prop_oracle =
+  QCheck2.Test.make ~name:"index-filter = oracle" ~count:600
+    ~print:(fun (paths, d) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 8) Gen_helpers.single_path_attr_gen) Gen_helpers.doc_gen)
+    (fun (paths, d) ->
+      let f = Pf_indexfilter.Index_filter.create () in
+      let sids = List.map (fun p -> Pf_indexfilter.Index_filter.add f p, p) paths in
+      let m = Pf_indexfilter.Index_filter.match_document f d in
+      List.for_all (fun (sid, p) -> List.mem sid m = Pf_xpath.Eval.matches p d) sids)
+
+let prop_agrees_with_engine =
+  QCheck2.Test.make ~name:"index-filter = predicate engine" ~count:400
+    ~print:(fun (paths, d) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 8) Gen_helpers.single_path_gen) Gen_helpers.doc_gen)
+    (fun (paths, d) ->
+      let f = Pf_indexfilter.Index_filter.create () in
+      let e = Pf_core.Engine.create () in
+      List.iter (fun p -> ignore (Pf_indexfilter.Index_filter.add f p)) paths;
+      List.iter (fun p -> ignore (Pf_core.Engine.add e p)) paths;
+      Pf_indexfilter.Index_filter.match_document f d = Pf_core.Engine.match_document e d)
+
+let () =
+  Alcotest.run "indexfilter"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basic;
+          Alcotest.test_case "prefix tree sharing" `Quick test_prefix_tree_sharing;
+          Alcotest.test_case "containment axes" `Quick test_containment_axes;
+          Alcotest.test_case "wildcards" `Quick test_wildcards_match_any;
+          Alcotest.test_case "attr filters" `Quick test_attr_filters;
+          Alcotest.test_case "nested rejected" `Quick test_nested_rejected;
+          Alcotest.test_case "repeated tags" `Quick test_repeated_tags;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_oracle; prop_agrees_with_engine ] );
+    ]

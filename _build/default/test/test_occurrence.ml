@@ -1,0 +1,121 @@
+(* Tests for the occurrence determination algorithm (Algorithm 1). *)
+
+open Pf_core
+
+let test_table_1_chains () =
+  (* a//b/c on (a,b,c,a,b,c): R1 = {(1,1),(1,2),(2,2)}, R2 = {(1,1),(2,2)} —
+     the boldface combination (1,1),(1,1) is a true match *)
+  let rs = [| [ 1, 1; 1, 2; 2, 2 ]; [ 1, 1; 2, 2 ] |] in
+  Alcotest.(check bool) "match" true (Occurrence.matches rs);
+  Alcotest.(check bool) "faithful agrees" true (Occurrence.matches_faithful rs);
+  (* c//b//a: R1 = {(1,2)}, R2 = {(1,2)} — 2 <> 1, no chain *)
+  let rs = [| [ 1, 2 ]; [ 1, 2 ] |] in
+  Alcotest.(check bool) "no match" false (Occurrence.matches rs);
+  Alcotest.(check bool) "faithful agrees (no)" false (Occurrence.matches_faithful rs)
+
+let test_empty_cases () =
+  Alcotest.(check bool) "no predicates" false (Occurrence.matches [||]);
+  Alcotest.(check bool) "faithful no predicates" false (Occurrence.matches_faithful [||]);
+  Alcotest.(check bool) "empty R_i" false (Occurrence.matches [| [ 1, 1 ]; [] |]);
+  Alcotest.(check bool) "faithful empty R_i" false
+    (Occurrence.matches_faithful [| [ 1, 1 ]; [] |]);
+  Alcotest.(check bool) "single" true (Occurrence.matches [| [ 3, 4 ] |]);
+  Alcotest.(check bool) "faithful single" true (Occurrence.matches_faithful [| [ 3, 4 ] |])
+
+let test_backtracking_needed () =
+  (* the first choice (1,2) dead-ends; backtracking must find (1,1)->(1,3) *)
+  let rs = [| [ 1, 2; 1, 1 ]; [ 1, 3 ] |] in
+  Alcotest.(check bool) "backtrack" true (Occurrence.matches rs);
+  Alcotest.(check bool) "faithful backtrack" true (Occurrence.matches_faithful rs);
+  (* deep backtracking across three levels *)
+  let rs = [| [ 1, 1; 1, 2 ]; [ 1, 5; 2, 3 ]; [ 3, 4 ] |] in
+  Alcotest.(check bool) "deep" true (Occurrence.matches rs);
+  Alcotest.(check bool) "faithful deep" true (Occurrence.matches_faithful rs)
+
+let test_discontinuous () =
+  (* the paper's pruning example: (1,1) then (2,3) is not a candidate *)
+  let rs = [| [ 1, 1 ]; [ 2, 3 ] |] in
+  Alcotest.(check bool) "discontinuous" false (Occurrence.matches rs)
+
+let test_iter_chains_enumerates () =
+  let rs = [| [ 1, 1; 1, 2 ]; [ 1, 3; 2, 3; 2, 4 ] |] in
+  let chains = ref [] in
+  let found =
+    Occurrence.iter_chains rs (fun c ->
+        chains := Array.to_list c :: !chains;
+        false)
+  in
+  Alcotest.(check bool) "no chain accepted" false found;
+  Alcotest.(check (list (list (pair int int))))
+    "all valid chains enumerated"
+    [ [ 1, 1; 1, 3 ]; [ 1, 2; 2, 3 ]; [ 1, 2; 2, 4 ] ]
+    (List.rev !chains)
+
+let test_iter_chains_stops_on_accept () =
+  let rs = [| [ 1, 1; 1, 2 ]; [ 1, 3; 2, 3 ] |] in
+  let count = ref 0 in
+  let found =
+    Occurrence.iter_chains rs (fun _ ->
+        incr count;
+        true)
+  in
+  Alcotest.(check bool) "accepted" true found;
+  Alcotest.(check int) "stopped after first" 1 !count
+
+let prop_implementations_agree =
+  QCheck2.Test.make ~name:"DFS = faithful Algorithm 1" ~count:5000
+    ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
+      Occurrence.matches rs = Occurrence.matches_faithful rs)
+
+let prop_matches_iff_chain_exists =
+  QCheck2.Test.make ~name:"matches <=> a valid chain exists (brute force)" ~count:3000
+    ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
+      (* brute force: try all combinations *)
+      let n = Array.length rs in
+      let rec brute i prev =
+        if i >= n then true
+        else
+          List.exists (fun (o1, o2) -> (i = 0 || o1 = prev) && brute (i + 1) o2) rs.(i)
+      in
+      Occurrence.matches rs = (n > 0 && brute 0 (-1)))
+
+let prop_iter_chains_consistent =
+  QCheck2.Test.make ~name:"iter_chains finds a chain iff matches" ~count:3000
+    ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
+      let found = Occurrence.iter_chains rs (fun _ -> true) in
+      found = Occurrence.matches rs)
+
+let prop_chains_are_valid =
+  QCheck2.Test.make ~name:"every enumerated chain satisfies the constraints" ~count:2000
+    ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
+      let ok = ref true in
+      ignore
+        (Occurrence.iter_chains rs (fun chain ->
+             for i = 1 to Array.length chain - 1 do
+               if fst chain.(i) <> snd chain.(i - 1) then ok := false
+             done;
+             Array.iteri (fun i pair -> if not (List.mem pair rs.(i)) then ok := false) chain;
+             false));
+      !ok)
+
+let () =
+  Alcotest.run "occurrence"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "Table 1 chains (Example 2)" `Quick test_table_1_chains;
+          Alcotest.test_case "empty cases" `Quick test_empty_cases;
+          Alcotest.test_case "backtracking" `Quick test_backtracking_needed;
+          Alcotest.test_case "discontinuous occurrences" `Quick test_discontinuous;
+          Alcotest.test_case "iter_chains enumerates" `Quick test_iter_chains_enumerates;
+          Alcotest.test_case "iter_chains stops on accept" `Quick test_iter_chains_stops_on_accept;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_implementations_agree;
+            prop_matches_iff_chain_exists;
+            prop_iter_chains_consistent;
+            prop_chains_are_valid;
+          ] );
+    ]

@@ -1,0 +1,258 @@
+(* Tests for the predicate index (Figure 1) and the predicate matching
+   stage (Section 4.1), including Table 1 transcribed verbatim. *)
+
+open Pf_core
+
+let tv = Predicate.tagvar
+
+let sorted_pairs l = List.sort compare l
+
+let check_pairs msg expected actual =
+  Alcotest.(check (list (pair int int))) msg (sorted_pairs expected) (sorted_pairs actual)
+
+(* ------------------------------------------------------------------ *)
+(* Interning *)
+
+let test_intern_dedup () =
+  let idx = Predicate_index.create () in
+  let p1 = Predicate.Relative { first = tv "a"; second = tv "b"; op = Predicate.Eq; v = 1 } in
+  let p2 = Predicate.Relative { first = tv "a"; second = tv "b"; op = Predicate.Eq; v = 2 } in
+  let p3 = Predicate.Relative { first = tv "a"; second = tv "b"; op = Predicate.Ge; v = 1 } in
+  let i1 = Predicate_index.intern idx p1 in
+  let i1' = Predicate_index.intern idx p1 in
+  let i2 = Predicate_index.intern idx p2 in
+  let i3 = Predicate_index.intern idx p3 in
+  Alcotest.(check int) "same predicate, same pid" i1 i1';
+  Alcotest.(check bool) "different value" true (i1 <> i2);
+  Alcotest.(check bool) "different op" true (i1 <> i3);
+  Alcotest.(check int) "three distinct stored" 3 (Predicate_index.size idx)
+
+let test_intern_constraints_distinct () =
+  let idx = Predicate_index.create () in
+  let plain = Predicate.Absolute { tag = tv "a"; op = Predicate.Eq; v = 1 } in
+  let constrained =
+    Predicate.Absolute
+      {
+        tag = tv ~constraints:[ { Predicate.attr = "x"; cmp = Pf_xpath.Ast.Eq; value = Pf_xpath.Ast.Int 3 } ] "a";
+        op = Predicate.Eq;
+        v = 1;
+      }
+  in
+  let i1 = Predicate_index.intern idx plain in
+  let i2 = Predicate_index.intern idx constrained in
+  Alcotest.(check bool) "constraints distinguish predicates" true (i1 <> i2);
+  Alcotest.(check int) "constrained re-interned" i2 (Predicate_index.intern idx constrained)
+
+let test_find () =
+  let idx = Predicate_index.create () in
+  let p = Predicate.Length { v = 3 } in
+  Alcotest.(check (option int)) "absent" None (Predicate_index.find idx p);
+  let i = Predicate_index.intern idx p in
+  Alcotest.(check (option int)) "present" (Some i) (Predicate_index.find idx p);
+  Alcotest.(check bool) "predicate recovered" true
+    (Predicate.equal (Predicate_index.predicate idx i) p)
+
+(* The paper's overlap example (Section 4.1.2): /a/*/c and */a/*/c/*/*/*
+   share (d(p_a,p_c),=,2), stored once *)
+let test_shared_predicate () =
+  let idx = Predicate_index.create () in
+  let e1 = (Encoder.encode_string "/a/*/c").Encoder.preds in
+  let e2 = (Encoder.encode_string "*/a/*/c/*/*/*").Encoder.preds in
+  let pids1 = Array.map (Predicate_index.intern idx) e1 in
+  let pids2 = Array.map (Predicate_index.intern idx) e2 in
+  (* /a/*/c = (p_a,=,1) |-> (d(p_a,p_c),=,2)
+     */a/*/c/*/*/* = (p_a,>=,2) |-> (d(p_a,p_c),=,2) |-> (p_c-|,>=,3) *)
+  Alcotest.(check int) "shared relative pid" pids1.(1) pids2.(1);
+  (* (p_a,=,1), (d(p_a,p_c),=,2) shared, (p_a,>=,2), (p_c-|,>=,3) *)
+  Alcotest.(check int) "four distinct predicates" 4 (Predicate_index.size idx)
+
+(* ------------------------------------------------------------------ *)
+(* Matching rules (Section 4.1.1) *)
+
+let run_on idx tags =
+  let res = Predicate_index.create_results () in
+  Predicate_index.run idx res (Publication.of_tags tags);
+  res
+
+let test_absolute_matching () =
+  let idx = Predicate_index.create () in
+  let eq2 = Predicate_index.intern idx (Predicate.Absolute { tag = tv "b"; op = Predicate.Eq; v = 2 }) in
+  let ge2 = Predicate_index.intern idx (Predicate.Absolute { tag = tv "b"; op = Predicate.Ge; v = 2 }) in
+  let eq3 = Predicate_index.intern idx (Predicate.Absolute { tag = tv "b"; op = Predicate.Eq; v = 3 }) in
+  let res = run_on idx [ "a"; "b"; "c"; "b" ] in
+  check_pairs "(p_b,=,2)" [ 1, 1 ] (Predicate_index.get res eq2);
+  check_pairs "(p_b,>=,2)" [ 1, 1; 2, 2 ] (Predicate_index.get res ge2);
+  check_pairs "(p_b,=,3)" [] (Predicate_index.get res eq3);
+  Alcotest.(check bool) "is_matched" true (Predicate_index.is_matched res eq2);
+  Alcotest.(check bool) "not matched" false (Predicate_index.is_matched res eq3)
+
+let test_relative_matching () =
+  let idx = Predicate_index.create () in
+  let d1 = Predicate_index.intern idx (Predicate.Relative { first = tv "a"; second = tv "b"; op = Predicate.Eq; v = 2 }) in
+  let res = run_on idx [ "a"; "c"; "b"; "b" ] in
+  (* only (a^1 at 1, b^1 at 3) has distance exactly 2 *)
+  check_pairs "(d(p_a,p_b),=,2)" [ 1, 1 ] (Predicate_index.get res d1)
+
+let test_relative_order_matters () =
+  let idx = Predicate_index.create () in
+  let d = Predicate_index.intern idx (Predicate.Relative { first = tv "b"; second = tv "a"; op = Predicate.Ge; v = 1 }) in
+  let res = run_on idx [ "a"; "b" ] in
+  check_pairs "b before a required" [] (Predicate_index.get res d)
+
+let test_end_of_path_matching () =
+  let idx = Predicate_index.create () in
+  let e2 = Predicate_index.intern idx (Predicate.End_of_path { tag = tv "a"; v = 2 }) in
+  let res = run_on idx [ "a"; "b"; "a"; "c" ] in
+  (* a^1 at pos 1: 4-1>=2 ok; a^2 at pos 3: 4-3=1 < 2 *)
+  check_pairs "(p_a-|,>=,2)" [ 1, 1 ] (Predicate_index.get res e2)
+
+let test_length_matching () =
+  let idx = Predicate_index.create () in
+  let l3 = Predicate_index.intern idx (Predicate.Length { v = 3 }) in
+  let l4 = Predicate_index.intern idx (Predicate.Length { v = 4 }) in
+  let res = run_on idx [ "a"; "b"; "c" ] in
+  check_pairs "(length,>=,3)" [ 0, 0 ] (Predicate_index.get res l3);
+  check_pairs "(length,>=,4)" [] (Predicate_index.get res l4)
+
+(* Table 1, verbatim: path (a,b,c,a,b,c), XPEs a//b/c and c//b//a *)
+let test_table_1 () =
+  let idx = Predicate_index.create () in
+  let intern p = Array.map (Predicate_index.intern idx) p.Encoder.preds in
+  let e1 = intern (Encoder.encode_string "a//b/c") in
+  let e2 = intern (Encoder.encode_string "c//b//a") in
+  let res = run_on idx [ "a"; "b"; "c"; "a"; "b"; "c" ] in
+  check_pairs "(d(p_a,p_b),>=,1)" [ 1, 1; 1, 2; 2, 2 ] (Predicate_index.get res e1.(0));
+  check_pairs "(d(p_b,p_c),=,1)" [ 1, 1; 2, 2 ] (Predicate_index.get res e1.(1));
+  check_pairs "(d(p_c,p_b),>=,1)" [ 1, 2 ] (Predicate_index.get res e2.(0));
+  check_pairs "(d(p_b,p_a),>=,1)" [ 1, 2 ] (Predicate_index.get res e2.(1))
+
+let test_epoch_reset () =
+  let idx = Predicate_index.create () in
+  let p = Predicate_index.intern idx (Predicate.Absolute { tag = tv "a"; op = Predicate.Eq; v = 1 }) in
+  let res = Predicate_index.create_results () in
+  Predicate_index.run idx res (Publication.of_tags [ "a" ]);
+  Alcotest.(check bool) "matched on first run" true (Predicate_index.is_matched res p);
+  Predicate_index.run idx res (Publication.of_tags [ "b" ]);
+  Alcotest.(check bool) "previous results discarded" false (Predicate_index.is_matched res p);
+  check_pairs "get returns empty" [] (Predicate_index.get res p);
+  Alcotest.(check int) "matched_count" 0 (Predicate_index.matched_count res)
+
+let test_inline_constraints () =
+  let idx = Predicate_index.create () in
+  let c v = { Predicate.attr = "x"; cmp = Pf_xpath.Ast.Ge; value = Pf_xpath.Ast.Int v } in
+  let pid = Predicate_index.intern idx
+      (Predicate.Absolute { tag = tv ~constraints:[ c 3 ] "a"; op = Predicate.Eq; v = 1 }) in
+  let res = Predicate_index.create_results () in
+  let pub_of attrs =
+    let doc = Pf_xml.Tree.doc (Pf_xml.Tree.element ~attrs "a") in
+    match Pf_xml.Path.of_document doc with [ p ] -> Publication.of_path p | _ -> assert false
+  in
+  Predicate_index.run idx res (pub_of [ "x", "5" ]);
+  Alcotest.(check bool) "x=5 satisfies >=3" true (Predicate_index.is_matched res pid);
+  Predicate_index.run idx res (pub_of [ "x", "2" ]);
+  Alcotest.(check bool) "x=2 fails" false (Predicate_index.is_matched res pid);
+  Predicate_index.run idx res (pub_of []);
+  Alcotest.(check bool) "missing attribute fails" false (Predicate_index.is_matched res pid)
+
+(* property: matching results obey the Section 4.1.1 rules exactly,
+   cross-checked against a naive evaluator over the publication *)
+let naive_matches (pred : Predicate.t) (pub : Publication.t) =
+  let tuples = Array.to_list pub.Publication.tuples in
+  let op_holds op diff v =
+    match op with Predicate.Eq -> diff = v | Predicate.Ge -> diff >= v
+  in
+  match pred with
+  | Predicate.Absolute { tag; op; v } ->
+    List.filter_map
+      (fun tu ->
+        if String.equal tu.Publication.tag tag.Predicate.name
+           && op_holds op tu.Publication.pos v
+        then Some (tu.Publication.occurrence, tu.Publication.occurrence)
+        else None)
+      tuples
+  | Predicate.Relative { first; second; op; v } ->
+    List.concat_map
+      (fun t1 ->
+        List.filter_map
+          (fun t2 ->
+            if String.equal t1.Publication.tag first.Predicate.name
+               && String.equal t2.Publication.tag second.Predicate.name
+               && t2.Publication.pos > t1.Publication.pos
+               && op_holds op (t2.Publication.pos - t1.Publication.pos) v
+            then Some (t1.Publication.occurrence, t2.Publication.occurrence)
+            else None)
+          tuples)
+      tuples
+  | Predicate.End_of_path { tag; v } ->
+    List.filter_map
+      (fun tu ->
+        if String.equal tu.Publication.tag tag.Predicate.name
+           && pub.Publication.length - tu.Publication.pos >= v
+        then Some (tu.Publication.occurrence, tu.Publication.occurrence)
+        else None)
+      tuples
+  | Predicate.Length { v } -> if pub.Publication.length >= v then [ 0, 0 ] else []
+
+let prop_matching_agrees_with_naive =
+  let open QCheck2 in
+  let pred_gen =
+    Gen.(
+      oneof
+        [
+          (Gen_helpers.tag_gen >>= fun t ->
+           oneofl [ Predicate.Eq; Predicate.Ge ] >>= fun op ->
+           int_range 1 6 >>= fun v ->
+           return (Predicate.Absolute { tag = Predicate.tagvar t; op; v }));
+          (Gen_helpers.tag_gen >>= fun t1 ->
+           Gen_helpers.tag_gen >>= fun t2 ->
+           oneofl [ Predicate.Eq; Predicate.Ge ] >>= fun op ->
+           int_range 1 5 >>= fun v ->
+           return
+             (Predicate.Relative
+                { first = Predicate.tagvar t1; second = Predicate.tagvar t2; op; v }));
+          (Gen_helpers.tag_gen >>= fun t ->
+           int_range 1 5 >>= fun v ->
+           return (Predicate.End_of_path { tag = Predicate.tagvar t; v }));
+          (int_range 1 6 >>= fun v -> return (Predicate.Length { v }));
+        ])
+  in
+  let tags_gen = Gen.(list_size (int_range 1 7) Gen_helpers.tag_gen) in
+  Test.make ~name:"index matching = naive rule evaluation" ~count:2000
+    ~print:(fun (preds, tags) ->
+      Format.asprintf "%a on %s" Predicate.pp_list preds (String.concat "/" tags))
+    Gen.(pair (list_size (int_range 1 5) pred_gen) tags_gen)
+    (fun (preds, tags) ->
+      let idx = Predicate_index.create () in
+      let pids = List.map (Predicate_index.intern idx) preds in
+      let pub = Publication.of_tags tags in
+      let res = Predicate_index.create_results () in
+      Predicate_index.run idx res pub;
+      List.for_all2
+        (fun pred pid ->
+          sorted_pairs (Predicate_index.get res pid)
+          = sorted_pairs (naive_matches pred pub))
+        preds pids)
+
+let () =
+  Alcotest.run "predicate_index"
+    [
+      ( "interning",
+        [
+          Alcotest.test_case "dedup" `Quick test_intern_dedup;
+          Alcotest.test_case "constraints distinguish" `Quick test_intern_constraints_distinct;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "sharing example (Fig 1)" `Quick test_shared_predicate;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "absolute" `Quick test_absolute_matching;
+          Alcotest.test_case "relative" `Quick test_relative_matching;
+          Alcotest.test_case "relative order" `Quick test_relative_order_matters;
+          Alcotest.test_case "end-of-path" `Quick test_end_of_path_matching;
+          Alcotest.test_case "length" `Quick test_length_matching;
+          Alcotest.test_case "Table 1" `Quick test_table_1;
+          Alcotest.test_case "epoch reset" `Quick test_epoch_reset;
+          Alcotest.test_case "inline constraints" `Quick test_inline_constraints;
+        ] );
+      "properties", List.map QCheck_alcotest.to_alcotest [ prop_matching_agrees_with_naive ];
+    ]

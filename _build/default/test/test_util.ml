@@ -1,0 +1,149 @@
+(* Tests for the small supporting modules: Vec and the Predicate helpers. *)
+
+open Pf_core
+
+(* ------------------------------------------------------------------ *)
+(* Vec *)
+
+let test_vec_push_get () =
+  let v = Vec.create ~dummy:(-1) () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  let i0 = Vec.push v 10 in
+  let i1 = Vec.push v 20 in
+  Alcotest.(check int) "index 0" 0 i0;
+  Alcotest.(check int) "index 1" 1 i1;
+  Alcotest.(check int) "get" 20 (Vec.get v 1);
+  Vec.set v 0 99;
+  Alcotest.(check int) "set" 99 (Vec.get v 0);
+  Alcotest.(check (list int)) "to_list" [ 99; 20 ] (Vec.to_list v)
+
+let test_vec_bounds () =
+  let v = Vec.create ~dummy:0 () in
+  ignore (Vec.push v 1);
+  (match Vec.get v 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out of bounds get");
+  match Vec.set v (-1) 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative set"
+
+let test_vec_growth () =
+  let v = Vec.create ~capacity:1 ~dummy:0 () in
+  for i = 0 to 999 do
+    ignore (Vec.push v i)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  Alcotest.(check int) "spot" 567 (Vec.get v 567);
+  let sum = Vec.fold_left ( + ) 0 v in
+  Alcotest.(check int) "fold" (999 * 1000 / 2) sum
+
+let test_vec_ensure () =
+  let v = Vec.create ~dummy:"x" () in
+  Vec.ensure v 5;
+  Alcotest.(check int) "ensured" 5 (Vec.length v);
+  Alcotest.(check string) "dummy filled" "x" (Vec.get v 4);
+  Vec.ensure v 3;
+  Alcotest.(check int) "never shrinks" 5 (Vec.length v)
+
+let test_vec_clear_iter () =
+  let v = Vec.create ~dummy:0 () in
+  List.iter (fun x -> ignore (Vec.push v x)) [ 1; 2; 3 ];
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int))) "iteri" [ 2, 3; 1, 2; 0, 1 ] !acc;
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+(* ------------------------------------------------------------------ *)
+(* Predicate helpers *)
+
+let c attr cmp v = { Predicate.attr; cmp; value = Pf_xpath.Ast.Int v }
+
+let test_tagvar_normalization () =
+  let tv1 = Predicate.tagvar ~constraints:[ c "y" Pf_xpath.Ast.Eq 1; c "x" Pf_xpath.Ast.Eq 2 ] "a" in
+  let tv2 = Predicate.tagvar ~constraints:[ c "x" Pf_xpath.Ast.Eq 2; c "y" Pf_xpath.Ast.Eq 1 ] "a" in
+  Alcotest.(check bool) "order-insensitive" true (tv1 = tv2);
+  let tv3 = Predicate.tagvar ~constraints:[ c "x" Pf_xpath.Ast.Eq 2; c "x" Pf_xpath.Ast.Eq 2 ] "a" in
+  Alcotest.(check int) "duplicates collapsed" 1 (List.length tv3.Predicate.constraints)
+
+let test_strip () =
+  let p =
+    Predicate.Relative
+      {
+        first = Predicate.tagvar ~constraints:[ c "x" Pf_xpath.Ast.Ge 1 ] "a";
+        second = Predicate.tagvar ~constraints:[ c "y" Pf_xpath.Ast.Le 2 ] "b";
+        op = Predicate.Eq;
+        v = 1;
+      }
+  in
+  Alcotest.(check bool) "has constraints" true (Predicate.has_constraints p);
+  let s = Predicate.strip p in
+  Alcotest.(check bool) "stripped" false (Predicate.has_constraints s);
+  Alcotest.(check bool) "length unchanged by strip" true
+    (Predicate.strip (Predicate.Length { v = 3 }) = Predicate.Length { v = 3 })
+
+let test_constraints_of () =
+  let cs = [ c "x" Pf_xpath.Ast.Eq 1 ] in
+  let tv = Predicate.tagvar ~constraints:cs "a" in
+  let c1, c2 = Predicate.constraints_of (Predicate.Absolute { tag = tv; op = Predicate.Eq; v = 1 }) in
+  Alcotest.(check bool) "duplicated for one-var" true (c1 = cs && c2 = cs);
+  let c1, c2 = Predicate.constraints_of (Predicate.Length { v = 2 }) in
+  Alcotest.(check bool) "length has none" true (c1 = [] && c2 = [])
+
+let test_check_constraints () =
+  let cs = [ c "x" Pf_xpath.Ast.Ge 2; c "y" Pf_xpath.Ast.Lt 5 ] in
+  Alcotest.(check bool) "both hold" true
+    (Predicate.check_constraints cs [ "x", "3"; "y", "4" ]);
+  Alcotest.(check bool) "one fails" false
+    (Predicate.check_constraints cs [ "x", "1"; "y", "4" ]);
+  Alcotest.(check bool) "missing attr" false (Predicate.check_constraints cs [ "x", "3" ]);
+  Alcotest.(check bool) "empty constraints" true (Predicate.check_constraints [] [])
+
+let test_pp_notation () =
+  let show p = Format.asprintf "%a" Predicate.pp p in
+  Alcotest.(check string) "absolute" "(p_a,=,1)"
+    (show (Predicate.Absolute { tag = Predicate.tagvar "a"; op = Predicate.Eq; v = 1 }));
+  Alcotest.(check string) "relative" "(d(p_a,p_b),>=,2)"
+    (show
+       (Predicate.Relative
+          { first = Predicate.tagvar "a"; second = Predicate.tagvar "b"; op = Predicate.Ge; v = 2 }));
+  Alcotest.(check string) "end-of-path" "(p_a-|,>=,1)"
+    (show (Predicate.End_of_path { tag = Predicate.tagvar "a"; v = 1 }));
+  Alcotest.(check string) "length" "(length,>=,3)" (show (Predicate.Length { v = 3 }));
+  Alcotest.(check string) "with constraint" "(p_a[@x=3],=,1)"
+    (show
+       (Predicate.Absolute
+          { tag = Predicate.tagvar ~constraints:[ c "x" Pf_xpath.Ast.Eq 3 ] "a";
+            op = Predicate.Eq;
+            v = 1 }))
+
+(* packing round-trip used by the hot path *)
+let prop_pack_roundtrip =
+  QCheck2.Test.make ~name:"pack/unpack roundtrip" ~count:1000
+    ~print:(fun (a, b) -> Printf.sprintf "(%d,%d)" a b)
+    QCheck2.Gen.(pair (int_range 0 65535) (int_range 0 65535))
+    (fun (o1, o2) ->
+      let p = Predicate_index.pack o1 o2 in
+      Predicate_index.packed_first p = o1 && Predicate_index.packed_second p = o2)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "growth" `Quick test_vec_growth;
+          Alcotest.test_case "ensure" `Quick test_vec_ensure;
+          Alcotest.test_case "clear/iter" `Quick test_vec_clear_iter;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "tagvar normalization" `Quick test_tagvar_normalization;
+          Alcotest.test_case "strip" `Quick test_strip;
+          Alcotest.test_case "constraints_of" `Quick test_constraints_of;
+          Alcotest.test_case "check_constraints" `Quick test_check_constraints;
+          Alcotest.test_case "paper notation" `Quick test_pp_notation;
+        ] );
+      "packing", List.map QCheck_alcotest.to_alcotest [ prop_pack_roundtrip ];
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the workload substrate: DTD models and generators. *)
+
+open Pf_workload
+
+let test_dtd_validity () =
+  List.iter
+    (fun dtd ->
+      (* every child reference resolves; reachable from root *)
+      List.iter
+        (fun name ->
+          let d = Dtd.decl dtd name in
+          List.iter (fun c -> ignore (Dtd.decl dtd c)) d.Dtd.children)
+        (Dtd.element_names dtd);
+      ignore (Dtd.decl dtd dtd.Dtd.root))
+    [ Dtd.nitf_like (); Dtd.psd_like (); Dtd.auction_like () ]
+
+let test_dtd_shapes () =
+  let nitf = Dtd.nitf_like () and psd = Dtd.psd_like () in
+  Alcotest.(check bool) "nitf alphabet is much larger" true
+    (List.length (Dtd.element_names nitf) > 2 * List.length (Dtd.element_names psd));
+  Alcotest.(check string) "nitf root" "nitf" nitf.Dtd.root;
+  Alcotest.(check string) "psd root" "ProteinDatabase" psd.Dtd.root
+
+let test_dtd_by_name () =
+  Alcotest.(check bool) "nitf" true (Dtd.by_name "nitf" <> None);
+  Alcotest.(check bool) "psd" true (Dtd.by_name "psd" <> None);
+  Alcotest.(check bool) "auction" true (Dtd.by_name "auction" <> None);
+  Alcotest.(check bool) "unknown" true (Dtd.by_name "bogus" = None)
+
+let test_make_rejects_dangling () =
+  match Dtd.make ~root:"a" [ { Dtd.name = "a"; children = [ "ghost" ]; attrs = [] } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dangling child should be rejected"
+
+(* ------------------------------------------------------------------ *)
+
+let nitf = Dtd.nitf_like ()
+let psd = Dtd.psd_like ()
+
+let test_xmlgen_determinism () =
+  let p = Xml_gen.default in
+  let d1 = Xml_gen.generate nitf p and d2 = Xml_gen.generate nitf p in
+  Alcotest.(check bool) "same seed, same doc" true (Pf_xml.Tree.equal d1 d2);
+  let d3 = Xml_gen.generate nitf { p with Xml_gen.seed = p.Xml_gen.seed + 1 } in
+  Alcotest.(check bool) "different seed, different doc" false (Pf_xml.Tree.equal d1 d3)
+
+let test_xmlgen_respects_levels () =
+  List.iter
+    (fun lv ->
+      let d = Xml_gen.generate psd { Xml_gen.default with Xml_gen.max_levels = lv } in
+      Alcotest.(check bool)
+        (Printf.sprintf "depth <= %d" lv)
+        true
+        (Pf_xml.Tree.depth d <= lv))
+    [ 1; 2; 4; 6; 10 ]
+
+let test_xmlgen_valid_against_dtd () =
+  let d = Xml_gen.generate nitf Presets.nitf_documents in
+  let rec check (e : Pf_xml.Tree.element) =
+    let decl = Dtd.decl nitf e.Pf_xml.Tree.tag in
+    List.iter
+      (fun (c : Pf_xml.Tree.element) ->
+        Alcotest.(check bool)
+          (e.Pf_xml.Tree.tag ^ " may contain " ^ c.Pf_xml.Tree.tag)
+          true
+          (List.mem c.Pf_xml.Tree.tag decl.Dtd.children);
+        check c)
+      (Pf_xml.Tree.element_children e);
+    List.iter
+      (fun (a, v) ->
+        Alcotest.(check bool) ("declared attr " ^ a) true
+          (List.mem_assoc a decl.Dtd.attrs);
+        Alcotest.(check bool) "integer value" true (int_of_string_opt v <> None))
+      e.Pf_xml.Tree.attrs
+  in
+  check d.Pf_xml.Tree.root
+
+let test_xmlgen_wellformed_output () =
+  let d = Xml_gen.generate nitf Presets.nitf_documents in
+  let d' = Pf_xml.Sax.parse_document (Pf_xml.Print.to_string d) in
+  Alcotest.(check bool) "serialization round-trips" true (Pf_xml.Tree.equal d d')
+
+let test_generate_many_distinct () =
+  let docs = Xml_gen.generate_many psd Presets.psd_documents 5 in
+  Alcotest.(check int) "five docs" 5 (List.length docs);
+  let distinct =
+    List.length
+      (List.sort_uniq compare (List.map (Pf_xml.Print.to_string ~decl:false) docs))
+  in
+  Alcotest.(check int) "all distinct" 5 distinct
+
+(* ------------------------------------------------------------------ *)
+
+let test_xpathgen_determinism () =
+  let p = { Xpath_gen.default with Xpath_gen.count = 50 } in
+  Alcotest.(check bool) "same seed, same workload" true
+    (Xpath_gen.generate nitf p = Xpath_gen.generate nitf p)
+
+let test_xpathgen_distinct_flag () =
+  let p = { Xpath_gen.default with Xpath_gen.count = 300; distinct = true } in
+  let paths = Xpath_gen.generate nitf p in
+  Alcotest.(check int) "all distinct" (List.length paths) (Xpath_gen.distinct_count paths);
+  let p = { p with Xpath_gen.distinct = false; count = 3000 } in
+  let paths = Xpath_gen.generate psd p in
+  Alcotest.(check int) "exactly count generated" 3000 (List.length paths);
+  Alcotest.(check bool) "duplicates arise on a small DTD" true
+    (Xpath_gen.distinct_count paths < 3000)
+
+let test_xpathgen_depth_bound () =
+  let p = { Xpath_gen.default with Xpath_gen.count = 200; max_depth = 4 } in
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) "within depth" true (Pf_xpath.Ast.num_steps path <= 4))
+    (Xpath_gen.generate nitf p)
+
+let test_xpathgen_wildcard_extremes () =
+  let p = { Xpath_gen.default with Xpath_gen.count = 100; wildcard_prob = 1.0 } in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun (s : Pf_xpath.Ast.step) ->
+          Alcotest.(check bool) "all wildcards" true (s.Pf_xpath.Ast.test = Pf_xpath.Ast.Wildcard))
+        path.Pf_xpath.Ast.steps)
+    (Xpath_gen.generate nitf p);
+  let p = { p with Xpath_gen.wildcard_prob = 0.0; descendant_prob = 0.0 } in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun (s : Pf_xpath.Ast.step) ->
+          Alcotest.(check bool) "no wildcards" true (s.Pf_xpath.Ast.test <> Pf_xpath.Ast.Wildcard);
+          Alcotest.(check bool) "no descendants" true (s.Pf_xpath.Ast.axis = Pf_xpath.Ast.Child))
+        path.Pf_xpath.Ast.steps)
+    (Xpath_gen.generate nitf p)
+
+let test_xpathgen_filters () =
+  let p = { Xpath_gen.default with Xpath_gen.count = 200; filters_per_path = 1 } in
+  let with_filters =
+    List.length (List.filter Pf_xpath.Ast.has_attr_filters (Xpath_gen.generate nitf p))
+  in
+  Alcotest.(check bool) "most expressions carry a filter" true (with_filters > 150)
+
+let test_xpathgen_parseable () =
+  let p = { Xpath_gen.default with Xpath_gen.count = 200; filters_per_path = 1; nested_prob = 0.2 } in
+  List.iter
+    (fun path ->
+      let printed = Pf_xpath.Parser.to_string path in
+      match Pf_xpath.Parser.parse printed with
+      | _ -> ())
+    (Xpath_gen.generate nitf p)
+
+let test_xpathgen_walks_follow_dtd () =
+  (* with W=0 and DO=0, generated paths are valid DTD chains *)
+  let p = { Xpath_gen.default with Xpath_gen.count = 100; wildcard_prob = 0.; descendant_prob = 0. } in
+  List.iter
+    (fun path ->
+      let tags =
+        List.map
+          (fun (s : Pf_xpath.Ast.step) ->
+            match s.Pf_xpath.Ast.test with Pf_xpath.Ast.Tag t -> t | Pf_xpath.Ast.Wildcard -> assert false)
+          path.Pf_xpath.Ast.steps
+      in
+      let rec chain = function
+        | [] | [ _ ] -> true
+        | a :: (b :: _ as rest) ->
+          List.mem b (Dtd.decl nitf a).Dtd.children && chain rest
+      in
+      Alcotest.(check bool) "valid chain" true (chain tags))
+    (Xpath_gen.generate nitf p)
+
+let test_presets () =
+  Alcotest.(check bool) "nitf preset skewed" true (Presets.nitf_documents.Xml_gen.skew > 0.5);
+  Alcotest.(check bool) "psd preset uniform" true (Presets.psd_documents.Xml_gen.skew = 0.);
+  (match Presets.documents_for "bogus" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown preset should be rejected")
+
+(* match-rate regimes: selective NITF vs matching-heavy PSD *)
+let test_auction_workload () =
+  (* the third DTD supports the full pipeline: generate, filter, agree *)
+  let dtd = Dtd.auction_like () in
+  let paths = Xpath_gen.generate dtd { Xpath_gen.default with Xpath_gen.count = 200 } in
+  let docs = Xml_gen.generate_many dtd Presets.auction_documents 5 in
+  let e = Pf_core.Engine.create () in
+  let sids = List.map (fun p -> Pf_core.Engine.add e p, p) paths in
+  List.iter
+    (fun d ->
+      let m = Pf_core.Engine.match_document e d in
+      List.iter
+        (fun (sid, p) ->
+          Alcotest.(check bool) "oracle" (Pf_xpath.Eval.matches p d) (List.mem sid m))
+        sids)
+    docs
+
+let test_match_regimes () =
+  let rate dtd doc_params =
+    let paths = Xpath_gen.generate dtd { Xpath_gen.default with Xpath_gen.count = 400 } in
+    let docs = Xml_gen.generate_many dtd doc_params 10 in
+    let e = Pf_core.Engine.create () in
+    List.iter (fun p -> ignore (Pf_core.Engine.add e p)) paths;
+    let hits =
+      List.fold_left
+        (fun acc d -> acc + List.length (Pf_core.Engine.match_document e d))
+        0 docs
+    in
+    float hits /. float (List.length paths * 10)
+  in
+  let nitf_rate = rate nitf Presets.nitf_documents in
+  let psd_rate = rate psd Presets.psd_documents in
+  Alcotest.(check bool) "NITF is selective (< 25%)" true (nitf_rate < 0.25);
+  Alcotest.(check bool) "PSD is matching-heavy (> 60%)" true (psd_rate > 0.6);
+  Alcotest.(check bool) "regimes are far apart" true (psd_rate > 3. *. nitf_rate)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "dtd",
+        [
+          Alcotest.test_case "validity" `Quick test_dtd_validity;
+          Alcotest.test_case "shapes" `Quick test_dtd_shapes;
+          Alcotest.test_case "by_name" `Quick test_dtd_by_name;
+          Alcotest.test_case "dangling child rejected" `Quick test_make_rejects_dangling;
+        ] );
+      ( "xml_gen",
+        [
+          Alcotest.test_case "determinism" `Quick test_xmlgen_determinism;
+          Alcotest.test_case "respects max_levels" `Quick test_xmlgen_respects_levels;
+          Alcotest.test_case "valid against DTD" `Quick test_xmlgen_valid_against_dtd;
+          Alcotest.test_case "well-formed output" `Quick test_xmlgen_wellformed_output;
+          Alcotest.test_case "generate_many distinct" `Quick test_generate_many_distinct;
+        ] );
+      ( "xpath_gen",
+        [
+          Alcotest.test_case "determinism" `Quick test_xpathgen_determinism;
+          Alcotest.test_case "distinct flag" `Quick test_xpathgen_distinct_flag;
+          Alcotest.test_case "depth bound" `Quick test_xpathgen_depth_bound;
+          Alcotest.test_case "wildcard extremes" `Quick test_xpathgen_wildcard_extremes;
+          Alcotest.test_case "filters per path" `Quick test_xpathgen_filters;
+          Alcotest.test_case "output parseable" `Quick test_xpathgen_parseable;
+          Alcotest.test_case "walks follow the DTD" `Quick test_xpathgen_walks_follow_dtd;
+        ] );
+      ( "regimes",
+        [
+          Alcotest.test_case "presets" `Quick test_presets;
+          Alcotest.test_case "match-rate regimes" `Slow test_match_regimes;
+          Alcotest.test_case "auction workload end-to-end" `Slow test_auction_workload;
+        ] );
+    ]

@@ -1,0 +1,361 @@
+(* Tests for the XML substrate: SAX parser, tree model, path extraction,
+   serialization. *)
+
+open Pf_xml
+
+let parse = Sax.parse_document
+
+let check_tags msg expected doc =
+  let rec tags (e : Tree.element) =
+    e.Tree.tag :: List.concat_map tags (Tree.element_children e)
+  in
+  Alcotest.(check (list string)) msg expected (tags doc.Tree.root)
+
+(* ------------------------------------------------------------------ *)
+(* Parser unit tests *)
+
+let test_simple () =
+  let doc = parse "<a><b/><c></c></a>" in
+  check_tags "pre-order tags" [ "a"; "b"; "c" ] doc
+
+let test_attributes () =
+  let doc = parse {|<a x="1" y='two'><b z="a&amp;b"/></a>|} in
+  Alcotest.(check (option string)) "x" (Some "1") (Tree.attr doc.Tree.root "x");
+  Alcotest.(check (option string)) "y" (Some "two") (Tree.attr doc.Tree.root "y");
+  (match Tree.element_children doc.Tree.root with
+  | [ b ] -> Alcotest.(check (option string)) "z entity" (Some "a&b") (Tree.attr b "z")
+  | _ -> Alcotest.fail "expected one child");
+  Alcotest.(check (option string)) "missing" None (Tree.attr doc.Tree.root "w")
+
+let test_text_and_entities () =
+  let doc = parse "<a>x &lt;&gt;&amp;&apos;&quot; y</a>" in
+  match doc.Tree.root.Tree.children with
+  | [ Tree.Text t ] -> Alcotest.(check string) "decoded" "x <>&'\" y" t
+  | _ -> Alcotest.fail "expected one text node"
+
+let test_numeric_entities () =
+  let doc = parse "<a>&#65;&#x42;&#233;</a>" in
+  match doc.Tree.root.Tree.children with
+  | [ Tree.Text t ] -> Alcotest.(check string) "decoded" "AB\xc3\xa9" t
+  | _ -> Alcotest.fail "expected one text node"
+
+let test_cdata () =
+  let doc = parse "<a><![CDATA[<raw> & stuff]]></a>" in
+  match doc.Tree.root.Tree.children with
+  | [ Tree.Text t ] -> Alcotest.(check string) "cdata" "<raw> & stuff" t
+  | _ -> Alcotest.fail "expected one text node"
+
+let test_comments_and_pis () =
+  let doc = parse "<?xml version=\"1.0\"?><!-- hello --><a><?pi data?><!--x--><b/></a>" in
+  check_tags "structure survives" [ "a"; "b" ] doc
+
+let test_doctype () =
+  let doc =
+    parse
+      {|<!DOCTYPE a [ <!ELEMENT a (b)> <!ENTITY e "v"> ]><a><b/></a>|}
+  in
+  check_tags "doctype skipped" [ "a"; "b" ] doc
+
+let test_whitespace_dropped () =
+  let doc = parse "<a>\n  <b/>\n  <c/>\n</a>" in
+  Alcotest.(check int) "only element children" 2
+    (List.length doc.Tree.root.Tree.children)
+
+let test_deep_nesting () =
+  let deep = String.concat "" (List.init 200 (fun _ -> "<a>")) ^ String.concat "" (List.init 200 (fun _ -> "</a>")) in
+  let doc = parse deep in
+  Alcotest.(check int) "depth" 200 (Tree.depth doc);
+  Alcotest.(check int) "count" 200 (Tree.count_elements doc)
+
+let expect_error msg s =
+  match parse s with
+  | exception Sax.Parse_error _ -> ()
+  | _ -> Alcotest.fail (msg ^ ": expected a parse error")
+
+let test_errors () =
+  expect_error "mismatched" "<a><b></a></b>";
+  expect_error "unclosed" "<a><b>";
+  expect_error "no root" "   ";
+  expect_error "stray end" "</a>";
+  expect_error "bad entity" "<a>&bogus;</a>";
+  expect_error "unterminated attr" "<a x=\"1><b/></a>";
+  expect_error "lt in attr" "<a x=\"<\"/>";
+  expect_error "two roots" "<a/><b/>";
+  expect_error "unterminated comment" "<a><!-- foo</a>";
+  expect_error "unterminated cdata" "<a><![CDATA[x</a>"
+
+let test_cdata_tricky () =
+  (* "]]" inside CDATA, and "]]>" split across text *)
+  let doc = parse "<a><![CDATA[x ]] y]]></a>" in
+  (match doc.Tree.root.Tree.children with
+  | [ Tree.Text t ] -> Alcotest.(check string) "brackets kept" "x ]] y" t
+  | _ -> Alcotest.fail "expected one text node");
+  let doc = parse "<a><![CDATA[]]]></a>" in
+  match doc.Tree.root.Tree.children with
+  | [ Tree.Text t ] -> Alcotest.(check string) "single bracket" "]" t
+  | _ -> Alcotest.fail "expected one text node"
+
+let test_utf8_passthrough () =
+  let doc = parse "<a t=\"caf\xc3\xa9\">na\xc3\xafve</a>" in
+  Alcotest.(check (option string)) "attr" (Some "caf\xc3\xa9") (Tree.attr doc.Tree.root "t");
+  match doc.Tree.root.Tree.children with
+  | [ Tree.Text t ] -> Alcotest.(check string) "text" "na\xc3\xafve" t
+  | _ -> Alcotest.fail "expected one text node"
+
+let test_text_content () =
+  let doc = parse "<a> x <b>inner</b> y </a>" in
+  Alcotest.(check string) "immediate text only, trimmed" "x  y"
+    (Tree.text_content doc.Tree.root);
+  (match Tree.element_children doc.Tree.root with
+  | [ b ] -> Alcotest.(check string) "inner" "inner" (Tree.text_content b)
+  | _ -> Alcotest.fail "one child expected");
+  Alcotest.(check string) "empty" "" (Tree.text_content (Tree.element "e"))
+
+let test_error_position () =
+  match parse "<a>\n<b>\n</c>\n</a>" with
+  | exception Sax.Parse_error (pos, _) ->
+    Alcotest.(check int) "line" 3 pos.Sax.line
+  | _ -> Alcotest.fail "expected error"
+
+let test_event_order () =
+  let events = ref [] in
+  Sax.fold_events "<a x=\"1\"><b>t</b></a>" ~init:() ~f:(fun () ev ->
+      events := ev :: !events);
+  match List.rev !events with
+  | [ Sax.Start_element ("a", [ ("x", "1") ]);
+      Sax.Start_element ("b", []);
+      Sax.Chars "t";
+      Sax.End_element "b";
+      Sax.End_element "a" ] -> ()
+  | _ -> Alcotest.fail "unexpected event sequence"
+
+(* ------------------------------------------------------------------ *)
+(* Tree utilities *)
+
+let test_tree_stats () =
+  let doc = parse "<a><b><c/></b><b/></a>" in
+  Alcotest.(check int) "count" 4 (Tree.count_elements doc);
+  Alcotest.(check int) "depth" 3 (Tree.depth doc);
+  Alcotest.(check bool) "leaf" true (Tree.is_leaf (Tree.element "x"));
+  Alcotest.(check bool) "not leaf" false (Tree.is_leaf doc.Tree.root)
+
+let test_tree_equal () =
+  let d1 = parse "<a><b x=\"1\"/></a>" and d2 = parse "<a><b x=\"1\"></b></a>" in
+  Alcotest.(check bool) "equal" true (Tree.equal d1 d2);
+  let d3 = parse "<a><b x=\"2\"/></a>" in
+  Alcotest.(check bool) "not equal" false (Tree.equal d1 d3)
+
+(* ------------------------------------------------------------------ *)
+(* Path extraction *)
+
+let path_tags p = Path.tags p
+
+let test_paths_simple () =
+  let doc = parse "<a><b><c/><d/></b><e/></a>" in
+  let paths = Path.of_document doc in
+  Alcotest.(check (list (list string)))
+    "three root-to-leaf paths"
+    [ [ "a"; "b"; "c" ]; [ "a"; "b"; "d" ]; [ "a"; "e" ] ]
+    (List.map path_tags paths)
+
+let test_paths_single_element () =
+  let paths = Path.of_document (parse "<a/>") in
+  Alcotest.(check (list (list string))) "one path" [ [ "a" ] ] (List.map path_tags paths)
+
+let test_occurrence_numbers () =
+  (* the paper's Example 1: (a,b,c,a,b,c) -> a^1 b^1 c^1 a^2 b^2 c^2 *)
+  let doc = parse "<a><b><c><a><b><c/></b></a></c></b></a>" in
+  match Path.of_document doc with
+  | [ p ] ->
+    Alcotest.(check (list int))
+      "occurrences" [ 1; 1; 1; 2; 2; 2 ]
+      (Array.to_list (Array.map (fun s -> s.Path.occurrence) p.Path.steps))
+  | _ -> Alcotest.fail "expected a single path"
+
+let test_occurrence_reset_between_branches () =
+  (* occurrence numbers are per path, not per document *)
+  let doc = parse "<a><b/><b/></a>" in
+  let occs =
+    List.map
+      (fun p -> (p.Path.steps.(1)).Path.occurrence)
+      (Path.of_document doc)
+  in
+  Alcotest.(check (list int)) "each path has b^1" [ 1; 1 ] occs
+
+let test_child_indices () =
+  let doc = parse "<a><b><c/></b><b><c/><d/></b></a>" in
+  let structs = List.map (fun p -> Array.to_list (Path.structure p)) (Path.of_document doc) in
+  Alcotest.(check (list (list int)))
+    "structure tuples"
+    [ [ 1; 1; 1 ]; [ 1; 2; 1 ]; [ 1; 2; 2 ] ]
+    structs
+
+let test_path_attrs () =
+  let doc = parse "<a x=\"1\"><b y=\"2\"/></a>" in
+  match Path.of_document doc with
+  | [ p ] ->
+    Alcotest.(check (list (pair string string))) "root attrs" [ "x", "1" ] (p.Path.steps.(0)).Path.attrs;
+    Alcotest.(check (list (pair string string))) "leaf attrs" [ "y", "2" ] (p.Path.steps.(1)).Path.attrs
+  | _ -> Alcotest.fail "expected a single path"
+
+let test_streaming_extraction () =
+  let src = "<a x=\"1\"><b><c/><d/></b><e/></a>" in
+  let via_tree = Path.of_document (parse src) in
+  let via_stream = Path.of_string src in
+  Alcotest.(check int) "same count" (List.length via_tree) (List.length via_stream);
+  List.iter2
+    (fun p1 p2 ->
+      Alcotest.(check (list string)) "tags" (Path.tags p1) (Path.tags p2);
+      Alcotest.(check (list int)) "structure"
+        (Array.to_list (Path.structure p1))
+        (Array.to_list (Path.structure p2)))
+    via_tree via_stream
+
+let prop_streaming_agrees =
+  QCheck2.Test.make ~name:"streaming path extraction = tree extraction" ~count:300
+    ~print:Gen_helpers.doc_print Gen_helpers.doc_gen (fun doc ->
+      let src = Print.to_string doc in
+      let via_tree = Path.of_document (parse src) in
+      let via_stream = Path.of_string src in
+      List.length via_tree = List.length via_stream
+      && List.for_all2
+           (fun (p1 : Path.t) (p2 : Path.t) -> p1.Path.steps = p2.Path.steps)
+           via_tree via_stream)
+
+let test_of_tags () =
+  let p = Path.of_tags [ "a"; "b"; "a" ] in
+  Alcotest.(check int) "length" 3 (Path.length p);
+  Alcotest.(check int) "second a occurrence" 2 (p.Path.steps.(2)).Path.occurrence
+
+(* ------------------------------------------------------------------ *)
+(* Serialization *)
+
+let test_print_escapes () =
+  let doc = Tree.doc (Tree.element ~attrs:[ "k", "a\"<&" ] ~children:[ Tree.Text "<&>" ] "t") in
+  let s = Print.to_string ~decl:false doc in
+  Alcotest.(check string) "escaped" "<t k=\"a&quot;&lt;&amp;\">&lt;&amp;&gt;</t>" s
+
+let test_roundtrip_unit () =
+  let src = "<a x=\"1\"><b><c y=\"2\"/></b><d/></a>" in
+  let doc = parse src in
+  let doc' = parse (Print.to_string doc) in
+  Alcotest.(check bool) "roundtrip" true (Tree.equal doc doc')
+
+(* fuzzing: mutated well-formed documents must either parse or raise
+   Parse_error — never crash or loop *)
+let prop_fuzz_no_crash =
+  let open QCheck2 in
+  Test.make ~name:"mutated input: parse or Parse_error, never crash" ~count:1000
+    ~print:(fun (d, muts) ->
+      Gen_helpers.doc_print d ^ " with "
+      ^ String.concat ";"
+          (List.map (fun (i, c) -> Printf.sprintf "%d:%C" i c) muts))
+    Gen.(
+      pair Gen_helpers.doc_gen
+        (list_size (int_range 1 4)
+           (pair (int_range 0 200) (oneofl [ '<'; '>'; '&'; '"'; '/'; 'x'; '\000'; ']' ]))))
+    (fun (d, muts) ->
+      let src = Bytes.of_string (Pf_xml.Print.to_string d) in
+      List.iter
+        (fun (i, c) -> if i < Bytes.length src then Bytes.set src i c)
+        muts;
+      match parse (Bytes.to_string src) with
+      | _ -> true
+      | exception Sax.Parse_error _ -> true)
+
+let prop_random_garbage =
+  QCheck2.Test.make ~name:"random bytes: parse or Parse_error" ~count:1000
+    ~print:(fun s -> String.escaped s)
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 60))
+    (fun src ->
+      match parse src with _ -> true | exception Sax.Parse_error _ -> true)
+
+(* property: print/parse round-trip on random documents *)
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"print/parse roundtrip" ~count:300
+    ~print:Gen_helpers.doc_print Gen_helpers.doc_gen (fun doc ->
+      let doc' = parse (Print.to_string doc) in
+      Tree.equal doc doc')
+
+let prop_paths_count =
+  QCheck2.Test.make ~name:"#paths = #leaves" ~count:300 ~print:Gen_helpers.doc_print
+    Gen_helpers.doc_gen (fun doc ->
+      let rec leaves (e : Tree.element) =
+        match Tree.element_children e with
+        | [] -> 1
+        | cs -> List.fold_left (fun acc c -> acc + leaves c) 0 cs
+      in
+      List.length (Path.of_document doc) = leaves doc.Tree.root)
+
+let prop_occurrences_consistent =
+  QCheck2.Test.make ~name:"occurrence numbers count prefix tags" ~count:300
+    ~print:Gen_helpers.doc_print Gen_helpers.doc_gen (fun doc ->
+      List.for_all
+        (fun (p : Path.t) ->
+          let ok = ref true in
+          Array.iteri
+            (fun i (s : Path.step) ->
+              let expected = ref 0 in
+              for j = 0 to i do
+                if String.equal (p.Path.steps.(j)).Path.tag s.Path.tag then incr expected
+              done;
+              if s.Path.occurrence <> !expected then ok := false)
+            p.Path.steps;
+          !ok)
+        (Path.of_document doc))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "xml"
+    [
+      ( "sax",
+        [
+          Alcotest.test_case "simple" `Quick test_simple;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "text and entities" `Quick test_text_and_entities;
+          Alcotest.test_case "numeric entities" `Quick test_numeric_entities;
+          Alcotest.test_case "cdata" `Quick test_cdata;
+          Alcotest.test_case "comments and PIs" `Quick test_comments_and_pis;
+          Alcotest.test_case "doctype" `Quick test_doctype;
+          Alcotest.test_case "whitespace dropped" `Quick test_whitespace_dropped;
+          Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "tricky cdata" `Quick test_cdata_tricky;
+          Alcotest.test_case "utf8 passthrough" `Quick test_utf8_passthrough;
+          Alcotest.test_case "text_content" `Quick test_text_content;
+          Alcotest.test_case "error position" `Quick test_error_position;
+          Alcotest.test_case "event order" `Quick test_event_order;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "stats" `Quick test_tree_stats;
+          Alcotest.test_case "equal" `Quick test_tree_equal;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "simple" `Quick test_paths_simple;
+          Alcotest.test_case "single element" `Quick test_paths_single_element;
+          Alcotest.test_case "occurrence numbers (Example 1)" `Quick test_occurrence_numbers;
+          Alcotest.test_case "occurrences reset between branches" `Quick
+            test_occurrence_reset_between_branches;
+          Alcotest.test_case "child indices" `Quick test_child_indices;
+          Alcotest.test_case "attributes on steps" `Quick test_path_attrs;
+          Alcotest.test_case "streaming extraction" `Quick test_streaming_extraction;
+          Alcotest.test_case "of_tags" `Quick test_of_tags;
+        ] );
+      ( "print",
+        [
+          Alcotest.test_case "escapes" `Quick test_print_escapes;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_unit;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_roundtrip;
+            prop_paths_count;
+            prop_occurrences_consistent;
+            prop_streaming_agrees;
+            prop_fuzz_no_crash;
+            prop_random_garbage;
+          ] );
+    ]

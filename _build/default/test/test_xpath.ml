@@ -1,0 +1,276 @@
+(* Tests for the XPath subset: parser, printer, reference evaluator. *)
+
+open Pf_xpath
+
+let parse = Parser.parse
+
+let check_print msg expected src =
+  Alcotest.(check string) msg expected (Parser.to_string (parse src))
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parse_shapes () =
+  let p = parse "/a/b" in
+  Alcotest.(check bool) "absolute" true p.Ast.absolute;
+  Alcotest.(check int) "steps" 2 (Ast.num_steps p);
+  let p = parse "a//b" in
+  Alcotest.(check bool) "relative" false p.Ast.absolute;
+  (match p.Ast.steps with
+  | [ s1; s2 ] ->
+    Alcotest.(check bool) "first child" true (s1.Ast.axis = Ast.Child);
+    Alcotest.(check bool) "second descendant" true (s2.Ast.axis = Ast.Descendant)
+  | _ -> Alcotest.fail "two steps expected");
+  let p = parse "//a" in
+  Alcotest.(check bool) "leading // absolute" true p.Ast.absolute;
+  match p.Ast.steps with
+  | [ s ] -> Alcotest.(check bool) "descendant" true (s.Ast.axis = Ast.Descendant)
+  | _ -> Alcotest.fail "one step expected"
+
+let test_parse_wildcards () =
+  let p = parse "/*/a/*" in
+  match p.Ast.steps with
+  | [ s1; s2; s3 ] ->
+    Alcotest.(check bool) "w1" true (s1.Ast.test = Ast.Wildcard);
+    Alcotest.(check bool) "tag" true (s2.Ast.test = Ast.Tag "a");
+    Alcotest.(check bool) "w3" true (s3.Ast.test = Ast.Wildcard)
+  | _ -> Alcotest.fail "three steps expected"
+
+let test_parse_attr_filters () =
+  let p = parse "/a[@x = 3]/b[@y >= 10][@z != \"s\"]" in
+  match p.Ast.steps with
+  | [ s1; s2 ] ->
+    (match s1.Ast.filters with
+    | [ Ast.Attr { attr = "x"; cmp = Ast.Eq; value = Ast.Int 3 } ] -> ()
+    | _ -> Alcotest.fail "bad filter on a");
+    (match s2.Ast.filters with
+    | [ Ast.Attr { attr = "y"; cmp = Ast.Ge; value = Ast.Int 10 };
+        Ast.Attr { attr = "z"; cmp = Ast.Ne; value = Ast.Str "s" } ] -> ()
+    | _ -> Alcotest.fail "bad filters on b")
+  | _ -> Alcotest.fail "two steps expected"
+
+let test_parse_all_comparisons () =
+  List.iter
+    (fun (src, cmp) ->
+      match (parse (Printf.sprintf "a[@x %s 1]" src)).Ast.steps with
+      | [ { Ast.filters = [ Ast.Attr f ]; _ } ] ->
+        Alcotest.(check bool) src true (f.Ast.cmp = cmp)
+      | _ -> Alcotest.fail "expected one attr filter")
+    [ "=", Ast.Eq; "!=", Ast.Ne; "<", Ast.Lt; "<=", Ast.Le; ">", Ast.Gt; ">=", Ast.Ge ]
+
+let test_parse_nested () =
+  let p = parse "/a[*/c[d]/e]//c[d]/e" in
+  Alcotest.(check bool) "not single path" false (Ast.is_single_path p);
+  match p.Ast.steps with
+  | [ s1; s2; _s3 ] ->
+    (match s1.Ast.filters with
+    | [ Ast.Nested q ] ->
+      Alcotest.(check int) "nested steps" 3 (List.length q.Ast.steps)
+    | _ -> Alcotest.fail "expected nested filter on a");
+    (match s2.Ast.filters with
+    | [ Ast.Nested q ] -> Alcotest.(check int) "nested d" 1 (List.length q.Ast.steps)
+    | _ -> Alcotest.fail "expected nested filter on c")
+  | _ -> Alcotest.fail "three steps expected"
+
+let test_parse_nested_descendant () =
+  let p = parse "a[//d]" in
+  match p.Ast.steps with
+  | [ { Ast.filters = [ Ast.Nested { Ast.steps = [ s ]; _ } ]; _ } ] ->
+    Alcotest.(check bool) "descendant nested" true (s.Ast.axis = Ast.Descendant)
+  | _ -> Alcotest.fail "bad shape"
+
+let test_parse_negative_value () =
+  match (parse "a[@x = -3]").Ast.steps with
+  | [ { Ast.filters = [ Ast.Attr { value = Ast.Int (-3); _ } ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected -3"
+
+let expect_error src =
+  match parse src with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail (src ^ ": expected a parse error")
+
+let test_parse_errors () =
+  List.iter expect_error
+    [ ""; "/"; "a/"; "a["; "a[]"; "a[@x]"; "a[@x ~ 3]"; "a[@x = ]"; "a]"; "a b";
+      "a[@x = 'unterminated]"; "a//"; "///a"; "a[[b]]" ]
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let test_print_forms () =
+  check_print "absolute" "/a/b" "/a/b";
+  check_print "descendant" "/a//b" "/a//b";
+  check_print "relative" "a/b" "a/b";
+  check_print "wildcards" "/*/a/*" "/*/a/*";
+  check_print "leading //" "//a" "//a";
+  check_print "attr" "a[@x = 3]" "a[@x=3]";
+  check_print "nested" "/a[b/c]//d" "/a[b/c]//d"
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"parse(print(p)) = p (modulo // normalization)" ~count:500
+    ~print:Gen_helpers.path_print Gen_helpers.any_path_gen (fun p ->
+      (* a relative path whose first step is a descendant prints as "//x",
+         which reparses as absolute; normalize before comparing *)
+      let normalize (p : Ast.path) =
+        match p.Ast.steps with
+        | { Ast.axis = Ast.Descendant; _ } :: _ -> { p with Ast.absolute = true }
+        | _ -> p
+      in
+      Ast.equal (normalize p) (Parser.parse (Parser.to_string p)))
+
+(* ------------------------------------------------------------------ *)
+(* Reference evaluator *)
+
+let doc = Pf_xml.Sax.parse_document "<a><b n=\"1\"><c/><c k=\"5\"/></b><d><b n=\"2\"><e/></b></d></a>"
+
+let check_match expected src =
+  Alcotest.(check bool) src expected (Eval.matches (parse src) doc)
+
+let test_eval_absolute () =
+  check_match true "/a";
+  check_match true "/a/b/c";
+  check_match false "/b";
+  check_match false "/a/c";
+  check_match true "/a/d/b/e";
+  check_match false "/a/b/e"
+
+let test_eval_relative () =
+  check_match true "b/c";
+  check_match true "d/b";
+  check_match true "b/e";
+  check_match false "c/b";
+  check_match true "e"
+
+let test_eval_wildcards () =
+  check_match true "/*";
+  check_match true "/a/*/c";
+  check_match true "/*/*/*";
+  check_match false "/*/*/*/*/*";
+  check_match true "/a/*/*/e";
+  check_match false "/a/*/*/c"
+
+let test_eval_descendant () =
+  check_match true "//c";
+  check_match true "/a//e";
+  check_match true "a//c";
+  check_match true "/a//b/e";
+  check_match false "/a//c/e";
+  check_match true "//b//e";
+  check_match false "//c//e"
+
+let test_eval_attr () =
+  check_match true "/a/b[@n = 1]";
+  check_match false "/a/b[@n = 3]";
+  check_match true "b[@n >= 2]";
+  check_match true "b[@n != 1]";
+  check_match true "/a/b/c[@k < 6]";
+  check_match false "/a/b/c[@k < 5]";
+  check_match false "c[@missing = 1]"
+
+let test_eval_nested () =
+  check_match true "/a[b/c]";
+  check_match true "/a[d]/b";
+  check_match false "/a[e]";
+  check_match true "/a[//e]";
+  check_match true "/a/d[b[e]]";
+  check_match false "/a/d[b[c]]";
+  check_match false "a[b[@n = 2]]";
+  (* that b sits under d, not directly under a *)
+  check_match true "a[//b[@n = 2]]";
+  check_match true "d[b[@n = 2]]"
+
+let test_eval_select_counts () =
+  Alcotest.(check int) "two c nodes" 2 (List.length (Eval.select (parse "//c") doc));
+  Alcotest.(check int) "two b nodes" 2 (List.length (Eval.select (parse "//b") doc));
+  Alcotest.(check int) "dedup under //" 1 (List.length (Eval.select (parse "//e") doc))
+
+let test_text_filters () =
+  let d = Pf_xml.Sax.parse_document "<a><b>42</b><c>hello</c><d/></a>" in
+  let m src = Eval.matches (parse src) d in
+  Alcotest.(check bool) "numeric text eq" true (m "b[text() = 42]");
+  Alcotest.(check bool) "numeric text ge" true (m "b[text() >= 40]");
+  Alcotest.(check bool) "numeric text wrong" false (m "b[text() = 7]");
+  Alcotest.(check bool) "string text" true (m "c[text() = \"hello\"]");
+  Alcotest.(check bool) "empty text never matches" false (m "d[text() = \"\"]");
+  Alcotest.(check bool) "with structure" true (m "/a/b[text() < 50]");
+  (* printer round-trip *)
+  Alcotest.(check string) "printed" "b[text() = 42]"
+    (Parser.to_string (parse "b[text()=42]"));
+  (* whitespace around content is trimmed *)
+  let d2 = Pf_xml.Sax.parse_document "<a><b>  7 </b></a>" in
+  Alcotest.(check bool) "trimmed" true (Eval.matches (parse "b[text() = 7]") d2)
+
+let test_eval_string_attr () =
+  let d = Pf_xml.Sax.parse_document "<a><b s=\"hello\"/></a>" in
+  Alcotest.(check bool) "string eq" true (Eval.matches (parse "b[@s = \"hello\"]") d);
+  Alcotest.(check bool) "string ne" false (Eval.matches (parse "b[@s = \"world\"]") d);
+  Alcotest.(check bool) "int vs non-int attr" false (Eval.matches (parse "b[@s = 3]") d)
+
+(* matches_doc_path agrees with matches on linear documents *)
+let prop_doc_path_agrees =
+  let open QCheck2 in
+  let linear_doc_gen =
+    Gen.(
+      list_size (int_range 1 6)
+        (pair Gen_helpers.tag_gen
+           (list_size (int_range 0 2) (pair Gen_helpers.attr_name_gen Gen_helpers.attr_value_gen))))
+  in
+  Test.make ~name:"matches_doc_path = matches on linear docs" ~count:1000
+    ~print:(fun (p, steps) ->
+      Gen_helpers.path_print p ^ " on "
+      ^ String.concat "/" (List.map fst steps))
+    Gen.(pair Gen_helpers.single_path_attr_gen linear_doc_gen)
+    (fun (p, steps) ->
+      let rec build = function
+        | [] -> assert false
+        | [ (tag, attrs) ] -> Pf_xml.Tree.element ~attrs tag
+        | (tag, attrs) :: rest ->
+          Pf_xml.Tree.element ~attrs ~children:[ Pf_xml.Tree.Element (build rest) ] tag
+      in
+      let tree = Pf_xml.Tree.doc (build steps) in
+      let path =
+        match Pf_xml.Path.of_document tree with [ p ] -> p | _ -> assert false
+      in
+      Eval.matches_doc_path p path = Eval.matches p tree)
+
+(* single-path matching over a tree is the disjunction over its paths *)
+let prop_tree_is_disjunction_of_paths =
+  QCheck2.Test.make ~name:"matches(tree) = exists path matched" ~count:500
+    ~print:(fun (p, d) -> Gen_helpers.path_print p ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(pair Gen_helpers.single_path_attr_gen Gen_helpers.doc_gen)
+    (fun (p, d) ->
+      let by_paths =
+        List.exists (Eval.matches_doc_path p) (Pf_xml.Path.of_document d)
+      in
+      by_paths = Eval.matches p d)
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "xpath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "shapes" `Quick test_parse_shapes;
+          Alcotest.test_case "wildcards" `Quick test_parse_wildcards;
+          Alcotest.test_case "attr filters" `Quick test_parse_attr_filters;
+          Alcotest.test_case "all comparisons" `Quick test_parse_all_comparisons;
+          Alcotest.test_case "nested (paper example)" `Quick test_parse_nested;
+          Alcotest.test_case "nested descendant" `Quick test_parse_nested_descendant;
+          Alcotest.test_case "negative value" `Quick test_parse_negative_value;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      "printer", Alcotest.test_case "forms" `Quick test_print_forms :: qt [ prop_roundtrip ];
+      ( "eval",
+        [
+          Alcotest.test_case "absolute" `Quick test_eval_absolute;
+          Alcotest.test_case "relative" `Quick test_eval_relative;
+          Alcotest.test_case "wildcards" `Quick test_eval_wildcards;
+          Alcotest.test_case "descendant" `Quick test_eval_descendant;
+          Alcotest.test_case "attributes" `Quick test_eval_attr;
+          Alcotest.test_case "nested" `Quick test_eval_nested;
+          Alcotest.test_case "select counts" `Quick test_eval_select_counts;
+          Alcotest.test_case "string attributes" `Quick test_eval_string_attr;
+          Alcotest.test_case "text() filters" `Quick test_text_filters;
+        ] );
+      "properties", qt [ prop_doc_path_agrees; prop_tree_is_disjunction_of_paths ];
+    ]

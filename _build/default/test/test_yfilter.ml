@@ -1,0 +1,106 @@
+(* Tests for the YFilter baseline. *)
+
+let add = Pf_yfilter.Yfilter.add_string
+
+let test_basic () =
+  let y = Pf_yfilter.Yfilter.create () in
+  let s1 = add y "/a/b" in
+  let s2 = add y "/a/c" in
+  let s3 = add y "a//b" in
+  let m = Pf_yfilter.Yfilter.match_string y "<a><b/></a>" in
+  Alcotest.(check (list int)) "matches" [ s1; s3 ] m;
+  ignore s2
+
+let test_prefix_sharing () =
+  let y = Pf_yfilter.Yfilter.create () in
+  let n0 = Pf_yfilter.Yfilter.state_count y in
+  let _ = add y "/a/b/c" in
+  let n1 = Pf_yfilter.Yfilter.state_count y in
+  let _ = add y "/a/b/d" in
+  let n2 = Pf_yfilter.Yfilter.state_count y in
+  Alcotest.(check int) "three states for /a/b/c" 3 (n1 - n0);
+  Alcotest.(check int) "one extra state for shared prefix" 1 (n2 - n1)
+
+let test_descendant_loop () =
+  let y = Pf_yfilter.Yfilter.create () in
+  let s = add y "/a//d" in
+  Alcotest.(check (list int)) "deep" [ s ]
+    (Pf_yfilter.Yfilter.match_string y "<a><b><c><d/></c></b></a>");
+  Alcotest.(check (list int)) "direct child also matches //" [ s ]
+    (Pf_yfilter.Yfilter.match_string y "<a><d/></a>");
+  Alcotest.(check (list int)) "root does not match" []
+    (Pf_yfilter.Yfilter.match_string y "<d><a/></d>")
+
+let test_wildcards () =
+  let y = Pf_yfilter.Yfilter.create () in
+  let s1 = add y "/*/b" in
+  let s2 = add y "/a/*" in
+  let s3 = add y "/*/*/*" in
+  let m = Pf_yfilter.Yfilter.match_string y "<a><b/></a>" in
+  Alcotest.(check (list int)) "wildcards" [ s1; s2 ] m;
+  ignore s3
+
+let test_attr_filters_postponed () =
+  let y = Pf_yfilter.Yfilter.create () in
+  let s1 = add y "/a/b[@x = 1]" in
+  let _s2 = add y "/a/b[@x = 2]" in
+  let m = Pf_yfilter.Yfilter.match_string y "<a><b x=\"1\"/></a>" in
+  Alcotest.(check (list int)) "filtered" [ s1 ] m
+
+let test_nested_rejected () =
+  let y = Pf_yfilter.Yfilter.create () in
+  match add y "/a[b]/c" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nested paths unsupported in the baseline"
+
+let test_duplicate_expressions () =
+  let y = Pf_yfilter.Yfilter.create () in
+  let s1 = add y "/a/b" in
+  let s2 = add y "/a/b" in
+  Alcotest.(check (list int)) "both sids accept" [ s1; s2 ]
+    (Pf_yfilter.Yfilter.match_string y "<a><b/></a>")
+
+let prop_oracle =
+  QCheck2.Test.make ~name:"yfilter = oracle" ~count:600
+    ~print:(fun (paths, d) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 8) Gen_helpers.single_path_attr_gen) Gen_helpers.doc_gen)
+    (fun (paths, d) ->
+      let y = Pf_yfilter.Yfilter.create () in
+      let sids = List.map (fun p -> Pf_yfilter.Yfilter.add y p, p) paths in
+      let m = Pf_yfilter.Yfilter.match_document y d in
+      List.for_all (fun (sid, p) -> List.mem sid m = Pf_xpath.Eval.matches p d) sids)
+
+let prop_agrees_with_engine =
+  QCheck2.Test.make ~name:"yfilter = predicate engine" ~count:400
+    ~print:(fun (paths, d) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 8) Gen_helpers.single_path_gen) Gen_helpers.doc_gen)
+    (fun (paths, d) ->
+      let y = Pf_yfilter.Yfilter.create () in
+      let e = Pf_core.Engine.create () in
+      List.iter (fun p -> ignore (Pf_yfilter.Yfilter.add y p)) paths;
+      List.iter (fun p -> ignore (Pf_core.Engine.add e p)) paths;
+      Pf_yfilter.Yfilter.match_document y d = Pf_core.Engine.match_document e d)
+
+let () =
+  Alcotest.run "yfilter"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basic;
+          Alcotest.test_case "prefix sharing" `Quick test_prefix_sharing;
+          Alcotest.test_case "descendant loop" `Quick test_descendant_loop;
+          Alcotest.test_case "wildcards" `Quick test_wildcards;
+          Alcotest.test_case "attr filters (selection postponed)" `Quick
+            test_attr_filters_postponed;
+          Alcotest.test_case "nested rejected" `Quick test_nested_rejected;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_expressions;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_oracle; prop_agrees_with_engine ] );
+    ]
