@@ -13,9 +13,52 @@
 
 open Pf_workload
 module B = Pf_bench.Bench_util
+module J = Pf_obs.Json
 
 let full = ref false
 let seed = ref 7
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: every experiment records key/value pairs
+   under its own name; the driver writes them all to BENCH_results.json
+   so runs can be diffed and plotted without scraping the tables. *)
+
+let current_exp = ref ""
+let recorded : (string * (string * J.t) list ref) list ref = ref []
+
+let record key v =
+  match List.assoc_opt !current_exp !recorded with
+  | Some l -> l := (key, v) :: !l
+  | None -> recorded := (!current_exp, ref [ key, v ]) :: !recorded
+
+let json_of_series (s : B.series) =
+  J.Obj
+    [
+      "label", J.String s.B.label;
+      ( "points",
+        J.List (List.map (fun (x, y) -> J.List [ J.Float x; J.Float y ]) s.B.points) );
+    ]
+
+let record_series key series = record key (J.List (List.map json_of_series series))
+
+let write_results path =
+  let experiments =
+    List.rev_map (fun (name, fields) -> name, J.Obj (List.rev !fields)) !recorded
+  in
+  let doc =
+    J.Obj
+      [
+        "schema", J.String "predfilter-bench/1";
+        "scale", J.String (if !full then "paper" else "scaled");
+        "seed", J.Int !seed;
+        "experiments", J.Obj experiments;
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nresults written to %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Workload construction *)
@@ -141,6 +184,10 @@ let fig6 name dtd_name counts ndocs =
   let probe_qs = queries dtd probe_count in
   build probe probe_qs;
   let pct = match_percentage probe docs (List.length probe_qs) in
+  record "dtd" (J.String dtd_name);
+  record "documents" (J.Int ndocs);
+  record "match_percentage" (J.Float pct);
+  record "probe_engine_counters" (Pf_obs.Export.registry_json probe.B.metrics);
   B.print_kv
     ~title:(Printf.sprintf "%s setup (%s)" name dtd_name)
     [
@@ -151,7 +198,7 @@ let fig6 name dtd_name counts ndocs =
       "L, W, DO, D", "6, 0.2, 0.2, distinct";
       "match percentage", Printf.sprintf "%.1f%%" pct;
     ];
-  ignore
+  record_series "series"
     (sweep_algorithms ~algos:paper_algos ~counts
        ~make_queries:(fun c -> queries dtd c)
        ~docs
@@ -189,7 +236,9 @@ let fig7 () =
       "distinct at largest size",
       string_of_int (Xpath_gen.distinct_count largest);
     ];
-  ignore
+  record "documents" (J.Int ndocs);
+  record "distinct_at_largest" (J.Int (Xpath_gen.distinct_count largest));
+  record_series "series"
     (sweep_algorithms ~algos:paper_algos ~counts ~make_queries:qs_of ~docs
        ~title:"fig7: duplicate XPEs, PSD DTD (paper Figure 7)"
        ~x_label:"#XPEs")
@@ -235,6 +284,8 @@ let fig8_sweep ~vary () =
   B.print_kv
     ~title:(Printf.sprintf "%s: distinct predicates vs %s" name what)
     (List.map (fun (p, n) -> Printf.sprintf "%.1f" p, string_of_int n) distinct_preds);
+  record "distinct_predicates"
+    (J.List (List.map (fun (p, n) -> J.List [ J.Float p; J.Int n ]) distinct_preds));
   let series =
     List.map
       (fun make_algo ->
@@ -252,7 +303,8 @@ let fig8_sweep ~vary () =
   in
   B.print_table
     ~title:(Printf.sprintf "%s: varying %s, NITF, %d XPEs (paper Figure 8)" name what count)
-    ~x_label:what ~y_label:"ms per document" series
+    ~x_label:what ~y_label:"ms per document" series;
+  record_series "series" series
 
 let fig8 () = fig8_sweep ~vary:`Wildcard ()
 let fig8_do () = fig8_sweep ~vary:`Descendant ()
@@ -300,7 +352,8 @@ let fig9_one dtd_name () =
       (Printf.sprintf
          "fig9 (%s): attribute filters per path, inline vs selection postponed (paper Figure 9)"
          (String.uppercase_ascii dtd_name))
-    ~x_label:"#XPEs" ~y_label:"ms per document" series
+    ~x_label:"#XPEs" ~y_label:"ms per document" series;
+  record_series (Printf.sprintf "series_%s" dtd_name) series
 
 let fig9 () =
   fig9_one "nitf" ();
@@ -324,6 +377,7 @@ let fig10 () =
   in
   Printf.printf "\n-- fig10: average parse time: %.0f microseconds/document --\n"
     (1000. *. parse_ms /. float ndocs);
+  record "parse_us_per_doc" (J.Float (1000. *. parse_ms /. float ndocs));
   let rows =
     List.map
       (fun count ->
@@ -358,7 +412,20 @@ let fig10 () =
   B.print_kv ~title:"fig10: distinct predicates stored"
     (List.map
        (fun (c, _, _, _, n) -> Printf.sprintf "%d XPEs" c, string_of_int n)
-       rows)
+       rows);
+  record "rows"
+    (J.List
+       (List.map
+          (fun (c, p, x, o, n) ->
+            J.Obj
+              [
+                "xpes", J.Int c;
+                "predicate_ms_per_doc", J.Float p;
+                "expr_ms_per_doc", J.Float x;
+                "collect_ms_per_doc", J.Float o;
+                "distinct_predicates", J.Int n;
+              ])
+          rows))
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: occurrence-run sharing (our extension) *)
@@ -377,7 +444,10 @@ let ablation () =
           B.time_ms (fun () ->
               List.iter (fun d -> ignore (Pf_core.Engine.match_document e d)) docs)
         in
-        name, ms /. float (List.length docs), Pf_core.Engine.occurrence_runs e
+        ( name,
+          ms /. float (List.length docs),
+          Pf_core.Engine.occurrence_runs e,
+          Pf_obs.Export.registry_json (Pf_core.Engine.metrics e) )
       in
       let rows =
         List.map
@@ -393,8 +463,20 @@ let ablation () =
         (String.uppercase_ascii dtd_name) (List.length qs);
       Printf.printf "%16s %14s %16s\n" "variant" "ms/doc" "occurrence runs";
       List.iter
-        (fun (name, ms, runs) -> Printf.printf "%16s %14.3f %16d\n" name ms runs)
-        rows)
+        (fun (name, ms, runs, _) -> Printf.printf "%16s %14.3f %16d\n" name ms runs)
+        rows;
+      record (Printf.sprintf "rows_%s" dtd_name)
+        (J.List
+           (List.map
+              (fun (name, ms, runs, counters) ->
+                J.Obj
+                  [
+                    "variant", J.String name;
+                    "ms_per_doc", J.Float ms;
+                    "occurrence_runs", J.Int runs;
+                    "counters", counters;
+                  ])
+              rows)))
     [ "nitf"; "psd" ]
 
 (* ------------------------------------------------------------------ *)
@@ -414,7 +496,9 @@ let insertion () =
     (fun make_algo ->
       let algo : B.algorithm = make_algo () in
       let (), ms = B.time_ms (fun () -> build algo qs) in
-      Printf.printf "%16s %12.1f %16.2f\n" algo.B.name ms (1000. *. ms /. float n))
+      Printf.printf "%16s %12.1f %16.2f\n" algo.B.name ms (1000. *. ms /. float n);
+      record algo.B.name
+        (J.Obj [ "total_ms", J.Float ms; "us_per_expr", J.Float (1000. *. ms /. float n) ]))
     paper_algos;
   (* removal: constant-time per expression (trie sid-list update) *)
   let e = Pf_core.Engine.create () in
@@ -423,7 +507,9 @@ let insertion () =
     B.time_ms (fun () -> List.iter (fun sid -> ignore (Pf_core.Engine.remove e sid)) sids)
   in
   Printf.printf "%16s %12.1f %16.2f   (Engine.remove)\n" "removal" ms
-    (1000. *. ms /. float n)
+    (1000. *. ms /. float n);
+  record "removal"
+    (J.Obj [ "total_ms", J.Float ms; "us_per_expr", J.Float (1000. *. ms /. float n) ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure, exercising
@@ -493,7 +579,9 @@ let micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-32s %12.0f ns/run\n" name est
+          | Some [ est ] ->
+            Printf.printf "  %-32s %12.0f ns/run\n" name est;
+            record name (J.Float est)
           | _ -> Printf.printf "  %-32s (no estimate)\n" name)
         stats)
     tests;
@@ -540,6 +628,9 @@ let () =
     !seed;
   List.iter
     (fun (name, f) ->
+      current_exp := name;
       let (), s = B.time f in
+      record "elapsed_s" (J.Float s);
       Printf.printf "\n[%s completed in %.1f s]\n%!" name s)
-    to_run
+    to_run;
+  write_results "BENCH_results.json"

@@ -20,23 +20,43 @@ let read_expressions path =
   in
   go [] 1
 
-let run engine_name quiet count_only exprs_file docs =
-  let algo =
-    match engine_name with
-    | "yfilter" -> Pf_bench.Bench_util.yfilter ()
-    | "index-filter" -> Pf_bench.Bench_util.index_filter ()
-    | name -> (
-      match Pf_core.Expr_index.variant_of_name name with
-      | Some variant -> Pf_bench.Bench_util.predicate_engine ~variant ()
+let run engine_name quiet count_only metrics_fmt trace_srcs exprs_file docs =
+  let metrics_fmt =
+    match metrics_fmt with
+    | None -> None
+    | Some name -> (
+      match Pf_obs.Export.format_of_name name with
+      | Some f -> Some f
       | None ->
-        Printf.eprintf "unknown engine %S\n" name;
+        Printf.eprintf "unknown metrics format %S (try console, json or prom)\n" name;
         exit 2)
   in
-  (* for per-expression reporting keep our own engine handle when possible *)
-  let engine =
+  if trace_srcs <> [] then begin
+    Pf_obs.Events.install_reporter ();
+    List.iter
+      (fun name ->
+        if not (Pf_obs.Events.enable name) then begin
+          Printf.eprintf "unknown trace source %S; known sources: %s\n" name
+            (String.concat ", " (Pf_obs.Events.known_sources ()));
+          exit 2
+        end)
+      trace_srcs
+  end;
+  (* for per-expression reporting keep our own engine handle when possible;
+     the baselines go through the uniform adapter *)
+  let engine, algo =
     match Pf_core.Expr_index.variant_of_name engine_name with
-    | Some variant -> Some (Pf_core.Engine.create ~variant ())
-    | None -> None
+    | Some variant ->
+      (* stage timings are wanted whenever metrics are exported *)
+      let collect_stats = metrics_fmt <> None in
+      Some (Pf_core.Engine.create ~variant ~collect_stats ()), None
+    | None -> (
+      match engine_name with
+      | "yfilter" -> None, Some (Pf_bench.Bench_util.yfilter ())
+      | "index-filter" -> None, Some (Pf_bench.Bench_util.index_filter ())
+      | name ->
+        Printf.eprintf "unknown engine %S\n" name;
+        exit 2)
   in
   let exprs = read_expressions exprs_file in
   let table = Hashtbl.create (List.length exprs) in
@@ -48,9 +68,10 @@ let run engine_name quiet count_only exprs_file docs =
         exit 2
       | p -> (
         try
-          match engine with
-          | Some e -> Hashtbl.add table (Pf_core.Engine.add e p) src
-          | None -> algo.Pf_bench.Bench_util.add p
+          match engine, algo with
+          | Some e, _ -> Hashtbl.add table (Pf_core.Engine.add e p) src
+          | None, Some a -> a.Pf_bench.Bench_util.add p
+          | None, None -> assert false
         with Pf_core.Encoder.Unsupported msg | Invalid_argument msg ->
           Printf.eprintf "%s:%d: unsupported expression: %s\n" exprs_file lineno msg;
           exit 2))
@@ -64,8 +85,8 @@ let run engine_name quiet count_only exprs_file docs =
           (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
         exit 2
       | doc -> (
-        match engine with
-        | Some e ->
+        match engine, algo with
+        | Some e, _ ->
           let matched = Pf_core.Engine.match_document e doc in
           if matched <> [] then exit_code := 0;
           if count_only then Printf.printf "%s: %d\n" doc_path (List.length matched)
@@ -73,11 +94,13 @@ let run engine_name quiet count_only exprs_file docs =
             List.iter
               (fun sid -> Printf.printf "%s: %s\n" doc_path (Hashtbl.find table sid))
               matched
-        | None ->
-          let n = algo.Pf_bench.Bench_util.match_doc doc in
+        | None, Some a ->
+          let n = a.Pf_bench.Bench_util.match_doc doc in
           if n > 0 then exit_code := 0;
-          Printf.printf "%s: %d\n" doc_path n))
+          Printf.printf "%s: %d\n" doc_path n
+        | None, None -> assert false))
     docs;
+  (match metrics_fmt with None -> () | Some fmt -> Pf_obs.Export.print fmt);
   exit !exit_code
 
 let engine_arg =
@@ -92,6 +115,22 @@ let quiet_arg =
 
 let count_arg =
   Arg.(value & flag & info [ "c"; "count" ] ~doc:"Print match counts only.")
+
+let metrics_arg =
+  let doc =
+    "After filtering, dump every metric registry to stdout in $(docv) format: \
+     $(b,console) (aligned table), $(b,json) (JSON Lines, one object per metric) \
+     or $(b,prom) (Prometheus text exposition). Also enables per-stage timing \
+     collection in the predicate engine."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+let trace_arg =
+  let doc =
+    "Enable debug tracing for a subsystem (repeatable): engine, \
+     predicate_index, nested — or $(b,all). Events go to stderr."
+  in
+  Arg.(value & opt_all string [] & info [ "trace" ] ~docv:"SRC" ~doc)
 
 let exprs_arg =
   Arg.(
@@ -108,6 +147,9 @@ let docs_arg =
 let cmd =
   let doc = "filter XML documents against a set of XPath expressions" in
   let info = Cmd.info "pf-filter" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const run $ engine_arg $ quiet_arg $ count_arg $ exprs_arg $ docs_arg)
+  Cmd.v info
+    Term.(
+      const run $ engine_arg $ quiet_arg $ count_arg $ metrics_arg $ trace_arg
+      $ exprs_arg $ docs_arg)
 
 let () = exit (Cmd.eval cmd)

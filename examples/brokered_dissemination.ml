@@ -53,7 +53,7 @@ let () =
   Printf.printf "published %d documents in %.1f ms: %d subscriber deliveries\n"
     (List.length docs) ms !total;
   (* show one concrete delivery *)
-  match Pf_broker.Broker.publish broker (List.hd docs) with
+  (match Pf_broker.Broker.publish broker (List.hd docs) with
   | [] -> print_endline "first document matched nobody"
   | { Pf_broker.Broker.subscriber; via } :: _ ->
     Printf.printf "e.g. %s receives the first document via:\n" subscriber;
@@ -61,4 +61,5 @@ let () =
       (fun sub ->
         Printf.printf "  %s\n"
           (Pf_xpath.Parser.to_string (Pf_broker.Broker.expression_of sub)))
-      via
+      via);
+  print_endline ("\nmetrics: " ^ Pf_obs.Export.summary_line (Pf_broker.Broker.metrics broker))

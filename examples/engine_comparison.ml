@@ -44,4 +44,10 @@ let () =
   let counts = List.map (fun (_, _, _, c) -> c) results in
   let agree = List.for_all (fun c -> c = List.hd counts) counts in
   Printf.printf "\nall engines agree on every document: %b\n" agree;
+  print_newline ();
+  List.iter
+    (fun (algo : Pf_bench.Bench_util.algorithm) ->
+      Printf.printf "metrics[%s]: %s\n" algo.name
+        (Pf_obs.Export.summary_line algo.metrics))
+    algorithms;
   if not agree then exit 1

@@ -75,3 +75,5 @@ let () =
   Hashtbl.fold (fun user n acc -> (user, n) :: acc) deliveries []
   |> List.sort compare
   |> List.iter (fun (user, n) -> Printf.printf "  %-8s %4d articles\n" user n)
+;
+  print_endline ("\nmetrics: " ^ Pf_obs.Export.summary_line (Pf_core.Engine.metrics engine))

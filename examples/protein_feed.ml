@@ -63,3 +63,5 @@ let () =
   Printf.printf
     "\nthe paper's Section 6.4 finding: on matching-heavy workloads inline wins,\n\
      because postponing re-runs the occurrence determination per structural match.\n"
+;
+  print_endline ("metrics: " ^ Pf_obs.Export.summary_line (Pf_core.Engine.metrics engine))

@@ -68,3 +68,7 @@ let () =
       (List.assoc 1 (List.map (fun (s, src) -> s, src) sids))
       Pf_core.Engine.pp_explanation explanation
   | None -> print_endline "no witness")
+;
+
+  (* 7. One-line metrics digest of what the engine just did. *)
+  print_endline ("\nmetrics: " ^ Pf_obs.Export.summary_line (Pf_core.Engine.metrics engine))

@@ -69,3 +69,5 @@ let () =
   Printf.printf "engine now holds %d registered sids, %d distinct predicates\n"
     (Pf_core.Engine.expression_count engine)
     (Pf_core.Engine.distinct_predicate_count engine)
+;
+  print_endline ("metrics: " ^ Pf_obs.Export.summary_line (Pf_core.Engine.metrics engine))

@@ -58,6 +58,7 @@ type algorithm = {
   add : Pf_xpath.Ast.path -> unit;
   finish_build : unit -> unit;
   match_doc : Pf_xml.Tree.t -> int;
+  metrics : Pf_obs.Registry.t;
 }
 
 let predicate_engine ?(variant = Pf_core.Expr_index.Access_predicate)
@@ -74,6 +75,7 @@ let predicate_engine ?(variant = Pf_core.Expr_index.Access_predicate)
     add = (fun p -> ignore (Pf_core.Engine.add engine p));
     finish_build = ignore;
     match_doc = (fun doc -> List.length (Pf_core.Engine.match_document engine doc));
+    metrics = Pf_core.Engine.metrics engine;
   }
 
 let yfilter () =
@@ -83,6 +85,7 @@ let yfilter () =
     add = (fun p -> ignore (Pf_yfilter.Yfilter.add y p));
     finish_build = ignore;
     match_doc = (fun doc -> List.length (Pf_yfilter.Yfilter.match_document y doc));
+    metrics = Pf_yfilter.Yfilter.metrics y;
   }
 
 let index_filter () =
@@ -92,6 +95,7 @@ let index_filter () =
     add = (fun p -> ignore (Pf_indexfilter.Index_filter.add f p));
     finish_build = ignore;
     match_doc = (fun doc -> List.length (Pf_indexfilter.Index_filter.match_document f doc));
+    metrics = Pf_indexfilter.Index_filter.metrics f;
   }
 
 let all_paper_algorithms () =

@@ -38,6 +38,7 @@ type algorithm = {
   add : Pf_xpath.Ast.path -> unit;
   finish_build : unit -> unit;
   match_doc : Pf_xml.Tree.t -> int;  (** number of matched expressions *)
+  metrics : Pf_obs.Registry.t;  (** the engine instance's metric registry *)
 }
 
 val predicate_engine :

@@ -1,5 +1,9 @@
 open Pf_xpath
 
+let src = Pf_obs.Events.src "broker" ~doc:"Selective-dissemination broker"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type config = {
   variant : Pf_core.Expr_index.variant;
   attr_mode : Pf_core.Engine.attr_mode;
@@ -27,14 +31,33 @@ type subscription = {
   mutable state : state;
 }
 
+type metrics = {
+  registry : Pf_obs.Registry.t;
+  documents : Pf_obs.Counter.t;
+  deliveries : Pf_obs.Counter.t;
+  suppressions : Pf_obs.Counter.t;
+}
+
+let make_metrics () =
+  let registry = Pf_obs.Registry.create "broker" in
+  {
+    registry;
+    documents =
+      Pf_obs.Counter.make ~registry "documents_published" ~help:"documents published";
+    deliveries =
+      Pf_obs.Counter.make ~registry "deliveries" ~help:"per-subscriber deliveries";
+    suppressions =
+      Pf_obs.Counter.make ~registry "covering_suppressions"
+        ~help:"subscriptions suppressed by a covering subscription at subscribe time";
+  }
+
 type t = {
   config : config;
   engine : Pf_core.Engine.t;
   by_sid : (int, subscription) Hashtbl.t;
   by_subscriber : (string, subscription list ref) Hashtbl.t;
   mutable next_uid : int;
-  mutable n_docs : int;
-  mutable n_deliveries : int;
+  m : metrics;
 }
 
 let create ?(config = default_config) () =
@@ -46,9 +69,10 @@ let create ?(config = default_config) () =
     by_sid = Hashtbl.create 1024;
     by_subscriber = Hashtbl.create 64;
     next_uid = 0;
-    n_docs = 0;
-    n_deliveries = 0;
+    m = make_metrics ();
   }
+
+let metrics t = t.m.registry
 
 let subscriber_of sub = sub.subscriber
 let expression_of sub = sub.expr
@@ -82,8 +106,15 @@ let subscribe_path t ~subscriber (expr : Ast.path) =
   let sub = { uid = t.next_uid; subscriber; expr; state = Cancelled } in
   t.next_uid <- t.next_uid + 1;
   (match find_cover t ~subscriber expr with
-  | Some cover -> sub.state <- Suppressed cover.uid
-  | None -> activate t sub);
+  | Some cover ->
+    Pf_obs.Counter.incr t.m.suppressions;
+    Log.debug (fun m ->
+        m "subscription %d of %s suppressed by covering subscription %d" sub.uid
+          subscriber cover.uid);
+    sub.state <- Suppressed cover.uid
+  | None ->
+    activate t sub;
+    Log.debug (fun m -> m "subscription %d of %s active" sub.uid subscriber));
   (match Hashtbl.find_opt t.by_subscriber subscriber with
   | Some l -> l := sub :: !l
   | None -> Hashtbl.add t.by_subscriber subscriber (ref [ sub ]));
@@ -142,7 +173,7 @@ type delivery = {
 }
 
 let publish t doc =
-  t.n_docs <- t.n_docs + 1;
+  Pf_obs.Counter.incr t.m.documents;
   let sids = Pf_core.Engine.match_document t.engine doc in
   let per_subscriber : (string, subscription list ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -160,7 +191,10 @@ let publish t doc =
       per_subscriber []
     |> List.sort (fun d1 d2 -> String.compare d1.subscriber d2.subscriber)
   in
-  t.n_deliveries <- t.n_deliveries + List.length deliveries;
+  Pf_obs.Counter.add t.m.deliveries (List.length deliveries);
+  Log.debug (fun m ->
+      m "published document: %d matching sids, %d deliveries" (List.length sids)
+        (List.length deliveries));
   deliveries
 
 let publish_string t src = publish t (Pf_xml.Sax.parse_document src)
@@ -197,8 +231,8 @@ let stats t =
     suppressed = !suppressed;
     engine_expressions = Hashtbl.length t.by_sid;
     distinct_predicates = Pf_core.Engine.distinct_predicate_count t.engine;
-    documents_published = t.n_docs;
-    deliveries = t.n_deliveries;
+    documents_published = Pf_obs.Counter.get t.m.documents;
+    deliveries = Pf_obs.Counter.get t.m.deliveries;
   }
 
 let pp_stats fmt s =

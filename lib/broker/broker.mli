@@ -88,3 +88,10 @@ type stats = {
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val metrics : t -> Pf_obs.Registry.t
+(** Metric registry (scope ["broker"]): counters ["documents_published"],
+    ["deliveries"] and ["covering_suppressions"]. The underlying engine's
+    registry is separate; reach it via {!Pf_core.Engine.metrics} or the
+    process-wide {!Pf_obs.Registry.registries}. Debug events are logged on
+    the [predfilter.broker] source. *)

@@ -1,5 +1,9 @@
 open Pf_xpath
 
+let src = Pf_obs.Events.src "engine" ~doc:"Predicate-based filtering engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type attr_mode = Inline | Postponed
 
 (* Postponed attribute constraints for one expression: per predicate, the
@@ -26,6 +30,44 @@ type stats = {
   mutable documents : int;
 }
 
+(* All engine metrics live in one registry (scope "engine"), so one
+   registry reset zeroes every counter, histogram and stage timer of this
+   engine — including the counters owned by the predicate and expression
+   indexes. *)
+type metrics = {
+  registry : Pf_obs.Registry.t;
+  paths : Pf_obs.Counter.t;
+  documents : Pf_obs.Counter.t;
+  dedup_hits : Pf_obs.Counter.t;
+  predicate_span : Pf_obs.Span.t;
+  expr_span : Pf_obs.Span.t;
+  collect_span : Pf_obs.Span.t;
+  pm : Predicate_index.metrics;
+  em : Expr_index.metrics;
+}
+
+let make_metrics () =
+  let registry = Pf_obs.Registry.create "engine" in
+  {
+    registry;
+    paths = Pf_obs.Counter.make ~registry "paths" ~help:"document paths processed";
+    documents = Pf_obs.Counter.make ~registry "documents" ~help:"documents processed";
+    dedup_hits =
+      Pf_obs.Counter.make ~registry "dedup_path_hits"
+        ~help:"tag-identical paths skipped by duplicate-path elimination";
+    predicate_span =
+      Pf_obs.Span.make ~registry "predicate_stage_ns"
+        ~help:"predicate matching stage time";
+    expr_span =
+      Pf_obs.Span.make ~registry "expr_stage_ns"
+        ~help:"expression matching (occurrence determination) stage time";
+    collect_span =
+      Pf_obs.Span.make ~registry "collect_stage_ns"
+        ~help:"result collection, nested finish and attribute post-checks";
+    pm = Predicate_index.make_metrics ~registry ();
+    em = Expr_index.make_metrics ~registry ();
+  }
+
 type t = {
   variant : Expr_index.variant;
   attr_mode : attr_mode;
@@ -36,7 +78,7 @@ type t = {
   eidx : Expr_index.t;
   nested : Nested.t;
   exprs : expr_info Vec.t;
-  stats : stats;
+  m : metrics;
   mutable sid_stamp : int array;
   mutable doc_epoch : int;
   mutable constrained : bool;
@@ -47,7 +89,8 @@ type t = {
 
 let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
     ?(collect_stats = false) ?(dedup_paths = false) () =
-  let pidx = Predicate_index.create () in
+  let m = make_metrics () in
+  let pidx = Predicate_index.create ~metrics:m.pm () in
   {
     variant;
     attr_mode;
@@ -55,13 +98,13 @@ let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
     dedup_paths;
     pidx;
     results = Predicate_index.create_results ();
-    eidx = Expr_index.create variant;
+    eidx = Expr_index.create ~metrics:m.em variant;
     nested = Nested.create pidx;
     exprs =
       Vec.create
         ~dummy:{ source = Ast.path [ Ast.step (Ast.Tag "x") ]; kind = Nested_expr; active = false }
         ();
-    stats = { predicate_ns = 0.; expr_ns = 0.; collect_ns = 0.; paths = 0; documents = 0 };
+    m;
     sid_stamp = [||];
     doc_epoch = 0;
     constrained = false;
@@ -70,14 +113,20 @@ let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
 
 let variant t = t.variant
 let attr_mode t = t.attr_mode
-let stats t = t.stats
+let metrics t = t.m.registry
 
-let reset_stats t =
-  t.stats.predicate_ns <- 0.;
-  t.stats.expr_ns <- 0.;
-  t.stats.collect_ns <- 0.;
-  t.stats.paths <- 0;
-  t.stats.documents <- 0
+(* Compatibility view over the registry: a fresh record per call, with the
+   same fields the old mutable [stats] had. *)
+let stats t =
+  {
+    predicate_ns = Int64.to_float (Pf_obs.Span.ns t.m.predicate_span);
+    expr_ns = Int64.to_float (Pf_obs.Span.ns t.m.expr_span);
+    collect_ns = Int64.to_float (Pf_obs.Span.ns t.m.collect_span);
+    paths = Pf_obs.Counter.get t.m.paths;
+    documents = Pf_obs.Counter.get t.m.documents;
+  }
+
+let reset_stats t = Pf_obs.Registry.reset t.m.registry
 
 let expression_count t = Vec.length t.exprs
 let distinct_predicate_count t = Predicate_index.size t.pidx
@@ -138,6 +187,7 @@ let add t (p : Ast.path) =
   (match info.kind with
   | Single { pids; _ } -> Expr_index.add t.eidx ~sid ~pids
   | Nested_expr -> Nested.add t.nested ~sid p);
+  Log.debug (fun m -> m "registered sid %d: %s" sid (Parser.to_string p));
   sid
 
 let add_string t s = add t (Parser.parse s)
@@ -167,8 +217,6 @@ let ensure_stamp t =
     Array.blit t.sid_stamp 0 bigger 0 (Array.length t.sid_stamp);
     t.sid_stamp <- bigger
   end
-
-let now () = Unix.gettimeofday ()
 
 (* Check an expression's postponed attribute constraints against one
    occurrence chain: each constrained variable's occurrence is mapped back
@@ -225,7 +273,10 @@ let match_iter t iter_paths =
         Buffer.add_char buf '\x00')
       path.Pf_xml.Path.steps;
     let key = Buffer.contents buf in
-    if Hashtbl.mem t.seen_paths key then false
+    if Hashtbl.mem t.seen_paths key then begin
+      Pf_obs.Counter.incr t.m.dedup_hits;
+      false
+    end
     else begin
       Hashtbl.add t.seen_paths key ();
       true
@@ -234,11 +285,11 @@ let match_iter t iter_paths =
   iter_paths
     (fun path ->
       if fresh_path path then begin
-      t.stats.paths <- t.stats.paths + 1;
+      Pf_obs.Counter.incr t.m.paths;
       let pub = Publication.of_path path in
-      let t0 = if timed then now () else 0. in
+      let t0 = if timed then Pf_obs.Span.now () else 0L in
       Predicate_index.run t.pidx t.results pub;
-      let t1 = if timed then now () else 0. in
+      let t1 = if timed then Pf_obs.Span.now () else 0L in
       let on_match sid =
         if t.sid_stamp.(sid) <> t.doc_epoch then
           match (Vec.get t.exprs sid).kind with
@@ -252,18 +303,21 @@ let match_iter t iter_paths =
         ~doc_tag:t.doc_epoch ~on_match ();
       if nested_active then Nested.observe_path t.nested t.results pub;
       if timed then begin
-        let t2 = now () in
-        t.stats.predicate_ns <- t.stats.predicate_ns +. ((t1 -. t0) *. 1e9);
-        t.stats.expr_ns <- t.stats.expr_ns +. ((t2 -. t1) *. 1e9)
+        let t2 = Pf_obs.Span.now () in
+        Pf_obs.Span.add t.m.predicate_span (Int64.sub t1 t0);
+        Pf_obs.Span.add t.m.expr_span (Int64.sub t2 t1)
       end
       end);
-  let t2 = if timed then now () else 0. in
+  let t2 = if timed then Pf_obs.Span.now () else 0L in
   if nested_active then Nested.finish_document t.nested ~on_match:mark;
   let result = List.sort compare !acc in
-  if timed then begin
-    t.stats.collect_ns <- t.stats.collect_ns +. ((now () -. t2) *. 1e9);
-    t.stats.documents <- t.stats.documents + 1
-  end;
+  if timed then
+    Pf_obs.Span.add t.m.collect_span (Int64.sub (Pf_obs.Span.now ()) t2);
+  Pf_obs.Counter.incr t.m.documents;
+  Log.debug (fun m ->
+      m "document %d: %d expressions matched (%d paths so far)" t.doc_epoch
+        (List.length result)
+        (Pf_obs.Counter.get t.m.paths));
   result
 
 let match_paths t paths = match_iter t (fun f -> List.iter f paths)
@@ -336,6 +390,7 @@ let match_path t path =
   ensure_stamp t;
   t.doc_epoch <- t.doc_epoch + 1;
   let acc = ref [] in
+  Pf_obs.Counter.incr t.m.paths;
   let pub = Publication.of_path path in
   Predicate_index.run t.pidx t.results pub;
   let on_match sid =

@@ -119,11 +119,32 @@ val distinct_predicate_count : t -> int
 (** Distinct predicates stored — the sharing metric of Figure 10. *)
 
 val occurrence_runs : t -> int
+(** Reads the engine registry's ["occurrence_runs"] counter; always agrees
+    with the exported metric and is zeroed by {!reset_stats}. *)
+
+(** {1 Metrics}
+
+    Every engine owns a {!Pf_obs.Registry.t} (scope ["engine"]) holding
+    its counters, histograms and per-stage span timers:
+
+    - counters ["paths"], ["documents"], ["dedup_path_hits"],
+      ["predicate_probes"], ["predicate_hits"], ["occurrence_runs"],
+      ["backtrack_steps"], ["prefix_cover_skips"], ["access_skips"];
+    - histogram ["chain_length"] (predicate chain length per occurrence
+      determination run);
+    - spans ["predicate_stage_ns"], ["expr_stage_ns"],
+      ["collect_stage_ns"] (populated only with [collect_stats:true]).
+
+    Render it with {!Pf_obs.Export}. *)
+
+val metrics : t -> Pf_obs.Registry.t
 
 (** {1 Timing breakdown (Figure 10)}
 
-    When created with [collect_stats:true] the engine accumulates wall-clock
-    time per stage. *)
+    When created with [collect_stats:true] the engine accumulates
+    monotonic wall-clock time per stage. [stats] is a compatibility view
+    over the metric registry: each call builds a fresh record from the
+    current counter and span values. *)
 
 type stats = {
   mutable predicate_ns : float;  (** predicate matching stage *)
@@ -134,4 +155,7 @@ type stats = {
 }
 
 val stats : t -> stats
+
 val reset_stats : t -> unit
+(** Reset the engine's metric registry: every counter, histogram and span
+    — including ["occurrence_runs"] — is zeroed together. *)

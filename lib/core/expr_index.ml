@@ -61,6 +61,38 @@ let child_fold f acc = function
   | Small l -> List.fold_left (fun acc (_, c) -> f acc c) acc l
   | Big tbl -> Hashtbl.fold (fun _ c acc -> f acc c) tbl acc
 
+(* Evaluation counters, typically registered in the owning engine's
+   registry. [runs] is the quantity the Section 4.2.2 optimizations
+   minimize; [cover_skips]/[access_skips] count how often prefix covering
+   and access predicates avoided work; [chain_len] observes the predicate
+   chain length of each occurrence determination run. *)
+type metrics = {
+  runs : Pf_obs.Counter.t;
+  steps : Pf_obs.Counter.t;
+  cover_skips : Pf_obs.Counter.t;
+  access_skips : Pf_obs.Counter.t;
+  chain_len : Pf_obs.Histogram.t;
+}
+
+let make_metrics ?registry () =
+  {
+    runs =
+      Pf_obs.Counter.make ?registry "occurrence_runs"
+        ~help:"occurrence determination runs";
+    steps =
+      Pf_obs.Counter.make ?registry "backtrack_steps"
+        ~help:"nodes visited by the occurrence determination backtracking search";
+    cover_skips =
+      Pf_obs.Counter.make ?registry "prefix_cover_skips"
+        ~help:"expressions reported through prefix covering without a run";
+    access_skips =
+      Pf_obs.Counter.make ?registry "access_skips"
+        ~help:"trie subtrees skipped because their access predicate had no match";
+    chain_len =
+      Pf_obs.Histogram.make ?registry "chain_length"
+        ~help:"predicate chain length per occurrence determination run";
+  }
+
 type t = {
   variant : variant;
   (* Basic *)
@@ -74,7 +106,7 @@ type t = {
   mutable pc_epoch : int;
   mutable n_exprs : int;
   mutable n_nodes : int;
-  mutable n_runs : int;
+  m : metrics;
 }
 
 let dummy_node =
@@ -86,7 +118,7 @@ let dummy_node =
    bucket on first use. Never written through. *)
 let dummy_bucket : node Vec.t = Vec.create ~dummy:dummy_node ()
 
-let create variant =
+let create ?metrics variant =
   {
     variant;
     flat = Vec.create ~dummy:(0, [||]) ();
@@ -96,7 +128,7 @@ let create variant =
     pc_epoch = 0;
     n_exprs = 0;
     n_nodes = 0;
-    n_runs = 0;
+    m = (match metrics with Some m -> m | None -> make_metrics ());
   }
 
 let add t ~sid ~pids =
@@ -158,7 +190,7 @@ let add t ~sid ~pids =
 
 let expression_count t = t.n_exprs
 let node_count t = t.n_nodes
-let occurrence_runs t = t.n_runs
+let occurrence_runs t = Pf_obs.Counter.get t.m.runs
 
 let remove t ~sid ~pids =
   match t.variant with
@@ -198,15 +230,33 @@ let remove t ~sid ~pids =
 (* ------------------------------------------------------------------ *)
 
 (* Chain search over a prefix of a result stack of packed occurrence pairs,
-   allocation-free: does a chain exist through stack.(0 .. depth)? *)
-let stack_matches (stack : int list array) depth =
+   allocation-free: does a chain exist through stack.(0 .. depth)?
+   Backtracking steps (candidate pairs tried) are accumulated locally and
+   flushed to the counter once per run. *)
+let stack_matches t (stack : int list array) depth =
+  let steps = ref 0 in
   let rec go i prev =
+    incr steps;
     i > depth
     || List.exists
          (fun p -> Predicate_index.packed_first p = prev && go (i + 1) (Predicate_index.packed_second p))
          stack.(i)
   in
-  List.exists (fun p -> go 1 (Predicate_index.packed_second p)) stack.(0)
+  let r =
+    List.exists
+      (fun p ->
+        incr steps;
+        go 1 (Predicate_index.packed_second p))
+      stack.(0)
+  in
+  Pf_obs.Counter.add t.m.steps !steps;
+  r
+
+(* One occurrence determination run is about to happen over a chain of
+   [len] predicates. *)
+let note_run t len =
+  Pf_obs.Counter.incr t.m.runs;
+  Pf_obs.Histogram.observe t.m.chain_len len
 
 let eval_basic t res ~on_match =
   let stack = ref (Array.make 64 []) in
@@ -227,8 +277,8 @@ let eval_basic t res ~on_match =
             fetch (i + 1)
       in
       if fetch 0 then begin
-        t.n_runs <- t.n_runs + 1;
-        if stack_matches stack (n - 1) then on_match sid
+        note_run t n;
+        if stack_matches t stack (n - 1) then on_match sid
       end
       end)
     t.flat
@@ -262,8 +312,8 @@ let eval_pc t res ~sticky ~doc_tag ~on_match =
         (match n.parent with None -> true | Some p -> fetch p)
     in
     if fetch node then begin
-      t.n_runs <- t.n_runs + 1;
-      stack_matches stack node.depth
+      note_run t (node.depth + 1);
+      stack_matches t stack node.depth
     end
     else false
   in
@@ -280,7 +330,10 @@ let eval_pc t res ~sticky ~doc_tag ~on_match =
     Vec.iter
       (fun node ->
         if node.sids <> [] && not (sticky && node.mark_epoch = doc_tag) then
-          if node.covered_epoch = epoch then report node
+          if node.covered_epoch = epoch then begin
+            Pf_obs.Counter.add t.m.cover_skips (List.length node.sids);
+            report node
+          end
           else if evaluate node then begin
             report node;
             node.covered_epoch <- epoch;
@@ -310,7 +363,10 @@ let eval_ap t res ~sticky ~doc_tag ~on_match =
   in
   let rec visit node depth =
     match Predicate_index.get_packed res node.pid with
-    | [] -> false
+    | [] ->
+      (* dead access predicate: the whole subtree is ruled out *)
+      Pf_obs.Counter.incr t.m.access_skips;
+      false
     | pairs ->
       ensure_depth depth;
       !stack.(depth) <- pairs;
@@ -320,12 +376,14 @@ let eval_ap t res ~sticky ~doc_tag ~on_match =
         (* already fully reported for this document: no run needed *)
         below
       else if below then begin
+        (* a longer expression below matched: covered, no run needed *)
+        Pf_obs.Counter.add t.m.cover_skips (List.length node.sids);
         report node;
         true
       end
       else begin
-        t.n_runs <- t.n_runs + 1;
-        if stack_matches !stack depth then begin
+        note_run t (depth + 1);
+        if stack_matches t !stack depth then begin
           report node;
           true
         end
@@ -339,14 +397,16 @@ let eval_ap t res ~sticky ~doc_tag ~on_match =
    the root path ending with some o2 in S; its expressions match iff S is
    non-empty. Sets are tiny (bounded by occurrence counts in one path), so
    sorted int lists suffice. *)
-let eval_shared res roots ~sticky ~doc_tag ~on_match =
+let eval_shared t res roots ~sticky ~doc_tag ~on_match =
   let report node =
     if sticky then node.mark_epoch <- doc_tag;
     List.iter on_match node.sids
   in
   let rec visit node incoming =
     match Predicate_index.get_packed res node.pid with
-    | [] -> ()
+    | [] ->
+      (* same pruning rule as the access-predicate variant *)
+      Pf_obs.Counter.incr t.m.access_skips
     | pairs ->
       let reach =
         match incoming with
@@ -373,4 +433,4 @@ let eval t res ?(sticky = false) ?(doc_tag = 0) ~on_match () =
   | Basic -> eval_basic t res ~on_match
   | Prefix_covering -> eval_pc t res ~sticky ~doc_tag ~on_match
   | Access_predicate -> eval_ap t res ~sticky ~doc_tag ~on_match
-  | Shared -> eval_shared res t.roots ~sticky ~doc_tag ~on_match
+  | Shared -> eval_shared t res t.roots ~sticky ~doc_tag ~on_match

@@ -28,9 +28,26 @@ val variant_name : variant -> string
 
 val variant_of_name : string -> variant option
 
+type metrics = {
+  runs : Pf_obs.Counter.t;  (** occurrence determination runs *)
+  steps : Pf_obs.Counter.t;  (** backtracking search steps *)
+  cover_skips : Pf_obs.Counter.t;
+      (** expressions reported through prefix covering without a run *)
+  access_skips : Pf_obs.Counter.t;
+      (** subtrees/clusters skipped on a dead access predicate *)
+  chain_len : Pf_obs.Histogram.t;  (** chain length per run *)
+}
+
+val make_metrics : ?registry:Pf_obs.Registry.t -> unit -> metrics
+(** Counters named ["occurrence_runs"], ["backtrack_steps"],
+    ["prefix_cover_skips"], ["access_skips"] and the ["chain_length"]
+    histogram, registered in [registry] when given. *)
+
 type t
 
-val create : variant -> t
+val create : ?metrics:metrics -> variant -> t
+(** [metrics] defaults to fresh unregistered counters, so a standalone
+    index still counts but exports nothing. *)
 
 val add : t -> sid:int -> pids:int array -> unit
 (** Register expression [sid] with its ordered predicate ids (non-empty).
@@ -72,4 +89,6 @@ val node_count : t -> int
 val occurrence_runs : t -> int
 (** Cumulative number of occurrence determination runs performed by
     {!eval} since creation — the quantity the Section 4.2.2 optimizations
-    minimize (0 for {!Shared}). *)
+    minimize (0 for {!Shared}). Reads the ["occurrence_runs"] counter of
+    the metrics record, so it always agrees with the exported value and
+    is zeroed by a registry reset. *)

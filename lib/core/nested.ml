@@ -1,6 +1,6 @@
 open Pf_xpath
 
-let src = Logs.Src.create "predfilter.nested" ~doc:"Nested path filter matching"
+let src = Pf_obs.Events.src "nested" ~doc:"Nested path filter matching"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 

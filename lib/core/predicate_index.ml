@@ -14,6 +14,21 @@ let make_slots () =
 let slot_vec slots (op : Predicate.op) =
   match op with Predicate.Eq -> slots.eq | Predicate.Ge -> slots.ge
 
+(* Stage counters, typically registered in the owning engine's registry:
+   [probes] counts candidate predicate inspections (slot-list entries
+   visited by a run), [hits] the occurrence pairs recorded. *)
+type metrics = { probes : Pf_obs.Counter.t; hits : Pf_obs.Counter.t }
+
+let make_metrics ?registry () =
+  {
+    probes =
+      Pf_obs.Counter.make ?registry "predicate_probes"
+        ~help:"candidate predicates inspected during predicate matching";
+    hits =
+      Pf_obs.Counter.make ?registry "predicate_hits"
+        ~help:"occurrence pairs recorded during predicate matching";
+  }
+
 type t = {
   preds : Predicate.t Vec.t;  (* pid -> predicate *)
   cons1 : Predicate.attr_constraint list Vec.t;  (* pid -> first-var constraints *)
@@ -22,9 +37,14 @@ type t = {
   relative : (string, (string, slots) Hashtbl.t) Hashtbl.t;
   end_of_path : (string, pid list Vec.t) Hashtbl.t;
   length_slots : pid list Vec.t;  (* value-indexed; op is always >= *)
+  m : metrics;
 }
 
-let create () =
+let src = Pf_obs.Events.src "predicate_index" ~doc:"Predicate index interning"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let create ?metrics () =
   {
     preds = Vec.create ~dummy:(Predicate.Length { v = 0 }) ();
     cons1 = Vec.create ~dummy:[] ();
@@ -33,6 +53,7 @@ let create () =
     relative = Hashtbl.create 64;
     end_of_path = Hashtbl.create 64;
     length_slots = Vec.create ~dummy:[] ();
+    m = (match metrics with Some m -> m | None -> make_metrics ());
   }
 
 let predicate t pid = Vec.get t.preds pid
@@ -99,6 +120,7 @@ let intern t p =
     let (_ : int) = Vec.push t.cons1 c1 in
     let (_ : int) = Vec.push t.cons2 c2 in
     Vec.set vec v (pid :: Vec.get vec v);
+    Log.debug (fun m -> m "interned pid %d: %a" pid Predicate.pp p);
     pid
 
 (* ------------------------------------------------------------------ *)
@@ -167,11 +189,19 @@ let run t res (pub : Publication.t) =
   ensure_capacity res (Vec.length t.preds);
   res.epoch <- res.epoch + 1;
   res.matched <- 0;
+  (* candidate inspections / recorded pairs; accumulated locally and
+     flushed to the counters once per run to keep the loops tight *)
+  let probes = ref 0 and hits = ref 0 in
   let l = pub.Publication.length in
   (* length-of-expression predicates: (length,>=,v) matches iff l >= v *)
   let stop = min l (Vec.length t.length_slots - 1) in
   for v = 1 to stop do
-    List.iter (fun pid -> record res pid (pack 0 0)) (Vec.get t.length_slots v)
+    List.iter
+      (fun pid ->
+        incr probes;
+        incr hits;
+        record res pid (pack 0 0))
+      (Vec.get t.length_slots v)
   done;
   let tuples = pub.Publication.tuples in
   let n = Array.length tuples in
@@ -186,15 +216,23 @@ let run t res (pub : Publication.t) =
       if pos < Vec.length slots.eq then
         List.iter
           (fun pid ->
-            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs then
-              record res pid (pack o o))
+            incr probes;
+            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
+            then begin
+              incr hits;
+              record res pid (pack o o)
+            end)
           (Vec.get slots.eq pos);
       let stop = min pos (Vec.length slots.ge - 1) in
       for v = 1 to stop do
         List.iter
           (fun pid ->
-            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs then
-              record res pid (pack o o))
+            incr probes;
+            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
+            then begin
+              incr hits;
+              record res pid (pack o o)
+            end)
           (Vec.get slots.ge v)
       done);
     (* end-of-path predicates: (p_t-|,>=,v) matches iff l - pos >= v *)
@@ -205,8 +243,12 @@ let run t res (pub : Publication.t) =
       for v = 1 to stop do
         List.iter
           (fun pid ->
-            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs then
-              record res pid (pack o o))
+            incr probes;
+            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
+            then begin
+              incr hits;
+              record res pid (pack o o)
+            end)
           (Vec.get vec v)
       done);
     (* relative predicates: pair this tuple with every later tuple *)
@@ -223,16 +265,26 @@ let run t res (pub : Publication.t) =
           if d < Vec.length slots.eq then
             List.iter
               (fun pid ->
+                incr probes;
                 if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
-                then record res pid (pack o o2))
+                then begin
+                  incr hits;
+                  record res pid (pack o o2)
+                end)
               (Vec.get slots.eq d);
           let stop = min d (Vec.length slots.ge - 1) in
           for v = 1 to stop do
             List.iter
               (fun pid ->
+                incr probes;
                 if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
-                then record res pid (pack o o2))
+                then begin
+                  incr hits;
+                  record res pid (pack o o2)
+                end)
               (Vec.get slots.ge v)
           done
       done
-  done
+  done;
+  Pf_obs.Counter.add t.m.probes !probes;
+  Pf_obs.Counter.add t.m.hits !hits

@@ -15,9 +15,20 @@
 
 type pid = int
 
+type metrics = { probes : Pf_obs.Counter.t; hits : Pf_obs.Counter.t }
+(** Stage counters: [probes] counts candidate predicate inspections
+    (slot-list entries visited by {!run}), [hits] the occurrence pairs
+    recorded. *)
+
+val make_metrics : ?registry:Pf_obs.Registry.t -> unit -> metrics
+(** Counters named ["predicate_probes"] / ["predicate_hits"], registered
+    in [registry] when given. *)
+
 type t
 
-val create : unit -> t
+val create : ?metrics:metrics -> unit -> t
+(** [metrics] defaults to fresh unregistered counters, so a standalone
+    index still counts but exports nothing. *)
 
 val intern : t -> Predicate.t -> pid
 (** [intern idx p] returns the pid of [p], allocating one if [p] was not

@@ -13,18 +13,54 @@ type qnode = {
   mutable done_epoch : int;  (* entire subtree matched: prune *)
 }
 
+(* Execution counters: [stream_advances] counts index-stream elements
+   inspected inside [explore] (the analogue of the predicate engine's
+   probes), [nodes_visited] accepted (query node, element) joins. *)
+type metrics = {
+  registry : Pf_obs.Registry.t;
+  documents : Pf_obs.Counter.t;
+  stream_advances : Pf_obs.Counter.t;
+  nodes_visited : Pf_obs.Counter.t;
+  matched : Pf_obs.Counter.t;
+}
+
+let make_metrics () =
+  let registry = Pf_obs.Registry.create "indexfilter" in
+  {
+    registry;
+    documents = Pf_obs.Counter.make ~registry "documents" ~help:"documents processed";
+    stream_advances =
+      Pf_obs.Counter.make ~registry "stream_advances"
+        ~help:"index-stream elements inspected during joins";
+    nodes_visited =
+      Pf_obs.Counter.make ~registry "nodes_visited"
+        ~help:"accepted (query node, element) joins";
+    matched =
+      Pf_obs.Counter.make ~registry "matches" ~help:"expression matches reported";
+  }
+
 type t = {
   mutable roots : qnode list;
   mutable n_exprs : int;
   mutable n_nodes : int;
   mutable sid_stamp : int array;
   mutable doc_epoch : int;
+  m : metrics;
 }
 
-let create () = { roots = []; n_exprs = 0; n_nodes = 0; sid_stamp = [||]; doc_epoch = 0 }
+let create () =
+  {
+    roots = [];
+    n_exprs = 0;
+    n_nodes = 0;
+    sid_stamp = [||];
+    doc_epoch = 0;
+    m = make_metrics ();
+  }
 
 let expression_count t = t.n_exprs
 let node_count t = t.n_nodes
+let metrics t = t.m.registry
 
 let attr_filters (s : Ast.step) =
   List.sort compare
@@ -170,6 +206,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
       matches := sid :: !matches
     end
   in
+  let n_advances = ref 0 and n_visited = ref 0 in
   let rec explore (q : qnode) ~(parent : elem) =
     if q.done_epoch <> epoch then begin
       if q.visited_epoch <> epoch then begin
@@ -182,6 +219,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
       while !i < n && stream.(!i).start < parent.stop && q.done_epoch <> epoch do
         let e = stream.(!i) in
         incr i;
+        incr n_advances;
         let level_ok =
           match q.axis with
           | Ast.Child -> e.level = parent.level + 1
@@ -190,6 +228,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
         if level_ok && (not (Hashtbl.mem q.visited e.start)) && filters_hold e q.filters
         then begin
           Hashtbl.add q.visited e.start ();
+          incr n_visited;
           if q.sids <> [] && q.matched_epoch <> epoch then begin
             q.matched_epoch <- epoch;
             List.iter mark q.sids
@@ -207,6 +246,11 @@ let match_document t (doc : Pf_xml.Tree.t) =
   in
   let virtual_root = { start = -1; stop = max_int; level = 0; attrs = [] } in
   List.iter (fun q -> explore q ~parent:virtual_root) t.roots;
-  List.sort compare !matches
+  Pf_obs.Counter.add t.m.stream_advances !n_advances;
+  Pf_obs.Counter.add t.m.nodes_visited !n_visited;
+  Pf_obs.Counter.incr t.m.documents;
+  let result = List.sort compare !matches in
+  Pf_obs.Counter.add t.m.matched (List.length result);
+  result
 
 let match_string t s = match_document t (Pf_xml.Sax.parse_document s)

@@ -35,3 +35,9 @@ val match_string : t -> string -> int list
 val expression_count : t -> int
 val node_count : t -> int
 (** Prefix-tree nodes — the sharing metric. *)
+
+val metrics : t -> Pf_obs.Registry.t
+(** Metric registry (scope ["indexfilter"]): counters ["documents"],
+    ["stream_advances"] (index-stream elements inspected during joins),
+    ["nodes_visited"] (accepted (query node, element) joins) and
+    ["matches"]. *)

@@ -1,0 +1,55 @@
+(* Structured event layer: one Logs source per subsystem, uniformly named
+   "predfilter.<subsystem>". Sources are memoized so a module can call
+   [src] at initialization and tooling can look the same source up by
+   name. *)
+
+let sources : (string, Logs.src) Hashtbl.t = Hashtbl.create 8
+
+let src ?doc name =
+  match Hashtbl.find_opt sources name with
+  | Some s -> s
+  | None ->
+    let s = Logs.Src.create ("predfilter." ^ name) ?doc in
+    Hashtbl.add sources name s;
+    s
+
+let log ?doc name = Logs.src_log (src ?doc name)
+
+(* Enable Debug-level tracing for one source (accepts either the short
+   subsystem name or the full "predfilter.x" name) or for every predfilter
+   source with "all". Returns false if no source matched. *)
+let enable name =
+  let matches s =
+    let n = Logs.Src.name s in
+    name = "all"
+    || n = name
+    || n = "predfilter." ^ name
+  in
+  let hit = ref false in
+  List.iter
+    (fun s ->
+      if String.length (Logs.Src.name s) >= 10
+         && String.sub (Logs.Src.name s) 0 10 = "predfilter"
+         && matches s
+      then begin
+        Logs.Src.set_level s (Some Logs.Debug);
+        hit := true
+      end)
+    (Logs.Src.list ());
+  !hit
+
+let known_sources () =
+  List.filter_map
+    (fun s ->
+      let n = Logs.Src.name s in
+      if String.length n >= 10 && String.sub n 0 10 = "predfilter" then Some n else None)
+    (Logs.Src.list ())
+  |> List.sort compare
+
+let reporter_installed = ref false
+
+let install_reporter () =
+  if not !reporter_installed then begin
+    reporter_installed := true;
+    Logs.set_reporter (Logs.format_reporter ~dst:Format.err_formatter ())
+  end

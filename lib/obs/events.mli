@@ -1,0 +1,18 @@
+(** Structured event layer: uniformly named Logs sources, one per
+    subsystem ("predfilter.engine", "predfilter.broker", ...). *)
+
+val src : ?doc:string -> string -> Logs.src
+(** [src "engine"] is the memoized source named "predfilter.engine". *)
+
+val log : ?doc:string -> string -> (module Logs.LOG)
+(** [src] wrapped as a log module: [module Log = (val Events.log "x")]. *)
+
+val enable : string -> bool
+(** Set Debug level on the named predfilter source (short or full name),
+    or on all of them with "all". False if nothing matched. *)
+
+val known_sources : unit -> string list
+(** Full names of every predfilter source, sorted. *)
+
+val install_reporter : unit -> unit
+(** Install a stderr format reporter (idempotent). *)

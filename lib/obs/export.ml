@@ -1,0 +1,196 @@
+(* Exporters over metric registries: pretty console tables, JSON Lines and
+   Prometheus v0 text exposition. Each renders one registry or every
+   listed registry. *)
+
+type format = Console | Jsonl | Prometheus
+
+let format_of_name = function
+  | "console" | "table" -> Some Console
+  | "json" | "jsonl" -> Some Jsonl
+  | "prom" | "prometheus" -> Some Prometheus
+  | _ -> None
+
+let format_name = function
+  | Console -> "console"
+  | Jsonl -> "json"
+  | Prometheus -> "prom"
+
+(* ------------------------------------------------------------------ *)
+(* Console *)
+
+let pp_value fmt (v : Registry.value) =
+  match v with
+  | Registry.Sample_counter n -> Format.fprintf fmt "%d" n
+  | Registry.Sample_gauge g -> Format.fprintf fmt "%g" g
+  | Registry.Sample_span ns -> Format.fprintf fmt "%.3f ms" (Int64.to_float ns /. 1e6)
+  | Registry.Sample_histogram { count; sum; _ } ->
+    if count = 0 then Format.fprintf fmt "(empty)"
+    else Format.fprintf fmt "n=%d mean=%.1f" count (sum /. float_of_int count)
+
+let pp_console fmt reg =
+  let samples = Registry.samples reg in
+  Format.fprintf fmt "== metrics: %s ==@." (Registry.scope reg);
+  let width =
+    List.fold_left (fun w (s : Registry.sample) -> max w (String.length s.name)) 8 samples
+  in
+  List.iter
+    (fun (s : Registry.sample) ->
+      Format.fprintf fmt "  %-*s %a%s@." width s.name pp_value s.value
+        (if s.help = "" then "" else "  (" ^ s.help ^ ")"))
+    samples
+
+let pp_console_all fmt () =
+  List.iter (fun reg -> pp_console fmt reg) (Registry.registries ())
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let json_of_value (v : Registry.value) : (string * Json.t) list =
+  match v with
+  | Registry.Sample_counter n -> [ "type", Json.String "counter"; "value", Json.Int n ]
+  | Registry.Sample_gauge g -> [ "type", Json.String "gauge"; "value", Json.Float g ]
+  | Registry.Sample_span ns ->
+    [ "type", Json.String "span";
+      "ns", Json.Int (Int64.to_int ns);
+      "ms", Json.Float (Int64.to_float ns /. 1e6) ]
+  | Registry.Sample_histogram { count; sum; buckets } ->
+    [ "type", Json.String "histogram";
+      "count", Json.Int count;
+      "sum", Json.Float sum;
+      "buckets",
+      Json.List
+        (List.map
+           (fun (le, n) ->
+             Json.List [ (if Float.is_finite le then Json.Float le else Json.Null);
+                         Json.Int n ])
+           buckets) ]
+
+let sample_json scope (s : Registry.sample) =
+  Json.Obj
+    (("scope", Json.String scope)
+     :: ("name", Json.String s.name)
+     :: json_of_value s.value)
+
+(* One JSON object per line, one line per metric. *)
+let jsonl reg =
+  let scope = Registry.scope reg in
+  String.concat ""
+    (List.map
+       (fun s -> Json.to_string (sample_json scope s) ^ "\n")
+       (Registry.samples reg))
+
+let jsonl_all () = String.concat "" (List.map jsonl (Registry.registries ()))
+
+(* Compact single-object snapshot of a registry: name -> value. Histograms
+   contribute count and mean; spans contribute milliseconds. Used by the
+   benchmark export where one nested object per experiment reads better
+   than a line stream. *)
+let registry_json reg =
+  Json.Obj
+    (List.map
+       (fun (s : Registry.sample) ->
+         match s.value with
+         | Registry.Sample_counter n -> s.name, Json.Int n
+         | Registry.Sample_gauge g -> s.name, Json.Float g
+         | Registry.Sample_span ns -> s.name ^ "_ms", Json.Float (Int64.to_float ns /. 1e6)
+         | Registry.Sample_histogram { count; sum; _ } ->
+           ( s.name,
+             Json.Obj
+               [ "count", Json.Int count;
+                 "mean",
+                 (if count = 0 then Json.Null else Json.Float (sum /. float_of_int count))
+               ] ))
+       (Registry.samples reg))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus v0 text exposition *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float f =
+  if f = infinity then "+Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let prometheus_into buf reg =
+  let scope = sanitize (Registry.scope reg) in
+  List.iter
+    (fun (s : Registry.sample) ->
+      let full = Printf.sprintf "predfilter_%s_%s" scope (sanitize s.name) in
+      let header typ =
+        if s.help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" full s.help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" full typ)
+      in
+      match s.value with
+      | Registry.Sample_counter n ->
+        header "counter";
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" full n)
+      | Registry.Sample_gauge g ->
+        header "gauge";
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" full (prom_float g))
+      | Registry.Sample_span ns ->
+        (* accumulated stage time, exposed in seconds as the convention
+           demands *)
+        let full = full ^ "_seconds_total" in
+        if s.help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" full s.help);
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" full);
+        Buffer.add_string buf
+          (Printf.sprintf "%s %s\n" full (prom_float (Int64.to_float ns /. 1e9)))
+      | Registry.Sample_histogram { count; sum; buckets } ->
+        header "histogram";
+        List.iter
+          (fun (le, n) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" full (prom_float le) n))
+          buckets;
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" full (prom_float sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" full count))
+    (Registry.samples reg)
+
+let prometheus reg =
+  let buf = Buffer.create 1024 in
+  prometheus_into buf reg;
+  Buffer.contents buf
+
+let prometheus_all () =
+  let buf = Buffer.create 4096 in
+  List.iter (prometheus_into buf) (Registry.registries ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+
+(* One-line digest for example programs: counters and span milliseconds,
+   zeros elided. *)
+let summary_line reg =
+  let parts =
+    List.filter_map
+      (fun (s : Registry.sample) ->
+        match s.value with
+        | Registry.Sample_counter 0 -> None
+        | Registry.Sample_counter n -> Some (Printf.sprintf "%s=%d" s.name n)
+        | Registry.Sample_gauge g when g <> 0. -> Some (Printf.sprintf "%s=%g" s.name g)
+        | Registry.Sample_gauge _ -> None
+        | Registry.Sample_span 0L -> None
+        | Registry.Sample_span ns ->
+          Some (Printf.sprintf "%s=%.2fms" s.name (Int64.to_float ns /. 1e6))
+        | Registry.Sample_histogram { count = 0; _ } -> None
+        | Registry.Sample_histogram { count; sum; _ } ->
+          Some (Printf.sprintf "%s[n=%d mean=%.1f]" s.name count (sum /. float_of_int count)))
+      (Registry.samples reg)
+  in
+  Printf.sprintf "[%s] %s" (Registry.scope reg)
+    (if parts = [] then "(no samples)" else String.concat " " parts)
+
+let print format =
+  match format with
+  | Console -> pp_console_all Format.std_formatter ()
+  | Jsonl -> print_string (jsonl_all ())
+  | Prometheus -> print_string (prometheus_all ())

@@ -1,0 +1,37 @@
+(** Exporters over metric registries: console tables, JSON Lines and
+    Prometheus v0 text exposition. *)
+
+type format = Console | Jsonl | Prometheus
+
+val format_of_name : string -> format option
+(** Accepts "console"/"table", "json"/"jsonl", "prom"/"prometheus". *)
+
+val format_name : format -> string
+
+val pp_console : Format.formatter -> Registry.t -> unit
+val pp_console_all : Format.formatter -> unit -> unit
+
+val jsonl : Registry.t -> string
+(** One JSON object per metric, one per line:
+    [{"scope":"engine","name":"occurrence_runs","type":"counter","value":17}].
+    Histograms carry count, sum and cumulative buckets; spans carry
+    nanoseconds and milliseconds. *)
+
+val jsonl_all : unit -> string
+
+val registry_json : Registry.t -> Json.t
+(** Compact [name -> value] object snapshot (histograms as count/mean,
+    spans as milliseconds) — the benchmark export format. *)
+
+val prometheus : Registry.t -> string
+(** Prometheus text exposition; metric names are
+    [predfilter_<scope>_<name>], spans become [..._seconds_total]
+    counters. *)
+
+val prometheus_all : unit -> string
+
+val summary_line : Registry.t -> string
+(** One-line digest (zeros elided) for example programs. *)
+
+val print : format -> unit
+(** Render every listed registry to stdout in the given format. *)

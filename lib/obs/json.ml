@@ -1,0 +1,229 @@
+(* Minimal JSON: enough to write metric/benchmark exports and to parse
+   them back in tests and CI checks. No dependency beyond the stdlib. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let buf_add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then begin
+      (* shortest representation that still round-trips as a JSON number *)
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+    end
+    else Buffer.add_string buf "null"
+  | String s ->
+    Buffer.add_char buf '"';
+    buf_add_escaped buf s;
+    Buffer.add_char buf '"'
+  | List l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf v)
+      l;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        buf_add_escaped buf k;
+        Buffer.add_string buf "\":";
+        write buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" cur.pos msg))
+let peek cur = if cur.pos >= String.length cur.src then '\000' else cur.src.[cur.pos]
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.src
+    && match cur.src.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    cur.pos <- cur.pos + 1
+  done
+
+let expect cur c =
+  if peek cur <> c then fail cur (Printf.sprintf "expected %C" c);
+  cur.pos <- cur.pos + 1
+
+let literal cur word v =
+  let n = String.length word in
+  if cur.pos + n <= String.length cur.src && String.sub cur.src cur.pos n = word then begin
+    cur.pos <- cur.pos + n;
+    v
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek cur with
+    | '\000' -> fail cur "unterminated string"
+    | '"' -> cur.pos <- cur.pos + 1
+    | '\\' ->
+      cur.pos <- cur.pos + 1;
+      (match peek cur with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'u' ->
+        if cur.pos + 4 >= String.length cur.src then fail cur "bad \\u escape";
+        let hex = String.sub cur.src (cur.pos + 1) 4 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | None -> fail cur "bad \\u escape"
+        | Some code ->
+          (* decode to UTF-8; surrogate pairs are not needed for our output *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end;
+          cur.pos <- cur.pos + 4)
+      | c -> fail cur (Printf.sprintf "bad escape \\%C" c));
+      cur.pos <- cur.pos + 1;
+      go ()
+    | c ->
+      Buffer.add_char buf c;
+      cur.pos <- cur.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while cur.pos < String.length cur.src && is_num_char cur.src.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done;
+  let s = String.sub cur.src start (cur.pos - start) in
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None -> (
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail cur (Printf.sprintf "bad number %S" s))
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | 'n' -> literal cur "null" Null
+  | 't' -> literal cur "true" (Bool true)
+  | 'f' -> literal cur "false" (Bool false)
+  | '"' -> String (parse_string cur)
+  | '[' ->
+    cur.pos <- cur.pos + 1;
+    skip_ws cur;
+    if peek cur = ']' then begin
+      cur.pos <- cur.pos + 1;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | ',' ->
+          cur.pos <- cur.pos + 1;
+          items (v :: acc)
+        | ']' ->
+          cur.pos <- cur.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail cur "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | '{' ->
+    cur.pos <- cur.pos + 1;
+    skip_ws cur;
+    if peek cur = '}' then begin
+      cur.pos <- cur.pos + 1;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws cur;
+        let k = parse_string cur in
+        skip_ws cur;
+        expect cur ':';
+        let v = parse_value cur in
+        skip_ws cur;
+        match peek cur with
+        | ',' ->
+          cur.pos <- cur.pos + 1;
+          members ((k, v) :: acc)
+        | '}' ->
+          cur.pos <- cur.pos + 1;
+          List.rev ((k, v) :: acc)
+        | _ -> fail cur "expected ',' or '}'"
+      in
+      Obj (members [])
+    end
+  | '-' | '0' .. '9' -> parse_number cur
+  | c -> fail cur (Printf.sprintf "unexpected %C" c)
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None

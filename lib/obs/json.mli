@@ -1,0 +1,22 @@
+(** Minimal JSON values: writing for the metric and benchmark exports,
+    parsing for tests and smoke checks. Stdlib-only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite floats serialize as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing keys. *)

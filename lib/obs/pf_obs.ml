@@ -1,0 +1,17 @@
+(** Pf_obs — unified observability for the predfilter engines.
+
+    A {!Registry} holds the named metrics of one component instance;
+    {!Counter}, {!Gauge}, {!Histogram} and {!Span} are re-exported at the
+    top level for terse call sites. {!Export} renders registries as
+    console tables, JSON Lines or Prometheus text; {!Events} provides the
+    per-subsystem Logs sources; {!Json} is the minimal JSON support the
+    exporters and the benchmark results file share. *)
+
+module Registry = Registry
+module Counter = Registry.Counter
+module Gauge = Registry.Gauge
+module Histogram = Registry.Histogram
+module Span = Registry.Span
+module Json = Json
+module Export = Export
+module Events = Events

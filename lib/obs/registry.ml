@@ -1,0 +1,199 @@
+(* Metric registry: named counters, gauges, log-scale histograms and span
+   timers. A registry groups the metrics of one component instance (an
+   engine, a broker, the SAX layer); exporters walk a registry — or every
+   listed registry — and render the samples.
+
+   Cost model: a counter increment is one mutable-int store, cheap enough
+   for per-path and per-run call sites (innermost loops accumulate into a
+   local and flush once). Span timers read the monotonic clock only when
+   the caller decides to time, so a disabled engine pays nothing. *)
+
+let now_ns : unit -> int64 = Monotonic_clock.now
+
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
+(* Log-scale (powers of two) histogram: bucket [i] counts observations with
+   value <= 2^i, the last bucket is unbounded. 32 buckets cover every
+   quantity we track (chain lengths, list sizes, nanoseconds). *)
+let histogram_buckets = 32
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_counts : int array;  (* per-bucket (non-cumulative) counts *)
+}
+
+type span = { s_name : string; s_help : string; mutable s_ns : int64 }
+
+type metric =
+  | Metric_counter of counter
+  | Metric_gauge of gauge
+  | Metric_histogram of histogram
+  | Metric_span of span
+
+type t = { scope : string; mutable metrics : metric list (* reversed *) }
+
+(* Listed registries, in creation order; exporters can render all of them.
+   Scopes are uniquified ("engine", "engine#2", ...) so exports stay
+   unambiguous when several instances of one component coexist. *)
+let listed : t list ref = ref []
+let scope_counts : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let create ?(list = true) scope =
+  let scope =
+    if not list then scope
+    else begin
+      let n = match Hashtbl.find_opt scope_counts scope with Some n -> n | None -> 0 in
+      Hashtbl.replace scope_counts scope (n + 1);
+      if n = 0 then scope else Printf.sprintf "%s#%d" scope (n + 1)
+    end
+  in
+  let t = { scope; metrics = [] } in
+  if list then listed := t :: !listed;
+  t
+
+let scope t = t.scope
+let registries () = List.rev !listed
+
+let register t m = t.metrics <- m :: t.metrics
+
+let reset t =
+  List.iter
+    (function
+      | Metric_counter c -> c.c_value <- 0
+      | Metric_gauge g -> g.g_value <- 0.
+      | Metric_histogram h ->
+        h.h_count <- 0;
+        h.h_sum <- 0.;
+        Array.fill h.h_counts 0 (Array.length h.h_counts) 0
+      | Metric_span s -> s.s_ns <- 0L)
+    t.metrics
+
+module Counter = struct
+  type t = counter
+
+  let make ?registry ?(help = "") name =
+    let c = { c_name = name; c_help = help; c_value = 0 } in
+    (match registry with Some r -> register r (Metric_counter c) | None -> ());
+    c
+
+  let incr c = c.c_value <- c.c_value + 1
+  let add c n = c.c_value <- c.c_value + n
+  let get c = c.c_value
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make ?registry ?(help = "") name =
+    let g = { g_name = name; g_help = help; g_value = 0. } in
+    (match registry with Some r -> register r (Metric_gauge g) | None -> ());
+    g
+
+  let set g v = g.g_value <- v
+  let set_max g v = if v > g.g_value then g.g_value <- v
+  let get g = g.g_value
+end
+
+module Histogram = struct
+  type t = histogram
+
+  let make ?registry ?(help = "") name =
+    let h =
+      { h_name = name; h_help = help; h_count = 0; h_sum = 0.;
+        h_counts = Array.make histogram_buckets 0 }
+    in
+    (match registry with Some r -> register r (Metric_histogram h) | None -> ());
+    h
+
+  (* Index of the smallest bucket bound 2^i >= v (v <= 1 lands in bucket 0,
+     values past the last bound in the last bucket). *)
+  let bucket_index v =
+    if v <= 1 then 0
+    else begin
+      let i = ref 1 and bound = ref 2 in
+      while v > !bound && !i < histogram_buckets - 1 do
+        incr i;
+        bound := !bound * 2
+      done;
+      !i
+    end
+
+  let observe h v =
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. float_of_int v;
+    let i = bucket_index v in
+    h.h_counts.(i) <- h.h_counts.(i) + 1
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+
+  (* (upper bound, cumulative count) pairs; the last bound is
+     [infinity]. Trailing all-zero buckets beyond the last observation are
+     elided (the unbounded bucket always remains). *)
+  let cumulative h =
+    let last_used = ref 0 in
+    Array.iteri (fun i n -> if n > 0 then last_used := i) h.h_counts;
+    let stop = min (!last_used + 1) (histogram_buckets - 1) in
+    let acc = ref 0 and out = ref [] in
+    for i = 0 to stop - 1 do
+      acc := !acc + h.h_counts.(i);
+      out := (ldexp 1. i, !acc) :: !out
+    done;
+    List.rev ((infinity, h.h_count) :: !out)
+end
+
+module Span = struct
+  type t = span
+
+  let make ?registry ?(help = "") name =
+    let s = { s_name = name; s_help = help; s_ns = 0L } in
+    (match registry with Some r -> register r (Metric_span s) | None -> ());
+    s
+
+  let now = now_ns
+  let add s ns = s.s_ns <- Int64.add s.s_ns ns
+  let ns s = s.s_ns
+  let ms s = Int64.to_float s.s_ns /. 1e6
+
+  let time s f =
+    let t0 = now () in
+    let r = f () in
+    add s (Int64.sub (now ()) t0);
+    r
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sample view for exporters *)
+
+type value =
+  | Sample_counter of int
+  | Sample_gauge of float
+  | Sample_histogram of { count : int; sum : float; buckets : (float * int) list }
+  | Sample_span of int64  (* accumulated nanoseconds *)
+
+type sample = { name : string; help : string; value : value }
+
+let sample_of = function
+  | Metric_counter c ->
+    { name = c.c_name; help = c.c_help; value = Sample_counter c.c_value }
+  | Metric_gauge g -> { name = g.g_name; help = g.g_help; value = Sample_gauge g.g_value }
+  | Metric_histogram h ->
+    { name = h.h_name; help = h.h_help;
+      value =
+        Sample_histogram
+          { count = h.h_count; sum = h.h_sum; buckets = Histogram.cumulative h } }
+  | Metric_span s -> { name = s.s_name; help = s.s_help; value = Sample_span s.s_ns }
+
+let samples t = List.rev_map sample_of t.metrics
+
+let find_counter t name =
+  List.find_map
+    (function
+      | Metric_counter c when c.c_name = name -> Some c.c_value
+      | _ -> None)
+    t.metrics

@@ -1,0 +1,99 @@
+(** Metric registry: named counters, gauges, log-scale histograms and span
+    timers.
+
+    A registry groups the metrics of one component instance; create one per
+    engine/broker and register metrics into it. Metrics made without a
+    registry still work but are never exported — useful for components that
+    keep private counters when the caller supplies none. *)
+
+type t
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds. *)
+
+val create : ?list:bool -> string -> t
+(** [create scope] makes a registry named [scope]. When [list] (default
+    true) it is appended to the global registry list ({!registries}) and
+    its scope is uniquified ("engine", "engine#2", ...). *)
+
+val scope : t -> string
+val registries : unit -> t list
+(** Every listed registry, in creation order. *)
+
+val reset : t -> unit
+(** Zero every metric in the registry (counters, gauges, histograms and
+    span accumulators alike). *)
+
+module Counter : sig
+  type registry := t
+  type t
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type registry := t
+  type t
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  val set : t -> float -> unit
+  val set_max : t -> float -> unit
+  (** Keep the running maximum: sets only if the new value is greater. *)
+
+  val get : t -> float
+end
+
+module Histogram : sig
+  type registry := t
+  type t
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  (** Log-scale histogram with power-of-two bucket bounds
+      1, 2, 4, ..., 2^30, +inf. *)
+
+  val observe : t -> int -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val cumulative : t -> (float * int) list
+  (** (upper bound, cumulative count) pairs, Prometheus-style; the last
+      bound is [infinity] and carries the total count. *)
+
+  val bucket_index : int -> int
+  (** Bucket an observation lands in (exposed for tests). *)
+end
+
+module Span : sig
+  type registry := t
+  type t
+  (** A span timer accumulates elapsed monotonic nanoseconds for one
+      pipeline stage. Callers decide when to read the clock, so an
+      untimed configuration pays no clock cost. *)
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+  val now : unit -> int64
+  val add : t -> int64 -> unit
+  val ns : t -> int64
+  val ms : t -> float
+  val time : t -> (unit -> 'a) -> 'a
+end
+
+(** {1 Sample view (for exporters)} *)
+
+type value =
+  | Sample_counter of int
+  | Sample_gauge of float
+  | Sample_histogram of { count : int; sum : float; buckets : (float * int) list }
+  | Sample_span of int64  (** accumulated nanoseconds *)
+
+type sample = { name : string; help : string; value : value }
+
+val samples : t -> sample list
+(** Registration order. *)
+
+val find_counter : t -> string -> int option
+(** Value of the named counter, if registered. *)

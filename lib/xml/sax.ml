@@ -5,6 +5,20 @@ type event =
   | Comment of string
   | Pi of string
 
+(* Parser-wide metrics (the SAX layer is stateless, so one registry covers
+   every parse in the process). *)
+let metrics = Pf_obs.Registry.create "sax"
+
+let m_events =
+  Pf_obs.Counter.make ~registry:metrics "events" ~help:"SAX events emitted"
+
+let m_documents =
+  Pf_obs.Counter.make ~registry:metrics "documents" ~help:"documents parsed"
+
+let m_max_depth =
+  Pf_obs.Gauge.make ~registry:metrics "max_depth"
+    ~help:"deepest element nesting observed"
+
 type position = { line : int; column : int }
 
 exception Parse_error of position * string
@@ -208,7 +222,18 @@ let read_text cur =
 let fold_events src ~init ~f =
   let cur = { src; pos = 0 } in
   let acc = ref init in
-  let emit ev = acc := f !acc ev in
+  let n_events = ref 0 in
+  let depth = ref 0 and max_depth = ref 0 in
+  let emit ev =
+    incr n_events;
+    (match ev with
+    | Start_element _ ->
+      incr depth;
+      if !depth > !max_depth then max_depth := !depth
+    | End_element _ -> decr depth
+    | Chars _ | Comment _ | Pi _ -> ());
+    acc := f !acc ev
+  in
   let stack = ref [] in
   let rec loop () =
     if eof cur then ()
@@ -278,6 +303,8 @@ let fold_events src ~init ~f =
   (match !stack with
   | [] -> ()
   | top :: _ -> fail cur (Printf.sprintf "unclosed element <%s>" top));
+  Pf_obs.Counter.add m_events !n_events;
+  Pf_obs.Gauge.set_max m_max_depth (float_of_int !max_depth);
   !acc
 
 let is_blank s = String.for_all is_space s
@@ -320,6 +347,7 @@ let parse_document src =
     | Comment _ | Pi _ -> ()
   in
   fold_events src ~init:() ~f:on_event;
+  Pf_obs.Counter.incr m_documents;
   match !root with
   | Some e -> { Tree.root = e }
   | None -> fail cur_for_errors "no root element"

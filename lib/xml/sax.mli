@@ -16,6 +16,11 @@ type event =
   | Comment of string
   | Pi of string  (** processing instruction, raw content *)
 
+val metrics : Pf_obs.Registry.t
+(** Parser-wide metric registry (scope ["sax"]): counters ["events"] and
+    ["documents"], gauge ["max_depth"]. The SAX layer is stateless, so one
+    registry covers every parse in the process. *)
+
 type position = { line : int; column : int }
 
 exception Parse_error of position * string

@@ -19,12 +19,40 @@ type state = {
   mutable filter_sids : int list;  (* accepting, needs the postponed check *)
 }
 
+(* Execution counters: [transitions] counts NFA transition rounds (one per
+   element event with a live active set), [activations] state activations
+   including epsilon-closure — the YFilter analogue of the predicate
+   engine's probes, for apples-to-apples stage comparisons. *)
+type metrics = {
+  registry : Pf_obs.Registry.t;
+  documents : Pf_obs.Counter.t;
+  transitions : Pf_obs.Counter.t;
+  activations : Pf_obs.Counter.t;
+  matched : Pf_obs.Counter.t;
+}
+
+let make_metrics () =
+  let registry = Pf_obs.Registry.create "yfilter" in
+  {
+    registry;
+    documents = Pf_obs.Counter.make ~registry "documents" ~help:"documents processed";
+    transitions =
+      Pf_obs.Counter.make ~registry "nfa_transitions"
+        ~help:"NFA transition rounds (element events with a live active set)";
+    activations =
+      Pf_obs.Counter.make ~registry "state_activations"
+        ~help:"NFA states activated, including epsilon-closure";
+    matched =
+      Pf_obs.Counter.make ~registry "matches" ~help:"expression matches reported";
+  }
+
 type t = {
   mutable states : state array;
   mutable n_states : int;
   mutable exprs : Ast.path array;  (* sid -> expression *)
   mutable n_exprs : int;
   symbols : (string, int) Hashtbl.t;  (* tag name -> dense symbol *)
+  m : metrics;
   (* run-time scratch *)
   mutable set_stamp : int array;  (* state id -> set epoch *)
   mutable set_epoch : int;
@@ -58,6 +86,7 @@ let create () =
       exprs = [||];
       n_exprs = 0;
       symbols = Hashtbl.create 64;
+      m = make_metrics ();
       set_stamp = [||];
       set_epoch = 0;
       sid_stamp = [||];
@@ -69,6 +98,7 @@ let create () =
 
 let expression_count t = t.n_exprs
 let state_count t = t.n_states
+let metrics t = t.m.registry
 
 let symbol_add t tag =
   match Hashtbl.find_opt t.symbols tag with
@@ -160,6 +190,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
   ensure_runtime t;
   t.doc_epoch <- t.doc_epoch + 1;
   let matches = ref [] in
+  let n_transitions = ref 0 and n_activations = ref 0 in
   (* current root-to-element path, for the postponed attribute check; the
      #text pseudo-attribute is materialized only when a check runs *)
   let path_stack : Pf_xml.Tree.element list ref = ref [] in
@@ -195,6 +226,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
   let rec activate acc s =
     if t.set_stamp.(s.id) = t.set_epoch then acc
     else begin
+      incr n_activations;
       t.set_stamp.(s.id) <- t.set_epoch;
       (match s.plain_sids with [] -> () | sids -> List.iter mark_plain sids);
       (match s.filter_sids with [] -> () | sids -> List.iter mark_filtered sids);
@@ -203,6 +235,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
     end
   in
   let transition active sym =
+    incr n_transitions;
     t.set_epoch <- t.set_epoch + 1;
     let rec go acc = function
       | [] -> acc
@@ -231,6 +264,11 @@ let match_document t (doc : Pf_xml.Tree.t) =
   t.set_epoch <- t.set_epoch + 1;
   let initial = activate [] t.states.(0) in
   walk initial doc.Pf_xml.Tree.root;
-  List.sort compare !matches
+  Pf_obs.Counter.add t.m.transitions !n_transitions;
+  Pf_obs.Counter.add t.m.activations !n_activations;
+  Pf_obs.Counter.incr t.m.documents;
+  let result = List.sort compare !matches in
+  Pf_obs.Counter.add t.m.matched (List.length result);
+  result
 
 let match_string t s = match_document t (Pf_xml.Sax.parse_document s)

@@ -33,3 +33,9 @@ val match_string : t -> string -> int list
 val expression_count : t -> int
 val state_count : t -> int
 (** NFA states — the structure-sharing metric. *)
+
+val metrics : t -> Pf_obs.Registry.t
+(** Metric registry (scope ["yfilter"]): counters ["documents"],
+    ["nfa_transitions"] (transition rounds, one per element event with a
+    live active set), ["state_activations"] (states activated including
+    epsilon-closure) and ["matches"]. *)

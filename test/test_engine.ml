@@ -76,6 +76,24 @@ let test_stats () =
   Engine.reset_stats e;
   Alcotest.(check int) "reset" 0 (Engine.stats e).Engine.documents
 
+(* reset_stats must zero the whole registry atomically: occurrence_runs as
+   reported by the accessor and by the registry counter always agree *)
+let test_reset_registry_agreement () =
+  let e = Engine.create () in
+  let _ = Engine.add_string e "/a/b" in
+  let _ = Engine.add_string e "//c" in
+  ignore (Engine.match_document e doc);
+  let registry_runs () =
+    match Pf_obs.Registry.find_counter (Engine.metrics e) "occurrence_runs" with
+    | Some n -> n
+    | None -> Alcotest.fail "occurrence_runs counter not registered"
+  in
+  Alcotest.(check bool) "runs nonzero" true (Engine.occurrence_runs e > 0);
+  Alcotest.(check int) "accessor = registry" (Engine.occurrence_runs e) (registry_runs ());
+  Engine.reset_stats e;
+  Alcotest.(check int) "accessor zero after reset" 0 (Engine.occurrence_runs e);
+  Alcotest.(check int) "registry zero after reset" 0 (registry_runs ())
+
 let test_predicate_sharing_across_expressions () =
   let e = Engine.create () in
   let _ = Engine.add_string e "/a/b/c/d" in
@@ -265,6 +283,8 @@ let () =
           Alcotest.test_case "attr modes agree" `Quick test_attr_modes_agree_unit;
           Alcotest.test_case "state resets between documents" `Quick test_multiple_docs_reset;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "reset agrees with registry" `Quick
+            test_reset_registry_agreement;
           Alcotest.test_case "predicate sharing" `Quick test_predicate_sharing_across_expressions;
           Alcotest.test_case "remove" `Quick test_remove;
           Alcotest.test_case "remove nested" `Quick test_remove_nested;

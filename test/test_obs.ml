@@ -1,0 +1,302 @@
+(* Pf_obs: registry arithmetic, histogram bucketing, exporter round-trips
+   and cross-engine metric invariants on a Figure-9-style workload. *)
+
+open Pf_obs
+
+let unlisted name = Registry.create ~list:false name
+
+(* ------------------------------------------------------------------ *)
+(* Registry arithmetic *)
+
+let test_counter () =
+  let r = unlisted "t" in
+  let c = Counter.make ~registry:r "hits" in
+  Alcotest.(check int) "fresh" 0 (Counter.get c);
+  Counter.incr c;
+  Counter.add c 41;
+  Alcotest.(check int) "incr+add" 42 (Counter.get c);
+  Alcotest.(check string) "name" "hits" (Counter.name c);
+  Registry.reset r;
+  Alcotest.(check int) "reset" 0 (Counter.get c);
+  Alcotest.(check (option int)) "find_counter" (Some 0) (Registry.find_counter r "hits");
+  Alcotest.(check (option int)) "find_counter miss" None (Registry.find_counter r "nope")
+
+let test_gauge () =
+  let r = unlisted "t" in
+  let g = Gauge.make ~registry:r "depth" in
+  Gauge.set g 3.;
+  Gauge.set_max g 2.;
+  Alcotest.(check (float 0.)) "set_max keeps max" 3. (Gauge.get g);
+  Gauge.set_max g 7.;
+  Alcotest.(check (float 0.)) "set_max raises" 7. (Gauge.get g);
+  Registry.reset r;
+  Alcotest.(check (float 0.)) "reset" 0. (Gauge.get g)
+
+let test_histogram_buckets () =
+  (* power-of-two bounds: observation n lands in the first bucket whose
+     bound is >= n *)
+  Alcotest.(check int) "0" 0 (Histogram.bucket_index 0);
+  Alcotest.(check int) "1" 0 (Histogram.bucket_index 1);
+  Alcotest.(check int) "2" 1 (Histogram.bucket_index 2);
+  Alcotest.(check int) "3" 2 (Histogram.bucket_index 3);
+  Alcotest.(check int) "4" 2 (Histogram.bucket_index 4);
+  Alcotest.(check int) "5" 3 (Histogram.bucket_index 5);
+  Alcotest.(check int) "1024" 10 (Histogram.bucket_index 1024);
+  Alcotest.(check int) "1025" 11 (Histogram.bucket_index 1025);
+  Alcotest.(check bool) "huge lands in overflow" true (Histogram.bucket_index max_int >= 30)
+
+let test_histogram_cumulative () =
+  let r = unlisted "t" in
+  let h = Histogram.make ~registry:r "len" in
+  List.iter (Histogram.observe h) [ 1; 2; 2; 5 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check (float 0.)) "sum" 10. (Histogram.sum h);
+  let cum = Histogram.cumulative h in
+  (* cumulative counts never decrease and end at the total under +inf *)
+  let last_bound, last_count = List.nth cum (List.length cum - 1) in
+  Alcotest.(check bool) "last bound is +inf" true (last_bound = infinity);
+  Alcotest.(check int) "last count is total" 4 last_count;
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (monotone cum);
+  Alcotest.(check int) "le 1" 1 (List.assoc 1. cum);
+  Alcotest.(check int) "le 2" 3 (List.assoc 2. cum);
+  Alcotest.(check int) "le 8" 4 (List.assoc 8. cum)
+
+let test_span () =
+  let r = unlisted "t" in
+  let s = Span.make ~registry:r "stage_ns" in
+  Span.add s 1_500_000L;
+  Span.add s 500_000L;
+  Alcotest.(check int64) "ns accumulates" 2_000_000L (Span.ns s);
+  Alcotest.(check (float 1e-9)) "ms" 2.0 (Span.ms s);
+  let x = Span.time s (fun () -> 42) in
+  Alcotest.(check int) "time returns" 42 x;
+  Alcotest.(check bool) "time adds" true (Span.ns s >= 2_000_000L);
+  Registry.reset r;
+  Alcotest.(check int64) "reset" 0L (Span.ns s)
+
+let test_scope_uniquification () =
+  let r1 = Registry.create "uniq_test" in
+  let r2 = Registry.create "uniq_test" in
+  Alcotest.(check string) "first" "uniq_test" (Registry.scope r1);
+  Alcotest.(check string) "second" "uniq_test#2" (Registry.scope r2);
+  let scopes = List.map Registry.scope (Registry.registries ()) in
+  Alcotest.(check bool) "both listed" true
+    (List.mem "uniq_test" scopes && List.mem "uniq_test#2" scopes)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let sample_registry () =
+  let r = unlisted "sample" in
+  let c = Counter.make ~registry:r "runs" ~help:"runs so far" in
+  let g = Gauge.make ~registry:r "depth" in
+  let h = Histogram.make ~registry:r "chain" in
+  let s = Span.make ~registry:r "stage_ns" in
+  Counter.add c 17;
+  Gauge.set g 4.;
+  List.iter (Histogram.observe h) [ 1; 3 ];
+  Span.add s 2_000_000L;
+  r
+
+let test_jsonl_roundtrip () =
+  let r = sample_registry () in
+  let lines = String.split_on_char '\n' (String.trim (Export.jsonl r)) in
+  Alcotest.(check int) "one line per metric" 4 (List.length lines);
+  let parsed = List.map Json.of_string lines in
+  List.iter
+    (fun j ->
+      Alcotest.(check (option string))
+        "scope" (Some "sample")
+        (match Json.member "scope" j with Some (Json.String s) -> Some s | _ -> None))
+    parsed;
+  let by_name name =
+    List.find
+      (fun j -> Json.member "name" j = Some (Json.String name))
+      parsed
+  in
+  Alcotest.(check bool) "counter value" true
+    (Json.member "value" (by_name "runs") = Some (Json.Int 17));
+  Alcotest.(check bool) "span ns" true
+    (Json.member "ns" (by_name "stage_ns") = Some (Json.Int 2_000_000));
+  (match Json.member "count" (by_name "chain") with
+  | Some (Json.Int 2) -> ()
+  | _ -> Alcotest.fail "histogram count");
+  (* registry_json compact snapshot parses back too *)
+  let snap = Json.of_string (Json.to_string (Export.registry_json r)) in
+  Alcotest.(check bool) "snapshot runs" true
+    (Json.member "runs" snap = Some (Json.Int 17))
+
+let test_prometheus_format () =
+  let r = sample_registry () in
+  let text = Export.prometheus r in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter sample" true (contains "predfilter_sample_runs 17");
+  Alcotest.(check bool) "help line" true
+    (contains "# HELP predfilter_sample_runs runs so far");
+  Alcotest.(check bool) "type line" true (contains "# TYPE predfilter_sample_runs counter");
+  Alcotest.(check bool) "span as seconds counter" true
+    (contains "predfilter_sample_stage_ns_seconds_total 0.002");
+  Alcotest.(check bool) "histogram +Inf bucket" true
+    (contains "predfilter_sample_chain_bucket{le=\"+Inf\"} 2")
+
+let test_summary_line () =
+  let r = unlisted "digest" in
+  let c = Counter.make ~registry:r "hits" in
+  let z = Counter.make ~registry:r "misses" in
+  ignore z;
+  Counter.add c 3;
+  let line = Export.summary_line r in
+  let contains sub =
+    let n = String.length sub and m = String.length line in
+    let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "scope shown" true (contains "[digest]");
+  Alcotest.(check bool) "nonzero shown" true (contains "hits=3");
+  Alcotest.(check bool) "zeros elided" false (contains "misses")
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser *)
+
+let test_json_parser () =
+  let rt v = Json.of_string (Json.to_string v) in
+  let v =
+    Json.Obj
+      [
+        "a", Json.Int 1;
+        "b", Json.List [ Json.Null; Json.Bool true; Json.Float 2.5 ];
+        "s", Json.String "he \"said\"\n";
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (rt v = v);
+  Alcotest.(check bool) "nan is null" true
+    (Json.of_string (Json.to_string (Json.Float Float.nan)) = Json.Null);
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (match Json.of_string "1 2" with
+    | _ -> false
+    | exception Json.Parse_error _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-engine invariants on a small Figure-9-style workload: filtered
+   expressions over generated documents, run through every engine. *)
+
+let workload () =
+  let dtd = Pf_workload.Dtd.nitf_like () in
+  let qs =
+    Pf_workload.Xpath_gen.generate dtd
+      {
+        Pf_workload.Presets.paper_queries with
+        Pf_workload.Xpath_gen.count = 400;
+        filters_per_path = 1;
+        seed = 11;
+      }
+  in
+  let docs =
+    Pf_workload.Xml_gen.generate_many dtd
+      { (Pf_workload.Presets.documents_for "nitf") with Pf_workload.Xml_gen.seed = 12 }
+      5
+  in
+  qs, docs
+
+let counter_of registry name =
+  match Registry.find_counter registry name with
+  | Some n -> n
+  | None -> Alcotest.fail (Printf.sprintf "counter %s not registered" name)
+
+let run_variant variant qs docs =
+  let e = Pf_core.Engine.create ~variant () in
+  List.iter (fun q -> ignore (Pf_core.Engine.add e q)) qs;
+  let matches =
+    List.fold_left (fun acc d -> acc + List.length (Pf_core.Engine.match_document e d)) 0 docs
+  in
+  matches, Pf_core.Engine.metrics e
+
+let test_cross_engine_invariants () =
+  let qs, docs = workload () in
+  let m_basic, r_basic = run_variant Pf_core.Expr_index.Basic qs docs in
+  let m_ap, r_ap = run_variant Pf_core.Expr_index.Access_predicate qs docs in
+  Alcotest.(check int) "variants agree on matches" m_basic m_ap;
+  let runs_basic = counter_of r_basic "occurrence_runs" in
+  let runs_ap = counter_of r_ap "occurrence_runs" in
+  Alcotest.(check bool) "runs nonzero" true (runs_basic > 0 && runs_ap > 0);
+  (* prefix covering + access predicates can only prune runs *)
+  Alcotest.(check bool) "ap prunes runs" true (runs_ap <= runs_basic);
+  Alcotest.(check bool) "ap skipped something" true
+    (counter_of r_ap "access_skips" + counter_of r_ap "prefix_cover_skips" > 0);
+  List.iter
+    (fun r ->
+      let probes = counter_of r "predicate_probes" in
+      let hits = counter_of r "predicate_hits" in
+      let paths = counter_of r "paths" in
+      let docs_n = counter_of r "documents" in
+      Alcotest.(check bool) "hits <= probes" true (hits <= probes);
+      Alcotest.(check bool) "documents counted" true (docs_n = List.length docs);
+      Alcotest.(check bool) "paths >= documents" true (paths >= docs_n);
+      (* each run probes the predicate index at most once per path/expr *)
+      let runs = counter_of r "occurrence_runs" in
+      Alcotest.(check bool) "runs bounded" true (runs <= paths * List.length qs))
+    [ r_basic; r_ap ]
+
+let test_baseline_metrics () =
+  let qs, docs = workload () in
+  let single_path = List.filter Pf_xpath.Ast.is_single_path qs in
+  let y = Pf_yfilter.Yfilter.create () in
+  let f = Pf_indexfilter.Index_filter.create () in
+  List.iter (fun q -> ignore (Pf_yfilter.Yfilter.add y q)) single_path;
+  List.iter (fun q -> ignore (Pf_indexfilter.Index_filter.add f q)) single_path;
+  let my =
+    List.fold_left
+      (fun acc d -> acc + List.length (Pf_yfilter.Yfilter.match_document y d))
+      0 docs
+  in
+  let mf =
+    List.fold_left
+      (fun acc d -> acc + List.length (Pf_indexfilter.Index_filter.match_document f d))
+      0 docs
+  in
+  Alcotest.(check int) "baselines agree" my mf;
+  let ry = Pf_yfilter.Yfilter.metrics y and rf = Pf_indexfilter.Index_filter.metrics f in
+  Alcotest.(check int) "yfilter documents" (List.length docs) (counter_of ry "documents");
+  Alcotest.(check int) "indexfilter documents" (List.length docs) (counter_of rf "documents");
+  Alcotest.(check int) "yfilter matches counter" my (counter_of ry "matches");
+  Alcotest.(check int) "indexfilter matches counter" mf (counter_of rf "matches");
+  Alcotest.(check bool) "yfilter did work" true
+    (counter_of ry "nfa_transitions" > 0 && counter_of ry "state_activations" > 0);
+  Alcotest.(check bool) "indexfilter did work" true
+    (counter_of rf "stream_advances" >= counter_of rf "nodes_visited")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "histogram cumulative" `Quick test_histogram_cumulative;
+          Alcotest.test_case "span" `Quick test_span;
+          Alcotest.test_case "scope uniquification" `Quick test_scope_uniquification;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "summary line" `Quick test_summary_line;
+          Alcotest.test_case "json parser" `Quick test_json_parser;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "cross-engine invariants" `Quick test_cross_engine_invariants;
+          Alcotest.test_case "baseline metrics" `Quick test_baseline_metrics;
+        ] );
+    ]
