@@ -1,0 +1,140 @@
+type t = {
+  name : string;
+  notes : string list;
+  exprs : Pf_xpath.Ast.path array;
+  docs : Pf_xml.Tree.t array;
+  expect : bool array array;
+}
+
+(* A serialized document must stay on one line. Our printer only emits
+   newlines inside character data or attribute values, where a numeric
+   character reference is equivalent. *)
+let one_line xml =
+  if not (String.contains xml '\n') then xml
+  else
+    String.concat "&#10;" (String.split_on_char '\n' xml)
+
+let doc_to_line d = one_line (Pf_xml.Print.to_string ~decl:false d)
+
+let canonicalize_doc d = Pf_xml.Sax.parse_document (doc_to_line d)
+
+(* The printer renders a relative path with a leading descendant step the
+   same way as an absolute one ([//a] both ways) — semantically identical
+   forms, but structurally distinct ASTs. Round-tripping here makes
+   [to_string]/[of_string] exact. *)
+let canonicalize_expr e = Pf_xpath.Parser.parse (Pf_xpath.Parser.to_string e)
+
+let oracle_matrix exprs docs =
+  Array.map
+    (fun e -> Array.map (fun d -> Pf_xpath.Eval.matches e d) docs)
+    exprs
+
+let make ?(name = "case") ?(notes = []) ~exprs ~docs () =
+  let exprs = Array.of_list (List.map canonicalize_expr exprs) in
+  let docs = Array.of_list (List.map canonicalize_doc docs) in
+  { name; notes; exprs; docs; expect = oracle_matrix exprs docs }
+
+let to_string t =
+  let buf = Buffer.create 512 in
+  List.iter (fun n -> Buffer.add_string buf ("# " ^ n ^ "\n")) t.notes;
+  Array.iter
+    (fun e -> Buffer.add_string buf ("expr " ^ Pf_xpath.Parser.to_string e ^ "\n"))
+    t.exprs;
+  Array.iter (fun d -> Buffer.add_string buf ("doc " ^ doc_to_line d ^ "\n")) t.docs;
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "expect ";
+      Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) row;
+      Buffer.add_char buf '\n')
+    t.expect;
+  Buffer.contents buf
+
+let of_string ?(name = "case") src =
+  let notes = ref [] and exprs = ref [] and docs = ref [] and expect = ref [] in
+  let fail lineno msg = failwith (Printf.sprintf "%s:%d: %s" name lineno msg) in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" then ()
+      else if String.length line >= 1 && line.[0] = '#' then
+        notes := String.trim (String.sub line 1 (String.length line - 1)) :: !notes
+      else
+        match String.index_opt line ' ' with
+        | None -> fail lineno (Printf.sprintf "malformed line %S" line)
+        | Some sp -> (
+          let key = String.sub line 0 sp in
+          let rest = String.trim (String.sub line sp (String.length line - sp)) in
+          match key with
+          | "expr" -> (
+            match Pf_xpath.Parser.parse rest with
+            | p -> exprs := p :: !exprs
+            | exception Pf_xpath.Parser.Error msg ->
+              fail lineno (Printf.sprintf "bad expression %S: %s" rest msg))
+          | "doc" -> (
+            match Pf_xml.Sax.parse_document rest with
+            | d -> docs := d :: !docs
+            | exception Pf_xml.Sax.Parse_error (pos, msg) ->
+              fail lineno
+                (Format.asprintf "bad document: %s (%a)" msg Pf_xml.Sax.pp_position pos))
+          | "expect" ->
+            let row =
+              Array.init (String.length rest) (fun j ->
+                  match rest.[j] with
+                  | '1' -> true
+                  | '0' -> false
+                  | c -> fail lineno (Printf.sprintf "bad expect digit %C" c))
+            in
+            expect := row :: !expect
+          | key -> fail lineno (Printf.sprintf "unknown key %S" key)))
+    (String.split_on_char '\n' src);
+  let exprs = Array.of_list (List.rev !exprs)
+  and docs = Array.of_list (List.rev !docs)
+  and expect = Array.of_list (List.rev !expect) in
+  if Array.length exprs = 0 then fail 0 "no expressions";
+  if Array.length docs = 0 then fail 0 "no documents";
+  if
+    Array.length expect <> Array.length exprs
+    || Array.exists (fun row -> Array.length row <> Array.length docs) expect
+  then
+    fail 0
+      (Printf.sprintf "expectation matrix must be %d rows of %d columns"
+         (Array.length exprs) (Array.length docs));
+  { name; notes = List.rev !notes; exprs; docs; expect }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let save ~dir t =
+  mkdir_p dir;
+  let path = Filename.concat dir (t.name ^ ".case") in
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc;
+  path
+
+let load path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  of_string ~name src
+
+let load_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort compare
+    |> List.map (fun f -> load (Filename.concat dir f))
+
+let equal a b =
+  Array.length a.exprs = Array.length b.exprs
+  && Array.length a.docs = Array.length b.docs
+  && Array.for_all2 Pf_xpath.Ast.equal a.exprs b.exprs
+  && Array.for_all2 Pf_xml.Tree.equal a.docs b.docs
+  && a.expect = b.expect

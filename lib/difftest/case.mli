@@ -1,0 +1,58 @@
+(** Self-contained differential-test cases.
+
+    A case is a set of XPath expressions, a set of documents, and the
+    oracle's verdict matrix at capture time. Cases serialize to a small
+    line-oriented text format so a shrunk counterexample can be committed
+    under [test/corpus/difftest/] and replayed deterministically by the
+    [test_difftest] suite on every [dune runtest].
+
+    Format (one item per line, [#] comment lines preserved as notes):
+    {v
+      # free-form provenance notes
+      expr /a/b[@x = 1]
+      doc <a><b x="1"/></a>
+      doc <a><b x="2"/></a>
+      expect 10
+    v}
+    One [expect] row per expression, one [0]/[1] column per document —
+    the reference evaluator's verdict ([Pf_xpath.Eval.matches]). *)
+
+type t = {
+  name : string;
+  notes : string list;  (** provenance comments, without the leading [# ] *)
+  exprs : Pf_xpath.Ast.path array;
+  docs : Pf_xml.Tree.t array;
+  expect : bool array array;  (** [expect.(e).(d)] — oracle verdict *)
+}
+
+val make :
+  ?name:string ->
+  ?notes:string list ->
+  exprs:Pf_xpath.Ast.path list ->
+  docs:Pf_xml.Tree.t list ->
+  unit ->
+  t
+(** Builds a case: expressions and documents are canonicalized through a
+    print/parse round-trip (so the serialized form is exact) and the
+    expectation matrix is computed with the reference evaluator. *)
+
+val to_string : t -> string
+
+val of_string : ?name:string -> string -> t
+(** Raises [Failure] on a malformed case (bad XPath, bad XML, wrong
+    expectation dimensions). *)
+
+val save : dir:string -> t -> string
+(** Write [<dir>/<name>.case] (creating [dir] if needed); returns the
+    path. *)
+
+val load : string -> t
+(** Load one [.case] file; the case name is the file's basename. *)
+
+val load_dir : string -> t list
+(** All [*.case] files in a directory, sorted by name; [] if the directory
+    does not exist. *)
+
+val equal : t -> t -> bool
+(** Structural equality of expressions, documents and expectations (names
+    and notes ignored). *)

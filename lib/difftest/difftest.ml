@@ -1,0 +1,342 @@
+open Pf_workload
+
+type config = {
+  seed : int;
+  cases : int;
+  time_budget : float;
+  worlds : string list;
+  features : Feature_gen.features;
+  max_exprs : int;
+  max_docs : int;
+  all_variants : bool;
+  save_dir : string option;
+}
+
+let all_worlds = [ "nitf"; "psd"; "auction"; "small" ]
+
+let default_config =
+  {
+    seed = 1;
+    cases = 200;
+    time_budget = 0.;
+    worlds = all_worlds;
+    features = Feature_gen.all_features;
+    max_exprs = 24;
+    max_docs = 3;
+    all_variants = false;
+    save_dir = None;
+  }
+
+type divergence =
+  | Mismatch of { engine : string; expr : int; doc : int; got : bool; want : bool }
+  | Crash of { engine : string; error : string }
+  | Stale_expectation of { expr : int; doc : int; stored : bool; oracle : bool }
+
+let pp_divergence fmt = function
+  | Mismatch { engine; expr; doc; got; want } ->
+    Format.fprintf fmt "%s disagrees with eval on expr #%d x doc #%d: got %b, want %b"
+      engine expr doc got want
+  | Crash { engine; error } -> Format.fprintf fmt "%s crashed: %s" engine error
+  | Stale_expectation { expr; doc; stored; oracle } ->
+    Format.fprintf fmt
+      "stored expectation for expr #%d x doc #%d is %b but the oracle says %b" expr doc
+      stored oracle
+
+let divergence_to_string d = Format.asprintf "%a" pp_divergence d
+
+type divergence_report = {
+  case_index : int;
+  world : string;
+  divergences : divergence list;
+  shrunk : Case.t;
+  shrink_steps : int;
+  saved_to : string option;
+}
+
+type report = {
+  cases_run : int;
+  failures : divergence_report list;
+  elapsed_ms : float;
+  engine_ms : (string * float) list;
+}
+
+let metrics = Pf_obs.Registry.create "difftest"
+
+let m_cases = Pf_obs.Counter.make ~registry:metrics "cases" ~help:"fuzz cases executed"
+
+let m_divergences =
+  Pf_obs.Counter.make ~registry:metrics "divergences"
+    ~help:"engine-vs-oracle mismatches found (pre-shrink)"
+
+let m_crashes =
+  Pf_obs.Counter.make ~registry:metrics "crashes" ~help:"engine crashes found"
+
+let m_shrink_steps =
+  Pf_obs.Counter.make ~registry:metrics "shrink_steps"
+    ~help:"successful counterexample reduction steps"
+
+let m_saved =
+  Pf_obs.Counter.make ~registry:metrics "cases_saved"
+    ~help:"shrunk cases written to the corpus directory"
+
+(* ------------------------------------------------------------------ *)
+(* Running the roster and comparing *)
+
+let check_timed ?times ~engines exprs docs =
+  let time ename f =
+    match times with
+    | None -> f ()
+    | Some tbl ->
+      let t0 = Pf_obs.Registry.now_ns () in
+      Fun.protect f ~finally:(fun () ->
+          let ms = Int64.to_float (Int64.sub (Pf_obs.Registry.now_ns ()) t0) /. 1e6 in
+          let prev = try Hashtbl.find tbl ename with Not_found -> 0. in
+          Hashtbl.replace tbl ename (prev +. ms))
+  in
+  let run (eng : Engines.engine) =
+    let supported = Array.map eng.Engines.supports exprs in
+    match time eng.Engines.ename (fun () -> eng.Engines.run exprs supported docs) with
+    | matrix -> Ok (supported, matrix)
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  match engines with
+  | [] -> invalid_arg "Difftest.check: empty engine roster"
+  | oracle :: rest -> (
+    match run oracle with
+    | Error error -> [ Crash { engine = oracle.Engines.ename; error } ]
+    | Ok (_, want) ->
+      List.concat_map
+        (fun (eng : Engines.engine) ->
+          match run eng with
+          | Error error -> [ Crash { engine = eng.Engines.ename; error } ]
+          | Ok (supported, got) ->
+            let divs = ref [] in
+            Array.iteri
+              (fun i row ->
+                if supported.(i) then
+                  Array.iteri
+                    (fun j g ->
+                      if g <> want.(i).(j) then
+                        divs :=
+                          Mismatch
+                            { engine = eng.Engines.ename;
+                              expr = i;
+                              doc = j;
+                              got = g;
+                              want = want.(i).(j);
+                            }
+                          :: !divs)
+                    row)
+              got;
+            List.rev !divs)
+        rest)
+
+let check ~engines exprs docs = check_timed ~engines exprs docs
+
+let check_case ?(all_variants = false) (c : Case.t) =
+  let engines =
+    if all_variants then Engines.extended_roster () else Engines.default_roster ()
+  in
+  let stale = ref [] in
+  Array.iteri
+    (fun i e ->
+      Array.iteri
+        (fun j d ->
+          let oracle = Pf_xpath.Eval.matches e d in
+          if oracle <> c.Case.expect.(i).(j) then
+            stale :=
+              Stale_expectation { expr = i; doc = j; stored = c.Case.expect.(i).(j); oracle }
+              :: !stale)
+        c.Case.docs)
+    c.Case.exprs;
+  List.rev !stale @ check ~engines c.Case.exprs c.Case.docs
+
+(* ------------------------------------------------------------------ *)
+(* Workload generation *)
+
+let gen_small rng (cfg : config) =
+  let n_exprs = 1 + Random.State.int rng cfg.max_exprs in
+  let n_docs = 1 + Random.State.int rng cfg.max_docs in
+  let shape =
+    if Random.State.bool rng then Feature_gen.default_shape else Feature_gen.deep_shape
+  in
+  let doc_gen = Feature_gen.doc_gen ~shape cfg.features in
+  let path_gen = Feature_gen.path_gen cfg.features in
+  let exprs = List.init n_exprs (fun _ -> QCheck2.Gen.generate1 ~rand:rng path_gen) in
+  let docs = List.init n_docs (fun _ -> QCheck2.Gen.generate1 ~rand:rng doc_gen) in
+  (exprs, docs)
+
+let gen_dtd rng world (cfg : config) =
+  let dtd =
+    match Dtd.by_name world with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Difftest: unknown world %S" world)
+  in
+  let f = cfg.features in
+  let n_exprs = 1 + Random.State.int rng cfg.max_exprs in
+  let n_docs = 1 + Random.State.int rng cfg.max_docs in
+  let query_params =
+    {
+      Xpath_gen.count = n_exprs;
+      max_depth = 3 + Random.State.int rng 4;
+      wildcard_prob = (if f.Feature_gen.wildcards then Random.State.float rng 0.5 else 0.);
+      descendant_prob =
+        (if f.Feature_gen.descendants then Random.State.float rng 0.5 else 0.);
+      distinct = false;
+      filters_per_path = (if f.Feature_gen.attrs then Random.State.int rng 3 else 0);
+      nested_prob = (if f.Feature_gen.nested then Random.State.float rng 0.4 else 0.);
+      seed = Random.State.bits rng;
+    }
+  in
+  let preset = Presets.documents_for world in
+  let doc_params =
+    {
+      preset with
+      Xml_gen.max_levels = 3 + Random.State.int rng 6;
+      text_prob = (if f.Feature_gen.text then 0.3 else preset.Xml_gen.text_prob);
+      seed = Random.State.bits rng;
+    }
+  in
+  let exprs = Xpath_gen.generate dtd query_params in
+  let exprs = if exprs = [] then [ Pf_xpath.Parser.parse ("/" ^ dtd.Dtd.root) ] else exprs in
+  (exprs, Xml_gen.generate_many dtd doc_params n_docs)
+
+let generate rng world cfg =
+  if world = "small" then gen_small rng cfg else gen_dtd rng world cfg
+
+(* ------------------------------------------------------------------ *)
+(* The fuzz loop *)
+
+let run ?(log = ignore) (cfg : config) =
+  let engines =
+    if cfg.all_variants then Engines.extended_roster () else Engines.default_roster ()
+  in
+  let times = Hashtbl.create 8 in
+  let t0 = Pf_obs.Registry.now_ns () in
+  let elapsed_ms () = Int64.to_float (Int64.sub (Pf_obs.Registry.now_ns ()) t0) /. 1e6 in
+  let worlds = if cfg.worlds = [] then all_worlds else cfg.worlds in
+  let failures = ref [] in
+  let cases_run = ref 0 in
+  (try
+     for i = 0 to cfg.cases - 1 do
+       if cfg.time_budget > 0. && elapsed_ms () > cfg.time_budget *. 1000. then raise Exit;
+       let world = List.nth worlds (i mod List.length worlds) in
+       let rng = Random.State.make [| cfg.seed; i; 0xd1ff7e57 |] in
+       let exprs, docs = generate rng world cfg in
+       let exprs = Array.of_list exprs and docs = Array.of_list docs in
+       incr cases_run;
+       Pf_obs.Counter.incr m_cases;
+       let divergences = check_timed ~times ~engines exprs docs in
+       if divergences <> [] then begin
+         List.iter
+           (fun d ->
+             (match d with
+             | Crash _ -> Pf_obs.Counter.incr m_crashes
+             | Mismatch _ | Stale_expectation _ -> Pf_obs.Counter.incr m_divergences);
+             log
+               (Printf.sprintf "case %d (%s, seed %d): %s" i world cfg.seed
+                  (divergence_to_string d)))
+           divergences;
+         let failing es ds =
+           Array.length es > 0 && Array.length ds > 0 && check ~engines es ds <> []
+         in
+         let shrunk_exprs, shrunk_docs, shrink_steps =
+           Shrink.minimize ~failing exprs docs
+         in
+         Pf_obs.Counter.add m_shrink_steps shrink_steps;
+         let name = Printf.sprintf "seed%d-case%04d-%s" cfg.seed i world in
+         let notes =
+           Printf.sprintf
+             "found by pf_fuzz: seed %d, case %d, world %s, features %s (%d shrink steps)"
+             cfg.seed i world
+             (Feature_gen.features_to_string cfg.features)
+             shrink_steps
+           :: List.map divergence_to_string divergences
+         in
+         let shrunk =
+           Case.make ~name ~notes ~exprs:(Array.to_list shrunk_exprs)
+             ~docs:(Array.to_list shrunk_docs) ()
+         in
+         let saved_to =
+           Option.map
+             (fun dir ->
+               Pf_obs.Counter.incr m_saved;
+               let path = Case.save ~dir shrunk in
+               log (Printf.sprintf "case %d: shrunk reproducer saved to %s" i path);
+               path)
+             cfg.save_dir
+         in
+         failures :=
+           { case_index = i; world; divergences; shrunk; shrink_steps; saved_to }
+           :: !failures
+       end
+     done
+   with Exit -> log "time budget exhausted, stopping early");
+  let engine_ms =
+    List.map
+      (fun (eng : Engines.engine) ->
+        (eng.Engines.ename, try Hashtbl.find times eng.Engines.ename with Not_found -> 0.))
+      engines
+  in
+  {
+    cases_run = !cases_run;
+    failures = List.rev !failures;
+    elapsed_ms = elapsed_ms ();
+    engine_ms;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON summary *)
+
+let report_json (cfg : config) (r : report) =
+  let open Pf_obs.Json in
+  let n_crashes =
+    List.fold_left
+      (fun acc f ->
+        acc
+        + List.length (List.filter (function Crash _ -> true | _ -> false) f.divergences))
+      0 r.failures
+  in
+  let n_mismatches =
+    List.fold_left
+      (fun acc f ->
+        acc
+        + List.length
+            (List.filter (function Mismatch _ | Stale_expectation _ -> true | _ -> false)
+               f.divergences))
+      0 r.failures
+  in
+  Obj
+    [
+      ("tool", String "pf_fuzz");
+      ("seed", Int cfg.seed);
+      ("cases_requested", Int cfg.cases);
+      ("cases_run", Int r.cases_run);
+      ("worlds", List (List.map (fun w -> String w) cfg.worlds));
+      ("features", String (Feature_gen.features_to_string cfg.features));
+      ("all_variants", Bool cfg.all_variants);
+      ("divergent_cases", Int (List.length r.failures));
+      ("mismatches", Int n_mismatches);
+      ("crashes", Int n_crashes);
+      ( "shrink_steps",
+        Int (List.fold_left (fun acc f -> acc + f.shrink_steps) 0 r.failures) );
+      ("elapsed_ms", Float r.elapsed_ms);
+      ("engine_ms", Obj (List.map (fun (n, ms) -> (n, Float ms)) r.engine_ms));
+      ( "failures",
+        List
+          (List.map
+             (fun f ->
+               Obj
+                 [
+                   ("case_index", Int f.case_index);
+                   ("world", String f.world);
+                   ("shrink_steps", Int f.shrink_steps);
+                   ( "divergences",
+                     List (List.map (fun d -> String (divergence_to_string d)) f.divergences)
+                   );
+                   ( "saved_to",
+                     match f.saved_to with None -> Null | Some p -> String p );
+                   ("case", String (Case.to_string f.shrunk));
+                 ])
+             r.failures) );
+    ]

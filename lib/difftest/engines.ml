@@ -1,0 +1,122 @@
+open Pf_xpath
+
+type engine = {
+  ename : string;
+  supports : Ast.path -> bool;
+  run : Ast.path array -> bool array -> Pf_xml.Tree.t array -> bool array array;
+}
+
+(* The predicate engine rejects filters attached to wildcard steps
+   (Encoder.Unsupported), recursively through nested paths. *)
+let rec engine_subset (p : Ast.path) =
+  List.for_all
+    (fun (s : Ast.step) ->
+      (match s.Ast.test with
+      | Ast.Wildcard -> s.Ast.filters = []
+      | Ast.Tag _ -> true)
+      && List.for_all
+           (function Ast.Nested q -> engine_subset q | Ast.Attr _ -> true)
+           s.Ast.filters)
+    p.Ast.steps
+
+let oracle =
+  {
+    ename = "eval";
+    supports = (fun _ -> true);
+    run =
+      (fun exprs supported docs ->
+        Array.mapi
+          (fun i e ->
+            if supported.(i) then Array.map (fun d -> Eval.matches e d) docs
+            else Array.map (fun _ -> false) docs)
+          exprs);
+  }
+
+(* Verdict matrix from a sid-based matcher: register supported expressions,
+   then turn each document's sorted sid list into per-expression booleans. *)
+let matrix_of_sids exprs supported docs ~add ~match_doc =
+  let sids = Array.make (Array.length exprs) (-1) in
+  Array.iteri (fun i e -> if supported.(i) then sids.(i) <- add e) exprs;
+  let per_doc =
+    Array.map
+      (fun d ->
+        let matched = Hashtbl.create 16 in
+        List.iter (fun sid -> Hashtbl.replace matched sid ()) (match_doc d);
+        matched)
+      docs
+  in
+  Array.mapi
+    (fun i _ ->
+      Array.map
+        (fun matched -> sids.(i) >= 0 && Hashtbl.mem matched sids.(i))
+        per_doc)
+    exprs
+
+let predicate_engine ~ename ?variant ?attr_mode ?dedup_paths () =
+  {
+    ename;
+    supports = engine_subset;
+    run =
+      (fun exprs supported docs ->
+        let e = Pf_core.Engine.create ?variant ?attr_mode ?dedup_paths () in
+        matrix_of_sids exprs supported docs
+          ~add:(Pf_core.Engine.add e)
+          ~match_doc:(Pf_core.Engine.match_document e));
+  }
+
+let streaming_engine =
+  {
+    ename = "engine-stream";
+    supports = engine_subset;
+    run =
+      (fun exprs supported docs ->
+        let e = Pf_core.Engine.create () in
+        matrix_of_sids exprs supported docs
+          ~add:(Pf_core.Engine.add e)
+          ~match_doc:(fun d ->
+            Pf_core.Engine.match_stream e (Pf_xml.Print.to_string ~decl:false d)));
+  }
+
+let yfilter_engine =
+  {
+    ename = "yfilter";
+    supports = Ast.is_single_path;
+    run =
+      (fun exprs supported docs ->
+        let y = Pf_yfilter.Yfilter.create () in
+        matrix_of_sids exprs supported docs
+          ~add:(Pf_yfilter.Yfilter.add y)
+          ~match_doc:(Pf_yfilter.Yfilter.match_document y));
+  }
+
+let index_filter_engine =
+  {
+    ename = "index-filter";
+    supports = Ast.is_single_path;
+    run =
+      (fun exprs supported docs ->
+        let f = Pf_indexfilter.Index_filter.create () in
+        matrix_of_sids exprs supported docs
+          ~add:(Pf_indexfilter.Index_filter.add f)
+          ~match_doc:(Pf_indexfilter.Index_filter.match_document f));
+  }
+
+let default_roster () =
+  [
+    oracle;
+    predicate_engine ~ename:"engine" ~variant:Pf_core.Expr_index.Access_predicate
+      ~attr_mode:Pf_core.Engine.Inline ();
+    predicate_engine ~ename:"engine-nested-sp" ~variant:Pf_core.Expr_index.Basic
+      ~attr_mode:Pf_core.Engine.Postponed ();
+    yfilter_engine;
+    index_filter_engine;
+  ]
+
+let extended_roster () =
+  default_roster ()
+  @ [
+      predicate_engine ~ename:"engine-pc" ~variant:Pf_core.Expr_index.Prefix_covering ();
+      predicate_engine ~ename:"engine-shared-dedup" ~variant:Pf_core.Expr_index.Shared
+        ~dedup_paths:true ();
+      streaming_engine;
+    ]

@@ -1,0 +1,42 @@
+(** The engine roster for differential testing.
+
+    Every filtering implementation in the repository is wrapped behind a
+    uniform interface: given an expression set and a document set, produce
+    the boolean verdict matrix [(expr, doc) -> matched]. The reference
+    evaluator {!Pf_xpath.Eval} is the first engine — the correctness oracle
+    all others must agree with.
+
+    Engines declare the expression subset they support; unsupported
+    expressions are excluded from comparison for that engine (YFilter and
+    Index-Filter take no nested paths; the predicate engine takes no filters
+    on wildcard steps). An exception anywhere else is a reportable crash. *)
+
+type engine = {
+  ename : string;
+  supports : Pf_xpath.Ast.path -> bool;
+  run : Pf_xpath.Ast.path array -> bool array -> Pf_xml.Tree.t array -> bool array array;
+      (** [run exprs supported docs] — verdict matrix, [exprs] rows by
+          [docs] columns; rows whose [supported] flag is false are all
+          [false] and not compared. May raise (a crash divergence). *)
+}
+
+val oracle : engine
+(** ["eval"] — brute-force matching via {!Pf_xpath.Eval.matches}. *)
+
+val default_roster : unit -> engine list
+(** The five engines of the differential harness, oracle first:
+    ["eval"], ["engine"] (predicate engine, basic-pc-ap, inline attributes;
+    nested paths via the Section 5 decomposition), ["engine-nested-sp"]
+    (basic organization with selection-postponed attributes — the
+    alternative occurrence-determination path), ["yfilter"] and
+    ["index-filter"]. *)
+
+val extended_roster : unit -> engine list
+(** {!default_roster} plus ["engine-pc"] (prefix covering),
+    ["engine-shared-dedup"] (the shared-trie ablation with path
+    deduplication) and ["engine-stream"] (the SAX streaming pipeline,
+    matching the serialized document without materializing a tree). *)
+
+val engine_subset : Pf_xpath.Ast.path -> bool
+(** The predicate engine's supported subset: no attribute or nested filters
+    attached to wildcard steps (recursively through nested paths). *)

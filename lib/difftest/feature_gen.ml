@@ -1,0 +1,160 @@
+(* Feature-weighted generators over the small adversarial world (tag
+   alphabet a..e). Distributions follow the original property-test
+   generators; each feature gate removes its construct entirely. *)
+
+open QCheck2
+
+type features = {
+  wildcards : bool;
+  descendants : bool;
+  attrs : bool;
+  nested : bool;
+  text : bool;
+}
+
+let all_features =
+  { wildcards = true; descendants = true; attrs = true; nested = true; text = true }
+
+let structure_only =
+  { wildcards = false; descendants = false; attrs = false; nested = false; text = false }
+
+let structure_axes = { structure_only with wildcards = true; descendants = true }
+
+let feature_names =
+  [
+    ("wildcards", (fun f -> f.wildcards), fun f -> { f with wildcards = true });
+    ("descendants", (fun f -> f.descendants), fun f -> { f with descendants = true });
+    ("attrs", (fun f -> f.attrs), fun f -> { f with attrs = true });
+    ("nested", (fun f -> f.nested), fun f -> { f with nested = true });
+    ("text", (fun f -> f.text), fun f -> { f with text = true });
+  ]
+
+let features_to_string f =
+  match List.filter_map (fun (n, get, _) -> if get f then Some n else None) feature_names with
+  | [] -> "none"
+  | names -> String.concat "," names
+
+let features_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "all" -> Ok all_features
+  | "none" | "structure" -> Ok structure_only
+  | s ->
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun p -> p <> "")
+    in
+    List.fold_left
+      (fun acc part ->
+        match acc with
+        | Error _ -> acc
+        | Ok f -> (
+          match List.find_opt (fun (n, _, _) -> n = part) feature_names with
+          | Some (_, _, set) -> Ok (set f)
+          | None ->
+            Error
+              (Printf.sprintf "unknown feature %S (expected %s)" part
+                 (String.concat ", " (List.map (fun (n, _, _) -> n) feature_names)))))
+      (Ok structure_only) parts
+
+type doc_shape = { min_depth : int; max_depth : int; max_fanout : int }
+
+let default_shape = { min_depth = 1; max_depth = 5; max_fanout = 3 }
+let deep_shape = { min_depth = 6; max_depth = 12; max_fanout = 2 }
+
+let tag_gen = Gen.oneofl [ "a"; "b"; "c"; "d"; "e" ]
+let attr_name_gen = Gen.oneofl [ "x"; "y"; "z" ]
+let attr_value_gen = Gen.map string_of_int (Gen.int_range 0 5)
+
+(* ------------------------------------------------------------------ *)
+(* Documents *)
+
+let rec element_body (f : features) ~depth ~fanout =
+  let open Gen in
+  tag_gen >>= fun tag ->
+  (if f.attrs then
+     list_size (int_range 0 2) (pair attr_name_gen attr_value_gen)
+     >|= List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+   else return [])
+  >>= fun attrs ->
+  (if depth <= 1 then return []
+   else
+     list_size (int_range 0 fanout)
+       (map (fun e -> Pf_xml.Tree.Element e) (element_body f ~depth:(depth - 1) ~fanout)))
+  >>= fun children ->
+  (* leaf elements may carry numeric text, exercising text() filters;
+     leaves only, so streaming and tree path extraction agree exactly *)
+  (if children = [] && f.text then
+     frequency
+       [ (2, return children);
+         (1, map (fun v -> [ Pf_xml.Tree.Text (string_of_int v) ]) (int_range 0 5)) ]
+   else return children)
+  >>= fun children -> return (Pf_xml.Tree.element ~attrs ~children tag)
+
+let element_gen ?(shape = default_shape) f =
+  Gen.(
+    int_range shape.min_depth shape.max_depth >>= fun depth ->
+    element_body f ~depth ~fanout:shape.max_fanout)
+
+let doc_gen ?shape f = Gen.map Pf_xml.Tree.doc (element_gen ?shape f)
+
+let doc_print d = Pf_xml.Print.to_string ~decl:false d
+
+(* ------------------------------------------------------------------ *)
+(* XPath expressions *)
+
+let comparison_gen = Gen.oneofl Pf_xpath.Ast.[ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let attr_filter_gen (f : features) =
+  let open Gen in
+  (if f.text then frequency [ (3, attr_name_gen); (1, return Pf_xpath.Ast.text_attr) ]
+   else attr_name_gen)
+  >>= fun attr ->
+  comparison_gen >>= fun cmp ->
+  int_range 0 5 >>= fun v ->
+  return (Pf_xpath.Ast.Attr { Pf_xpath.Ast.attr; cmp; value = Pf_xpath.Ast.Int v })
+
+let axis_gen (f : features) =
+  if f.descendants then Gen.oneofl Pf_xpath.Ast.[ Child; Child; Child; Descendant ]
+  else Gen.return Pf_xpath.Ast.Child
+
+let test_gen (f : features) =
+  if f.wildcards then
+    Gen.frequency
+      [ (4, Gen.map (fun t -> Pf_xpath.Ast.Tag t) tag_gen);
+        (1, Gen.return Pf_xpath.Ast.Wildcard) ]
+  else Gen.map (fun t -> Pf_xpath.Ast.Tag t) tag_gen
+
+let rec step_gen (f : features) ~nested_depth =
+  let open Gen in
+  axis_gen f >>= fun axis ->
+  test_gen f >>= fun test ->
+  (match test with
+  | Pf_xpath.Ast.Wildcard -> return []
+  | Pf_xpath.Ast.Tag _ when f.attrs || (f.nested && nested_depth > 0) ->
+    let freqs = if f.attrs then [ (3, attr_filter_gen f) ] else [] in
+    let freqs =
+      if f.nested && nested_depth > 0 then
+        ( 1,
+          map
+            (fun p -> Pf_xpath.Ast.Nested p)
+            (relative_path_gen f ~nested_depth:(nested_depth - 1)) )
+        :: freqs
+      else freqs
+    in
+    list_size (int_range 0 1) (frequency freqs)
+  | Pf_xpath.Ast.Tag _ -> return [])
+  >>= fun filters -> return { Pf_xpath.Ast.axis; test; filters }
+
+and relative_path_gen f ~nested_depth =
+  let open Gen in
+  list_size (int_range 1 3) (step_gen f ~nested_depth) >>= fun steps ->
+  return { Pf_xpath.Ast.absolute = false; steps }
+
+let path_gen ?(max_steps = 5) ?(nested_depth = 2) (f : features) =
+  let open Gen in
+  (if f.descendants then bool else return true) >>= fun absolute ->
+  let nested_depth = if f.nested then nested_depth else 0 in
+  list_size (int_range 1 max_steps) (step_gen f ~nested_depth) >>= fun steps ->
+  return { Pf_xpath.Ast.absolute; steps }
+
+let path_print p = Pf_xpath.Parser.to_string p

@@ -1,0 +1,68 @@
+(** Feature-weighted random generation over a small adversarial world.
+
+    The DTD-driven generators ({!Pf_workload.Xpath_gen}, {!Pf_workload.Xml_gen})
+    produce realistic workloads; this module produces {e adversarial} ones: a
+    deliberately tiny tag alphabet ([a..e]) maximizes tag collisions, so
+    repeated tags on one path exercise occurrence numbers and overlapping
+    query fragments exercise predicate sharing. The QCheck property suites
+    and the differential fuzzing harness both draw from these generators, so
+    the generation logic lives in one place.
+
+    Every generator is gated by a {!features} record: a disabled feature is
+    guaranteed absent from the output, which lets the fuzzer isolate the
+    engine code paths a divergence depends on. *)
+
+type features = {
+  wildcards : bool;  (** [*] node tests *)
+  descendants : bool;  (** [//] axes (and relative, non-absolute paths) *)
+  attrs : bool;  (** attribute filters on steps / attributes on elements *)
+  nested : bool;  (** nested path filters [\[p\]] *)
+  text : bool;  (** [text()] filters / text content on leaf elements *)
+}
+
+val all_features : features
+val structure_only : features
+(** Only tags and child axes: no wildcards, descendants, filters or text. *)
+
+val structure_axes : features
+(** Wildcards and descendants, but no filters, no nesting, no text — the
+    single-path structural subset. *)
+
+val features_to_string : features -> string
+(** Comma-separated enabled feature names, ["none"] when all disabled. *)
+
+val features_of_string : string -> (features, string) result
+(** Parses ["all"], ["none"]/["structure"], or a comma-separated subset of
+    [wildcards,descendants,attrs,nested,text]. *)
+
+type doc_shape = {
+  min_depth : int;
+  max_depth : int;
+  max_fanout : int;
+}
+
+val default_shape : doc_shape
+(** Depth 1–5, fanout ≤ 3 — the historical property-test shape. *)
+
+val deep_shape : doc_shape
+(** Deep and narrow: depth 6–12, fanout ≤ 2 — stresses long occurrence
+    chains and descendant-axis matching. *)
+
+val tag_gen : string QCheck2.Gen.t
+val attr_name_gen : string QCheck2.Gen.t
+val attr_value_gen : string QCheck2.Gen.t
+
+val element_gen : ?shape:doc_shape -> features -> Pf_xml.Tree.element QCheck2.Gen.t
+val doc_gen : ?shape:doc_shape -> features -> Pf_xml.Tree.t QCheck2.Gen.t
+(** Random documents. Attributes appear only when [features.attrs], numeric
+    leaf text only when [features.text] (leaves only, so streaming and tree
+    path extraction agree exactly). *)
+
+val path_gen :
+  ?max_steps:int -> ?nested_depth:int -> features -> Pf_xpath.Ast.path QCheck2.Gen.t
+(** Random XPath expressions over the same alphabet. Wildcard steps never
+    carry filters (the engine's supported subset). [nested_depth] (default 2)
+    bounds nested-filter recursion and only applies when [features.nested]. *)
+
+val doc_print : Pf_xml.Tree.t -> string
+val path_print : Pf_xpath.Ast.path -> string

@@ -1,0 +1,190 @@
+open Pf_xpath
+
+(* ------------------------------------------------------------------ *)
+(* Expression reductions *)
+
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let replace_nth l n x = List.mapi (fun i y -> if i = n then x else y) l
+
+let rec path_reductions (p : Ast.path) : Ast.path list =
+  let n = List.length p.Ast.steps in
+  (* remove one step *)
+  let drops =
+    if n <= 1 then []
+    else List.init n (fun i -> { p with Ast.steps = remove_nth p.Ast.steps i })
+  in
+  (* per-step reductions *)
+  let steps =
+    List.concat
+      (List.mapi
+         (fun i (s : Ast.step) ->
+           List.map
+             (fun s' -> { p with Ast.steps = replace_nth p.Ast.steps i s' })
+             (step_reductions s))
+         p.Ast.steps)
+  in
+  drops @ steps
+
+and step_reductions (s : Ast.step) : Ast.step list =
+  let nf = List.length s.Ast.filters in
+  (* strip one filter *)
+  let strip = List.init nf (fun i -> { s with Ast.filters = remove_nth s.Ast.filters i }) in
+  (* shrink a nested filter in place *)
+  let shrink_nested =
+    List.concat
+      (List.mapi
+         (fun i f ->
+           match f with
+           | Ast.Attr _ -> []
+           | Ast.Nested q ->
+             List.map
+               (fun q' ->
+                 { s with Ast.filters = replace_nth s.Ast.filters i (Ast.Nested q') })
+               (path_reductions q))
+         s.Ast.filters)
+  in
+  (* weaken the axis *)
+  let axis =
+    match s.Ast.axis with
+    | Ast.Descendant -> [ { s with Ast.axis = Ast.Child } ]
+    | Ast.Child -> []
+  in
+  strip @ axis @ shrink_nested
+
+(* ------------------------------------------------------------------ *)
+(* Document reductions *)
+
+let rec element_reductions (e : Pf_xml.Tree.element) : Pf_xml.Tree.element list =
+  let nc = List.length e.Pf_xml.Tree.children in
+  (* prune: remove one child node (element or text) *)
+  let prune =
+    List.init nc (fun i -> { e with Pf_xml.Tree.children = remove_nth e.Pf_xml.Tree.children i })
+  in
+  (* splice: replace a child element by its own children *)
+  let splice =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           match c with
+           | Pf_xml.Tree.Text _ -> []
+           | Pf_xml.Tree.Element child when child.Pf_xml.Tree.children <> [] ->
+             [ { e with
+                 Pf_xml.Tree.children =
+                   List.concat
+                     (List.mapi
+                        (fun j c' -> if j = i then child.Pf_xml.Tree.children else [ c' ])
+                        e.Pf_xml.Tree.children);
+               } ]
+           | Pf_xml.Tree.Element _ -> [])
+         e.Pf_xml.Tree.children)
+  in
+  (* drop one attribute *)
+  let na = List.length e.Pf_xml.Tree.attrs in
+  let attrs =
+    List.init na (fun i -> { e with Pf_xml.Tree.attrs = remove_nth e.Pf_xml.Tree.attrs i })
+  in
+  (* recurse into child elements *)
+  let deep =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           match c with
+           | Pf_xml.Tree.Text _ -> []
+           | Pf_xml.Tree.Element child ->
+             List.map
+               (fun child' ->
+                 { e with
+                   Pf_xml.Tree.children =
+                     replace_nth e.Pf_xml.Tree.children i (Pf_xml.Tree.Element child');
+                 })
+               (element_reductions child))
+         e.Pf_xml.Tree.children)
+  in
+  prune @ splice @ attrs @ deep
+
+let doc_reductions (d : Pf_xml.Tree.t) : Pf_xml.Tree.t list =
+  List.map (fun root -> { Pf_xml.Tree.root }) (element_reductions d.Pf_xml.Tree.root)
+
+(* ------------------------------------------------------------------ *)
+(* Greedy minimization *)
+
+let array_remove a i =
+  Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list a))
+
+let array_replace a i x =
+  let a' = Array.copy a in
+  a'.(i) <- x;
+  a'
+
+let minimize ?(max_attempts = 20_000) ~failing exprs docs =
+  let attempts = ref 0 in
+  let steps = ref 0 in
+  let try_ exprs docs =
+    if !attempts >= max_attempts then false
+    else begin
+      incr attempts;
+      failing exprs docs
+    end
+  in
+  let exprs = ref exprs and docs = ref docs in
+  let progress = ref true in
+  while !progress && !attempts < max_attempts do
+    progress := false;
+    (* 1. drop whole documents, then whole expressions (largest wins first) *)
+    let i = ref 0 in
+    while !i < Array.length !docs do
+      if Array.length !docs > 1 && try_ !exprs (array_remove !docs !i) then begin
+        docs := array_remove !docs !i;
+        incr steps;
+        progress := true
+      end
+      else incr i
+    done;
+    let i = ref 0 in
+    while !i < Array.length !exprs do
+      if Array.length !exprs > 1 && try_ (array_remove !exprs !i) !docs then begin
+        exprs := array_remove !exprs !i;
+        incr steps;
+        progress := true
+      end
+      else incr i
+    done;
+    (* 2. reduce each expression in place *)
+    Array.iteri
+      (fun i e ->
+        let rec go e =
+          match
+            List.find_opt
+              (fun e' -> try_ (array_replace !exprs i e') !docs)
+              (path_reductions e)
+          with
+          | Some e' ->
+            exprs := array_replace !exprs i e';
+            incr steps;
+            progress := true;
+            go e'
+          | None -> ()
+        in
+        go e)
+      !exprs;
+    (* 3. reduce each document in place *)
+    Array.iteri
+      (fun i d ->
+        let rec go d =
+          match
+            List.find_opt
+              (fun d' -> try_ !exprs (array_replace !docs i d'))
+              (doc_reductions d)
+          with
+          | Some d' ->
+            docs := array_replace !docs i d';
+            incr steps;
+            progress := true;
+            go d'
+          | None -> ()
+        in
+        go d)
+      !docs
+  done;
+  (!exprs, !docs, !steps)

@@ -1,0 +1,29 @@
+(** Counterexample shrinking.
+
+    Greedy delta-debugging over a failing (expression set, document set)
+    pair: repeatedly apply the first single-step reduction that keeps the
+    failure alive, until none does (the result is 1-minimal with respect to
+    the reduction operators). Reductions, in the order tried:
+
+    - drop a document, drop an expression;
+    - shorten an expression (remove a location step), strip a filter,
+      weaken a descendant axis to a child axis, shrink a nested filter;
+    - prune a document subtree (remove a child node), splice an element
+      (replace it by its children), drop an attribute. *)
+
+val path_reductions : Pf_xpath.Ast.path -> Pf_xpath.Ast.path list
+(** All single-step reductions of an expression (steps stay non-empty). *)
+
+val doc_reductions : Pf_xml.Tree.t -> Pf_xml.Tree.t list
+(** All single-step reductions of a document (the root element remains). *)
+
+val minimize :
+  ?max_attempts:int ->
+  failing:(Pf_xpath.Ast.path array -> Pf_xml.Tree.t array -> bool) ->
+  Pf_xpath.Ast.path array ->
+  Pf_xml.Tree.t array ->
+  Pf_xpath.Ast.path array * Pf_xml.Tree.t array * int
+(** [minimize ~failing exprs docs] assumes [failing exprs docs = true] and
+    returns a reduced pair that still fails, together with the number of
+    successful reduction steps. [max_attempts] (default [20_000]) bounds
+    the total number of [failing] evaluations. *)

@@ -1,45 +1,44 @@
 (* Shared QCheck generators for property tests.
 
-   A deliberately small tag alphabet (a..e) maximizes collisions: repeated
-   tags on one path exercise occurrence numbers, and overlapping query
-   fragments exercise predicate sharing. *)
+   The generators themselves live in Pf_difftest.Feature_gen — one home for
+   the feature-weighted generation logic used by both the QCheck suites and
+   the differential fuzzing harness. A deliberately small tag alphabet
+   (a..e) maximizes collisions: repeated tags on one path exercise
+   occurrence numbers, and overlapping query fragments exercise predicate
+   sharing. *)
 
 open QCheck2
+module FG = Pf_difftest.Feature_gen
 
-let tag_gen = Gen.oneofl [ "a"; "b"; "c"; "d"; "e" ]
+(* ------------------------------------------------------------------ *)
+(* Reproducibility: every suite converts QCheck properties through
+   [to_alcotest], which pins the generator seed so `dune runtest` is
+   deterministic. Override with QCHECK_SEED=<n> to explore. *)
 
-let attr_name_gen = Gen.oneofl [ "x"; "y"; "z" ]
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> ( try int_of_string s with Failure _ -> 0x5eedba5e)
+  | None -> 0x5eedba5e
 
-let attr_value_gen = Gen.map string_of_int (Gen.int_range 0 5)
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| qcheck_seed |]) t
+
+(* ------------------------------------------------------------------ *)
+(* Basic alphabet *)
+
+let tag_gen = FG.tag_gen
+let attr_name_gen = FG.attr_name_gen
+let attr_value_gen = FG.attr_value_gen
 
 (* ------------------------------------------------------------------ *)
 (* Documents *)
 
-let rec element_gen ~depth ~fanout =
-  let open Gen in
-  tag_gen >>= fun tag ->
-  list_size (int_range 0 2)
-    (pair attr_name_gen attr_value_gen)
-  >>= fun attrs ->
-  let attrs = List.sort_uniq (fun (a, _) (b, _) -> compare a b) attrs in
-  (if depth <= 1 then return []
-   else
-     list_size (int_range 0 fanout)
-       (map (fun e -> Pf_xml.Tree.Element e) (element_gen ~depth:(depth - 1) ~fanout)))
-  >>= fun children ->
-  (* leaf elements may carry numeric text, exercising text() filters;
-     leaves only, so streaming and tree path extraction agree exactly *)
-  (if children = [] then
-     frequency
-       [ 2, return children;
-         1, map (fun v -> [ Pf_xml.Tree.Text (string_of_int v) ]) (int_range 0 5) ]
-   else return children)
-  >>= fun children -> return (Pf_xml.Tree.element ~attrs ~children tag)
+let doc_gen = FG.doc_gen FG.all_features
 
-let doc_gen =
-  Gen.(int_range 1 5 >>= fun depth -> map Pf_xml.Tree.doc (element_gen ~depth ~fanout:3))
+let deep_doc_gen = FG.doc_gen ~shape:FG.deep_shape FG.all_features
+(* deep/narrow documents: long root-to-leaf paths, fanout <= 2 *)
 
-let doc_print d = Pf_xml.Print.to_string ~decl:false d
+let doc_print = FG.doc_print
 
 (* ------------------------------------------------------------------ *)
 (* XPath expressions *)
@@ -53,44 +52,38 @@ let attr_filter_gen =
   int_range 0 5 >>= fun v ->
   return (Pf_xpath.Ast.Attr { Pf_xpath.Ast.attr; cmp; value = Pf_xpath.Ast.Int v })
 
-let rec step_gen ~nested_depth ~allow_filters =
-  let open Gen in
-  oneofl Pf_xpath.Ast.[ Child; Child; Child; Descendant ] >>= fun axis ->
-  frequency [ 4, map (fun t -> Pf_xpath.Ast.Tag t) tag_gen; 1, return Pf_xpath.Ast.Wildcard ]
-  >>= fun test ->
-  (match test with
-  | Pf_xpath.Ast.Wildcard -> return []
-  | Pf_xpath.Ast.Tag _ when allow_filters ->
-    let nested =
-      if nested_depth > 0 then
-        [ ( 1,
-            map
-              (fun p -> Pf_xpath.Ast.Nested p)
-              (relative_path_gen ~nested_depth:(nested_depth - 1) ~allow_filters) ) ]
-      else []
-    in
-    list_size (int_range 0 1) (frequency ((3, attr_filter_gen) :: nested))
-  | Pf_xpath.Ast.Tag _ -> return [])
-  >>= fun filters -> return { Pf_xpath.Ast.axis; test; filters }
+let single_path_gen = FG.path_gen FG.structure_axes
 
-and relative_path_gen ~nested_depth ~allow_filters =
-  let open Gen in
-  list_size (int_range 1 3) (step_gen ~nested_depth ~allow_filters) >>= fun steps ->
-  return { Pf_xpath.Ast.absolute = false; steps }
+let single_path_attr_gen = FG.path_gen { FG.all_features with FG.nested = false }
 
-let path_gen_with ~nested_depth ~allow_filters =
-  let open Gen in
-  bool >>= fun absolute ->
-  list_size (int_range 1 5) (step_gen ~nested_depth ~allow_filters) >>= fun steps ->
-  return { Pf_xpath.Ast.absolute; steps }
+let any_path_gen = FG.path_gen FG.all_features
 
-let single_path_gen = path_gen_with ~nested_depth:0 ~allow_filters:false
+let descendant_heavy_path_gen =
+  (* wildcard runs and descendant axes only — worst case for the predicate
+     index's position constraints *)
+  FG.path_gen ~max_steps:6 FG.structure_axes
 
-let single_path_attr_gen = path_gen_with ~nested_depth:0 ~allow_filters:true
-
-let any_path_gen = path_gen_with ~nested_depth:2 ~allow_filters:true
+let path_gen_with_features = FG.path_gen
 
 let path_print p = Pf_xpath.Parser.to_string p
+
+(* Repeated-tag worlds: tiny alphabet {a,b} so document paths and
+   expressions collide constantly — backtracking-heavy occurrence
+   determination. *)
+
+let repeated_tag_doc_path_gen =
+  Gen.(list_size (int_range 1 8) (oneofl [ "a"; "b" ]) >|= Pf_xml.Path.of_tags)
+
+let repeated_tag_path_gen =
+  let open Gen in
+  let step =
+    oneofl Pf_xpath.Ast.[ Child; Child; Descendant ] >>= fun axis ->
+    oneofl [ "a"; "b" ] >>= fun t ->
+    return { Pf_xpath.Ast.axis; test = Pf_xpath.Ast.Tag t; filters = [] }
+  in
+  bool >>= fun absolute ->
+  list_size (int_range 1 5) step >>= fun steps ->
+  return { Pf_xpath.Ast.absolute; steps }
 
 (* ------------------------------------------------------------------ *)
 
@@ -99,6 +92,14 @@ let results_gen =
   let open Gen in
   let pair_gen = pair (int_range 1 4) (int_range 1 4) in
   list_size (int_range 1 5) (list_size (int_range 0 4) pair_gen)
+  >>= fun rs -> return (Array.of_list rs)
+
+(* Backtracking-heavy variant: longer chains over a dense occurrence range
+   1..3, so most pairs connect and dead ends appear deep in the search. *)
+let dense_results_gen =
+  let open Gen in
+  let pair_gen = pair (int_range 1 3) (int_range 1 3) in
+  list_size (int_range 3 6) (list_size (int_range 1 5) pair_gen)
   >>= fun rs -> return (Array.of_list rs)
 
 let results_print rs =

@@ -177,6 +177,6 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Gen_helpers.to_alcotest
           [ prop_suppression_transparent; prop_churn_consistent ] );
     ]

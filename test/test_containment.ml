@@ -158,5 +158,5 @@ let () =
           Alcotest.test_case "nested rejected" `Quick test_nested_rejected;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_soundness; prop_prefix_complete ] );
+        List.map Gen_helpers.to_alcotest [ prop_soundness; prop_prefix_complete ] );
     ]

@@ -1,0 +1,283 @@
+(* The differential harness testing itself: replay the committed corpus,
+   round-trip the case format, verify the shrinker actually minimizes, and
+   run a short in-process fuzzing campaign. *)
+
+open QCheck2
+module Case = Pf_difftest.Case
+module Difftest = Pf_difftest.Difftest
+module Engines = Pf_difftest.Engines
+module Shrink = Pf_difftest.Shrink
+module FG = Pf_difftest.Feature_gen
+module Ast = Pf_xpath.Ast
+module Tree = Pf_xml.Tree
+
+let corpus_dir =
+  (* `dune runtest` runs from _build/default/test/ (the corpus is declared
+     as a dep there); `dune exec test/test_difftest.exe` runs from the
+     project root *)
+  if Sys.file_exists "corpus/difftest" then "corpus/difftest"
+  else "test/corpus/difftest"
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay: every committed case must pass on the full roster. *)
+
+let test_corpus_nonempty () =
+  let cases = Case.load_dir corpus_dir in
+  Alcotest.(check bool)
+    "committed corpus present" true
+    (List.length cases >= 6)
+
+let test_corpus_replay () =
+  let cases = Case.load_dir corpus_dir in
+  List.iter
+    (fun (c : Case.t) ->
+      match Difftest.check_case ~all_variants:true c with
+      | [] -> ()
+      | divs ->
+        Alcotest.failf "case %s: %s" c.Case.name
+          (String.concat "; "
+             (List.map
+                (fun d -> Format.asprintf "%a" Difftest.pp_divergence d)
+                divs)))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Case format round-trip *)
+
+let case_gen =
+  let open Gen in
+  list_size (int_range 1 4) (FG.path_gen FG.all_features) >>= fun exprs ->
+  list_size (int_range 1 3) (FG.doc_gen FG.all_features) >>= fun docs ->
+  return (Case.make ~name:"roundtrip" ~notes:[ "generated"; "two notes" ] ~exprs ~docs ())
+
+let prop_case_roundtrip =
+  Test.make ~name:"of_string (to_string c) = c" ~count:200
+    ~print:(fun c -> Case.to_string c)
+    case_gen
+    (fun c ->
+      let c' = Case.of_string ~name:c.Case.name (Case.to_string c) in
+      Case.equal c c' && c'.Case.notes = c.Case.notes)
+
+let prop_case_expect_is_oracle =
+  Test.make ~name:"stored expectations = oracle verdicts" ~count:200
+    ~print:(fun c -> Case.to_string c)
+    case_gen
+    (fun c -> Difftest.check_case c = [])
+
+(* ------------------------------------------------------------------ *)
+(* The shrinker, driven by a deliberately buggy engine. *)
+
+(* An engine that evaluates every descendant axis as a child axis: it
+   diverges from the oracle exactly on expressions where // matters. *)
+let flatten_descendants_engine : Engines.engine =
+  let rec flatten_path (p : Ast.path) =
+    { p with Ast.steps = List.map flatten_step p.Ast.steps }
+  and flatten_step (s : Ast.step) =
+    {
+      Ast.axis = Ast.Child;
+      test = s.Ast.test;
+      filters =
+        List.map
+          (function
+            | Ast.Nested p -> Ast.Nested (flatten_path p)
+            | f -> f)
+          s.Ast.filters;
+    }
+  in
+  {
+    Engines.ename = "buggy-no-descendant";
+    supports = (fun _ -> true);
+    run =
+      (fun exprs supported docs ->
+        Array.mapi
+          (fun i e ->
+            if supported.(i) then
+              Array.map (fun d -> Pf_xpath.Eval.matches (flatten_path e) d) docs
+            else Array.map (fun _ -> false) docs)
+          exprs);
+  }
+
+let test_shrinker_minimizes () =
+  (* a workload where only one expression on one document exposes the bug *)
+  let parse s = Pf_xpath.Parser.parse s in
+  let doc s = Pf_xml.Sax.parse_document s in
+  let exprs =
+    [| parse "/a/b"; parse "/a//c"; parse "/a/b[@x = 1]"; parse "//e" |]
+  in
+  let docs =
+    [|
+      doc "<a><b x=\"1\"><d><c/></d></b></a>";
+      doc "<e><e/></e>";
+    |]
+  in
+  let engines = [ Engines.oracle; flatten_descendants_engine ] in
+  let failing es ds = Difftest.check ~engines es ds <> [] in
+  Alcotest.(check bool) "initial workload diverges" true (failing exprs docs);
+  let exprs', docs', steps = Shrink.minimize ~failing exprs docs in
+  Alcotest.(check bool) "shrunk workload still diverges" true (failing exprs' docs');
+  Alcotest.(check int) "one expression left" 1 (Array.length exprs');
+  Alcotest.(check int) "one document left" 1 (Array.length docs');
+  Alcotest.(check bool) "made progress" true (steps > 0);
+  (* 1-minimality: no single further reduction may still fail *)
+  Array.iteri
+    (fun i e ->
+      List.iter
+        (fun e' ->
+          let exprs'' = Array.copy exprs' in
+          exprs''.(i) <- e';
+          Alcotest.(check bool)
+            (Printf.sprintf "expr reduction %s still failing"
+               (Pf_xpath.Parser.to_string e'))
+            false (failing exprs'' docs'))
+        (Shrink.path_reductions e))
+    exprs';
+  Array.iteri
+    (fun i d ->
+      List.iter
+        (fun d' ->
+          let docs'' = Array.copy docs' in
+          docs''.(i) <- d';
+          Alcotest.(check bool) "doc reduction still failing" false
+            (failing exprs' docs''))
+        (Shrink.doc_reductions d))
+    docs'
+
+let test_shrinker_bounded () =
+  (* with a tiny attempt budget the shrinker still returns a failing pair *)
+  let parse s = Pf_xpath.Parser.parse s in
+  let doc s = Pf_xml.Sax.parse_document s in
+  let exprs = [| parse "/a//b"; parse "//c" |] in
+  let docs = [| doc "<a><d><b/></d></a>" |] in
+  let engines = [ Engines.oracle; flatten_descendants_engine ] in
+  let failing es ds = Difftest.check ~engines es ds <> [] in
+  let exprs', docs', _ = Shrink.minimize ~max_attempts:3 ~failing exprs docs in
+  Alcotest.(check bool) "still failing" true (failing exprs' docs')
+
+(* ------------------------------------------------------------------ *)
+(* In-process smoke campaign: the engines agree on a short seeded run. *)
+
+let test_smoke_campaign () =
+  let config =
+    {
+      Difftest.default_config with
+      Difftest.cases = 60;
+      seed = 1;
+      max_exprs = 12;
+      max_docs = 2;
+    }
+  in
+  let report = Difftest.run config in
+  Alcotest.(check int) "cases run" 60 report.Difftest.cases_run;
+  match report.Difftest.failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "engines diverged:\n%s" (Case.to_string f.Difftest.shrunk)
+
+let test_smoke_deterministic () =
+  let config =
+    { Difftest.default_config with Difftest.cases = 20; seed = 7; max_exprs = 6 }
+  in
+  let r1 = Difftest.run config and r2 = Difftest.run config in
+  Alcotest.(check int) "same cases" r1.Difftest.cases_run r2.Difftest.cases_run;
+  Alcotest.(check int) "same failures" 0
+    (List.length r1.Difftest.failures + List.length r2.Difftest.failures)
+
+(* ------------------------------------------------------------------ *)
+(* Feature gating: a disabled feature never appears in generated output. *)
+
+let rec path_uses_feature pred (p : Ast.path) =
+  List.exists
+    (fun (s : Ast.step) ->
+      pred s
+      || List.exists
+           (function Ast.Nested p' -> path_uses_feature pred p' | Ast.Attr _ -> false)
+           s.Ast.filters)
+    p.Ast.steps
+
+let has_wildcard (s : Ast.step) = s.Ast.test = Ast.Wildcard
+let has_descendant (s : Ast.step) = s.Ast.axis = Ast.Descendant
+
+let has_filter (s : Ast.step) =
+  List.exists (function Ast.Attr _ -> true | Ast.Nested _ -> false) s.Ast.filters
+
+let has_nested (s : Ast.step) =
+  List.exists (function Ast.Nested _ -> true | Ast.Attr _ -> false) s.Ast.filters
+
+let prop_structure_only_paths =
+  Test.make ~name:"structure_only paths have no wildcard/descendant/filter"
+    ~count:300 ~print:FG.path_print
+    (FG.path_gen FG.structure_only)
+    (fun p ->
+      (not (path_uses_feature has_wildcard p))
+      && (not (path_uses_feature has_descendant p))
+      && (not (path_uses_feature has_filter p))
+      && not (path_uses_feature has_nested p))
+
+let prop_no_nested_paths =
+  Test.make ~name:"nested=false paths are single paths" ~count:300
+    ~print:FG.path_print
+    (FG.path_gen { FG.all_features with FG.nested = false })
+    (fun p -> Ast.is_single_path p)
+
+let rec node_has_attr = function
+  | Tree.Text _ -> false
+  | Tree.Element e -> e.Tree.attrs <> [] || List.exists node_has_attr e.Tree.children
+
+let rec node_has_text = function
+  | Tree.Text _ -> true
+  | Tree.Element e -> List.exists node_has_text e.Tree.children
+
+let prop_structure_only_docs =
+  Test.make ~name:"structure_only docs have no attrs/text" ~count:300
+    ~print:FG.doc_print
+    (FG.doc_gen FG.structure_only)
+    (fun d ->
+      (not (node_has_attr (Tree.Element d.Tree.root)))
+      && not (node_has_text (Tree.Element d.Tree.root)))
+
+let prop_deep_shape_docs =
+  Test.make ~name:"deep_shape docs are deep and narrow" ~count:300
+    ~print:FG.doc_print
+    (FG.doc_gen ~shape:FG.deep_shape FG.structure_only)
+    (fun d ->
+      let rec max_fanout e =
+        let kids = Tree.element_children e in
+        List.fold_left (fun m k -> max m (max_fanout k)) (List.length kids) kids
+      in
+      Tree.depth d <= 12 && max_fanout d.Tree.root <= 2)
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck = Gen_helpers.to_alcotest
+
+let () =
+  Alcotest.run "difftest"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "corpus is non-empty" `Quick test_corpus_nonempty;
+          Alcotest.test_case "replay committed cases" `Quick test_corpus_replay;
+        ] );
+      ( "case format",
+        [ qcheck prop_case_roundtrip; qcheck prop_case_expect_is_oracle ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "minimizes to 1 expr x 1 doc" `Quick
+            test_shrinker_minimizes;
+          Alcotest.test_case "bounded attempts still fail" `Quick
+            test_shrinker_bounded;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "60-case smoke run is clean" `Quick test_smoke_campaign;
+          Alcotest.test_case "runs are deterministic" `Quick
+            test_smoke_deterministic;
+        ] );
+      ( "feature gating",
+        [
+          qcheck prop_structure_only_paths;
+          qcheck prop_no_nested_paths;
+          qcheck prop_structure_only_docs;
+          qcheck prop_deep_shape_docs;
+        ] );
+    ]

@@ -157,7 +157,7 @@ let prop_stable_under_reparse =
       && Array.for_all2 Predicate.equal enc1.Encoder.preds enc2.Encoder.preds)
 
 let () =
-  let qt = List.map QCheck_alcotest.to_alcotest in
+  let qt = List.map Gen_helpers.to_alcotest in
   Alcotest.run "encoder"
     [
       ( "paper tables",

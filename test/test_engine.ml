@@ -295,7 +295,7 @@ let () =
           Alcotest.test_case "unsupported propagates" `Quick test_unsupported_propagates;
         ] );
       ( "oracle",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Gen_helpers.to_alcotest
           [
             prop_oracle_single_paths;
             prop_oracle_attr_filters;

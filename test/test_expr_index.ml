@@ -143,5 +143,5 @@ let () =
           Alcotest.test_case "variant names" `Quick test_variant_names;
           Alcotest.test_case "empty pids rejected" `Quick test_empty_pids_rejected;
         ] );
-      "properties", List.map QCheck_alcotest.to_alcotest [ prop_variants_agree ];
+      "properties", List.map Gen_helpers.to_alcotest [ prop_variants_agree ];
     ]

@@ -100,5 +100,5 @@ let () =
           Alcotest.test_case "repeated tags" `Quick test_repeated_tags;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_oracle; prop_agrees_with_engine ] );
+        List.map Gen_helpers.to_alcotest [ prop_oracle; prop_agrees_with_engine ] );
     ]

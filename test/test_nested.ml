@@ -186,6 +186,6 @@ let () =
           Alcotest.test_case "mixed with single paths" `Quick test_mixed_with_single_paths;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Gen_helpers.to_alcotest
           [ prop_nested_oracle; prop_workload_nested_oracle ] );
     ]

@@ -85,6 +85,96 @@ let prop_iter_chains_consistent =
       let found = Occurrence.iter_chains rs (fun _ -> true) in
       found = Occurrence.matches rs)
 
+(* ------------------------------------------------------------------ *)
+(* Brute-force oracle: enumerate the full cartesian product of occurrence
+   assignments — one pair from each R_i, no pruning, no sharing — and test
+   the chain constraint on each assignment. Exponential, but exact; the
+   generators keep |R_1| * ... * |R_n| small enough to enumerate. *)
+
+let all_assignments rs =
+  let n = Array.length rs in
+  let acc = ref [] in
+  let rec go i chain =
+    if i = n then acc := List.rev chain :: !acc
+    else List.iter (fun p -> go (i + 1) (p :: chain)) rs.(i)
+  in
+  if n > 0 then go 0 [];
+  List.rev !acc
+
+let chain_ok chain =
+  let rec ok = function
+    | (_, o2) :: ((o1', _) :: _ as rest) -> o2 = o1' && ok rest
+    | _ -> true
+  in
+  ok chain
+
+let brute_matches rs = List.exists chain_ok (all_assignments rs)
+
+let prop_cartesian_oracle =
+  QCheck2.Test.make ~name:"matches = naive cartesian enumeration" ~count:3000
+    ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
+      Occurrence.matches rs = brute_matches rs)
+
+let prop_cartesian_oracle_dense =
+  (* longer chains over a dense occurrence range: most pairs connect, so
+     dead ends appear deep and the backtracking is heavily exercised *)
+  QCheck2.Test.make ~name:"dense repeated-tag results: all implementations = oracle"
+    ~count:1000 ~print:Gen_helpers.results_print Gen_helpers.dense_results_gen
+    (fun rs ->
+      let want = brute_matches rs in
+      Occurrence.matches rs = want && Occurrence.matches_faithful rs = want)
+
+let prop_iter_chains_complete =
+  (* iter_chains must enumerate exactly the valid assignments, in order *)
+  QCheck2.Test.make ~name:"iter_chains = the valid cartesian assignments"
+    ~count:1000 ~print:Gen_helpers.results_print Gen_helpers.dense_results_gen
+    (fun rs ->
+      let enumerated = ref [] in
+      ignore
+        (Occurrence.iter_chains rs (fun c ->
+             enumerated := Array.to_list c :: !enumerated;
+             false));
+      List.rev !enumerated = List.filter chain_ok (all_assignments rs))
+
+(* Repeated-tag document paths: a tiny {a,b} alphabet makes the same tag
+   recur along one path, so occurrence numbers repeat and the engine's
+   occurrence determination must backtrack. The reference evaluator on
+   document paths is the oracle. *)
+let prop_engine_matches_eval_on_repeated_tags =
+  let open QCheck2 in
+  let gen =
+    Gen.pair
+      (Gen.list_size (Gen.int_range 1 6) Gen_helpers.repeated_tag_path_gen)
+      (Gen.list_size (Gen.int_range 1 4) Gen_helpers.repeated_tag_doc_path_gen)
+  in
+  let print (exprs, dps) =
+    String.concat " ; " (List.map Gen_helpers.path_print exprs)
+    ^ " @ "
+    ^ String.concat " ; "
+        (List.map
+           (fun dp ->
+             String.concat "/"
+               (Array.to_list
+                  (Array.map (fun (s : Pf_xml.Path.step) -> s.Pf_xml.Path.tag)
+                     dp.Pf_xml.Path.steps)))
+           dps)
+  in
+  Test.make ~name:"engine = eval on repeated-tag document paths" ~count:1000 ~print gen
+    (fun (exprs, dps) ->
+      List.for_all
+        (fun variant ->
+          let eng = Engine.create ~variant () in
+          let ids = List.map (Engine.add eng) exprs in
+          List.for_all
+            (fun dp ->
+              let matched = Engine.match_path eng dp in
+              List.for_all2
+                (fun id e ->
+                  List.mem id matched = Pf_xpath.Eval.matches_doc_path e dp)
+                ids exprs)
+            dps)
+        [ Expr_index.Basic; Expr_index.Access_predicate ])
+
 let prop_chains_are_valid =
   QCheck2.Test.make ~name:"every enumerated chain satisfies the constraints" ~count:2000
     ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
@@ -111,11 +201,19 @@ let () =
           Alcotest.test_case "iter_chains stops on accept" `Quick test_iter_chains_stops_on_accept;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map Gen_helpers.to_alcotest
           [
             prop_implementations_agree;
             prop_matches_iff_chain_exists;
             prop_iter_chains_consistent;
             prop_chains_are_valid;
+          ] );
+      ( "brute-force oracle",
+        List.map Gen_helpers.to_alcotest
+          [
+            prop_cartesian_oracle;
+            prop_cartesian_oracle_dense;
+            prop_iter_chains_complete;
+            prop_engine_matches_eval_on_repeated_tags;
           ] );
     ]

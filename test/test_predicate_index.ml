@@ -254,5 +254,5 @@ let () =
           Alcotest.test_case "epoch reset" `Quick test_epoch_reset;
           Alcotest.test_case "inline constraints" `Quick test_inline_constraints;
         ] );
-      "properties", List.map QCheck_alcotest.to_alcotest [ prop_matching_agrees_with_naive ];
+      "properties", List.map Gen_helpers.to_alcotest [ prop_matching_agrees_with_naive ];
     ]

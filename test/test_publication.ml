@@ -75,5 +75,5 @@ let () =
           Alcotest.test_case "attributes" `Quick test_of_path_attrs;
           Alcotest.test_case "structure tuples" `Quick test_structure;
         ] );
-      "properties", List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_positions ];
+      "properties", List.map Gen_helpers.to_alcotest [ prop_roundtrip_positions ];
     ]

@@ -145,5 +145,5 @@ let () =
           Alcotest.test_case "check_constraints" `Quick test_check_constraints;
           Alcotest.test_case "paper notation" `Quick test_pp_notation;
         ] );
-      "packing", List.map QCheck_alcotest.to_alcotest [ prop_pack_roundtrip ];
+      "packing", List.map Gen_helpers.to_alcotest [ prop_pack_roundtrip ];
     ]

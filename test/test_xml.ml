@@ -84,6 +84,80 @@ let test_errors () =
   expect_error "unterminated comment" "<a><!-- foo</a>";
   expect_error "unterminated cdata" "<a><![CDATA[x</a>"
 
+(* Error paths, with exact positions: the reported (line, column) is part
+   of the parser's contract — error messages that point at the wrong place
+   are almost as bad as no message. *)
+let expect_error_at name ~line ~column ~msg s =
+  match parse s with
+  | exception Sax.Parse_error (pos, m) ->
+    Alcotest.(check string) (name ^ ": message") msg m;
+    Alcotest.(check (pair int int))
+      (name ^ ": position") (line, column) (pos.Sax.line, pos.Sax.column)
+  | _ -> Alcotest.fail (name ^ ": expected a parse error")
+
+let test_error_unterminated_tags () =
+  expect_error_at "unclosed element" ~line:1 ~column:7 ~msg:"unclosed element <b>"
+    "<a><b>";
+  expect_error_at "eof in start tag" ~line:1 ~column:3 ~msg:"expected a name" "<a";
+  expect_error_at "eof before attr value" ~line:1 ~column:6
+    ~msg:"expected quoted attribute value" "<a x=";
+  expect_error_at "eof in comment" ~line:1 ~column:8
+    ~msg:{|unterminated construct, expected "-->"|} "<a><!-- foo</a>";
+  expect_error_at "eof in cdata" ~line:1 ~column:13
+    ~msg:{|unterminated construct, expected "]]>"|} "<a><![CDATA[x</a>";
+  expect_error_at "eof in pi" ~line:1 ~column:3
+    ~msg:{|unterminated construct, expected "?>"|} "<?pi";
+  expect_error_at "eof in doctype" ~line:1 ~column:12 ~msg:"unterminated DOCTYPE"
+    "<!DOCTYPE a"
+
+let test_error_references () =
+  expect_error_at "unknown entity" ~line:1 ~column:11 ~msg:"unknown entity &bogus;"
+    "<a>&bogus;</a>";
+  expect_error_at "bad character reference" ~line:1 ~column:9
+    ~msg:"bad character reference &#zz;" "<a>&#zz;</a>";
+  expect_error_at "unterminated character reference" ~line:1 ~column:5
+    ~msg:{|unterminated construct, expected ";"|} "<a>&#12</a>";
+  expect_error_at "bare ampersand" ~line:1 ~column:5
+    ~msg:{|unterminated construct, expected ";"|} "<a>& b</a>"
+
+let test_error_mismatched_tags () =
+  expect_error_at "crossed nesting" ~line:1 ~column:11
+    ~msg:"mismatched end tag </a>, expected </b>" "<a><b></a></b>";
+  expect_error_at "position on line 3" ~line:3 ~column:5
+    ~msg:"mismatched end tag </c>, expected </b>" "<a>\n<b>\n</c>\n</a>";
+  expect_error_at "stray end tag" ~line:1 ~column:5 ~msg:"unexpected end tag </a>"
+    "</a>";
+  expect_error_at "no root" ~line:1 ~column:4 ~msg:"no root element" "   ";
+  expect_error_at "empty input" ~line:1 ~column:1 ~msg:"no root element" "";
+  expect_error_at "two roots" ~line:1 ~column:9 ~msg:"content after the root element"
+    "<a/><b/>"
+
+let test_error_attributes () =
+  expect_error_at "missing =" ~line:1 ~column:5 ~msg:"expected '='" "<a x";
+  expect_error_at "unquoted value" ~line:1 ~column:6
+    ~msg:"expected quoted attribute value" "<a x=1/>";
+  expect_error_at "unterminated value" ~line:1 ~column:10
+    ~msg:"unterminated attribute value" "<a x=\"1/>";
+  expect_error_at "unterminated value across lines" ~line:4 ~column:1
+    ~msg:"unterminated attribute value" "<a>\n  <b x=\"y\n\n";
+  expect_error_at "lt in value" ~line:1 ~column:7 ~msg:"'<' in attribute value"
+    "<a x=\"<\"/>";
+  expect_error_at "name starts with digit" ~line:1 ~column:2 ~msg:"expected a name"
+    "<1a/>";
+  expect_error_at "space before name" ~line:1 ~column:2 ~msg:"expected a name"
+    "< a/>";
+  expect_error_at "space before slash-gt" ~line:1 ~column:5 ~msg:"expected '>'"
+    "<a / >"
+
+let test_duplicate_attributes () =
+  (* the parser keeps both occurrences in document order; lookups see the
+     first (XML well-formedness would reject this, but filtering inputs are
+     machine-generated and the lenient behavior is deterministic) *)
+  let doc = parse "<a x=\"1\" x=\"2\"/>" in
+  Alcotest.(check (list (pair string string)))
+    "both kept" [ "x", "1"; "x", "2" ] doc.Tree.root.Tree.attrs;
+  Alcotest.(check (option string)) "first wins" (Some "1") (Tree.attr doc.Tree.root "x")
+
 let test_cdata_tricky () =
   (* "]]" inside CDATA, and "]]>" split across text *)
   let doc = parse "<a><![CDATA[x ]] y]]></a>" in
@@ -277,6 +351,12 @@ let prop_roundtrip =
       let doc' = parse (Print.to_string doc) in
       Tree.equal doc doc')
 
+let prop_roundtrip_deep =
+  QCheck2.Test.make ~name:"print/parse roundtrip (deep/narrow documents)" ~count:300
+    ~print:Gen_helpers.doc_print Gen_helpers.deep_doc_gen (fun doc ->
+      let doc' = parse (Print.to_string doc) in
+      Tree.equal doc doc')
+
 let prop_paths_count =
   QCheck2.Test.make ~name:"#paths = #leaves" ~count:300 ~print:Gen_helpers.doc_print
     Gen_helpers.doc_gen (fun doc ->
@@ -305,7 +385,7 @@ let prop_occurrences_consistent =
         (Path.of_document doc))
 
 let () =
-  let qt = List.map QCheck_alcotest.to_alcotest in
+  let qt = List.map Gen_helpers.to_alcotest in
   Alcotest.run "xml"
     [
       ( "sax",
@@ -320,6 +400,15 @@ let () =
           Alcotest.test_case "whitespace dropped" `Quick test_whitespace_dropped;
           Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error positions: unterminated tags" `Quick
+            test_error_unterminated_tags;
+          Alcotest.test_case "error positions: references" `Quick
+            test_error_references;
+          Alcotest.test_case "error positions: mismatched tags" `Quick
+            test_error_mismatched_tags;
+          Alcotest.test_case "error positions: attributes" `Quick
+            test_error_attributes;
+          Alcotest.test_case "duplicate attributes" `Quick test_duplicate_attributes;
           Alcotest.test_case "tricky cdata" `Quick test_cdata_tricky;
           Alcotest.test_case "utf8 passthrough" `Quick test_utf8_passthrough;
           Alcotest.test_case "text_content" `Quick test_text_content;
@@ -352,6 +441,7 @@ let () =
         qt
           [
             prop_roundtrip;
+            prop_roundtrip_deep;
             prop_paths_count;
             prop_occurrences_consistent;
             prop_streaming_agrees;

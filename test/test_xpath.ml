@@ -245,7 +245,7 @@ let prop_tree_is_disjunction_of_paths =
       by_paths = Eval.matches p d)
 
 let () =
-  let qt = List.map QCheck_alcotest.to_alcotest in
+  let qt = List.map Gen_helpers.to_alcotest in
   Alcotest.run "xpath"
     [
       ( "parser",

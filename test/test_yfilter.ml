@@ -102,5 +102,5 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_duplicate_expressions;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_oracle; prop_agrees_with_engine ] );
+        List.map Gen_helpers.to_alcotest [ prop_oracle; prop_agrees_with_engine ] );
     ]
