@@ -512,6 +512,75 @@ let insertion () =
     (J.Obj [ "total_ms", J.Float ms; "us_per_expr", J.Float (1000. *. ms /. float n) ])
 
 (* ------------------------------------------------------------------ *)
+(* Service throughput (extension): the dissemination scenario scaled out
+   over domains. One engine, one subscription set, the same document
+   stream — filtered sequentially and then through Pf_service at 1, 2 and
+   4 worker domains. Documents/second per configuration, with a match-set
+   identity check against the sequential run (the speedup must not come
+   from answering differently). Speedups depend on available cores; on a
+   single-core container every configuration collapses to sequential
+   throughput minus queue overhead. *)
+
+let service () =
+  let count = if !full then 100_000 else 20_000 in
+  let ndocs = if !full then 400 else 120 in
+  let dtd = dtd_of "nitf" in
+  let qs = queries dtd count in
+  let docs = documents "nitf" ndocs in
+  let eng = Pf_core.Engine.create () in
+  List.iter (fun q -> ignore (Pf_core.Engine.add eng q)) qs;
+  let expected = List.map (Pf_core.Engine.match_document eng) docs in
+  let (), seq_ms =
+    B.time_ms (fun () ->
+        List.iter (fun d -> ignore (Pf_core.Engine.match_document eng d)) docs)
+  in
+  let throughput ms = float ndocs /. (ms /. 1000.) in
+  record "xpes" (J.Int (List.length qs));
+  record "documents" (J.Int ndocs);
+  record "recommended_domains" (J.Int (Domain.recommended_domain_count ()));
+  record "sequential"
+    (J.Obj [ "ms", J.Float seq_ms; "docs_per_s", J.Float (throughput seq_ms) ]);
+  let rows =
+    List.map
+      (fun domains ->
+        let svc =
+          Pf_service.create ~domains ~batch:8 (Pf_core.Engine.filter () :> Pf_intf.filter)
+        in
+        List.iter (fun q -> ignore (Pf_service.subscribe svc q)) qs;
+        (* first pass doubles as warm-up and as the identity check *)
+        let identical = Pf_service.filter_batch svc docs = expected in
+        let (), ms = B.time_ms (fun () -> ignore (Pf_service.filter_batch svc docs)) in
+        Pf_service.shutdown svc;
+        domains, ms, identical)
+      [ 1; 2; 4 ]
+  in
+  Printf.printf "\n== service: %d XPEs, %d documents, NITF (sequential: %.0f docs/s) ==\n"
+    (List.length qs) ndocs (throughput seq_ms);
+  Printf.printf "%10s %12s %14s %12s %12s\n" "domains" "ms" "docs/s" "vs seq" "identical";
+  List.iter
+    (fun (domains, ms, identical) ->
+      Printf.printf "%10d %12.1f %14.0f %11.2fx %12b\n" domains ms (throughput ms)
+        (seq_ms /. ms) identical)
+    rows;
+  record "rows"
+    (J.List
+       (List.map
+          (fun (domains, ms, identical) ->
+            J.Obj
+              [
+                "domains", J.Int domains;
+                "ms", J.Float ms;
+                "docs_per_s", J.Float (throughput ms);
+                "speedup_vs_sequential", J.Float (seq_ms /. ms);
+                "identical_matches", J.Bool identical;
+              ])
+          rows));
+  if List.exists (fun (_, _, identical) -> not identical) rows then begin
+    Printf.printf "service: MATCH-SET MISMATCH against sequential engine\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure, exercising
    the per-document kernel of the corresponding experiment. *)
 
@@ -601,6 +670,7 @@ let experiments =
     "fig10", fig10;
     "ablation", ablation;
     "insertion", insertion;
+    "service", service;
     "micro", micro;
   ]
 

@@ -20,7 +20,8 @@ let read_expressions path =
   in
   go [] 1
 
-let run engine_name quiet count_only metrics_fmt trace_srcs exprs_file docs =
+let run engine_name domains batch quiet count_only metrics_fmt trace_srcs exprs_file docs
+    =
   let metrics_fmt =
     match metrics_fmt with
     | None -> None
@@ -42,22 +43,24 @@ let run engine_name quiet count_only metrics_fmt trace_srcs exprs_file docs =
         end)
       trace_srcs
   end;
-  (* for per-expression reporting keep our own engine handle when possible;
-     the baselines go through the uniform adapter *)
-  let engine, algo =
-    match Pf_core.Expr_index.variant_of_name engine_name with
-    | Some variant ->
-      (* stage timings are wanted whenever metrics are exported *)
-      let collect_stats = metrics_fmt <> None in
-      Some (Pf_core.Engine.create ~variant ~collect_stats ()), None
-    | None -> (
-      match engine_name with
-      | "yfilter" -> None, Some (Pf_bench.Bench_util.yfilter ())
-      | "index-filter" -> None, Some (Pf_bench.Bench_util.index_filter ())
-      | name ->
-        Printf.eprintf "unknown engine %S\n" name;
-        exit 2)
+  if domains < 1 || batch < 1 then begin
+    Printf.eprintf "--domains and --batch must be >= 1\n";
+    exit 2
+  end;
+  (* every engine goes through Pf_intf.FILTER now, so per-expression match
+     reporting works uniformly — including the yfilter/index-filter
+     baselines, which used to report counts only *)
+  let filter =
+    (* stage timings are wanted whenever metrics are exported *)
+    match
+      Pf_bench.Bench_util.filter_of_name ~collect_stats:(metrics_fmt <> None) engine_name
+    with
+    | Some f -> f
+    | None ->
+      Printf.eprintf "unknown engine %S\n" engine_name;
+      exit 2
   in
+  let svc = Pf_service.create ~domains ~batch filter in
   let exprs = read_expressions exprs_file in
   let table = Hashtbl.create (List.length exprs) in
   List.iter
@@ -67,48 +70,57 @@ let run engine_name quiet count_only metrics_fmt trace_srcs exprs_file docs =
         Printf.eprintf "%s:%d: %s\n" exprs_file lineno msg;
         exit 2
       | p -> (
-        try
-          match engine, algo with
-          | Some e, _ -> Hashtbl.add table (Pf_core.Engine.add e p) src
-          | None, Some a -> a.Pf_bench.Bench_util.add p
-          | None, None -> assert false
-        with Pf_core.Encoder.Unsupported msg | Invalid_argument msg ->
+        try Hashtbl.add table (Pf_service.subscribe svc p) src
+        with Pf_intf.Unsupported msg | Invalid_argument msg ->
           Printf.eprintf "%s:%d: unsupported expression: %s\n" exprs_file lineno msg;
           exit 2))
     exprs;
+  let parsed =
+    List.map
+      (fun doc_path ->
+        match
+          Pf_xml.Sax.parse_document
+            (In_channel.with_open_bin doc_path In_channel.input_all)
+        with
+        | exception Pf_xml.Sax.Parse_error (pos, msg) ->
+          Printf.eprintf "%s: %s (%s)\n" doc_path msg
+            (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
+          exit 2
+        | doc -> doc_path, doc)
+      docs
+  in
+  let results = Pf_service.filter_batch svc (List.map snd parsed) in
   let exit_code = ref 1 in
-  List.iter
-    (fun doc_path ->
-      match Pf_xml.Sax.parse_document (In_channel.with_open_bin doc_path In_channel.input_all) with
-      | exception Pf_xml.Sax.Parse_error (pos, msg) ->
-        Printf.eprintf "%s: %s (%s)\n" doc_path msg
-          (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
-        exit 2
-      | doc -> (
-        match engine, algo with
-        | Some e, _ ->
-          let matched = Pf_core.Engine.match_document e doc in
-          if matched <> [] then exit_code := 0;
-          if count_only then Printf.printf "%s: %d\n" doc_path (List.length matched)
-          else if not quiet then
-            List.iter
-              (fun sid -> Printf.printf "%s: %s\n" doc_path (Hashtbl.find table sid))
-              matched
-        | None, Some a ->
-          let n = a.Pf_bench.Bench_util.match_doc doc in
-          if n > 0 then exit_code := 0;
-          Printf.printf "%s: %d\n" doc_path n
-        | None, None -> assert false))
-    docs;
+  List.iter2
+    (fun (doc_path, _) matched ->
+      if matched <> [] then exit_code := 0;
+      if count_only then Printf.printf "%s: %d\n" doc_path (List.length matched)
+      else if not quiet then
+        List.iter
+          (fun sid -> Printf.printf "%s: %s\n" doc_path (Hashtbl.find table sid))
+          matched)
+    parsed results;
+  Pf_service.shutdown svc;
   (match metrics_fmt with None -> () | Some fmt -> Pf_obs.Export.print fmt);
   exit !exit_code
 
 let engine_arg =
   let doc =
     "Filtering engine: basic, basic-pc, basic-pc-ap, shared, yfilter or \
-     index-filter. The baselines only report match counts."
+     index-filter."
   in
   Arg.(value & opt string "basic-pc-ap" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let domains_arg =
+  let doc =
+    "Worker domains. With $(docv) > 1 the documents are spread over $(docv) \
+     engine replicas running in parallel (results stay in input order)."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc = "Maximum documents a worker domain dequeues at once." in
+  Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc)
 
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-match output.")
@@ -149,7 +161,7 @@ let cmd =
   let info = Cmd.info "pf-filter" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
-      const run $ engine_arg $ quiet_arg $ count_arg $ metrics_arg $ trace_arg
-      $ exprs_arg $ docs_arg)
+      const run $ engine_arg $ domains_arg $ batch_arg $ quiet_arg $ count_arg
+      $ metrics_arg $ trace_arg $ exprs_arg $ docs_arg)
 
 let () = exit (Cmd.eval cmd)

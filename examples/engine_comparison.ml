@@ -22,7 +22,16 @@ let () =
   in
   Printf.printf "workload: %s, %d expressions, %d documents\n\n" dtd_name
     (List.length queries) (List.length docs);
-  let algorithms = Pf_bench.Bench_util.all_paper_algorithms () in
+  (* every engine is a Pf_intf.FILTER module: resolve by name, adapt
+     uniformly — no per-engine plumbing *)
+  let algorithms =
+    List.map
+      (fun name ->
+        match Pf_bench.Bench_util.filter_of_name name with
+        | Some f -> Pf_bench.Bench_util.of_filter ~name f
+        | None -> failwith ("unknown engine: " ^ name))
+      [ "basic"; "basic-pc"; "basic-pc-ap"; "yfilter"; "index-filter" ]
+  in
   let results =
     List.map
       (fun (algo : Pf_bench.Bench_util.algorithm) ->

@@ -61,42 +61,39 @@ type algorithm = {
   metrics : Pf_obs.Registry.t;
 }
 
+let of_filter ~name (filter : Pf_intf.filter) =
+  let (module F) = filter in
+  let inst = F.create () in
+  {
+    name;
+    add = (fun p -> ignore (F.add inst p));
+    finish_build = ignore;
+    match_doc = (fun doc -> List.length (F.match_document inst doc));
+    metrics = F.metrics inst;
+  }
+
+let filter_of_name ?collect_stats name : Pf_intf.filter option =
+  match Pf_core.Expr_index.variant_of_name name with
+  | Some variant ->
+    Some (Pf_core.Engine.filter ~variant ?collect_stats () :> Pf_intf.filter)
+  | None -> (
+    match name with
+    | "yfilter" -> Some (module Pf_yfilter.Yfilter)
+    | "index-filter" -> Some (module Pf_indexfilter.Index_filter)
+    | _ -> None)
+
 let predicate_engine ?(variant = Pf_core.Expr_index.Access_predicate)
     ?(attr_mode = Pf_core.Engine.Inline) () =
-  let engine = Pf_core.Engine.create ~variant ~attr_mode () in
   let name =
     let base = Pf_core.Expr_index.variant_name variant in
     match attr_mode with
     | Pf_core.Engine.Inline -> base
     | Pf_core.Engine.Postponed -> base ^ "-sp"
   in
-  {
-    name;
-    add = (fun p -> ignore (Pf_core.Engine.add engine p));
-    finish_build = ignore;
-    match_doc = (fun doc -> List.length (Pf_core.Engine.match_document engine doc));
-    metrics = Pf_core.Engine.metrics engine;
-  }
+  of_filter ~name (Pf_core.Engine.filter ~variant ~attr_mode () :> Pf_intf.filter)
 
-let yfilter () =
-  let y = Pf_yfilter.Yfilter.create () in
-  {
-    name = "yfilter";
-    add = (fun p -> ignore (Pf_yfilter.Yfilter.add y p));
-    finish_build = ignore;
-    match_doc = (fun doc -> List.length (Pf_yfilter.Yfilter.match_document y doc));
-    metrics = Pf_yfilter.Yfilter.metrics y;
-  }
-
-let index_filter () =
-  let f = Pf_indexfilter.Index_filter.create () in
-  {
-    name = "index-filter";
-    add = (fun p -> ignore (Pf_indexfilter.Index_filter.add f p));
-    finish_build = ignore;
-    match_doc = (fun doc -> List.length (Pf_indexfilter.Index_filter.match_document f doc));
-    metrics = Pf_indexfilter.Index_filter.metrics f;
-  }
+let yfilter () = of_filter ~name:"yfilter" (module Pf_yfilter.Yfilter)
+let index_filter () = of_filter ~name:"index-filter" (module Pf_indexfilter.Index_filter)
 
 let all_paper_algorithms () =
   [

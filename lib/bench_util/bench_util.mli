@@ -41,6 +41,15 @@ type algorithm = {
   metrics : Pf_obs.Registry.t;  (** the engine instance's metric registry *)
 }
 
+val of_filter : name:string -> Pf_intf.filter -> algorithm
+(** Adapter over any {!Pf_intf.FILTER} engine (one fresh instance). *)
+
+val filter_of_name : ?collect_stats:bool -> string -> Pf_intf.filter option
+(** Resolve an engine name — a predicate-engine variant (basic, basic-pc,
+    basic-pc-ap, shared) or a baseline (yfilter, index-filter) — to its
+    {!Pf_intf.filter} module. [collect_stats] applies to predicate-engine
+    variants only. *)
+
 val predicate_engine :
   ?variant:Pf_core.Expr_index.variant ->
   ?attr_mode:Pf_core.Engine.attr_mode ->

@@ -1,6 +1,6 @@
 open Pf_xpath
 
-exception Unsupported of string
+exception Unsupported = Pf_intf.Unsupported
 
 type side = First | Second
 

@@ -24,7 +24,10 @@
 exception Unsupported of string
 (** Raised for expressions outside the encodable subset: nested path
     filters (decompose with {!Nested} first) and attribute filters on
-    wildcard steps (no tag variable to attach them to). *)
+    wildcard steps (no tag variable to attach them to).
+
+    This is {!Pf_intf.Unsupported}, re-exported: one handler catches the
+    rejections of every engine behind {!Pf_intf.FILTER}. *)
 
 type side = First | Second
 

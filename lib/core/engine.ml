@@ -411,3 +411,29 @@ let match_path t path =
   Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline) ~doc_tag:t.doc_epoch
     ~on_match ();
   List.sort compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* The unified engine signature (Pf_intf.FILTER) *)
+
+let filter ?variant ?attr_mode ?collect_stats ?dedup_paths ?(stream = false) () :
+    (module Pf_intf.FILTER with type t = t) =
+  (module struct
+    type nonrec t = t
+
+    let create () = create ?variant ?attr_mode ?collect_stats ?dedup_paths ()
+    let add = add
+    let add_string = add_string
+    let remove = remove
+
+    (* [stream] routes matching through the SAX pipeline: the document is
+       serialized and re-matched from the event stream without ever
+       materializing the tree on the matching side. *)
+    let match_document =
+      if stream then fun t doc -> match_stream t (Pf_xml.Print.to_string ~decl:false doc)
+      else match_document
+
+    let match_string = if stream then match_stream else match_string
+    let metrics = metrics
+  end)
+
+module Filter = (val filter ())

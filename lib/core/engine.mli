@@ -49,6 +49,26 @@ val create :
 val variant : t -> Expr_index.variant
 val attr_mode : t -> attr_mode
 
+(** {1 The unified engine signature} *)
+
+val filter :
+  ?variant:Expr_index.variant ->
+  ?attr_mode:attr_mode ->
+  ?collect_stats:bool ->
+  ?dedup_paths:bool ->
+  ?stream:bool ->
+  unit ->
+  (module Pf_intf.FILTER with type t = t)
+(** A first-class {!Pf_intf.FILTER} whose [create] builds engines with the
+    given configuration (defaults as {!create}). With [stream:true] the
+    module matches through {!match_stream} — documents are serialized and
+    consumed as SAX events, never materialized on the matching side.
+    Generic layers ({!Pf_service}, the difftest roster, the benchmark
+    harness) consume engines through this signature. *)
+
+module Filter : Pf_intf.FILTER with type t = t
+(** [filter ()] applied: the default configuration as a named module. *)
+
 val add : t -> Pf_xpath.Ast.path -> int
 (** Register an expression; returns its sid (dense, starting at 0).
     Duplicate expressions receive distinct sids but share all predicate

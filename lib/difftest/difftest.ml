@@ -95,7 +95,7 @@ let check_timed ?times ~engines exprs docs =
   in
   let run (eng : Engines.engine) =
     let supported = Array.map eng.Engines.supports exprs in
-    match time eng.Engines.ename (fun () -> eng.Engines.run exprs supported docs) with
+    match time eng.Engines.ename (fun () -> Engines.run eng exprs supported docs) with
     | matrix -> Ok (supported, matrix)
     | exception exn -> Error (Printexc.to_string exn)
   in

@@ -2,12 +2,12 @@ open Pf_xpath
 
 type engine = {
   ename : string;
+  filter : Pf_intf.filter;
   supports : Ast.path -> bool;
-  run : Ast.path array -> bool array -> Pf_xml.Tree.t array -> bool array array;
 }
 
 (* The predicate engine rejects filters attached to wildcard steps
-   (Encoder.Unsupported), recursively through nested paths. *)
+   (Pf_intf.Unsupported), recursively through nested paths. *)
 let rec engine_subset (p : Ast.path) =
   List.for_all
     (fun (s : Ast.step) ->
@@ -19,86 +19,50 @@ let rec engine_subset (p : Ast.path) =
            s.Ast.filters)
     p.Ast.steps
 
-let oracle =
-  {
-    ename = "eval";
-    supports = (fun _ -> true);
-    run =
-      (fun exprs supported docs ->
-        Array.mapi
-          (fun i e ->
-            if supported.(i) then Array.map (fun d -> Eval.matches e d) docs
-            else Array.map (fun _ -> false) docs)
-          exprs);
-  }
-
-(* Verdict matrix from a sid-based matcher: register supported expressions,
-   then turn each document's sorted sid list into per-expression booleans. *)
-let matrix_of_sids exprs supported docs ~add ~match_doc =
+(* One runner serves the whole roster: build a fresh instance, register the
+   supported expressions (sids are dense, in registration order), then turn
+   each document's sorted sid list into per-expression booleans. *)
+let run { filter = (module F); _ } exprs supported docs =
+  let inst = F.create () in
   let sids = Array.make (Array.length exprs) (-1) in
-  Array.iteri (fun i e -> if supported.(i) then sids.(i) <- add e) exprs;
+  Array.iteri (fun i e -> if supported.(i) then sids.(i) <- F.add inst e) exprs;
   let per_doc =
     Array.map
       (fun d ->
         let matched = Hashtbl.create 16 in
-        List.iter (fun sid -> Hashtbl.replace matched sid ()) (match_doc d);
+        List.iter (fun sid -> Hashtbl.replace matched sid ()) (F.match_document inst d);
         matched)
       docs
   in
   Array.mapi
     (fun i _ ->
-      Array.map
-        (fun matched -> sids.(i) >= 0 && Hashtbl.mem matched sids.(i))
-        per_doc)
+      Array.map (fun matched -> sids.(i) >= 0 && Hashtbl.mem matched sids.(i)) per_doc)
     exprs
 
-let predicate_engine ~ename ?variant ?attr_mode ?dedup_paths () =
+let oracle =
+  { ename = "eval"; filter = (module Pf_intf.Reference); supports = (fun _ -> true) }
+
+let predicate_engine ~ename ?variant ?attr_mode ?dedup_paths ?stream () =
   {
     ename;
+    filter =
+      (Pf_core.Engine.filter ?variant ?attr_mode ?dedup_paths ?stream ()
+        :> Pf_intf.filter);
     supports = engine_subset;
-    run =
-      (fun exprs supported docs ->
-        let e = Pf_core.Engine.create ?variant ?attr_mode ?dedup_paths () in
-        matrix_of_sids exprs supported docs
-          ~add:(Pf_core.Engine.add e)
-          ~match_doc:(Pf_core.Engine.match_document e));
-  }
-
-let streaming_engine =
-  {
-    ename = "engine-stream";
-    supports = engine_subset;
-    run =
-      (fun exprs supported docs ->
-        let e = Pf_core.Engine.create () in
-        matrix_of_sids exprs supported docs
-          ~add:(Pf_core.Engine.add e)
-          ~match_doc:(fun d ->
-            Pf_core.Engine.match_stream e (Pf_xml.Print.to_string ~decl:false d)));
   }
 
 let yfilter_engine =
   {
     ename = "yfilter";
+    filter = (module Pf_yfilter.Yfilter);
     supports = Ast.is_single_path;
-    run =
-      (fun exprs supported docs ->
-        let y = Pf_yfilter.Yfilter.create () in
-        matrix_of_sids exprs supported docs
-          ~add:(Pf_yfilter.Yfilter.add y)
-          ~match_doc:(Pf_yfilter.Yfilter.match_document y));
   }
 
 let index_filter_engine =
   {
     ename = "index-filter";
+    filter = (module Pf_indexfilter.Index_filter);
     supports = Ast.is_single_path;
-    run =
-      (fun exprs supported docs ->
-        let f = Pf_indexfilter.Index_filter.create () in
-        matrix_of_sids exprs supported docs
-          ~add:(Pf_indexfilter.Index_filter.add f)
-          ~match_doc:(Pf_indexfilter.Index_filter.match_document f));
   }
 
 let default_roster () =
@@ -118,5 +82,5 @@ let extended_roster () =
       predicate_engine ~ename:"engine-pc" ~variant:Pf_core.Expr_index.Prefix_covering ();
       predicate_engine ~ename:"engine-shared-dedup" ~variant:Pf_core.Expr_index.Shared
         ~dedup_paths:true ();
-      streaming_engine;
+      predicate_engine ~ename:"engine-stream" ~stream:true ();
     ]

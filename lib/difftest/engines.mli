@@ -1,10 +1,10 @@
 (** The engine roster for differential testing.
 
-    Every filtering implementation in the repository is wrapped behind a
-    uniform interface: given an expression set and a document set, produce
+    Every roster entry is a first-class {!Pf_intf.FILTER} module plus a
+    configuration label; one generic runner ({!run}) turns any entry into
     the boolean verdict matrix [(expr, doc) -> matched]. The reference
-    evaluator {!Pf_xpath.Eval} is the first engine — the correctness oracle
-    all others must agree with.
+    implementation {!Pf_intf.Reference} (brute-force {!Pf_xpath.Eval}) is
+    the first engine — the correctness oracle all others must agree with.
 
     Engines declare the expression subset they support; unsupported
     expressions are excluded from comparison for that engine (YFilter and
@@ -12,16 +12,37 @@
     on wildcard steps). An exception anywhere else is a reportable crash. *)
 
 type engine = {
-  ename : string;
+  ename : string;  (** configuration label, e.g. ["engine-nested-sp"] *)
+  filter : Pf_intf.filter;  (** the implementation, as a first-class module *)
   supports : Pf_xpath.Ast.path -> bool;
-  run : Pf_xpath.Ast.path array -> bool array -> Pf_xml.Tree.t array -> bool array array;
-      (** [run exprs supported docs] — verdict matrix, [exprs] rows by
-          [docs] columns; rows whose [supported] flag is false are all
-          [false] and not compared. May raise (a crash divergence). *)
+      (** the expression subset compared for this engine; out-of-subset
+          rows are excluded (the engine would raise
+          {!Pf_intf.Unsupported} on them) *)
 }
 
+val run :
+  engine -> Pf_xpath.Ast.path array -> bool array -> Pf_xml.Tree.t array -> bool array array
+(** [run e exprs supported docs] — verdict matrix, [exprs] rows by [docs]
+    columns, computed on a fresh instance of [e.filter]; rows whose
+    [supported] flag is false are all [false] and not compared. May raise
+    (a crash divergence). *)
+
 val oracle : engine
-(** ["eval"] — brute-force matching via {!Pf_xpath.Eval.matches}. *)
+(** ["eval"] — {!Pf_intf.Reference}, brute-force matching via
+    {!Pf_xpath.Eval.matches}. *)
+
+val predicate_engine :
+  ename:string ->
+  ?variant:Pf_core.Expr_index.variant ->
+  ?attr_mode:Pf_core.Engine.attr_mode ->
+  ?dedup_paths:bool ->
+  ?stream:bool ->
+  unit ->
+  engine
+(** A labeled predicate-engine configuration (see {!Pf_core.Engine.filter}). *)
+
+val yfilter_engine : engine
+val index_filter_engine : engine
 
 val default_roster : unit -> engine list
 (** The five engines of the differential harness, oracle first:

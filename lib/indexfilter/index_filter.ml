@@ -43,6 +43,7 @@ type t = {
   mutable roots : qnode list;
   mutable n_exprs : int;
   mutable n_nodes : int;
+  mutable removed : bool array;  (* sid -> unregistered (sids are not reused) *)
   mutable sid_stamp : int array;
   mutable doc_epoch : int;
   m : metrics;
@@ -53,6 +54,7 @@ let create () =
     roots = [];
     n_exprs = 0;
     n_nodes = 0;
+    removed = [||];
     sid_stamp = [||];
     doc_epoch = 0;
     m = make_metrics ();
@@ -65,19 +67,24 @@ let metrics t = t.m.registry
 let attr_filters (s : Ast.step) =
   List.sort compare
     (List.filter_map
-       (function
-         | Ast.Attr f -> Some f
-         | Ast.Nested _ ->
-           invalid_arg "Index_filter.add: nested path filters are not supported")
+       (function Ast.Attr f -> Some f | Ast.Nested _ -> assert false (* rejected in add *))
        s.Ast.filters)
 
 let add t (p : Ast.path) =
+  (* reject unsupported expressions before touching any state, so a failed
+     add leaves the prefix tree (and the sid sequence) unchanged *)
+  if not (Ast.is_single_path p) then
+    raise (Pf_intf.Unsupported "Index_filter.add: nested path filters are not supported");
+  if p.Ast.steps = [] then raise (Pf_intf.Unsupported "Index_filter.add: empty path");
   let sid = t.n_exprs in
   t.n_exprs <- t.n_exprs + 1;
   if Array.length t.sid_stamp < t.n_exprs then begin
     let bigger = Array.make (max 16 (2 * Array.length t.sid_stamp)) 0 in
     Array.blit t.sid_stamp 0 bigger 0 (Array.length t.sid_stamp);
-    t.sid_stamp <- bigger
+    t.sid_stamp <- bigger;
+    let bigger_removed = Array.make (Array.length bigger) false in
+    Array.blit t.removed 0 bigger_removed 0 (Array.length t.removed);
+    t.removed <- bigger_removed
   end;
   let fresh axis test filters =
     t.n_nodes <- t.n_nodes + 1;
@@ -107,7 +114,7 @@ let add t (p : Ast.path) =
   in
   let final =
     match p.Ast.steps with
-    | [] -> invalid_arg "Index_filter.add: empty path"
+    | [] -> assert false (* rejected above *)
     | first :: rest ->
       let first_axis =
         if (not p.Ast.absolute) || first.Ast.axis = Ast.Descendant then Ast.Descendant
@@ -131,6 +138,15 @@ let add t (p : Ast.path) =
   sid
 
 let add_string t s = add t (Parser.parse s)
+
+let remove t sid =
+  if sid < 0 || sid >= t.n_exprs || t.removed.(sid) then false
+  else begin
+    (* the prefix tree keeps the sid; matching filters removed sids, so
+       removal is constant-time and never restructures the tree *)
+    t.removed.(sid) <- true;
+    true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Index streams: per tag, the pre-order list of structural intervals. *)
@@ -201,7 +217,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
   let streams = build_streams doc in
   let matches = ref [] in
   let mark sid =
-    if t.sid_stamp.(sid) <> epoch then begin
+    if (not t.removed.(sid)) && t.sid_stamp.(sid) <> epoch then begin
       t.sid_stamp.(sid) <- epoch;
       matches := sid :: !matches
     end

@@ -15,7 +15,9 @@
     wildcards simply match any element (which inflates the index streams,
     as the paper observes). Attribute filters are checked inline against
     the element's attributes. Each (query node, element) pair is explored
-    at most once per document. *)
+    at most once per document.
+
+    The module satisfies {!Pf_intf.FILTER}. *)
 
 type t
 
@@ -23,9 +25,14 @@ val create : unit -> t
 
 val add : t -> Pf_xpath.Ast.path -> int
 (** Register an expression, returning its sid. Nested path filters are not
-    supported ([Invalid_argument]). *)
+    supported ({!Pf_intf.Unsupported}). *)
 
 val add_string : t -> string -> int
+
+val remove : t -> int -> bool
+(** Unregister an expression: its sid is no longer reported by matching.
+    Returns [false] for unknown or already-removed sids. Constant-time —
+    the prefix tree keeps its nodes ({!node_count} does not decrease). *)
 
 val match_document : t -> Pf_xml.Tree.t -> int list
 (** Sorted sids of all matching expressions. *)

@@ -197,3 +197,50 @@ let find_counter t name =
       | Metric_counter c when c.c_name = name -> Some c.c_value
       | _ -> None)
     t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Merging: one registry summarizing many same-shaped instances (the
+   sharded service merges its per-worker engine replicas this way). *)
+
+let merge ?(list = false) ~scope ts =
+  let out = create ~list scope in
+  (* find-or-create by name, accumulating in first-seen order *)
+  let by_name : (string, metric) Hashtbl.t = Hashtbl.create 16 in
+  let absorb m =
+    let mname =
+      match m with
+      | Metric_counter c -> c.c_name
+      | Metric_gauge g -> g.g_name
+      | Metric_histogram h -> h.h_name
+      | Metric_span s -> s.s_name
+    in
+    match Hashtbl.find_opt by_name mname, m with
+    | None, Metric_counter c ->
+      let c' = { c with c_name = c.c_name } in
+      Hashtbl.add by_name mname (Metric_counter c');
+      register out (Metric_counter c')
+    | None, Metric_gauge g ->
+      let g' = { g with g_name = g.g_name } in
+      Hashtbl.add by_name mname (Metric_gauge g');
+      register out (Metric_gauge g')
+    | None, Metric_histogram h ->
+      let h' = { h with h_counts = Array.copy h.h_counts } in
+      Hashtbl.add by_name mname (Metric_histogram h');
+      register out (Metric_histogram h')
+    | None, Metric_span s ->
+      let s' = { s with s_name = s.s_name } in
+      Hashtbl.add by_name mname (Metric_span s');
+      register out (Metric_span s')
+    | Some (Metric_counter acc), Metric_counter c -> acc.c_value <- acc.c_value + c.c_value
+    | Some (Metric_gauge acc), Metric_gauge g ->
+      (* gauges merge by maximum: the dominant use is high-water marks *)
+      if g.g_value > acc.g_value then acc.g_value <- g.g_value
+    | Some (Metric_histogram acc), Metric_histogram h ->
+      acc.h_count <- acc.h_count + h.h_count;
+      acc.h_sum <- acc.h_sum +. h.h_sum;
+      Array.iteri (fun i n -> acc.h_counts.(i) <- acc.h_counts.(i) + n) h.h_counts
+    | Some (Metric_span acc), Metric_span s -> acc.s_ns <- Int64.add acc.s_ns s.s_ns
+    | Some _, _ -> ()  (* same name, different shape: keep the first *)
+  in
+  List.iter (fun t -> List.iter absorb (List.rev t.metrics)) ts;
+  out

@@ -97,3 +97,10 @@ val samples : t -> sample list
 
 val find_counter : t -> string -> int option
 (** Value of the named counter, if registered. *)
+
+val merge : ?list:bool -> scope:string -> t list -> t
+(** [merge ~scope ts] builds a registry summarizing same-shaped instances
+    (e.g. the engine replicas of a sharded service): metrics are grouped by
+    name in first-seen order; counters, histograms and spans sum, gauges
+    keep the maximum (high-water marks). The result is a snapshot —
+    detached from the inputs — and unlisted unless [list] is true. *)

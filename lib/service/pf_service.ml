@@ -1,0 +1,327 @@
+(* Domain-parallel sharded filtering: N worker domains, each with a private
+   engine replica, pulling document batches from one bounded queue.
+
+   Concurrency design, in one paragraph: engines are replicated, never
+   shared, so they stay lock-free internally; the only shared mutable state
+   is the service record below, and every field of it is read and written
+   under [lock]. Subscription changes go into an append-only update log and
+   are applied to the primary replica immediately (validation + sid
+   assignment) and to each worker's replica lazily, between documents, up
+   to exactly the log prefix a document saw when it was submitted — so a
+   worker never matches against a replica that is ahead of or behind the
+   document's epoch, and match sets are deterministic regardless of the
+   number of domains. *)
+
+type update = Add of Pf_xpath.Ast.path | Remove of int
+
+type job = {
+  doc : Pf_xml.Tree.t;
+  epoch : int;  (* update-log length at submission *)
+  deliver : int list -> unit;
+}
+
+(* An engine instance packed with its operations; the existential keeps the
+   service polymorphic in the engine's representation type. *)
+type replica = Replica : (module Pf_intf.FILTER with type t = 'a) * 'a -> replica
+
+type metrics = {
+  registry : Pf_obs.Registry.t;
+  documents : Pf_obs.Counter.t;
+  batches : Pf_obs.Counter.t;
+  updates_applied : Pf_obs.Counter.t;
+  subscribes : Pf_obs.Counter.t;
+  unsubscribes : Pf_obs.Counter.t;
+  submit_waits : Pf_obs.Counter.t;
+  domains_gauge : Pf_obs.Gauge.t;
+  queue_high_water : Pf_obs.Gauge.t;
+}
+
+let make_metrics () =
+  let registry = Pf_obs.Registry.create "service" in
+  {
+    registry;
+    documents =
+      Pf_obs.Counter.make ~registry "documents" ~help:"documents matched and delivered";
+    batches = Pf_obs.Counter.make ~registry "batches" ~help:"worker batch dequeues";
+    updates_applied =
+      Pf_obs.Counter.make ~registry "updates_applied"
+        ~help:"subscription log entries applied to worker replicas";
+    subscribes = Pf_obs.Counter.make ~registry "subscribes" ~help:"subscriptions accepted";
+    unsubscribes =
+      Pf_obs.Counter.make ~registry "unsubscribes" ~help:"subscriptions removed";
+    submit_waits =
+      Pf_obs.Counter.make ~registry "submit_waits"
+        ~help:"submissions that blocked on a full queue (backpressure)";
+    domains_gauge = Pf_obs.Gauge.make ~registry "domains" ~help:"worker domains";
+    queue_high_water =
+      Pf_obs.Gauge.make ~registry "queue_high_water" ~help:"maximum queue depth seen";
+  }
+
+type t = {
+  lock : Mutex.t;
+  not_empty : Condition.t;  (* workers wait here for documents *)
+  not_full : Condition.t;  (* submitters wait here for queue space *)
+  idle : Condition.t;  (* drainers wait here for quiescence *)
+  queue : job Queue.t;
+  capacity : int;
+  batch : int;
+  n_domains : int;
+  mutable updates : update array;  (* append-only log, grown under lock *)
+  mutable n_updates : int;
+  mutable n_subs : int;
+  mutable in_flight : int;  (* dequeued, not yet delivered *)
+  mutable stopping : bool;
+  mutable stopped : bool;
+  mutable failure : exn option;  (* first worker-side exception, re-raised at shutdown *)
+  primary : replica;
+  replica_registries : Pf_obs.Registry.t list;  (* primary first, then workers *)
+  mutable workers : unit Domain.t array;
+  m : metrics;
+}
+
+let log_update t u =
+  if t.n_updates >= Array.length t.updates then begin
+    let bigger = Array.make (max 16 (2 * Array.length t.updates)) u in
+    Array.blit t.updates 0 bigger 0 t.n_updates;
+    t.updates <- bigger
+  end;
+  t.updates.(t.n_updates) <- u;
+  t.n_updates <- t.n_updates + 1
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop *)
+
+let worker t r =
+  match r with
+  | Replica ((module F), inst) ->
+    (* log entries already applied to this replica; grows monotonically *)
+    let applied = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.lock;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.not_empty t.lock
+      done;
+      if Queue.is_empty t.queue then begin
+        (* stopping, and the queue is drained: exit *)
+        running := false;
+        Mutex.unlock t.lock
+      end
+      else begin
+        let n = min t.batch (Queue.length t.queue) in
+        let jobs = Array.init n (fun _ -> Queue.pop t.queue) in
+        t.in_flight <- t.in_flight + n;
+        (* snapshot the log slice this batch needs: epochs are nondecreasing
+           in queue order, so the last job bounds them all *)
+        let base = !applied in
+        let upto = max base jobs.(n - 1).epoch in
+        let pending = Array.sub t.updates base (upto - base) in
+        Condition.broadcast t.not_full;
+        Mutex.unlock t.lock;
+        let first_error = ref None in
+        Array.iter
+          (fun job ->
+            try
+              (* batch boundary: catch the replica up to this document's
+                 epoch before matching — never further *)
+              while !applied < job.epoch do
+                (match pending.(!applied - base) with
+                | Add p -> ignore (F.add inst p)
+                | Remove sid -> ignore (F.remove inst sid));
+                incr applied
+              done;
+              job.deliver (F.match_document inst job.doc)
+            with e ->
+              if !first_error = None then first_error := Some e;
+              (* deliver something so waiters (filter_batch, drain) never
+                 hang; the exception resurfaces at shutdown *)
+              (try job.deliver [] with _ -> ()))
+          jobs;
+        Mutex.lock t.lock;
+        t.in_flight <- t.in_flight - n;
+        Pf_obs.Counter.add t.m.documents n;
+        Pf_obs.Counter.incr t.m.batches;
+        Pf_obs.Counter.add t.m.updates_applied (!applied - base);
+        (match !first_error with
+        | Some e when t.failure = None -> t.failure <- Some e
+        | _ -> ());
+        if Queue.is_empty t.queue && t.in_flight = 0 then Condition.broadcast t.idle;
+        Mutex.unlock t.lock
+      end
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let create ?(domains = 1) ?queue_capacity ?(batch = 8) (filter : Pf_intf.filter) =
+  let (module F) = filter in
+  if domains < 1 then invalid_arg "Pf_service.create: domains must be >= 1";
+  if batch < 1 then invalid_arg "Pf_service.create: batch must be >= 1";
+  let capacity =
+    match queue_capacity with
+    | None -> 4 * domains * batch
+    | Some c when c >= 1 -> c
+    | Some _ -> invalid_arg "Pf_service.create: queue_capacity must be >= 1"
+  in
+  (* every replica is created here, on the caller's domain: registry
+     creation mutates the global listed-registry table, which is not
+     domain-safe, and doing it eagerly keeps worker startup allocation-free *)
+  let primary = Replica ((module F), F.create ()) in
+  let worker_replicas = List.init domains (fun _ -> Replica ((module F), F.create ())) in
+  let registry_of = function Replica ((module F), inst) -> F.metrics inst in
+  let m = make_metrics () in
+  let t =
+    {
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      capacity;
+      batch;
+      n_domains = domains;
+      updates = [||];
+      n_updates = 0;
+      n_subs = 0;
+      in_flight = 0;
+      stopping = false;
+      stopped = false;
+      failure = None;
+      primary;
+      replica_registries = List.map registry_of (primary :: worker_replicas);
+      workers = [||];
+      m;
+    }
+  in
+  Pf_obs.Gauge.set m.domains_gauge (float_of_int domains);
+  t.workers <-
+    Array.of_list (List.map (fun r -> Domain.spawn (fun () -> worker t r)) worker_replicas);
+  t
+
+let domains t = t.n_domains
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.stopped <- true;
+    match t.failure with
+    | Some e ->
+      t.failure <- None;
+      raise e
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Subscriptions *)
+
+let subscribe t p =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pf_service.subscribe: service is shut down"
+  end;
+  match t.primary with
+  | Replica ((module F), inst) -> (
+    (* the primary validates: if it rejects, nothing is logged and every
+       replica stays aligned *)
+    match F.add inst p with
+    | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+    | sid ->
+      log_update t (Add p);
+      t.n_subs <- t.n_subs + 1;
+      Pf_obs.Counter.incr t.m.subscribes;
+      Mutex.unlock t.lock;
+      sid)
+
+let subscribe_string t s = subscribe t (Pf_xpath.Parser.parse s)
+
+let unsubscribe t sid =
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pf_service.unsubscribe: service is shut down"
+  end;
+  match t.primary with
+  | Replica ((module F), inst) ->
+    let removed = F.remove inst sid in
+    if removed then begin
+      log_update t (Remove sid);
+      Pf_obs.Counter.incr t.m.unsubscribes
+    end;
+    Mutex.unlock t.lock;
+    removed
+
+let subscription_count t =
+  Mutex.lock t.lock;
+  let n = t.n_subs in
+  Mutex.unlock t.lock;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Document stream *)
+
+let submit t doc deliver =
+  Mutex.lock t.lock;
+  let reject () =
+    Mutex.unlock t.lock;
+    invalid_arg "Pf_service.submit: service is shut down"
+  in
+  if t.stopping then reject ();
+  if Queue.length t.queue >= t.capacity then begin
+    Pf_obs.Counter.incr t.m.submit_waits;
+    while Queue.length t.queue >= t.capacity && not t.stopping do
+      Condition.wait t.not_full t.lock
+    done
+  end;
+  if t.stopping then reject ();
+  Queue.add { doc; epoch = t.n_updates; deliver } t.queue;
+  Pf_obs.Gauge.set_max t.m.queue_high_water (float_of_int (Queue.length t.queue));
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let drain t =
+  Mutex.lock t.lock;
+  while not (Queue.is_empty t.queue && t.in_flight = 0) do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+let filter_batch t docs =
+  let docs = Array.of_list docs in
+  let n = Array.length docs in
+  let results = Array.make n [] in
+  let remaining = Atomic.make n in
+  let done_lock = Mutex.create () in
+  let done_cond = Condition.create () in
+  Array.iteri
+    (fun i doc ->
+      submit t doc (fun sids ->
+          results.(i) <- sids;
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock done_lock;
+            Condition.broadcast done_cond;
+            Mutex.unlock done_lock
+          end))
+    docs;
+  Mutex.lock done_lock;
+  while Atomic.get remaining > 0 do
+    Condition.wait done_cond done_lock
+  done;
+  Mutex.unlock done_lock;
+  Array.to_list results
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let metrics t = t.m.registry
+
+let engine_metrics t =
+  Pf_obs.Registry.merge ~scope:"service-engines" t.replica_registries

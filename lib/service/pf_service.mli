@@ -1,0 +1,106 @@
+(** Domain-parallel sharded filtering service.
+
+    The paper frames filtering as a dissemination problem: millions of
+    standing XPath subscriptions, a stream of incoming documents, and the
+    requirement to keep up with the stream. Matching one document never
+    touches another document's state, so the natural scale-out is to
+    {e replicate the engine and shard the stream by document} — the same
+    replication the FPGA filtering literature applies in hardware, here
+    over OCaml 5 domains.
+
+    A service owns [N] worker domains, each holding a private replica of
+    one engine (any {!Pf_intf.FILTER}), plus one primary replica used to
+    validate subscriptions. Documents are submitted into a bounded queue
+    (submission blocks when the queue is full — backpressure, not
+    unbounded buffering) and workers dequeue them in batches. Results are
+    delivered through per-document callbacks, on the worker domain.
+
+    {2 Epoch semantics}
+
+    Subscription changes never race a matching engine. [subscribe] and
+    [unsubscribe] append to an ordered update log and apply the change
+    synchronously to the primary replica only; each submitted document
+    carries the log length at submission time as its {e epoch}. A worker
+    applies log entries to its own replica — at batch boundaries, between
+    documents — until its replica has seen exactly the updates preceding
+    the document it is about to match. Hence:
+
+    - a document observes precisely the subscriptions submitted before it,
+      no matter which worker matches it or how far that worker lags;
+    - results are {e deterministic}: for any interleaving of
+      subscribe/remove/submit, every document's match set is identical to
+      a sequential engine fed the same operation order (the property the
+      test suite checks for 1, 2 and 4 domains);
+    - sids agree across replicas because {!Pf_intf.FILTER} assigns them
+      densely in registration order and every replica applies the same
+      log prefix.
+
+    Engines are never shared between domains, so they need no locks —
+    the service's only synchronization is the queue mutex. *)
+
+type t
+
+val create :
+  ?domains:int -> ?queue_capacity:int -> ?batch:int -> Pf_intf.filter -> t
+(** [create (module F)] starts the worker domains. [domains] (default 1)
+    is the number of engine replicas / worker domains; [queue_capacity]
+    (default [4 * domains * batch]) bounds the work queue; [batch]
+    (default 8) is the maximum number of documents a worker dequeues at
+    once. Raises [Invalid_argument] for non-positive parameters. *)
+
+val domains : t -> int
+
+val subscribe : t -> Pf_xpath.Ast.path -> int
+(** Register an expression; returns its sid (the engine's dense sid —
+    identical on every replica). Takes effect for every document
+    submitted afterwards. Raises {!Pf_intf.Unsupported} if the engine
+    rejects the expression (the service is then unchanged). *)
+
+val subscribe_string : t -> string -> int
+(** Parse then {!subscribe}. *)
+
+val unsubscribe : t -> int -> bool
+(** Remove a subscription. Returns [false] for unknown or already-removed
+    sids. Takes effect for every document submitted afterwards. *)
+
+val subscription_count : t -> int
+(** Subscriptions accepted so far (including removed ones — sids are
+    dense and never reused). *)
+
+val submit : t -> Pf_xml.Tree.t -> (int list -> unit) -> unit
+(** [submit t doc deliver] enqueues a document; [deliver] receives the
+    sorted sids of the matching subscriptions. Blocks while the queue is
+    full. [deliver] runs on a worker domain: it must be quick, must not
+    call back into [t], and must synchronize any shared state it touches
+    itself. Raises [Invalid_argument] after {!shutdown}. *)
+
+val filter_batch : t -> Pf_xml.Tree.t list -> int list list
+(** Submit every document, wait for all results, and return the match
+    sets in input order. Equivalent to a {!submit} per document plus a
+    barrier; documents still spread over all workers. *)
+
+val drain : t -> unit
+(** Block until every document submitted so far has been matched and
+    delivered. *)
+
+val shutdown : t -> unit
+(** Drain in-flight documents, stop the workers and join their domains.
+    Idempotent. After shutdown, {!submit} and {!subscribe} raise;
+    metrics remain readable. *)
+
+(** {1 Metrics} *)
+
+val metrics : t -> Pf_obs.Registry.t
+(** The service's own registry (scope ["service"]): counters
+    ["documents"] (matched and delivered), ["batches"] (worker dequeues),
+    ["updates_applied"] (log entries applied across replicas, primary
+    excluded), ["subscribes"], ["unsubscribes"], ["submit_waits"]
+    (submissions that blocked on a full queue); gauges ["domains"] and
+    ["queue_high_water"]. *)
+
+val engine_metrics : t -> Pf_obs.Registry.t
+(** A fresh snapshot (scope ["service-engines"], unlisted) merging the
+    per-worker engine registries plus the primary's: counters, histograms
+    and spans sum across replicas, gauges keep the maximum — see
+    {!Pf_obs.Registry.merge}. Call only while the workers are quiescent
+    (after {!drain} or {!shutdown}) for exact totals. *)

@@ -51,6 +51,7 @@ type t = {
   mutable n_states : int;
   mutable exprs : Ast.path array;  (* sid -> expression *)
   mutable n_exprs : int;
+  mutable removed : bool array;  (* sid -> unregistered (sids are not reused) *)
   symbols : (string, int) Hashtbl.t;  (* tag name -> dense symbol *)
   m : metrics;
   (* run-time scratch *)
@@ -85,6 +86,7 @@ let create () =
       n_states = 0;
       exprs = [||];
       n_exprs = 0;
+      removed = [||];
       symbols = Hashtbl.create 64;
       m = make_metrics ();
       set_stamp = [||];
@@ -139,12 +141,16 @@ let star_target t s =
 
 let add t (p : Ast.path) =
   if not (Ast.is_single_path p) then
-    invalid_arg "Yfilter.add: nested path filters are not supported";
+    raise (Pf_intf.Unsupported "Yfilter.add: nested path filters are not supported");
+  if p.Ast.steps = [] then raise (Pf_intf.Unsupported "Yfilter.add: empty path");
   let sid = t.n_exprs in
   if t.n_exprs >= Array.length t.exprs then begin
     let bigger = Array.make (max 16 (2 * Array.length t.exprs)) p in
     Array.blit t.exprs 0 bigger 0 t.n_exprs;
-    t.exprs <- bigger
+    t.exprs <- bigger;
+    let bigger_removed = Array.make (Array.length bigger) false in
+    Array.blit t.removed 0 bigger_removed 0 t.n_exprs;
+    t.removed <- bigger_removed
   end;
   t.exprs.(t.n_exprs) <- p;
   t.n_exprs <- t.n_exprs + 1;
@@ -156,7 +162,7 @@ let add t (p : Ast.path) =
   in
   let final =
     match p.Ast.steps with
-    | [] -> invalid_arg "Yfilter.add: empty path"
+    | [] -> assert false (* rejected above *)
     | first :: rest ->
       (* a relative expression matches anywhere: implicit leading [//] *)
       let descend_first = (not p.Ast.absolute) || first.Ast.axis = Ast.Descendant in
@@ -170,6 +176,15 @@ let add t (p : Ast.path) =
   sid
 
 let add_string t s = add t (Parser.parse s)
+
+let remove t sid =
+  if sid < 0 || sid >= t.n_exprs || t.removed.(sid) then false
+  else begin
+    (* the accepting state keeps the sid; matching filters removed sids,
+       so removal is constant-time and never restructures the NFA *)
+    t.removed.(sid) <- true;
+    true
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
@@ -209,13 +224,13 @@ let match_document t (doc : Pf_xml.Tree.t) =
     { Pf_xml.Path.steps = Array.of_list steps }
   in
   let mark_plain sid =
-    if t.sid_stamp.(sid) <> t.doc_epoch then begin
+    if (not t.removed.(sid)) && t.sid_stamp.(sid) <> t.doc_epoch then begin
       t.sid_stamp.(sid) <- t.doc_epoch;
       matches := sid :: !matches
     end
   in
   let mark_filtered sid =
-    if t.sid_stamp.(sid) <> t.doc_epoch then
+    if (not t.removed.(sid)) && t.sid_stamp.(sid) <> t.doc_epoch then
       if Eval.matches_doc_path t.exprs.(sid) (current_path ()) then begin
         t.sid_stamp.(sid) <- t.doc_epoch;
         matches := sid :: !matches

@@ -12,7 +12,9 @@
 
     Attribute filters use the selection-postponed strategy the YFilter
     authors recommend: they are only checked for structurally matched
-    expressions, against the root-to-current-element path. *)
+    expressions, against the root-to-current-element path.
+
+    The module satisfies {!Pf_intf.FILTER}. *)
 
 type t
 
@@ -20,10 +22,15 @@ val create : unit -> t
 
 val add : t -> Pf_xpath.Ast.path -> int
 (** Register an expression, returning its sid (dense from 0). Nested path
-    filters are not supported ([Invalid_argument]); attribute filters
+    filters are not supported ({!Pf_intf.Unsupported}); attribute filters
     are. *)
 
 val add_string : t -> string -> int
+
+val remove : t -> int -> bool
+(** Unregister an expression: its sid is no longer reported by matching.
+    Returns [false] for unknown or already-removed sids. Constant-time —
+    the NFA keeps its states ({!state_count} does not decrease). *)
 
 val match_document : t -> Pf_xml.Tree.t -> int list
 (** Sorted sids of all matching expressions. *)

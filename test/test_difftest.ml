@@ -68,33 +68,33 @@ let prop_case_expect_is_oracle =
 (* The shrinker, driven by a deliberately buggy engine. *)
 
 (* An engine that evaluates every descendant axis as a child axis: it
-   diverges from the oracle exactly on expressions where // matters. *)
+   diverges from the oracle exactly on expressions where // matters. Built
+   by wrapping the reference FILTER module — the roster takes any
+   first-class module, buggy ones included. *)
+let rec flatten_path (p : Ast.path) = { p with Ast.steps = List.map flatten_step p.Ast.steps }
+
+and flatten_step (s : Ast.step) =
+  {
+    Ast.axis = Ast.Child;
+    test = s.Ast.test;
+    filters =
+      List.map
+        (function Ast.Nested p -> Ast.Nested (flatten_path p) | f -> f)
+        s.Ast.filters;
+  }
+
+module Flatten_descendants : Pf_intf.FILTER = struct
+  include Pf_intf.Reference
+
+  let add t p = Pf_intf.Reference.add t (flatten_path p)
+  let add_string t s = add t (Pf_xpath.Parser.parse s)
+end
+
 let flatten_descendants_engine : Engines.engine =
-  let rec flatten_path (p : Ast.path) =
-    { p with Ast.steps = List.map flatten_step p.Ast.steps }
-  and flatten_step (s : Ast.step) =
-    {
-      Ast.axis = Ast.Child;
-      test = s.Ast.test;
-      filters =
-        List.map
-          (function
-            | Ast.Nested p -> Ast.Nested (flatten_path p)
-            | f -> f)
-          s.Ast.filters;
-    }
-  in
   {
     Engines.ename = "buggy-no-descendant";
+    filter = (module Flatten_descendants);
     supports = (fun _ -> true);
-    run =
-      (fun exprs supported docs ->
-        Array.mapi
-          (fun i e ->
-            if supported.(i) then
-              Array.map (fun d -> Pf_xpath.Eval.matches (flatten_path e) d) docs
-            else Array.map (fun _ -> false) docs)
-          exprs);
   }
 
 let test_shrinker_minimizes () =

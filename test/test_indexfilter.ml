@@ -48,7 +48,7 @@ let test_attr_filters () =
 let test_nested_rejected () =
   let f = Pf_indexfilter.Index_filter.create () in
   match add f "/a[b]/c" with
-  | exception Invalid_argument _ -> ()
+  | exception Pf_intf.Unsupported _ -> ()
   | _ -> Alcotest.fail "nested paths unsupported in the baseline"
 
 let test_repeated_tags () =

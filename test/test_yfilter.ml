@@ -50,7 +50,7 @@ let test_attr_filters_postponed () =
 let test_nested_rejected () =
   let y = Pf_yfilter.Yfilter.create () in
   match add y "/a[b]/c" with
-  | exception Invalid_argument _ -> ()
+  | exception Pf_intf.Unsupported _ -> ()
   | _ -> Alcotest.fail "nested paths unsupported in the baseline"
 
 let test_duplicate_expressions () =
