@@ -75,31 +75,35 @@ let run engine_name domains batch quiet count_only metrics_fmt trace_srcs exprs_
           Printf.eprintf "%s:%d: unsupported expression: %s\n" exprs_file lineno msg;
           exit 2))
     exprs;
-  let parsed =
-    List.map
-      (fun doc_path ->
-        match
-          Pf_xml.Sax.parse_document
-            (In_channel.with_open_bin doc_path In_channel.input_all)
-        with
-        | exception Pf_xml.Sax.Parse_error (pos, msg) ->
-          Printf.eprintf "%s: %s (%s)\n" doc_path msg
-            (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
-          exit 2
-        | doc -> doc_path, doc)
-      docs
-  in
-  let results = Pf_service.filter_batch svc (List.map snd parsed) in
+  (* submit each document as soon as it parses: backpressure on the
+     service queue bounds how many parsed trees are alive at once, so a
+     long document list streams instead of materializing every tree *)
+  let docs = Array.of_list docs in
+  let results = Array.make (Array.length docs) [] in
+  Array.iteri
+    (fun i doc_path ->
+      match
+        Pf_xml.Sax.parse_document
+          (In_channel.with_open_bin doc_path In_channel.input_all)
+      with
+      | exception Pf_xml.Sax.Parse_error (pos, msg) ->
+        Printf.eprintf "%s: %s (%s)\n" doc_path msg
+          (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
+        exit 2
+      | doc -> Pf_service.submit svc doc (fun sids -> results.(i) <- sids))
+    docs;
+  Pf_service.drain svc;
   let exit_code = ref 1 in
-  List.iter2
-    (fun (doc_path, _) matched ->
+  Array.iteri
+    (fun i doc_path ->
+      let matched = results.(i) in
       if matched <> [] then exit_code := 0;
       if count_only then Printf.printf "%s: %d\n" doc_path (List.length matched)
       else if not quiet then
         List.iter
           (fun sid -> Printf.printf "%s: %s\n" doc_path (Hashtbl.find table sid))
           matched)
-    parsed results;
+    docs;
   Pf_service.shutdown svc;
   (match metrics_fmt with None -> () | Some fmt -> Pf_obs.Export.print fmt);
   exit !exit_code

@@ -182,11 +182,17 @@ let add t (p : Ast.path) =
     end
     else { source = p; kind = Nested_expr; active = true }
   in
-  let sid = Vec.push t.exprs info in
-  if Ast.has_attr_filters p then t.constrained <- true;
+  (* register in the matching index *before* consuming a sid: Nested.add
+     validates the decomposition and can raise Unsupported, and a rejected
+     add must leave the engine unchanged (the Pf_intf.FILTER contract —
+     otherwise a service primary would run one sid ahead of its worker
+     replicas after a rejected subscribe) *)
+  let sid = Vec.length t.exprs in
   (match info.kind with
   | Single { pids; _ } -> Expr_index.add t.eidx ~sid ~pids
   | Nested_expr -> Nested.add t.nested ~sid p);
+  ignore (Vec.push t.exprs info : int);
+  if Ast.has_attr_filters p then t.constrained <- true;
   Log.debug (fun m -> m "registered sid %d: %s" sid (Parser.to_string p));
   sid
 

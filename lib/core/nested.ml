@@ -70,14 +70,25 @@ let strip_nested (s : Ast.step) =
       List.filter (function Ast.Attr _ -> true | Ast.Nested _ -> false) s.Ast.filters;
   }
 
-(* Decompose [p] into a sub-expression tree; returns the new sub's id.
-   [branch_step] is the 0-based step index at which [p] forks from its
-   parent (-1 for the root). *)
-let rec decompose t (p : Ast.path) ~branch_step =
+(* Decomposition runs in two phases so a rejected expression leaves the
+   filter — and the shared predicate index — untouched: [plan_path] walks
+   the whole sub-expression tree and performs every check that can raise
+   [Encoder.Unsupported]; [commit] then interns and registers the planned
+   subs and cannot fail. *)
+type plan = {
+  pl_enc : Encoder.t;
+  pl_relevant : int array;  (* step indices whose bound node matters, sorted *)
+  pl_self_slot : int;  (* index into [pl_relevant] of the branch step; -1 for roots *)
+  pl_children : (plan * int) list;  (* child plan, branch step *)
+}
+
+(* Plan the decomposition of [p] into a sub-expression tree. [branch_step]
+   is the 0-based step index at which [p] forks from its parent (-1 for
+   the root). *)
+let rec plan_path (p : Ast.path) ~branch_step =
   let steps = Array.of_list p.Ast.steps in
   let main = { p with Ast.steps = List.map strip_nested p.Ast.steps } in
   let enc = Encoder.encode main in
-  let pids = Array.map (Predicate_index.intern t.index) enc.Encoder.preds in
   (* collect (step index, nested filter) pairs *)
   let forks = ref [] in
   Array.iteri
@@ -112,20 +123,6 @@ let rec decompose t (p : Ast.path) ~branch_step =
     go 0
   in
   let self_slot = if branch_step >= 0 then slot_of branch_step else -1 in
-  let s =
-    {
-      enc;
-      pids;
-      children = [];
-      relevant;
-      self_slot;
-      obs = [];
-      seen = Hashtbl.create 8;
-      matched_nodes = Hashtbl.create 8;
-      root_matched = false;
-    }
-  in
-  let id = Vec.push t.subs s in
   let children =
     List.map
       (fun (i, (q : Ast.path)) ->
@@ -133,16 +130,38 @@ let rec decompose t (p : Ast.path) ~branch_step =
           List.filteri (fun j _ -> j <= i) (Array.to_list steps) |> List.map strip_nested
         in
         let ext = { Ast.absolute = p.Ast.absolute; steps = prefix @ q.Ast.steps } in
-        { sub = decompose t ext ~branch_step:i; at_step = i })
+        plan_path ext ~branch_step:i, i)
       forks
   in
-  s.children <- children;
+  { pl_enc = enc; pl_relevant = relevant; pl_self_slot = self_slot; pl_children = children }
+
+(* Parents are pushed before their children, so descending sub ids remain
+   a bottom-up order for [finish_document]. *)
+let rec commit t pl =
+  let pids = Array.map (Predicate_index.intern t.index) pl.pl_enc.Encoder.preds in
+  let s =
+    {
+      enc = pl.pl_enc;
+      pids;
+      children = [];
+      relevant = pl.pl_relevant;
+      self_slot = pl.pl_self_slot;
+      obs = [];
+      seen = Hashtbl.create 8;
+      matched_nodes = Hashtbl.create 8;
+      root_matched = false;
+    }
+  in
+  let id = Vec.push t.subs s in
+  s.children <-
+    List.map (fun (cp, at_step) -> { sub = commit t cp; at_step }) pl.pl_children;
   id
 
 let add t ~sid (p : Ast.path) =
   if Ast.is_single_path p then
     invalid_arg "Nested.add: single-path expression (use the main pipeline)";
-  let root = decompose t p ~branch_step:(-1) in
+  let plan = plan_path p ~branch_step:(-1) in
+  let root = commit t plan in
   t.roots <- (sid, root) :: t.roots;
   t.n_exprs <- t.n_exprs + 1
 

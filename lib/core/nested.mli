@@ -38,7 +38,9 @@ val create : Predicate_index.t -> t
 val add : t -> sid:int -> Pf_xpath.Ast.path -> unit
 (** Decompose and register a nested path expression. The path must contain
     at least one nested filter ({!Pf_xpath.Ast.is_single_path} is false);
-    single paths belong in the main pipeline. *)
+    single paths belong in the main pipeline. The whole decomposition is
+    validated before anything is registered, so a raising [add] leaves the
+    filter and the shared predicate index unchanged. *)
 
 val remove : t -> sid:int -> bool
 (** Unregister a nested expression. Returns false if [sid] is unknown.

@@ -61,7 +61,8 @@ type t = {
   lock : Mutex.t;
   not_empty : Condition.t;  (* workers wait here for documents *)
   not_full : Condition.t;  (* submitters wait here for queue space *)
-  idle : Condition.t;  (* drainers wait here for quiescence *)
+  idle : Condition.t;  (* drainers wait here for quiescence; late shutdown
+                          callers wait here for the joining one *)
   queue : job Queue.t;
   capacity : int;
   batch : int;
@@ -109,7 +110,12 @@ let worker t r =
       end
       else begin
         let n = min t.batch (Queue.length t.queue) in
-        let jobs = Array.init n (fun _ -> Queue.pop t.queue) in
+        (* explicit pops: the batch must be in FIFO order (Array.init does
+           not guarantee evaluation order) for the epoch bound below *)
+        let jobs = Array.make n (Queue.pop t.queue) in
+        for i = 1 to n - 1 do
+          jobs.(i) <- Queue.pop t.queue
+        done;
         t.in_flight <- t.in_flight + n;
         (* snapshot the log slice this batch needs: epochs are nondecreasing
            in queue order, so the last job bounds them all *)
@@ -202,19 +208,28 @@ let domains t = t.n_domains
 
 let shutdown t =
   Mutex.lock t.lock;
-  if t.stopped then Mutex.unlock t.lock
+  if t.stopping then begin
+    (* another caller owns the join (stopping is only ever set here):
+       wait until it finishes so shutdown never returns with workers
+       still running, and never join the same domain twice *)
+    while not t.stopped do
+      Condition.wait t.idle t.lock
+    done;
+    Mutex.unlock t.lock
+  end
   else begin
     t.stopping <- true;
     Condition.broadcast t.not_empty;
     Condition.broadcast t.not_full;
     Mutex.unlock t.lock;
     Array.iter Domain.join t.workers;
+    Mutex.lock t.lock;
     t.stopped <- true;
-    match t.failure with
-    | Some e ->
-      t.failure <- None;
-      raise e
-    | None -> ()
+    let failure = t.failure in
+    t.failure <- None;
+    Condition.broadcast t.idle;
+    Mutex.unlock t.lock;
+    match failure with Some e -> raise e | None -> ()
   end
 
 (* ------------------------------------------------------------------ *)

@@ -85,8 +85,10 @@ val drain : t -> unit
 
 val shutdown : t -> unit
 (** Drain in-flight documents, stop the workers and join their domains.
-    Idempotent. After shutdown, {!submit} and {!subscribe} raise;
-    metrics remain readable. *)
+    Idempotent, and safe to call from several threads concurrently: one
+    caller joins the workers, the others block until it is done, so every
+    call returns only once the workers have exited. After shutdown,
+    {!submit} and {!subscribe} raise; metrics remain readable. *)
 
 (** {1 Metrics} *)
 

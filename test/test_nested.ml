@@ -25,6 +25,29 @@ let test_wildcard_branch_rejected () =
   | exception Encoder.Unsupported _ -> ()
   | _ -> Alcotest.fail "nested filter on wildcard should be Unsupported"
 
+let test_rejected_add_leaves_engine_unchanged () =
+  (* a rejected add must not consume a sid or register anything — the
+     Pf_intf.FILTER contract the sharded service's replicas depend on.
+     "/a[b/*[c]]" is the hard case: the root sub-expression decomposes
+     fine and only a nested branch raises. *)
+  let e = Engine.create () in
+  let sid0 = Engine.add_string e "/a" in
+  let exprs = Engine.expression_count e in
+  let preds = Engine.distinct_predicate_count e in
+  List.iter
+    (fun src ->
+      match Engine.add_string e src with
+      | exception Encoder.Unsupported _ -> ()
+      | _ -> Alcotest.fail (src ^ " should be Unsupported"))
+    [ "/a/*[d]/b"; "/a[b/*[c]]" ];
+  Alcotest.(check int) "expression count unchanged" exprs (Engine.expression_count e);
+  Alcotest.(check int) "predicate index unchanged" preds
+    (Engine.distinct_predicate_count e);
+  let sid1 = Engine.add_string e "/a/b[c]" in
+  Alcotest.(check int) "sids stay dense" (sid0 + 1) sid1;
+  Alcotest.(check (list int)) "matching unaffected" [ sid0; sid1 ]
+    (Engine.match_string e "<a><b><c/></b></a>")
+
 let match_bool src doc_src =
   let e = Engine.create () in
   let sid = Engine.add_string e src in
@@ -166,6 +189,8 @@ let () =
           Alcotest.test_case "paper example count" `Quick test_paper_decomposition_count;
           Alcotest.test_case "single path rejected" `Quick test_single_path_rejected;
           Alcotest.test_case "wildcard branch rejected" `Quick test_wildcard_branch_rejected;
+          Alcotest.test_case "rejected add leaves engine unchanged" `Quick
+            test_rejected_add_leaves_engine_unchanged;
         ] );
       ( "matching",
         [

@@ -174,6 +174,43 @@ let test_unsupported_leaves_service_unchanged () =
     results;
   Service.shutdown svc
 
+let test_unsupported_nested_keeps_replicas_aligned () =
+  (* The predicate engine rejects nested filters on wildcard steps from
+     deep inside Nested.add's decomposition — after subscribe has already
+     started. The rejection must not consume a sid on the primary, or the
+     primary would run one sid ahead of the worker replicas and every
+     later subscribe would report sids the workers disagree with. *)
+  let svc = Service.create ~domains:2 (Pf_core.Engine.filter () :> Pf_intf.filter) in
+  let sid_a = Service.subscribe_string svc "/a" in
+  (try
+     ignore (Service.subscribe_string svc "/a/*[b]");
+     Alcotest.fail "nested filter on a wildcard step should be Unsupported"
+   with Pf_intf.Unsupported _ -> ());
+  Alcotest.(check int) "rejected subscribe not counted" 1
+    (Service.subscription_count svc);
+  let sid_b = Service.subscribe_string svc "/a/b" in
+  Alcotest.(check int) "sids stay dense after a rejected subscribe" (sid_a + 1) sid_b;
+  let results = Service.filter_batch svc [ doc_a; doc_a ] in
+  Alcotest.(check (list (list int))) "replicas aligned with the primary's sids"
+    [ [ sid_a; sid_b ]; [ sid_a; sid_b ] ]
+    results;
+  Service.shutdown svc
+
+let test_concurrent_shutdown () =
+  (* exactly one caller joins the workers; the others must block until it
+     is done, and nobody joins a domain twice *)
+  let svc = Service.create ~domains:2 (Pf_core.Engine.filter () :> Pf_intf.filter) in
+  ignore (Service.subscribe_string svc "/a");
+  for _ = 1 to 50 do
+    Service.submit svc doc_a ignore
+  done;
+  let callers = Array.init 3 (fun _ -> Domain.spawn (fun () -> Service.shutdown svc)) in
+  Service.shutdown svc;
+  Array.iter Domain.join callers;
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pf_service.submit: service is shut down") (fun () ->
+      Service.submit svc doc_a ignore)
+
 let test_metrics () =
   let svc = Service.create ~domains:2 (Pf_core.Engine.filter () :> Pf_intf.filter) in
   let sid_a = Service.subscribe_string svc "/a" in
@@ -218,6 +255,9 @@ let () =
           Alcotest.test_case "shutdown under load" `Quick test_shutdown_under_load;
           Alcotest.test_case "unsupported subscribe leaves service unchanged" `Quick
             test_unsupported_leaves_service_unchanged;
+          Alcotest.test_case "unsupported nested subscribe keeps replicas aligned"
+            `Quick test_unsupported_nested_keeps_replicas_aligned;
+          Alcotest.test_case "concurrent shutdown" `Quick test_concurrent_shutdown;
           Alcotest.test_case "metrics" `Quick test_metrics;
         ] );
     ]
