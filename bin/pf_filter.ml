@@ -20,8 +20,15 @@ let read_expressions path =
   in
   go [] 1
 
-let run engine_name domains batch quiet count_only metrics_fmt trace_srcs exprs_file docs
-    =
+let run engine_name shard_mode domains batch quiet count_only metrics_fmt trace_srcs
+    exprs_file docs =
+  let mode =
+    match Pf_service.mode_of_string shard_mode with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "unknown shard mode %S (try doc or expr)\n" shard_mode;
+      exit 2
+  in
   let metrics_fmt =
     match metrics_fmt with
     | None -> None
@@ -60,7 +67,7 @@ let run engine_name domains batch quiet count_only metrics_fmt trace_srcs exprs_
       Printf.eprintf "unknown engine %S\n" engine_name;
       exit 2
   in
-  let svc = Pf_service.create ~domains ~batch filter in
+  let svc = Pf_service.create ~mode ~domains ~batch filter in
   let exprs = read_expressions exprs_file in
   let table = Hashtbl.create (List.length exprs) in
   List.iter
@@ -105,7 +112,34 @@ let run engine_name domains batch quiet count_only metrics_fmt trace_srcs exprs_
           matched)
     docs;
   Pf_service.shutdown svc;
-  (match metrics_fmt with None -> () | Some fmt -> Pf_obs.Export.print fmt);
+  (match metrics_fmt with
+  | None -> ()
+  | Some fmt ->
+    (* per-stage span timings, summed across the engine replicas (the
+       spans are populated because collect_stats is on whenever metrics
+       are exported) *)
+    let merged = Pf_service.engine_metrics svc in
+    let spans =
+      List.filter_map
+        (fun (s : Pf_obs.Registry.sample) ->
+          match s.Pf_obs.Registry.value with
+          | Pf_obs.Registry.Sample_span ns -> Some (s.Pf_obs.Registry.name, ns)
+          | _ -> None)
+        (Pf_obs.Registry.samples merged)
+    in
+    if spans <> [] then begin
+      let ndocs = max 1 (Array.length docs) in
+      Printf.printf "# stage timings (%s mode, %d domain(s), summed across replicas)\n"
+        (Pf_service.mode_name (Pf_service.mode svc))
+        (Pf_service.domains svc);
+      List.iter
+        (fun (name, ns) ->
+          Printf.printf "# %-24s %10.3f ms total %10.1f us/doc\n" name
+            (Int64.to_float ns /. 1e6)
+            (Int64.to_float ns /. 1e3 /. float ndocs))
+        spans
+    end;
+    Pf_obs.Export.print fmt);
   exit !exit_code
 
 let engine_arg =
@@ -114,6 +148,16 @@ let engine_arg =
      index-filter."
   in
   Arg.(value & opt string "basic-pc-ap" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+
+let shard_mode_arg =
+  let doc =
+    "Service parallelism mode: $(b,doc) (document-replicated — every worker \
+     holds every expression, each document is matched by one worker) or \
+     $(b,expr) (expression-sharded — the expression set is partitioned \
+     across workers, every document is broadcast and the per-shard results \
+     merged)."
+  in
+  Arg.(value & opt string "doc" & info [ "shard-mode" ] ~docv:"MODE" ~doc)
 
 let domains_arg =
   let doc =
@@ -165,7 +209,7 @@ let cmd =
   let info = Cmd.info "pf-filter" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
-      const run $ engine_arg $ domains_arg $ batch_arg $ quiet_arg $ count_arg
-      $ metrics_arg $ trace_arg $ exprs_arg $ docs_arg)
+      const run $ engine_arg $ shard_mode_arg $ domains_arg $ batch_arg $ quiet_arg
+      $ count_arg $ metrics_arg $ trace_arg $ exprs_arg $ docs_arg)
 
 let () = exit (Cmd.eval cmd)

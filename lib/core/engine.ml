@@ -7,11 +7,12 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type attr_mode = Inline | Postponed
 
 (* Postponed attribute constraints for one expression: per predicate, the
-   variable names and the constraints to check once a structural match is
-   found. *)
+   variable tag symbols and the constraints to check once a structural
+   match is found. A name slot is -1 when its constraint list is empty
+   (never consulted). *)
 type post = {
-  names1 : string array;
-  names2 : string array;
+  names1 : Symbol.t array;
+  names2 : Symbol.t array;
   pcons1 : Predicate.attr_constraint list array;
   pcons2 : Predicate.attr_constraint list array;
 }
@@ -78,6 +79,10 @@ type t = {
   eidx : Expr_index.t;
   nested : Nested.t;
   exprs : expr_info Vec.t;
+  chains : Occurrence.arena;
+      (* scratch for postponed-mode chain enumeration; distinct from the
+         expression index's own arena, which is live mid-descent when the
+         on_match callback fires *)
   m : metrics;
   mutable sid_stamp : int array;
   mutable doc_epoch : int;
@@ -104,6 +109,7 @@ let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
       Vec.create
         ~dummy:{ source = Ast.path [ Ast.step (Ast.Tag "x") ]; kind = Nested_expr; active = false }
         ();
+    chains = Occurrence.create_arena ();
     m;
     sid_stamp = [||];
     doc_epoch = 0;
@@ -137,18 +143,19 @@ let expression t sid = (Vec.get t.exprs sid).source
 let build_post (enc : Encoder.t) =
   if Array.exists Predicate.has_constraints enc.Encoder.preds then begin
     let n = Array.length enc.Encoder.preds in
-    let names1 = Array.make n "" and names2 = Array.make n "" in
+    let names1 = Array.make n (-1) and names2 = Array.make n (-1) in
     let pcons1 = Array.make n [] and pcons2 = Array.make n [] in
     Array.iteri
       (fun i p ->
         let c1, c2 = Predicate.constraints_of p in
         (match p with
         | Predicate.Absolute { tag; _ } | Predicate.End_of_path { tag; _ } ->
-          names1.(i) <- tag.Predicate.name;
-          names2.(i) <- tag.Predicate.name
+          let sym = Symbol.intern tag.Predicate.name in
+          names1.(i) <- sym;
+          names2.(i) <- sym
         | Predicate.Relative { first; second; _ } ->
-          names1.(i) <- first.Predicate.name;
-          names2.(i) <- second.Predicate.name
+          names1.(i) <- Symbol.intern first.Predicate.name;
+          names2.(i) <- Symbol.intern second.Predicate.name
         | Predicate.Length _ -> ());
         (* constraints_of duplicates one-variable constraints on both
            sides; checking one side suffices *)
@@ -225,10 +232,10 @@ let ensure_stamp t =
   end
 
 (* Check an expression's postponed attribute constraints against one
-   occurrence chain: each constrained variable's occurrence is mapped back
-   to its tuple and the tuple's attributes are tested. *)
-let chain_satisfies post pub chain =
-  let n = Array.length chain in
+   occurrence chain (packed pairs, length [n]): each constrained
+   variable's occurrence is mapped back to its tuple and the tuple's
+   attributes are tested. *)
+let chain_satisfies post pub chain n =
   let ok_side names cons i occ =
     match cons.(i) with
     | [] -> true
@@ -240,12 +247,27 @@ let chain_satisfies post pub chain =
   let rec go i =
     i >= n
     ||
-    let o1, o2 = chain.(i) in
-    ok_side post.names1 post.pcons1 i o1
-    && ok_side post.names2 post.pcons2 i o2
+    let p = chain.(i) in
+    ok_side post.names1 post.pcons1 i (Predicate_index.packed_first p)
+    && ok_side post.names2 post.pcons2 i (Predicate_index.packed_second p)
     && go (i + 1)
   in
   go 0
+
+(* Fill the engine's chain arena with the candidate sets of [pids]; false
+   (short-circuiting) if any predicate recorded no pair. *)
+let fill_chains t pids =
+  let a = t.chains in
+  Occurrence.clear a;
+  let cells = Predicate_index.cells t.results in
+  let n = Array.length pids in
+  let rec fetch i =
+    i >= n
+    || (Occurrence.start_row a i;
+        Occurrence.push_chain a cells (Predicate_index.head t.results pids.(i));
+        Occurrence.row_len a i > 0 && fetch (i + 1))
+  in
+  fetch 0
 
 (* Core per-document matching loop; [iter_paths] drives the document's
    paths through it (from a materialized list or streaming off a SAX
@@ -272,11 +294,11 @@ let match_iter t iter_paths =
   let fresh_path (path : Pf_xml.Path.t) =
     (not dedup)
     ||
+    (* fixed-width symbol encoding: injective, no string contents *)
     let buf = Buffer.create 64 in
     Array.iter
       (fun (s : Pf_xml.Path.step) ->
-        Buffer.add_string buf s.Pf_xml.Path.tag;
-        Buffer.add_char buf '\x00')
+        Buffer.add_int32_le buf (Int32.of_int s.Pf_xml.Path.sym))
       path.Pf_xml.Path.steps;
     let key = Buffer.contents buf in
     if Hashtbl.mem t.seen_paths key then begin
@@ -301,8 +323,10 @@ let match_iter t iter_paths =
           match (Vec.get t.exprs sid).kind with
           | Single { post = None; _ } -> mark sid
           | Single { pids; post = Some post } ->
-            let rs = Array.map (Predicate_index.get t.results) pids in
-            if Occurrence.iter_chains rs (chain_satisfies post pub) then mark sid
+            if
+              fill_chains t pids
+              && Occurrence.iter_chains_packed t.chains (chain_satisfies post pub)
+            then mark sid
           | Nested_expr -> assert false
       in
       Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline)
@@ -354,20 +378,22 @@ let explain t doc sid =
       let try_path path =
         let pub = Publication.of_path path in
         Predicate_index.run t.pidx t.results pub;
-        let rs = Array.map (Predicate_index.get t.results) pids in
-        if Array.for_all (fun r -> r <> []) rs then
+        if fill_chains t pids then
           ignore
-            (Occurrence.iter_chains rs (fun chain ->
+            (Occurrence.iter_chains_packed t.chains (fun chain n ->
                  let ok =
                    match post with
                    | None -> true
-                   | Some post -> chain_satisfies post pub chain
+                   | Some post -> chain_satisfies post pub chain n
                  in
                  if ok then begin
                    let preds =
                      Array.to_list
                        (Array.mapi
-                          (fun i pid -> Predicate_index.predicate t.pidx pid, chain.(i))
+                          (fun i pid ->
+                            ( Predicate_index.predicate t.pidx pid,
+                              ( Predicate_index.packed_first chain.(i),
+                                Predicate_index.packed_second chain.(i) ) ))
                           pids)
                    in
                    witness := Some { expl_path = path; expl_chain = preds }
@@ -406,8 +432,10 @@ let match_path t path =
         t.sid_stamp.(sid) <- t.doc_epoch;
         acc := sid :: !acc
       | Single { pids; post = Some post } ->
-        let rs = Array.map (Predicate_index.get t.results) pids in
-        if Occurrence.iter_chains rs (chain_satisfies post pub) then begin
+        if
+          fill_chains t pids
+          && Occurrence.iter_chains_packed t.chains (chain_satisfies post pub)
+        then begin
           t.sid_stamp.(sid) <- t.doc_epoch;
           acc := sid :: !acc
         end

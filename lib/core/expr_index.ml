@@ -103,6 +103,9 @@ type t = {
   (* prefix covering: sid-bearing nodes bucketed by depth, evaluated
      longest-first so a deep match covers its prefixes *)
   by_depth : node Vec.t Vec.t;
+  (* candidate-set scratch reused across documents (Occurrence arena);
+     one per index — engine instances are single-domain *)
+  arena : Occurrence.arena;
   mutable pc_epoch : int;
   mutable n_exprs : int;
   mutable n_nodes : int;
@@ -125,6 +128,7 @@ let create ?metrics variant =
     flat_pos = Hashtbl.create 16;
     roots = Hashtbl.create 256;
     by_depth = Vec.create ~dummy:dummy_bucket ();
+    arena = Occurrence.create_arena ();
     pc_epoch = 0;
     n_exprs = 0;
     n_nodes = 0;
@@ -229,28 +233,13 @@ let remove t ~sid ~pids =
 
 (* ------------------------------------------------------------------ *)
 
-(* Chain search over a prefix of a result stack of packed occurrence pairs,
-   allocation-free: does a chain exist through stack.(0 .. depth)?
-   Backtracking steps (candidate pairs tried) are accumulated locally and
-   flushed to the counter once per run. *)
-let stack_matches t (stack : int list array) depth =
-  let steps = ref 0 in
-  let rec go i prev =
-    incr steps;
-    i > depth
-    || List.exists
-         (fun p -> Predicate_index.packed_first p = prev && go (i + 1) (Predicate_index.packed_second p))
-         stack.(i)
-  in
-  let r =
-    List.exists
-      (fun p ->
-        incr steps;
-        go 1 (Predicate_index.packed_second p))
-      stack.(0)
-  in
-  Pf_obs.Counter.add t.m.steps !steps;
-  r
+(* Fill arena row [i] with pid's recorded pairs; true iff non-empty. The
+   copy into contiguous memory is what the backtracking search — which
+   revisits rows repeatedly — then runs over. *)
+let fill_row a res i pid =
+  Occurrence.start_row a i;
+  Occurrence.push_chain a (Predicate_index.cells res) (Predicate_index.head res pid);
+  Occurrence.row_len a i > 0
 
 (* One occurrence determination run is about to happen over a chain of
    [len] predicates. *)
@@ -259,38 +248,34 @@ let note_run t len =
   Pf_obs.Histogram.observe t.m.chain_len len
 
 let eval_basic t res ~on_match =
-  let stack = ref (Array.make 64 []) in
+  let a = t.arena in
+  (* backtracking steps: the arena's monotone counter, flushed as a delta
+     once per pass (a [~steps] ref would allocate a [Some] per run) *)
+  let s0 = Occurrence.search_steps a in
   Vec.iter
     (fun (sid, pids) ->
       let n = Array.length pids in
       if n > 0 then begin
-      if n > Array.length !stack then stack := Array.make (2 * n) [];
-      let stack = !stack in
-      (* fetch each predicate's results; stop at the first empty one *)
-      let rec fetch i =
-        if i >= n then true
-        else
-          match Predicate_index.get_packed res pids.(i) with
-          | [] -> false
-          | pairs ->
-            stack.(i) <- pairs;
-            fetch (i + 1)
-      in
-      if fetch 0 then begin
-        note_run t n;
-        if stack_matches t stack (n - 1) then on_match sid
-      end
+        Occurrence.clear a;
+        (* fetch each predicate's results; stop at the first empty one *)
+        let rec fetch i = i >= n || (fill_row a res i pids.(i) && fetch (i + 1)) in
+        if fetch 0 then begin
+          note_run t n;
+          if Occurrence.matches_packed a then on_match sid
+        end
       end)
-    t.flat
+    t.flat;
+  Pf_obs.Counter.add t.m.steps (Occurrence.search_steps a - s0)
 
 (* Prefix covering (without access predicates). Sid-bearing trie nodes are
    evaluated longest-first (by descending depth): each gets the flat
-   algorithm's treatment — fetch its own predicate chain with
-   short-circuit, then one occurrence determination run — but a match
-   marks every ancestor node covered, so prefix expressions (and all
-   duplicates, which share the node) are reported without evaluation.
-   Unlike the access-predicate variant, a dead predicate does not rule out
-   anything beyond the one expression being checked. *)
+   algorithm's treatment — check its own predicate chain for dead results
+   leaf-to-root, fill the arena root-to-leaf, then one occurrence
+   determination run — but a match marks every ancestor node covered, so
+   prefix expressions (and all duplicates, which share the node) are
+   reported without evaluation. Unlike the access-predicate variant, a
+   dead predicate does not rule out anything beyond the one expression
+   being checked. *)
 let eval_pc t res ~sticky ~doc_tag ~on_match =
   t.pc_epoch <- t.pc_epoch + 1;
   let epoch = t.pc_epoch in
@@ -298,24 +283,24 @@ let eval_pc t res ~sticky ~doc_tag ~on_match =
     if sticky then node.mark_epoch <- doc_tag;
     List.iter on_match node.sids
   in
-  let stack = ref (Array.make 64 []) in
+  let a = t.arena in
+  let s0 = Occurrence.search_steps a in
+  let rec alive n =
+    Predicate_index.is_matched res n.pid
+    && match n.parent with None -> true | Some p -> alive p
+  in
+  let rec fill n =
+    (match n.parent with None -> true | Some p -> fill p)
+    && fill_row a res n.depth n.pid
+  in
   let evaluate node =
-    if node.depth >= Array.length !stack then
-      stack := Array.make (2 * (node.depth + 1)) [];
-    let stack = !stack in
-    (* fetch the chain leaf-to-root with short-circuit; indices by depth *)
-    let rec fetch n =
-      match Predicate_index.get_packed res n.pid with
-      | [] -> false
-      | pairs ->
-        stack.(n.depth) <- pairs;
-        (match n.parent with None -> true | Some p -> fetch p)
-    in
-    if fetch node then begin
-      note_run t (node.depth + 1);
-      stack_matches t stack node.depth
-    end
-    else false
+    alive node
+    && begin
+         Occurrence.clear a;
+         ignore (fill node : bool);
+         note_run t (node.depth + 1);
+         Occurrence.matches_to a node.depth
+       end
   in
   let rec cover = function
     | None -> ()
@@ -340,36 +325,30 @@ let eval_pc t res ~sticky ~doc_tag ~on_match =
             cover node.parent
           end)
       bucket
-  done
+  done;
+  Pf_obs.Counter.add t.m.steps (Occurrence.search_steps a - s0)
 
 (* Access predicates on top of prefix covering: a subtree whose entry
    predicate has no matching result is ruled out without visiting it (at
    the root this is the paper's clustering by first predicate; applying it
    at every node generalizes the same rule recursively). The per-depth
-   result stack is filled on the way down, so an occurrence run at a sid
-   node reuses the fetches of all its ancestors. *)
+   arena rows are filled on the way down — stack discipline — so an
+   occurrence run at a sid node reuses the fetches of all its ancestors. *)
 let eval_ap t res ~sticky ~doc_tag ~on_match =
-  let stack = ref (Array.make 64 []) in
+  let a = t.arena in
+  let s0 = Occurrence.search_steps a in
   let report node =
     if sticky then node.mark_epoch <- doc_tag;
     List.iter on_match node.sids
   in
-  let ensure_depth d =
-    if d >= Array.length !stack then begin
-      let bigger = Array.make (2 * (d + 1)) [] in
-      Array.blit !stack 0 bigger 0 (Array.length !stack);
-      stack := bigger
-    end
-  in
   let rec visit node depth =
-    match Predicate_index.get_packed res node.pid with
-    | [] ->
+    if not (Predicate_index.is_matched res node.pid) then begin
       (* dead access predicate: the whole subtree is ruled out *)
       Pf_obs.Counter.incr t.m.access_skips;
       false
-    | pairs ->
-      ensure_depth depth;
-      !stack.(depth) <- pairs;
+    end
+    else begin
+      ignore (fill_row a res depth node.pid : bool);
       let below = child_fold (fun acc c -> visit c (depth + 1) || acc) false node.children in
       if node.sids = [] then below
       else if sticky && node.mark_epoch = doc_tag then
@@ -383,14 +362,20 @@ let eval_ap t res ~sticky ~doc_tag ~on_match =
       end
       else begin
         note_run t (depth + 1);
-        if stack_matches t !stack depth then begin
+        if Occurrence.matches_to a depth then begin
           report node;
           true
         end
         else false
       end
+    end
   in
-  Hashtbl.iter (fun _ root -> ignore (visit root 0)) t.roots
+  Hashtbl.iter
+    (fun _ root ->
+      Occurrence.clear a;
+      ignore (visit root 0))
+    t.roots;
+  Pf_obs.Counter.add t.m.steps (Occurrence.search_steps a - s0)
 
 (* Shared: propagate the set of reachable chain endings down the trie. A
    node is reachable with endings S iff a chain exists through the pids on

@@ -11,6 +11,8 @@ type sub = {
   pids : int array;
   mutable children : child list;
   relevant : int array;  (* step indices whose bound node matters, sorted *)
+  relevant_syms : Symbol.t array;
+      (* interned tag of each relevant step, computed once at commit *)
   self_slot : int;  (* index into [relevant] of the branch step; -1 for roots *)
   (* per-document state *)
   mutable obs : int array list;  (* node ids per relevant slot *)
@@ -27,6 +29,7 @@ type t = {
   (* per-document node identification: node at depth d is (parent node, m_d) *)
   mutable node_tbl : (int * int, int) Hashtbl.t;
   mutable next_node : int;
+  arena : Occurrence.arena;  (* candidate-set scratch reused across paths *)
 }
 
 let max_chains_per_path = 4096
@@ -42,6 +45,7 @@ let dummy_sub =
     pids = [||];
     children = [];
     relevant = [||];
+    relevant_syms = [||];
     self_slot = -1;
     obs = [];
     seen = Hashtbl.create 1;
@@ -57,6 +61,7 @@ let create index =
     n_exprs = 0;
     node_tbl = Hashtbl.create 64;
     next_node = 0;
+    arena = Occurrence.create_arena ();
   }
 
 let is_empty t = t.roots = []
@@ -139,12 +144,22 @@ let rec plan_path (p : Ast.path) ~branch_step =
    a bottom-up order for [finish_document]. *)
 let rec commit t pl =
   let pids = Array.map (Predicate_index.intern t.index) pl.pl_enc.Encoder.preds in
+  let steps = Array.of_list pl.pl_enc.Encoder.source.Ast.steps in
+  let relevant_syms =
+    Array.map
+      (fun k ->
+        match steps.(k).Ast.test with
+        | Ast.Tag tag -> Symbol.intern tag
+        | Ast.Wildcard -> assert false (* rejected by plan_path *))
+      pl.pl_relevant
+  in
   let s =
     {
       enc = pl.pl_enc;
       pids;
       children = [];
       relevant = pl.pl_relevant;
+      relevant_syms;
       self_slot = pl.pl_self_slot;
       obs = [];
       seen = Hashtbl.create 8;
@@ -217,11 +232,17 @@ let observe_path t res (pub : Publication.t) =
           i >= n || (Predicate_index.is_matched res s.pids.(i) && all_matched (i + 1))
         in
         if all_matched 0 then begin
-          let rs = Array.map (Predicate_index.get res) s.pids in
+          let a = t.arena in
+          Occurrence.clear a;
+          let cells = Predicate_index.cells res in
+          Array.iteri
+            (fun i pid ->
+              Occurrence.start_row a i;
+              Occurrence.push_chain a cells (Predicate_index.head res pid))
+            s.pids;
           let ids = Lazy.force ids in
-          let steps = Array.of_list s.enc.Encoder.source.Ast.steps in
           let count = ref 0 in
-          let record chain =
+          let record chain (_ : int) =
             incr count;
             if !count = max_chains_per_path then
               Log.warn (fun m ->
@@ -230,21 +251,23 @@ let observe_path t res (pub : Publication.t) =
                      nested matching may under-report on this document"
                     max_chains_per_path Ast.pp s.enc.Encoder.source);
             let nodes =
-              Array.map
-                (fun k ->
+              Array.mapi
+                (fun slot k ->
                   let pred_idx, side =
                     match s.enc.Encoder.step_vars.(k) with
                     | Some v -> v
                     | None -> assert false
                   in
-                  let o1, o2 = chain.(pred_idx) in
-                  let occ = match side with Encoder.First -> o1 | Encoder.Second -> o2 in
-                  let tag =
-                    match steps.(k).Ast.test with
-                    | Ast.Tag tag -> tag
-                    | Ast.Wildcard -> assert false
+                  let p = chain.(pred_idx) in
+                  let occ =
+                    match side with
+                    | Encoder.First -> Predicate_index.packed_first p
+                    | Encoder.Second -> Predicate_index.packed_second p
                   in
-                  match Publication.pos_of_occurrence pub ~tag ~occurrence:occ with
+                  match
+                    Publication.pos_of_occurrence pub ~tag:s.relevant_syms.(slot)
+                      ~occurrence:occ
+                  with
                   | Some pos -> ids.(pos - 1)
                   | None -> assert false)
                 s.relevant
@@ -257,9 +280,9 @@ let observe_path t res (pub : Publication.t) =
           in
           if Array.length s.relevant = 0 then begin
             (* no branch bookkeeping needed: one successful chain suffices *)
-            if Occurrence.matches rs then s.obs <- [||] :: s.obs
+            if Occurrence.matches_packed a then s.obs <- [||] :: s.obs
           end
-          else ignore (Occurrence.iter_chains rs record)
+          else ignore (Occurrence.iter_chains_packed a record)
         end)
       t.subs
   end

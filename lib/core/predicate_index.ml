@@ -29,13 +29,22 @@ let make_metrics ?registry () =
         ~help:"occurrence pairs recorded during predicate matching";
   }
 
+(* Tag tables are dense vectors indexed by interned symbol. Unused slots
+   share physically-identical placeholder values (recognized by [==],
+   replaced by fresh structures on first intern, never written through) —
+   the same trick Expr_index plays with its depth buckets. *)
+let dummy_slots = make_slots ()
+let dummy_rel : (int, slots) Hashtbl.t = Hashtbl.create 1
+let dummy_eop : pid list Vec.t = Vec.create ~dummy:[] ()
+
 type t = {
   preds : Predicate.t Vec.t;  (* pid -> predicate *)
   cons1 : Predicate.attr_constraint list Vec.t;  (* pid -> first-var constraints *)
   cons2 : Predicate.attr_constraint list Vec.t;
-  absolute : (string, slots) Hashtbl.t;
-  relative : (string, (string, slots) Hashtbl.t) Hashtbl.t;
-  end_of_path : (string, pid list Vec.t) Hashtbl.t;
+  absolute : slots Vec.t;  (* indexed by tag symbol *)
+  relative : (int, slots) Hashtbl.t Vec.t;
+      (* indexed by first symbol; inner table keyed by second symbol *)
+  end_of_path : pid list Vec.t Vec.t;  (* indexed by tag symbol *)
   length_slots : pid list Vec.t;  (* value-indexed; op is always >= *)
   m : metrics;
 }
@@ -49,9 +58,9 @@ let create ?metrics () =
     preds = Vec.create ~dummy:(Predicate.Length { v = 0 }) ();
     cons1 = Vec.create ~dummy:[] ();
     cons2 = Vec.create ~dummy:[] ();
-    absolute = Hashtbl.create 64;
-    relative = Hashtbl.create 64;
-    end_of_path = Hashtbl.create 64;
+    absolute = Vec.create ~dummy:dummy_slots ();
+    relative = Vec.create ~dummy:dummy_rel ();
+    end_of_path = Vec.create ~dummy:dummy_eop ();
     length_slots = Vec.create ~dummy:[] ();
     m = (match metrics with Some m -> m | None -> make_metrics ());
   }
@@ -60,45 +69,56 @@ let predicate t pid = Vec.get t.preds pid
 
 let size t = Vec.length t.preds
 
-(* The value-indexed slot vector and value for a predicate. *)
+(* The value-indexed slot vector and value for a predicate. Tag names are
+   interned here, at expression-compile time; the match loop below only
+   ever sees symbols. *)
 let locate t (p : Predicate.t) : pid list Vec.t * int =
   match p with
   | Predicate.Absolute { tag; op; v } ->
+    let sym = Symbol.intern tag.name in
+    Vec.ensure t.absolute (sym + 1);
     let slots =
-      match Hashtbl.find_opt t.absolute tag.name with
-      | Some s -> s
-      | None ->
+      let s = Vec.get t.absolute sym in
+      if s != dummy_slots then s
+      else begin
         let s = make_slots () in
-        Hashtbl.add t.absolute tag.name s;
+        Vec.set t.absolute sym s;
         s
+      end
     in
     slot_vec slots op, v
   | Predicate.Relative { first; second; op; v } ->
+    let sym1 = Symbol.intern first.name and sym2 = Symbol.intern second.name in
+    Vec.ensure t.relative (sym1 + 1);
     let tbl2 =
-      match Hashtbl.find_opt t.relative first.name with
-      | Some tbl -> tbl
-      | None ->
+      let tbl = Vec.get t.relative sym1 in
+      if tbl != dummy_rel then tbl
+      else begin
         let tbl = Hashtbl.create 8 in
-        Hashtbl.add t.relative first.name tbl;
+        Vec.set t.relative sym1 tbl;
         tbl
+      end
     in
     let slots =
-      match Hashtbl.find_opt tbl2 second.name with
+      match Hashtbl.find_opt tbl2 sym2 with
       | Some s -> s
       | None ->
         let s = make_slots () in
-        Hashtbl.add tbl2 second.name s;
+        Hashtbl.add tbl2 sym2 s;
         s
     in
     slot_vec slots op, v
   | Predicate.End_of_path { tag; v } ->
+    let sym = Symbol.intern tag.name in
+    Vec.ensure t.end_of_path (sym + 1);
     let vec =
-      match Hashtbl.find_opt t.end_of_path tag.name with
-      | Some vec -> vec
-      | None ->
+      let vec = Vec.get t.end_of_path sym in
+      if vec != dummy_eop then vec
+      else begin
         let vec = Vec.create ~dummy:[] () in
-        Hashtbl.add t.end_of_path tag.name vec;
+        Vec.set t.end_of_path sym vec;
         vec
+      end
     in
     vec, v
   | Predicate.Length { v } -> t.length_slots, v
@@ -127,50 +147,81 @@ let intern t p =
 (* Predicate matching                                                   *)
 
 (* Occurrence pairs are packed into single immediate ints ((o1 << 16) | o2)
-   so result lists are plain int lists: one cons cell per match, no tuple
-   boxes, and the chain search compares unboxed ints. Occurrence numbers
-   are bounded by the document path length, far below 2^16. *)
+   so the chain search compares unboxed ints. Occurrence numbers are
+   bounded by the document path length, far below 2^16. *)
 let pack o1 o2 = (o1 lsl 16) lor o2
 
 let packed_first p = p lsr 16
 let packed_second p = p land 0xffff
 
+(* Result pairs live in a flat cell arena reused across documents: cell [c]
+   occupies slots [2c] (packed pair) and [2c+1] (index of the next cell of
+   the same pid, -1 at the end). One [run] resets the arena with a cursor
+   bump, so the steady state allocates nothing — no cons cell per pair, no
+   list boxing, and traversal walks contiguous memory. *)
 type results = {
   mutable epoch : int;
   mutable stamp : int array;  (* pid -> epoch of last match *)
-  mutable pairs : int list array;  (* pid -> packed occurrence pairs, reversed *)
+  mutable heads : int array;  (* pid -> newest cell index (valid iff stamped) *)
+  mutable cells : int array;
+  mutable n_cells : int;  (* cells used this epoch *)
   mutable matched : int;  (* matched predicates this epoch *)
 }
 
-let create_results () = { epoch = 0; stamp = [||]; pairs = [||]; matched = 0 }
+let create_results () =
+  { epoch = 0; stamp = [||]; heads = [||]; cells = [||]; n_cells = 0; matched = 0 }
 
 let ensure_capacity res n =
   if Array.length res.stamp < n then begin
     let cap = max n (2 * Array.length res.stamp) in
-    let stamp = Array.make cap 0 and pairs = Array.make cap [] in
+    let stamp = Array.make cap 0 and heads = Array.make cap (-1) in
     Array.blit res.stamp 0 stamp 0 (Array.length res.stamp);
-    Array.blit res.pairs 0 pairs 0 (Array.length res.pairs);
+    Array.blit res.heads 0 heads 0 (Array.length res.heads);
     res.stamp <- stamp;
-    res.pairs <- pairs
+    res.heads <- heads
   end
 
 let record res pid packed =
-  if res.stamp.(pid) = res.epoch then res.pairs.(pid) <- packed :: res.pairs.(pid)
+  let c = res.n_cells in
+  if 2 * c + 1 >= Array.length res.cells then begin
+    let bigger = Array.make (max 64 (2 * Array.length res.cells)) (-1) in
+    Array.blit res.cells 0 bigger 0 (Array.length res.cells);
+    res.cells <- bigger
+  end;
+  res.cells.(2 * c) <- packed;
+  if res.stamp.(pid) = res.epoch then res.cells.((2 * c) + 1) <- res.heads.(pid)
   else begin
     res.stamp.(pid) <- res.epoch;
-    res.pairs.(pid) <- [ packed ];
+    res.cells.((2 * c) + 1) <- -1;
     res.matched <- res.matched + 1
-  end
-
-let get_packed res pid =
-  if pid < Array.length res.stamp && res.stamp.(pid) = res.epoch then res.pairs.(pid)
-  else []
-
-let get res pid =
-  List.map (fun p -> packed_first p, packed_second p) (get_packed res pid)
+  end;
+  res.heads.(pid) <- c;
+  res.n_cells <- c + 1
 
 let is_matched res pid =
   pid < Array.length res.stamp && res.stamp.(pid) = res.epoch
+
+let head res pid = if is_matched res pid then res.heads.(pid) else -1
+
+let cells res = res.cells
+
+let iter_pairs res pid f =
+  if is_matched res pid then begin
+    let cells = res.cells in
+    let c = ref res.heads.(pid) in
+    while !c >= 0 do
+      f cells.(2 * !c);
+      c := cells.((2 * !c) + 1)
+    done
+  end
+
+let get_packed res pid =
+  let acc = ref [] in
+  iter_pairs res pid (fun p -> acc := p :: !acc);
+  List.rev !acc
+
+let get res pid =
+  List.map (fun p -> packed_first p, packed_second p) (get_packed res pid)
 
 let matched_count res = res.matched
 
@@ -188,6 +239,7 @@ let cons_ok t pid ~first ~second =
 let run t res (pub : Publication.t) =
   ensure_capacity res (Vec.length t.preds);
   res.epoch <- res.epoch + 1;
+  res.n_cells <- 0;
   res.matched <- 0;
   (* candidate inspections / recorded pairs; accumulated locally and
      flushed to the counters once per run to keep the loops tight *)
@@ -205,86 +257,95 @@ let run t res (pub : Publication.t) =
   done;
   let tuples = pub.Publication.tuples in
   let n = Array.length tuples in
+  let n_abs = Vec.length t.absolute in
+  let n_rel = Vec.length t.relative in
+  let n_eop = Vec.length t.end_of_path in
   for i = 0 to n - 1 do
     let tu = tuples.(i) in
+    let sym = tu.Publication.tag in
     let o = tu.Publication.occurrence in
     (* absolute predicates *)
-    (match Hashtbl.find_opt t.absolute tu.Publication.tag with
-    | None -> ()
-    | Some slots ->
-      let pos = tu.Publication.pos in
-      if pos < Vec.length slots.eq then
-        List.iter
-          (fun pid ->
-            incr probes;
-            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
-            then begin
-              incr hits;
-              record res pid (pack o o)
-            end)
-          (Vec.get slots.eq pos);
-      let stop = min pos (Vec.length slots.ge - 1) in
-      for v = 1 to stop do
-        List.iter
-          (fun pid ->
-            incr probes;
-            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
-            then begin
-              incr hits;
-              record res pid (pack o o)
-            end)
-          (Vec.get slots.ge v)
-      done);
+    (if sym < n_abs then begin
+       let slots = Vec.get t.absolute sym in
+       if slots != dummy_slots then begin
+         let pos = tu.Publication.pos in
+         if pos < Vec.length slots.eq then
+           List.iter
+             (fun pid ->
+               incr probes;
+               if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
+               then begin
+                 incr hits;
+                 record res pid (pack o o)
+               end)
+             (Vec.get slots.eq pos);
+         let stop = min pos (Vec.length slots.ge - 1) in
+         for v = 1 to stop do
+           List.iter
+             (fun pid ->
+               incr probes;
+               if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
+               then begin
+                 incr hits;
+                 record res pid (pack o o)
+               end)
+             (Vec.get slots.ge v)
+         done
+       end
+     end);
     (* end-of-path predicates: (p_t-|,>=,v) matches iff l - pos >= v *)
-    (match Hashtbl.find_opt t.end_of_path tu.Publication.tag with
-    | None -> ()
-    | Some vec ->
-      let stop = min (l - tu.Publication.pos) (Vec.length vec - 1) in
-      for v = 1 to stop do
-        List.iter
-          (fun pid ->
-            incr probes;
-            if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
-            then begin
-              incr hits;
-              record res pid (pack o o)
-            end)
-          (Vec.get vec v)
-      done);
+    (if sym < n_eop then begin
+       let vec = Vec.get t.end_of_path sym in
+       if vec != dummy_eop then begin
+         let stop = min (l - tu.Publication.pos) (Vec.length vec - 1) in
+         for v = 1 to stop do
+           List.iter
+             (fun pid ->
+               incr probes;
+               if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
+               then begin
+                 incr hits;
+                 record res pid (pack o o)
+               end)
+             (Vec.get vec v)
+         done
+       end
+     end);
     (* relative predicates: pair this tuple with every later tuple *)
-    match Hashtbl.find_opt t.relative tu.Publication.tag with
-    | None -> ()
-    | Some tbl2 ->
-      for j = i + 1 to n - 1 do
-        let tu2 = tuples.(j) in
-        match Hashtbl.find_opt tbl2 tu2.Publication.tag with
-        | None -> ()
-        | Some slots ->
-          let d = tu2.Publication.pos - tu.Publication.pos in
-          let o2 = tu2.Publication.occurrence in
-          if d < Vec.length slots.eq then
-            List.iter
-              (fun pid ->
-                incr probes;
-                if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
-                then begin
-                  incr hits;
-                  record res pid (pack o o2)
-                end)
-              (Vec.get slots.eq d);
-          let stop = min d (Vec.length slots.ge - 1) in
-          for v = 1 to stop do
-            List.iter
-              (fun pid ->
-                incr probes;
-                if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
-                then begin
-                  incr hits;
-                  record res pid (pack o o2)
-                end)
-              (Vec.get slots.ge v)
-          done
-      done
+    if sym < n_rel then begin
+      let tbl2 = Vec.get t.relative sym in
+      if tbl2 != dummy_rel then
+        for j = i + 1 to n - 1 do
+          let tu2 = tuples.(j) in
+          match Hashtbl.find_opt tbl2 tu2.Publication.tag with
+          | None -> ()
+          | Some slots ->
+            let d = tu2.Publication.pos - tu.Publication.pos in
+            let o2 = tu2.Publication.occurrence in
+            if d < Vec.length slots.eq then
+              List.iter
+                (fun pid ->
+                  incr probes;
+                  if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
+                  then begin
+                    incr hits;
+                    record res pid (pack o o2)
+                  end)
+                (Vec.get slots.eq d);
+            let stop = min d (Vec.length slots.ge - 1) in
+            for v = 1 to stop do
+              List.iter
+                (fun pid ->
+                  incr probes;
+                  if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
+                  then begin
+                    incr hits;
+                    record res pid (pack o o2)
+                  end)
+                (Vec.get slots.ge v)
+            done
+        done
+    end
   done;
   Pf_obs.Counter.add t.m.probes !probes;
   Pf_obs.Counter.add t.m.hits !hits

@@ -3,15 +3,17 @@
 
     Distinct predicates are stored once and identified by dense integer
     {e pids}. The index is staged: predicates are first dispatched on their
-    type, then hashed on tag name(s), then stored in per-operator arrays
+    type, then indexed by interned tag {!Symbol.t} (dense vectors, no
+    string hashing on the match path), then stored in per-operator arrays
     indexed by the predicate value — insertion and exact lookup are
     constant-time, and matching a publication touches exactly the array
     slots its tuples can satisfy.
 
     Matching results (the occurrence pairs of Section 4.2) are stored in a
-    reusable {!results} buffer; an epoch counter makes resets free so the
-    per-document cost is proportional to the number of {e matched}
-    predicates, not the number of stored ones. *)
+    reusable {!results} cell arena; an epoch counter makes resets free and
+    pairs are appended with a cursor bump, so the steady state of {!run}
+    allocates nothing and the per-document cost is proportional to the
+    number of {e matched} predicates, not the number of stored ones. *)
 
 type pid = int
 
@@ -32,7 +34,9 @@ val create : ?metrics:metrics -> unit -> t
 
 val intern : t -> Predicate.t -> pid
 (** [intern idx p] returns the pid of [p], allocating one if [p] was not
-    yet stored. Structural identity includes attribute constraints. *)
+    yet stored. Structural identity includes attribute constraints. Tag
+    names are interned into the global {!Symbol} table here, at
+    expression-compile time. *)
 
 val find : t -> Predicate.t -> pid option
 (** Lookup without inserting. *)
@@ -58,12 +62,29 @@ val run : t -> results -> Publication.t -> unit
 val get : results -> pid -> (int * int) list
 (** Matching occurrence pairs for [pid] in the last {!run}; [[]] if the
     predicate was not matched. One-variable predicates duplicate the
-    occurrence ([(o, o)]); length predicates report [(0, 0)]. *)
+    occurrence ([(o, o)]); length predicates report [(0, 0)]. Pairs are
+    listed newest-first (reverse recording order). Allocates — meant for
+    tests and explanation output, not the match loop. *)
 
 val get_packed : results -> pid -> int list
-(** Allocation-free variant of {!get}: each pair is packed as
-    [(o1 lsl 16) lor o2] (see {!packed_first}/{!packed_second}). The hot
-    path of the expression organizations uses this form. *)
+(** Like {!get} but with each pair packed as [(o1 lsl 16) lor o2] (see
+    {!packed_first}/{!packed_second}). Allocates the list. *)
+
+val iter_pairs : results -> pid -> (int -> unit) -> unit
+(** [iter_pairs res pid f] calls [f] on each packed pair recorded for
+    [pid], newest first, without allocating. The hot path of the
+    expression organizations uses this (or the raw {!head}/{!cells}
+    traversal) to fill its occurrence arenas. *)
+
+val head : results -> pid -> int
+(** Index of the newest cell recorded for [pid], or [-1] if the predicate
+    was not matched. Cell [c] holds its packed pair at [(cells res).(2*c)]
+    and the index of the next (older) cell at [(cells res).(2*c+1)]
+    ([-1] terminates). *)
+
+val cells : results -> int array
+(** The backing cell arena for {!head} traversals. Only indices reached
+    from a {!head} of the current epoch are meaningful. *)
 
 val packed_first : int -> int
 val packed_second : int -> int

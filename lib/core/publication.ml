@@ -1,5 +1,5 @@
 type tuple = {
-  tag : string;
+  tag : Symbol.t;
   pos : int;
   occurrence : int;
   attrs : (string * string) list;
@@ -9,6 +9,8 @@ type t = {
   length : int;
   tuples : tuple array;
   structure : int array;
+  mutable pos_index : (int, int) Hashtbl.t option;
+      (* packed (tag, occurrence) -> pos, built on first lookup *)
 }
 
 let of_path (p : Pf_xml.Path.t) =
@@ -16,27 +18,37 @@ let of_path (p : Pf_xml.Path.t) =
   let tuples =
     Array.mapi
       (fun i (s : Pf_xml.Path.step) ->
-        { tag = s.tag; pos = i + 1; occurrence = s.occurrence; attrs = s.attrs })
+        { tag = s.sym; pos = i + 1; occurrence = s.occurrence; attrs = s.attrs })
       p.Pf_xml.Path.steps
   in
-  { length = n; tuples; structure = Pf_xml.Path.structure p }
+  { length = n; tuples; structure = Pf_xml.Path.structure p; pos_index = None }
 
 let of_tags tags = of_path (Pf_xml.Path.of_tags tags)
 
+(* Occurrence numbers are bounded by the path length, far below 2^16 (the
+   same bound the predicate index's pair packing relies on). *)
+let pos_key tag occurrence = (tag lsl 16) lor occurrence
+
 let pos_of_occurrence t ~tag ~occurrence =
-  let n = Array.length t.tuples in
-  let rec go i =
-    if i >= n then None
-    else
-      let tu = t.tuples.(i) in
-      if String.equal tu.tag tag && tu.occurrence = occurrence then Some tu.pos
-      else go (i + 1)
+  let index =
+    match t.pos_index with
+    | Some index -> index
+    | None ->
+      let index = Hashtbl.create (2 * t.length) in
+      Array.iter
+        (fun tu -> Hashtbl.replace index (pos_key tu.tag tu.occurrence) tu.pos)
+        t.tuples;
+      t.pos_index <- Some index;
+      index
   in
-  go 0
+  Hashtbl.find_opt index (pos_key tag occurrence)
 
 let attrs_at t ~pos = t.tuples.(pos - 1).attrs
 
 let pp fmt t =
   Format.fprintf fmt "@[<h>(length,%d)" t.length;
-  Array.iter (fun tu -> Format.fprintf fmt ", (%s^%d,%d)" tu.tag tu.occurrence tu.pos) t.tuples;
+  Array.iter
+    (fun tu ->
+      Format.fprintf fmt ", (%s^%d,%d)" (Symbol.name tu.tag) tu.occurrence tu.pos)
+    t.tuples;
   Format.fprintf fmt "@]"

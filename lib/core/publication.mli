@@ -3,13 +3,15 @@
     A document path [e = (t1, ..., tn)] becomes the tuple set
     [(length, n), (t1, 1), ..., (tn, n)], with each tag annotated with its
     per-path {e occurrence number} (the paper's superscripts: how many times
-    the tag name has already appeared in this path). Attributes are kept on
-    each tuple for attribute-predicate evaluation, and the structure tuple
+    the tag name has already appeared in this path). Tags are carried as
+    interned {!Symbol.t}s, so the predicate matching loop indexes arrays
+    instead of hashing strings. Attributes are kept on each tuple for
+    attribute-predicate evaluation, and the structure tuple
     [<m1, ..., mn>] of Section 5 is carried along for nested path
     matching. *)
 
 type tuple = {
-  tag : string;
+  tag : Symbol.t;  (** interned tag name *)
   pos : int;  (** 1-based position in the path *)
   occurrence : int;  (** 1-based occurrence number of [tag] in the path *)
   attrs : (string * string) list;
@@ -19,6 +21,9 @@ type t = {
   length : int;
   tuples : tuple array;  (** in position order; [tuples.(i).pos = i + 1] *)
   structure : int array;  (** the structure tuple [<m1, ..., mn>] *)
+  mutable pos_index : (int, int) Hashtbl.t option;
+      (** packed [(tag, occurrence)] -> [pos], built lazily by
+          {!pos_of_occurrence}; [None] until the first lookup *)
 }
 
 val of_path : Pf_xml.Path.t -> t
@@ -27,9 +32,11 @@ val of_tags : string list -> t
 (** Convenience for tests, mirroring the paper's examples
     (e.g. [of_tags ["a";"b";"c";"a";"b";"c"]]). *)
 
-val pos_of_occurrence : t -> tag:string -> occurrence:int -> int option
+val pos_of_occurrence : t -> tag:Symbol.t -> occurrence:int -> int option
 (** Position of the [occurrence]-th occurrence of [tag], if any — the
-    inverse annotation used to map occurrence chains back to depths. *)
+    inverse annotation used to map occurrence chains back to depths.
+    The first call builds a hashed [(tag, occurrence)] -> [pos] index on
+    the publication; subsequent lookups are O(1). *)
 
 val attrs_at : t -> pos:int -> (string * string) list
 

@@ -1,0 +1,4 @@
+(* Re-export: the interner lives in Pf_xml so tags are hashconsed at SAX
+   parse time (pf_xml cannot depend on pf_core); engine code refers to it
+   as Pf_core.Symbol. *)
+include Pf_xml.Symbol

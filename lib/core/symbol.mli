@@ -1,0 +1,14 @@
+(** The global tag interner, re-exported from {!Pf_xml.Symbol}.
+
+    The interner lives in [pf_xml] because hashconsing happens at SAX
+    parse time, below the core library in the dependency order; engine
+    code refers to it as [Pf_core.Symbol]. See {!Pf_xml.Symbol} for the
+    domain-safety contract. *)
+
+type t = Pf_xml.Symbol.t
+
+val intern : string -> t
+val find : string -> t option
+val name : t -> string
+val count : unit -> int
+val pp : Format.formatter -> t -> unit

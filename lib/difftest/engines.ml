@@ -4,6 +4,7 @@ type engine = {
   ename : string;
   filter : Pf_intf.filter;
   supports : Ast.path -> bool;
+  finalize : unit -> unit;
 }
 
 (* The predicate engine rejects filters attached to wildcard steps
@@ -22,25 +23,37 @@ let rec engine_subset (p : Ast.path) =
 (* One runner serves the whole roster: build a fresh instance, register the
    supported expressions (sids are dense, in registration order), then turn
    each document's sorted sid list into per-expression booleans. *)
-let run { filter = (module F); _ } exprs supported docs =
-  let inst = F.create () in
-  let sids = Array.make (Array.length exprs) (-1) in
-  Array.iteri (fun i e -> if supported.(i) then sids.(i) <- F.add inst e) exprs;
-  let per_doc =
-    Array.map
-      (fun d ->
-        let matched = Hashtbl.create 16 in
-        List.iter (fun sid -> Hashtbl.replace matched sid ()) (F.match_document inst d);
-        matched)
-      docs
-  in
-  Array.mapi
-    (fun i _ ->
-      Array.map (fun matched -> sids.(i) >= 0 && Hashtbl.mem matched sids.(i)) per_doc)
-    exprs
+let run { filter = (module F); finalize; _ } exprs supported docs =
+  (* finalize even on a crash: service-backed entries must not leak worker
+     domains when the case is a reportable crash divergence *)
+  Fun.protect ~finally:finalize (fun () ->
+      let inst = F.create () in
+      let sids = Array.make (Array.length exprs) (-1) in
+      Array.iteri (fun i e -> if supported.(i) then sids.(i) <- F.add inst e) exprs;
+      let per_doc =
+        Array.map
+          (fun d ->
+            let matched = Hashtbl.create 16 in
+            List.iter
+              (fun sid -> Hashtbl.replace matched sid ())
+              (F.match_document inst d);
+            matched)
+          docs
+      in
+      Array.mapi
+        (fun i _ ->
+          Array.map
+            (fun matched -> sids.(i) >= 0 && Hashtbl.mem matched sids.(i))
+            per_doc)
+        exprs)
 
 let oracle =
-  { ename = "eval"; filter = (module Pf_intf.Reference); supports = (fun _ -> true) }
+  {
+    ename = "eval";
+    filter = (module Pf_intf.Reference);
+    supports = (fun _ -> true);
+    finalize = ignore;
+  }
 
 let predicate_engine ~ename ?variant ?attr_mode ?dedup_paths ?stream () =
   {
@@ -49,6 +62,7 @@ let predicate_engine ~ename ?variant ?attr_mode ?dedup_paths ?stream () =
       (Pf_core.Engine.filter ?variant ?attr_mode ?dedup_paths ?stream ()
         :> Pf_intf.filter);
     supports = engine_subset;
+    finalize = ignore;
   }
 
 let yfilter_engine =
@@ -56,6 +70,7 @@ let yfilter_engine =
     ename = "yfilter";
     filter = (module Pf_yfilter.Yfilter);
     supports = Ast.is_single_path;
+    finalize = ignore;
   }
 
 let index_filter_engine =
@@ -63,6 +78,49 @@ let index_filter_engine =
     ename = "index-filter";
     filter = (module Pf_indexfilter.Index_filter);
     supports = Ast.is_single_path;
+    finalize = ignore;
+  }
+
+(* The service wrapped as a FILTER: subscribe/unsubscribe/filter_batch over
+   a live set of worker domains. Instances created during one [run] are
+   tracked so [finalize] can join their domains — the runner calls it even
+   when the case crashes. Matching through the service exercises replica
+   log replay, batching and (in [Expr] mode) shard merging against the
+   same oracle as the sequential engines. *)
+let service_engine ~ename ~mode ~domains () =
+  let live : Pf_service.t list ref = ref [] in
+  let module S = struct
+    type t = Pf_service.t
+
+    let create () =
+      let svc =
+        Pf_service.create ~mode ~domains ~batch:2
+          (Pf_core.Engine.filter () :> Pf_intf.filter)
+      in
+      live := svc :: !live;
+      svc
+
+    let add t p = Pf_service.subscribe t p
+    let add_string t s = Pf_service.subscribe_string t s
+    let remove t sid = Pf_service.unsubscribe t sid
+
+    let match_document t doc =
+      match Pf_service.filter_batch t [ doc ] with
+      | [ r ] -> r
+      | _ -> assert false
+
+    let match_string t s = match_document t (Pf_xml.Sax.parse_document s)
+    let metrics t = Pf_service.metrics t
+  end in
+  {
+    ename;
+    filter = (module S);
+    supports = engine_subset;
+    finalize =
+      (fun () ->
+        let svcs = !live in
+        live := [];
+        List.iter Pf_service.shutdown svcs);
   }
 
 let default_roster () =
@@ -83,4 +141,9 @@ let extended_roster () =
       predicate_engine ~ename:"engine-shared-dedup" ~variant:Pf_core.Expr_index.Shared
         ~dedup_paths:true ();
       predicate_engine ~ename:"engine-stream" ~stream:true ();
+      (* the service layer against the same oracle: document-replicated and
+         expression-sharded, at a domain count that makes sharding
+         non-trivial (3 shards interleave sids 0,3,6.. / 1,4,.. / 2,5,..) *)
+      service_engine ~ename:"service-doc" ~mode:Pf_service.Doc ~domains:2 ();
+      service_engine ~ename:"service-expr" ~mode:Pf_service.Expr ~domains:3 ();
     ]

@@ -18,6 +18,10 @@ type engine = {
       (** the expression subset compared for this engine; out-of-subset
           rows are excluded (the engine would raise
           {!Pf_intf.Unsupported} on them) *)
+  finalize : unit -> unit;
+      (** called by {!run} after every case, crash or not — [ignore] for
+          plain engines; service-backed entries join their worker domains
+          here *)
 }
 
 val run :
@@ -44,6 +48,13 @@ val predicate_engine :
 val yfilter_engine : engine
 val index_filter_engine : engine
 
+val service_engine :
+  ename:string -> mode:Pf_service.mode -> domains:int -> unit -> engine
+(** The predicate engine behind {!Pf_service}, one [filter_batch] per
+    document: exercises replica log replay, worker batching and — in
+    [Expr] mode — shard merging, against the same oracle. Worker domains
+    are joined by [finalize] after each case. *)
+
 val default_roster : unit -> engine list
 (** The five engines of the differential harness, oracle first:
     ["eval"], ["engine"] (predicate engine, basic-pc-ap, inline attributes;
@@ -55,8 +66,10 @@ val default_roster : unit -> engine list
 val extended_roster : unit -> engine list
 (** {!default_roster} plus ["engine-pc"] (prefix covering),
     ["engine-shared-dedup"] (the shared-trie ablation with path
-    deduplication) and ["engine-stream"] (the SAX streaming pipeline,
-    matching the serialized document without materializing a tree). *)
+    deduplication), ["engine-stream"] (the SAX streaming pipeline,
+    matching the serialized document without materializing a tree),
+    ["service-doc"] (the document-replicated service at 2 domains) and
+    ["service-expr"] (the expression-sharded service at 3 domains). *)
 
 val engine_subset : Pf_xpath.Ast.path -> bool
 (** The predicate engine's supported subset: no attribute or nested filters

@@ -3,6 +3,7 @@ open Pf_xpath
 type qnode = {
   axis : Ast.axis;
   test : Ast.node_test;
+  test_sym : int;  (* interned tag of [test]; -1 for wildcards *)
   filters : Ast.attr_filter list;  (* sorted, part of the sharing key *)
   mutable sids : int list;
   mutable children : qnode list;
@@ -91,6 +92,8 @@ let add t (p : Ast.path) =
     {
       axis;
       test;
+      test_sym =
+        (match test with Ast.Tag tag -> Pf_xml.Symbol.intern tag | Ast.Wildcard -> -1);
       filters;
       sids = [];
       children = [];
@@ -159,13 +162,21 @@ type elem = {
 }
 
 type streams = {
-  by_tag : (string, elem array) Hashtbl.t;
+  by_sym : elem array array;  (* indexed by tag symbol *)
   all : elem array;  (* wildcards match any element *)
 }
 
 let build_streams (doc : Pf_xml.Tree.t) =
   let counter = ref 0 in
-  let by_tag : (string, elem list ref) Hashtbl.t = Hashtbl.create 32 in
+  let by_sym = ref (Array.make 64 []) in
+  let add_sym sym el =
+    if sym >= Array.length !by_sym then begin
+      let bigger = Array.make (max (sym + 1) (2 * Array.length !by_sym)) [] in
+      Array.blit !by_sym 0 bigger 0 (Array.length !by_sym);
+      by_sym := bigger
+    end;
+    !by_sym.(sym) <- el :: !by_sym.(sym)
+  in
   let all = ref [] in
   let rec walk (e : Pf_xml.Tree.element) level =
     let start = !counter in
@@ -179,25 +190,19 @@ let build_streams (doc : Pf_xml.Tree.t) =
       | txt -> e.Pf_xml.Tree.attrs @ [ "#text", txt ]
     in
     let el = { start; stop; level; attrs } in
-    (match Hashtbl.find_opt by_tag e.Pf_xml.Tree.tag with
-    | Some l -> l := el :: !l
-    | None -> Hashtbl.add by_tag e.Pf_xml.Tree.tag (ref [ el ]));
+    add_sym (Pf_xml.Symbol.intern e.Pf_xml.Tree.tag) el;
     all := el :: !all
   in
   walk doc.Pf_xml.Tree.root 1;
   let sort_stream l = Array.of_list (List.sort (fun a b -> compare a.start b.start) l) in
-  let by_tag' = Hashtbl.create (Hashtbl.length by_tag) in
-  Hashtbl.iter (fun tag l -> Hashtbl.add by_tag' tag (sort_stream !l)) by_tag;
-  { by_tag = by_tag'; all = sort_stream !all }
+  { by_sym = Array.map sort_stream !by_sym; all = sort_stream !all }
 
 let empty_stream = [||]
 
-let stream_of streams = function
-  | Ast.Wildcard -> streams.all
-  | Ast.Tag tag -> (
-    match Hashtbl.find_opt streams.by_tag tag with
-    | Some s -> s
-    | None -> empty_stream)
+let stream_of streams ~test_sym =
+  if test_sym < 0 then streams.all
+  else if test_sym < Array.length streams.by_sym then streams.by_sym.(test_sym)
+  else empty_stream
 
 (* First index whose start exceeds [x] (streams are sorted by start). *)
 let lower_bound (s : elem array) x =
@@ -229,7 +234,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
         q.visited_epoch <- epoch;
         Hashtbl.reset q.visited
       end;
-      let stream = stream_of streams q.test in
+      let stream = stream_of streams ~test_sym:q.test_sym in
       let i = ref (lower_bound stream parent.start) in
       let n = Array.length stream in
       while !i < n && stream.(!i).start < parent.stop && q.done_epoch <> epoch do

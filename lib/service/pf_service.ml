@@ -1,23 +1,55 @@
-(* Domain-parallel sharded filtering: N worker domains, each with a private
-   engine replica, pulling document batches from one bounded queue.
+(* Domain-parallel filtering: N worker domains, each with a private engine
+   replica, in one of two parallelism modes.
+
+   [Doc] (document-replicated): every replica holds every subscription and
+   each document goes to exactly one worker — throughput parallelism by
+   sharding the stream.
+
+   [Expr] (expression-sharded): subscriptions are partitioned across
+   replicas by global sid ([owner g = g mod N]) and every document is
+   broadcast to all workers; each matches the document against its shard
+   and the last worker to finish merges the per-shard sorted sid lists —
+   latency parallelism by sharding the subscription table, with an N-times
+   smaller per-replica working set.
 
    Concurrency design, in one paragraph: engines are replicated, never
    shared, so they stay lock-free internally; the only shared mutable state
    is the service record below, and every field of it is read and written
-   under [lock]. Subscription changes go into an append-only update log and
-   are applied to the primary replica immediately (validation + sid
-   assignment) and to each worker's replica lazily, between documents, up
-   to exactly the log prefix a document saw when it was submitted — so a
-   worker never matches against a replica that is ahead of or behind the
-   document's epoch, and match sets are deterministic regardless of the
-   number of domains. *)
+   under [lock] (per-job merge state uses an [Atomic] countdown). Subscription
+   changes go into an append-only update log and are applied to the primary
+   replica immediately (validation + sid assignment) and to each worker's
+   replica lazily, between documents, up to exactly the log prefix a
+   document saw when it was submitted — so a worker never matches against a
+   replica that is ahead of or behind the document's epoch, and match sets
+   are deterministic regardless of the number of domains or the mode. *)
 
 type update = Add of Pf_xpath.Ast.path | Remove of int
+
+type mode = Doc | Expr
+
+let mode_name = function Doc -> "doc" | Expr -> "expr"
+
+let mode_of_string = function
+  | "doc" | "replicated" -> Some Doc
+  | "expr" | "sharded" -> Some Expr
+  | _ -> None
 
 type job = {
   doc : Pf_xml.Tree.t;
   epoch : int;  (* update-log length at submission *)
   deliver : int list -> unit;
+}
+
+(* One broadcast document in [Expr] mode: every worker fills its slot of
+   [parts] with the global sids its shard matched (sorted); the worker
+   that takes [remaining] to zero merges and delivers. The merge input is
+   the full parts array, so the result is independent of finish order. *)
+type ejob = {
+  e_doc : Pf_xml.Tree.t;
+  e_epoch : int;
+  parts : int list array;
+  remaining : int Atomic.t;
+  e_deliver : int list -> unit;
 }
 
 (* An engine instance packed with its operations; the existential keeps the
@@ -32,6 +64,7 @@ type metrics = {
   subscribes : Pf_obs.Counter.t;
   unsubscribes : Pf_obs.Counter.t;
   submit_waits : Pf_obs.Counter.t;
+  merges : Pf_obs.Counter.t;
   domains_gauge : Pf_obs.Gauge.t;
   queue_high_water : Pf_obs.Gauge.t;
 }
@@ -52,6 +85,9 @@ let make_metrics () =
     submit_waits =
       Pf_obs.Counter.make ~registry "submit_waits"
         ~help:"submissions that blocked on a full queue (backpressure)";
+    merges =
+      Pf_obs.Counter.make ~registry "merges"
+        ~help:"expression-sharded result merges performed";
     domains_gauge = Pf_obs.Gauge.make ~registry "domains" ~help:"worker domains";
     queue_high_water =
       Pf_obs.Gauge.make ~registry "queue_high_water" ~help:"maximum queue depth seen";
@@ -63,14 +99,16 @@ type t = {
   not_full : Condition.t;  (* submitters wait here for queue space *)
   idle : Condition.t;  (* drainers wait here for quiescence; late shutdown
                           callers wait here for the joining one *)
-  queue : job Queue.t;
+  mode : mode;
+  queue : job Queue.t;  (* [Doc] mode: one shared queue *)
+  equeues : ejob Queue.t array;  (* [Expr] mode: one queue per worker *)
   capacity : int;
   batch : int;
   n_domains : int;
   mutable updates : update array;  (* append-only log, grown under lock *)
   mutable n_updates : int;
   mutable n_subs : int;
-  mutable in_flight : int;  (* dequeued, not yet delivered *)
+  mutable in_flight : int;  (* dequeued worker-jobs, not yet accounted done *)
   mutable stopping : bool;
   mutable stopped : bool;
   mutable failure : exn option;  (* first worker-side exception, re-raised at shutdown *)
@@ -90,7 +128,7 @@ let log_update t u =
   t.n_updates <- t.n_updates + 1
 
 (* ------------------------------------------------------------------ *)
-(* Worker loop *)
+(* Document-replicated worker loop *)
 
 let worker t r =
   match r with
@@ -157,9 +195,131 @@ let worker t r =
     done
 
 (* ------------------------------------------------------------------ *)
+(* Expression-sharded worker loop *)
+
+(* Merge two disjoint sorted sid lists. *)
+let rec merge2 a b =
+  match a, b with
+  | [], r | r, [] -> r
+  | x :: xs, y :: ys -> if x < y then x :: merge2 xs b else y :: merge2 a ys
+
+(* Worker [w] owns global sid [g] iff [g mod N = w]. The log's j-th Add
+   entry carries global sid j (the primary assigns sids densely and only
+   accepted adds are logged), so ownership — and the worker's own dense
+   local sid for each owned add — is derivable from the log alone; no
+   extra coordination is needed and every worker agrees on the partition
+   at every epoch. Local sids are assigned in owned-add order, so the
+   local -> global map is strictly increasing and a sorted local match
+   list maps to a sorted global one. *)
+let eworker t w r =
+  match r with
+  | Replica ((module F), inst) ->
+    let n_dom = t.n_domains in
+    let queue = t.equeues.(w) in
+    let applied = ref 0 in  (* position in the full update log *)
+    let adds_seen = ref 0 in  (* Add entries among them = next global sid *)
+    let local_of_global = Hashtbl.create 64 in
+    let g_of_l = ref (Array.make 64 0) in
+    let n_local = ref 0 in
+    let apply_one u =
+      match u with
+      | Add p ->
+        let g = !adds_seen in
+        incr adds_seen;
+        if g mod n_dom = w then begin
+          let l = F.add inst p in
+          Hashtbl.replace local_of_global g l;
+          if l >= Array.length !g_of_l then begin
+            let bigger = Array.make (2 * Array.length !g_of_l) 0 in
+            Array.blit !g_of_l 0 bigger 0 (Array.length !g_of_l);
+            g_of_l := bigger
+          end;
+          !g_of_l.(l) <- g;
+          n_local := !n_local + 1
+        end
+      | Remove g ->
+        if g mod n_dom = w then begin
+          match Hashtbl.find_opt local_of_global g with
+          | Some l -> ignore (F.remove inst l : bool)
+          | None -> ()
+        end
+    in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.lock;
+      while Queue.is_empty queue && not t.stopping do
+        Condition.wait t.not_empty t.lock
+      done;
+      if Queue.is_empty queue then begin
+        running := false;
+        Mutex.unlock t.lock
+      end
+      else begin
+        let n = min t.batch (Queue.length queue) in
+        let jobs = Array.make n (Queue.pop queue) in
+        for i = 1 to n - 1 do
+          jobs.(i) <- Queue.pop queue
+        done;
+        t.in_flight <- t.in_flight + n;
+        let base = !applied in
+        let upto = max base jobs.(n - 1).e_epoch in
+        let pending = Array.sub t.updates base (upto - base) in
+        Condition.broadcast t.not_full;
+        Mutex.unlock t.lock;
+        let first_error = ref None in
+        (* jobs whose countdown this worker finished; merged and delivered
+           after the whole batch is matched (per-worker result buffer) *)
+        let to_deliver = ref [] in
+        let n_delivered = ref 0 in
+        Array.iter
+          (fun job ->
+            let part =
+              try
+                while !applied < job.e_epoch do
+                  apply_one pending.(!applied - base);
+                  incr applied
+                done;
+                let locals = F.match_document inst job.e_doc in
+                let g = !g_of_l in
+                List.map (fun l -> g.(l)) locals
+              with e ->
+                if !first_error = None then first_error := Some e;
+                []
+            in
+            job.parts.(w) <- part;
+            if Atomic.fetch_and_add job.remaining (-1) = 1 then
+              to_deliver := job :: !to_deliver)
+          jobs;
+        List.iter
+          (fun job ->
+            incr n_delivered;
+            let merged = Array.fold_left merge2 [] job.parts in
+            try job.e_deliver merged
+            with e -> if !first_error = None then first_error := Some e)
+          (List.rev !to_deliver);
+        Mutex.lock t.lock;
+        t.in_flight <- t.in_flight - n;
+        (* count a document once, at its merging worker *)
+        Pf_obs.Counter.add t.m.documents !n_delivered;
+        Pf_obs.Counter.add t.m.merges !n_delivered;
+        Pf_obs.Counter.incr t.m.batches;
+        Pf_obs.Counter.add t.m.updates_applied (!applied - base);
+        (match !first_error with
+        | Some e when t.failure = None -> t.failure <- Some e
+        | _ -> ());
+        if
+          t.in_flight = 0
+          && Array.for_all Queue.is_empty t.equeues
+        then Condition.broadcast t.idle;
+        Mutex.unlock t.lock
+      end
+    done
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
-let create ?(domains = 1) ?queue_capacity ?(batch = 8) (filter : Pf_intf.filter) =
+let create ?(mode = Doc) ?(domains = 1) ?queue_capacity ?(batch = 8)
+    (filter : Pf_intf.filter) =
   let (module F) = filter in
   if domains < 1 then invalid_arg "Pf_service.create: domains must be >= 1";
   if batch < 1 then invalid_arg "Pf_service.create: batch must be >= 1";
@@ -182,7 +342,12 @@ let create ?(domains = 1) ?queue_capacity ?(batch = 8) (filter : Pf_intf.filter)
       not_empty = Condition.create ();
       not_full = Condition.create ();
       idle = Condition.create ();
+      mode;
       queue = Queue.create ();
+      equeues =
+        (match mode with
+        | Doc -> [||]
+        | Expr -> Array.init domains (fun _ -> Queue.create ()));
       capacity;
       batch;
       n_domains = domains;
@@ -201,10 +366,15 @@ let create ?(domains = 1) ?queue_capacity ?(batch = 8) (filter : Pf_intf.filter)
   in
   Pf_obs.Gauge.set m.domains_gauge (float_of_int domains);
   t.workers <-
-    Array.of_list (List.map (fun r -> Domain.spawn (fun () -> worker t r)) worker_replicas);
+    Array.of_list
+      (List.mapi
+         (fun w r ->
+           Domain.spawn (fun () -> match mode with Doc -> worker t r | Expr -> eworker t w r))
+         worker_replicas);
   t
 
 let domains t = t.n_domains
+let mode t = t.mode
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -283,6 +453,12 @@ let subscription_count t =
 (* ------------------------------------------------------------------ *)
 (* Document stream *)
 
+let queue_depth t =
+  match t.mode with
+  | Doc -> Queue.length t.queue
+  | Expr ->
+    Array.fold_left (fun acc q -> max acc (Queue.length q)) 0 t.equeues
+
 let submit t doc deliver =
   Mutex.lock t.lock;
   let reject () =
@@ -290,21 +466,42 @@ let submit t doc deliver =
     invalid_arg "Pf_service.submit: service is shut down"
   in
   if t.stopping then reject ();
-  if Queue.length t.queue >= t.capacity then begin
+  if queue_depth t >= t.capacity then begin
     Pf_obs.Counter.incr t.m.submit_waits;
-    while Queue.length t.queue >= t.capacity && not t.stopping do
+    while queue_depth t >= t.capacity && not t.stopping do
       Condition.wait t.not_full t.lock
     done
   end;
   if t.stopping then reject ();
-  Queue.add { doc; epoch = t.n_updates; deliver } t.queue;
-  Pf_obs.Gauge.set_max t.m.queue_high_water (float_of_int (Queue.length t.queue));
-  Condition.signal t.not_empty;
+  (match t.mode with
+  | Doc ->
+    Queue.add { doc; epoch = t.n_updates; deliver } t.queue;
+    Condition.signal t.not_empty
+  | Expr ->
+    let job =
+      {
+        e_doc = doc;
+        e_epoch = t.n_updates;
+        parts = Array.make t.n_domains [];
+        remaining = Atomic.make t.n_domains;
+        e_deliver = deliver;
+      }
+    in
+    Array.iter (fun q -> Queue.add job q) t.equeues;
+    Condition.broadcast t.not_empty);
+  Pf_obs.Gauge.set_max t.m.queue_high_water (float_of_int (queue_depth t));
   Mutex.unlock t.lock
 
 let drain t =
   Mutex.lock t.lock;
-  while not (Queue.is_empty t.queue && t.in_flight = 0) do
+  let quiescent () =
+    t.in_flight = 0
+    &&
+    match t.mode with
+    | Doc -> Queue.is_empty t.queue
+    | Expr -> Array.for_all Queue.is_empty t.equeues
+  in
+  while not (quiescent ()) do
     Condition.wait t.idle t.lock
   done;
   Mutex.unlock t.lock

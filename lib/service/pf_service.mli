@@ -1,19 +1,32 @@
-(** Domain-parallel sharded filtering service.
+(** Domain-parallel filtering service with two parallelism modes.
 
     The paper frames filtering as a dissemination problem: millions of
     standing XPath subscriptions, a stream of incoming documents, and the
     requirement to keep up with the stream. Matching one document never
-    touches another document's state, so the natural scale-out is to
-    {e replicate the engine and shard the stream by document} — the same
-    replication the FPGA filtering literature applies in hardware, here
-    over OCaml 5 domains.
+    touches another document's state, so the work can be split two ways,
+    and the service implements both over OCaml 5 domains:
+
+    - {e document-replicated} ({!mode} [Doc], the default): every worker
+      replica holds every subscription; each document is matched by
+      exactly one worker. Throughput parallelism — the stream is sharded.
+    - {e expression-sharded} ({!mode} [Expr]): the subscription table is
+      partitioned across replicas by sid ([owner sid = sid mod N]); every
+      document is broadcast to all workers, each matches it against its
+      shard, and the last worker to finish merges the per-shard sorted
+      sid lists and delivers. Latency parallelism — each replica's
+      working set (index size, candidate sets) is N times smaller, at the
+      cost of touching the document N times.
 
     A service owns [N] worker domains, each holding a private replica of
     one engine (any {!Pf_intf.FILTER}), plus one primary replica used to
-    validate subscriptions. Documents are submitted into a bounded queue
-    (submission blocks when the queue is full — backpressure, not
-    unbounded buffering) and workers dequeue them in batches. Results are
-    delivered through per-document callbacks, on the worker domain.
+    validate subscriptions (in [Expr] mode the primary also keeps the
+    full table so validation and sid assignment stay mode-independent).
+    Documents are submitted into bounded queues (submission blocks when
+    full — backpressure, not unbounded buffering) and workers dequeue
+    them in batches, taking the service lock once per batch, not once per
+    document. In [Expr] mode a worker buffers the merges it is
+    responsible for and performs delivery after its whole batch is
+    matched, outside the lock.
 
     {2 Epoch semantics}
 
@@ -29,32 +42,58 @@
       no matter which worker matches it or how far that worker lags;
     - results are {e deterministic}: for any interleaving of
       subscribe/remove/submit, every document's match set is identical to
-      a sequential engine fed the same operation order (the property the
-      test suite checks for 1, 2 and 4 domains);
+      a sequential engine fed the same operation order, in either mode
+      and at any domain count (the property the test suite checks for 1,
+      2 and 4 domains in both modes);
     - sids agree across replicas because {!Pf_intf.FILTER} assigns them
       densely in registration order and every replica applies the same
-      log prefix.
+      log prefix. In [Expr] mode this is also what makes the partition
+      coordination-free: the log's j-th [Add] entry carries global sid j,
+      so every worker derives ownership (and its own dense local sids,
+      whose local-to-global map is strictly increasing — sorted local
+      match lists translate to sorted global ones) from the log alone.
 
     Engines are never shared between domains, so they need no locks —
-    the service's only synchronization is the queue mutex. *)
+    the service's only synchronization is the queue mutex plus, in [Expr]
+    mode, one atomic countdown per in-flight document deciding which
+    worker merges (the merge reads the full per-shard array, so the
+    result is independent of finish order). *)
 
 type t
 
+type mode =
+  | Doc  (** document-replicated: full table per worker, one worker per doc *)
+  | Expr  (** expression-sharded: table split by [sid mod N], doc broadcast *)
+
+val mode_name : mode -> string
+(** ["doc"] or ["expr"]. *)
+
+val mode_of_string : string -> mode option
+(** Accepts ["doc"]/["replicated"] and ["expr"]/["sharded"]. *)
+
 val create :
-  ?domains:int -> ?queue_capacity:int -> ?batch:int -> Pf_intf.filter -> t
-(** [create (module F)] starts the worker domains. [domains] (default 1)
-    is the number of engine replicas / worker domains; [queue_capacity]
-    (default [4 * domains * batch]) bounds the work queue; [batch]
-    (default 8) is the maximum number of documents a worker dequeues at
-    once. Raises [Invalid_argument] for non-positive parameters. *)
+  ?mode:mode ->
+  ?domains:int ->
+  ?queue_capacity:int ->
+  ?batch:int ->
+  Pf_intf.filter ->
+  t
+(** [create (module F)] starts the worker domains. [mode] (default
+    [Doc]) selects the parallelism strategy; [domains] (default 1) is the
+    number of engine replicas / worker domains; [queue_capacity] (default
+    [4 * domains * batch]) bounds each work queue; [batch] (default 8) is
+    the maximum number of documents a worker dequeues at once. Raises
+    [Invalid_argument] for non-positive parameters. *)
 
 val domains : t -> int
+val mode : t -> mode
 
 val subscribe : t -> Pf_xpath.Ast.path -> int
 (** Register an expression; returns its sid (the engine's dense sid —
-    identical on every replica). Takes effect for every document
-    submitted afterwards. Raises {!Pf_intf.Unsupported} if the engine
-    rejects the expression (the service is then unchanged). *)
+    identical on every replica, global across shards in [Expr] mode).
+    Takes effect for every document submitted afterwards. Raises
+    {!Pf_intf.Unsupported} if the engine rejects the expression (the
+    service is then unchanged). *)
 
 val subscribe_string : t -> string -> int
 (** Parse then {!subscribe}. *)
@@ -70,8 +109,9 @@ val subscription_count : t -> int
 val submit : t -> Pf_xml.Tree.t -> (int list -> unit) -> unit
 (** [submit t doc deliver] enqueues a document; [deliver] receives the
     sorted sids of the matching subscriptions. Blocks while the queue is
-    full. [deliver] runs on a worker domain: it must be quick, must not
-    call back into [t], and must synchronize any shared state it touches
+    full. [deliver] runs on a worker domain (in [Expr] mode, on whichever
+    worker finished the document last): it must be quick, must not call
+    back into [t], and must synchronize any shared state it touches
     itself. Raises [Invalid_argument] after {!shutdown}. *)
 
 val filter_batch : t -> Pf_xml.Tree.t list -> int list list
@@ -94,11 +134,12 @@ val shutdown : t -> unit
 
 val metrics : t -> Pf_obs.Registry.t
 (** The service's own registry (scope ["service"]): counters
-    ["documents"] (matched and delivered), ["batches"] (worker dequeues),
-    ["updates_applied"] (log entries applied across replicas, primary
-    excluded), ["subscribes"], ["unsubscribes"], ["submit_waits"]
-    (submissions that blocked on a full queue); gauges ["domains"] and
-    ["queue_high_water"]. *)
+    ["documents"] (matched and delivered — counted once per document in
+    either mode), ["batches"] (worker dequeues), ["updates_applied"] (log
+    entries applied across replicas, primary excluded), ["subscribes"],
+    ["unsubscribes"], ["submit_waits"] (submissions that blocked on a
+    full queue), ["merges"] (expression-sharded result merges); gauges
+    ["domains"] and ["queue_high_water"]. *)
 
 val engine_metrics : t -> Pf_obs.Registry.t
 (** A fresh snapshot (scope ["service-engines"], unlisted) merging the

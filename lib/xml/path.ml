@@ -1,5 +1,6 @@
 type step = {
   tag : string;
+  sym : Symbol.t;
   attrs : (string * string) list;
   occurrence : int;
   child_index : int;
@@ -13,26 +14,33 @@ let tags t = Array.to_list (Array.map (fun s -> s.tag) t.steps)
 
 let structure t = Array.map (fun s -> s.child_index) t.steps
 
-(* Occurrence numbers are computed as the path is extended: [counts] maps a
-   tag name to how many times it already occurred on the current root-to-node
-   path. Counts are decremented on the way back up, so one table serves the
-   whole traversal. *)
+(* Occurrence numbers are computed as the path is extended: [counts.(sym)]
+   is how many times the tag already occurred on the current root-to-node
+   path. Counts are decremented on the way back up, so one array serves the
+   whole traversal — and because tags are interned to dense symbols the
+   bookkeeping is a bounds-checked array access, not a string hash. *)
+type counter = { mutable counts : int array }
+
+let make_counter () = { counts = Array.make 64 0 }
+
+let bump c sym =
+  if sym >= Array.length c.counts then begin
+    let bigger = Array.make (max (sym + 1) (2 * Array.length c.counts)) 0 in
+    Array.blit c.counts 0 bigger 0 (Array.length c.counts);
+    c.counts <- bigger
+  end;
+  let n = c.counts.(sym) + 1 in
+  c.counts.(sym) <- n;
+  n
+
+let unbump c sym = c.counts.(sym) <- c.counts.(sym) - 1
+
 let of_document (doc : Tree.t) : t list =
-  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let bump tag =
-    let n = (match Hashtbl.find_opt counts tag with Some n -> n | None -> 0) + 1 in
-    Hashtbl.replace counts tag n;
-    n
-  in
-  let unbump tag =
-    match Hashtbl.find_opt counts tag with
-    | Some 1 -> Hashtbl.remove counts tag
-    | Some n -> Hashtbl.replace counts tag (n - 1)
-    | None -> assert false
-  in
+  let counter = make_counter () in
   let paths = ref [] in
   let rec walk (e : Tree.element) child_index prefix =
-    let occurrence = bump e.Tree.tag in
+    let sym = Symbol.intern e.Tree.tag in
+    let occurrence = bump counter sym in
     (* text content rides along as the reserved pseudo-attribute #text, so
        text() filters evaluate through the ordinary attribute machinery *)
     let attrs =
@@ -40,13 +48,13 @@ let of_document (doc : Tree.t) : t list =
       | "" -> e.Tree.attrs
       | txt -> e.Tree.attrs @ [ "#text", txt ]
     in
-    let step = { tag = e.Tree.tag; attrs; occurrence; child_index } in
+    let step = { tag = e.Tree.tag; sym; attrs; occurrence; child_index } in
     let prefix = step :: prefix in
     (match Tree.element_children e with
     | [] -> paths := { steps = Array.of_list (List.rev prefix) } :: !paths
     | children ->
       List.iteri (fun i c -> walk c (i + 1) prefix) children);
-    unbump e.Tree.tag
+    unbump counter sym
   in
   walk doc.Tree.root 1 [];
   List.rev !paths
@@ -62,18 +70,7 @@ type open_element = {
 }
 
 let fold_of_string src ~init ~f =
-  let counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  let bump tag =
-    let n = (match Hashtbl.find_opt counts tag with Some n -> n | None -> 0) + 1 in
-    Hashtbl.replace counts tag n;
-    n
-  in
-  let unbump tag =
-    match Hashtbl.find_opt counts tag with
-    | Some 1 -> Hashtbl.remove counts tag
-    | Some n -> Hashtbl.replace counts tag (n - 1)
-    | None -> assert false
-  in
+  let counter = make_counter () in
   let stack : open_element list ref = ref [] in
   (* Text seen so far becomes the #text pseudo-attribute. For ancestors
      with mixed content this covers only the text preceding the branch
@@ -97,7 +94,8 @@ let fold_of_string src ~init ~f =
           parent.oe_children <- parent.oe_children + 1;
           parent.oe_children
       in
-      let step = { tag; attrs; occurrence = bump tag; child_index } in
+      let sym = Symbol.intern tag in
+      let step = { tag; sym; attrs; occurrence = bump counter sym; child_index } in
       stack := { oe_step = step; oe_children = 0; oe_text = Buffer.create 8 } :: !stack;
       acc
     | Sax.End_element _ -> (
@@ -105,7 +103,7 @@ let fold_of_string src ~init ~f =
       | [] -> acc
       | top :: rest ->
         let acc = if top.oe_children = 0 then emit acc else acc in
-        unbump top.oe_step.tag;
+        unbump counter top.oe_step.sym;
         stack := rest;
         acc)
     | Sax.Chars s -> (
@@ -122,13 +120,12 @@ let of_string src =
   List.rev (fold_of_string src ~init:[] ~f:(fun acc p -> p :: acc))
 
 let of_tags tag_list =
-  let counts = Hashtbl.create 8 in
+  let counter = make_counter () in
   let steps =
     List.map
       (fun tag ->
-        let n = (match Hashtbl.find_opt counts tag with Some n -> n | None -> 0) + 1 in
-        Hashtbl.replace counts tag n;
-        { tag; attrs = []; occurrence = n; child_index = 1 })
+        let sym = Symbol.intern tag in
+        { tag; sym; attrs = []; occurrence = bump counter sym; child_index = 1 })
       tag_list
   in
   { steps = Array.of_list steps }

@@ -10,6 +10,7 @@
 
 type step = {
   tag : string;
+  sym : Symbol.t;  (** [Symbol.intern tag], computed once at parse time *)
   attrs : (string * string) list;
       (** attributes in document order; the element's (trimmed) immediate
           text content, if any, is appended as the reserved

@@ -1,0 +1,75 @@
+(* Global, domain-safe tag interner (string <-> dense int).
+
+   Interning must agree across domains: the service's worker replicas
+   compile expressions and parse documents on their own domains, and a
+   symbol assigned on one domain has to denote the same tag everywhere.
+   The authoritative table is guarded by a mutex; every domain keeps a
+   private read cache (Domain.DLS) in front of it, so the steady-state
+   cost of [intern] is one lookup in an uncontended, domain-local
+   hashtable — no lock, no cross-domain traffic.
+
+   The sym -> name direction is an immutable array republished (copy on
+   insert) through an Atomic: readers never observe a partially filled
+   slot, and a symbol can only reach another domain through some
+   synchronizing channel that also orders the publish before the read. *)
+
+type t = int
+
+let lock = Mutex.create ()
+let global : (string, int) Hashtbl.t = Hashtbl.create 256 (* guarded by [lock] *)
+let names : string array Atomic.t = Atomic.make [||] (* length = #symbols *)
+
+let cache_key : (string, int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+    Mutex.unlock lock;
+    v
+  | exception e ->
+    Mutex.unlock lock;
+    raise e
+
+let intern name =
+  let cache = Domain.DLS.get cache_key in
+  match Hashtbl.find_opt cache name with
+  | Some s -> s
+  | None ->
+    let s =
+      locked (fun () ->
+          match Hashtbl.find_opt global name with
+          | Some s -> s
+          | None ->
+            let s = Hashtbl.length global in
+            Hashtbl.add global name s;
+            let old = Atomic.get names in
+            let bigger = Array.make (s + 1) name in
+            Array.blit old 0 bigger 0 s;
+            Atomic.set names bigger;
+            s)
+    in
+    Hashtbl.add cache name s;
+    s
+
+let find name =
+  let cache = Domain.DLS.get cache_key in
+  match Hashtbl.find_opt cache name with
+  | Some s -> Some s
+  | None -> (
+    match locked (fun () -> Hashtbl.find_opt global name) with
+    | Some s ->
+      Hashtbl.add cache name s;
+      Some s
+    | None -> None)
+
+let name s =
+  let ns = Atomic.get names in
+  if s < 0 || s >= Array.length ns then
+    invalid_arg (Printf.sprintf "Symbol.name: unknown symbol %d" s)
+  else ns.(s)
+
+let count () = Array.length (Atomic.get names)
+
+let pp fmt s = Format.pp_print_string fmt (name s)

@@ -1,0 +1,36 @@
+(** Global, domain-safe tag interner.
+
+    Tag names are hashconsed to dense integers once — at SAX parse and at
+    expression compile time — so the engines' hot structures key on
+    machine ints and the match loops never hash or compare strings.
+
+    The mapping is {e global and stable across domains}: interning the
+    same name on any domain, in any order, yields the same symbol, and
+    distinct names always yield distinct symbols (the property the test
+    suite checks by interning concurrently from several domains). Each
+    domain keeps a private read cache in front of the mutex-guarded
+    authoritative table, so steady-state interning is an uncontended
+    domain-local hashtable hit.
+
+    Symbols are never reclaimed; the table grows with the number of
+    distinct tag names seen by the process (bounded by the vocabulary,
+    not the document stream). *)
+
+type t = int
+(** A dense symbol: [0 <= sym < count ()]. *)
+
+val intern : string -> t
+(** Return the symbol for a name, assigning the next dense id on first
+    sight. Safe to call from any domain. *)
+
+val find : string -> t option
+(** Lookup without inserting: [None] if the name was never interned. *)
+
+val name : t -> string
+(** Inverse mapping. Raises [Invalid_argument] on an id never returned by
+    {!intern}. *)
+
+val count : unit -> int
+(** Number of symbols interned so far, process-wide. *)
+
+val pp : Format.formatter -> t -> unit

@@ -7,8 +7,10 @@ open Pf_xpath
    symbols: a loop state (star self-loop, entered by epsilon-closure when
    its parent activates) followed by the test edge.
 
-   Tag names are interned to dense integer symbols so that executing one
-   element event hashes its tag once, not once per active state. *)
+   Tag names are interned through the global {!Pf_xml.Symbol} table so
+   that executing one element event resolves its tag once (a cached
+   lookup), not once per active state — and edges share symbols with the
+   predicate engines instead of keeping a private table. *)
 type state = {
   id : int;
   tag_edges : (int, int) Hashtbl.t;  (* tag symbol -> target state *)
@@ -52,7 +54,6 @@ type t = {
   mutable exprs : Ast.path array;  (* sid -> expression *)
   mutable n_exprs : int;
   mutable removed : bool array;  (* sid -> unregistered (sids are not reused) *)
-  symbols : (string, int) Hashtbl.t;  (* tag name -> dense symbol *)
   m : metrics;
   (* run-time scratch *)
   mutable set_stamp : int array;  (* state id -> set epoch *)
@@ -87,7 +88,6 @@ let create () =
       exprs = [||];
       n_exprs = 0;
       removed = [||];
-      symbols = Hashtbl.create 64;
       m = make_metrics ();
       set_stamp = [||];
       set_epoch = 0;
@@ -102,16 +102,8 @@ let expression_count t = t.n_exprs
 let state_count t = t.n_states
 let metrics t = t.m.registry
 
-let symbol_add t tag =
-  match Hashtbl.find_opt t.symbols tag with
-  | Some s -> s
-  | None ->
-    let s = Hashtbl.length t.symbols in
-    Hashtbl.add t.symbols tag s;
-    s
-
-let symbol_find t tag =
-  match Hashtbl.find_opt t.symbols tag with Some s -> s | None -> -1
+let symbol_find tag =
+  match Pf_xml.Symbol.find tag with Some s -> s | None -> -1
 
 (* Follow (or create) the loop child of [s]. *)
 let loop_of t s =
@@ -123,7 +115,7 @@ let loop_of t s =
   end
 
 let tag_target t s tag =
-  let sym = symbol_add t tag in
+  let sym = Pf_xml.Symbol.intern tag in
   match Hashtbl.find_opt s.tag_edges sym with
   | Some id -> t.states.(id)
   | None ->
@@ -218,7 +210,9 @@ let match_document t (doc : Pf_xml.Tree.t) =
             | "" -> e.Pf_xml.Tree.attrs
             | txt -> e.Pf_xml.Tree.attrs @ [ "#text", txt ]
           in
-          { Pf_xml.Path.tag = e.Pf_xml.Tree.tag; attrs; occurrence = 1; child_index = 1 })
+          { Pf_xml.Path.tag = e.Pf_xml.Tree.tag;
+            sym = Pf_xml.Symbol.intern e.Pf_xml.Tree.tag; attrs; occurrence = 1;
+            child_index = 1 })
         !path_stack
     in
     { Pf_xml.Path.steps = Array.of_list steps }
@@ -270,7 +264,7 @@ let match_document t (doc : Pf_xml.Tree.t) =
   in
   let rec walk active (e : Pf_xml.Tree.element) =
     path_stack := e :: !path_stack;
-    let next = transition active (symbol_find t e.Pf_xml.Tree.tag) in
+    let next = transition active (symbol_find e.Pf_xml.Tree.tag) in
     if next <> [] then
       List.iter (walk next) (Pf_xml.Tree.element_children e);
     path_stack := List.tl !path_stack

@@ -95,6 +95,7 @@ let flatten_descendants_engine : Engines.engine =
     Engines.ename = "buggy-no-descendant";
     filter = (module Flatten_descendants);
     supports = (fun _ -> true);
+    finalize = ignore;
   }
 
 let test_shrinker_minimizes () =

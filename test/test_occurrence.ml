@@ -175,6 +175,49 @@ let prop_engine_matches_eval_on_repeated_tags =
             dps)
         [ Expr_index.Basic; Expr_index.Access_predicate ])
 
+(* ------------------------------------------------------------------ *)
+(* Packed arena: the flat reusable representation must agree with the
+   list-based implementations on every entry point. One arena shared by
+   all cases exercises the cross-document reuse (epoch/cursor reset), not
+   just a fresh structure. *)
+
+let shared_arena = Occurrence.create_arena ()
+
+let prop_packed_agrees_with_lists =
+  QCheck2.Test.make ~name:"packed arena = list matches (both algorithms)" ~count:5000
+    ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
+      let a = shared_arena in
+      Occurrence.load a rs;
+      Occurrence.matches_packed a = Occurrence.matches rs
+      && Occurrence.matches_faithful_packed a = Occurrence.matches_faithful rs)
+
+let prop_packed_agrees_dense =
+  QCheck2.Test.make ~name:"packed arena = list matches (dense repeated tags)"
+    ~count:1000 ~print:Gen_helpers.results_print Gen_helpers.dense_results_gen
+    (fun rs ->
+      let a = shared_arena in
+      Occurrence.load a rs;
+      Occurrence.matches_packed a = Occurrence.matches rs
+      && Occurrence.matches_faithful_packed a = Occurrence.matches_faithful rs)
+
+let prop_iter_chains_packed_agrees =
+  QCheck2.Test.make ~name:"packed chain enumeration = list enumeration" ~count:2000
+    ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
+      let a = shared_arena in
+      Occurrence.load a rs;
+      let packed = ref [] in
+      ignore
+        (Occurrence.iter_chains_packed a (fun c n ->
+             packed :=
+               List.init n (fun i -> c.(i) lsr 16, c.(i) land 0xffff) :: !packed;
+             false));
+      let listed = ref [] in
+      ignore
+        (Occurrence.iter_chains rs (fun c ->
+             listed := Array.to_list c :: !listed;
+             false));
+      List.rev !packed = List.rev !listed)
+
 let prop_chains_are_valid =
   QCheck2.Test.make ~name:"every enumerated chain satisfies the constraints" ~count:2000
     ~print:Gen_helpers.results_print Gen_helpers.results_gen (fun rs ->
@@ -207,6 +250,9 @@ let () =
             prop_matches_iff_chain_exists;
             prop_iter_chains_consistent;
             prop_chains_are_valid;
+            prop_packed_agrees_with_lists;
+            prop_packed_agrees_dense;
+            prop_iter_chains_packed_agrees;
           ] );
       ( "brute-force oracle",
         List.map Gen_helpers.to_alcotest

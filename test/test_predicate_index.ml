@@ -165,7 +165,7 @@ let naive_matches (pred : Predicate.t) (pub : Publication.t) =
   | Predicate.Absolute { tag; op; v } ->
     List.filter_map
       (fun tu ->
-        if String.equal tu.Publication.tag tag.Predicate.name
+        if tu.Publication.tag = Symbol.intern tag.Predicate.name
            && op_holds op tu.Publication.pos v
         then Some (tu.Publication.occurrence, tu.Publication.occurrence)
         else None)
@@ -175,8 +175,8 @@ let naive_matches (pred : Predicate.t) (pub : Publication.t) =
       (fun t1 ->
         List.filter_map
           (fun t2 ->
-            if String.equal t1.Publication.tag first.Predicate.name
-               && String.equal t2.Publication.tag second.Predicate.name
+            if t1.Publication.tag = Symbol.intern first.Predicate.name
+               && t2.Publication.tag = Symbol.intern second.Predicate.name
                && t2.Publication.pos > t1.Publication.pos
                && op_holds op (t2.Publication.pos - t1.Publication.pos) v
             then Some (t1.Publication.occurrence, t2.Publication.occurrence)
@@ -186,7 +186,7 @@ let naive_matches (pred : Predicate.t) (pub : Publication.t) =
   | Predicate.End_of_path { tag; v } ->
     List.filter_map
       (fun tu ->
-        if String.equal tu.Publication.tag tag.Predicate.name
+        if tu.Publication.tag = Symbol.intern tag.Predicate.name
            && pub.Publication.length - tu.Publication.pos >= v
         then Some (tu.Publication.occurrence, tu.Publication.occurrence)
         else None)

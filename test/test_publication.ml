@@ -11,7 +11,7 @@ let test_example_1 () =
   List.iteri
     (fun i (tag, occurrence, pos) ->
       let tu = pub.Publication.tuples.(i) in
-      Alcotest.(check string) "tag" tag tu.Publication.tag;
+      Alcotest.(check string) "tag" tag (Symbol.name tu.Publication.tag);
       Alcotest.(check int) "occurrence" occurrence tu.Publication.occurrence;
       Alcotest.(check int) "pos" pos tu.Publication.pos)
     expect
@@ -24,14 +24,15 @@ let test_pp () =
 
 let test_pos_of_occurrence () =
   let pub = Publication.of_tags [ "a"; "b"; "c"; "a"; "b"; "c" ] in
+  let sym = Symbol.intern in
   Alcotest.(check (option int)) "a^2" (Some 4)
-    (Publication.pos_of_occurrence pub ~tag:"a" ~occurrence:2);
+    (Publication.pos_of_occurrence pub ~tag:(sym "a") ~occurrence:2);
   Alcotest.(check (option int)) "c^1" (Some 3)
-    (Publication.pos_of_occurrence pub ~tag:"c" ~occurrence:1);
+    (Publication.pos_of_occurrence pub ~tag:(sym "c") ~occurrence:1);
   Alcotest.(check (option int)) "missing occurrence" None
-    (Publication.pos_of_occurrence pub ~tag:"a" ~occurrence:3);
+    (Publication.pos_of_occurrence pub ~tag:(sym "a") ~occurrence:3);
   Alcotest.(check (option int)) "missing tag" None
-    (Publication.pos_of_occurrence pub ~tag:"z" ~occurrence:1)
+    (Publication.pos_of_occurrence pub ~tag:(sym "z") ~occurrence:1)
 
 let test_of_path_attrs () =
   let doc = Pf_xml.Sax.parse_document "<a x=\"1\"><b y=\"2\"/></a>" in

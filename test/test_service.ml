@@ -54,8 +54,10 @@ let run_sequential ops =
     ops;
   List.rev !results
 
-let run_service ~domains ops =
-  let svc = Service.create ~domains ~batch:4 (Pf_core.Engine.filter () :> Pf_intf.filter) in
+let run_service ?mode ~domains ops =
+  let svc =
+    Service.create ?mode ~domains ~batch:4 (Pf_core.Engine.filter () :> Pf_intf.filter)
+  in
   let n_docs =
     List.length (List.filter (function Submit _ -> true | _ -> false) ops)
   in
@@ -83,16 +85,20 @@ let service_equals_sequential =
     ~print:ops_print ops_gen (fun ops ->
       let expected = run_sequential ops in
       List.for_all
-        (fun domains ->
-          let got = run_service ~domains ops in
+        (fun (mode, domains) ->
+          let got = run_service ~mode ~domains ops in
           if got <> expected then
-            Test.fail_reportf "domains=%d:\nexpected %s\ngot      %s" domains
+            Test.fail_reportf "mode=%s domains=%d:\nexpected %s\ngot      %s"
+              (Service.mode_name mode) domains
               (String.concat "; "
                  (List.map (fun l -> String.concat "," (List.map string_of_int l)) expected))
               (String.concat "; "
                  (List.map (fun l -> String.concat "," (List.map string_of_int l)) got))
           else true)
-        [ 1; 2; 4 ])
+        [
+          Service.Doc, 1; Service.Doc, 2; Service.Doc, 4;
+          Service.Expr, 1; Service.Expr, 2; Service.Expr, 4;
+        ])
 
 (* filter_batch is just submit + barrier: same answers, input order kept *)
 let filter_batch_equals_sequential =
@@ -242,6 +248,54 @@ let test_metrics () =
   Alcotest.(check (option int)) "engine documents sum across replicas" (Some 20)
     (Pf_obs.Registry.find_counter merged "documents")
 
+let test_expr_mode_under_load () =
+  (* expression-sharded: every worker sees every document; delivery still
+     happens exactly once per document, even with backpressure engaged *)
+  let svc =
+    Service.create ~mode:Service.Expr ~domains:4 ~queue_capacity:2 ~batch:3
+      (Pf_core.Engine.filter () :> Pf_intf.filter)
+  in
+  (* sids 0..5 spread over the 4 shards: 0,4 -> w0; 1,5 -> w1; 2 -> w2; 3 -> w3 *)
+  let subs = [ "/a"; "//b"; "/a/b"; "/c"; "//a"; "/a[@x='1']" ] in
+  let sids = List.map (Service.subscribe_string svc) subs in
+  Alcotest.(check (list int)) "dense global sids" [ 0; 1; 2; 3; 4; 5 ] sids;
+  let expected = [ 0; 1; 2; 4 ] in
+  let hits = Atomic.make 0 in
+  let total = 200 in
+  for _ = 1 to total do
+    Service.submit svc doc_a (fun r -> if r = expected then Atomic.incr hits)
+  done;
+  Service.shutdown svc;
+  Alcotest.(check int) "every document delivered once, shards merged sorted" total
+    (Atomic.get hits);
+  let find name =
+    match Pf_obs.Registry.find_counter (Service.metrics svc) name with
+    | Some n -> n
+    | None -> Alcotest.failf "service counter %s missing" name
+  in
+  Alcotest.(check int) "documents counted once each" total (find "documents");
+  Alcotest.(check int) "one merge per document" total (find "merges");
+  (* every worker replica matched every document *)
+  let merged = Service.engine_metrics svc in
+  Alcotest.(check (option int)) "engine documents = total * domains"
+    (Some (total * 4))
+    (Pf_obs.Registry.find_counter merged "documents")
+
+let test_expr_mode_unsubscribe_routing () =
+  (* removing a sid must reach the shard that owns it, and only that shard *)
+  let svc =
+    Service.create ~mode:Service.Expr ~domains:2
+      (Pf_core.Engine.filter () :> Pf_intf.filter)
+  in
+  let sid_a = Service.subscribe_string svc "/a" in
+  let sid_b = Service.subscribe_string svc "/a/b" in
+  let r1 = Service.filter_batch svc [ doc_a ] in
+  Alcotest.(check (list (list int))) "both match" [ [ sid_a; sid_b ] ] r1;
+  Alcotest.(check bool) "remove owned by worker 0" true (Service.unsubscribe svc sid_a);
+  let r2 = Service.filter_batch svc [ doc_a ] in
+  Alcotest.(check (list (list int))) "only b after removal" [ [ sid_b ] ] r2;
+  Service.shutdown svc
+
 let () =
   Alcotest.run "service"
     [
@@ -259,5 +313,9 @@ let () =
             `Quick test_unsupported_nested_keeps_replicas_aligned;
           Alcotest.test_case "concurrent shutdown" `Quick test_concurrent_shutdown;
           Alcotest.test_case "metrics" `Quick test_metrics;
+          Alcotest.test_case "expression-sharded under load" `Quick
+            test_expr_mode_under_load;
+          Alcotest.test_case "expression-sharded unsubscribe routing" `Quick
+            test_expr_mode_unsubscribe_routing;
         ] );
     ]

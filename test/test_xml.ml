@@ -384,6 +384,26 @@ let prop_occurrences_consistent =
           !ok)
         (Path.of_document doc))
 
+(* The global tag interner must behave as one table no matter which domain
+   interns first: the same name gets the same symbol everywhere (stable),
+   distinct names get distinct symbols (injective — witnessed by the name
+   round-trip), concurrently. *)
+let prop_symbol_cross_domain =
+  QCheck2.Test.make ~name:"Symbol.intern stable and injective across domains"
+    ~count:30
+    ~print:(fun names -> String.concat "," names)
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (string_size ~gen:(char_range 'a' 'z') (int_range 1 10)))
+    (fun names ->
+      let here = List.map Symbol.intern names in
+      let spawned =
+        List.init 4 (fun _ -> Domain.spawn (fun () -> List.map Symbol.intern names))
+      in
+      let elsewhere = List.map Domain.join spawned in
+      List.for_all (fun syms -> syms = here) elsewhere
+      && List.for_all2 (fun n s -> String.equal (Symbol.name s) n) names here)
+
 let () =
   let qt = List.map Gen_helpers.to_alcotest in
   Alcotest.run "xml"
@@ -447,5 +467,6 @@ let () =
             prop_streaming_agrees;
             prop_fuzz_no_crash;
             prop_random_garbage;
+            prop_symbol_cross_domain;
           ] );
     ]
