@@ -721,6 +721,229 @@ let occurrence_alloc () =
   record "occurrence_stage_minor_words_per_doc_list" (J.Float (listed -. run_only))
 
 (* ------------------------------------------------------------------ *)
+(* Document-ingest allocation (extension): the zero-copy SAX driver and
+   the arena-backed path scanner must bring the ingest side near the
+   allocation floor the occurrence stage already reached. Two passes over
+   the same serialized documents — tree ingest (parse_document +
+   of_document, what match_document costs) and streaming scan (the
+   reusable scanner behind match_stream) — in minor-heap words per
+   document. fold_of_string is reported too: it shows what the per-path
+   snapshots cost on top of the scan. *)
+
+let ingest_alloc () =
+  let ndocs = if !full then 50 else 20 in
+  let docs = documents "nitf" ndocs in
+  let sources = List.map Pf_xml.Print.to_string docs in
+  let paths_seen = ref 0 in
+  let scanner = Pf_xml.Path.create_scanner () in
+  let pass_tree () =
+    List.iter
+      (fun s ->
+        List.iter
+          (fun _ -> incr paths_seen)
+          (Pf_xml.Path.of_document (Pf_xml.Sax.parse_document s)))
+      sources
+  in
+  let pass_fold () =
+    List.iter
+      (fun s ->
+        Pf_xml.Path.fold_of_string s ~init:() ~f:(fun () _ -> incr paths_seen))
+      sources
+  in
+  let pass_scan () =
+    List.iter (fun s -> Pf_xml.Path.scan scanner s ~f:(fun _ -> incr paths_seen)) sources
+  in
+  let noop_handler =
+    {
+      Pf_xml.Sax.zc_start = (fun _ _ -> ());
+      zc_end = (fun _ -> ());
+      zc_text = (fun _ _ _ -> ());
+    }
+  in
+  let pass_sax () = List.iter (fun s -> Pf_xml.Sax.fold_zc s noop_handler) sources in
+  (* warm-up: grow the scanner arenas and intern the vocabulary *)
+  pass_tree ();
+  pass_scan ();
+  paths_seen := 0;
+  pass_scan ();
+  let paths_per_doc = float !paths_seen /. float ndocs in
+  let minor_per_doc pass =
+    let reps = 3 in
+    let before = Gc.minor_words () in
+    for _ = 1 to reps do
+      pass ()
+    done;
+    (Gc.minor_words () -. before) /. float (reps * ndocs)
+  in
+  let tree = minor_per_doc pass_tree in
+  let folded = minor_per_doc pass_fold in
+  let scanned = minor_per_doc pass_scan in
+  let sax = minor_per_doc pass_sax in
+  let ratio = if tree > 0. then scanned /. tree else 0. in
+  Printf.printf
+    "\n== ingest-alloc: %d NITF documents, %.1f paths/doc (minor words/doc) ==\n" ndocs
+    paths_per_doc;
+  Printf.printf "%28s %18.1f\n" "tree (parse + of_document)" tree;
+  Printf.printf "%28s %18.1f\n" "fold_of_string" folded;
+  Printf.printf "%28s %18.1f\n" "sax (fold_zc, no-op)" sax;
+  Printf.printf "%28s %18.1f   (%.2f%% of tree)\n" "scan (reused scanner)" scanned
+    (100. *. ratio);
+  record "documents" (J.Int ndocs);
+  record "paths_per_doc" (J.Float paths_per_doc);
+  record "minor_words_per_doc_tree" (J.Float tree);
+  record "minor_words_per_doc_fold" (J.Float folded);
+  record "minor_words_per_doc_sax" (J.Float sax);
+  record "minor_words_per_doc_scan" (J.Float scanned);
+  record "scan_over_tree_ratio" (J.Float ratio)
+
+(* ------------------------------------------------------------------ *)
+(* Path-result cache (extension): DTD-driven streams repeat root-to-leaf
+   paths across documents, so the cross-document cache should convert
+   most per-path predicate+occurrence work into one hashtable probe. The
+   cache on/off sweep runs over the nitf and psd workloads; every
+   configuration's match sets are checked byte-identical against the
+   uncached sequential engine, including the cached engine behind both
+   Pf_service shard modes at 1/2/4 domains. *)
+
+let path_cache_exp () =
+  let timed_with_gc f =
+    let s0 = Gc.quick_stat () in
+    let (), ms = B.time_ms f in
+    let s1 = Gc.quick_stat () in
+    ms, s1.Gc.minor_words -. s0.Gc.minor_words, s1.Gc.major_words -. s0.Gc.major_words
+  in
+  let failed = ref false in
+  List.iter
+    (fun (dtd_name, count, ndocs) ->
+      let dtd = dtd_of dtd_name in
+      let qs = queries dtd count in
+      let docs = documents dtd_name ndocs in
+      let throughput ms = float ndocs /. (ms /. 1000.) in
+      (* uncached baseline: expected match sets + timing *)
+      let base = Pf_core.Engine.create () in
+      List.iter (fun q -> ignore (Pf_core.Engine.add base q)) qs;
+      let expected = List.map (Pf_core.Engine.match_document base) docs in
+      let base_ms, base_minor, base_major =
+        timed_with_gc (fun () ->
+            List.iter (fun d -> ignore (Pf_core.Engine.match_document base d)) docs)
+      in
+      (* cached engine: the identity check runs from a cold cache (misses
+         populate it), the timed pass then measures the warm steady state *)
+      let cached = Pf_core.Engine.create ~path_cache:true () in
+      List.iter (fun q -> ignore (Pf_core.Engine.add cached q)) qs;
+      let identical_cold =
+        List.map (Pf_core.Engine.match_document cached) docs = expected
+      in
+      let cache_ms, cache_minor, cache_major =
+        timed_with_gc (fun () ->
+            List.iter (fun d -> ignore (Pf_core.Engine.match_document cached d)) docs)
+      in
+      let counter name =
+        Option.value ~default:0
+          (Pf_obs.Registry.find_counter (Pf_core.Engine.metrics cached) name)
+      in
+      let hits = counter "path_cache_hits" and misses = counter "path_cache_misses" in
+      let hit_ratio =
+        if hits + misses = 0 then 0. else float hits /. float (hits + misses)
+      in
+      (* the cached engine behind the service: every shard mode and domain
+         count must still answer exactly like the sequential uncached
+         engine (replica caches are private; expression shards cache their
+         shard-local results) *)
+      let svc_rows =
+        List.concat_map
+          (fun mode ->
+            List.map
+              (fun domains ->
+                let svc =
+                  Pf_service.create ~mode ~domains ~batch:8
+                    (Pf_core.Engine.filter ~path_cache:true () :> Pf_intf.filter)
+                in
+                List.iter (fun q -> ignore (Pf_service.subscribe svc q)) qs;
+                let identical = Pf_service.filter_batch svc docs = expected in
+                let (), ms =
+                  B.time_ms (fun () -> ignore (Pf_service.filter_batch svc docs))
+                in
+                Pf_service.shutdown svc;
+                mode, domains, ms, identical)
+              [ 1; 2; 4 ])
+          [ Pf_service.Doc; Pf_service.Expr ]
+      in
+      Printf.printf
+        "\n== path-cache (%s): %d XPEs, %d documents ==\n"
+        (String.uppercase_ascii dtd_name)
+        (List.length qs) ndocs;
+      Printf.printf "%14s %12s %14s %14s %12s\n" "engine" "ms" "docs/s" "minor w/doc"
+        "identical";
+      Printf.printf "%14s %12.1f %14.0f %14.0f %12s\n" "uncached" base_ms
+        (throughput base_ms)
+        (base_minor /. float ndocs)
+        "-";
+      Printf.printf "%14s %12.1f %14.0f %14.0f %12b\n" "cached" cache_ms
+        (throughput cache_ms)
+        (cache_minor /. float ndocs)
+        identical_cold;
+      Printf.printf "   speedup %.2fx, hit ratio %.3f (%d hits / %d misses)\n"
+        (base_ms /. cache_ms) hit_ratio hits misses;
+      Printf.printf "%8s %8s %12s %14s %12s\n" "mode" "domains" "ms" "docs/s" "identical";
+      List.iter
+        (fun (mode, domains, ms, identical) ->
+          Printf.printf "%8s %8d %12.1f %14.0f %12b\n" (Pf_service.mode_name mode)
+            domains ms (throughput ms) identical)
+        svc_rows;
+      record (Printf.sprintf "%s" dtd_name)
+        (J.Obj
+           [
+             "xpes", J.Int (List.length qs);
+             "documents", J.Int ndocs;
+             ( "uncached",
+               J.Obj
+                 [
+                   "ms", J.Float base_ms;
+                   "docs_per_s", J.Float (throughput base_ms);
+                   "minor_words", J.Float base_minor;
+                   "major_words", J.Float base_major;
+                 ] );
+             ( "cached",
+               J.Obj
+                 [
+                   "ms", J.Float cache_ms;
+                   "docs_per_s", J.Float (throughput cache_ms);
+                   "minor_words", J.Float cache_minor;
+                   "major_words", J.Float cache_major;
+                   "hits", J.Int hits;
+                   "misses", J.Int misses;
+                   "hit_ratio", J.Float hit_ratio;
+                   "invalidations", J.Int (counter "path_cache_invalidations");
+                   "identical_matches", J.Bool identical_cold;
+                 ] );
+             "speedup_cached_vs_uncached", J.Float (base_ms /. cache_ms);
+             ( "service_rows",
+               J.List
+                 (List.map
+                    (fun (mode, domains, ms, identical) ->
+                      J.Obj
+                        [
+                          "mode", J.String (Pf_service.mode_name mode);
+                          "domains", J.Int domains;
+                          "ms", J.Float ms;
+                          "docs_per_s", J.Float (throughput ms);
+                          "identical_matches", J.Bool identical;
+                        ])
+                    svc_rows) );
+           ]);
+      if
+        (not identical_cold)
+        || List.exists (fun (_, _, _, identical) -> not identical) svc_rows
+      then failed := true)
+    (if !full then [ "nitf", 50_000, 300; "psd", 10_000, 300 ]
+     else [ "nitf", 10_000, 80; "psd", 3_000, 80 ]);
+  if !failed then begin
+    Printf.printf "path-cache: MATCH-SET MISMATCH against the uncached engine\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure, exercising
    the per-document kernel of the corresponding experiment. *)
 
@@ -812,6 +1035,8 @@ let experiments =
     "insertion", insertion;
     "service", service;
     "occurrence-alloc", occurrence_alloc;
+    "ingest-alloc", ingest_alloc;
+    "path-cache", path_cache_exp;
     "micro", micro;
   ]
 

@@ -20,8 +20,21 @@ let read_expressions path =
   in
   go [] 1
 
-let run engine_name shard_mode domains batch quiet count_only metrics_fmt trace_srcs
-    exprs_file docs =
+let run engine_name shard_mode domains batch path_cache quiet count_only metrics_fmt
+    trace_srcs exprs_file docs =
+  let path_cache =
+    match path_cache with
+    | "on" -> true
+    | "off" -> false
+    | s ->
+      Printf.eprintf "bad --path-cache %S (try on or off)\n" s;
+      exit 2
+  in
+  if path_cache && Pf_core.Expr_index.variant_of_name engine_name = None then begin
+    Printf.eprintf "--path-cache applies to the predicate-engine variants only, not %S\n"
+      engine_name;
+    exit 2
+  end;
   let mode =
     match Pf_service.mode_of_string shard_mode with
     | Some m -> m
@@ -60,7 +73,8 @@ let run engine_name shard_mode domains batch quiet count_only metrics_fmt trace_
   let filter =
     (* stage timings are wanted whenever metrics are exported *)
     match
-      Pf_bench.Bench_util.filter_of_name ~collect_stats:(metrics_fmt <> None) engine_name
+      Pf_bench.Bench_util.filter_of_name ~collect_stats:(metrics_fmt <> None)
+        ~path_cache engine_name
     with
     | Some f -> f
     | None ->
@@ -170,6 +184,15 @@ let batch_arg =
   let doc = "Maximum documents a worker domain dequeues at once." in
   Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc)
 
+let path_cache_arg =
+  let doc =
+    "Cross-document path-result cache: $(b,on) memoizes each root-to-leaf \
+     path's matching expression set across documents (invalidated on \
+     subscribe/unsubscribe), $(b,off) (default) matches every path. \
+     Predicate-engine variants only. Each worker replica owns its cache."
+  in
+  Arg.(value & opt string "off" & info [ "path-cache" ] ~docv:"on|off" ~doc)
+
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-match output.")
 
@@ -209,7 +232,7 @@ let cmd =
   let info = Cmd.info "pf-filter" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
-      const run $ engine_arg $ shard_mode_arg $ domains_arg $ batch_arg $ quiet_arg
-      $ count_arg $ metrics_arg $ trace_arg $ exprs_arg $ docs_arg)
+      const run $ engine_arg $ shard_mode_arg $ domains_arg $ batch_arg $ path_cache_arg
+      $ quiet_arg $ count_arg $ metrics_arg $ trace_arg $ exprs_arg $ docs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -44,19 +44,22 @@ type algorithm = {
 val of_filter : name:string -> Pf_intf.filter -> algorithm
 (** Adapter over any {!Pf_intf.FILTER} engine (one fresh instance). *)
 
-val filter_of_name : ?collect_stats:bool -> string -> Pf_intf.filter option
+val filter_of_name :
+  ?collect_stats:bool -> ?path_cache:bool -> string -> Pf_intf.filter option
 (** Resolve an engine name — a predicate-engine variant (basic, basic-pc,
     basic-pc-ap, shared) or a baseline (yfilter, index-filter) — to its
-    {!Pf_intf.filter} module. [collect_stats] applies to predicate-engine
-    variants only. *)
+    {!Pf_intf.filter} module. [collect_stats] and [path_cache] apply to
+    predicate-engine variants only (the baselines ignore them; validate
+    with {!Pf_core.Expr_index.variant_of_name} if that matters). *)
 
 val predicate_engine :
   ?variant:Pf_core.Expr_index.variant ->
   ?attr_mode:Pf_core.Engine.attr_mode ->
+  ?path_cache:bool ->
   unit ->
   algorithm
 (** Fresh predicate engine; name reflects variant (and attribute mode when
-    [Postponed]). *)
+    [Postponed], and a [-cache] suffix with [path_cache:true]). *)
 
 val yfilter : unit -> algorithm
 val index_filter : unit -> algorithm

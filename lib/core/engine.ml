@@ -40,6 +40,10 @@ type metrics = {
   paths : Pf_obs.Counter.t;
   documents : Pf_obs.Counter.t;
   dedup_hits : Pf_obs.Counter.t;
+  cache_hits : Pf_obs.Counter.t;
+  cache_misses : Pf_obs.Counter.t;
+  cache_evictions : Pf_obs.Counter.t;
+  cache_invalidations : Pf_obs.Counter.t;
   predicate_span : Pf_obs.Span.t;
   expr_span : Pf_obs.Span.t;
   collect_span : Pf_obs.Span.t;
@@ -56,6 +60,18 @@ let make_metrics () =
     dedup_hits =
       Pf_obs.Counter.make ~registry "dedup_path_hits"
         ~help:"tag-identical paths skipped by duplicate-path elimination";
+    cache_hits =
+      Pf_obs.Counter.make ~registry "path_cache_hits"
+        ~help:"paths answered from the cross-document path-result cache";
+    cache_misses =
+      Pf_obs.Counter.make ~registry "path_cache_misses"
+        ~help:"paths computed and inserted into the path-result cache";
+    cache_evictions =
+      Pf_obs.Counter.make ~registry "path_cache_evictions"
+        ~help:"path-result cache entries dropped by a capacity reset";
+    cache_invalidations =
+      Pf_obs.Counter.make ~registry "path_cache_invalidations"
+        ~help:"subscription epoch bumps invalidating the path-result cache";
     predicate_span =
       Pf_obs.Span.make ~registry "predicate_stage_ns"
         ~help:"predicate matching stage time";
@@ -68,6 +84,22 @@ let make_metrics () =
     pm = Predicate_index.make_metrics ~registry ();
     em = Expr_index.make_metrics ~registry ();
   }
+
+(* Cross-document path-result cache: the complete, sorted sid set the
+   predicate+occurrence stages produce for one publication, keyed by the
+   path's interned symbol sequence (plus its attribute tuples once any
+   registered expression carries attribute filters — see [cache_key]).
+   Entries are versioned by the subscription epoch: add/remove bump
+   [pc_epoch], and an entry stamped with an older epoch is recomputed on
+   next touch (lazy invalidation — nothing is swept eagerly). *)
+type cache_entry = { ce_epoch : int; ce_sids : int array }
+
+type path_cache = {
+  pc_table : (string, cache_entry) Hashtbl.t;
+  pc_capacity : int;  (* live entries before a wholesale reset *)
+  mutable pc_epoch : int;  (* subscription epoch *)
+  pc_key : Buffer.t;  (* reusable key scratch *)
+}
 
 type t = {
   variant : Expr_index.variant;
@@ -85,15 +117,22 @@ type t = {
          on_match callback fires *)
   m : metrics;
   mutable sid_stamp : int array;
+  mutable doc_stamp : int array;
+      (* cached-mode document-level accumulation marks; separate from
+         [sid_stamp], which cached mode repurposes for per-path result
+         computation (see [match_iter]) *)
   mutable doc_epoch : int;
   mutable constrained : bool;
       (* some expression carries attribute filters: publications are then
          attribute-sensitive and duplicate-path elimination must not apply *)
   seen_paths : (string, unit) Hashtbl.t;  (* per-document duplicate-path filter *)
+  cache : path_cache option;
+  scanner : Pf_xml.Path.scanner;  (* reused by match_stream across documents *)
 }
 
 let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
-    ?(collect_stats = false) ?(dedup_paths = false) () =
+    ?(collect_stats = false) ?(dedup_paths = false) ?(path_cache = false)
+    ?(path_cache_capacity = 65536) () =
   let m = make_metrics () in
   let pidx = Predicate_index.create ~metrics:m.pm () in
   {
@@ -112,14 +151,35 @@ let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
     chains = Occurrence.create_arena ();
     m;
     sid_stamp = [||];
+    doc_stamp = [||];
     doc_epoch = 0;
     constrained = false;
     seen_paths = Hashtbl.create 64;
+    cache =
+      (if path_cache then
+         Some
+           {
+             pc_table = Hashtbl.create 1024;
+             pc_capacity = max 1 path_cache_capacity;
+             pc_epoch = 0;
+             pc_key = Buffer.create 128;
+           }
+       else None);
+    scanner = Pf_xml.Path.create_scanner ();
   }
 
 let variant t = t.variant
 let attr_mode t = t.attr_mode
 let metrics t = t.m.registry
+let path_cache_enabled t = t.cache <> None
+
+(* Any successful subscription change makes every cached entry stale. *)
+let bump_cache_epoch t =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+    c.pc_epoch <- c.pc_epoch + 1;
+    Pf_obs.Counter.incr t.m.cache_invalidations
 
 (* Compatibility view over the registry: a fresh record per call, with the
    same fields the old mutable [stats] had. *)
@@ -200,6 +260,7 @@ let add t (p : Ast.path) =
   | Nested_expr -> Nested.add t.nested ~sid p);
   ignore (Vec.push t.exprs info : int);
   if Ast.has_attr_filters p then t.constrained <- true;
+  bump_cache_epoch t;
   Log.debug (fun m -> m "registered sid %d: %s" sid (Parser.to_string p));
   sid
 
@@ -216,7 +277,10 @@ let remove t sid =
         | Single { pids; _ } -> Expr_index.remove t.eidx ~sid ~pids
         | Nested_expr -> Nested.remove t.nested ~sid
       in
-      if removed then info.active <- false;
+      if removed then begin
+        info.active <- false;
+        bump_cache_epoch t
+      end;
       removed
     end
   end
@@ -229,6 +293,11 @@ let ensure_stamp t =
     let bigger = Array.make (max n (2 * Array.length t.sid_stamp)) 0 in
     Array.blit t.sid_stamp 0 bigger 0 (Array.length t.sid_stamp);
     t.sid_stamp <- bigger
+  end;
+  if t.cache <> None && Array.length t.doc_stamp < n then begin
+    let bigger = Array.make (max n (2 * Array.length t.doc_stamp)) 0 in
+    Array.blit t.doc_stamp 0 bigger 0 (Array.length t.doc_stamp);
+    t.doc_stamp <- bigger
   end
 
 (* Check an expression's postponed attribute constraints against one
@@ -269,12 +338,47 @@ let fill_chains t pids =
   in
   fetch 0
 
+(* Cache key for one path. The symbol sequence is length-prefixed and
+   fixed-width, and every attribute name/value is length-prefixed, so the
+   encoding is injective: equal keys imply an identical symbol sequence
+   (which determines the occurrence numbers — they are a running count
+   over it) and, when attributes participate, identical attribute tuples.
+   Attributes are included exactly when some registered expression
+   carries attribute filters ([t.constrained]) — in both Inline and
+   Postponed modes the per-path result then depends on them; with only
+   structural expressions it cannot. Structure tuples (child indices)
+   never key: only nested expressions consult them, and nested
+   expressions disable the cache entirely (their matches need
+   whole-document state, not per-path sets). *)
+let cache_key t c (path : Pf_xml.Path.t) =
+  let buf = c.pc_key in
+  Buffer.clear buf;
+  let steps = path.Pf_xml.Path.steps in
+  Buffer.add_int32_le buf (Int32.of_int (Array.length steps));
+  Array.iter
+    (fun (s : Pf_xml.Path.step) -> Buffer.add_int32_le buf (Int32.of_int s.Pf_xml.Path.sym))
+    steps;
+  if t.constrained then
+    Array.iter
+      (fun (s : Pf_xml.Path.step) ->
+        Buffer.add_int32_le buf (Int32.of_int (List.length s.Pf_xml.Path.attrs));
+        List.iter
+          (fun (n, v) ->
+            Buffer.add_int32_le buf (Int32.of_int (String.length n));
+            Buffer.add_string buf n;
+            Buffer.add_int32_le buf (Int32.of_int (String.length v));
+            Buffer.add_string buf v)
+          s.Pf_xml.Path.attrs)
+      steps;
+  Buffer.contents buf
+
 (* Core per-document matching loop; [iter_paths] drives the document's
    paths through it (from a materialized list or streaming off a SAX
    parse). *)
 let match_iter t iter_paths =
   ensure_stamp t;
   t.doc_epoch <- t.doc_epoch + 1;
+  let doc_id = t.doc_epoch in
   let acc = ref [] in
   let mark sid =
     if t.sid_stamp.(sid) <> t.doc_epoch then begin
@@ -285,6 +389,9 @@ let match_iter t iter_paths =
   let timed = t.collect_stats in
   let nested_active = not (Nested.is_empty t.nested) in
   if nested_active then Nested.begin_document t.nested;
+  (* nested expressions need whole-document structure state; per-path
+     caching is unsound for them, so their presence bypasses the cache *)
+  let cache = if nested_active then None else t.cache in
   (* Sibling subtrees yield literally identical publications (occurrence
      numbers are per path), so a tag-identical path cannot change the match
      set and is skipped — unless attributes matter (constrained
@@ -310,9 +417,7 @@ let match_iter t iter_paths =
       true
     end
   in
-  iter_paths
-    (fun path ->
-      if fresh_path path then begin
+  let process_uncached path =
       Pf_obs.Counter.incr t.m.paths;
       let pub = Publication.of_path path in
       let t0 = if timed then Pf_obs.Span.now () else 0L in
@@ -337,7 +442,75 @@ let match_iter t iter_paths =
         Pf_obs.Span.add t.m.predicate_span (Int64.sub t1 t0);
         Pf_obs.Span.add t.m.expr_span (Int64.sub t2 t1)
       end
-      end);
+  in
+  (* Document-level accumulation in cached mode. [sid_stamp] is reused by
+     the per-path computation under per-path tags, so the document marks
+     need their own array; [doc_id] values come from the same monotonic
+     clock, so a stale stamp can never alias the current document. *)
+  let mark_doc sid =
+    if t.doc_stamp.(sid) <> doc_id then begin
+      t.doc_stamp.(sid) <- doc_id;
+      acc := sid :: !acc
+    end
+  in
+  let process_cached c path =
+    Pf_obs.Counter.incr t.m.paths;
+    let key = cache_key t c path in
+    match Hashtbl.find_opt c.pc_table key with
+    | Some e when e.ce_epoch = c.pc_epoch ->
+      Pf_obs.Counter.incr t.m.cache_hits;
+      Array.iter mark_doc e.ce_sids
+    | prior ->
+      Pf_obs.Counter.incr t.m.cache_misses;
+      let pub = Publication.of_path path in
+      let t0 = if timed then Pf_obs.Span.now () else 0L in
+      Predicate_index.run t.pidx t.results pub;
+      let t1 = if timed then Pf_obs.Span.now () else 0L in
+      (* compute the *complete* per-path sid set under a fresh clock tick:
+         the cached value must not be truncated by what already matched
+         this document, and the expression index's sticky dedup scopes to
+         the path, which is exactly what makes the entry reusable *)
+      t.doc_epoch <- t.doc_epoch + 1;
+      let ptag = t.doc_epoch in
+      let matched = ref [] in
+      let hit sid =
+        t.sid_stamp.(sid) <- ptag;
+        matched := sid :: !matched
+      in
+      let on_match sid =
+        if t.sid_stamp.(sid) <> ptag then
+          match (Vec.get t.exprs sid).kind with
+          | Single { post = None; _ } -> hit sid
+          | Single { pids; post = Some post } ->
+            if
+              fill_chains t pids
+              && Occurrence.iter_chains_packed t.chains (chain_satisfies post pub)
+            then hit sid
+          | Nested_expr -> assert false
+      in
+      Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline) ~doc_tag:ptag
+        ~on_match ();
+      if timed then begin
+        let t2 = Pf_obs.Span.now () in
+        Pf_obs.Span.add t.m.predicate_span (Int64.sub t1 t0);
+        Pf_obs.Span.add t.m.expr_span (Int64.sub t2 t1)
+      end;
+      let sids = Array.of_list (List.sort compare !matched) in
+      if prior = None && Hashtbl.length c.pc_table >= c.pc_capacity then begin
+        (* capacity: drop everything rather than track recency — resets
+           are rare and the next documents repopulate the working set *)
+        Pf_obs.Counter.add t.m.cache_evictions (Hashtbl.length c.pc_table);
+        Hashtbl.reset c.pc_table
+      end;
+      Hashtbl.replace c.pc_table key { ce_epoch = c.pc_epoch; ce_sids = sids };
+      Array.iter mark_doc sids
+  in
+  iter_paths
+    (fun path ->
+      if fresh_path path then
+        match cache with
+        | None -> process_uncached path
+        | Some c -> process_cached c path);
   let t2 = if timed then Pf_obs.Span.now () else 0L in
   if nested_active then Nested.finish_document t.nested ~on_match:mark;
   let result = List.sort compare !acc in
@@ -357,8 +530,10 @@ let match_document t doc = match_paths t (Pf_xml.Path.of_document doc)
 let match_string t s = match_document t (Pf_xml.Sax.parse_document s)
 
 let match_stream t src =
-  match_iter t (fun f ->
-      Pf_xml.Path.fold_of_string src ~init:() ~f:(fun () path -> f path))
+  (* zero-copy ingest: the engine-owned scanner is reused across
+     documents, and the matching loop never retains the emitted path
+     (the dedup key and the publication both copy what they need) *)
+  match_iter t (fun f -> Pf_xml.Path.scan t.scanner src ~f)
 
 type explanation = {
   expl_path : Pf_xml.Path.t;
@@ -449,12 +624,14 @@ let match_path t path =
 (* ------------------------------------------------------------------ *)
 (* The unified engine signature (Pf_intf.FILTER) *)
 
-let filter ?variant ?attr_mode ?collect_stats ?dedup_paths ?(stream = false) () :
-    (module Pf_intf.FILTER with type t = t) =
+let filter ?variant ?attr_mode ?collect_stats ?dedup_paths ?path_cache
+    ?path_cache_capacity ?(stream = false) () : (module Pf_intf.FILTER with type t = t) =
   (module struct
     type nonrec t = t
 
-    let create () = create ?variant ?attr_mode ?collect_stats ?dedup_paths ()
+    let create () =
+      create ?variant ?attr_mode ?collect_stats ?dedup_paths ?path_cache
+        ?path_cache_capacity ()
     let add = add
     let add_string = add_string
     let remove = remove

@@ -31,11 +31,14 @@ val create :
   ?attr_mode:attr_mode ->
   ?collect_stats:bool ->
   ?dedup_paths:bool ->
+  ?path_cache:bool ->
+  ?path_cache_capacity:int ->
   unit ->
   t
 (** Defaults: [variant = Access_predicate] (the paper's best variant,
     "basic-pc-ap"), [attr_mode = Inline], [collect_stats = false],
-    [dedup_paths = false].
+    [dedup_paths = false], [path_cache = false],
+    [path_cache_capacity = 65536].
 
     [dedup_paths] is an extension beyond the paper: sibling subtrees
     produce literally identical publications (occurrence numbers are
@@ -44,10 +47,28 @@ val create :
     attribute filters and none is nested (it disables itself otherwise)
     and speeds up repetitive documents severalfold — see the [ablation]
     benchmark. Off by default to keep the default engine the paper's
-    algorithm. *)
+    algorithm.
+
+    [path_cache] enables the cross-document path-result cache: the
+    complete sorted sid set the predicate+occurrence stages produce for a
+    root-to-leaf path is memoized under the path's interned symbol
+    sequence (plus its attribute tuples once any registered expression
+    carries attribute filters), so DTD-driven streams that repeat paths
+    across documents skip both stages on a hit. Entries are versioned by
+    the subscription epoch — every successful {!add}/{!remove} lazily
+    invalidates the whole cache — and results are always identical to the
+    uncached engine. Nested path expressions need whole-document state;
+    while any is registered, matching bypasses the cache. At
+    [path_cache_capacity] entries the cache is reset wholesale. Hits,
+    misses, evictions and invalidations are exported as
+    [path_cache_hits]/[path_cache_misses]/[path_cache_evictions]/
+    [path_cache_invalidations] counters in the engine registry. *)
 
 val variant : t -> Expr_index.variant
 val attr_mode : t -> attr_mode
+
+val path_cache_enabled : t -> bool
+(** True iff the engine was created with [path_cache:true]. *)
 
 (** {1 The unified engine signature} *)
 
@@ -56,6 +77,8 @@ val filter :
   ?attr_mode:attr_mode ->
   ?collect_stats:bool ->
   ?dedup_paths:bool ->
+  ?path_cache:bool ->
+  ?path_cache_capacity:int ->
   ?stream:bool ->
   unit ->
   (module Pf_intf.FILTER with type t = t)
@@ -148,8 +171,10 @@ val occurrence_runs : t -> int
     its counters, histograms and per-stage span timers:
 
     - counters ["paths"], ["documents"], ["dedup_path_hits"],
-      ["predicate_probes"], ["predicate_hits"], ["occurrence_runs"],
-      ["backtrack_steps"], ["prefix_cover_skips"], ["access_skips"];
+      ["path_cache_hits"], ["path_cache_misses"], ["path_cache_evictions"],
+      ["path_cache_invalidations"], ["predicate_probes"],
+      ["predicate_hits"], ["occurrence_runs"], ["backtrack_steps"],
+      ["prefix_cover_skips"], ["access_skips"];
     - histogram ["chain_length"] (predicate chain length per occurrence
       determination run);
     - spans ["predicate_stage_ns"], ["expr_stage_ns"],

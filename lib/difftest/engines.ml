@@ -55,12 +55,103 @@ let oracle =
     finalize = ignore;
   }
 
-let predicate_engine ~ename ?variant ?attr_mode ?dedup_paths ?stream () =
+let predicate_engine ~ename ?variant ?attr_mode ?dedup_paths ?path_cache ?stream () =
   {
     ename;
     filter =
-      (Pf_core.Engine.filter ?variant ?attr_mode ?dedup_paths ?stream ()
+      (Pf_core.Engine.filter ?variant ?attr_mode ?dedup_paths ?path_cache ?stream ()
         :> Pf_intf.filter);
+    supports = engine_subset;
+    finalize = ignore;
+  }
+
+(* Wrap a filter so every [match_document] first unsubscribes and
+   re-subscribes a deterministic subset of the live expressions. External
+   sids stay stable — the wrapper translates through a mapping, exactly
+   like the service's global/local sid tables — so the runner's
+   bookkeeping is untouched while the inner engine's subscription epoch
+   (and with it any path-result cache) is churned between documents. A
+   cache that survives an epoch bump, or an entry not recomputed after a
+   re-add under a fresh internal sid, shows up as a divergence. *)
+let churned (filter : Pf_intf.filter) : Pf_intf.filter =
+  let (module F) = filter in
+  (module struct
+    type t = {
+      inst : F.t;
+      mutable docs : int;
+      exprs : (int, Ast.path) Hashtbl.t;  (* external sid -> source *)
+      fwd : (int, int) Hashtbl.t;  (* external -> internal sid *)
+      rev : (int, int) Hashtbl.t;  (* internal -> external sid *)
+      mutable next : int;
+    }
+
+    let create () =
+      {
+        inst = F.create ();
+        docs = 0;
+        exprs = Hashtbl.create 16;
+        fwd = Hashtbl.create 16;
+        rev = Hashtbl.create 16;
+        next = 0;
+      }
+
+    let add t p =
+      let internal = F.add t.inst p in
+      let ext = t.next in
+      t.next <- ext + 1;
+      Hashtbl.replace t.exprs ext p;
+      Hashtbl.replace t.fwd ext internal;
+      Hashtbl.replace t.rev internal ext;
+      ext
+
+    let add_string t s = add t (Parser.parse s)
+
+    let remove t ext =
+      match Hashtbl.find_opt t.fwd ext with
+      | None -> false
+      | Some internal ->
+        let ok = F.remove t.inst internal in
+        if ok then begin
+          Hashtbl.remove t.fwd ext;
+          Hashtbl.remove t.rev internal;
+          Hashtbl.remove t.exprs ext
+        end;
+        ok
+
+    let match_document t doc =
+      t.docs <- t.docs + 1;
+      let k = t.docs in
+      (* churn roughly a third of the live expressions, a different third
+         each document *)
+      let victims =
+        Hashtbl.fold
+          (fun ext _ acc -> if (ext + k) mod 3 = 0 then ext :: acc else acc)
+          t.fwd []
+      in
+      List.iter
+        (fun ext ->
+          let internal = Hashtbl.find t.fwd ext in
+          let removed = F.remove t.inst internal in
+          assert removed;
+          let internal' = F.add t.inst (Hashtbl.find t.exprs ext) in
+          Hashtbl.remove t.rev internal;
+          Hashtbl.replace t.fwd ext internal';
+          Hashtbl.replace t.rev internal' ext)
+        (List.sort compare victims);
+      List.sort compare
+        (List.map (fun i -> Hashtbl.find t.rev i) (F.match_document t.inst doc))
+
+    let match_string t s = match_document t (Pf_xml.Sax.parse_document s)
+    let metrics t = F.metrics t.inst
+  end)
+
+let cached_engine ~ename ?variant ?attr_mode () =
+  {
+    ename;
+    filter =
+      churned
+        (Pf_core.Engine.filter ?variant ?attr_mode ~path_cache:true ()
+          :> Pf_intf.filter);
     supports = engine_subset;
     finalize = ignore;
   }
@@ -141,6 +232,14 @@ let extended_roster () =
       predicate_engine ~ename:"engine-shared-dedup" ~variant:Pf_core.Expr_index.Shared
         ~dedup_paths:true ();
       predicate_engine ~ename:"engine-stream" ~stream:true ();
+      (* the cross-document path-result cache under subscription churn:
+         inline (symbol-keyed entries) and selection-postponed with
+         attribute-sensitive keys; every document is preceded by a
+         deterministic unsubscribe/resubscribe wave, so stale cache
+         entries surviving an epoch bump diverge from the oracle *)
+      cached_engine ~ename:"engine-cached" ();
+      cached_engine ~ename:"engine-cached-sp" ~variant:Pf_core.Expr_index.Basic
+        ~attr_mode:Pf_core.Engine.Postponed ();
       (* the service layer against the same oracle: document-replicated and
          expression-sharded, at a domain count that makes sharding
          non-trivial (3 shards interleave sids 0,3,6.. / 1,4,.. / 2,5,..) *)

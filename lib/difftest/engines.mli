@@ -40,10 +40,27 @@ val predicate_engine :
   ?variant:Pf_core.Expr_index.variant ->
   ?attr_mode:Pf_core.Engine.attr_mode ->
   ?dedup_paths:bool ->
+  ?path_cache:bool ->
   ?stream:bool ->
   unit ->
   engine
 (** A labeled predicate-engine configuration (see {!Pf_core.Engine.filter}). *)
+
+val churned : Pf_intf.filter -> Pf_intf.filter
+(** Wrap a filter so every [match_document] first unsubscribes and
+    re-subscribes a deterministic third of the live expressions (a
+    different third each document), translating sids so the wrapper's
+    external sids stay stable. Exercises subscription-epoch invalidation
+    — a path-result cache serving stale entries across the churn shows up
+    as an oracle divergence. *)
+
+val cached_engine :
+  ename:string ->
+  ?variant:Pf_core.Expr_index.variant ->
+  ?attr_mode:Pf_core.Engine.attr_mode ->
+  unit ->
+  engine
+(** The predicate engine with [path_cache:true], behind {!churned}. *)
 
 val yfilter_engine : engine
 val index_filter_engine : engine
@@ -68,6 +85,9 @@ val extended_roster : unit -> engine list
     ["engine-shared-dedup"] (the shared-trie ablation with path
     deduplication), ["engine-stream"] (the SAX streaming pipeline,
     matching the serialized document without materializing a tree),
+    ["engine-cached"] / ["engine-cached-sp"] (the cross-document
+    path-result cache, inline and selection-postponed, under
+    per-document subscription churn — see {!churned}),
     ["service-doc"] (the document-replicated service at 2 domains) and
     ["service-expr"] (the expression-sharded service at 3 domains). *)
 

@@ -9,16 +9,20 @@
     its parent, used for nested path filters). *)
 
 type step = {
-  tag : string;
-  sym : Symbol.t;  (** [Symbol.intern tag], computed once at parse time *)
-  attrs : (string * string) list;
+  mutable tag : string;
+  mutable sym : Symbol.t;  (** [Symbol.intern tag], computed once at parse time *)
+  mutable attrs : (string * string) list;
       (** attributes in document order; the element's (trimmed) immediate
           text content, if any, is appended as the reserved
           pseudo-attribute [#text], through which [text()] filters are
           evaluated *)
-  occurrence : int;  (** 1-based occurrence number of [tag] within the path *)
-  child_index : int;  (** 1-based index among parent's element children; 1 for the root *)
+  mutable occurrence : int;  (** 1-based occurrence number of [tag] within the path *)
+  mutable child_index : int;  (** 1-based index among parent's element children; 1 for the root *)
 }
+(** Fields are mutable {e only} so the streaming {!scan} arena can reuse
+    records in place; everything else builds steps once and never mutates
+    them. Paths from {!of_document}, {!of_string} and {!fold_of_string}
+    are fresh and safe to retain. *)
 
 type t = { steps : step array }
 
@@ -30,7 +34,32 @@ val fold_of_string : string -> init:'a -> f:('a -> t -> 'a) -> 'a
 (** Extract paths directly from XML text, one at a time as their leaves
     close, without materializing the document tree — the paper's SAX
     pipeline ("we use a SAX parser and extract one path at a time").
-    Paths are visited in document order. Raises {!Sax.Parse_error}. *)
+    Paths are visited in document order. Raises {!Sax.Parse_error}.
+    Each path is freshly snapshotted and safe to retain; for the
+    allocation-free variant see {!scan}. *)
+
+type scanner
+(** Reusable streaming-extraction state: the open-element step arena,
+    per-depth text accumulators and emission buffers. Reusing one scanner
+    across a document stream makes extraction allocation-free in the
+    steady state. Not domain-safe; use one scanner per domain. *)
+
+val create_scanner : unit -> scanner
+
+val scan : scanner -> string -> f:(t -> unit) -> unit
+(** [scan sk src ~f] extracts root-to-leaf paths like {!fold_of_string}
+    but reuses [sk]'s arenas: the path passed to [f], its steps array
+    {e and the step records themselves} are overwritten after [f]
+    returns and must not be retained — copy per-step fields you need
+    (the tag strings and attribute lists are immutable and safely
+    shared). Built on {!Sax.fold_zc}, so tag/attr names are interned
+    straight from [src], attribute lists come from a bounded shared
+    cache, and character data never becomes intermediate event strings:
+    once the caches are warm, extracting a document allocates nothing
+    per element or per path. Raises {!Sax.Parse_error}. *)
+
+val scan_string : string -> f:(t -> unit) -> unit
+(** [scan (create_scanner ()) src ~f] — one-shot convenience. *)
 
 val of_string : string -> t list
 (** [of_string s = fold_of_string s ~init:[] ~f:(fun acc p -> p :: acc)

@@ -19,6 +19,14 @@ let m_max_depth =
   Pf_obs.Gauge.make ~registry:metrics "max_depth"
     ~help:"deepest element nesting observed"
 
+let m_attr_cache_entries =
+  Pf_obs.Gauge.make ~registry:metrics "attr_cache_entries"
+    ~help:"high-water live entries in a per-domain attribute-list cache"
+
+let m_attr_cache_resets =
+  Pf_obs.Counter.make ~registry:metrics "attr_cache_resets"
+    ~help:"per-domain attribute-list caches reset after reaching the bound"
+
 type position = { line : int; column : int }
 
 exception Parse_error of position * string
@@ -133,11 +141,11 @@ let decode_entity cur buf =
     end
     else fail cur (Printf.sprintf "unknown entity &%s;" name)
 
-let read_attr_value cur =
+let read_attr_value_into cur buf =
   let quote = peek cur in
   if quote <> '"' && quote <> '\'' then fail cur "expected quoted attribute value";
   advance cur;
-  let buf = Buffer.create 16 in
+  Buffer.clear buf;
   let rec go () =
     if eof cur then fail cur "unterminated attribute value"
     else
@@ -157,6 +165,8 @@ let read_attr_value cur =
   in
   go ();
   Buffer.contents buf
+
+let read_attr_value cur = read_attr_value_into cur (Buffer.create 16)
 
 let read_attributes cur =
   let rec go acc =
@@ -306,6 +316,406 @@ let fold_events src ~init ~f =
   Pf_obs.Counter.add m_events !n_events;
   Pf_obs.Gauge.set_max m_max_depth (float_of_int !max_depth);
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Zero-copy driver.
+
+   [fold_zc] walks the same grammar as [fold_events] — same control flow,
+   same error checks in the same order, so errors carry identical
+   positions and messages — but never constructs [event] values:
+
+   - tag and attribute names are interned straight out of the source
+     buffer with [Symbol.intern_sub]; in the steady state (domain cache
+     hit) no name string is allocated at all;
+   - end tags are checked against the open element's symbol by comparing
+     the span in place — a matching end tag allocates nothing, and a
+     mismatched one never pollutes the interner;
+   - character data is delivered as [(string, pos, len)] spans of the
+     source (or of a small scratch buffer for decoded entities), valid
+     only during the callback;
+   - attribute lists come from a bounded per-domain cache keyed by the
+     whole (name, value)* combination: names are the interner's canonical
+     strings and repeated combinations (DTD-driven streams draw values
+     from small pools) return the same immutable list with no allocation
+     at all.
+
+   The classic [fold_events] stays as-is: tree building wants owned
+   strings anyway, and the byte-exact error behavior of both drivers is
+   pinned by the test suite. *)
+
+type zc_handler = {
+  zc_start : Symbol.t -> (string * string) list -> unit;
+  zc_end : Symbol.t -> unit;
+  zc_text : string -> int -> int -> unit;
+}
+
+(* Does the span [s.[pos..pos+len)] spell [name]? Top-level recursion,
+   not a local closure: this runs per end tag and must not allocate. *)
+let rec span_eq_loop name s pos i len =
+  i = len
+  || (String.unsafe_get name i = String.unsafe_get s (pos + i)
+     && span_eq_loop name s pos (i + 1) len)
+
+let span_equals name s pos len = String.length name = len && span_eq_loop name s pos 0 len
+
+(* Like [read_name] but without copying: returns the start position; the
+   span ends at [cur.pos] (returning a tuple would allocate per name). *)
+let read_name_start cur =
+  if not (is_name_start (peek cur)) then fail cur "expected a name";
+  let start = cur.pos in
+  while (not (eof cur)) && is_name_char (peek cur) do
+    advance cur
+  done;
+  start
+
+(* Per-domain zero-copy parse state: a byte arena receiving the current
+   element's decoded attribute values plus a bounded open-addressing
+   cache of materialized attribute lists. Whole (name, value)*
+   combinations repeat heavily across elements and documents of a
+   DTD-driven stream, so a hit returns a shared immutable list without
+   allocating value strings or list cells. Like the symbol read cache,
+   the table is reset wholesale when it reaches [al_bound] live entries,
+   so an adversarial stream of distinct values cannot grow it without
+   limit. One parse at a time per domain (the invariant the rest of the
+   system already maintains: engines, and hence their parsers, are never
+   shared between domains). *)
+let al_bound = 4096
+
+let al_cap = 8192 (* power of two, = 2 * al_bound *)
+
+type attr_entry = {
+  ae_syms : int array;  (* attr name symbols, document order; [||] = empty slot *)
+  ae_vals : string array;  (* decoded values, same order *)
+  ae_list : (string * string) list;  (* the shared materialized list *)
+}
+
+let ae_empty = { ae_syms = [||]; ae_vals = [||]; ae_list = [] }
+
+type zc_state = {
+  mutable arena : Bytes.t;  (* decoded values of the current element *)
+  mutable arena_len : int;
+  mutable a_syms : int array;  (* current element's attr name symbols *)
+  mutable a_off : int array;  (* value spans in [arena] *)
+  mutable a_len : int array;
+  mutable a_count : int;
+  entity_buf : Buffer.t;
+  al_table : attr_entry array;  (* al_cap slots *)
+  mutable al_size : int;
+}
+
+let zc_state_key : zc_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        arena = Bytes.create 256;
+        arena_len = 0;
+        a_syms = Array.make 8 0;
+        a_off = Array.make 8 0;
+        a_len = Array.make 8 0;
+        a_count = 0;
+        entity_buf = Buffer.create 16;
+        al_table = Array.make al_cap ae_empty;
+        al_size = 0;
+      })
+
+let arena_reserve st n =
+  if st.arena_len + n > Bytes.length st.arena then begin
+    let cap = ref (2 * Bytes.length st.arena) in
+    while st.arena_len + n > !cap do
+      cap := 2 * !cap
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit st.arena 0 b 0 st.arena_len;
+    st.arena <- b
+  end
+
+(* [read_attr_value_into], but decoding into the arena. Same checks in
+   the same order, so errors match the classic driver byte for byte. The
+   helpers here and below are top-level tail recursions, not local
+   closures or refs — this is the per-element hot path and must not
+   allocate. *)
+let rec attr_value_loop cur st quote =
+  if eof cur then fail cur "unterminated attribute value"
+  else
+    let c = peek cur in
+    if c = quote then advance cur
+    else if c = '&' then begin
+      advance cur;
+      Buffer.clear st.entity_buf;
+      decode_entity cur st.entity_buf;
+      let n = Buffer.length st.entity_buf in
+      arena_reserve st n;
+      Buffer.blit st.entity_buf 0 st.arena st.arena_len n;
+      st.arena_len <- st.arena_len + n;
+      attr_value_loop cur st quote
+    end
+    else if c = '<' then fail cur "'<' in attribute value"
+    else begin
+      arena_reserve st 1;
+      Bytes.unsafe_set st.arena st.arena_len c;
+      st.arena_len <- st.arena_len + 1;
+      advance cur;
+      attr_value_loop cur st quote
+    end
+
+(* Reads the value into the arena; the span is
+   [(st.arena_len before, st.arena_len after)]. *)
+let read_attr_value_zc cur st =
+  let quote = peek cur in
+  if quote <> '"' && quote <> '\'' then fail cur "expected quoted attribute value";
+  advance cur;
+  attr_value_loop cur st quote
+
+(* FNV-1a over the pending attrs: name symbols and value bytes. *)
+let rec hash_arena b i stop h =
+  if i = stop then h
+  else
+    hash_arena b (i + 1) stop
+      ((h lxor Char.code (Bytes.unsafe_get b i)) * 0x01000193 land 0x3FFFFFFF)
+
+let fnv_mix h v = (h lxor v) * 0x01000193 land 0x3FFFFFFF
+
+let rec attr_hash_from st i h =
+  if i = st.a_count then h
+  else
+    let off = st.a_off.(i) and len = st.a_len.(i) in
+    let h = hash_arena st.arena off (off + len) (fnv_mix (fnv_mix h st.a_syms.(i)) len) in
+    attr_hash_from st (i + 1) h
+
+let attr_hash st = attr_hash_from st 0 0x811c9dc5
+
+let rec bytes_eq_str v b off i len =
+  i = len
+  || (Char.equal (String.unsafe_get v i) (Bytes.unsafe_get b (off + i))
+     && bytes_eq_str v b off (i + 1) len)
+
+let rec attr_entry_matches_from st e i =
+  i = st.a_count
+  || (e.ae_syms.(i) = st.a_syms.(i)
+      &&
+      let v = e.ae_vals.(i) and len = st.a_len.(i) in
+      String.length v = len
+      && bytes_eq_str v st.arena st.a_off.(i) 0 len
+      && attr_entry_matches_from st e (i + 1))
+
+let attr_entry_matches st e =
+  Array.length e.ae_syms = st.a_count && attr_entry_matches_from st e 0
+
+(* Slot holding the pending attrs, or the empty slot where they belong. *)
+let rec al_find st i =
+  let e = st.al_table.(i) in
+  if Array.length e.ae_syms = 0 || attr_entry_matches st e then i
+  else al_find st ((i + 1) land (al_cap - 1))
+
+(* The materialized list for the current element's pending attrs: the
+   shared cached list on a hit, a freshly built and inserted one on a
+   miss. *)
+let attr_list_of st =
+  let h = attr_hash st in
+  let mask = al_cap - 1 in
+  let slot = al_find st (h land mask) in
+  let e = st.al_table.(slot) in
+  if Array.length e.ae_syms > 0 then e.ae_list
+  else begin
+    let slot =
+      if st.al_size >= al_bound then begin
+        Array.fill st.al_table 0 al_cap ae_empty;
+        st.al_size <- 0;
+        Pf_obs.Counter.incr m_attr_cache_resets;
+        h land mask
+      end
+      else slot
+    in
+    let syms = Array.sub st.a_syms 0 st.a_count in
+    let vals =
+      Array.init st.a_count (fun k -> Bytes.sub_string st.arena st.a_off.(k) st.a_len.(k))
+    in
+    let rec build k =
+      if k = st.a_count then [] else (Symbol.name syms.(k), vals.(k)) :: build (k + 1)
+    in
+    let list = build 0 in
+    st.al_table.(slot) <- { ae_syms = syms; ae_vals = vals; ae_list = list };
+    st.al_size <- st.al_size + 1;
+    Pf_obs.Gauge.set_max m_attr_cache_entries (float_of_int st.al_size);
+    list
+  end
+
+(* Cold path of [attrs_loop]: double the pending-attr arrays. *)
+let grow_pending st =
+  let cap = 2 * st.a_count in
+  let grow a =
+    let b = Array.make cap 0 in
+    Array.blit a 0 b 0 st.a_count;
+    b
+  in
+  st.a_syms <- grow st.a_syms;
+  st.a_off <- grow st.a_off;
+  st.a_len <- grow st.a_len
+
+(* Attribute list in document order, shared from the per-domain cache. *)
+let rec attrs_loop cur st =
+  skip_space cur;
+  match peek cur with
+  | '>' | '/' | '?' -> ()
+  | _ ->
+    let npos = read_name_start cur in
+    let nlen = cur.pos - npos in
+    skip_space cur;
+    expect cur '=';
+    skip_space cur;
+    let off = st.arena_len in
+    read_attr_value_zc cur st;
+    let len = st.arena_len - off in
+    let sym = Symbol.intern_sub cur.src ~pos:npos ~len:nlen in
+    if st.a_count = Array.length st.a_syms then grow_pending st;
+    st.a_syms.(st.a_count) <- sym;
+    st.a_off.(st.a_count) <- off;
+    st.a_len.(st.a_count) <- len;
+    st.a_count <- st.a_count + 1;
+    attrs_loop cur st
+
+let read_attrs_zc cur st =
+  st.a_count <- 0;
+  st.arena_len <- 0;
+  attrs_loop cur st;
+  if st.a_count = 0 then [] else attr_list_of st
+
+(* Character data: raw runs are reported as spans of [src]; decoded
+   entities go through the entity buffer one at a time. [n_events] is the
+   caller's per-document counter (passing the ref does not allocate). *)
+let text_flush cur (h : zc_handler) n_events start =
+  if cur.pos > start then begin
+    incr n_events;
+    h.zc_text cur.src start (cur.pos - start)
+  end
+
+let rec text_loop cur st (h : zc_handler) n_events start =
+  if eof cur then text_flush cur h n_events start
+  else
+    let c = peek cur in
+    if c = '<' then text_flush cur h n_events start
+    else if c = '&' then begin
+      text_flush cur h n_events start;
+      advance cur;
+      Buffer.clear st.entity_buf;
+      decode_entity cur st.entity_buf;
+      incr n_events;
+      h.zc_text (Buffer.contents st.entity_buf) 0 (Buffer.length st.entity_buf);
+      text_loop cur st h n_events cur.pos
+    end
+    else begin
+      advance cur;
+      text_loop cur st h n_events start
+    end
+
+let read_text_zc cur st h n_events = text_loop cur st h n_events cur.pos
+
+let fold_zc src (h : zc_handler) =
+  let cur = { src; pos = 0 } in
+  let n_events = ref 0 in
+  let depth = ref 0 and max_depth = ref 0 in
+  let opened () =
+    incr n_events;
+    incr depth;
+    if !depth > !max_depth then max_depth := !depth
+  in
+  (* open-element stack of interned symbols *)
+  let stack = ref (Array.make 16 (-1)) in
+  let sp = ref 0 in
+  let push sym =
+    if !sp = Array.length !stack then begin
+      let bigger = Array.make (2 * !sp) (-1) in
+      Array.blit !stack 0 bigger 0 !sp;
+      stack := bigger
+    end;
+    !stack.(!sp) <- sym;
+    incr sp
+  in
+  let st = Domain.DLS.get zc_state_key in
+  let rec loop () =
+    if eof cur then ()
+    else if peek cur = '<' then begin
+      advance cur;
+      (match peek cur with
+      | '?' ->
+        advance cur;
+        let stop = find_str cur "?>" in
+        incr n_events;
+        cur.pos <- stop + 2
+      | '!' ->
+        advance cur;
+        if looking_at cur "--" then begin
+          cur.pos <- cur.pos + 2;
+          let stop = find_str cur "-->" in
+          incr n_events;
+          cur.pos <- stop + 3
+        end
+        else if looking_at cur "[CDATA[" then begin
+          cur.pos <- cur.pos + 7;
+          let stop = find_str cur "]]>" in
+          incr n_events;
+          h.zc_text cur.src cur.pos (stop - cur.pos);
+          cur.pos <- stop + 3
+        end
+        else if looking_at cur "DOCTYPE" then begin
+          cur.pos <- cur.pos + 7;
+          skip_doctype cur
+        end
+        else fail cur "unexpected markup declaration"
+      | '/' ->
+        advance cur;
+        let npos = read_name_start cur in
+        let nlen = cur.pos - npos in
+        skip_space cur;
+        expect cur '>';
+        if !sp > 0 then begin
+          let top = !stack.(!sp - 1) in
+          if span_equals (Symbol.name top) cur.src npos nlen then begin
+            decr sp;
+            incr n_events;
+            decr depth;
+            h.zc_end top
+          end
+          else
+            fail cur
+              (Printf.sprintf "mismatched end tag </%s>, expected </%s>"
+                 (String.sub cur.src npos nlen) (Symbol.name top))
+        end
+        else
+          fail cur
+            (Printf.sprintf "unexpected end tag </%s>" (String.sub cur.src npos nlen))
+      | _ ->
+        let npos = read_name_start cur in
+        let nlen = cur.pos - npos in
+        let sym = Symbol.intern_sub cur.src ~pos:npos ~len:nlen in
+        let attrs = read_attrs_zc cur st in
+        skip_space cur;
+        if peek cur = '/' then begin
+          advance cur;
+          expect cur '>';
+          opened ();
+          h.zc_start sym attrs;
+          incr n_events;
+          decr depth;
+          h.zc_end sym
+        end
+        else begin
+          expect cur '>';
+          push sym;
+          opened ();
+          h.zc_start sym attrs
+        end);
+      loop ()
+    end
+    else begin
+      read_text_zc cur st h n_events;
+      loop ()
+    end
+  in
+  loop ();
+  if !sp > 0 then
+    fail cur (Printf.sprintf "unclosed element <%s>" (Symbol.name !stack.(!sp - 1)));
+  Pf_obs.Counter.add m_events !n_events;
+  Pf_obs.Gauge.set_max m_max_depth (float_of_int !max_depth)
 
 let is_blank s = String.for_all is_space s
 

@@ -33,6 +33,35 @@ val fold_events : string -> init:'a -> f:('a -> event -> 'a) -> 'a
     each event in document order. Raises {!Parse_error} on malformed input.
     Verifies that start and end tags balance. *)
 
+type zc_handler = {
+  zc_start : Symbol.t -> (string * string) list -> unit;
+      (** element opened: interned tag symbol plus its attributes in
+          document order. Attribute {e names} are the interner's canonical
+          shared strings; the list (values included) is immutable, safe to
+          retain, and shared from a bounded per-domain cache keyed by the
+          whole (name, value)* combination — an element whose combination
+          was seen before allocates nothing. The list is [[]] for
+          attribute-less elements. The cache's high-water size and reset
+          count are the ["sax"] registry's [attr_cache_entries] gauge and
+          [attr_cache_resets] counter. *)
+  zc_end : Symbol.t -> unit;  (** element closed (same symbol as its start) *)
+  zc_text : string -> int -> int -> unit;
+      (** [zc_text s pos len]: a run of character data as a substring of
+          [s]. The span is only valid during the callback — [s] is either
+          the source buffer or a reused scratch buffer (decoded entities,
+          which are reported as their own runs). Adjacent runs may be
+          split; callers accumulate. *)
+}
+
+val fold_zc : string -> zc_handler -> unit
+(** Zero-copy variant of {!fold_events}: same grammar, same errors at the
+    same positions, but tag/attribute names are interned directly from the
+    source buffer ({!Symbol.intern_sub}) and character data is delivered
+    as in-place spans, so a document whose vocabulary is already interned
+    parses without allocating per-element name strings or event values.
+    Comments and processing instructions are skipped (counted, not
+    reported). *)
+
 val parse_document : string -> Tree.t
 (** Parse a complete document into a tree. Whitespace-only text between
     elements is dropped; other text is kept. Raises {!Parse_error}. *)

@@ -5,8 +5,19 @@
    symbol assigned on one domain has to denote the same tag everywhere.
    The authoritative table is guarded by a mutex; every domain keeps a
    private read cache (Domain.DLS) in front of it, so the steady-state
-   cost of [intern] is one lookup in an uncontended, domain-local
-   hashtable — no lock, no cross-domain traffic.
+   cost of [intern] is one lookup in an uncontended, domain-local table —
+   no lock, no cross-domain traffic.
+
+   The read cache is a fixed-capacity open-addressing table rather than a
+   Hashtbl for two reasons. First, lookups must work on a substring of
+   the source buffer without materializing it ([intern_sub] is the SAX
+   cursor's hot path; a Hashtbl probe would need the key string to
+   exist). Second, the cache must be bounded: an adversarial or
+   pathological stream of distinct names would otherwise grow every
+   domain's cache without limit. When a domain's cache reaches
+   [dls_cache_bound] live entries it is reset wholesale — the global
+   table still holds every assignment, so a reset only costs re-probing
+   the mutex-guarded path until the working set is cached again.
 
    The sym -> name direction is an immutable array republished (copy on
    insert) through an Atomic: readers never observe a partially filled
@@ -15,12 +26,65 @@
 
 type t = int
 
+(* Interner-wide metrics. Counters/gauges are monitoring-grade plain
+   mutable fields; concurrent bumps from several domains may drop an
+   increment, which is acceptable for cache telemetry. *)
+let metrics = Pf_obs.Registry.create "symbol"
+
+let m_cache_entries =
+  Pf_obs.Gauge.make ~registry:metrics "dls_cache_entries"
+    ~help:"high-water live entries in a per-domain symbol read cache"
+
+let m_cache_resets =
+  Pf_obs.Counter.make ~registry:metrics "dls_cache_resets"
+    ~help:"per-domain symbol read caches reset after reaching the bound"
+
 let lock = Mutex.create ()
 let global : (string, int) Hashtbl.t = Hashtbl.create 256 (* guarded by [lock] *)
 let names : string array Atomic.t = Atomic.make [||] (* length = #symbols *)
 
-let cache_key : (string, int) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 256)
+(* Per-domain read cache: open addressing, linear probing, power-of-two
+   capacity. [vals.(i) >= 0] marks a live slot; [keys.(i)] is then the
+   canonical name string. Capacity is 2x the bound so the load factor
+   never exceeds 1/2 and probe chains stay short. *)
+let dls_cache_bound = 4096
+
+let cache_capacity = 8192 (* power of two, = 2 * dls_cache_bound *)
+
+type cache = {
+  keys : string array;
+  vals : int array;
+  mutable size : int;
+}
+
+let cache_key : cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { keys = Array.make cache_capacity ""; vals = Array.make cache_capacity (-1); size = 0 })
+
+(* FNV-1a over a substring: no allocation, decent avalanche for the short
+   ASCII names that dominate tag vocabularies. The helpers are top-level
+   tail recursions, not local closures or refs — this is the per-name hot
+   path of the zero-copy SAX cursor and must not allocate. *)
+let rec hash_sub_loop s i stop h =
+  if i = stop then h
+  else
+    hash_sub_loop s (i + 1) stop
+      ((h lxor Char.code (String.unsafe_get s i)) * 0x01000193 land 0x3FFFFFFF)
+
+let hash_sub s pos len = hash_sub_loop s pos (pos + len) 0x811c9dc5
+
+let rec span_eq_from key s pos i len =
+  i = len || (String.unsafe_get key i = String.unsafe_get s (pos + i) && span_eq_from key s pos (i + 1) len)
+
+let key_equals key s pos len = String.length key = len && span_eq_from key s pos 0 len
+
+(* Index of the slot holding [s.[pos..pos+len)] or of the empty slot where
+   it would go. The load factor bound guarantees an empty slot exists. *)
+let rec find_slot_from c s pos len i =
+  if c.vals.(i) < 0 || key_equals c.keys.(i) s pos len then i
+  else find_slot_from c s pos len ((i + 1) land (cache_capacity - 1))
+
+let find_slot c s pos len h = find_slot_from c s pos len (h land (cache_capacity - 1))
 
 let locked f =
   Mutex.lock lock;
@@ -32,37 +96,71 @@ let locked f =
     Mutex.unlock lock;
     raise e
 
-let intern name =
-  let cache = Domain.DLS.get cache_key in
-  match Hashtbl.find_opt cache name with
-  | Some s -> s
-  | None ->
-    let s =
-      locked (fun () ->
-          match Hashtbl.find_opt global name with
-          | Some s -> s
-          | None ->
-            let s = Hashtbl.length global in
-            Hashtbl.add global name s;
-            let old = Atomic.get names in
-            let bigger = Array.make (s + 1) name in
-            Array.blit old 0 bigger 0 s;
-            Atomic.set names bigger;
-            s)
-    in
-    Hashtbl.add cache name s;
-    s
+let global_intern name =
+  locked (fun () ->
+      match Hashtbl.find_opt global name with
+      | Some s -> s
+      | None ->
+        let s = Hashtbl.length global in
+        Hashtbl.add global name s;
+        let old = Atomic.get names in
+        let bigger = Array.make (s + 1) name in
+        Array.blit old 0 bigger 0 s;
+        Atomic.set names bigger;
+        s)
 
-let find name =
-  let cache = Domain.DLS.get cache_key in
-  match Hashtbl.find_opt cache name with
-  | Some s -> Some s
-  | None -> (
-    match locked (fun () -> Hashtbl.find_opt global name) with
-    | Some s ->
-      Hashtbl.add cache name s;
-      Some s
-    | None -> None)
+(* Insert into the domain cache, resetting first if the bound is hit.
+   [slot] is the probe result for the current table state. *)
+let cache_insert c slot name sym s pos len h =
+  let slot =
+    if c.size >= dls_cache_bound then begin
+      Array.fill c.vals 0 cache_capacity (-1);
+      (* drop the string refs so evicted names can be collected *)
+      Array.fill c.keys 0 cache_capacity "";
+      c.size <- 0;
+      Pf_obs.Counter.incr m_cache_resets;
+      find_slot c s pos len h
+    end
+    else slot
+  in
+  c.keys.(slot) <- name;
+  c.vals.(slot) <- sym;
+  c.size <- c.size + 1;
+  Pf_obs.Gauge.set_max m_cache_entries (float_of_int c.size)
+
+let intern_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Symbol.intern_sub";
+  let c = Domain.DLS.get cache_key in
+  let h = hash_sub s pos len in
+  let slot = find_slot c s pos len h in
+  let v = c.vals.(slot) in
+  if v >= 0 then v
+  else begin
+    (* miss: materialize the name once, then take the mutex-guarded path *)
+    let name = if pos = 0 && len = String.length s then s else String.sub s pos len in
+    let sym = global_intern name in
+    (* store the canonical interned spelling, not the caller's buffer *)
+    let name = (Atomic.get names).(sym) in
+    cache_insert c slot name sym s pos len h;
+    sym
+  end
+
+let intern name = intern_sub name ~pos:0 ~len:(String.length name)
+
+let find s =
+  let len = String.length s in
+  let c = Domain.DLS.get cache_key in
+  let h = hash_sub s 0 len in
+  let slot = find_slot c s 0 len h in
+  let v = c.vals.(slot) in
+  if v >= 0 then Some v
+  else
+    match locked (fun () -> Hashtbl.find_opt global s) with
+    | Some sym ->
+      cache_insert c slot (Atomic.get names).(sym) sym s 0 len h;
+      Some sym
+    | None -> None
 
 let name s =
   let ns = Atomic.get names in

@@ -10,10 +10,17 @@
     suite checks by interning concurrently from several domains). Each
     domain keeps a private read cache in front of the mutex-guarded
     authoritative table, so steady-state interning is an uncontended
-    domain-local hashtable hit.
+    domain-local probe with no allocation.
 
-    Symbols are never reclaimed; the table grows with the number of
-    distinct tag names seen by the process (bounded by the vocabulary,
+    The per-domain read cache is bounded: it holds at most
+    {!dls_cache_bound} entries and is reset wholesale when the bound is
+    reached (the authoritative table keeps every assignment, so a reset
+    only costs re-probing the locked path). Its high-water size and reset
+    count are exported through the ["symbol"] metrics registry as the
+    [dls_cache_entries] gauge and [dls_cache_resets] counter.
+
+    Symbols are never reclaimed; the global table grows with the number
+    of distinct tag names seen by the process (bounded by the vocabulary,
     not the document stream). *)
 
 type t = int
@@ -23,14 +30,29 @@ val intern : string -> t
 (** Return the symbol for a name, assigning the next dense id on first
     sight. Safe to call from any domain. *)
 
+val intern_sub : string -> pos:int -> len:int -> t
+(** [intern_sub s ~pos ~len] interns the substring [s.[pos..pos+len-1]]
+    without materializing it: on a domain-cache hit (the steady state for
+    a DTD-driven stream) no string is allocated at all. Equivalent to
+    [intern (String.sub s pos len)]. Raises [Invalid_argument] if the
+    range is out of bounds. *)
+
 val find : string -> t option
 (** Lookup without inserting: [None] if the name was never interned. *)
 
 val name : t -> string
 (** Inverse mapping. Raises [Invalid_argument] on an id never returned by
-    {!intern}. *)
+    {!intern}. The returned string is the canonical interned spelling and
+    is shared, never a fresh copy. *)
 
 val count : unit -> int
 (** Number of symbols interned so far, process-wide. *)
+
+val dls_cache_bound : int
+(** Maximum live entries in a per-domain read cache before it is reset. *)
+
+val metrics : Pf_obs.Registry.t
+(** The ["symbol"] registry: [dls_cache_entries] gauge (high-water live
+    entries in any domain's cache) and [dls_cache_resets] counter. *)
 
 val pp : Format.formatter -> t -> unit

@@ -285,6 +285,49 @@ let test_streaming_extraction () =
         (Array.to_list (Path.structure p2)))
     via_tree via_stream
 
+(* The documented best-effort divergence on mixed content (path.mli): the
+   streaming extractor's [#text] on a {e non-leaf} step covers only the
+   text preceding the emitted leaf, while tree extraction sees all of the
+   element's immediate text. A leaf's own text is always complete in both
+   modes. Pinned explicitly so the zero-copy rewrite cannot silently
+   change either side; the agreeing forms are additionally pinned as a
+   difftest corpus case (pin-mixed-content.case). *)
+let step_text (s : Path.step) = List.assoc_opt "#text" s.Path.attrs
+
+let test_mixed_content_divergence () =
+  let src = "<a>pre<b>leaf</b>post</a>" in
+  let via_tree = List.hd (Path.of_document (parse src)) in
+  let via_stream = List.hd (Path.of_string src) in
+  Alcotest.(check (option string))
+    "leaf text, tree" (Some "leaf")
+    (step_text via_tree.Path.steps.(1));
+  Alcotest.(check (option string))
+    "leaf text, stream" (Some "leaf")
+    (step_text via_stream.Path.steps.(1));
+  (* the mixed-content ancestor diverges: all immediate text vs only the
+     text preceding the leaf *)
+  Alcotest.(check (option string))
+    "ancestor text, tree" (Some "prepost")
+    (step_text via_tree.Path.steps.(0));
+  Alcotest.(check (option string))
+    "ancestor text, stream" (Some "pre")
+    (step_text via_stream.Path.steps.(0))
+
+let test_mixed_content_accumulates () =
+  (* inter-element text accumulates: a later leaf sees the text runs
+     before it, so once every text run precedes the last leaf the two
+     modes agree on that leaf's path *)
+  let src = "<r>x<b/>y<c/></r>" in
+  let via_tree = Path.of_document (parse src) in
+  let via_stream = Path.of_string src in
+  match (via_tree, via_stream) with
+  | [ tb; tc ], [ sb; sc ] ->
+    Alcotest.(check (option string)) "tree root at b" (Some "xy") (step_text tb.Path.steps.(0));
+    Alcotest.(check (option string)) "stream root at b" (Some "x") (step_text sb.Path.steps.(0));
+    Alcotest.(check (option string)) "tree root at c" (Some "xy") (step_text tc.Path.steps.(0));
+    Alcotest.(check (option string)) "stream root at c" (Some "xy") (step_text sc.Path.steps.(0))
+  | _ -> Alcotest.fail "expected exactly two paths from each extractor"
+
 let prop_streaming_agrees =
   QCheck2.Test.make ~name:"streaming path extraction = tree extraction" ~count:300
     ~print:Gen_helpers.doc_print Gen_helpers.doc_gen (fun doc ->
@@ -450,6 +493,10 @@ let () =
           Alcotest.test_case "child indices" `Quick test_child_indices;
           Alcotest.test_case "attributes on steps" `Quick test_path_attrs;
           Alcotest.test_case "streaming extraction" `Quick test_streaming_extraction;
+          Alcotest.test_case "mixed content: non-leaf #text divergence" `Quick
+            test_mixed_content_divergence;
+          Alcotest.test_case "mixed content: text accumulates to later leaves" `Quick
+            test_mixed_content_accumulates;
           Alcotest.test_case "of_tags" `Quick test_of_tags;
         ] );
       ( "print",
