@@ -31,6 +31,19 @@ let record key v =
   | Some l -> l := (key, v) :: !l
   | None -> recorded := (!current_exp, ref [ key, v ]) :: !recorded
 
+let recorded_has key =
+  match List.assoc_opt !current_exp !recorded with
+  | Some l -> List.mem_assoc key !l
+  | None -> false
+
+(* Latency-percentile snapshot of one quantile histogram in [reg], as the
+   compact JSON object Export.registry_json produces for it. *)
+let latency_json reg name =
+  match Pf_obs.Export.registry_json reg with
+  | J.Obj fields -> (
+    match List.assoc_opt name fields with Some v -> v | None -> J.Null)
+  | _ -> J.Null
+
 let json_of_series (s : B.series) =
   J.Obj
     [
@@ -149,7 +162,7 @@ let sweep_algorithms ~algos ~counts ~make_queries ~docs ~title ~x_label =
               let algo = make_algo () in
               build algo qs;
               let ms = B.filter_time_ms algo docs in
-              algo.B.name, ms)
+              algo.B.name, (ms, latency_json algo.B.metrics "doc_latency_ns"))
             algos ))
       counts
   in
@@ -159,10 +172,22 @@ let sweep_algorithms ~algos ~counts ~make_queries ~docs ~title ~x_label =
       (fun label ->
         {
           B.label;
-          points = List.map (fun (x, cells) -> x, List.assoc label cells) columns;
+          points = List.map (fun (x, cells) -> x, fst (List.assoc label cells)) columns;
         })
       labels
   in
+  (* per-engine latency percentiles at each sweep point, for the compare
+     gate (the series points above are means) *)
+  record "latency_ns_by_engine"
+    (J.List
+       (List.map
+          (fun (x, cells) ->
+            J.Obj
+              [
+                "count", J.Float x;
+                "engines", J.Obj (List.map (fun (name, (_, lat)) -> name, lat) cells);
+              ])
+          columns));
   B.print_table ~title ~x_label ~y_label:"ms per document" series;
   series
 
@@ -286,6 +311,7 @@ let fig8_sweep ~vary () =
     (List.map (fun (p, n) -> Printf.sprintf "%.1f" p, string_of_int n) distinct_preds);
   record "distinct_predicates"
     (J.List (List.map (fun (p, n) -> J.List [ J.Float p; J.Int n ]) distinct_preds));
+  let lat_cells = ref [] in
   let series =
     List.map
       (fun make_algo ->
@@ -295,12 +321,22 @@ let fig8_sweep ~vary () =
             (fun p ->
               let algo = make_algo () in
               build algo (make_queries p);
-              p, B.filter_time_ms algo docs)
+              let ms = B.filter_time_ms algo docs in
+              lat_cells :=
+                J.Obj
+                  [
+                    "engine", J.String label;
+                    "prob", J.Float p;
+                    "latency_ns", latency_json algo.B.metrics "doc_latency_ns";
+                  ]
+                :: !lat_cells;
+              p, ms)
             probs
         in
         { B.label; points })
       algos
   in
+  record "latency_ns_by_engine" (J.List (List.rev !lat_cells));
   B.print_table
     ~title:(Printf.sprintf "%s: varying %s, NITF, %d XPEs (paper Figure 8)" name what count)
     ~x_label:what ~y_label:"ms per document" series;
@@ -332,6 +368,7 @@ let fig9_one dtd_name () =
     ]
   in
   let filters_of label = if String.length label > 0 && label.[String.length label - 1] = '2' then 2 else 1 in
+  let lat_cells = ref [] in
   let series =
     List.map
       (fun (label, make_algo) ->
@@ -341,12 +378,24 @@ let fig9_one dtd_name () =
               let qs = queries dtd ~filters:(filters_of label) count in
               let algo = make_algo () in
               build algo qs;
-              float count, B.filter_time_ms algo docs)
+              let ms = B.filter_time_ms algo docs in
+              lat_cells :=
+                J.Obj
+                  [
+                    "engine", J.String label;
+                    "count", J.Int count;
+                    "latency_ns", latency_json algo.B.metrics "doc_latency_ns";
+                  ]
+                :: !lat_cells;
+              float count, ms)
             counts
         in
         { B.label; points })
       algos
   in
+  record
+    (Printf.sprintf "latency_ns_by_engine_%s" dtd_name)
+    (J.List (List.rev !lat_cells));
   B.print_table
     ~title:
       (Printf.sprintf
@@ -378,6 +427,7 @@ let fig10 () =
   Printf.printf "\n-- fig10: average parse time: %.0f microseconds/document --\n"
     (1000. *. parse_ms /. float ndocs);
   record "parse_us_per_doc" (J.Float (1000. *. parse_ms /. float ndocs));
+  let lat_cells = ref [] in
   let rows =
     List.map
       (fun count ->
@@ -389,6 +439,13 @@ let fig10 () =
           (fun q -> ignore (Pf_core.Engine.add e q))
           (queries dtd ~distinct:false count);
         List.iter (fun d -> ignore (Pf_core.Engine.match_document e d)) docs;
+        lat_cells :=
+          J.Obj
+            [
+              "xpes", J.Int count;
+              "latency_ns", latency_json (Pf_core.Engine.metrics e) "doc_latency_ns";
+            ]
+          :: !lat_cells;
         let st = Pf_core.Engine.stats e in
         let per_doc ns = ns /. 1e6 /. float ndocs in
         ( count,
@@ -398,6 +455,7 @@ let fig10 () =
           Pf_core.Engine.distinct_predicate_count e ))
       counts
   in
+  record "latency_ns_by_count" (J.List (List.rev !lat_cells));
   B.print_table
     ~title:"fig10: cost breakdown, NITF duplicates (paper Figure 10)"
     ~x_label:"#XPEs" ~y_label:"ms per document"
@@ -541,8 +599,14 @@ let service () =
   record "xpes" (J.Int (List.length qs));
   record "documents" (J.Int ndocs);
   record "hardware_cores" (J.Int cores);
+  record "shard_mode" (J.String "doc+expr");
   record "sequential"
-    (J.Obj [ "ms", J.Float seq_ms; "docs_per_s", J.Float (throughput seq_ms) ]);
+    (J.Obj
+       [
+         "ms", J.Float seq_ms;
+         "docs_per_s", J.Float (throughput seq_ms);
+         "latency_ns", latency_json (Pf_core.Engine.metrics eng) "doc_latency_ns";
+       ]);
   let rows =
     List.concat_map
       (fun mode ->
@@ -555,11 +619,20 @@ let service () =
             List.iter (fun q -> ignore (Pf_service.subscribe svc q)) qs;
             (* first pass doubles as warm-up and as the identity check *)
             let identical = Pf_service.filter_batch svc docs = expected in
+            (* reset so the recorded submit-to-delivery percentiles cover
+               the timed pass only, not the warm-up; drain first — it
+               returns only once every worker has flushed its latency
+               batch, so no warm-up stragglers land after the reset *)
+            Pf_service.drain svc;
+            Pf_obs.Registry.reset (Pf_service.metrics svc);
             let (), ms =
               B.time_ms (fun () -> ignore (Pf_service.filter_batch svc docs))
             in
             Pf_service.shutdown svc;
-            mode, domains, ms, identical)
+            (* read after shutdown: workers flush their latency batches
+               before exiting, so the histogram covers every document *)
+            let lat = latency_json (Pf_service.metrics svc) "latency_ns" in
+            mode, domains, ms, identical, lat)
           [ 1; 2; 4 ])
       [ Pf_service.Doc; Pf_service.Expr ]
   in
@@ -568,17 +641,17 @@ let service () =
   Printf.printf "%8s %8s %12s %14s %12s %12s\n" "mode" "domains" "ms" "docs/s" "vs seq"
     "identical";
   List.iter
-    (fun (mode, domains, ms, identical) ->
+    (fun (mode, domains, ms, identical, _) ->
       Printf.printf "%8s %8d %12.1f %14.0f %11.2fx %12b\n" (Pf_service.mode_name mode)
         domains ms (throughput ms) (seq_ms /. ms) identical)
     rows;
   (* the recommendation comes from the rows just measured, not from the
      core count: the best configuration that actually beat sequential, or
      "stay sequential" (1) when none did *)
-  let best_mode, best_domains, best_ms, _ =
+  let best_mode, best_domains, best_ms, _, _ =
     List.fold_left
-      (fun (bm, bd, bms, bi) (m, d, ms, i) ->
-        if ms < bms then m, d, ms, i else bm, bd, bms, bi)
+      (fun (bm, bd, bms, bi, bl) (m, d, ms, i, l) ->
+        if ms < bms then m, d, ms, i, l else bm, bd, bms, bi, bl)
       (List.hd rows) (List.tl rows)
   in
   let recommended = if best_ms < seq_ms then best_domains else 1 in
@@ -608,7 +681,7 @@ let service () =
   record "rows"
     (J.List
        (List.map
-          (fun (mode, domains, ms, identical) ->
+          (fun (mode, domains, ms, identical, lat) ->
             J.Obj
               [
                 "mode", J.String (Pf_service.mode_name mode);
@@ -617,9 +690,10 @@ let service () =
                 "docs_per_s", J.Float (throughput ms);
                 "speedup_vs_sequential", J.Float (seq_ms /. ms);
                 "identical_matches", J.Bool identical;
+                "latency_ns", lat;
               ])
           rows));
-  if List.exists (fun (_, _, _, identical) -> not identical) rows then begin
+  if List.exists (fun (_, _, _, identical, _) -> not identical) rows then begin
     Printf.printf "service: MATCH-SET MISMATCH against sequential engine\n";
     exit 1
   end
@@ -813,6 +887,8 @@ let path_cache_exp () =
     ms, s1.Gc.minor_words -. s0.Gc.minor_words, s1.Gc.major_words -. s0.Gc.major_words
   in
   let failed = ref false in
+  (* the service rows below exercise both shard modes *)
+  record "shard_mode" (J.String "doc+expr");
   List.iter
     (fun (dtd_name, count, ndocs) ->
       let dtd = dtd_of dtd_name in
@@ -903,6 +979,7 @@ let path_cache_exp () =
                    "docs_per_s", J.Float (throughput base_ms);
                    "minor_words", J.Float base_minor;
                    "major_words", J.Float base_major;
+                   "latency_ns", latency_json (Pf_core.Engine.metrics base) "doc_latency_ns";
                  ] );
              ( "cached",
                J.Obj
@@ -916,6 +993,8 @@ let path_cache_exp () =
                    "hit_ratio", J.Float hit_ratio;
                    "invalidations", J.Int (counter "path_cache_invalidations");
                    "identical_matches", J.Bool identical_cold;
+                   ( "latency_ns",
+                     latency_json (Pf_core.Engine.metrics cached) "doc_latency_ns" );
                  ] );
              "speedup_cached_vs_uncached", J.Float (base_ms /. cache_ms);
              ( "service_rows",
@@ -1040,7 +1119,45 @@ let experiments =
     "micro", micro;
   ]
 
+(* `bench -- compare old.json new.json` — regression-gate one results
+   file against another; see Bench_compare for classification rules. *)
+let compare_cli argv =
+  let threshold = ref 0.30 and gate_timing = ref true and files = ref [] in
+  let n = Array.length argv in
+  let bad msg =
+    Printf.eprintf
+      "compare: %s\nusage: compare OLD.json NEW.json [--threshold T] [--gate-timing on|off]\n"
+      msg;
+    exit 2
+  in
+  let i = ref 2 in
+  while !i < n do
+    (match argv.(!i) with
+    | "--threshold" ->
+      if !i + 1 >= n then bad "--threshold needs a value";
+      (match float_of_string_opt argv.(!i + 1) with
+      | Some t when t > 0. -> threshold := t
+      | _ -> bad (Printf.sprintf "bad threshold %S" argv.(!i + 1)));
+      incr i
+    | "--gate-timing" ->
+      if !i + 1 >= n then bad "--gate-timing needs on or off";
+      (match argv.(!i + 1) with
+      | "on" -> gate_timing := true
+      | "off" -> gate_timing := false
+      | s -> bad (Printf.sprintf "bad --gate-timing %S (try on or off)" s));
+      incr i
+    | f -> files := f :: !files);
+    incr i
+  done;
+  match List.rev !files with
+  | [ old_path; new_path ] ->
+    exit
+      (Pf_bench.Bench_compare.run ~threshold:!threshold ~gate_timing:!gate_timing
+         old_path new_path)
+  | _ -> bad "expected exactly two results files"
+
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "compare" then compare_cli Sys.argv;
   let selected = ref [] in
   Array.iteri
     (fun i arg ->
@@ -1073,6 +1190,12 @@ let () =
       record "gc_minor_words" (J.Float (s1.Gc.minor_words -. s0.Gc.minor_words));
       record "gc_major_words" (J.Float (s1.Gc.major_words -. s0.Gc.major_words));
       record "elapsed_s" (J.Float s);
+      (* host identity, so `compare` can refuse timing diffs across
+         incomparable machines; experiments that shard record their own *)
+      if not (recorded_has "hardware_cores") then
+        record "hardware_cores" (J.Int (Domain.recommended_domain_count ()));
+      if not (recorded_has "shard_mode") then
+        record "shard_mode" (J.String "sequential");
       Printf.printf "\n[%s completed in %.1f s]\n%!" name s)
     to_run;
   write_results "BENCH_results.json"

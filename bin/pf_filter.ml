@@ -21,7 +21,7 @@ let read_expressions path =
   go [] 1
 
 let run engine_name shard_mode domains batch path_cache quiet count_only metrics_fmt
-    trace_srcs exprs_file docs =
+    trace_srcs trace_out trace_slowest exprs_file docs =
   let path_cache =
     match path_cache with
     | "on" -> true
@@ -67,6 +67,21 @@ let run engine_name shard_mode domains batch path_cache quiet count_only metrics
     Printf.eprintf "--domains and --batch must be >= 1\n";
     exit 2
   end;
+  if trace_slowest < 0 then begin
+    Printf.eprintf "--trace-slowest must be >= 0\n";
+    exit 2
+  end;
+  (* per-document trace collection, only when an output file is wanted;
+     0 (the default) keeps every document's trace *)
+  let collector =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+      Some
+        (Pf_obs.Trace.create
+           ~keep:(if trace_slowest = 0 then `All else `Slowest trace_slowest)
+           ())
+  in
   (* every engine goes through Pf_intf.FILTER now, so per-expression match
      reporting works uniformly — including the yfilter/index-filter
      baselines, which used to report counts only *)
@@ -103,17 +118,39 @@ let run engine_name shard_mode domains batch path_cache quiet count_only metrics
   let results = Array.make (Array.length docs) [] in
   Array.iteri
     (fun i doc_path ->
-      match
-        Pf_xml.Sax.parse_document
-          (In_channel.with_open_bin doc_path In_channel.input_all)
-      with
-      | exception Pf_xml.Sax.Parse_error (pos, msg) ->
+      (* the trace opens before the parse so the "parse" span lands in it
+         (recorded on this domain); workers stitch their spans in by
+         trace id and the delivering worker finishes the trace *)
+      let ctx =
+        match collector with
+        | None -> None
+        | Some c ->
+          let ctx = Pf_obs.Trace.start ~label:doc_path c in
+          Pf_obs.Trace.set_ambient ctx;
+          Some ctx
+      in
+      let parsed =
+        Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
+            try
+              Ok
+                (Pf_xml.Sax.parse_document
+                   (In_channel.with_open_bin doc_path In_channel.input_all))
+            with Pf_xml.Sax.Parse_error (pos, msg) -> Error (pos, msg))
+      in
+      match parsed with
+      | Error (pos, msg) ->
         Printf.eprintf "%s: %s (%s)\n" doc_path msg
           (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
         exit 2
-      | doc -> Pf_service.submit svc doc (fun sids -> results.(i) <- sids))
+      | Ok doc -> Pf_service.submit ?trace:ctx svc doc (fun sids -> results.(i) <- sids))
     docs;
   Pf_service.drain svc;
+  (match collector, trace_out with
+  | Some c, Some path ->
+    Pf_obs.Trace.write_chrome c path;
+    if not quiet then
+      Printf.eprintf "wrote %d trace(s) to %s\n" (List.length (Pf_obs.Trace.traces c)) path
+  | _ -> ());
   let exit_code = ref 1 in
   Array.iteri
     (fun i doc_path ->
@@ -215,6 +252,22 @@ let trace_arg =
   in
   Arg.(value & opt_all string [] & info [ "trace" ] ~docv:"SRC" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write a per-document trace to $(docv) in Chrome trace-event JSON \
+     (load in Perfetto or chrome://tracing): one process row per document \
+     with parse/scan/path-cache/match/occurrence/merge/deliver spans, GC \
+     word deltas attached."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_slowest_arg =
+  let doc =
+    "With $(b,--trace-out), retain only the $(docv) slowest documents' \
+     traces (0, the default, keeps all)."
+  in
+  Arg.(value & opt int 0 & info [ "trace-slowest" ] ~docv:"N" ~doc)
+
 let exprs_arg =
   Arg.(
     required
@@ -233,6 +286,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ engine_arg $ shard_mode_arg $ domains_arg $ batch_arg $ path_cache_arg
-      $ quiet_arg $ count_arg $ metrics_arg $ trace_arg $ exprs_arg $ docs_arg)
+      $ quiet_arg $ count_arg $ metrics_arg $ trace_arg $ trace_out_arg
+      $ trace_slowest_arg $ exprs_arg $ docs_arg)
 
 let () = exit (Cmd.eval cmd)

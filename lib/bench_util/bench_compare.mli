@@ -1,0 +1,27 @@
+(** Regression detector over two [BENCH_results.json] files.
+
+    Numeric leaves are classified by key: timing metrics (ms/ns/docs-per-s/
+    latency percentiles/speedups) gate only between comparable hosts;
+    scale-free metrics (hit ratios, GC words, match-identity booleans)
+    gate unconditionally. Runs are comparable when schema, scale and each
+    experiment's [hardware_cores]/[shard_mode] agree. *)
+
+type verdict = {
+  incomparable : string list;  (** schema/scale/host mismatches *)
+  failures : string list;  (** gated regressions *)
+  warnings : string list;  (** ungated timing drift, structural notes *)
+}
+
+val ok : verdict -> bool
+
+val compare_json :
+  ?threshold:float -> ?gate_timing:bool -> Pf_obs.Json.t -> Pf_obs.Json.t -> verdict
+(** [compare_json old new]: [threshold] is the relative regression bound
+    (default 0.30); with [gate_timing] false (default true), timing
+    regressions and host mismatches become warnings and only scale-free
+    metrics gate. *)
+
+val run : ?threshold:float -> ?gate_timing:bool -> string -> string -> int
+(** [run old_path new_path] loads, compares and reports to stdout.
+    Returns the intended exit code: 0 clean, 1 regressions, 2 unreadable
+    input, 3 incomparable hosts (with [gate_timing]). *)

@@ -47,6 +47,8 @@ type metrics = {
   predicate_span : Pf_obs.Span.t;
   expr_span : Pf_obs.Span.t;
   collect_span : Pf_obs.Span.t;
+  latency : Pf_obs.Qhist.t;
+  cache_entries : Pf_obs.Gauge.t;
   pm : Predicate_index.metrics;
   em : Expr_index.metrics;
 }
@@ -81,6 +83,12 @@ let make_metrics () =
     collect_span =
       Pf_obs.Span.make ~registry "collect_stage_ns"
         ~help:"result collection, nested finish and attribute post-checks";
+    latency =
+      Pf_obs.Qhist.make ~registry "doc_latency_ns"
+        ~help:"end-to-end per-document match latency, nanoseconds";
+    cache_entries =
+      Pf_obs.Gauge.make ~registry "path_cache_entries" ~merge:Pf_obs.Gauge.Sum
+        ~help:"live path-result cache entries";
     pm = Predicate_index.make_metrics ~registry ();
     em = Expr_index.make_metrics ~registry ();
   }
@@ -376,6 +384,10 @@ let cache_key t c (path : Pf_xml.Path.t) =
    paths through it (from a materialized list or streaming off a SAX
    parse). *)
 let match_iter t iter_paths =
+  let lat0 = Pf_obs.Span.now () in
+  (* read the ambient trace once per document; the untraced fast path
+     then pays only these branch tests, never a closure allocation *)
+  let traced = Pf_obs.Trace.ambient () <> None in
   ensure_stamp t;
   t.doc_epoch <- t.doc_epoch + 1;
   let doc_id = t.doc_epoch in
@@ -421,7 +433,10 @@ let match_iter t iter_paths =
       Pf_obs.Counter.incr t.m.paths;
       let pub = Publication.of_path path in
       let t0 = if timed then Pf_obs.Span.now () else 0L in
-      Predicate_index.run t.pidx t.results pub;
+      if traced then
+        Pf_obs.Trace.with_span "match" (fun () ->
+            Predicate_index.run t.pidx t.results pub)
+      else Predicate_index.run t.pidx t.results pub;
       let t1 = if timed then Pf_obs.Span.now () else 0L in
       let on_match sid =
         if t.sid_stamp.(sid) <> t.doc_epoch then
@@ -434,8 +449,11 @@ let match_iter t iter_paths =
             then mark sid
           | Nested_expr -> assert false
       in
-      Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline)
-        ~doc_tag:t.doc_epoch ~on_match ();
+      let eval () =
+        Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline)
+          ~doc_tag:t.doc_epoch ~on_match ()
+      in
+      if traced then Pf_obs.Trace.with_span "occurrence" eval else eval ();
       if nested_active then Nested.observe_path t.nested t.results pub;
       if timed then begin
         let t2 = Pf_obs.Span.now () in
@@ -455,8 +473,14 @@ let match_iter t iter_paths =
   in
   let process_cached c path =
     Pf_obs.Counter.incr t.m.paths;
-    let key = cache_key t c path in
-    match Hashtbl.find_opt c.pc_table key with
+    let lookup () =
+      let key = cache_key t c path in
+      key, Hashtbl.find_opt c.pc_table key
+    in
+    let key, found =
+      if traced then Pf_obs.Trace.with_span "path-cache" lookup else lookup ()
+    in
+    match found with
     | Some e when e.ce_epoch = c.pc_epoch ->
       Pf_obs.Counter.incr t.m.cache_hits;
       Array.iter mark_doc e.ce_sids
@@ -464,7 +488,10 @@ let match_iter t iter_paths =
       Pf_obs.Counter.incr t.m.cache_misses;
       let pub = Publication.of_path path in
       let t0 = if timed then Pf_obs.Span.now () else 0L in
-      Predicate_index.run t.pidx t.results pub;
+      if traced then
+        Pf_obs.Trace.with_span "match" (fun () ->
+            Predicate_index.run t.pidx t.results pub)
+      else Predicate_index.run t.pidx t.results pub;
       let t1 = if timed then Pf_obs.Span.now () else 0L in
       (* compute the *complete* per-path sid set under a fresh clock tick:
          the cached value must not be truncated by what already matched
@@ -488,8 +515,11 @@ let match_iter t iter_paths =
             then hit sid
           | Nested_expr -> assert false
       in
-      Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline) ~doc_tag:ptag
-        ~on_match ();
+      let eval () =
+        Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline) ~doc_tag:ptag
+          ~on_match ()
+      in
+      if traced then Pf_obs.Trace.with_span "occurrence" eval else eval ();
       if timed then begin
         let t2 = Pf_obs.Span.now () in
         Pf_obs.Span.add t.m.predicate_span (Int64.sub t1 t0);
@@ -503,6 +533,7 @@ let match_iter t iter_paths =
         Hashtbl.reset c.pc_table
       end;
       Hashtbl.replace c.pc_table key { ce_epoch = c.pc_epoch; ce_sids = sids };
+      Pf_obs.Gauge.set t.m.cache_entries (float_of_int (Hashtbl.length c.pc_table));
       Array.iter mark_doc sids
   in
   iter_paths
@@ -517,6 +548,8 @@ let match_iter t iter_paths =
   if timed then
     Pf_obs.Span.add t.m.collect_span (Int64.sub (Pf_obs.Span.now ()) t2);
   Pf_obs.Counter.incr t.m.documents;
+  Pf_obs.Qhist.observe t.m.latency
+    (Int64.to_int (Int64.sub (Pf_obs.Span.now ()) lat0));
   Log.debug (fun m ->
       m "document %d: %d expressions matched (%d paths so far)" t.doc_epoch
         (List.length result)
@@ -525,7 +558,8 @@ let match_iter t iter_paths =
 
 let match_paths t paths = match_iter t (fun f -> List.iter f paths)
 
-let match_document t doc = match_paths t (Pf_xml.Path.of_document doc)
+let match_document t doc =
+  match_paths t (Pf_obs.Trace.with_span "scan" (fun () -> Pf_xml.Path.of_document doc))
 
 let match_string t s = match_document t (Pf_xml.Sax.parse_document s)
 

@@ -23,6 +23,7 @@ type metrics = {
   stream_advances : Pf_obs.Counter.t;
   nodes_visited : Pf_obs.Counter.t;
   matched : Pf_obs.Counter.t;
+  latency : Pf_obs.Qhist.t;
 }
 
 let make_metrics () =
@@ -38,6 +39,9 @@ let make_metrics () =
         ~help:"accepted (query node, element) joins";
     matched =
       Pf_obs.Counter.make ~registry "matches" ~help:"expression matches reported";
+    latency =
+      Pf_obs.Qhist.make ~registry "doc_latency_ns"
+        ~help:"end-to-end per-document match latency, nanoseconds";
   }
 
 type t = {
@@ -217,6 +221,7 @@ let filters_hold (e : elem) filters =
   List.for_all (fun f -> Eval.attr_satisfies e.attrs f) filters
 
 let match_document t (doc : Pf_xml.Tree.t) =
+  let lat0 = Pf_obs.Span.now () in
   t.doc_epoch <- t.doc_epoch + 1;
   let epoch = t.doc_epoch in
   let streams = build_streams doc in
@@ -272,6 +277,8 @@ let match_document t (doc : Pf_xml.Tree.t) =
   Pf_obs.Counter.incr t.m.documents;
   let result = List.sort compare !matches in
   Pf_obs.Counter.add t.m.matched (List.length result);
+  Pf_obs.Qhist.observe t.m.latency
+    (Int64.to_int (Int64.sub (Pf_obs.Span.now ()) lat0));
   result
 
 let match_string t s = match_document t (Pf_xml.Sax.parse_document s)

@@ -26,6 +26,9 @@ let pp_value fmt (v : Registry.value) =
   | Registry.Sample_histogram { count; sum; _ } ->
     if count = 0 then Format.fprintf fmt "(empty)"
     else Format.fprintf fmt "n=%d mean=%.1f" count (sum /. float_of_int count)
+  | Registry.Sample_quantiles { count; p50; p99; max; _ } ->
+    if count = 0 then Format.fprintf fmt "(empty)"
+    else Format.fprintf fmt "n=%d p50=%d p99=%d max=%d" count p50 p99 max
 
 let pp_console fmt reg =
   let samples = Registry.samples reg in
@@ -57,6 +60,23 @@ let json_of_value (v : Registry.value) : (string * Json.t) list =
     [ "type", Json.String "histogram";
       "count", Json.Int count;
       "sum", Json.Float sum;
+      "buckets",
+      Json.List
+        (List.map
+           (fun (le, n) ->
+             Json.List [ (if Float.is_finite le then Json.Float le else Json.Null);
+                         Json.Int n ])
+           buckets) ]
+  | Registry.Sample_quantiles { count; sum; min; max; p50; p90; p99; p999; buckets } ->
+    [ "type", Json.String "quantiles";
+      "count", Json.Int count;
+      "sum", Json.Float sum;
+      "min", Json.Int min;
+      "max", Json.Int max;
+      "p50", Json.Int p50;
+      "p90", Json.Int p90;
+      "p99", Json.Int p99;
+      "p999", Json.Int p999;
       "buckets",
       Json.List
         (List.map
@@ -99,6 +119,21 @@ let registry_json reg =
                [ "count", Json.Int count;
                  "mean",
                  (if count = 0 then Json.Null else Json.Float (sum /. float_of_int count))
+               ] )
+         | Registry.Sample_quantiles { count; sum; min; max; p50; p90; p99; p999; _ } ->
+           (* percentile readouts survive into the benchmark snapshot so
+              BENCH_results.json diffs can gate on tail latency *)
+           ( s.name,
+             Json.Obj
+               [ "count", Json.Int count;
+                 "mean",
+                 (if count = 0 then Json.Null else Json.Float (sum /. float_of_int count));
+                 "min", Json.Int min;
+                 "max", Json.Int max;
+                 "p50", Json.Int p50;
+                 "p90", Json.Int p90;
+                 "p99", Json.Int p99;
+                 "p999", Json.Int p999;
                ] ))
        (Registry.samples reg))
 
@@ -152,6 +187,18 @@ let prometheus_into buf reg =
               (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" full (prom_float le) n))
           buckets;
         Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" full (prom_float sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" full count)
+      | Registry.Sample_quantiles { count; sum; buckets; _ } ->
+        (* full histogram exposition — real cumulative _bucket series over
+           the log-linear bounds, not a collapsed mean, so a server-side
+           histogram_quantile() recovers p50/p99 within bucket error *)
+        header "histogram";
+        List.iter
+          (fun (le, n) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" full (prom_float le) n))
+          buckets;
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" full (prom_float sum));
         Buffer.add_string buf (Printf.sprintf "%s_count %d\n" full count))
     (Registry.samples reg)
 
@@ -160,8 +207,20 @@ let prometheus reg =
   prometheus_into buf reg;
   Buffer.contents buf
 
+let version = "1.0.0"
+
+(* Constant-1 gauge carrying build identity as labels, the idiom scrape
+   dashboards join against (cf. prometheus_build_info). *)
+let build_info () =
+  Printf.sprintf
+    "# HELP predfilter_build_info Build and runtime identity (value is always 1).\n\
+     # TYPE predfilter_build_info gauge\n\
+     predfilter_build_info{version=\"%s\",ocaml_version=\"%s\"} 1\n"
+    version Sys.ocaml_version
+
 let prometheus_all () =
   let buf = Buffer.create 4096 in
+  Buffer.add_string buf (build_info ());
   List.iter (prometheus_into buf) (Registry.registries ());
   Buffer.contents buf
 
@@ -183,7 +242,10 @@ let summary_line reg =
           Some (Printf.sprintf "%s=%.2fms" s.name (Int64.to_float ns /. 1e6))
         | Registry.Sample_histogram { count = 0; _ } -> None
         | Registry.Sample_histogram { count; sum; _ } ->
-          Some (Printf.sprintf "%s[n=%d mean=%.1f]" s.name count (sum /. float_of_int count)))
+          Some (Printf.sprintf "%s[n=%d mean=%.1f]" s.name count (sum /. float_of_int count))
+        | Registry.Sample_quantiles { count = 0; _ } -> None
+        | Registry.Sample_quantiles { count; p50; p99; _ } ->
+          Some (Printf.sprintf "%s[n=%d p50=%d p99=%d]" s.name count p50 p99))
       (Registry.samples reg)
   in
   Printf.sprintf "[%s] %s" (Registry.scope reg)

@@ -29,6 +29,13 @@ val prometheus : Registry.t -> string
     counters. *)
 
 val prometheus_all : unit -> string
+(** Every listed registry, preceded by {!build_info}. *)
+
+val version : string
+
+val build_info : unit -> string
+(** [predfilter_build_info] gauge exposition: constant 1 with [version]
+    and [ocaml_version] labels. *)
 
 val summary_line : Registry.t -> string
 (** One-line digest (zeros elided) for example programs. *)

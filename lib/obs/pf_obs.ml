@@ -11,7 +11,9 @@ module Registry = Registry
 module Counter = Registry.Counter
 module Gauge = Registry.Gauge
 module Histogram = Registry.Histogram
+module Qhist = Registry.Qhist
 module Span = Registry.Span
 module Json = Json
 module Export = Export
+module Trace = Trace
 module Events = Events

@@ -11,7 +11,18 @@
 let now_ns : unit -> int64 = Monotonic_clock.now
 
 type counter = { c_name : string; c_help : string; mutable c_value : int }
-type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
+(* How replica instances of one gauge combine under [merge]: [Max] for
+   high-water marks (deepest nesting seen anywhere), [Sum] for sizes whose
+   total is what matters (live cache entries held across replicas). *)
+type gauge_merge = Max | Sum
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_merge : gauge_merge;
+  mutable g_value : float;
+}
 
 (* Log-scale (powers of two) histogram: bucket [i] counts observations with
    value <= 2^i, the last bucket is unbounded. 32 buckets cover every
@@ -28,11 +39,36 @@ type histogram = {
 
 type span = { s_name : string; s_help : string; mutable s_ns : int64 }
 
+(* Log-linear ("HDR-style") quantile histogram. Each power-of-two range is
+   split into [qhist_sub] linear sub-buckets, so any recorded value is
+   bucketed with relative error <= 1/qhist_sub (values below [qhist_sub]
+   are exact). Unlike the power-of-two [histogram] above — whose buckets
+   are a factor of 2 wide and therefore useless for percentile readouts —
+   this one answers p50/p90/p99/p999 queries to ~3% while staying a fixed
+   flat int array that merges across replicas by element-wise addition. *)
+let qhist_sub_bits = 5
+let qhist_sub = 1 lsl qhist_sub_bits (* 32 *)
+
+(* Buckets cover the full non-negative int range: msb(v) runs up to 62 on
+   64-bit, each msb contributes [qhist_sub] buckets past the exact region. *)
+let qhist_buckets = (62 - qhist_sub_bits + 1) * qhist_sub + qhist_sub
+
+type qhist = {
+  q_name : string;
+  q_help : string;
+  mutable q_count : int;
+  mutable q_sum : float;
+  mutable q_min : int;  (* max_int when empty *)
+  mutable q_max : int;
+  q_counts : int array;  (* per-bucket (non-cumulative) counts *)
+}
+
 type metric =
   | Metric_counter of counter
   | Metric_gauge of gauge
   | Metric_histogram of histogram
   | Metric_span of span
+  | Metric_qhist of qhist
 
 type t = { scope : string; mutable metrics : metric list (* reversed *) }
 
@@ -69,7 +105,13 @@ let reset t =
         h.h_count <- 0;
         h.h_sum <- 0.;
         Array.fill h.h_counts 0 (Array.length h.h_counts) 0
-      | Metric_span s -> s.s_ns <- 0L)
+      | Metric_span s -> s.s_ns <- 0L
+      | Metric_qhist q ->
+        q.q_count <- 0;
+        q.q_sum <- 0.;
+        q.q_min <- max_int;
+        q.q_max <- 0;
+        Array.fill q.q_counts 0 (Array.length q.q_counts) 0)
     t.metrics
 
 module Counter = struct
@@ -88,15 +130,17 @@ end
 
 module Gauge = struct
   type t = gauge
+  type merge_policy = gauge_merge = Max | Sum
 
-  let make ?registry ?(help = "") name =
-    let g = { g_name = name; g_help = help; g_value = 0. } in
+  let make ?registry ?(help = "") ?(merge = Max) name =
+    let g = { g_name = name; g_help = help; g_merge = merge; g_value = 0. } in
     (match registry with Some r -> register r (Metric_gauge g) | None -> ());
     g
 
   let set g v = g.g_value <- v
   let set_max g v = if v > g.g_value then g.g_value <- v
   let get g = g.g_value
+  let merge_policy g = g.g_merge
 end
 
 module Histogram = struct
@@ -167,6 +211,93 @@ module Span = struct
     r
 end
 
+module Qhist = struct
+  type t = qhist
+
+  let make ?registry ?(help = "") name =
+    let q =
+      { q_name = name; q_help = help; q_count = 0; q_sum = 0.; q_min = max_int;
+        q_max = 0; q_counts = Array.make qhist_buckets 0 }
+    in
+    (match registry with Some r -> register r (Metric_qhist q) | None -> ());
+    q
+
+  (* Position of the most significant set bit; [v] > 0. *)
+  let msb v =
+    let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
+    go v 0
+
+  (* Values below [qhist_sub] get a bucket each (exact); above, the top
+     [qhist_sub_bits + 1] bits select a linear sub-bucket within the
+     value's power-of-two range, so the bucket spans < value/qhist_sub. *)
+  let bucket_index v =
+    if v < qhist_sub then max v 0
+    else begin
+      let m = msb v in
+      let shift = m - qhist_sub_bits in
+      let i = ((shift + 1) * qhist_sub) + ((v lsr shift) - qhist_sub) in
+      min i (qhist_buckets - 1)
+    end
+
+  (* Largest value bucket [i] can hold (its representative: quantile
+     readouts report it, making them upper bounds on the true quantile). *)
+  let bucket_value i =
+    if i < qhist_sub then i
+    else begin
+      let shift = (i / qhist_sub) - 1 in
+      let base = (i mod qhist_sub) + qhist_sub in
+      (((base + 1) lsl shift) - 1)
+    end
+
+  let observe q v =
+    let v = max v 0 in
+    q.q_count <- q.q_count + 1;
+    q.q_sum <- q.q_sum +. float_of_int v;
+    if v < q.q_min then q.q_min <- v;
+    if v > q.q_max then q.q_max <- v;
+    let i = bucket_index v in
+    q.q_counts.(i) <- q.q_counts.(i) + 1
+
+  let count q = q.q_count
+  let sum q = q.q_sum
+  let min_value q = if q.q_count = 0 then 0 else q.q_min
+  let max_value q = q.q_max
+
+  (* Value at quantile [p] (0 < p <= 1): the representative of the first
+     bucket whose cumulative count reaches rank ceil(p * count). Within a
+     factor of 1 + 1/qhist_sub of the true order statistic; 0 when empty. *)
+  let quantile q p =
+    if q.q_count = 0 then 0
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p *. float_of_int q.q_count)) in
+        if r < 1 then 1 else if r > q.q_count then q.q_count else r
+      in
+      let rec go i acc =
+        if i >= qhist_buckets then q.q_max
+        else begin
+          let acc = acc + q.q_counts.(i) in
+          if acc >= rank then Stdlib.min (bucket_value i) q.q_max else go (i + 1) acc
+        end
+      in
+      go 0 0
+    end
+
+  (* (upper bound, cumulative count) pairs over the non-empty prefix, one
+     pair per occupied bucket plus the terminal [infinity] — the compact
+     form Prometheus histogram exposition and the JSON exporter share. *)
+  let cumulative q =
+    let acc = ref 0 and out = ref [] in
+    Array.iteri
+      (fun i n ->
+        if n > 0 then begin
+          acc := !acc + n;
+          out := (float_of_int (bucket_value i), !acc) :: !out
+        end)
+      q.q_counts;
+    List.rev ((infinity, q.q_count) :: !out)
+end
+
 (* ------------------------------------------------------------------ *)
 (* Sample view for exporters *)
 
@@ -175,6 +306,17 @@ type value =
   | Sample_gauge of float
   | Sample_histogram of { count : int; sum : float; buckets : (float * int) list }
   | Sample_span of int64  (* accumulated nanoseconds *)
+  | Sample_quantiles of {
+      count : int;
+      sum : float;
+      min : int;
+      max : int;
+      p50 : int;
+      p90 : int;
+      p99 : int;
+      p999 : int;
+      buckets : (float * int) list;  (* cumulative, occupied buckets only *)
+    }
 
 type sample = { name : string; help : string; value : value }
 
@@ -188,6 +330,14 @@ let sample_of = function
         Sample_histogram
           { count = h.h_count; sum = h.h_sum; buckets = Histogram.cumulative h } }
   | Metric_span s -> { name = s.s_name; help = s.s_help; value = Sample_span s.s_ns }
+  | Metric_qhist q ->
+    { name = q.q_name; help = q.q_help;
+      value =
+        Sample_quantiles
+          { count = q.q_count; sum = q.q_sum; min = Qhist.min_value q;
+            max = q.q_max; p50 = Qhist.quantile q 0.5; p90 = Qhist.quantile q 0.9;
+            p99 = Qhist.quantile q 0.99; p999 = Qhist.quantile q 0.999;
+            buckets = Qhist.cumulative q } }
 
 let samples t = List.rev_map sample_of t.metrics
 
@@ -213,6 +363,7 @@ let merge ?(list = false) ~scope ts =
       | Metric_gauge g -> g.g_name
       | Metric_histogram h -> h.h_name
       | Metric_span s -> s.s_name
+      | Metric_qhist q -> q.q_name
     in
     match Hashtbl.find_opt by_name mname, m with
     | None, Metric_counter c ->
@@ -231,15 +382,28 @@ let merge ?(list = false) ~scope ts =
       let s' = { s with s_name = s.s_name } in
       Hashtbl.add by_name mname (Metric_span s');
       register out (Metric_span s')
+    | None, Metric_qhist q ->
+      let q' = { q with q_counts = Array.copy q.q_counts } in
+      Hashtbl.add by_name mname (Metric_qhist q');
+      register out (Metric_qhist q')
     | Some (Metric_counter acc), Metric_counter c -> acc.c_value <- acc.c_value + c.c_value
     | Some (Metric_gauge acc), Metric_gauge g ->
-      (* gauges merge by maximum: the dominant use is high-water marks *)
-      if g.g_value > acc.g_value then acc.g_value <- g.g_value
+      (* the accumulator's own policy decides: [Max] for high-water marks,
+         [Sum] for per-replica sizes whose total matters *)
+      (match acc.g_merge with
+      | Max -> if g.g_value > acc.g_value then acc.g_value <- g.g_value
+      | Sum -> acc.g_value <- acc.g_value +. g.g_value)
     | Some (Metric_histogram acc), Metric_histogram h ->
       acc.h_count <- acc.h_count + h.h_count;
       acc.h_sum <- acc.h_sum +. h.h_sum;
       Array.iteri (fun i n -> acc.h_counts.(i) <- acc.h_counts.(i) + n) h.h_counts
     | Some (Metric_span acc), Metric_span s -> acc.s_ns <- Int64.add acc.s_ns s.s_ns
+    | Some (Metric_qhist acc), Metric_qhist q ->
+      acc.q_count <- acc.q_count + q.q_count;
+      acc.q_sum <- acc.q_sum +. q.q_sum;
+      if q.q_min < acc.q_min then acc.q_min <- q.q_min;
+      if q.q_max > acc.q_max then acc.q_max <- q.q_max;
+      Array.iteri (fun i n -> acc.q_counts.(i) <- acc.q_counts.(i) + n) q.q_counts
     | Some _, _ -> ()  (* same name, different shape: keep the first *)
   in
   List.iter (fun t -> List.iter absorb (List.rev t.metrics)) ts;

@@ -39,12 +39,20 @@ module Gauge : sig
   type registry := t
   type t
 
-  val make : ?registry:registry -> ?help:string -> string -> t
+  type merge_policy = Max | Sum
+  (** How replica instances combine under {!Registry.merge}: [Max] for
+      high-water marks, [Sum] for per-replica sizes whose total matters
+      (e.g. live cache entries held across worker replicas). *)
+
+  val make : ?registry:registry -> ?help:string -> ?merge:merge_policy -> string -> t
+  (** [merge] defaults to [Max]. *)
+
   val set : t -> float -> unit
   val set_max : t -> float -> unit
   (** Keep the running maximum: sets only if the new value is greater. *)
 
   val get : t -> float
+  val merge_policy : t -> merge_policy
 end
 
 module Histogram : sig
@@ -65,6 +73,43 @@ module Histogram : sig
 
   val bucket_index : int -> int
   (** Bucket an observation lands in (exposed for tests). *)
+end
+
+module Qhist : sig
+  type registry := t
+  type t
+  (** Log-linear ("HDR-style") quantile histogram: each power-of-two range
+      splits into 32 linear sub-buckets, so any non-negative int is
+      recorded with relative error <= 1/32 (values below 32 exactly) and
+      p50/p90/p99/p999 readouts are upper bounds within that error. The
+      bucket array is fixed-size; instances merge by element-wise
+      addition under {!Registry.merge}, which makes per-replica latency
+      distributions combinable without losing the tails. *)
+
+  val make : ?registry:registry -> ?help:string -> string -> t
+
+  val observe : t -> int -> unit
+  (** Record one observation (negative values clamp to 0). *)
+
+  val count : t -> int
+  val sum : t -> float
+  val min_value : t -> int
+  val max_value : t -> int
+
+  val quantile : t -> float -> int
+  (** [quantile q p] (0 < p <= 1): the representative value of the bucket
+      holding the order statistic of rank ceil(p * count); within a
+      factor of 1 + 1/32 above the true quantile. 0 when empty. *)
+
+  val cumulative : t -> (float * int) list
+  (** (upper bound, cumulative count) pairs over occupied buckets,
+      Prometheus-style; the terminal bound is [infinity]. *)
+
+  val bucket_index : int -> int
+  (** Bucket an observation lands in (exposed for tests). *)
+
+  val bucket_value : int -> int
+  (** Largest value the bucket holds — its representative (for tests). *)
 end
 
 module Span : sig
@@ -89,6 +134,17 @@ type value =
   | Sample_gauge of float
   | Sample_histogram of { count : int; sum : float; buckets : (float * int) list }
   | Sample_span of int64  (** accumulated nanoseconds *)
+  | Sample_quantiles of {
+      count : int;
+      sum : float;
+      min : int;
+      max : int;
+      p50 : int;
+      p90 : int;
+      p99 : int;
+      p999 : int;
+      buckets : (float * int) list;  (** cumulative, occupied buckets only *)
+    }
 
 type sample = { name : string; help : string; value : value }
 
@@ -101,6 +157,9 @@ val find_counter : t -> string -> int option
 val merge : ?list:bool -> scope:string -> t list -> t
 (** [merge ~scope ts] builds a registry summarizing same-shaped instances
     (e.g. the engine replicas of a sharded service): metrics are grouped by
-    name in first-seen order; counters, histograms and spans sum, gauges
-    keep the maximum (high-water marks). The result is a snapshot —
-    detached from the inputs — and unlisted unless [list] is true. *)
+    name in first-seen order; counters, histograms, quantile histograms
+    and spans sum, gauges follow their declared {!Gauge.merge_policy}
+    ([Max] for high-water marks, [Sum] for sizes). The result is a
+    snapshot — detached from the inputs — and unlisted unless [list] is
+    true. Merging is associative: merging merged registries gives the
+    same samples as merging the originals in one pass. *)

@@ -1,0 +1,267 @@
+(* Per-document tracing: one trace per filtered document, child spans per
+   pipeline stage (parse, scan, match, occurrence, merge, deliver), each
+   stamped with monotonic-clock bounds, the recording domain and GC
+   minor/major-word deltas. Spans may be appended from several domains —
+   the expression-sharded service runs one document on every worker at
+   once — and are stitched back together by trace id: every span carries
+   its trace's context, so the merge side only has to [finish] the
+   context it was handed.
+
+   The ambient context lives in domain-local storage. Instrumented code
+   reads it once ([ambient ()]); when no trace is active the read is the
+   only cost, so untraced runs stay on the fast path. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (* 0 = child of the root document span *)
+  sp_name : string;
+  sp_tid : int;  (* domain id that recorded the span *)
+  sp_t0_ns : int64;
+  sp_dur_ns : int64;
+  sp_minor_words : float;
+  sp_major_words : float;
+}
+
+type keep = [ `All | `Slowest of int ]
+
+type trace = {
+  tr_id : int;
+  tr_label : string;
+  tr_t0_ns : int64;
+  tr_dur_ns : int64;
+  tr_spans : span list;  (* reverse recording order *)
+}
+
+type t = {
+  c_keep : keep;
+  c_lock : Mutex.t;
+  c_next_id : int Atomic.t;
+  c_epoch_ns : int64;  (* clock origin; exported timestamps are relative *)
+  mutable c_traces : trace list;  (* finish order, newest first *)
+  mutable c_dropped : int;
+}
+
+type ctx = {
+  cx_id : int;
+  cx_label : string;
+  cx_collector : t;
+  cx_t0_ns : int64;
+  cx_next_span : int Atomic.t;
+  cx_lock : Mutex.t;
+  mutable cx_spans : span list;
+}
+
+let create ?(keep = `All) () =
+  {
+    c_keep = keep;
+    c_lock = Mutex.create ();
+    c_next_id = Atomic.make 1;
+    c_epoch_ns = Registry.now_ns ();
+    c_traces = [];
+    c_dropped = 0;
+  }
+
+let start ?(label = "doc") t =
+  {
+    cx_id = Atomic.fetch_and_add t.c_next_id 1;
+    cx_label = label;
+    cx_collector = t;
+    cx_t0_ns = Registry.now_ns ();
+    cx_next_span = Atomic.make 1;
+    cx_lock = Mutex.create ();
+    cx_spans = [];
+  }
+
+let trace_id ctx = ctx.cx_id
+
+let add_span ctx sp =
+  Mutex.lock ctx.cx_lock;
+  ctx.cx_spans <- sp :: ctx.cx_spans;
+  Mutex.unlock ctx.cx_lock
+
+(* ------------------------------------------------------------------ *)
+(* Ambient context: the per-domain current trace and parent span. *)
+
+type frame = { f_ctx : ctx; mutable f_parent : int }
+
+let ambient_key : frame option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_ambient ctx = Domain.DLS.get ambient_key := Some { f_ctx = ctx; f_parent = 0 }
+let clear_ambient () = Domain.DLS.get ambient_key := None
+
+let ambient () =
+  match !(Domain.DLS.get ambient_key) with
+  | None -> None
+  | Some f -> Some f.f_ctx
+
+let record_span ctx ~parent name f =
+  let sp_id = Atomic.fetch_and_add ctx.cx_next_span 1 in
+  let g0 = Gc.quick_stat () in
+  let t0 = Registry.now_ns () in
+  let finally () =
+    let t1 = Registry.now_ns () in
+    let g1 = Gc.quick_stat () in
+    add_span ctx
+      {
+        sp_id;
+        sp_parent = parent;
+        sp_name = name;
+        sp_tid = (Domain.self () :> int);
+        sp_t0_ns = t0;
+        sp_dur_ns = Int64.sub t1 t0;
+        sp_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+        sp_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+      }
+  in
+  Fun.protect ~finally f
+
+let with_span name f =
+  let r = Domain.DLS.get ambient_key in
+  match !r with
+  | None -> f ()
+  | Some fr ->
+    let ctx = fr.f_ctx in
+    let saved = fr.f_parent in
+    let sp_id = Atomic.fetch_and_add ctx.cx_next_span 1 in
+    fr.f_parent <- sp_id;
+    let g0 = Gc.quick_stat () in
+    let t0 = Registry.now_ns () in
+    let finally () =
+      let t1 = Registry.now_ns () in
+      let g1 = Gc.quick_stat () in
+      fr.f_parent <- saved;
+      add_span ctx
+        {
+          sp_id;
+          sp_parent = saved;
+          sp_name = name;
+          sp_tid = (Domain.self () :> int);
+          sp_t0_ns = t0;
+          sp_dur_ns = Int64.sub t1 t0;
+          sp_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          sp_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+        }
+    in
+    Fun.protect ~finally f
+
+let span ctx name f =
+  (* explicit-ctx variant for domains where the ambient context is not
+     set (e.g. the merge side of the expression-sharded service): nests
+     under the ambient parent only when the ambient trace IS this one *)
+  let r = Domain.DLS.get ambient_key in
+  match !r with
+  | Some fr when fr.f_ctx == ctx -> with_span name f
+  | _ -> record_span ctx ~parent:0 name f
+
+(* ------------------------------------------------------------------ *)
+(* Retention *)
+
+let finish ctx =
+  let t = ctx.cx_collector in
+  let tr =
+    {
+      tr_id = ctx.cx_id;
+      tr_label = ctx.cx_label;
+      tr_t0_ns = ctx.cx_t0_ns;
+      tr_dur_ns = Int64.sub (Registry.now_ns ()) ctx.cx_t0_ns;
+      tr_spans = ctx.cx_spans;
+    }
+  in
+  Mutex.lock t.c_lock;
+  (match t.c_keep with
+  | `All -> t.c_traces <- tr :: t.c_traces
+  | `Slowest n when n <= 0 -> t.c_dropped <- t.c_dropped + 1
+  | `Slowest n ->
+    t.c_traces <- tr :: t.c_traces;
+    if List.length t.c_traces > n then begin
+      (* drop the fastest retained trace; n is small, linear scan is fine *)
+      let fastest =
+        List.fold_left
+          (fun acc x -> if Int64.compare x.tr_dur_ns acc.tr_dur_ns < 0 then x else acc)
+          tr t.c_traces
+      in
+      t.c_traces <- List.filter (fun x -> x != fastest) t.c_traces;
+      t.c_dropped <- t.c_dropped + 1
+    end);
+  Mutex.unlock t.c_lock
+
+let traces t =
+  Mutex.lock t.c_lock;
+  let ts = t.c_traces in
+  Mutex.unlock t.c_lock;
+  List.rev ts
+
+let dropped t = t.c_dropped
+
+let slowest t =
+  match traces t with
+  | [] -> None
+  | x :: xs ->
+    Some
+      (List.fold_left
+         (fun acc y -> if Int64.compare y.tr_dur_ns acc.tr_dur_ns > 0 then y else acc)
+         x xs)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON (catapult format, Perfetto-loadable) *)
+
+let us_of epoch ns = Int64.to_float (Int64.sub ns epoch) /. 1e3
+
+let chrome_events epoch tr =
+  let meta =
+    Json.Obj
+      [
+        "name", Json.String "process_name";
+        "ph", Json.String "M";
+        "pid", Json.Int tr.tr_id;
+        "tid", Json.Int 0;
+        "args", Json.Obj [ "name", Json.String tr.tr_label ];
+      ]
+  in
+  let root =
+    Json.Obj
+      [
+        "name", Json.String "document";
+        "ph", Json.String "X";
+        "ts", Json.Float (us_of epoch tr.tr_t0_ns);
+        "dur", Json.Float (Int64.to_float tr.tr_dur_ns /. 1e3);
+        "pid", Json.Int tr.tr_id;
+        "tid", Json.Int 0;
+        "args", Json.Obj [ "label", Json.String tr.tr_label ];
+      ]
+  in
+  let span_event sp =
+    Json.Obj
+      [
+        "name", Json.String sp.sp_name;
+        "ph", Json.String "X";
+        "ts", Json.Float (us_of epoch sp.sp_t0_ns);
+        "dur", Json.Float (Int64.to_float sp.sp_dur_ns /. 1e3);
+        "pid", Json.Int tr.tr_id;
+        "tid", Json.Int sp.sp_tid;
+        "args",
+        Json.Obj
+          [
+            "span", Json.Int sp.sp_id;
+            "parent", Json.Int sp.sp_parent;
+            "gc_minor_words", Json.Float sp.sp_minor_words;
+            "gc_major_words", Json.Float sp.sp_major_words;
+          ];
+      ]
+  in
+  meta :: root :: List.rev_map span_event tr.tr_spans
+
+let to_chrome_json t =
+  let trs = traces t in
+  Json.Obj
+    [
+      "displayTimeUnit", Json.String "ms";
+      "traceEvents", Json.List (List.concat_map (chrome_events t.c_epoch_ns) trs);
+    ]
+
+let write_chrome t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string (to_chrome_json t)))

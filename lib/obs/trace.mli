@@ -1,0 +1,90 @@
+(** Per-document tracing.
+
+    One {!ctx} is created per filtered document and threaded (or set as
+    the domain-ambient context) through the pipeline; instrumented stages
+    record child {!span}s carrying monotonic-clock bounds, the recording
+    domain id and GC minor/major-word deltas. Spans recorded on different
+    domains against the same context are stitched by its trace id, so the
+    expression-sharded service — where every worker touches every
+    document — yields one coherent trace per document. Finished traces
+    accumulate in a collector with a retention policy and export as
+    Chrome trace-event JSON (Perfetto-loadable). *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** 0 = child of the root document span *)
+  sp_name : string;
+  sp_tid : int;  (** domain id that recorded the span *)
+  sp_t0_ns : int64;
+  sp_dur_ns : int64;
+  sp_minor_words : float;
+  sp_major_words : float;
+}
+
+type keep = [ `All | `Slowest of int ]
+
+type trace = {
+  tr_id : int;
+  tr_label : string;
+  tr_t0_ns : int64;
+  tr_dur_ns : int64;
+  tr_spans : span list;  (** reverse recording order *)
+}
+
+type t
+(** Collector: owns finished traces. Thread-safe. *)
+
+type ctx
+(** One in-flight document trace. Span recording is thread-safe; call
+    {!finish} exactly once, after the last span. *)
+
+val create : ?keep:keep -> unit -> t
+(** [keep] defaults to [`All]; [`Slowest n] retains only the n slowest
+    finished traces (by end-to-end duration) — the exemplar ring. *)
+
+val start : ?label:string -> t -> ctx
+(** Open a trace (dense id, clock started). [label] names the document. *)
+
+val trace_id : ctx -> int
+
+val finish : ctx -> unit
+(** Close the root span and move the trace into the collector, subject to
+    its retention policy. *)
+
+(** {1 Ambient context}
+
+    The current trace is stored in domain-local storage so deeply nested
+    pipeline stages need no extra parameters. When no ambient context is
+    set, {!with_span} runs its thunk with no further cost. *)
+
+val set_ambient : ctx -> unit
+val clear_ambient : unit -> unit
+val ambient : unit -> ctx option
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Record a child span of the ambient trace around the thunk (nested
+    calls stitch parent ids); a no-op wrapper when no trace is ambient.
+    The span is recorded even if the thunk raises. *)
+
+val span : ctx -> string -> (unit -> 'a) -> 'a
+(** Like {!with_span} but against an explicit context — for domains where
+    the ambient context is not set (e.g. a merge worker holding the ctx
+    of another domain's document). *)
+
+(** {1 Reading the collector} *)
+
+val traces : t -> trace list
+(** Finished traces, oldest first. *)
+
+val slowest : t -> trace option
+val dropped : t -> int
+(** Traces discarded by a [`Slowest n] policy. *)
+
+(** {1 Chrome trace-event export} *)
+
+val to_chrome_json : t -> Json.t
+(** Catapult JSON: one process per trace (pid = trace id, named by its
+    label), one complete ("X") event per span with µs timestamps
+    relative to collector creation, GC deltas in [args]. *)
+
+val write_chrome : t -> string -> unit

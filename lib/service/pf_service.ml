@@ -37,6 +37,8 @@ let mode_of_string = function
 type job = {
   doc : Pf_xml.Tree.t;
   epoch : int;  (* update-log length at submission *)
+  t_submit : int64;  (* monotonic ns, for end-to-end latency *)
+  trace : Pf_obs.Trace.ctx option;
   deliver : int list -> unit;
 }
 
@@ -49,6 +51,8 @@ type ejob = {
   e_epoch : int;
   parts : int list array;
   remaining : int Atomic.t;
+  e_t_submit : int64;
+  e_trace : Pf_obs.Trace.ctx option;
   e_deliver : int list -> unit;
 }
 
@@ -67,6 +71,7 @@ type metrics = {
   merges : Pf_obs.Counter.t;
   domains_gauge : Pf_obs.Gauge.t;
   queue_high_water : Pf_obs.Gauge.t;
+  latency : Pf_obs.Qhist.t;
 }
 
 let make_metrics () =
@@ -91,6 +96,9 @@ let make_metrics () =
     domains_gauge = Pf_obs.Gauge.make ~registry "domains" ~help:"worker domains";
     queue_high_water =
       Pf_obs.Gauge.make ~registry "queue_high_water" ~help:"maximum queue depth seen";
+    latency =
+      Pf_obs.Qhist.make ~registry "latency_ns"
+        ~help:"end-to-end per-document latency, submit to delivery, nanoseconds";
   }
 
 type t = {
@@ -163,29 +171,48 @@ let worker t r =
         Condition.broadcast t.not_full;
         Mutex.unlock t.lock;
         let first_error = ref None in
+        (* worker-local latency buffer: Qhist.observe is unsynchronized,
+           so observations flush into the shared histogram under the
+           post-batch lock *)
+        let lats = ref [] in
         Array.iter
           (fun job ->
-            try
-              (* batch boundary: catch the replica up to this document's
-                 epoch before matching — never further *)
-              while !applied < job.epoch do
-                (match pending.(!applied - base) with
-                | Add p -> ignore (F.add inst p)
-                | Remove sid -> ignore (F.remove inst sid));
-                incr applied
-              done;
-              job.deliver (F.match_document inst job.doc)
-            with e ->
-              if !first_error = None then first_error := Some e;
-              (* deliver something so waiters (filter_batch, drain) never
-                 hang; the exception resurfaces at shutdown *)
-              (try job.deliver [] with _ -> ()))
+            (try
+               (* batch boundary: catch the replica up to this document's
+                  epoch before matching — never further *)
+               while !applied < job.epoch do
+                 (match pending.(!applied - base) with
+                 | Add p -> ignore (F.add inst p)
+                 | Remove sid -> ignore (F.remove inst sid));
+                 incr applied
+               done;
+               (match job.trace with
+               | None -> ()
+               | Some ctx -> Pf_obs.Trace.set_ambient ctx);
+               let sids =
+                 Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
+                     F.match_document inst job.doc)
+               in
+               match job.trace with
+               | None -> job.deliver sids
+               | Some ctx -> Pf_obs.Trace.span ctx "deliver" (fun () -> job.deliver sids)
+             with e ->
+               if !first_error = None then first_error := Some e;
+               (* deliver something so waiters (filter_batch, drain) never
+                  hang; the exception resurfaces at shutdown *)
+               (try job.deliver [] with _ -> ()));
+            (match job.trace with
+            | None -> ()
+            | Some ctx -> Pf_obs.Trace.finish ctx);
+            lats :=
+              Int64.to_int (Int64.sub (Pf_obs.Span.now ()) job.t_submit) :: !lats)
           jobs;
         Mutex.lock t.lock;
         t.in_flight <- t.in_flight - n;
         Pf_obs.Counter.add t.m.documents n;
         Pf_obs.Counter.incr t.m.batches;
         Pf_obs.Counter.add t.m.updates_applied (!applied - base);
+        List.iter (Pf_obs.Qhist.observe t.m.latency) !lats;
         (match !first_error with
         | Some e when t.failure = None -> t.failure <- Some e
         | _ -> ());
@@ -271,6 +298,7 @@ let eworker t w r =
            after the whole batch is matched (per-worker result buffer) *)
         let to_deliver = ref [] in
         let n_delivered = ref 0 in
+        let lats = ref [] in
         Array.iter
           (fun job ->
             let part =
@@ -279,7 +307,15 @@ let eworker t w r =
                   apply_one pending.(!applied - base);
                   incr applied
                 done;
-                let locals = F.match_document inst job.e_doc in
+                (* spans recorded here carry this worker's domain id and
+                   the job's trace id; the merge side stitches them *)
+                (match job.e_trace with
+                | None -> ()
+                | Some ctx -> Pf_obs.Trace.set_ambient ctx);
+                let locals =
+                  Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
+                      F.match_document inst job.e_doc)
+                in
                 let g = !g_of_l in
                 List.map (fun l -> g.(l)) locals
               with e ->
@@ -293,9 +329,24 @@ let eworker t w r =
         List.iter
           (fun job ->
             incr n_delivered;
-            let merged = Array.fold_left merge2 [] job.parts in
-            try job.e_deliver merged
-            with e -> if !first_error = None then first_error := Some e)
+            let merged =
+              match job.e_trace with
+              | None -> Array.fold_left merge2 [] job.parts
+              | Some ctx ->
+                Pf_obs.Trace.span ctx "merge" (fun () ->
+                    Array.fold_left merge2 [] job.parts)
+            in
+            (try
+               match job.e_trace with
+               | None -> job.e_deliver merged
+               | Some ctx ->
+                 Pf_obs.Trace.span ctx "deliver" (fun () -> job.e_deliver merged)
+             with e -> if !first_error = None then first_error := Some e);
+            (match job.e_trace with
+            | None -> ()
+            | Some ctx -> Pf_obs.Trace.finish ctx);
+            lats :=
+              Int64.to_int (Int64.sub (Pf_obs.Span.now ()) job.e_t_submit) :: !lats)
           (List.rev !to_deliver);
         Mutex.lock t.lock;
         t.in_flight <- t.in_flight - n;
@@ -304,6 +355,7 @@ let eworker t w r =
         Pf_obs.Counter.add t.m.merges !n_delivered;
         Pf_obs.Counter.incr t.m.batches;
         Pf_obs.Counter.add t.m.updates_applied (!applied - base);
+        List.iter (Pf_obs.Qhist.observe t.m.latency) !lats;
         (match !first_error with
         | Some e when t.failure = None -> t.failure <- Some e
         | _ -> ());
@@ -459,7 +511,7 @@ let queue_depth t =
   | Expr ->
     Array.fold_left (fun acc q -> max acc (Queue.length q)) 0 t.equeues
 
-let submit t doc deliver =
+let submit ?trace t doc deliver =
   Mutex.lock t.lock;
   let reject () =
     Mutex.unlock t.lock;
@@ -473,9 +525,10 @@ let submit t doc deliver =
     done
   end;
   if t.stopping then reject ();
+  let t_submit = Pf_obs.Span.now () in
   (match t.mode with
   | Doc ->
-    Queue.add { doc; epoch = t.n_updates; deliver } t.queue;
+    Queue.add { doc; epoch = t.n_updates; t_submit; trace; deliver } t.queue;
     Condition.signal t.not_empty
   | Expr ->
     let job =
@@ -484,6 +537,8 @@ let submit t doc deliver =
         e_epoch = t.n_updates;
         parts = Array.make t.n_domains [];
         remaining = Atomic.make t.n_domains;
+        e_t_submit = t_submit;
+        e_trace = trace;
         e_deliver = deliver;
       }
     in

@@ -116,13 +116,19 @@ val subscription_count : t -> int
 (** Subscriptions accepted so far (including removed ones — sids are
     dense and never reused). *)
 
-val submit : t -> Pf_xml.Tree.t -> (int list -> unit) -> unit
+val submit : ?trace:Pf_obs.Trace.ctx -> t -> Pf_xml.Tree.t -> (int list -> unit) -> unit
 (** [submit t doc deliver] enqueues a document; [deliver] receives the
     sorted sids of the matching subscriptions. Blocks while the queue is
     full. [deliver] runs on a worker domain (in [Expr] mode, on whichever
     worker finished the document last): it must be quick, must not call
     back into [t], and must synchronize any shared state it touches
-    itself. Raises [Invalid_argument] after {!shutdown}. *)
+    itself. Raises [Invalid_argument] after {!shutdown}.
+
+    [trace] attaches a per-document trace context: worker domains record
+    scan/match/occurrence spans against it (in [Expr] mode from every
+    worker, stitched by trace id), the delivering worker adds
+    merge/deliver spans and calls {!Pf_obs.Trace.finish} — the caller
+    must not finish the context itself. *)
 
 val filter_batch : t -> Pf_xml.Tree.t list -> int list list
 (** Submit every document, wait for all results, and return the match

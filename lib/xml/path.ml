@@ -301,7 +301,7 @@ let finalize_cell sk cell =
     end
   end
 
-let scan sk src ~f =
+let scan_body sk src ~f =
   (* a previous scan that raised mid-document leaves stale state behind;
      start from a clean slate *)
   if sk.sk_depth <> 0 then begin
@@ -362,6 +362,10 @@ let scan sk src ~f =
     sk.sk_depth <- d
   in
   Sax.fold_zc src { Sax.zc_start; zc_end; zc_text }
+
+(* In the streaming pipeline parse and path scan are fused — fold_zc
+   drives the scanner directly — so one "scan" span covers both. *)
+let scan sk src ~f = Pf_obs.Trace.with_span "scan" (fun () -> scan_body sk src ~f)
 
 let scan_string src ~f = scan (create_scanner ()) src ~f
 

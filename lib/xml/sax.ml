@@ -20,7 +20,9 @@ let m_max_depth =
     ~help:"deepest element nesting observed"
 
 let m_attr_cache_entries =
-  Pf_obs.Gauge.make ~registry:metrics "attr_cache_entries"
+  (* per-domain caches: the live total across replicas is the sum of the
+     per-domain sizes, not their max *)
+  Pf_obs.Gauge.make ~registry:metrics "attr_cache_entries" ~merge:Pf_obs.Gauge.Sum
     ~help:"high-water live entries in a per-domain attribute-list cache"
 
 let m_attr_cache_resets =
@@ -756,7 +758,7 @@ let parse_document src =
       | _ -> ())
     | Comment _ | Pi _ -> ()
   in
-  fold_events src ~init:() ~f:on_event;
+  Pf_obs.Trace.with_span "parse" (fun () -> fold_events src ~init:() ~f:on_event);
   Pf_obs.Counter.incr m_documents;
   match !root with
   | Some e -> { Tree.root = e }

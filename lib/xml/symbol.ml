@@ -32,7 +32,8 @@ type t = int
 let metrics = Pf_obs.Registry.create "symbol"
 
 let m_cache_entries =
-  Pf_obs.Gauge.make ~registry:metrics "dls_cache_entries"
+  (* per-domain caches: replica totals sum, they are not a shared high-water *)
+  Pf_obs.Gauge.make ~registry:metrics "dls_cache_entries" ~merge:Pf_obs.Gauge.Sum
     ~help:"high-water live entries in a per-domain symbol read cache"
 
 let m_cache_resets =

@@ -31,6 +31,7 @@ type metrics = {
   transitions : Pf_obs.Counter.t;
   activations : Pf_obs.Counter.t;
   matched : Pf_obs.Counter.t;
+  latency : Pf_obs.Qhist.t;
 }
 
 let make_metrics () =
@@ -46,6 +47,9 @@ let make_metrics () =
         ~help:"NFA states activated, including epsilon-closure";
     matched =
       Pf_obs.Counter.make ~registry "matches" ~help:"expression matches reported";
+    latency =
+      Pf_obs.Qhist.make ~registry "doc_latency_ns"
+        ~help:"end-to-end per-document match latency, nanoseconds";
   }
 
 type t = {
@@ -194,6 +198,7 @@ let ensure_runtime t =
   end
 
 let match_document t (doc : Pf_xml.Tree.t) =
+  let lat0 = Pf_obs.Span.now () in
   ensure_runtime t;
   t.doc_epoch <- t.doc_epoch + 1;
   let matches = ref [] in
@@ -278,6 +283,8 @@ let match_document t (doc : Pf_xml.Tree.t) =
   Pf_obs.Counter.incr t.m.documents;
   let result = List.sort compare !matches in
   Pf_obs.Counter.add t.m.matched (List.length result);
+  Pf_obs.Qhist.observe t.m.latency
+    (Int64.to_int (Int64.sub (Pf_obs.Span.now ()) lat0));
   result
 
 let match_string t s = match_document t (Pf_xml.Sax.parse_document s)

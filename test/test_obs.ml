@@ -88,6 +88,146 @@ let test_scope_uniquification () =
     (List.mem "uniq_test" scopes && List.mem "uniq_test#2" scopes)
 
 (* ------------------------------------------------------------------ *)
+(* Quantile histograms *)
+
+let test_qhist_basic () =
+  let r = unlisted "t" in
+  let q = Qhist.make ~registry:r "lat" in
+  Alcotest.(check int) "empty quantile" 0 (Qhist.quantile q 0.5);
+  Alcotest.(check int) "empty min" 0 (Qhist.min_value q);
+  List.iter (Qhist.observe q) [ 5; 7; 7; 30; 1000 ];
+  Alcotest.(check int) "count" 5 (Qhist.count q);
+  Alcotest.(check (float 0.)) "sum" 1049. (Qhist.sum q);
+  Alcotest.(check int) "min" 5 (Qhist.min_value q);
+  Alcotest.(check int) "max" 1000 (Qhist.max_value q);
+  (* values below 32 get a bucket each, so small quantiles are exact *)
+  Alcotest.(check int) "p20 exact" 5 (Qhist.quantile q 0.2);
+  Alcotest.(check int) "p50 exact" 7 (Qhist.quantile q 0.5);
+  Alcotest.(check int) "p80 exact" 30 (Qhist.quantile q 0.8);
+  let p99 = Qhist.quantile q 0.99 in
+  Alcotest.(check bool) "p99 within 1/32 above max" true
+    (p99 >= 1000 && p99 <= 1000 + (1000 / 32) + 1);
+  (* negative observations clamp to 0 *)
+  Qhist.observe q (-3);
+  Alcotest.(check int) "clamped min" 0 (Qhist.min_value q);
+  Registry.reset r;
+  Alcotest.(check int) "reset count" 0 (Qhist.count q);
+  Alcotest.(check int) "reset quantile" 0 (Qhist.quantile q 0.99)
+
+let test_qhist_buckets () =
+  (* every value reads back from its bucket within 1/32 relative error,
+     and bucket_value is the largest value mapping to that bucket *)
+  List.iter
+    (fun v ->
+      let i = Qhist.bucket_index v in
+      let rep = Qhist.bucket_value i in
+      Alcotest.(check bool)
+        (Printf.sprintf "v=%d rep>=v" v)
+        true (rep >= v);
+      Alcotest.(check bool)
+        (Printf.sprintf "v=%d rep within 1/32" v)
+        true
+        (rep - v <= (v / 32) + 1);
+      Alcotest.(check int)
+        (Printf.sprintf "rep of %d self-maps" v)
+        i
+        (Qhist.bucket_index rep))
+    [ 0; 1; 31; 32; 33; 63; 64; 100; 1023; 1024; 65_537; 1_000_000; max_int / 2 ]
+
+let test_qhist_cumulative () =
+  let r = unlisted "t" in
+  let q = Qhist.make ~registry:r "lat" in
+  List.iter (Qhist.observe q) [ 1; 1; 2; 500 ];
+  let cum = Qhist.cumulative q in
+  let last_bound, last_count = List.nth cum (List.length cum - 1) in
+  Alcotest.(check bool) "terminal +inf" true (last_bound = infinity);
+  Alcotest.(check int) "terminal total" 4 last_count;
+  let rec monotone = function
+    | (b1, c1) :: ((b2, c2) :: _ as rest) ->
+      b1 < b2 && c1 <= c2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in bound and count" true (monotone cum);
+  (* exact small buckets: le(1)=2, le(2)=3 *)
+  Alcotest.(check int) "le 1" 2 (List.assoc 1. cum);
+  Alcotest.(check int) "le 2" 3 (List.assoc 2. cum)
+
+(* QCheck: quantile readouts against the sorted-sample order statistic,
+   and distribution mergeability. *)
+
+let sorted_oracle sample p =
+  let sorted = List.sort compare sample in
+  let n = List.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (p *. float_of_int n)))) in
+  List.nth sorted (rank - 1)
+
+let prop_qhist_quantile_oracle =
+  QCheck2.Test.make ~name:"qhist p50/p90/p99 within 1/32 of sorted sample"
+    ~count:300
+    QCheck2.Gen.(list_size (int_range 1 200) (int_bound 2_000_000))
+    (fun sample ->
+      let q = Qhist.make "lat" in
+      List.iter (Qhist.observe q) sample;
+      List.for_all
+        (fun p ->
+          let truth = sorted_oracle sample p in
+          let read = Qhist.quantile q p in
+          truth <= read && read - truth <= (truth / 32) + 1)
+        [ 0.5; 0.9; 0.99; 0.999 ])
+
+let prop_qhist_merge_associative =
+  QCheck2.Test.make ~name:"registry merge is associative" ~count:100
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 50) (int_bound 100_000))
+        (list_size (int_range 0 50) (int_bound 100_000))
+        (list_size (int_range 0 50) (int_bound 100_000)))
+    (fun (xs, ys, zs) ->
+      let mk obs =
+        let r = unlisted "part" in
+        let q = Qhist.make ~registry:r "lat" in
+        let c = Counter.make ~registry:r "n" in
+        let g = Gauge.make ~registry:r "sz" ~merge:Gauge.Sum in
+        let w = Gauge.make ~registry:r "hw" in
+        List.iter (Qhist.observe q) obs;
+        Counter.add c (List.length obs);
+        Gauge.set g (float_of_int (List.length obs));
+        Gauge.set w (float_of_int (List.fold_left max 0 obs));
+        r
+      in
+      let a = mk xs and b = mk ys and c = mk zs in
+      let left =
+        Registry.merge ~list:false ~scope:"m"
+          [ Registry.merge ~list:false ~scope:"m" [ a; b ]; c ]
+      in
+      let right =
+        Registry.merge ~list:false ~scope:"m"
+          [ a; Registry.merge ~list:false ~scope:"m" [ b; c ] ]
+      in
+      (* prometheus exposition prints every bucket, so equality there is
+         equality of the full merged distributions, not just quantiles *)
+      Export.prometheus left = Export.prometheus right)
+
+let test_gauge_merge_policy () =
+  let mk v =
+    let r = unlisted "part" in
+    let s = Gauge.make ~registry:r "cache_entries" ~merge:Gauge.Sum in
+    let m = Gauge.make ~registry:r "high_water" in
+    Gauge.set s v;
+    Gauge.set m v;
+    r
+  in
+  let merged = Registry.merge ~list:false ~scope:"m" [ mk 3.; mk 5. ] in
+  let value name =
+    match Json.member name (Export.registry_json merged) with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int n) -> float_of_int n
+    | _ -> Alcotest.fail (name ^ " missing from merged registry")
+  in
+  Alcotest.(check (float 0.)) "Sum gauges add" 8. (value "cache_entries");
+  Alcotest.(check (float 0.)) "Max gauges keep the max" 5. (value "high_water")
+
+(* ------------------------------------------------------------------ *)
 (* Exporters *)
 
 let sample_registry () =
@@ -162,6 +302,197 @@ let test_summary_line () =
   Alcotest.(check bool) "scope shown" true (contains "[digest]");
   Alcotest.(check bool) "nonzero shown" true (contains "hits=3");
   Alcotest.(check bool) "zeros elided" false (contains "misses")
+
+let test_build_info () =
+  let text = Export.build_info () in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "gauge type" true (contains "# TYPE predfilter_build_info gauge");
+  Alcotest.(check bool) "version label" true
+    (contains (Printf.sprintf "version=\"%s\"" Export.version));
+  Alcotest.(check bool) "ocaml version label" true
+    (contains (Printf.sprintf "ocaml_version=\"%s\"" Sys.ocaml_version));
+  Alcotest.(check bool) "value 1" true (contains "} 1");
+  (* prometheus_all leads with it *)
+  let all = Export.prometheus_all () in
+  Alcotest.(check bool) "prometheus_all starts with build info" true
+    (String.length all >= String.length text
+    && String.sub all 0 (String.length text) = text)
+
+let test_qhist_prometheus () =
+  let r = unlisted "qh" in
+  let q = Qhist.make ~registry:r "lat_ns" ~help:"latency" in
+  List.iter (Qhist.observe q) [ 1; 2; 1000 ];
+  let text = Export.prometheus r in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "histogram type" true
+    (contains "# TYPE predfilter_qh_lat_ns histogram");
+  Alcotest.(check bool) "buckets" true (contains "predfilter_qh_lat_ns_bucket{le=\"1\"} 1");
+  Alcotest.(check bool) "+Inf bucket" true
+    (contains "predfilter_qh_lat_ns_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "sum" true (contains "predfilter_qh_lat_ns_sum 1003");
+  Alcotest.(check bool) "count" true (contains "predfilter_qh_lat_ns_count 3");
+  (* a histogram family may not mix in quantile-labeled series *)
+  Alcotest.(check bool) "no quantile series" false (contains "quantile=")
+
+(* ------------------------------------------------------------------ *)
+(* Per-document tracing *)
+
+let span_names tr = List.rev_map (fun sp -> sp.Trace.sp_name) tr.Trace.tr_spans
+
+let test_trace_nesting () =
+  let t = Trace.create () in
+  let ctx = Trace.start ~label:"doc.xml" t in
+  Alcotest.(check bool) "no ambient yet" true (Trace.ambient () = None);
+  Trace.set_ambient ctx;
+  Alcotest.(check bool) "ambient set" true (Trace.ambient () = Some ctx);
+  let x =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span "inner" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "thunk value" 42 x;
+  (* spans record even when the thunk raises *)
+  (try Trace.with_span "raiser" (fun () -> failwith "boom") with Failure _ -> ());
+  Trace.clear_ambient ();
+  Alcotest.(check bool) "ambient cleared" true (Trace.ambient () = None);
+  Alcotest.(check int) "with_span outside a trace is a no-op" 7
+    (Trace.with_span "ignored" (fun () -> 7));
+  Trace.finish ctx;
+  match Trace.traces t with
+  | [ tr ] ->
+    Alcotest.(check string) "label" "doc.xml" tr.Trace.tr_label;
+    (* spans append when they close, so the inner span precedes its parent *)
+    Alcotest.(check (list string)) "span names" [ "inner"; "outer"; "raiser" ]
+      (span_names tr);
+    let find name = List.find (fun sp -> sp.Trace.sp_name = name) tr.Trace.tr_spans in
+    let outer = find "outer" and inner = find "inner" and raiser = find "raiser" in
+    Alcotest.(check int) "outer is a root child" 0 outer.Trace.sp_parent;
+    Alcotest.(check int) "inner nests under outer" outer.Trace.sp_id
+      inner.Trace.sp_parent;
+    Alcotest.(check int) "raiser recorded as root child" 0 raiser.Trace.sp_parent;
+    Alcotest.(check bool) "durations non-negative" true
+      (List.for_all (fun sp -> sp.Trace.sp_dur_ns >= 0L) tr.Trace.tr_spans);
+    Alcotest.(check bool) "trace spans its spans" true
+      (List.for_all
+         (fun sp -> sp.Trace.sp_t0_ns >= tr.Trace.tr_t0_ns)
+         tr.Trace.tr_spans)
+  | trs -> Alcotest.fail (Printf.sprintf "expected 1 trace, got %d" (List.length trs))
+
+let test_trace_retention () =
+  let t = Trace.create ~keep:(`Slowest 2) () in
+  for i = 1 to 5 do
+    let ctx = Trace.start ~label:(Printf.sprintf "d%d" i) t in
+    Trace.finish ctx
+  done;
+  Alcotest.(check int) "kept" 2 (List.length (Trace.traces t));
+  Alcotest.(check int) "dropped" 3 (Trace.dropped t);
+  match Trace.slowest t with
+  | None -> Alcotest.fail "slowest empty"
+  | Some s ->
+    Alcotest.(check bool) "slowest is the max kept" true
+      (List.for_all (fun tr -> tr.Trace.tr_dur_ns <= s.Trace.tr_dur_ns) (Trace.traces t))
+
+let test_trace_chrome_export () =
+  let t = Trace.create () in
+  let ctx = Trace.start ~label:"a.xml" t in
+  Trace.set_ambient ctx;
+  ignore (Trace.with_span "parse" (fun () -> Sys.opaque_identity 1));
+  Trace.clear_ambient ();
+  Trace.finish ctx;
+  (* the export must survive a JSON round-trip and keep the catapult shape *)
+  let j = Json.of_string (Json.to_string (Trace.to_chrome_json t)) in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  let phase e = match Json.member "ph" e with Some (Json.String s) -> s | _ -> "?" in
+  Alcotest.(check bool) "has process_name metadata" true
+    (List.exists
+       (fun e ->
+         phase e = "M" && Json.member "name" e = Some (Json.String "process_name"))
+       events);
+  let xs = List.filter (fun e -> phase e = "X") events in
+  Alcotest.(check int) "root + one span" 2 (List.length xs);
+  List.iter
+    (fun e ->
+      List.iter
+        (fun key ->
+          if Json.member key e = None then Alcotest.fail (key ^ " missing"))
+        [ "name"; "ts"; "dur"; "pid"; "tid" ])
+    xs;
+  Alcotest.(check bool) "span carries gc args" true
+    (List.exists
+       (fun e ->
+         match Json.member "args" e with
+         | Some args -> Json.member "gc_minor_words" args <> None
+         | None -> false)
+       xs)
+
+(* Cross-domain stitching: submit traced documents through the service at
+   two domains in both shard modes; every document must come back as one
+   trace whose spans cover the pipeline stages, with the expression-
+   sharded mode contributing spans from multiple workers plus a merge. *)
+let service_traces mode =
+  let dtd = Pf_workload.Dtd.nitf_like () in
+  let qs =
+    Pf_workload.Xpath_gen.generate dtd
+      { Pf_workload.Presets.paper_queries with Pf_workload.Xpath_gen.count = 50; seed = 3 }
+  in
+  let docs =
+    Pf_workload.Xml_gen.generate_many dtd
+      { (Pf_workload.Presets.documents_for "nitf") with Pf_workload.Xml_gen.seed = 4 }
+      4
+  in
+  let svc =
+    Pf_service.create ~mode ~domains:2 (Pf_core.Engine.filter () :> Pf_intf.filter)
+  in
+  List.iter (fun q -> ignore (Pf_service.subscribe svc q)) qs;
+  let t = Trace.create () in
+  List.iteri
+    (fun i doc ->
+      let ctx = Trace.start ~label:(Printf.sprintf "doc%d" i) t in
+      Pf_service.submit ~trace:ctx svc doc (fun _ -> ()))
+    docs;
+  Pf_service.shutdown svc;
+  List.length docs, Trace.traces t
+
+let test_trace_service_doc_mode () =
+  let ndocs, trs = service_traces Pf_service.Doc in
+  Alcotest.(check int) "one finished trace per document" ndocs (List.length trs);
+  List.iter
+    (fun tr ->
+      let names = span_names tr in
+      List.iter
+        (fun stage ->
+          Alcotest.(check bool) (stage ^ " present") true (List.mem stage names))
+        [ "scan"; "match"; "occurrence"; "deliver" ])
+    trs
+
+let test_trace_service_expr_mode () =
+  let ndocs, trs = service_traces Pf_service.Expr in
+  Alcotest.(check int) "one finished trace per document" ndocs (List.length trs);
+  List.iter
+    (fun tr ->
+      let names = span_names tr in
+      List.iter
+        (fun stage ->
+          Alcotest.(check bool) (stage ^ " present") true (List.mem stage names))
+        [ "scan"; "match"; "merge"; "deliver" ];
+      (* both expression shards matched the document, so its stitched
+         trace carries spans from at least two distinct domains *)
+      let tids =
+        List.sort_uniq compare (List.map (fun sp -> sp.Trace.sp_tid) tr.Trace.tr_spans)
+      in
+      Alcotest.(check bool) "spans from >= 2 domains" true (List.length tids >= 2))
+    trs
 
 (* ------------------------------------------------------------------ *)
 (* JSON parser *)
@@ -287,10 +618,29 @@ let () =
           Alcotest.test_case "span" `Quick test_span;
           Alcotest.test_case "scope uniquification" `Quick test_scope_uniquification;
         ] );
+      ( "qhist",
+        [
+          Alcotest.test_case "basics" `Quick test_qhist_basic;
+          Alcotest.test_case "bucket error bound" `Quick test_qhist_buckets;
+          Alcotest.test_case "cumulative" `Quick test_qhist_cumulative;
+          Alcotest.test_case "gauge merge policy" `Quick test_gauge_merge_policy;
+          Gen_helpers.to_alcotest prop_qhist_quantile_oracle;
+          Gen_helpers.to_alcotest prop_qhist_merge_associative;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "slowest-n retention" `Quick test_trace_retention;
+          Alcotest.test_case "chrome export" `Quick test_trace_chrome_export;
+          Alcotest.test_case "service doc mode" `Quick test_trace_service_doc_mode;
+          Alcotest.test_case "service expr mode" `Quick test_trace_service_expr_mode;
+        ] );
       ( "export",
         [
           Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
           Alcotest.test_case "prometheus format" `Quick test_prometheus_format;
+          Alcotest.test_case "qhist exposition" `Quick test_qhist_prometheus;
+          Alcotest.test_case "build info" `Quick test_build_info;
           Alcotest.test_case "summary line" `Quick test_summary_line;
           Alcotest.test_case "json parser" `Quick test_json_parser;
         ] );
