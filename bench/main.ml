@@ -854,6 +854,34 @@ let ingest_alloc () =
   let scanned = minor_per_doc pass_scan in
   let sax = minor_per_doc pass_sax in
   let ratio = if tree > 0. then scanned /. tree else 0. in
+  (* stream-match: the pipeline end-to-end with expressions registered —
+     tree-mode matching (parse + of_document + match) against the fully
+     streaming mode (arena publications refilled off the event stream).
+     Match sets must be identical; the streaming side's minor words per
+     document are the whole point of the mode, so both are recorded and
+     the ratio is gated in CI perf-smoke (<= 10% of tree). *)
+  let qs = queries (dtd_of "nitf") 200 in
+  let tree_eng = Pf_core.Engine.create () in
+  let stream_eng = Pf_core.Engine.create () in
+  List.iter (fun q -> ignore (Pf_core.Engine.add tree_eng q)) qs;
+  List.iter (fun q -> ignore (Pf_core.Engine.add stream_eng q)) qs;
+  let identical =
+    List.for_all
+      (fun s ->
+        Pf_core.Engine.match_string tree_eng s
+        = Pf_core.Engine.match_stream stream_eng s)
+      sources
+  in
+  let pass_match_tree () =
+    List.iter (fun s -> ignore (Pf_core.Engine.match_string tree_eng s)) sources
+  in
+  let pass_match_stream () =
+    List.iter (fun s -> ignore (Pf_core.Engine.match_stream stream_eng s)) sources
+  in
+  (* the identity pass above doubled as warm-up for both engines *)
+  let match_tree = minor_per_doc pass_match_tree in
+  let match_stream = minor_per_doc pass_match_stream in
+  let match_ratio = if match_tree > 0. then match_stream /. match_tree else 0. in
   Printf.printf
     "\n== ingest-alloc: %d NITF documents, %.1f paths/doc (minor words/doc) ==\n" ndocs
     paths_per_doc;
@@ -862,13 +890,32 @@ let ingest_alloc () =
   Printf.printf "%28s %18.1f\n" "sax (fold_zc, no-op)" sax;
   Printf.printf "%28s %18.1f   (%.2f%% of tree)\n" "scan (reused scanner)" scanned
     (100. *. ratio);
+  Printf.printf "%28s %18.1f   (%d XPEs)\n" "match, tree mode" match_tree
+    (List.length qs);
+  Printf.printf "%28s %18.1f   (%.2f%% of tree, identical %b)\n" "match, streaming"
+    match_stream
+    (100. *. match_ratio)
+    identical;
   record "documents" (J.Int ndocs);
   record "paths_per_doc" (J.Float paths_per_doc);
   record "minor_words_per_doc_tree" (J.Float tree);
   record "minor_words_per_doc_fold" (J.Float folded);
   record "minor_words_per_doc_sax" (J.Float sax);
   record "minor_words_per_doc_scan" (J.Float scanned);
-  record "scan_over_tree_ratio" (J.Float ratio)
+  record "scan_over_tree_ratio" (J.Float ratio);
+  record "stream_match"
+    (J.Obj
+       [
+         "xpes", J.Int (List.length qs);
+         "minor_words_per_doc_tree_match", J.Float match_tree;
+         "minor_words_per_doc_stream_match", J.Float match_stream;
+         "stream_over_tree_match_ratio", J.Float match_ratio;
+         "identical_matches", J.Bool identical;
+       ]);
+  if not identical then begin
+    Printf.printf "  FAILED: streaming match sets diverge from tree mode\n";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Path-result cache (extension): DTD-driven streams repeat root-to-leaf

@@ -20,8 +20,8 @@ let read_expressions path =
   in
   go [] 1
 
-let run engine_name shard_mode domains batch path_cache quiet count_only metrics_fmt
-    trace_srcs trace_out trace_slowest exprs_file docs =
+let run engine_name shard_mode domains batch path_cache stream quiet count_only
+    metrics_fmt trace_srcs trace_out trace_slowest exprs_file docs =
   let path_cache =
     match path_cache with
     | "on" -> true
@@ -32,6 +32,11 @@ let run engine_name shard_mode domains batch path_cache quiet count_only metrics
   in
   if path_cache && Pf_core.Expr_index.variant_of_name engine_name = None then begin
     Printf.eprintf "--path-cache applies to the predicate-engine variants only, not %S\n"
+      engine_name;
+    exit 2
+  end;
+  if stream && Pf_core.Expr_index.variant_of_name engine_name = None then begin
+    Printf.eprintf "--stream applies to the predicate-engine variants only, not %S\n"
       engine_name;
     exit 2
   end;
@@ -89,7 +94,9 @@ let run engine_name shard_mode domains batch path_cache quiet count_only metrics
     (* stage timings are wanted whenever metrics are exported *)
     match
       Pf_bench.Bench_util.filter_of_name ~collect_stats:(metrics_fmt <> None)
-        ~path_cache engine_name
+        ~path_cache
+        ~stream:(if stream then Pf_core.Engine.Stream else Pf_core.Engine.Tree)
+        engine_name
     with
     | Some f -> f
     | None ->
@@ -129,20 +136,30 @@ let run engine_name shard_mode domains batch path_cache quiet count_only metrics
           Pf_obs.Trace.set_ambient ctx;
           Some ctx
       in
-      let parsed =
-        Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
-            try
-              Ok
-                (Pf_xml.Sax.parse_document
-                   (In_channel.with_open_bin doc_path In_channel.input_all))
-            with Pf_xml.Sax.Parse_error (pos, msg) -> Error (pos, msg))
-      in
-      match parsed with
-      | Error (pos, msg) ->
-        Printf.eprintf "%s: %s (%s)\n" doc_path msg
-          (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
-        exit 2
-      | Ok doc -> Pf_service.submit ?trace:ctx svc doc (fun sids -> results.(i) <- sids))
+      if stream then begin
+        (* --stream: the raw text goes to the workers; a streaming engine
+           matches it straight off the SAX event stream, so nothing is
+           parsed into a tree anywhere. A malformed document surfaces when
+           the worker hits it — reported at shutdown below. *)
+        Pf_obs.Trace.clear_ambient ();
+        let src = In_channel.with_open_bin doc_path In_channel.input_all in
+        Pf_service.submit_raw ?trace:ctx svc src (fun sids -> results.(i) <- sids)
+      end
+      else
+        let parsed =
+          Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
+              try
+                Ok
+                  (Pf_xml.Sax.parse_document
+                     (In_channel.with_open_bin doc_path In_channel.input_all))
+              with Pf_xml.Sax.Parse_error (pos, msg) -> Error (pos, msg))
+        in
+        match parsed with
+        | Error (pos, msg) ->
+          Printf.eprintf "%s: %s (%s)\n" doc_path msg
+            (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
+          exit 2
+        | Ok doc -> Pf_service.submit ?trace:ctx svc doc (fun sids -> results.(i) <- sids))
     docs;
   Pf_service.drain svc;
   (match collector, trace_out with
@@ -162,7 +179,13 @@ let run engine_name shard_mode domains batch path_cache quiet count_only metrics
           (fun sid -> Printf.printf "%s: %s\n" doc_path (Hashtbl.find table sid))
           matched)
     docs;
-  Pf_service.shutdown svc;
+  (* a worker-side parse error (raw submission) re-raises here: report it
+     like the eager parse path does and fail the run *)
+  (try Pf_service.shutdown svc
+   with Pf_xml.Sax.Parse_error (pos, msg) ->
+     Printf.eprintf "parse error in a streamed document: %s (%s)\n" msg
+       (Format.asprintf "%a" Pf_xml.Sax.pp_position pos);
+     exit 2);
   (match metrics_fmt with
   | None -> ()
   | Some fmt ->
@@ -230,6 +253,16 @@ let path_cache_arg =
   in
   Arg.(value & opt string "off" & info [ "path-cache" ] ~docv:"on|off" ~doc)
 
+let stream_arg =
+  let doc =
+    "Fully streaming matching: documents are sent to the workers as raw XML \
+     text and matched straight off the SAX event stream — no document tree \
+     is ever built, and per-path publications are reused from an arena. \
+     Predicate-engine variants only. Malformed documents are reported after \
+     the stream drains (exit 2) instead of before submission."
+  in
+  Arg.(value & flag & info [ "stream" ] ~doc)
+
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-match output.")
 
@@ -286,7 +319,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ engine_arg $ shard_mode_arg $ domains_arg $ batch_arg $ path_cache_arg
-      $ quiet_arg $ count_arg $ metrics_arg $ trace_arg $ trace_out_arg
+      $ stream_arg $ quiet_arg $ count_arg $ metrics_arg $ trace_arg $ trace_out_arg
       $ trace_slowest_arg $ exprs_arg $ docs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -72,13 +72,16 @@ let of_filter ~name (filter : Pf_intf.filter) =
     metrics = F.metrics inst;
   }
 
-let filter_of_name ?collect_stats ?path_cache name : Pf_intf.filter option =
+let filter_of_name ?collect_stats ?path_cache ?stream name : Pf_intf.filter option =
   match Pf_core.Expr_index.variant_of_name name with
   | Some variant ->
-    Some (Pf_core.Engine.filter ~variant ?collect_stats ?path_cache () :> Pf_intf.filter)
+    Some
+      (Pf_core.Engine.filter ~variant ?collect_stats ?path_cache ?stream ()
+        :> Pf_intf.filter)
   | None -> (
-    (* the baselines have no path cache; callers validating --path-cache
-       check Expr_index.variant_of_name before resolving *)
+    (* the baselines have no path cache or streaming mode; callers
+       validating --path-cache / --stream check Expr_index.variant_of_name
+       before resolving *)
     match name with
     | "yfilter" -> Some (module Pf_yfilter.Yfilter)
     | "index-filter" -> Some (module Pf_indexfilter.Index_filter)

@@ -45,12 +45,17 @@ val of_filter : name:string -> Pf_intf.filter -> algorithm
 (** Adapter over any {!Pf_intf.FILTER} engine (one fresh instance). *)
 
 val filter_of_name :
-  ?collect_stats:bool -> ?path_cache:bool -> string -> Pf_intf.filter option
+  ?collect_stats:bool ->
+  ?path_cache:bool ->
+  ?stream:Pf_core.Engine.ingest ->
+  string ->
+  Pf_intf.filter option
 (** Resolve an engine name — a predicate-engine variant (basic, basic-pc,
     basic-pc-ap, shared) or a baseline (yfilter, index-filter) — to its
-    {!Pf_intf.filter} module. [collect_stats] and [path_cache] apply to
-    predicate-engine variants only (the baselines ignore them; validate
-    with {!Pf_core.Expr_index.variant_of_name} if that matters). *)
+    {!Pf_intf.filter} module. [collect_stats], [path_cache] and [stream]
+    apply to predicate-engine variants only (the baselines ignore them;
+    validate with {!Pf_core.Expr_index.variant_of_name} if that
+    matters). *)
 
 val predicate_engine :
   ?variant:Pf_core.Expr_index.variant ->

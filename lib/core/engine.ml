@@ -6,6 +6,14 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 type attr_mode = Inline | Postponed
 
+(* How documents reach the matching loop. [Tree] materializes the
+   document tree (the difftest oracle's mode); [Scan] extracts paths off
+   the SAX event stream and snapshots each into a fresh publication;
+   [Stream] is fully streaming — reusable publications are refilled
+   straight from the step stack at each leaf's end-tag event, so matching
+   a document allocates neither a tree nor per-path tuples. *)
+type ingest = Tree | Scan | Stream
+
 (* Postponed attribute constraints for one expression: per predicate, the
    variable tag symbols and the constraints to check once a structural
    match is found. A name slot is -1 when its constraint list is empty
@@ -44,6 +52,7 @@ type metrics = {
   cache_misses : Pf_obs.Counter.t;
   cache_evictions : Pf_obs.Counter.t;
   cache_invalidations : Pf_obs.Counter.t;
+  stream_documents : Pf_obs.Counter.t;
   predicate_span : Pf_obs.Span.t;
   expr_span : Pf_obs.Span.t;
   collect_span : Pf_obs.Span.t;
@@ -74,6 +83,9 @@ let make_metrics () =
     cache_invalidations =
       Pf_obs.Counter.make ~registry "path_cache_invalidations"
         ~help:"subscription epoch bumps invalidating the path-result cache";
+    stream_documents =
+      Pf_obs.Counter.make ~registry "stream_documents"
+        ~help:"documents matched fully streaming (no tree, arena publications)";
     predicate_span =
       Pf_obs.Span.make ~registry "predicate_stage_ns"
         ~help:"predicate matching stage time";
@@ -135,7 +147,9 @@ type t = {
          attribute-sensitive and duplicate-path elimination must not apply *)
   seen_paths : (string, unit) Hashtbl.t;  (* per-document duplicate-path filter *)
   cache : path_cache option;
-  scanner : Pf_xml.Path.scanner;  (* reused by match_stream across documents *)
+  scanner : Pf_xml.Path.scanner;
+      (* reused by match_scan/match_stream across documents *)
+  pub_arena : Publication.arena;  (* reused by match_stream across documents *)
 }
 
 let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
@@ -174,6 +188,7 @@ let create ?(variant = Expr_index.Access_predicate) ?(attr_mode = Inline)
            }
        else None);
     scanner = Pf_xml.Path.create_scanner ();
+    pub_arena = Publication.create_arena ();
   }
 
 let variant t = t.variant
@@ -346,44 +361,53 @@ let fill_chains t pids =
   in
   fetch 0
 
-(* Cache key for one path. The symbol sequence is length-prefixed and
-   fixed-width, and every attribute name/value is length-prefixed, so the
-   encoding is injective: equal keys imply an identical symbol sequence
-   (which determines the occurrence numbers — they are a running count
-   over it) and, when attributes participate, identical attribute tuples.
-   Attributes are included exactly when some registered expression
-   carries attribute filters ([t.constrained]) — in both Inline and
-   Postponed modes the per-path result then depends on them; with only
-   structural expressions it cannot. Structure tuples (child indices)
-   never key: only nested expressions consult them, and nested
+(* Cache key for one publication. The symbol sequence is length-prefixed
+   and fixed-width, and every attribute name/value is length-prefixed, so
+   the encoding is injective: equal keys imply an identical symbol
+   sequence (which determines the occurrence numbers — they are a running
+   count over it) and, when attributes participate, identical attribute
+   tuples. Attributes are included exactly when some registered
+   expression carries attribute filters ([t.constrained]) — in both
+   Inline and Postponed modes the per-path result then depends on them;
+   with only structural expressions it cannot. Structure tuples (child
+   indices) never key: only nested expressions consult them, and nested
    expressions disable the cache entirely (their matches need
-   whole-document state, not per-path sets). *)
-let cache_key t c (path : Pf_xml.Path.t) =
+   whole-document state, not per-path sets). The key copies every byte it
+   needs, so an arena-backed publication may be overwritten afterwards
+   without invalidating cached entries. *)
+let cache_key t c (pub : Publication.t) =
   let buf = c.pc_key in
   Buffer.clear buf;
-  let steps = path.Pf_xml.Path.steps in
-  Buffer.add_int32_le buf (Int32.of_int (Array.length steps));
+  let tuples = pub.Publication.tuples in
+  Buffer.add_int32_le buf (Int32.of_int pub.Publication.length);
   Array.iter
-    (fun (s : Pf_xml.Path.step) -> Buffer.add_int32_le buf (Int32.of_int s.Pf_xml.Path.sym))
-    steps;
+    (fun (tu : Publication.tuple) ->
+      Buffer.add_int32_le buf (Int32.of_int tu.Publication.tag))
+    tuples;
   if t.constrained then
     Array.iter
-      (fun (s : Pf_xml.Path.step) ->
-        Buffer.add_int32_le buf (Int32.of_int (List.length s.Pf_xml.Path.attrs));
+      (fun (tu : Publication.tuple) ->
+        Buffer.add_int32_le buf (Int32.of_int (List.length tu.Publication.attrs));
         List.iter
           (fun (n, v) ->
             Buffer.add_int32_le buf (Int32.of_int (String.length n));
             Buffer.add_string buf n;
             Buffer.add_int32_le buf (Int32.of_int (String.length v));
             Buffer.add_string buf v)
-          s.Pf_xml.Path.attrs)
-      steps;
+          tu.Publication.attrs)
+      tuples;
   Buffer.contents buf
 
-(* Core per-document matching loop; [iter_paths] drives the document's
-   paths through it (from a materialized list or streaming off a SAX
-   parse). *)
-let match_iter t iter_paths =
+(* Core per-document matching loop; [iter_pubs] drives the document's
+   root-to-leaf publications through it — materialized from a tree, or
+   streamed off a SAX parse (snapshotted or arena-refilled). A streamed
+   publication only needs to stay valid while its own callback runs:
+   everything below either finishes with the publication before
+   returning or copies the bytes it keeps (dedup keys, cache keys and
+   entries, match sets). *)
+let empty_pub = Publication.of_tags []
+
+let match_iter t iter_pubs =
   let lat0 = Pf_obs.Span.now () in
   (* read the ambient trace once per document; the untraced fast path
      then pays only these branch tests, never a closure allocation *)
@@ -410,15 +434,15 @@ let match_iter t iter_paths =
      expressions) or per-path structure tuples do (nested expressions). *)
   let dedup = t.dedup_paths && (not t.constrained) && not nested_active in
   if dedup then Hashtbl.reset t.seen_paths;
-  let fresh_path (path : Pf_xml.Path.t) =
+  let fresh_pub (pub : Publication.t) =
     (not dedup)
     ||
     (* fixed-width symbol encoding: injective, no string contents *)
     let buf = Buffer.create 64 in
     Array.iter
-      (fun (s : Pf_xml.Path.step) ->
-        Buffer.add_int32_le buf (Int32.of_int s.Pf_xml.Path.sym))
-      path.Pf_xml.Path.steps;
+      (fun (tu : Publication.tuple) ->
+        Buffer.add_int32_le buf (Int32.of_int tu.Publication.tag))
+      pub.Publication.tuples;
     let key = Buffer.contents buf in
     if Hashtbl.mem t.seen_paths key then begin
       Pf_obs.Counter.incr t.m.dedup_hits;
@@ -429,31 +453,39 @@ let match_iter t iter_paths =
       true
     end
   in
-  let process_uncached path =
+  (* The publication the uncached [on_match] below consults for postponed
+     attribute checks. A mutable slot (written by [process_uncached])
+     rather than a captured argument, so [on_match] is one closure per
+     document instead of one per path — on the streaming path, per-path
+     closures were the residual allocation after the arenas. *)
+  let cur_pub = ref empty_pub in
+  let on_match sid =
+    if t.sid_stamp.(sid) <> t.doc_epoch then
+      match (Vec.get t.exprs sid).kind with
+      | Single { post = None; _ } -> mark sid
+      | Single { pids; post = Some post } ->
+        if
+          fill_chains t pids
+          && Occurrence.iter_chains_packed t.chains (chain_satisfies post !cur_pub)
+        then mark sid
+      | Nested_expr -> assert false
+  in
+  let sticky = t.attr_mode = Inline in
+  let process_uncached pub =
       Pf_obs.Counter.incr t.m.paths;
-      let pub = Publication.of_path path in
+      cur_pub := pub;
       let t0 = if timed then Pf_obs.Span.now () else 0L in
       if traced then
         Pf_obs.Trace.with_span "match" (fun () ->
             Predicate_index.run t.pidx t.results pub)
       else Predicate_index.run t.pidx t.results pub;
       let t1 = if timed then Pf_obs.Span.now () else 0L in
-      let on_match sid =
-        if t.sid_stamp.(sid) <> t.doc_epoch then
-          match (Vec.get t.exprs sid).kind with
-          | Single { post = None; _ } -> mark sid
-          | Single { pids; post = Some post } ->
-            if
-              fill_chains t pids
-              && Occurrence.iter_chains_packed t.chains (chain_satisfies post pub)
-            then mark sid
-          | Nested_expr -> assert false
-      in
-      let eval () =
-        Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline)
-          ~doc_tag:t.doc_epoch ~on_match ()
-      in
-      if traced then Pf_obs.Trace.with_span "occurrence" eval else eval ();
+      (* the traced path pays a closure for the span; the plain path calls
+         the evaluator directly and allocates nothing *)
+      if traced then
+        Pf_obs.Trace.with_span "occurrence" (fun () ->
+            Expr_index.eval t.eidx t.results ~sticky ~doc_tag:t.doc_epoch ~on_match)
+      else Expr_index.eval t.eidx t.results ~sticky ~doc_tag:t.doc_epoch ~on_match;
       if nested_active then Nested.observe_path t.nested t.results pub;
       if timed then begin
         let t2 = Pf_obs.Span.now () in
@@ -471,10 +503,10 @@ let match_iter t iter_paths =
       acc := sid :: !acc
     end
   in
-  let process_cached c path =
+  let process_cached c pub =
     Pf_obs.Counter.incr t.m.paths;
     let lookup () =
-      let key = cache_key t c path in
+      let key = cache_key t c pub in
       key, Hashtbl.find_opt c.pc_table key
     in
     let key, found =
@@ -486,7 +518,6 @@ let match_iter t iter_paths =
       Array.iter mark_doc e.ce_sids
     | prior ->
       Pf_obs.Counter.incr t.m.cache_misses;
-      let pub = Publication.of_path path in
       let t0 = if timed then Pf_obs.Span.now () else 0L in
       if traced then
         Pf_obs.Trace.with_span "match" (fun () ->
@@ -517,7 +548,7 @@ let match_iter t iter_paths =
       in
       let eval () =
         Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline) ~doc_tag:ptag
-          ~on_match ()
+          ~on_match
       in
       if traced then Pf_obs.Trace.with_span "occurrence" eval else eval ();
       if timed then begin
@@ -536,12 +567,12 @@ let match_iter t iter_paths =
       Pf_obs.Gauge.set t.m.cache_entries (float_of_int (Hashtbl.length c.pc_table));
       Array.iter mark_doc sids
   in
-  iter_paths
-    (fun path ->
-      if fresh_path path then
+  iter_pubs
+    (fun pub ->
+      if fresh_pub pub then
         match cache with
-        | None -> process_uncached path
-        | Some c -> process_cached c path);
+        | None -> process_uncached pub
+        | Some c -> process_cached c pub);
   let t2 = if timed then Pf_obs.Span.now () else 0L in
   if nested_active then Nested.finish_document t.nested ~on_match:mark;
   let result = List.sort compare !acc in
@@ -556,18 +587,33 @@ let match_iter t iter_paths =
         (Pf_obs.Counter.get t.m.paths));
   result
 
-let match_paths t paths = match_iter t (fun f -> List.iter f paths)
+let match_paths t paths =
+  match_iter t (fun f -> List.iter (fun p -> f (Publication.of_path p)) paths)
 
 let match_document t doc =
   match_paths t (Pf_obs.Trace.with_span "scan" (fun () -> Pf_xml.Path.of_document doc))
 
 let match_string t s = match_document t (Pf_xml.Sax.parse_document s)
 
+let match_scan t src =
+  (* zero-copy path extraction: the engine-owned scanner is reused across
+     documents and each emitted path is snapshotted into a fresh
+     publication — no tree, but still one allocation per path *)
+  match_iter t (fun f ->
+      Pf_xml.Path.scan t.scanner src ~f:(fun p -> f (Publication.of_path p)))
+
 let match_stream t src =
-  (* zero-copy ingest: the engine-owned scanner is reused across
-     documents, and the matching loop never retains the emitted path
-     (the dedup key and the publication both copy what they need) *)
-  match_iter t (fun f -> Pf_xml.Path.scan t.scanner src ~f)
+  (* fully streaming: the step stack from [Path.stream] refills the
+     engine-owned publication arena in place, so matching a document
+     allocates neither a tree nor per-path tuples. Sound because the
+     matching loop finishes with each publication before its callback
+     returns (see [match_iter]); the span covers the fused
+     parse+extract+match drive, which has no separable "scan" phase. *)
+  Pf_obs.Counter.incr t.m.stream_documents;
+  Pf_obs.Trace.with_span "stream-match" (fun () ->
+      match_iter t (fun f ->
+          Pf_xml.Path.stream t.scanner src ~f:(fun steps n ->
+              f (Publication.of_steps t.pub_arena steps n))))
 
 type explanation = {
   expl_path : Pf_xml.Path.t;
@@ -652,14 +698,14 @@ let match_path t path =
     end
   in
   Expr_index.eval t.eidx t.results ~sticky:(t.attr_mode = Inline) ~doc_tag:t.doc_epoch
-    ~on_match ();
+    ~on_match;
   List.sort compare !acc
 
 (* ------------------------------------------------------------------ *)
 (* The unified engine signature (Pf_intf.FILTER) *)
 
 let filter ?variant ?attr_mode ?collect_stats ?dedup_paths ?path_cache
-    ?path_cache_capacity ?(stream = false) () : (module Pf_intf.FILTER with type t = t) =
+    ?path_cache_capacity ?(stream = Tree) () : (module Pf_intf.FILTER with type t = t) =
   (module struct
     type nonrec t = t
 
@@ -670,14 +716,22 @@ let filter ?variant ?attr_mode ?collect_stats ?dedup_paths ?path_cache
     let add_string = add_string
     let remove = remove
 
-    (* [stream] routes matching through the SAX pipeline: the document is
-       serialized and re-matched from the event stream without ever
-       materializing the tree on the matching side. *)
+    (* [Scan] and [Stream] route matching through the SAX pipeline: the
+       document is serialized and re-matched from the event stream without
+       ever materializing the tree on the matching side ([Stream]
+       additionally refills arena publications instead of snapshotting). *)
     let match_document =
-      if stream then fun t doc -> match_stream t (Pf_xml.Print.to_string ~decl:false doc)
-      else match_document
+      match stream with
+      | Tree -> match_document
+      | Scan -> fun t doc -> match_scan t (Pf_xml.Print.to_string ~decl:false doc)
+      | Stream -> fun t doc -> match_stream t (Pf_xml.Print.to_string ~decl:false doc)
 
-    let match_string = if stream then match_stream else match_string
+    let match_string =
+      match stream with
+      | Tree -> match_string
+      | Scan -> match_scan
+      | Stream -> match_stream
+
     let metrics = metrics
   end)
 

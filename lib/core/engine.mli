@@ -24,6 +24,19 @@ type attr_mode =
           after structural matching by re-running the occurrence
           determination over candidate chains *)
 
+(** How documents reach the matching loop. *)
+type ingest =
+  | Tree
+      (** materialize the document tree, then extract all paths — the
+          difftest oracle's mode *)
+  | Scan
+      (** extract paths off the SAX event stream and snapshot each into a
+          fresh publication (no tree; one allocation per path) *)
+  | Stream
+      (** fully streaming: arena publications are refilled in place
+          straight from the step stack at each leaf's end-tag event, so
+          matching allocates neither a tree nor per-path tuples *)
+
 type t
 
 val create :
@@ -79,15 +92,16 @@ val filter :
   ?dedup_paths:bool ->
   ?path_cache:bool ->
   ?path_cache_capacity:int ->
-  ?stream:bool ->
+  ?stream:ingest ->
   unit ->
   (module Pf_intf.FILTER with type t = t)
 (** A first-class {!Pf_intf.FILTER} whose [create] builds engines with the
-    given configuration (defaults as {!create}). With [stream:true] the
-    module matches through {!match_stream} — documents are serialized and
-    consumed as SAX events, never materialized on the matching side.
-    Generic layers ({!Pf_service}, the difftest roster, the benchmark
-    harness) consume engines through this signature. *)
+    given configuration (defaults as {!create}; [stream] defaults to
+    {!Tree}). With [stream:Scan] the module matches through {!match_scan}
+    and with [stream:Stream] through {!match_stream} — documents are
+    serialized and consumed as SAX events, never materialized on the
+    matching side. Generic layers ({!Pf_service}, the difftest roster,
+    the benchmark harness) consume engines through this signature. *)
 
 module Filter : Pf_intf.FILTER with type t = t
 (** [filter ()] applied: the default configuration as a named module. *)
@@ -126,11 +140,25 @@ val match_string : t -> string -> int list
 (** Parse the XML (raises {!Pf_xml.Sax.Parse_error}) then
     {!match_document}. *)
 
-val match_stream : t -> string -> int list
+val match_scan : t -> string -> int list
 (** Like {!match_string}, but never materializes the document tree: paths
     are extracted from the SAX event stream one at a time and matched as
-    their leaves close — the pipeline the paper describes. Equivalent
-    results to {!match_string}. *)
+    their leaves close — the pipeline the paper describes. Each path is
+    snapshotted into a fresh publication. Equivalent results to
+    {!match_string}. *)
+
+val match_stream : t -> string -> int list
+(** The fully streaming match path: like {!match_scan} but the per-path
+    publication is not allocated either — the engine-owned
+    {!Publication.arena} is refilled in place from the step stack at each
+    leaf's end-tag event, so matching a document allocates neither a tree
+    nor per-path tuples once the arenas are warm. Records a
+    ["stream-match"] trace span covering the fused parse+extract+match
+    drive and bumps the ["stream_documents"] counter. Equivalent results
+    to {!match_string} (the streaming [#text] caveat of
+    {!Pf_xml.Path.of_string} applies to mixed-content ancestors).
+    Raises {!Pf_xml.Sax.Parse_error} at the same positions as the tree
+    parser. *)
 
 val match_path : t -> Pf_xml.Path.t -> int list
 (** Match the single-path expressions against one document path (nested
@@ -170,7 +198,8 @@ val occurrence_runs : t -> int
     Every engine owns a {!Pf_obs.Registry.t} (scope ["engine"]) holding
     its counters, histograms and per-stage span timers:
 
-    - counters ["paths"], ["documents"], ["dedup_path_hits"],
+    - counters ["paths"], ["documents"], ["stream_documents"],
+      ["dedup_path_hits"],
       ["path_cache_hits"], ["path_cache_misses"], ["path_cache_evictions"],
       ["path_cache_invalidations"], ["predicate_probes"],
       ["predicate_hits"], ["occurrence_runs"], ["backtrack_steps"],

@@ -22,6 +22,12 @@ type node = {
   parent : node option;
   mutable sids : int list;
   mutable children : children;
+  mutable child_list : node list;
+      (* the same children as a plain list (newest first): the
+         access-predicate pass walks it with closure-free recursion — a
+         [Hashtbl.fold] over promoted fan-out allocated its callback per
+         node visit, i.e. per document path. Nodes are never removed, so
+         the list only grows alongside [children]. *)
   mutable covered_epoch : int;  (* prefix-covering mark, per eval pass *)
   mutable mark_epoch : int;
       (* document tag of the last sticky sid report: a document has many
@@ -42,6 +48,7 @@ let child_find children pid =
   | Big tbl -> Hashtbl.find_opt tbl pid
 
 let child_add n pid child =
+  n.child_list <- child :: n.child_list;
   match n.children with
   | Small l ->
     if List.length l >= promote_threshold then begin
@@ -57,9 +64,6 @@ let child_iter f = function
   | Small l -> List.iter (fun (_, c) -> f c) l
   | Big tbl -> Hashtbl.iter (fun _ c -> f c) tbl
 
-let child_fold f acc = function
-  | Small l -> List.fold_left (fun acc (_, c) -> f acc c) acc l
-  | Big tbl -> Hashtbl.fold (fun _ c acc -> f acc c) tbl acc
 
 (* Evaluation counters, typically registered in the owning engine's
    registry. [runs] is the quantity the Section 4.2.2 optimizations
@@ -100,6 +104,11 @@ type t = {
   flat_pos : (int, int) Hashtbl.t;  (* sid -> index in [flat] *)
   (* trie variants *)
   roots : (int, node) Hashtbl.t;
+  mutable root_list : node list;
+      (* the same roots as a list: the access-predicate pass walks it with
+         a closure-free recursion (a Hashtbl.iter callback would allocate
+         per evaluation, i.e. per document path). Roots are never removed,
+         so the list only grows, newest first. *)
   (* prefix covering: sid-bearing nodes bucketed by depth, evaluated
      longest-first so a deep match covers its prefixes *)
   by_depth : node Vec.t Vec.t;
@@ -113,8 +122,8 @@ type t = {
 }
 
 let dummy_node =
-  { pid = -1; depth = 0; parent = None; sids = []; children = Small []; covered_epoch = 0;
-    mark_epoch = 0 }
+  { pid = -1; depth = 0; parent = None; sids = []; children = Small []; child_list = [];
+    covered_epoch = 0; mark_epoch = 0 }
 
 (* Shared placeholder filling unused [by_depth] slots (Vec.ensure fills with
    one dummy value); recognized by physical identity and replaced by a fresh
@@ -127,6 +136,7 @@ let create ?metrics variant =
     flat = Vec.create ~dummy:(0, [||]) ();
     flat_pos = Hashtbl.create 16;
     roots = Hashtbl.create 256;
+    root_list = [];
     by_depth = Vec.create ~dummy:dummy_bucket ();
     arena = Occurrence.create_arena ();
     pc_epoch = 0;
@@ -166,10 +176,11 @@ let add t ~sid ~pids =
       | None ->
         let node =
           { pid = pids.(0); depth = 0; parent = None; sids = []; children = Small [];
-            covered_epoch = 0; mark_epoch = 0 }
+            child_list = []; covered_epoch = 0; mark_epoch = 0 }
         in
         t.n_nodes <- t.n_nodes + 1;
         Hashtbl.add t.roots pids.(0) node;
+        t.root_list <- node :: t.root_list;
         node
     in
     let rec descend node i =
@@ -181,7 +192,7 @@ let add t ~sid ~pids =
           | None ->
             let c =
               { pid = pids.(i); depth = i; parent = Some node; sids = [];
-                children = Small []; covered_epoch = 0; mark_epoch = 0 }
+                children = Small []; child_list = []; covered_epoch = 0; mark_epoch = 0 }
             in
             t.n_nodes <- t.n_nodes + 1;
             child_add node pids.(i) c;
@@ -334,48 +345,63 @@ let eval_pc t res ~sticky ~doc_tag ~on_match =
    at every node generalizes the same rule recursively). The per-depth
    arena rows are filled on the way down — stack discipline — so an
    occurrence run at a sid node reuses the fetches of all its ancestors. *)
-let eval_ap t res ~sticky ~doc_tag ~on_match =
-  let a = t.arena in
-  let s0 = Occurrence.search_steps a in
-  let report node =
-    if sticky then node.mark_epoch <- doc_tag;
-    List.iter on_match node.sids
-  in
-  let rec visit node depth =
-    if not (Predicate_index.is_matched res node.pid) then begin
-      (* dead access predicate: the whole subtree is ruled out *)
-      Pf_obs.Counter.incr t.m.access_skips;
-      false
+(* The recursion is written as top-level functions taking everything as
+   arguments rather than closures inside [eval_ap]: the visit runs once
+   per trie node per document path, and a closure allocation per node
+   (the old [child_fold] callback) used to dominate the match path's
+   allocation — with these, the whole evaluation allocates nothing. *)
+let rec ap_visit t res ~sticky ~doc_tag ~on_match node depth =
+  if not (Predicate_index.is_matched res node.pid) then begin
+    (* dead access predicate: the whole subtree is ruled out *)
+    Pf_obs.Counter.incr t.m.access_skips;
+    false
+  end
+  else begin
+    let a = t.arena in
+    ignore (fill_row a res depth node.pid : bool);
+    let below =
+      ap_visit_children t res ~sticky ~doc_tag ~on_match node.child_list (depth + 1) false
+    in
+    if node.sids = [] then below
+    else if sticky && node.mark_epoch = doc_tag then
+      (* already fully reported for this document: no run needed *)
+      below
+    else if below then begin
+      (* a longer expression below matched: covered, no run needed *)
+      Pf_obs.Counter.add t.m.cover_skips (List.length node.sids);
+      if sticky then node.mark_epoch <- doc_tag;
+      List.iter on_match node.sids;
+      true
     end
     else begin
-      ignore (fill_row a res depth node.pid : bool);
-      let below = child_fold (fun acc c -> visit c (depth + 1) || acc) false node.children in
-      if node.sids = [] then below
-      else if sticky && node.mark_epoch = doc_tag then
-        (* already fully reported for this document: no run needed *)
-        below
-      else if below then begin
-        (* a longer expression below matched: covered, no run needed *)
-        Pf_obs.Counter.add t.m.cover_skips (List.length node.sids);
-        report node;
+      note_run t (depth + 1);
+      if Occurrence.matches_to a depth then begin
+        if sticky then node.mark_epoch <- doc_tag;
+        List.iter on_match node.sids;
         true
       end
-      else begin
-        note_run t (depth + 1);
-        if Occurrence.matches_to a depth then begin
-          report node;
-          true
-        end
-        else false
-      end
+      else false
     end
-  in
-  Hashtbl.iter
-    (fun _ root ->
-      Occurrence.clear a;
-      ignore (visit root 0))
-    t.roots;
-  Pf_obs.Counter.add t.m.steps (Occurrence.search_steps a - s0)
+  end
+
+and ap_visit_children t res ~sticky ~doc_tag ~on_match l depth acc =
+  match l with
+  | [] -> acc
+  | c :: rest ->
+    let matched = ap_visit t res ~sticky ~doc_tag ~on_match c depth in
+    ap_visit_children t res ~sticky ~doc_tag ~on_match rest depth (acc || matched)
+
+let rec ap_roots t res ~sticky ~doc_tag ~on_match = function
+  | [] -> ()
+  | root :: rest ->
+    Occurrence.clear t.arena;
+    ignore (ap_visit t res ~sticky ~doc_tag ~on_match root 0 : bool);
+    ap_roots t res ~sticky ~doc_tag ~on_match rest
+
+let eval_ap t res ~sticky ~doc_tag ~on_match =
+  let s0 = Occurrence.search_steps t.arena in
+  ap_roots t res ~sticky ~doc_tag ~on_match t.root_list;
+  Pf_obs.Counter.add t.m.steps (Occurrence.search_steps t.arena - s0)
 
 (* Shared: propagate the set of reachable chain endings down the trie. A
    node is reachable with endings S iff a chain exists through the pids on
@@ -413,7 +439,7 @@ let eval_shared t res roots ~sticky ~doc_tag ~on_match =
   in
   Hashtbl.iter (fun _ root -> visit root None) roots
 
-let eval t res ?(sticky = false) ?(doc_tag = 0) ~on_match () =
+let eval t res ~sticky ~doc_tag ~on_match =
   match t.variant with
   | Basic -> eval_basic t res ~on_match
   | Prefix_covering -> eval_pc t res ~sticky ~doc_tag ~on_match

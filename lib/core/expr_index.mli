@@ -62,15 +62,12 @@ val remove : t -> sid:int -> pids:int array -> bool
     reclaimed. *)
 
 val eval :
-  t ->
-  Predicate_index.results ->
-  ?sticky:bool ->
-  ?doc_tag:int ->
-  on_match:(int -> unit) ->
-  unit ->
-  unit
+  t -> Predicate_index.results -> sticky:bool -> doc_tag:int -> on_match:(int -> unit) -> unit
 (** Report each structurally matched sid exactly once for this publication.
-    [on_match] receives sids in an unspecified order.
+    [on_match] receives sids in an unspecified order. The flags are plain
+    labelled arguments (not optional): optional arguments box a [Some] per
+    call, and [eval] runs once per document path on the streaming fast
+    path. Pass [~sticky:false ~doc_tag:0] when stickiness is unused.
 
     [sticky]/[doc_tag] (trie variants): a document is many publications;
     when [sticky] is true, a node whose sids were already reported under

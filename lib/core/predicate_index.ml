@@ -166,10 +166,23 @@ type results = {
   mutable cells : int array;
   mutable n_cells : int;  (* cells used this epoch *)
   mutable matched : int;  (* matched predicates this epoch *)
+  mutable r_probes : int;
+      (* [run]'s scratch counters — fields rather than refs so a run
+         allocates nothing; flushed to the metrics once per run *)
+  mutable r_hits : int;
 }
 
 let create_results () =
-  { epoch = 0; stamp = [||]; heads = [||]; cells = [||]; n_cells = 0; matched = 0 }
+  {
+    epoch = 0;
+    stamp = [||];
+    heads = [||];
+    cells = [||];
+    n_cells = 0;
+    matched = 0;
+    r_probes = 0;
+    r_hits = 0;
+  }
 
 let ensure_capacity res n =
   if Array.length res.stamp < n then begin
@@ -236,27 +249,48 @@ let cons_ok t pid ~first ~second =
   | [] -> true
   | cs -> Predicate.check_constraints cs second
 
+(* Visit one candidate pid list: count the probe, check attribute
+   constraints, record the packed pair on success. A top-level function
+   rather than a closure inside [run]'s loops — the slot loops below
+   execute per (tuple, value) and a closure allocation there used to
+   dominate the whole match path's allocation (the loops themselves are
+   allocation-free, so this keeps the streaming mode's steady state at
+   zero words per path). Probe/hit tallies go to [res.r_probes]/
+   [res.r_hits] — mutable scratch fields, not refs, so a run allocates
+   nothing — and are flushed to the metrics once per run. *)
+let rec visit_slot t res first second packed = function
+  | [] -> ()
+  | pid :: rest ->
+    res.r_probes <- res.r_probes + 1;
+    if cons_ok t pid ~first ~second then begin
+      res.r_hits <- res.r_hits + 1;
+      record res pid packed
+    end;
+    visit_slot t res first second packed rest
+
+let rec visit_length res = function
+  | [] -> ()
+  | pid :: rest ->
+    res.r_probes <- res.r_probes + 1;
+    res.r_hits <- res.r_hits + 1;
+    record res pid (pack 0 0);
+    visit_length res rest
+
 let run t res (pub : Publication.t) =
   ensure_capacity res (Vec.length t.preds);
   res.epoch <- res.epoch + 1;
   res.n_cells <- 0;
   res.matched <- 0;
-  (* candidate inspections / recorded pairs; accumulated locally and
-     flushed to the counters once per run to keep the loops tight *)
-  let probes = ref 0 and hits = ref 0 in
+  res.r_probes <- 0;
+  res.r_hits <- 0;
   let l = pub.Publication.length in
   (* length-of-expression predicates: (length,>=,v) matches iff l >= v *)
   let stop = min l (Vec.length t.length_slots - 1) in
   for v = 1 to stop do
-    List.iter
-      (fun pid ->
-        incr probes;
-        incr hits;
-        record res pid (pack 0 0))
-      (Vec.get t.length_slots v)
+    visit_length res (Vec.get t.length_slots v)
   done;
   let tuples = pub.Publication.tuples in
-  let n = Array.length tuples in
+  let n = pub.Publication.length in
   let n_abs = Vec.length t.absolute in
   let n_rel = Vec.length t.relative in
   let n_eop = Vec.length t.end_of_path in
@@ -264,32 +298,17 @@ let run t res (pub : Publication.t) =
     let tu = tuples.(i) in
     let sym = tu.Publication.tag in
     let o = tu.Publication.occurrence in
+    let attrs = tu.Publication.attrs in
     (* absolute predicates *)
     (if sym < n_abs then begin
        let slots = Vec.get t.absolute sym in
        if slots != dummy_slots then begin
          let pos = tu.Publication.pos in
          if pos < Vec.length slots.eq then
-           List.iter
-             (fun pid ->
-               incr probes;
-               if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
-               then begin
-                 incr hits;
-                 record res pid (pack o o)
-               end)
-             (Vec.get slots.eq pos);
+           visit_slot t res attrs attrs (pack o o) (Vec.get slots.eq pos);
          let stop = min pos (Vec.length slots.ge - 1) in
          for v = 1 to stop do
-           List.iter
-             (fun pid ->
-               incr probes;
-               if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
-               then begin
-                 incr hits;
-                 record res pid (pack o o)
-               end)
-             (Vec.get slots.ge v)
+           visit_slot t res attrs attrs (pack o o) (Vec.get slots.ge v)
          done
        end
      end);
@@ -299,15 +318,7 @@ let run t res (pub : Publication.t) =
        if vec != dummy_eop then begin
          let stop = min (l - tu.Publication.pos) (Vec.length vec - 1) in
          for v = 1 to stop do
-           List.iter
-             (fun pid ->
-               incr probes;
-               if cons_ok t pid ~first:tu.Publication.attrs ~second:tu.Publication.attrs
-               then begin
-                 incr hits;
-                 record res pid (pack o o)
-               end)
-             (Vec.get vec v)
+           visit_slot t res attrs attrs (pack o o) (Vec.get vec v)
          done
        end
      end);
@@ -317,35 +328,24 @@ let run t res (pub : Publication.t) =
       if tbl2 != dummy_rel then
         for j = i + 1 to n - 1 do
           let tu2 = tuples.(j) in
-          match Hashtbl.find_opt tbl2 tu2.Publication.tag with
-          | None -> ()
-          | Some slots ->
+          (* find, not find_opt: the option would be the only allocation
+             in this loop *)
+          match Hashtbl.find tbl2 tu2.Publication.tag with
+          | exception Not_found -> ()
+          | slots ->
             let d = tu2.Publication.pos - tu.Publication.pos in
             let o2 = tu2.Publication.occurrence in
+            let attrs2 = tu2.Publication.attrs in
             if d < Vec.length slots.eq then
-              List.iter
-                (fun pid ->
-                  incr probes;
-                  if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
-                  then begin
-                    incr hits;
-                    record res pid (pack o o2)
-                  end)
+              visit_slot t res attrs attrs2 (pack o o2)
                 (Vec.get slots.eq d);
             let stop = min d (Vec.length slots.ge - 1) in
             for v = 1 to stop do
-              List.iter
-                (fun pid ->
-                  incr probes;
-                  if cons_ok t pid ~first:tu.Publication.attrs ~second:tu2.Publication.attrs
-                  then begin
-                    incr hits;
-                    record res pid (pack o o2)
-                  end)
+              visit_slot t res attrs attrs2 (pack o o2)
                 (Vec.get slots.ge v)
             done
         done
     end
   done;
-  Pf_obs.Counter.add t.m.probes !probes;
-  Pf_obs.Counter.add t.m.hits !hits
+  Pf_obs.Counter.add t.m.probes res.r_probes;
+  Pf_obs.Counter.add t.m.hits res.r_hits

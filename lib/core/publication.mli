@@ -11,11 +11,14 @@
     matching. *)
 
 type tuple = {
-  tag : Symbol.t;  (** interned tag name *)
+  mutable tag : Symbol.t;  (** interned tag name *)
   pos : int;  (** 1-based position in the path *)
-  occurrence : int;  (** 1-based occurrence number of [tag] in the path *)
-  attrs : (string * string) list;
+  mutable occurrence : int;  (** 1-based occurrence number of [tag] in the path *)
+  mutable attrs : (string * string) list;
 }
+(** Fields are mutable {e only} so the streaming {!arena} can refill its
+    records in place; {!of_path} and {!of_tags} build fresh tuples that
+    are never mutated afterwards and are safe to retain. *)
 
 type t = {
   length : int;
@@ -31,6 +34,23 @@ val of_path : Pf_xml.Path.t -> t
 val of_tags : string list -> t
 (** Convenience for tests, mirroring the paper's examples
     (e.g. [of_tags ["a";"b";"c";"a";"b";"c"]]). *)
+
+type arena
+(** Reusable publication storage for the fully streaming match path: one
+    tuple record per depth, shared by one cached publication per path
+    length, so a step stack streamed out of {!Pf_xml.Path.stream} becomes
+    a publication with zero allocation once the arena is warm. Not
+    domain-safe; use one arena per engine. *)
+
+val create_arena : unit -> arena
+
+val of_steps : arena -> Pf_xml.Path.step array -> int -> t
+(** [of_steps ar steps n] refills the arena's length-[n] publication from
+    [steps.(0 .. n - 1)] (tag symbol, occurrence, attributes, child index)
+    and returns it. The returned publication — tuples, structure array and
+    lazy position index included — is overwritten by the next call and
+    must not be retained; the attribute lists and strings it points at are
+    immutable and safely shared. *)
 
 val pos_of_occurrence : t -> tag:Symbol.t -> occurrence:int -> int option
 (** Position of the [occurrence]-th occurrence of [tag], if any — the

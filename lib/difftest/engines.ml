@@ -145,12 +145,12 @@ let churned (filter : Pf_intf.filter) : Pf_intf.filter =
     let metrics t = F.metrics t.inst
   end)
 
-let cached_engine ~ename ?variant ?attr_mode () =
+let cached_engine ~ename ?variant ?attr_mode ?stream () =
   {
     ename;
     filter =
       churned
-        (Pf_core.Engine.filter ?variant ?attr_mode ~path_cache:true ()
+        (Pf_core.Engine.filter ?variant ?attr_mode ~path_cache:true ?stream ()
           :> Pf_intf.filter);
     supports = engine_subset;
     finalize = ignore;
@@ -178,7 +178,7 @@ let index_filter_engine =
    when the case crashes. Matching through the service exercises replica
    log replay, batching and (in [Expr] mode) shard merging against the
    same oracle as the sequential engines. *)
-let service_engine ~ename ~mode ~domains () =
+let service_engine ~ename ~mode ~domains ?(stream = Pf_core.Engine.Tree) () =
   let live : Pf_service.t list ref = ref [] in
   let module S = struct
     type t = Pf_service.t
@@ -186,7 +186,7 @@ let service_engine ~ename ~mode ~domains () =
     let create () =
       let svc =
         Pf_service.create ~mode ~domains ~batch:2
-          (Pf_core.Engine.filter () :> Pf_intf.filter)
+          (Pf_core.Engine.filter ~stream () :> Pf_intf.filter)
       in
       live := svc :: !live;
       svc
@@ -195,10 +195,17 @@ let service_engine ~ename ~mode ~domains () =
     let add_string t s = Pf_service.subscribe_string t s
     let remove t sid = Pf_service.unsubscribe t sid
 
+    (* with a streaming engine the document goes in raw: serialized text
+       submitted through [filter_batch_raw], so no layer of the pipeline
+       parses a tree on the matching side *)
     let match_document t doc =
-      match Pf_service.filter_batch t [ doc ] with
-      | [ r ] -> r
-      | _ -> assert false
+      let r =
+        match stream with
+        | Pf_core.Engine.Tree -> Pf_service.filter_batch t [ doc ]
+        | Scan | Stream ->
+          Pf_service.filter_batch_raw t [ Pf_xml.Print.to_string ~decl:false doc ]
+      in
+      match r with [ r ] -> r | _ -> assert false
 
     let match_string t s = match_document t (Pf_xml.Sax.parse_document s)
     let metrics t = Pf_service.metrics t
@@ -231,7 +238,11 @@ let extended_roster () =
       predicate_engine ~ename:"engine-pc" ~variant:Pf_core.Expr_index.Prefix_covering ();
       predicate_engine ~ename:"engine-shared-dedup" ~variant:Pf_core.Expr_index.Shared
         ~dedup_paths:true ();
-      predicate_engine ~ename:"engine-stream" ~stream:true ();
+      (* the two tree-free ingest modes against the tree-mode oracle:
+         snapshot-per-path and fully streaming (arena publications refilled
+         from the step stack) — the streaming-vs-tree differential wall *)
+      predicate_engine ~ename:"engine-scan" ~stream:Pf_core.Engine.Scan ();
+      predicate_engine ~ename:"engine-stream" ~stream:Pf_core.Engine.Stream ();
       (* the cross-document path-result cache under subscription churn:
          inline (symbol-keyed entries) and selection-postponed with
          attribute-sensitive keys; every document is preceded by a
@@ -240,9 +251,19 @@ let extended_roster () =
       cached_engine ~ename:"engine-cached" ();
       cached_engine ~ename:"engine-cached-sp" ~variant:Pf_core.Expr_index.Basic
         ~attr_mode:Pf_core.Engine.Postponed ();
+      (* streaming composed with the churned path cache: arena publications
+         must produce byte-identical cache keys to tree-extracted paths *)
+      cached_engine ~ename:"engine-stream-cached" ~stream:Pf_core.Engine.Stream ();
       (* the service layer against the same oracle: document-replicated and
          expression-sharded, at a domain count that makes sharding
          non-trivial (3 shards interleave sids 0,3,6.. / 1,4,.. / 2,5,..) *)
       service_engine ~ename:"service-doc" ~mode:Pf_service.Doc ~domains:2 ();
       service_engine ~ename:"service-expr" ~mode:Pf_service.Expr ~domains:3 ();
+      (* streaming engines behind the service: documents travel as raw XML
+         text (filter_batch_raw) and are matched off the event stream on
+         the worker domains *)
+      service_engine ~ename:"service-stream" ~mode:Pf_service.Doc ~domains:2
+        ~stream:Pf_core.Engine.Stream ();
+      service_engine ~ename:"service-stream-expr" ~mode:Pf_service.Expr ~domains:2
+        ~stream:Pf_core.Engine.Stream ();
     ]

@@ -41,7 +41,7 @@ val predicate_engine :
   ?attr_mode:Pf_core.Engine.attr_mode ->
   ?dedup_paths:bool ->
   ?path_cache:bool ->
-  ?stream:bool ->
+  ?stream:Pf_core.Engine.ingest ->
   unit ->
   engine
 (** A labeled predicate-engine configuration (see {!Pf_core.Engine.filter}). *)
@@ -58,6 +58,7 @@ val cached_engine :
   ename:string ->
   ?variant:Pf_core.Expr_index.variant ->
   ?attr_mode:Pf_core.Engine.attr_mode ->
+  ?stream:Pf_core.Engine.ingest ->
   unit ->
   engine
 (** The predicate engine with [path_cache:true], behind {!churned}. *)
@@ -66,11 +67,19 @@ val yfilter_engine : engine
 val index_filter_engine : engine
 
 val service_engine :
-  ename:string -> mode:Pf_service.mode -> domains:int -> unit -> engine
+  ename:string ->
+  mode:Pf_service.mode ->
+  domains:int ->
+  ?stream:Pf_core.Engine.ingest ->
+  unit ->
+  engine
 (** The predicate engine behind {!Pf_service}, one [filter_batch] per
     document: exercises replica log replay, worker batching and — in
-    [Expr] mode — shard merging, against the same oracle. Worker domains
-    are joined by [finalize] after each case. *)
+    [Expr] mode — shard merging, against the same oracle. With a
+    non-[Tree] [stream] the engine replicas are streaming and documents
+    are submitted as serialized text through [filter_batch_raw], so no
+    layer parses a tree on the matching side. Worker domains are joined
+    by [finalize] after each case. *)
 
 val default_roster : unit -> engine list
 (** The five engines of the differential harness, oracle first:
@@ -83,13 +92,19 @@ val default_roster : unit -> engine list
 val extended_roster : unit -> engine list
 (** {!default_roster} plus ["engine-pc"] (prefix covering),
     ["engine-shared-dedup"] (the shared-trie ablation with path
-    deduplication), ["engine-stream"] (the SAX streaming pipeline,
-    matching the serialized document without materializing a tree),
-    ["engine-cached"] / ["engine-cached-sp"] (the cross-document
-    path-result cache, inline and selection-postponed, under
-    per-document subscription churn — see {!churned}),
-    ["service-doc"] (the document-replicated service at 2 domains) and
-    ["service-expr"] (the expression-sharded service at 3 domains). *)
+    deduplication), ["engine-scan"] / ["engine-stream"] (the two
+    tree-free SAX ingest modes — snapshot-per-path and fully streaming
+    arena publications — matching the serialized document against the
+    tree-mode oracle), ["engine-cached"] / ["engine-cached-sp"] (the
+    cross-document path-result cache, inline and selection-postponed,
+    under per-document subscription churn — see {!churned}),
+    ["engine-stream-cached"] (the churned cache over the fully streaming
+    engine — arena publications must key the cache byte-identically to
+    tree paths), ["service-doc"] (the document-replicated service at 2
+    domains), ["service-expr"] (the expression-sharded service at 3
+    domains) and ["service-stream"] / ["service-stream-expr"] (streaming
+    replicas fed raw document text through [filter_batch_raw], in both
+    modes). *)
 
 val engine_subset : Pf_xpath.Ast.path -> bool
 (** The predicate engine's supported subset: no attribute or nested filters

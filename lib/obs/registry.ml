@@ -33,7 +33,11 @@ type histogram = {
   h_name : string;
   h_help : string;
   mutable h_count : int;
-  mutable h_sum : float;
+  mutable h_sum : int;
+      (* observations are ints, so the running sum is one too: mutating a
+         boxed [float] field would allocate a box per [observe], and
+         observe sits on the per-path match fast path (chain-length
+         histogram) *)
   h_counts : int array;  (* per-bucket (non-cumulative) counts *)
 }
 
@@ -103,7 +107,7 @@ let reset t =
       | Metric_gauge g -> g.g_value <- 0.
       | Metric_histogram h ->
         h.h_count <- 0;
-        h.h_sum <- 0.;
+        h.h_sum <- 0;
         Array.fill h.h_counts 0 (Array.length h.h_counts) 0
       | Metric_span s -> s.s_ns <- 0L
       | Metric_qhist q ->
@@ -148,33 +152,29 @@ module Histogram = struct
 
   let make ?registry ?(help = "") name =
     let h =
-      { h_name = name; h_help = help; h_count = 0; h_sum = 0.;
+      { h_name = name; h_help = help; h_count = 0; h_sum = 0;
         h_counts = Array.make histogram_buckets 0 }
     in
     (match registry with Some r -> register r (Metric_histogram h) | None -> ());
     h
 
   (* Index of the smallest bucket bound 2^i >= v (v <= 1 lands in bucket 0,
-     values past the last bound in the last bucket). *)
-  let bucket_index v =
-    if v <= 1 then 0
-    else begin
-      let i = ref 1 and bound = ref 2 in
-      while v > !bound && !i < histogram_buckets - 1 do
-        incr i;
-        bound := !bound * 2
-      done;
-      !i
-    end
+     values past the last bound in the last bucket). Recursion instead of
+     ref cells: two refs per call is real allocation at observe rates. *)
+  let rec bucket_scan v i bound =
+    if v <= bound || i >= histogram_buckets - 1 then i
+    else bucket_scan v (i + 1) (bound * 2)
+
+  let bucket_index v = if v <= 1 then 0 else bucket_scan v 1 2
 
   let observe h v =
     h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. float_of_int v;
+    h.h_sum <- h.h_sum + v;
     let i = bucket_index v in
     h.h_counts.(i) <- h.h_counts.(i) + 1
 
   let count h = h.h_count
-  let sum h = h.h_sum
+  let sum h = float_of_int h.h_sum
 
   (* (upper bound, cumulative count) pairs; the last bound is
      [infinity]. Trailing all-zero buckets beyond the last observation are
@@ -328,7 +328,7 @@ let sample_of = function
     { name = h.h_name; help = h.h_help;
       value =
         Sample_histogram
-          { count = h.h_count; sum = h.h_sum; buckets = Histogram.cumulative h } }
+          { count = h.h_count; sum = float_of_int h.h_sum; buckets = Histogram.cumulative h } }
   | Metric_span s -> { name = s.s_name; help = s.s_help; value = Sample_span s.s_ns }
   | Metric_qhist q ->
     { name = q.q_name; help = q.q_help;
@@ -395,7 +395,7 @@ let merge ?(list = false) ~scope ts =
       | Sum -> acc.g_value <- acc.g_value +. g.g_value)
     | Some (Metric_histogram acc), Metric_histogram h ->
       acc.h_count <- acc.h_count + h.h_count;
-      acc.h_sum <- acc.h_sum +. h.h_sum;
+      acc.h_sum <- acc.h_sum + h.h_sum;
       Array.iteri (fun i n -> acc.h_counts.(i) <- acc.h_counts.(i) + n) h.h_counts
     | Some (Metric_span acc), Metric_span s -> acc.s_ns <- Int64.add acc.s_ns s.s_ns
     | Some (Metric_qhist acc), Metric_qhist q ->

@@ -34,8 +34,15 @@ let mode_of_string = function
   | "expr" | "sharded" -> Some Expr
   | _ -> None
 
+(* A submitted document: parsed, or raw XML text handed to the replica's
+   [match_string] — which a streaming engine matches straight off the SAX
+   event stream, so the service never parses it either. Parse errors in a
+   [Raw] payload surface on the worker like any other matching exception:
+   the job delivers [] and the exception re-raises at [shutdown]. *)
+type payload = Tree of Pf_xml.Tree.t | Raw of string
+
 type job = {
-  doc : Pf_xml.Tree.t;
+  doc : payload;
   epoch : int;  (* update-log length at submission *)
   t_submit : int64;  (* monotonic ns, for end-to-end latency *)
   trace : Pf_obs.Trace.ctx option;
@@ -47,7 +54,7 @@ type job = {
    that takes [remaining] to zero merges and delivers. The merge input is
    the full parts array, so the result is independent of finish order. *)
 type ejob = {
-  e_doc : Pf_xml.Tree.t;
+  e_doc : payload;
   e_epoch : int;
   parts : int list array;
   remaining : int Atomic.t;
@@ -191,7 +198,9 @@ let worker t r =
                | Some ctx -> Pf_obs.Trace.set_ambient ctx);
                let sids =
                  Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
-                     F.match_document inst job.doc)
+                     match job.doc with
+                     | Tree d -> F.match_document inst d
+                     | Raw s -> F.match_string inst s)
                in
                match job.trace with
                | None -> job.deliver sids
@@ -314,7 +323,9 @@ let eworker t w r =
                 | Some ctx -> Pf_obs.Trace.set_ambient ctx);
                 let locals =
                   Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
-                      F.match_document inst job.e_doc)
+                      match job.e_doc with
+                      | Tree d -> F.match_document inst d
+                      | Raw s -> F.match_string inst s)
                 in
                 let g = !g_of_l in
                 List.map (fun l -> g.(l)) locals
@@ -511,7 +522,7 @@ let queue_depth t =
   | Expr ->
     Array.fold_left (fun acc q -> max acc (Queue.length q)) 0 t.equeues
 
-let submit ?trace t doc deliver =
+let submit_payload ?trace t doc deliver =
   Mutex.lock t.lock;
   let reject () =
     Mutex.unlock t.lock;
@@ -547,6 +558,9 @@ let submit ?trace t doc deliver =
   Pf_obs.Gauge.set_max t.m.queue_high_water (float_of_int (queue_depth t));
   Mutex.unlock t.lock
 
+let submit ?trace t doc deliver = submit_payload ?trace t (Tree doc) deliver
+let submit_raw ?trace t src deliver = submit_payload ?trace t (Raw src) deliver
+
 let drain t =
   Mutex.lock t.lock;
   let quiescent () =
@@ -561,7 +575,7 @@ let drain t =
   done;
   Mutex.unlock t.lock
 
-let filter_batch t docs =
+let filter_batch_payload t docs =
   let docs = Array.of_list docs in
   let n = Array.length docs in
   let results = Array.make n [] in
@@ -570,7 +584,7 @@ let filter_batch t docs =
   let done_cond = Condition.create () in
   Array.iteri
     (fun i doc ->
-      submit t doc (fun sids ->
+      submit_payload t doc (fun sids ->
           results.(i) <- sids;
           if Atomic.fetch_and_add remaining (-1) = 1 then begin
             Mutex.lock done_lock;
@@ -584,6 +598,9 @@ let filter_batch t docs =
   done;
   Mutex.unlock done_lock;
   Array.to_list results
+
+let filter_batch t docs = filter_batch_payload t (List.map (fun d -> Tree d) docs)
+let filter_batch_raw t srcs = filter_batch_payload t (List.map (fun s -> Raw s) srcs)
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)

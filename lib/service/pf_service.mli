@@ -130,10 +130,23 @@ val submit : ?trace:Pf_obs.Trace.ctx -> t -> Pf_xml.Tree.t -> (int list -> unit)
     merge/deliver spans and calls {!Pf_obs.Trace.finish} — the caller
     must not finish the context itself. *)
 
+val submit_raw : ?trace:Pf_obs.Trace.ctx -> t -> string -> (int list -> unit) -> unit
+(** Like {!submit} but the document is raw XML text, handed to the
+    replica engine's [match_string] — a streaming engine
+    ({!Pf_core.Engine.filter} [~stream:Stream]) then matches it straight
+    off the SAX event stream, so the document is never parsed into a tree
+    anywhere in the pipeline. Malformed XML surfaces like any worker-side
+    matching exception: the document delivers [] and the first
+    {!Pf_xml.Sax.Parse_error} re-raises at {!shutdown}. *)
+
 val filter_batch : t -> Pf_xml.Tree.t list -> int list list
 (** Submit every document, wait for all results, and return the match
     sets in input order. Equivalent to a {!submit} per document plus a
     barrier; documents still spread over all workers. *)
+
+val filter_batch_raw : t -> string list -> int list list
+(** {!filter_batch} over raw XML text — a {!submit_raw} per document plus
+    a barrier. *)
 
 val drain : t -> unit
 (** Block until every document submitted so far has been matched and

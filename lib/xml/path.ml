@@ -301,15 +301,23 @@ let finalize_cell sk cell =
     end
   end
 
-let scan_body sk src ~f =
+let stream_body sk src ~f =
   (* a previous scan that raised mid-document leaves stale state behind;
      start from a clean slate *)
   if sk.sk_depth <> 0 then begin
     Array.fill sk.sk_counter.counts 0 (Array.length sk.sk_counter.counts) 0;
     sk.sk_depth <- 0
   end;
+  (* document-level validation mirroring [Sax.parse_document]: exactly one
+     root element, rejected at the same positions (end of input) so a
+     streaming engine raises byte-identical errors to the tree oracle *)
+  let seen_root = ref false in
+  let doc_fail msg =
+    raise (Sax.Parse_error (Sax.position_at src (String.length src), msg))
+  in
   let zc_start sym attrs =
     let d = sk.sk_depth in
+    if d = 0 && !seen_root then doc_fail "content after the root element";
     ensure_cell sk d;
     let cell = sk.sk_cells.(d) in
     let child_index =
@@ -356,12 +364,25 @@ let scan_body sk src ~f =
       for i = 0 to d do
         out.(i) <- finalize_cell sk sk.sk_cells.(i)
       done;
-      f sk.sk_emit_paths.(d)
+      f out (d + 1)
     end;
     unbump sk.sk_counter cell.sc_base.sym;
-    sk.sk_depth <- d
+    sk.sk_depth <- d;
+    if d = 0 then seen_root := true
   in
-  Sax.fold_zc src { Sax.zc_start; zc_end; zc_text }
+  Sax.fold_zc src { Sax.zc_start; zc_end; zc_text };
+  if not !seen_root then doc_fail "no root element"
+
+(* The lowest-level driver: no span of its own, the matching layers wrap
+   it (the engine's fully streaming mode records a "stream-match" span
+   covering the whole fused parse+match drive). *)
+let stream sk src ~f = stream_body sk src ~f
+
+(* [stream] just filled [sk_emit_steps.(n - 1)], which is the steps array
+   of the per-depth cached path record — handing that record out costs
+   nothing on top of the raw driver. *)
+let scan_body sk src ~f =
+  stream_body sk src ~f:(fun _steps n -> f sk.sk_emit_paths.(n - 1))
 
 (* In the streaming pipeline parse and path scan are fused — fold_zc
    drives the scanner directly — so one "scan" span covers both. *)

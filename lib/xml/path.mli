@@ -46,6 +46,24 @@ type scanner
 
 val create_scanner : unit -> scanner
 
+val stream : scanner -> string -> f:(step array -> int -> unit) -> unit
+(** [stream sk src ~f] is the lowest-level streaming driver: the current
+    root-to-leaf step stack is maintained incrementally over
+    {!Sax.fold_zc}, and at each {e leaf's} end-tag event [f steps n] is
+    called with the finalized steps of the root-to-leaf path in
+    [steps.(0 .. n - 1)]. The array and the step records are arena-owned
+    and overwritten after [f] returns — exactly {!scan}'s reuse contract,
+    minus the path record. Entries at [n] and beyond are stale; ignore
+    them. Feeding publications straight out of this callback is what
+    makes the engine's fully streaming match mode tree-free {e and}
+    allocation-free. Raises {!Sax.Parse_error} at the same positions as
+    the tree parser, including the document-level errors
+    {!Sax.parse_document} checks itself ("no root element", "content
+    after the root element") — a streaming engine therefore rejects
+    exactly the inputs the tree oracle rejects. Unlike {!scan} it records
+    no trace span of its own — the matching layer wraps the whole drive
+    in one. *)
+
 val scan : scanner -> string -> f:(t -> unit) -> unit
 (** [scan sk src ~f] extracts root-to-leaf paths like {!fold_of_string}
     but reuses [sk]'s arenas: the path passed to [f], its steps array

@@ -53,6 +53,8 @@ let position_of cur =
 
 let fail cur msg = raise (Parse_error (position_of cur, msg))
 
+let position_at src pos = position_of { src; pos }
+
 let eof cur = cur.pos >= String.length cur.src
 
 let peek cur = if eof cur then '\000' else cur.src.[cur.pos]

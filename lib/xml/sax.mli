@@ -28,6 +28,12 @@ exception Parse_error of position * string
 
 val pp_position : Format.formatter -> position -> unit
 
+val position_at : string -> int -> position
+(** Line/column of byte offset [pos] in [src] (clamped to the end).
+    Lets streaming layers above the parser report document-level errors
+    — e.g. a missing root element — at the same positions
+    {!parse_document} uses. *)
+
 val fold_events : string -> init:'a -> f:('a -> event -> 'a) -> 'a
 (** [fold_events s ~init ~f] parses the XML document in [s], calling [f] on
     each event in document order. Raises {!Parse_error} on malformed input.

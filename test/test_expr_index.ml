@@ -21,7 +21,8 @@ let eval_all exprs tags =
       let e = Expr_index.create variant in
       List.iteri (fun sid pids -> Expr_index.add e ~sid ~pids) encoded;
       let matched = ref [] in
-      Expr_index.eval e res ~on_match:(fun sid -> matched := sid :: !matched) ();
+      Expr_index.eval e res ~sticky:false ~doc_tag:0
+        ~on_match:(fun sid -> matched := sid :: !matched);
       variant, List.sort compare !matched, Expr_index.occurrence_runs e)
     variants
 
@@ -69,7 +70,8 @@ let test_duplicates_share () =
   let res = Predicate_index.create_results () in
   Predicate_index.run idx res (Publication.of_tags [ "a"; "b" ]);
   let matched = ref [] in
-  Expr_index.eval e res ~on_match:(fun sid -> matched := sid :: !matched) ();
+  Expr_index.eval e res ~sticky:false ~doc_tag:0
+        ~on_match:(fun sid -> matched := sid :: !matched);
   Alcotest.(check (list int)) "all three sids" [ 0; 1; 2 ] (List.sort compare !matched);
   Alcotest.(check int) "one run serves all duplicates" 1 (Expr_index.occurrence_runs e)
 
@@ -127,7 +129,8 @@ let prop_variants_agree =
           let e = Expr_index.create variant in
           List.iteri (fun sid pids -> Expr_index.add e ~sid ~pids) encoded;
           let matched = ref [] in
-          Expr_index.eval e res ~on_match:(fun sid -> matched := sid :: !matched) ();
+          Expr_index.eval e res ~sticky:false ~doc_tag:0
+        ~on_match:(fun sid -> matched := sid :: !matched);
           List.sort compare !matched = truth)
         variants)
 

@@ -344,6 +344,80 @@ let test_of_tags () =
   Alcotest.(check int) "length" 3 (Path.length p);
   Alcotest.(check int) "second a occurrence" 2 (p.Path.steps.(2)).Path.occurrence
 
+(* The lowest-level streaming driver: [Path.stream] hands out the raw
+   per-depth step stack at each leaf end-tag. Its view must agree with
+   tree extraction step-for-step — tags, occurrences, attributes and
+   leaf text spans — including under inter-element whitespace, which the
+   tree builder drops and the streaming trimmer must drop identically. *)
+let test_stream_driver_agrees () =
+  List.iter
+    (fun src ->
+      let sk = Path.create_scanner () in
+      let streamed = ref [] in
+      Path.stream sk src ~f:(fun steps n ->
+          streamed :=
+            List.init n (fun i ->
+                let s = steps.(i) in
+                s.Path.tag, s.Path.occurrence, s.Path.attrs)
+            :: !streamed);
+      let expected =
+        List.map
+          (fun (p : Path.t) ->
+            List.map
+              (fun (s : Path.step) -> s.Path.tag, s.Path.occurrence, s.Path.attrs)
+              (Array.to_list p.Path.steps))
+          (Path.of_document (parse src))
+      in
+      Alcotest.(check (list (list (triple string int (list (pair string string))))))
+        ("stream = tree for " ^ src) expected (List.rev !streamed))
+    [
+      "<a x=\"1\"><b><c/><d/></b><e/></a>";
+      "<a>\n  <b k=\"1\"/>\n  <b k=\"2\"/>\n</a>";  (* whitespace + attr refill *)
+      "<r><s>  </s><t>v</t></r>";  (* blank-only text trimmed on both sides *)
+      "<r>pre<b>leaf</b></r>";  (* agreeing mixed-content form *)
+    ]
+
+(* Streaming error positions: [Path.stream] consumes SAX events as they
+   are produced, so malformed input raises mid-stream after earlier paths
+   were already emitted. Positions and messages must be byte-identical to
+   the tree parser's, including the document-level errors (no root,
+   content after the root) the stream driver checks itself. *)
+let test_stream_error_positions () =
+  List.iter
+    (fun src ->
+      let tree_err =
+        match parse src with
+        | exception Sax.Parse_error (pos, msg) -> Some (pos, msg)
+        | _ -> None
+      in
+      let emitted = ref 0 in
+      let stream_err =
+        match Path.scan_string src ~f:(fun _ -> incr emitted) with
+        | exception Sax.Parse_error (pos, msg) -> Some (pos, msg)
+        | () -> None
+      in
+      match (tree_err, stream_err) with
+      | None, None -> ()
+      | Some (p1, m1), Some (p2, m2) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "same error for %S (%s vs %s)" src m1 m2)
+          true
+          (p1 = p2 && m1 = m2)
+      | Some (_, m), None ->
+        Alcotest.failf "stream accepted %S which tree rejects (%s)" src m
+      | None, Some (_, m) ->
+        Alcotest.failf "stream rejected %S which tree accepts (%s)" src m)
+    [
+      "<a><b/><b></a>";  (* mismatch after a path was emitted *)
+      "<a><b/><c x=1/></a>";  (* attr error mid-document *)
+      "<a><b/>";  (* truncated after a leaf *)
+      "";  (* no root element *)
+      "   ";  (* blank: still no root *)
+      "<a/><b/>";  (* content after the root element *)
+      "<a/>text";  (* trailing text is fine in both (blank-insensitive?) *)
+      "<a><b>t</b><!-- c --><?pi?></a>";  (* well-formed controls *)
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Serialization *)
 
@@ -498,6 +572,10 @@ let () =
           Alcotest.test_case "mixed content: text accumulates to later leaves" `Quick
             test_mixed_content_accumulates;
           Alcotest.test_case "of_tags" `Quick test_of_tags;
+          Alcotest.test_case "stream driver = tree extraction (steps, attrs, text)"
+            `Quick test_stream_driver_agrees;
+          Alcotest.test_case "stream error positions = tree parser" `Quick
+            test_stream_error_positions;
         ] );
       ( "print",
         [
