@@ -1147,6 +1147,158 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* net-broker: the networked dissemination path end to end. A durable
+   wire server (WAL + snapshot in a temp dir) over a Unix socket,
+   NITF workload: subscriptions registered through SUBSCRIBE frames,
+   documents published through a pipelined window of PUBLISH frames.
+   Latency percentiles come from the server's net_publish_latency_ns
+   histogram (submit to delivery resolution). Two identity gates:
+   every wire delivery must equal what an in-process broker answers
+   for the same document, and a stop/recover cycle over the same data
+   dir must reproduce the deliveries exactly. p50/p99 land in
+   BENCH_results.json so `bench -- compare` SLO-gates the wire path
+   like any other experiment. *)
+
+let net_broker () =
+  let dtd_name = "nitf" in
+  let nexprs, ndocs = if !full then 10_000, 400 else 2_000, 120 in
+  let window = 32 in
+  let qs = queries (dtd_of dtd_name) nexprs in
+  let exprs = List.map Pf_xpath.Parser.to_string qs in
+  let docs =
+    List.map (fun d -> Pf_xml.Print.to_string ~decl:false d) (documents dtd_name ndocs)
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pfbench-net-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let rm_rf () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Fun.protect ~finally:rm_rf @@ fun () ->
+  let sock = Filename.concat dir "broker.sock" in
+  let start () =
+    Pf_net.Server.start
+      (Pf_net.Server.config ~data_dir:dir ~domains:2 (Pf_net.Server.Unix_sock sock))
+  in
+  (* publish every document through a pipelined window; deliveries per
+     document index, total wall time *)
+  let publish_all c =
+    let deliveries = Array.make (List.length docs) [] in
+    let inflight = Queue.create () in
+    let settle () =
+      let req, i = Queue.pop inflight in
+      match Pf_net.Client.await c req with
+      | Ok ds -> deliveries.(i) <- ds
+      | Error e -> failwith (Pf_intf.error_message e)
+    in
+    let (), ms =
+      B.time_ms (fun () ->
+          List.iteri
+            (fun i doc ->
+              if Queue.length inflight >= window then settle ();
+              Queue.add (Pf_net.Client.publish_async c doc, i) inflight)
+            docs;
+          while not (Queue.is_empty inflight) do
+            settle ()
+          done)
+    in
+    deliveries, ms
+  in
+  (* pass 1: subscribe over the wire, publish, read the latency histogram *)
+  let srv = start () in
+  let c = Pf_net.Client.connect (Pf_net.Server.listen_address srv) in
+  let suppressed = ref 0 and rejected = ref 0 in
+  let (), sub_ms =
+    B.time_ms (fun () ->
+        List.iteri
+          (fun i expr ->
+            match
+              Pf_net.Client.subscribe c ~subscriber:(Printf.sprintf "s%d" (i mod 97)) expr
+            with
+            | Ok (_, sup) -> if sup then incr suppressed
+            | Error _ -> incr rejected)
+          exprs)
+  in
+  let wire, pub_ms = publish_all c in
+  let wire_latency = latency_json (Pf_net.Server.metrics srv) "net_publish_latency_ns" in
+  let wal_bytes, snapshots =
+    match Pf_net.Server.store srv with
+    | Some st -> Pf_net.Store.wal_size st, Pf_net.Store.snapshots_taken st
+    | None -> 0, 0
+  in
+  Pf_net.Client.close c;
+  Pf_net.Server.stop srv;
+  (* pass 2: recover from snapshot + WAL, republish without resubscribing *)
+  let srv2 = start () in
+  let recovered =
+    match Pf_net.Server.store srv2 with Some st -> Pf_net.Store.recovered_records st | None -> 0
+  in
+  let c2 = Pf_net.Client.connect (Pf_net.Server.listen_address srv2) in
+  let wire2, pub2_ms = publish_all c2 in
+  Pf_net.Client.close c2;
+  Pf_net.Server.stop srv2;
+  let identical_after_restart = wire = wire2 in
+  (* identity gate: an in-process broker over the same engine must
+     produce the same deliveries document for document *)
+  let b = Pf_broker.Broker.create () in
+  List.iteri
+    (fun i expr ->
+      ignore
+        (Pf_broker.Broker.apply b
+           (Pf_broker.Broker.Subscribe
+              { ns = ""; subscriber = Printf.sprintf "s%d" (i mod 97); expr })))
+    exprs;
+  let inprocess =
+    List.map
+      (fun doc ->
+        match Pf_broker.Broker.apply b (Pf_broker.Broker.Publish { ns = ""; doc }) with
+        | [ Pf_broker.Broker.Delivered { deliveries } ] -> deliveries
+        | _ -> assert false)
+      docs
+  in
+  let identical_vs_inprocess = Array.to_list wire = inprocess in
+  let throughput ms = float ndocs /. (ms /. 1000.) in
+  Printf.printf "\n== net-broker (%s): %d XPEs over the wire, %d documents ==\n"
+    (String.uppercase_ascii dtd_name) (List.length exprs) ndocs;
+  Printf.printf "   subscribe %.1f ms (%d suppressed, %d rejected), WAL %d B, %d snapshot(s)\n"
+    sub_ms !suppressed !rejected wal_bytes snapshots;
+  Printf.printf "%18s %12s %14s %12s\n" "pass" "ms" "docs/s" "identical";
+  Printf.printf "%18s %12.1f %14.0f %12s\n" "wire" pub_ms (throughput pub_ms) "-";
+  Printf.printf "%18s %12.1f %14.0f %12b\n" "wire (recovered)" pub2_ms (throughput pub2_ms)
+    identical_after_restart;
+  Printf.printf "   recovery replayed %d WAL record(s); in-process identity %b\n" recovered
+    identical_vs_inprocess;
+  record "experiment"
+    (J.Obj
+       [
+         "xpes", J.Int (List.length exprs);
+         "documents", J.Int ndocs;
+         "window", J.Int window;
+         "suppressed", J.Int !suppressed;
+         "rejected", J.Int !rejected;
+         "subscribe_ms", J.Float sub_ms;
+         "publish_ms", J.Float pub_ms;
+         "docs_per_s", J.Float (throughput pub_ms);
+         "publish_ms_recovered", J.Float pub2_ms;
+         "wal_bytes", J.Int wal_bytes;
+         "snapshots", J.Int snapshots;
+         "recovered_records", J.Int recovered;
+         "identical_after_restart", J.Bool identical_after_restart;
+         "identical_vs_inprocess", J.Bool identical_vs_inprocess;
+         "latency_ns", wire_latency;
+       ]);
+  if not (identical_after_restart && identical_vs_inprocess) then begin
+    Printf.printf "net-broker: DELIVERY MISMATCH\n";
+    exit 1
+  end
+
 let experiments =
   [
     "table1", table1;
@@ -1163,6 +1315,7 @@ let experiments =
     "occurrence-alloc", occurrence_alloc;
     "ingest-alloc", ingest_alloc;
     "path-cache", path_cache_exp;
+    "net-broker", net_broker;
     "micro", micro;
   ]
 

@@ -1,0 +1,302 @@
+(* pf-load: load generator and correctness probe for pf-broker.
+
+   Drives a broker over the wire protocol with a deterministic workload:
+   a subscription phase (every SUBSCRIBE acknowledged before moving on,
+   with optional churn), then a publish phase that keeps a window of
+   pipelined PUBLISH frames in flight and records per-document
+   end-to-end latency in a quantile histogram.
+
+   Crash tolerance makes this double as the soak-test client: if the
+   connection drops mid-stream (broker killed), pf-load reconnects —
+   retrying until the broker is back — and republishes exactly the
+   documents whose RESULTS frames it never received. The deliveries file
+   (--deliveries-out) maps each document index to its deliveries, so an
+   interrupted run can be diffed byte-for-byte against an uninterrupted
+   one: zero lost, zero duplicated deliveries. *)
+
+open Cmdliner
+
+type cfg = {
+  addr : Pf_net.Server.listen;
+  ns : string;
+  workload : string;
+  subscriptions : int;
+  churn : int;
+  documents : int;
+  window : int;
+  filters_per_path : int;
+  seed : int;
+  retry_for : float;
+  deliveries_out : string option;
+  json : bool;
+  quiet : bool;
+}
+
+let connect_retrying cfg =
+  let deadline = Unix.gettimeofday () +. cfg.retry_for in
+  let rec go () =
+    match Pf_net.Client.connect ~ns:cfg.ns cfg.addr with
+    | c -> c
+    | exception Pf_net.Client.Disconnected msg ->
+        if Unix.gettimeofday () > deadline then begin
+          Printf.eprintf "pf-load: cannot connect: %s\n" msg;
+          exit 1
+        end;
+        Unix.sleepf 0.05;
+        go ()
+  in
+  go ()
+
+let fmt_deliveries ds =
+  String.concat ";"
+    (List.map
+       (fun (subscriber, ids) ->
+         Printf.sprintf "%s=%s" subscriber (String.concat "," (List.map string_of_int ids)))
+       ds)
+
+let run cfg =
+  let dtd =
+    match Pf_workload.Dtd.by_name cfg.workload with
+    | Some d -> d
+    | None ->
+        Printf.eprintf "unknown workload %S (try nitf, psd or auction)\n" cfg.workload;
+        exit 2
+  in
+  let exprs =
+    Pf_workload.Xpath_gen.generate dtd
+      { Pf_workload.Presets.paper_queries with
+        count = cfg.subscriptions;
+        filters_per_path = cfg.filters_per_path;
+        seed = cfg.seed }
+    |> List.map Pf_xpath.Parser.to_string
+  in
+  let docs =
+    Pf_workload.Xml_gen.generate_many dtd
+      { (Pf_workload.Presets.documents_for cfg.workload) with seed = cfg.seed + 1 }
+      cfg.documents
+    |> List.map (Pf_xml.Print.to_string ~decl:false)
+    |> Array.of_list
+  in
+  let client = ref (connect_retrying cfg) in
+  let reconnects = ref 0 in
+  (* {2 Subscription phase} — synchronous, so churn ids are valid and
+     the publish phase starts from a settled table *)
+  let suppressed = ref 0 in
+  let sub_ids = Array.make (List.length exprs) (-1) in
+  let resubscribe_failed = ref 0 in
+  List.iteri
+    (fun i expr ->
+      let subscriber = Printf.sprintf "user-%d" (i mod max 1 (cfg.subscriptions / 10)) in
+      match Pf_net.Client.subscribe !client ~subscriber expr with
+      | Ok (id, sup) ->
+          sub_ids.(i) <- id;
+          if sup then incr suppressed
+      | Error (Pf_intf.Unsupported_expression _) -> incr resubscribe_failed
+      | Error e ->
+          Printf.eprintf "pf-load: subscribe %d: %s\n" i (Pf_intf.error_message e);
+          exit 1)
+    exprs;
+  (* churn: cancel every k-th granted subscription, acked *)
+  let churned = ref 0 in
+  if cfg.churn > 0 then begin
+    let granted = Array.to_list sub_ids |> List.filter (fun id -> id >= 0) in
+    List.iteri
+      (fun i id ->
+        if i mod (max 1 (List.length granted / cfg.churn)) = 0 && !churned < cfg.churn then begin
+          match Pf_net.Client.unsubscribe !client id with
+          | Ok _ -> incr churned
+          | Error e ->
+              Printf.eprintf "pf-load: churn %d: %s\n" id (Pf_intf.error_message e);
+              exit 1
+        end)
+      granted
+  end;
+  (* {2 Publish phase} — pipelined with reconnect-and-republish *)
+  let lat = Pf_obs.Qhist.make "pf_load_latency_ns" in
+  let deliveries = Array.make (Array.length docs) None in
+  let t_start = Array.make (Array.length docs) 0L in
+  let inflight = Queue.create () in
+  (* (req_id, doc index) in send order *)
+  let t0 = Unix.gettimeofday () in
+  let reconnect () =
+    incr reconnects;
+    (try Pf_net.Client.close !client with _ -> ());
+    client := connect_retrying cfg;
+    (* everything in flight is in doubt: the broker may have died before
+       matching those documents. Republish them all — deliveries are
+       recorded per document index, so a duplicate RESULTS for a
+       republished document overwrites with an identical value rather
+       than double-counting. *)
+    let doubted = Queue.to_seq inflight |> Seq.map snd |> List.of_seq in
+    Queue.clear inflight;
+    doubted
+  in
+  let rec settle_one () =
+    match Queue.take_opt inflight with
+    | None -> []
+    | Some (req, i) -> (
+        match Pf_net.Client.await !client req with
+        | Ok ds ->
+            deliveries.(i) <- Some ds;
+            Pf_obs.Qhist.observe lat
+              (Int64.to_int (Int64.sub (Pf_obs.Registry.now_ns ()) t_start.(i)));
+            []
+        | Error e ->
+            Printf.eprintf "pf-load: publish %d rejected: %s\n" i (Pf_intf.error_message e);
+            exit 1
+        | exception Pf_net.Client.Disconnected _ -> i :: reconnect ())
+  and publish_doc i =
+    t_start.(i) <- Pf_obs.Registry.now_ns ();
+    match Pf_net.Client.publish_async !client docs.(i) with
+    | req -> Queue.add (req, i) inflight
+    | exception Pf_net.Client.Disconnected _ ->
+        let doubted = reconnect () in
+        List.iter publish_doc doubted;
+        publish_doc i
+  in
+  let rec drive todo =
+    match todo with
+    | [] ->
+        while Queue.length inflight > 0 do
+          List.iter publish_doc (settle_one ())
+        done
+    | i :: rest ->
+        if Queue.length inflight >= cfg.window then begin
+          List.iter publish_doc (settle_one ());
+          drive todo
+        end
+        else begin
+          publish_doc i;
+          drive rest
+        end
+  in
+  drive (List.init (Array.length docs) Fun.id);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* {2 Report} *)
+  (match cfg.deliveries_out with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Array.iteri
+        (fun i d ->
+          match d with
+          | Some ds -> Printf.fprintf oc "doc %06d: %s\n" i (fmt_deliveries ds)
+          | None -> Printf.fprintf oc "doc %06d: LOST\n" i)
+        deliveries;
+      close_out oc);
+  let total_deliveries =
+    Array.fold_left
+      (fun acc d -> match d with Some ds -> acc + List.length ds | None -> acc)
+      0 deliveries
+  in
+  let lost = Array.fold_left (fun acc d -> if d = None then acc + 1 else acc) 0 deliveries in
+  let p q = Pf_obs.Qhist.quantile lat q in
+  if cfg.json then
+    Printf.printf
+      "{\"workload\":%S,\"subscriptions\":%d,\"suppressed\":%d,\"unsupported\":%d,\"churned\":%d,\"documents\":%d,\"lost\":%d,\"deliveries\":%d,\"reconnects\":%d,\"elapsed_s\":%.3f,\"docs_per_s\":%.1f,\"latency_ns\":{\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d}}\n"
+      cfg.workload cfg.subscriptions !suppressed !resubscribe_failed !churned
+      (Array.length docs) lost total_deliveries !reconnects elapsed
+      (float_of_int (Array.length docs) /. elapsed)
+      (p 0.5) (p 0.9) (p 0.99) (Pf_obs.Qhist.max_value lat)
+  else if not cfg.quiet then begin
+    Printf.printf "pf-load: %d subscription(s) (%d suppressed, %d unsupported), %d churned\n"
+      cfg.subscriptions !suppressed !resubscribe_failed !churned;
+    Printf.printf "pf-load: %d document(s) in %.3fs (%.1f docs/s), %d deliveries, %d reconnect(s)\n"
+      (Array.length docs) elapsed
+      (float_of_int (Array.length docs) /. elapsed)
+      total_deliveries !reconnects;
+    Printf.printf "pf-load: latency p50 %.1f us  p90 %.1f us  p99 %.1f us  max %.1f us\n"
+      (float_of_int (p 0.5) /. 1e3)
+      (float_of_int (p 0.9) /. 1e3)
+      (float_of_int (p 0.99) /. 1e3)
+      (float_of_int (Pf_obs.Qhist.max_value lat) /. 1e3)
+  end;
+  if lost > 0 then begin
+    Printf.eprintf "pf-load: %d document(s) never resolved\n" lost;
+    exit 1
+  end
+
+let run_cli connect ns workload subscriptions churn documents window filters seed retry_for
+    deliveries_out json quiet =
+  let addr =
+    match Pf_net.Server.listen_of_string connect with
+    | Ok a -> a
+    | Error msg ->
+        Printf.eprintf "bad --connect: %s\n" msg;
+        exit 2
+  in
+  if subscriptions < 1 || documents < 1 || window < 1 || churn < 0 then begin
+    Printf.eprintf "--subscriptions, --documents and --window must be >= 1, --churn >= 0\n";
+    exit 2
+  end;
+  run
+    { addr; ns; workload; subscriptions; churn; documents; window;
+      filters_per_path = filters; seed; retry_for; deliveries_out; json; quiet }
+
+let connect_arg =
+  Arg.(
+    value
+    & opt string "unix:/tmp/pf-broker.sock"
+    & info [ "c"; "connect" ] ~docv:"ADDR" ~doc:"Broker address (unix:/path or tcp:host:port).")
+
+let ns_arg =
+  Arg.(value & opt string "" & info [ "ns" ] ~docv:"NS" ~doc:"Tenant namespace.")
+
+let workload_arg =
+  Arg.(
+    value & opt string "nitf"
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:"Workload DTD: $(b,nitf) (selective), $(b,psd) (matching-heavy) or $(b,auction).")
+
+let subs_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "subscriptions" ] ~docv:"N" ~doc:"Subscriptions to register.")
+
+let churn_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "churn" ] ~docv:"N" ~doc:"Unsubscribe $(docv) of the granted subscriptions before publishing.")
+
+let docs_arg =
+  Arg.(value & opt int 200 & info [ "docs"; "documents" ] ~docv:"N" ~doc:"Documents to publish.")
+
+let window_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "window" ] ~docv:"N" ~doc:"Publishes kept in flight (pipelining window).")
+
+let filters_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "filters-per-path" ] ~docv:"N" ~doc:"Attribute filters per generated expression.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+
+let retry_arg =
+  let doc =
+    "Keep retrying a failed connection for $(docv) seconds — covers broker \
+     restarts mid-stream (documents without RESULTS are republished after \
+     reconnecting)."
+  in
+  Arg.(value & opt float 10.0 & info [ "retry-for" ] ~docv:"SECS" ~doc)
+
+let deliveries_arg =
+  let doc =
+    "Write one line per document ($(b,doc NNNNNN: subscriber=ids;...)) to \
+     $(docv); runs over identical broker state produce byte-identical files, \
+     which is how the soak test proves zero lost and zero duplicated \
+     deliveries across a kill -9."
+  in
+  Arg.(value & opt (some string) None & info [ "deliveries-out" ] ~docv:"FILE" ~doc)
+
+let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Print a JSON summary instead of text.")
+let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary output.")
+
+let cmd =
+  let doc = "generate broker load over the wire protocol and measure latency" in
+  let info = Cmd.info "pf-load" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      const run_cli $ connect_arg $ ns_arg $ workload_arg $ subs_arg $ churn_arg $ docs_arg
+      $ window_arg $ filters_arg $ seed_arg $ retry_arg $ deliveries_arg $ json_arg $ quiet_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -58,6 +58,7 @@ type metrics = {
   collect_span : Pf_obs.Span.t;
   latency : Pf_obs.Qhist.t;
   cache_entries : Pf_obs.Gauge.t;
+  distinct_preds : Pf_obs.Gauge.t;
   pm : Predicate_index.metrics;
   em : Expr_index.metrics;
 }
@@ -101,6 +102,11 @@ let make_metrics () =
     cache_entries =
       Pf_obs.Gauge.make ~registry "path_cache_entries" ~merge:Pf_obs.Gauge.Sum
         ~help:"live path-result cache entries";
+    distinct_preds =
+      (* Max: document-replicated workers hold identical predicate tables,
+         so their merged value is the table size, not N times it *)
+      Pf_obs.Gauge.make ~registry "distinct_predicates" ~merge:Pf_obs.Gauge.Max
+        ~help:"distinct predicates stored in the shared predicate index";
     pm = Predicate_index.make_metrics ~registry ();
     em = Expr_index.make_metrics ~registry ();
   }
@@ -283,6 +289,7 @@ let add t (p : Ast.path) =
   | Nested_expr -> Nested.add t.nested ~sid p);
   ignore (Vec.push t.exprs info : int);
   if Ast.has_attr_filters p then t.constrained <- true;
+  Pf_obs.Gauge.set t.m.distinct_preds (float_of_int (Predicate_index.size t.pidx));
   bump_cache_epoch t;
   Log.debug (fun m -> m "registered sid %d: %s" sid (Parser.to_string p));
   sid

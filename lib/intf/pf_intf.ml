@@ -3,6 +3,22 @@
 
 exception Unsupported of string
 
+type error =
+  | Bad_expression of string
+  | Unsupported_expression of string
+  | Unknown_subscription of int
+  | Bad_document of string
+  | Protocol_error of string
+
+let error_message = function
+  | Bad_expression msg -> Printf.sprintf "bad expression: %s" msg
+  | Unsupported_expression msg -> Printf.sprintf "unsupported expression: %s" msg
+  | Unknown_subscription id -> Printf.sprintf "unknown subscription %d" id
+  | Bad_document msg -> Printf.sprintf "bad document: %s" msg
+  | Protocol_error msg -> Printf.sprintf "protocol error: %s" msg
+
+let pp_error fmt e = Format.pp_print_string fmt (error_message e)
+
 module type FILTER = sig
   type t
 

@@ -30,6 +30,21 @@ exception Unsupported of string
     the YFilter/Index-Filter baselines. {!Pf_core.Encoder.Unsupported} is
     this exception, re-exported, so one handler catches every engine. *)
 
+(** Why a subscription-layer operation was refused. Shared by the broker's
+    result-returning operations, its command/event state machine and the
+    wire protocol's ERROR frames, so a transport maps failures to frames
+    without exception-catching: the broker returns these, the codec
+    round-trips them. *)
+type error =
+  | Bad_expression of string  (** XPath syntax error ({!Pf_xpath.Parser.Error}) *)
+  | Unsupported_expression of string  (** outside the engine's subset ({!Unsupported}) *)
+  | Unknown_subscription of int  (** no live subscription under this id *)
+  | Bad_document of string  (** XML parse failure on a published document *)
+  | Protocol_error of string  (** transport-level: malformed or out-of-order frame *)
+
+val error_message : error -> string
+val pp_error : Format.formatter -> error -> unit
+
 module type FILTER = sig
   type t
 

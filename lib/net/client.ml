@@ -1,0 +1,189 @@
+module Broker = Pf_broker.Broker
+
+exception Disconnected of string
+
+type t = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable start : int;
+  mutable fill : int;
+  mutable next_req : int;
+  stash : (int, Broker.event) Hashtbl.t;
+  cns : string;
+  mutable server : string;
+}
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (err, _, _) ->
+          raise (Disconnected (Unix.error_message err))
+  in
+  go 0
+
+let send t ~req_id msg =
+  let buf = Buffer.create 128 in
+  Wire.encode buf ~req_id msg;
+  write_all t.fd (Buffer.to_bytes buf)
+
+(* Decode one frame out of the buffer; [read_more = false] makes it
+   non-blocking over already-buffered bytes. *)
+let rec next_frame t ~read_more =
+  match Wire.decode t.buf ~off:t.start ~len:t.fill with
+  | `Frame (consumed, req_id, msg) ->
+      t.start <- t.start + consumed;
+      Some (req_id, msg)
+  | `Error e -> raise (Disconnected (Format.asprintf "%a" Wire.pp_error e))
+  | `Need n ->
+      if not read_more then None
+      else begin
+        if t.start > 0 then begin
+          Bytes.blit t.buf t.start t.buf 0 (t.fill - t.start);
+          t.fill <- t.fill - t.start;
+          t.start <- 0
+        end;
+        if t.fill + n > Bytes.length t.buf then begin
+          let bigger = Bytes.create (max (t.fill + n) (2 * Bytes.length t.buf)) in
+          Bytes.blit t.buf 0 bigger 0 t.fill;
+          t.buf <- bigger
+        end;
+        let got =
+          try Unix.read t.fd t.buf t.fill (Bytes.length t.buf - t.fill)
+          with Unix.Unix_error (err, _, _) -> raise (Disconnected (Unix.error_message err))
+        in
+        if got = 0 then raise (Disconnected "connection closed by server");
+        t.fill <- t.fill + got;
+        next_frame t ~read_more
+      end
+
+let fresh_req t =
+  let id = t.next_req in
+  t.next_req <- (if id >= 0xFFFFFFFF then 1 else id + 1);
+  id
+
+(* Read frames until the reply for [req_id] shows up, stashing others. *)
+let rec wait_reply t req_id =
+  match Hashtbl.find_opt t.stash req_id with
+  | Some ev ->
+      Hashtbl.remove t.stash req_id;
+      ev
+  | None -> (
+      match next_frame t ~read_more:true with
+      | None -> assert false
+      | Some (rid, Wire.Event ev) ->
+          if rid = req_id then ev
+          else begin
+            Hashtbl.replace t.stash rid ev;
+            wait_reply t req_id
+          end
+      | Some (_, (Wire.Hello _ | Wire.Welcome _ | Wire.Command _)) ->
+          raise (Disconnected "server sent a client-side frame"))
+
+let connect ?(ns = Broker.default_ns) (addr : Server.listen) =
+  let fd =
+    match addr with
+    | Server.Unix_sock path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with Unix.Unix_error (err, _, _) ->
+           Unix.close fd;
+           raise (Disconnected (Unix.error_message err)));
+        fd
+    | Server.Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+         with Unix.Unix_error (err, _, _) ->
+           Unix.close fd;
+           raise (Disconnected (Unix.error_message err)));
+        fd
+  in
+  let t =
+    { fd; buf = Bytes.create 8192; start = 0; fill = 0; next_req = 1;
+      stash = Hashtbl.create 16; cns = ns; server = "" }
+  in
+  let req_id = fresh_req t in
+  send t ~req_id (Wire.Hello { version = Wire.version; ns });
+  (match next_frame t ~read_more:true with
+  | Some (_, Wire.Welcome { server; _ }) -> t.server <- server
+  | Some (_, Wire.Event (Broker.Failed { error })) ->
+      Unix.close t.fd;
+      raise (Disconnected (Pf_intf.error_message error))
+  | _ ->
+      Unix.close t.fd;
+      raise (Disconnected "expected WELCOME"));
+  t
+
+let ns t = t.cns
+let server_name t = t.server
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let unexpected ev =
+  raise (Disconnected (Format.asprintf "unexpected reply %a" Broker.pp_event ev))
+
+let subscribe t ~subscriber expr =
+  let req_id = fresh_req t in
+  send t ~req_id (Wire.Command (Broker.Subscribe { ns = t.cns; subscriber; expr }));
+  match wait_reply t req_id with
+  | Broker.Subscribed { id; suppressed } -> Ok (id, suppressed)
+  | Broker.Failed { error } -> Error error
+  | ev -> unexpected ev
+
+let unsubscribe t id =
+  let req_id = fresh_req t in
+  send t ~req_id (Wire.Command (Broker.Unsubscribe { ns = t.cns; id }));
+  match wait_reply t req_id with
+  | Broker.Unsubscribed { existed; _ } -> Ok existed
+  | Broker.Failed { error } -> Error error
+  | ev -> unexpected ev
+
+let drop_subscriber t subscriber =
+  let req_id = fresh_req t in
+  send t ~req_id (Wire.Command (Broker.Drop_subscriber { ns = t.cns; subscriber }));
+  match wait_reply t req_id with
+  | Broker.Dropped { count } -> Ok count
+  | Broker.Failed { error } -> Error error
+  | ev -> unexpected ev
+
+let publish_async t doc =
+  let req_id = fresh_req t in
+  send t ~req_id (Wire.Command (Broker.Publish { ns = t.cns; doc }));
+  req_id
+
+let await t req_id =
+  match wait_reply t req_id with
+  | Broker.Delivered { deliveries } -> Ok deliveries
+  | Broker.Failed { error } -> Error error
+  | ev -> unexpected ev
+
+let publish t doc = await t (publish_async t doc)
+
+let poll t req_id =
+  (* drain whatever frames are already buffered, then check the stash *)
+  let rec drain () =
+    match next_frame t ~read_more:false with
+    | Some (rid, Wire.Event ev) ->
+        Hashtbl.replace t.stash rid ev;
+        drain ()
+    | Some (_, (Wire.Hello _ | Wire.Welcome _ | Wire.Command _)) ->
+        raise (Disconnected "server sent a client-side frame")
+    | None -> ()
+  in
+  drain ();
+  match Hashtbl.find_opt t.stash req_id with
+  | None -> None
+  | Some ev ->
+      Hashtbl.remove t.stash req_id;
+      Some
+        (match ev with
+        | Broker.Delivered { deliveries } -> Ok deliveries
+        | Broker.Failed { error } -> Error error
+        | ev -> unexpected ev)
+
+let pending t = Hashtbl.length t.stash

@@ -1,0 +1,57 @@
+(** Blocking wire-protocol client.
+
+    One socket, one thread of control: the synchronous helpers
+    ({!subscribe}, {!publish}, ...) send a command and read frames until
+    its reply arrives, stashing out-of-order results; the asynchronous
+    pair ({!publish_async} / {!await}) pipelines publishes without
+    waiting — the load generator keeps a window of them in flight and
+    lets the server's bounded queues set the pace.
+
+    Transport failures raise {!Disconnected}; broker-level failures come
+    back as [Error _] {!Pf_intf.error} values. Not thread-safe — use one
+    client per thread. *)
+
+type t
+
+exception Disconnected of string
+(** Connection lost or the peer broke the protocol. *)
+
+val connect : ?ns:string -> Server.listen -> t
+(** Connect, send HELLO with namespace [ns] (default
+    {!Pf_broker.Broker.default_ns}) and wait for WELCOME. Every command
+    this client sends carries [ns]. *)
+
+val ns : t -> string
+val server_name : t -> string
+(** From the WELCOME frame. *)
+
+val close : t -> unit
+
+(** {1 Synchronous commands} *)
+
+val subscribe :
+  t -> subscriber:string -> string -> (int * bool, Pf_intf.error) result
+(** [Ok (id, suppressed)]. *)
+
+val unsubscribe : t -> int -> (bool, Pf_intf.error) result
+val drop_subscriber : t -> string -> (int, Pf_intf.error) result
+
+val publish : t -> string -> ((string * int list) list, Pf_intf.error) result
+(** Blocks until this document's RESULTS (or ERROR) frame arrives;
+    results of other pipelined publishes arriving meanwhile are stashed
+    for their own {!await}. *)
+
+(** {1 Pipelined publishing} *)
+
+val publish_async : t -> string -> int
+(** Send PUBLISH and return its request id without waiting. *)
+
+val await : t -> int -> ((string * int list) list, Pf_intf.error) result
+(** Block until the RESULTS frame for this request id arrives. *)
+
+val poll : t -> int -> ((string * int list) list, Pf_intf.error) result option
+(** Non-blocking {!await}: [None] if the reply has not arrived yet (only
+    already-buffered frames are drained, the socket is not read). *)
+
+val pending : t -> int
+(** Replies stashed but not yet collected with {!await}/{!poll}. *)

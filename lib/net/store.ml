@@ -1,0 +1,203 @@
+let src = Logs.Src.create "predfilter.store" ~doc:"Broker durability store"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Broker = Pf_broker.Broker
+
+let snap_magic = "PFSNAP\x00\x01"
+
+type t = {
+  dir : string;
+  b : Broker.t;
+  wal : Wal.t;
+  snapshot_every : int;
+  mutable muts_since_snap : int;
+  mutable taken : int;
+  recovered : int;
+}
+
+let snap_path dir = Filename.concat dir "broker.snap"
+let wal_path dir = Filename.concat dir "broker.wal"
+
+(* {1 Snapshot codec} *)
+
+let encode_snapshot ~seq (s : Broker.snapshot) =
+  let payload = Buffer.create 256 in
+  let open Wire.Prim in
+  put_varint payload seq;
+  put_varint payload s.Broker.snap_next_id;
+  put_varint payload (List.length s.Broker.snap_subs);
+  List.iter
+    (fun (r : Broker.sub_record) ->
+      put_varint payload r.Broker.sr_id;
+      put_str payload r.Broker.sr_ns;
+      put_str payload r.Broker.sr_subscriber;
+      put_str payload r.Broker.sr_expr;
+      match r.Broker.sr_suppressed_by with
+      | None -> put_u8 payload 0
+      | Some by ->
+          put_u8 payload 1;
+          put_varint payload by)
+    s.Broker.snap_subs;
+  let plen = Buffer.length payload in
+  let out = Buffer.create (plen + 16) in
+  Buffer.add_string out snap_magic;
+  put_u32 out plen;
+  let pbytes = Buffer.to_bytes payload in
+  put_u32 out (Wire.crc32 pbytes ~pos:0 ~len:plen);
+  Buffer.add_bytes out pbytes;
+  Buffer.to_bytes out
+
+let decode_snapshot buf =
+  let open Wire.Prim in
+  let mlen = String.length snap_magic in
+  if Bytes.length buf < mlen + 8 then Error "snapshot too short"
+  else if Bytes.sub_string buf 0 mlen <> snap_magic then Error "bad snapshot magic"
+  else
+    let hr = reader buf ~pos:mlen ~limit:(Bytes.length buf) in
+    match
+      let plen = u32 hr ~what:"payload length" in
+      let crc = u32 hr ~what:"payload crc" in
+      let body = pos hr in
+      if body + plen <> Bytes.length buf then Error "snapshot length mismatch"
+      else if Wire.crc32 buf ~pos:body ~len:plen <> crc then Error "snapshot crc mismatch"
+      else begin
+        let r = reader buf ~pos:body ~limit:(body + plen) in
+        let seq = varint r ~what:"covered seq" in
+        let snap_next_id = varint r ~what:"next id" in
+        let n = varint r ~what:"subscription count" in
+        let snap_subs =
+          List.init n (fun _ ->
+              let sr_id = varint r ~what:"sub id" in
+              let sr_ns = str r ~what:"sub ns" in
+              let sr_subscriber = str r ~what:"sub subscriber" in
+              let sr_expr = str r ~what:"sub expr" in
+              let sr_suppressed_by =
+                if u8 r ~what:"suppressed flag" = 0 then None
+                else Some (varint r ~what:"suppressed by")
+              in
+              { Broker.sr_id; sr_ns; sr_subscriber; sr_expr; sr_suppressed_by })
+        in
+        if pos r <> body + plen then Error "trailing bytes in snapshot payload"
+        else Ok (seq, { Broker.snap_next_id; snap_subs })
+      end
+    with
+    | result -> result
+    | exception Short (_, what) -> Error ("snapshot truncates " ^ what)
+
+(* {1 File helpers} *)
+
+let read_whole path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let len = in_channel_length ic in
+          let buf = Bytes.create len in
+          really_input ic buf 0 len;
+          Some buf)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+let write_atomic ~dir path bytes =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = Bytes.length bytes in
+      let rec go off =
+        if off < len then go (off + Unix.write fd bytes off (len - off))
+      in
+      go 0;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir dir
+
+(* {1 Store} *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let open_store ?(snapshot_every = 1024) ~dir make =
+  if snapshot_every < 1 then invalid_arg "Store.open_store: snapshot_every < 1";
+  mkdir_p dir;
+  let b = make () in
+  let snap_seq =
+    match read_whole (snap_path dir) with
+    | None -> 0
+    | Some buf -> (
+        match decode_snapshot buf with
+        | Ok (seq, snap) ->
+            Broker.load_snapshot b snap;
+            Log.info (fun m ->
+                m "%s: loaded snapshot covering seq %d (%d subscription(s))" dir seq
+                  (List.length snap.Broker.snap_subs));
+            seq
+        | Error reason ->
+            Log.warn (fun m -> m "%s: ignoring snapshot: %s" dir reason);
+            0)
+  in
+  let wal, records = Wal.open_log (wal_path dir) in
+  let replayed = ref 0 in
+  List.iter
+    (fun (seq, cmd) ->
+      if seq > snap_seq then begin
+        incr replayed;
+        let events = Broker.apply b cmd in
+        List.iter
+          (function
+            | Broker.Failed { error } ->
+                (* A logged mutation succeeded when written; failing on
+                   replay means the snapshot/log pair is inconsistent. *)
+                Log.err (fun m ->
+                    m "%s: WAL seq %d failed on replay (%a) — state may be stale" dir seq
+                      Pf_intf.pp_error error)
+            | _ -> ())
+          events
+      end)
+    records;
+  if !replayed > 0 then
+    Log.info (fun m -> m "%s: replayed %d WAL record(s) past seq %d" dir !replayed snap_seq);
+  { dir; b; wal; snapshot_every; muts_since_snap = !replayed; taken = 0; recovered = !replayed }
+
+let broker t = t.b
+let wal_seq t = Wal.last_seq t.wal
+let snapshots_taken t = t.taken
+let recovered_records t = t.recovered
+let wal_size t = Wal.size t.wal
+
+let snapshot_now t =
+  let snap = Broker.snapshot t.b in
+  let seq = Wal.last_seq t.wal in
+  write_atomic ~dir:t.dir (snap_path t.dir) (encode_snapshot ~seq snap);
+  (* The snapshot is durable; the log records it covers are redundant.
+     A crash before this truncate is fine: recovery skips seq <= snap. *)
+  Wal.reset t.wal;
+  t.muts_since_snap <- 0;
+  t.taken <- t.taken + 1;
+  Log.debug (fun m -> m "%s: snapshot at seq %d" t.dir seq)
+
+let log t cmd =
+  let events = Broker.apply t.b cmd in
+  let failed = List.exists (function Broker.Failed _ -> true | _ -> false) events in
+  if Broker.is_mutation cmd && not failed then begin
+    ignore (Wal.append t.wal cmd : int);
+    Wal.sync t.wal;
+    t.muts_since_snap <- t.muts_since_snap + 1;
+    if t.muts_since_snap >= t.snapshot_every then snapshot_now t
+  end;
+  events
+
+let close t = Wal.close t.wal

@@ -1,0 +1,69 @@
+(** Durable broker state: snapshot + write-ahead-log tail.
+
+    The store owns a {!Pf_broker.Broker.t} and a data directory holding
+
+    - [broker.snap] — the most recent {!Pf_broker.Broker.snapshot},
+      written atomically (tmp file, fsync, rename, directory fsync) and
+      stamped with the WAL sequence number it covers;
+    - [broker.wal] — successful subscription mutations appended and
+      fsync'd {e after} they were applied, each stamped with an
+      ever-increasing sequence number ({!Pf_net.Wal}).
+
+    {!open_store} recovers: load the snapshot if present and valid,
+    then replay WAL records with sequence numbers beyond the snapshot's.
+    A crash anywhere — mid-record, between snapshot rename and WAL
+    truncation, mid-snapshot-write — recovers to exactly the state of
+    the last synced mutation, because replay is deterministic
+    (documented on {!Pf_broker.Broker.apply}) and the WAL is only
+    truncated after the covering snapshot is on disk; records whose
+    sequence the snapshot already covers are skipped on replay, so the
+    rename-then-truncate window is safe.
+
+    Every [snapshot_every] logged mutations the store snapshots and
+    truncates the log, bounding both file size and recovery time. *)
+
+type t
+
+val open_store :
+  ?snapshot_every:int -> dir:string -> (unit -> Pf_broker.Broker.t) -> t
+(** [open_store ~dir make] creates [dir] if needed, builds a fresh
+    broker with [make] (which must return an {e empty} broker — the
+    store loads state into it) and recovers snapshot + WAL tail.
+    [snapshot_every] defaults to 1024 mutations; it counts mutations
+    logged since the last snapshot, so recovery replays at most that
+    many records. *)
+
+val broker : t -> Pf_broker.Broker.t
+
+val log : t -> Pf_broker.Broker.command -> Pf_broker.Broker.event list
+(** Apply one command; if it is a successful mutation, append it to the
+    WAL and fsync before returning (write-behind of the in-memory apply,
+    but ahead of the caller's reply — a client that saw the ack will see
+    the subscription after a crash). [Publish] and failed commands pass
+    through unlogged. Not itself thread-safe: callers serialize (the
+    server holds one store lock across mutations). *)
+
+val wal_seq : t -> int
+(** Sequence number of the last logged mutation. *)
+
+val snapshot_now : t -> unit
+(** Force a snapshot + WAL truncation. *)
+
+val snapshots_taken : t -> int
+val recovered_records : t -> int
+(** How many WAL records the opening recovery replayed. *)
+
+val wal_size : t -> int
+(** Current WAL file size in bytes (observability: exported by the
+    server as a gauge). *)
+
+val close : t -> unit
+(** Close file handles. Does {e not} snapshot; call {!snapshot_now}
+    first for a fast next recovery. *)
+
+(** {1 Snapshot codec} — exposed for the crash-recovery property tests *)
+
+val encode_snapshot : seq:int -> Pf_broker.Broker.snapshot -> Bytes.t
+val decode_snapshot : Bytes.t -> (int * Pf_broker.Broker.snapshot, string) result
+(** Returns [(covered_seq, snapshot)]; [Error] on bad magic, bad CRC or
+    malformed payload — recovery treats all three as "no snapshot". *)

@@ -1,0 +1,130 @@
+let src = Logs.Src.create "predfilter.wal" ~doc:"Broker write-ahead log"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let magic = "PFWAL\x00\x00\x01"
+let header_len = String.length magic
+
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  mutable seq : int;  (* last sequence number written or recovered *)
+  mutable file_len : int;
+}
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+  in
+  go 0
+
+let read_file fd =
+  let len = (Unix.fstat fd).Unix.st_size in
+  let buf = Bytes.create len in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET : int);
+  let rec go off =
+    if off < len then begin
+      let n = Unix.read fd buf off (len - off) in
+      if n = 0 then off else go (off + n)
+    end
+    else off
+  in
+  let got = go 0 in
+  if got < len then Bytes.sub buf 0 got else buf
+
+(* Validate [buf] front to back; return (records, valid_length, last_seq). *)
+let scan path buf =
+  let len = Bytes.length buf in
+  let records = ref [] in
+  let last_seq = ref 0 in
+  let pos = ref header_len in
+  let valid = ref header_len in
+  let stop reason =
+    Log.warn (fun m ->
+        m "%s: truncating invalid tail at byte %d (%s), keeping %d record(s)" path !pos reason
+          (List.length !records));
+    raise Exit
+  in
+  (try
+     if len < header_len || Bytes.sub_string buf 0 header_len <> magic then begin
+       if len > 0 then
+         Log.warn (fun m -> m "%s: bad or missing header, starting a fresh log" path);
+       raise Exit
+     end;
+     while !pos < len do
+       let start = !pos in
+       if start + 8 > len then stop "torn record header";
+       let r = Wire.Prim.reader buf ~pos:start ~limit:len in
+       let rlen = Wire.Prim.u32 r ~what:"record length" in
+       let crc = Wire.Prim.u32 r ~what:"record crc" in
+       let body = start + 8 in
+       if rlen <= 0 || body + rlen > len then stop "torn record body";
+       if Wire.crc32 buf ~pos:body ~len:rlen <> crc then stop "crc mismatch";
+       let br = Wire.Prim.reader buf ~pos:body ~limit:(body + rlen) in
+       (match
+          let seq = Wire.Prim.varint br ~what:"record seq" in
+          (seq, Wire.decode_command buf ~pos:(Wire.Prim.pos br) ~limit:(body + rlen))
+        with
+       | seq, Ok (cmd, _) ->
+           if seq <= !last_seq then stop "sequence number not increasing";
+           records := (seq, cmd) :: !records;
+           last_seq := seq
+       | _, Error e -> stop (Format.asprintf "%a" Wire.pp_error e)
+       | exception Wire.Prim.Short (_, what) -> stop ("record truncates " ^ what));
+       pos := body + rlen;
+       valid := !pos
+     done
+   with Exit -> ());
+  (List.rev !records, !valid, !last_seq)
+
+let open_log path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let buf = read_file fd in
+  let records, valid, last_seq = scan path buf in
+  let fresh = Bytes.length buf < header_len in
+  if fresh then begin
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET : int);
+    Unix.ftruncate fd 0;
+    write_all fd (Bytes.of_string magic);
+    Unix.fsync fd
+  end
+  else if valid < Bytes.length buf then begin
+    Unix.ftruncate fd valid;
+    Unix.fsync fd
+  end;
+  let file_len = if fresh then header_len else valid in
+  ignore (Unix.lseek fd file_len Unix.SEEK_SET : int);
+  ({ fd; path; seq = last_seq; file_len }, records)
+
+let next_seq t = t.seq + 1
+let last_seq t = t.seq
+
+let append t cmd =
+  let seq = t.seq + 1 in
+  let payload = Buffer.create 64 in
+  Wire.Prim.put_varint payload seq;
+  Wire.encode_command payload cmd;
+  let plen = Buffer.length payload in
+  let record = Buffer.create (plen + 8) in
+  Wire.Prim.put_u32 record plen;
+  let pbytes = Buffer.to_bytes payload in
+  Wire.Prim.put_u32 record (Wire.crc32 pbytes ~pos:0 ~len:plen);
+  Buffer.add_bytes record pbytes;
+  write_all t.fd (Buffer.to_bytes record);
+  t.seq <- seq;
+  t.file_len <- t.file_len + plen + 8;
+  seq
+
+let sync t = Unix.fsync t.fd
+
+let reset t =
+  Unix.ftruncate t.fd header_len;
+  ignore (Unix.lseek t.fd header_len Unix.SEEK_SET : int);
+  t.file_len <- header_len;
+  Unix.fsync t.fd
+
+let size t = t.file_len
+let close t = Unix.close t.fd

@@ -1,0 +1,61 @@
+(** Write-ahead log of broker subscription mutations.
+
+    Append-only file of {!Pf_broker.Broker.command} records — only the
+    mutations {!Pf_broker.Broker.is_mutation} selects, and only when
+    they succeeded, so replaying the log through [Broker.apply] is
+    deterministic (failed commands consume no subscription ids and are
+    never logged).
+
+    {2 File format}
+
+    An 8-byte magic header ["PFWAL\x00\x00\x01"], then records:
+
+    {v
+    u32 BE  len    — payload length
+    u32 BE  crc    — CRC-32 of the payload
+    payload        — varint sequence number, then Wire.encode_command
+    v}
+
+    Sequence numbers are assigned by the log, start at 1 and never
+    reset — {!reset} truncates the file but the next record continues
+    the sequence, which is how recovery pairs a snapshot (which stores
+    the last sequence it covers) with the surviving tail.
+
+    {2 Crash tolerance}
+
+    {!open_log} validates the file front to back and truncates at the
+    first record whose length, CRC or payload fails to decode — a torn
+    final write (the expected crash artifact) loses at most the record
+    being written, never earlier ones. {!append} does not fsync;
+    {!sync} does, so the caller chooses the durability point (the store
+    syncs once per logged command, after the write). *)
+
+type t
+
+val open_log : string -> t * (int * Pf_broker.Broker.command) list
+(** [open_log path] opens (creating if absent) the log, truncates any
+    invalid tail and returns the handle plus the surviving records as
+    [(seq, command)] pairs in ascending sequence order. *)
+
+val next_seq : t -> int
+(** Sequence number the next {!append} will write. *)
+
+val last_seq : t -> int
+(** Sequence number of the most recently appended (or recovered)
+    record; 0 if none. *)
+
+val append : t -> Pf_broker.Broker.command -> int
+(** Append one record; returns its sequence number. Not yet durable —
+    call {!sync}. *)
+
+val sync : t -> unit
+(** fsync the log file. *)
+
+val reset : t -> unit
+(** Truncate to the bare header (after a snapshot has made the records
+    redundant) and fsync. Sequence numbering continues unchanged. *)
+
+val size : t -> int
+(** Current file size in bytes, header included. *)
+
+val close : t -> unit

@@ -1,0 +1,353 @@
+module Broker = Pf_broker.Broker
+
+let version = 1
+let max_frame = 1 lsl 24
+
+type msg =
+  | Hello of { version : int; ns : string }
+  | Welcome of { version : int; server : string }
+  | Command of Broker.command
+  | Event of Broker.event
+
+type error = { offset : int; reason : string }
+
+let pp_error fmt e = Format.fprintf fmt "at byte %d: %s" e.offset e.reason
+
+(* Message tags. Commands and events keep disjoint ranges so a stray
+   frame from a confused peer (client speaking the server's half) fails
+   loudly instead of aliasing. *)
+let tag_hello = 1
+let tag_welcome = 2
+let tag_subscribe = 3
+let tag_unsubscribe = 4
+let tag_drop = 5
+let tag_publish = 6
+let tag_subscribed = 16
+let tag_unsubscribed = 17
+let tag_dropped = 18
+let tag_results = 19
+let tag_error = 20
+
+module Prim = struct
+  let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let put_u32 b v =
+    put_u8 b (v lsr 24);
+    put_u8 b (v lsr 16);
+    put_u8 b (v lsr 8);
+    put_u8 b v
+
+  let put_varint b v =
+    if v < 0 then invalid_arg "Wire.Prim.put_varint: negative";
+    let rec go v =
+      if v < 0x80 then put_u8 b v
+      else begin
+        put_u8 b (0x80 lor (v land 0x7f));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let put_str b s =
+    put_varint b (String.length s);
+    Buffer.add_string b s
+
+  exception Short of int * string
+
+  type reader = { buf : Bytes.t; mutable pos : int; limit : int }
+
+  let reader buf ~pos ~limit = { buf; pos; limit }
+  let pos r = r.pos
+
+  let u8 r ~what =
+    if r.pos >= r.limit then raise (Short (r.pos, what));
+    let v = Char.code (Bytes.get r.buf r.pos) in
+    r.pos <- r.pos + 1;
+    v
+
+  let u32 r ~what =
+    let start = r.pos in
+    if start + 4 > r.limit then raise (Short (start, what));
+    let b i = Char.code (Bytes.get r.buf (start + i)) in
+    r.pos <- start + 4;
+    (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+  let varint r ~what =
+    let start = r.pos in
+    let rec go shift acc =
+      if r.pos >= r.limit then raise (Short (start, what));
+      if shift > 56 then raise (Short (start, what ^ " (varint too long)"));
+      let byte = Char.code (Bytes.get r.buf r.pos) in
+      r.pos <- r.pos + 1;
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let str r ~what =
+    let start = r.pos in
+    let n = varint r ~what in
+    if r.pos + n > r.limit then raise (Short (start, what));
+    let s = Bytes.sub_string r.buf r.pos n in
+    r.pos <- r.pos + n;
+    s
+end
+
+open Prim
+
+(* CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320), table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 buf ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get buf i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(* {1 Payload encoders} *)
+
+let encode_error b (err : Pf_intf.error) =
+  let code, aux, msg =
+    match err with
+    | Pf_intf.Bad_expression m -> (1, 0, m)
+    | Pf_intf.Unsupported_expression m -> (2, 0, m)
+    | Pf_intf.Unknown_subscription id -> (3, id, "")
+    | Pf_intf.Bad_document m -> (4, 0, m)
+    | Pf_intf.Protocol_error m -> (5, 0, m)
+  in
+  put_u8 b code;
+  put_varint b aux;
+  put_str b msg
+
+let decode_error r : (Pf_intf.error, error) result =
+  let start = r.pos in
+  let code = u8 r ~what:"error code" in
+  let aux = varint r ~what:"error aux" in
+  let msg = str r ~what:"error message" in
+  match code with
+  | 1 -> Ok (Pf_intf.Bad_expression msg)
+  | 2 -> Ok (Pf_intf.Unsupported_expression msg)
+  | 3 -> Ok (Pf_intf.Unknown_subscription aux)
+  | 4 -> Ok (Pf_intf.Bad_document msg)
+  | 5 -> Ok (Pf_intf.Protocol_error msg)
+  | _ -> Error { offset = start; reason = Printf.sprintf "unknown error code %d" code }
+
+let command_tag = function
+  | Broker.Subscribe _ -> tag_subscribe
+  | Broker.Unsubscribe _ -> tag_unsubscribe
+  | Broker.Drop_subscriber _ -> tag_drop
+  | Broker.Publish _ -> tag_publish
+
+let encode_command_payload b = function
+  | Broker.Subscribe { ns; subscriber; expr } ->
+      put_str b ns;
+      put_str b subscriber;
+      put_str b expr
+  | Broker.Unsubscribe { ns; id } ->
+      put_str b ns;
+      put_varint b id
+  | Broker.Drop_subscriber { ns; subscriber } ->
+      put_str b ns;
+      put_str b subscriber
+  | Broker.Publish { ns; doc } ->
+      put_str b ns;
+      put_str b doc
+
+let decode_command_payload tag r : (Broker.command, error) result =
+  if tag = tag_subscribe then begin
+    let ns = str r ~what:"subscribe ns" in
+    let subscriber = str r ~what:"subscribe subscriber" in
+    let expr = str r ~what:"subscribe expr" in
+    Ok (Broker.Subscribe { ns; subscriber; expr })
+  end
+  else if tag = tag_unsubscribe then begin
+    let ns = str r ~what:"unsubscribe ns" in
+    let id = varint r ~what:"unsubscribe id" in
+    Ok (Broker.Unsubscribe { ns; id })
+  end
+  else if tag = tag_drop then begin
+    let ns = str r ~what:"drop ns" in
+    let subscriber = str r ~what:"drop subscriber" in
+    Ok (Broker.Drop_subscriber { ns; subscriber })
+  end
+  else if tag = tag_publish then begin
+    let ns = str r ~what:"publish ns" in
+    let doc = str r ~what:"publish doc" in
+    Ok (Broker.Publish { ns; doc })
+  end
+  else Error { offset = r.pos - 1; reason = Printf.sprintf "unknown command tag %d" tag }
+
+let event_tag = function
+  | Broker.Subscribed _ -> tag_subscribed
+  | Broker.Unsubscribed _ -> tag_unsubscribed
+  | Broker.Dropped _ -> tag_dropped
+  | Broker.Delivered _ -> tag_results
+  | Broker.Failed _ -> tag_error
+
+let encode_event_payload b = function
+  | Broker.Subscribed { id; suppressed } ->
+      put_varint b id;
+      put_u8 b (if suppressed then 1 else 0)
+  | Broker.Unsubscribed { id; existed } ->
+      put_varint b id;
+      put_u8 b (if existed then 1 else 0)
+  | Broker.Dropped { count } -> put_varint b count
+  | Broker.Delivered { deliveries } ->
+      put_varint b (List.length deliveries);
+      List.iter
+        (fun (subscriber, ids) ->
+          put_str b subscriber;
+          put_varint b (List.length ids);
+          List.iter (put_varint b) ids)
+        deliveries
+  | Broker.Failed { error } -> encode_error b error
+
+let decode_event_payload tag r : (Broker.event, error) result =
+  if tag = tag_subscribed then begin
+    let id = varint r ~what:"subscribed id" in
+    let suppressed = u8 r ~what:"subscribed flag" <> 0 in
+    Ok (Broker.Subscribed { id; suppressed })
+  end
+  else if tag = tag_unsubscribed then begin
+    let id = varint r ~what:"unsubscribed id" in
+    let existed = u8 r ~what:"unsubscribed flag" <> 0 in
+    Ok (Broker.Unsubscribed { id; existed })
+  end
+  else if tag = tag_dropped then begin
+    let count = varint r ~what:"dropped count" in
+    Ok (Broker.Dropped { count })
+  end
+  else if tag = tag_results then begin
+    let n = varint r ~what:"results count" in
+    let deliveries =
+      List.init n (fun _ ->
+          let subscriber = str r ~what:"results subscriber" in
+          let k = varint r ~what:"results id count" in
+          let ids = List.init k (fun _ -> varint r ~what:"results id") in
+          (subscriber, ids))
+    in
+    Ok (Broker.Delivered { deliveries })
+  end
+  else if tag = tag_error then
+    match decode_error r with
+    | Ok error -> Ok (Broker.Failed { error })
+    | Error e -> Error e
+  else Error { offset = r.pos - 1; reason = Printf.sprintf "unknown event tag %d" tag }
+
+(* {1 Frames} *)
+
+let msg_tag = function
+  | Hello _ -> tag_hello
+  | Welcome _ -> tag_welcome
+  | Command c -> command_tag c
+  | Event e -> event_tag e
+
+let encode_payload b = function
+  | Hello { version; ns } ->
+      put_varint b version;
+      put_str b ns
+  | Welcome { version; server } ->
+      put_varint b version;
+      put_str b server
+  | Command c -> encode_command_payload b c
+  | Event e -> encode_event_payload b e
+
+let encode b ~req_id msg =
+  if req_id < 0 || req_id > 0xFFFFFFFF then invalid_arg "Wire.encode: req_id out of range";
+  let payload = Buffer.create 64 in
+  encode_payload payload msg;
+  let n = 6 + Buffer.length payload in
+  if n > max_frame then invalid_arg "Wire.encode: frame exceeds max_frame";
+  put_u32 b n;
+  put_u8 b version;
+  put_u8 b (msg_tag msg);
+  put_u32 b req_id;
+  Buffer.add_buffer b payload
+
+let decode_msg tag ~tag_off r : (msg, error) result =
+  if tag = tag_hello then begin
+    let version = varint r ~what:"hello version" in
+    let ns = str r ~what:"hello ns" in
+    Ok (Hello { version; ns })
+  end
+  else if tag = tag_welcome then begin
+    let version = varint r ~what:"welcome version" in
+    let server = str r ~what:"welcome server" in
+    Ok (Welcome { version; server })
+  end
+  else if tag >= tag_subscribe && tag <= tag_publish then
+    match decode_command_payload tag r with
+    | Ok c -> Ok (Command c)
+    | Error e -> Error e
+  else if tag >= tag_subscribed && tag <= tag_error then
+    match decode_event_payload tag r with
+    | Ok e -> Ok (Event e)
+    | Error e -> Error e
+  else Error { offset = tag_off; reason = Printf.sprintf "unknown message tag %d" tag }
+
+let decode buf ~off ~len =
+  let avail = len - off in
+  if avail < 4 then `Need (4 - avail)
+  else begin
+    let r = reader buf ~pos:off ~limit:len in
+    let n = u32 r ~what:"frame length" in
+    if n < 6 then `Error { offset = off; reason = Printf.sprintf "frame length %d below minimum 6" n }
+    else if n > max_frame then
+      `Error { offset = off; reason = Printf.sprintf "frame length %d exceeds max %d" n max_frame }
+    else if avail < 4 + n then `Need (4 + n - avail)
+    else begin
+      let frame_end = off + 4 + n in
+      let r = reader buf ~pos:(off + 4) ~limit:frame_end in
+      match
+        let v = u8 r ~what:"version" in
+        if v <> version then
+          Error { offset = off + 4; reason = Printf.sprintf "unsupported protocol version %d" v }
+        else begin
+          let tag_off = r.pos in
+          let tag = u8 r ~what:"tag" in
+          let req_id = u32 r ~what:"request id" in
+          match decode_msg tag ~tag_off r with
+          | Ok msg ->
+              if r.pos <> frame_end then
+                Error
+                  { offset = r.pos;
+                    reason = Printf.sprintf "%d trailing bytes after payload" (frame_end - r.pos) }
+              else Ok (req_id, msg)
+          | Error e -> Error e
+        end
+      with
+      | Ok (req_id, msg) -> `Frame (4 + n, req_id, msg)
+      | Error e -> `Error e
+      | exception Short (offset, what) ->
+          `Error { offset; reason = Printf.sprintf "frame truncates %s" what }
+    end
+  end
+
+let encode_command b cmd =
+  put_u8 b (command_tag cmd);
+  encode_command_payload b cmd
+
+let decode_command buf ~pos ~limit =
+  let r = reader buf ~pos ~limit in
+  match
+    let tag = u8 r ~what:"command tag" in
+    decode_command_payload tag r
+  with
+  | Ok cmd ->
+      if r.pos <> limit then
+        Error
+          { offset = r.pos;
+            reason = Printf.sprintf "%d trailing bytes after command" (limit - r.pos) }
+      else Ok (cmd, r.pos)
+  | Error e -> Error e
+  | exception Short (offset, what) ->
+      Error { offset; reason = Printf.sprintf "record truncates %s" what }

@@ -1,0 +1,100 @@
+(** The broker's binary wire protocol.
+
+    One serialization for two consumers: socket frames ({!Pf_net.Server},
+    {!Pf_net.Client}) and the durability log ({!Pf_net.Wal} records the
+    {!Pf_broker.Broker.command} payload encoding verbatim), so a WAL
+    replay and a wire replay are byte-for-byte the same command stream.
+
+    {2 Frame layout}
+
+    {v
+    offset  size  field
+    0       4     u32 BE  n — bytes following this field (6 + payload)
+    4       1     u8      protocol version (= {!version})
+    5       1     u8      message tag
+    6       4     u32 BE  request id (echoed verbatim in responses)
+    10      n-6           payload
+    v}
+
+    Payload scalars are unsigned LEB128 varints; strings are a varint
+    byte length followed by the bytes (no terminator). Tags: 1 HELLO,
+    2 WELCOME, 3 SUBSCRIBE, 4 UNSUBSCRIBE, 5 DROP_SUBSCRIBER, 6 PUBLISH,
+    16 SUBSCRIBED, 17 UNSUBSCRIBED, 18 DROPPED, 19 RESULTS, 20 ERROR.
+
+    {!decode} is incremental and exact: a buffer holding less than one
+    frame reports how many bytes are still missing ([`Need]); a complete
+    frame whose declared length cuts a payload field short, or leaves
+    bytes unconsumed, is rejected with the exact byte offset of the
+    violation — the property the codec test suite pins. *)
+
+val version : int
+(** Wire protocol version, 1. *)
+
+val max_frame : int
+(** Upper bound on the frame length field [n] (16 MiB): anything larger
+    is rejected before buffering, so a corrupt length cannot make a
+    reader allocate unboundedly. *)
+
+type msg =
+  | Hello of { version : int; ns : string }
+      (** first client frame: protocol version and the connection's
+          default namespace (multi-tenancy) *)
+  | Welcome of { version : int; server : string }
+  | Command of Pf_broker.Broker.command
+  | Event of Pf_broker.Broker.event
+
+type error = { offset : int; reason : string }
+(** [offset] is absolute in the buffer handed to {!decode}. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : Buffer.t -> req_id:int -> msg -> unit
+(** Append one complete frame. [req_id] must fit in 32 bits. *)
+
+val decode :
+  Bytes.t -> off:int -> len:int ->
+  [ `Need of int  (** this many more bytes before the frame completes *)
+  | `Frame of int * int * msg  (** (bytes consumed, request id, message) *)
+  | `Error of error ]
+(** Decode the frame starting at [off]; [len] is the buffer's filled
+    extent ([len - off] bytes are readable). Never raises. *)
+
+(** {1 Payload primitives}
+
+    Exposed for the WAL and snapshot files, which reuse the payload
+    encoding under their own record framing. *)
+
+module Prim : sig
+  val put_u8 : Buffer.t -> int -> unit
+  val put_u32 : Buffer.t -> int -> unit
+  val put_varint : Buffer.t -> int -> unit
+  (** Non-negative ints only. *)
+
+  val put_str : Buffer.t -> string -> unit
+
+  exception Short of int * string
+  (** [(offset, field)] — the field starting at [offset] ran past the
+      readable limit. *)
+
+  type reader
+
+  val reader : Bytes.t -> pos:int -> limit:int -> reader
+  val pos : reader -> int
+  val u8 : reader -> what:string -> int
+  val u32 : reader -> what:string -> int
+  val varint : reader -> what:string -> int
+  val str : reader -> what:string -> string
+end
+
+val encode_command : Buffer.t -> Pf_broker.Broker.command -> unit
+(** The payload encoding of a command frame (tag byte + payload, no
+    frame header) — the WAL record body. *)
+
+val decode_command :
+  Bytes.t -> pos:int -> limit:int -> (Pf_broker.Broker.command * int, error) result
+(** Inverse of {!encode_command}; returns the command and the end
+    position. Rejects trailing bytes before [limit]. *)
+
+val crc32 : Bytes.t -> pos:int -> len:int -> int
+(** CRC-32 (IEEE 802.3, the zlib polynomial) of a byte range, as a
+    non-negative int — integrity check for WAL records and snapshots. *)

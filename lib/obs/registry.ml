@@ -348,6 +348,13 @@ let find_counter t name =
       | _ -> None)
     t.metrics
 
+let find_gauge t name =
+  List.find_map
+    (function
+      | Metric_gauge g when g.g_name = name -> Some g.g_value
+      | _ -> None)
+    t.metrics
+
 (* ------------------------------------------------------------------ *)
 (* Merging: one registry summarizing many same-shaped instances (the
    sharded service merges its per-worker engine replicas this way). *)

@@ -154,6 +154,9 @@ val samples : t -> sample list
 val find_counter : t -> string -> int option
 (** Value of the named counter, if registered. *)
 
+val find_gauge : t -> string -> float option
+(** Value of the named gauge, if registered. *)
+
 val merge : ?list:bool -> scope:string -> t list -> t
 (** [merge ~scope ts] builds a registry summarizing same-shaped instances
     (e.g. the engine replicas of a sharded service): metrics are grouped by

@@ -3,22 +3,23 @@
 open Pf_broker
 
 let doc = Pf_xml.Sax.parse_document "<a><b n=\"1\"><c/></b><d/></a>"
+let doc_src = "<a><b n=\"1\"><c/></b><d/></a>"
 
 let delivery_names ds = List.map (fun d -> d.Broker.subscriber) ds
 
 let test_basic_delivery () =
   let b = Broker.create () in
-  let _ = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
-  let _ = Broker.subscribe b ~subscriber:"bob" "/a/x" in
-  let _ = Broker.subscribe b ~subscriber:"carol" "b[@n = 1]" in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe_exn b ~subscriber:"bob" "/a/x" in
+  let _ = Broker.subscribe_exn b ~subscriber:"carol" "b[@n = 1]" in
   let ds = Broker.publish b doc in
   Alcotest.(check (list string)) "subscribers" [ "alice"; "carol" ] (delivery_names ds)
 
 let test_delivery_via () =
   let b = Broker.create () in
-  let s1 = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
-  let s2 = Broker.subscribe b ~subscriber:"alice" "/a/d" in
-  let _s3 = Broker.subscribe b ~subscriber:"alice" "/a/x" in
+  let s1 = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
+  let s2 = Broker.subscribe_exn b ~subscriber:"alice" "/a/d" in
+  let _s3 = Broker.subscribe_exn b ~subscriber:"alice" "/a/x" in
   match Broker.publish b doc with
   | [ { Broker.subscriber = "alice"; via } ] ->
     Alcotest.(check int) "two matching subscriptions" 2 (List.length via);
@@ -28,8 +29,8 @@ let test_delivery_via () =
 
 let test_covering_suppression () =
   let b = Broker.create () in
-  let general = Broker.subscribe b ~subscriber:"alice" "/a//c" in
-  let specific = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  let general = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let specific = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
   Alcotest.(check bool) "specific suppressed" true (Broker.is_suppressed b specific);
   Alcotest.(check bool) "general active" false (Broker.is_suppressed b general);
   let st = Broker.stats b in
@@ -41,14 +42,14 @@ let test_covering_suppression () =
 
 let test_suppression_not_across_subscribers () =
   let b = Broker.create () in
-  let _ = Broker.subscribe b ~subscriber:"alice" "/a//c" in
-  let bobs = Broker.subscribe b ~subscriber:"bob" "/a/b/c" in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let bobs = Broker.subscribe_exn b ~subscriber:"bob" "/a/b/c" in
   Alcotest.(check bool) "bob's is active" false (Broker.is_suppressed b bobs)
 
 let test_unsubscribe_reactivates () =
   let b = Broker.create () in
-  let general = Broker.subscribe b ~subscriber:"alice" "/a//c" in
-  let specific = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  let general = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let specific = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
   Alcotest.(check bool) "suppressed at first" true (Broker.is_suppressed b specific);
   Alcotest.(check bool) "unsubscribe general" true (Broker.unsubscribe b general);
   Alcotest.(check bool) "specific re-activated" false (Broker.is_suppressed b specific);
@@ -58,9 +59,9 @@ let test_unsubscribe_reactivates () =
 
 let test_reactivation_finds_other_cover () =
   let b = Broker.create () in
-  let g1 = Broker.subscribe b ~subscriber:"alice" "/a//c" in
-  let g2 = Broker.subscribe b ~subscriber:"alice" "//c" in
-  let specific = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  let g1 = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let g2 = Broker.subscribe_exn b ~subscriber:"alice" "//c" in
+  let specific = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
   (* covered by g1 (insertion order); dropping g1 re-homes it under g2 *)
   Alcotest.(check bool) "g2 is itself covered by nothing... active" false
     (Broker.is_suppressed b g2);
@@ -71,37 +72,61 @@ let test_reactivation_finds_other_cover () =
 
 let test_duplicate_subscription_suppressed () =
   let b = Broker.create () in
-  let _ = Broker.subscribe b ~subscriber:"alice" "/a/b" in
-  let dup = Broker.subscribe b ~subscriber:"alice" "/a/b" in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a/b" in
+  let dup = Broker.subscribe_exn b ~subscriber:"alice" "/a/b" in
   Alcotest.(check bool) "duplicate suppressed (covering is reflexive)" true
     (Broker.is_suppressed b dup)
 
 let test_drop_subscriber () =
   let b = Broker.create () in
-  let _ = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
-  let _ = Broker.subscribe b ~subscriber:"alice" "/a//c" in
-  let _ = Broker.subscribe b ~subscriber:"bob" "/a/d" in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let _ = Broker.subscribe_exn b ~subscriber:"bob" "/a/d" in
   Alcotest.(check int) "two cancelled" 2 (Broker.drop_subscriber b "alice");
   Alcotest.(check (list string)) "only bob left" [ "bob" ]
     (delivery_names (Broker.publish b doc));
   Alcotest.(check int) "nothing to drop twice" 0 (Broker.drop_subscriber b "alice")
 
 let test_suppression_disabled () =
-  let b =
-    Broker.create
-      ~config:{ Broker.default_config with Broker.covering_suppression = false }
-      ()
-  in
-  let _ = Broker.subscribe b ~subscriber:"alice" "/a//c" in
-  let specific = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
+  let b = Broker.create ~covering_suppression:false () in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let specific = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
   Alcotest.(check bool) "not suppressed" false (Broker.is_suppressed b specific);
   Alcotest.(check int) "both in the engine" 2 (Broker.stats b).Broker.engine_expressions
 
+let test_composed_filter () =
+  (* the replacement for the old config record: engine options compose
+     through the filter builder, including ones the record never had *)
+  let b =
+    Broker.create
+      ~filter:(Pf_core.Engine.filter ~stream:Pf_core.Engine.Stream ~path_cache:true ()
+                 :> Pf_intf.filter)
+      ()
+  in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
+  Alcotest.(check (list string)) "streaming engine delivers" [ "alice" ]
+    (delivery_names (Broker.publish_string b doc_src))
+
+(* one release of compatibility for the deprecated record *)
+[@@@ocaml.alert "-deprecated"]
+
+let test_legacy_config_compat () =
+  let b =
+    Broker.create_legacy
+      ~config:{ Broker.default_config with Broker.covering_suppression = false }
+      ()
+  in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let s = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
+  Alcotest.(check bool) "legacy config honoured" false (Broker.is_suppressed b s)
+
+[@@@ocaml.alert "+deprecated"]
+
 let test_stats () =
   let b = Broker.create () in
-  let _ = Broker.subscribe b ~subscriber:"alice" "/a//c" in
-  let _ = Broker.subscribe b ~subscriber:"alice" "/a/b/c" in
-  let _ = Broker.subscribe b ~subscriber:"bob" "/a/d" in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe_exn b ~subscriber:"bob" "/a/d" in
   ignore (Broker.publish b doc);
   let st = Broker.stats b in
   Alcotest.(check int) "subscribers" 2 st.Broker.subscribers;
@@ -110,6 +135,136 @@ let test_stats () =
   Alcotest.(check int) "engine expressions" 2 st.Broker.engine_expressions;
   Alcotest.(check int) "documents" 1 st.Broker.documents_published;
   Alcotest.(check int) "deliveries" 2 st.Broker.deliveries
+
+let test_gauges () =
+  let b = Broker.create () in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let sub = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
+  let reg = Broker.metrics b in
+  let gauge name =
+    match Pf_obs.Registry.find_gauge reg name with
+    | Some v -> int_of_float v
+    | None -> Alcotest.fail ("missing gauge " ^ name)
+  in
+  Alcotest.(check int) "subscriptions gauge" 2 (gauge "subscriptions");
+  Alcotest.(check int) "suppressed gauge" 1 (gauge "suppressed");
+  Alcotest.(check int) "engine gauge" 1 (gauge "engine_expressions");
+  ignore (Broker.unsubscribe b sub);
+  Alcotest.(check int) "subscriptions gauge after unsubscribe" 1 (gauge "subscriptions");
+  Alcotest.(check int) "suppressed gauge after unsubscribe" 0 (gauge "suppressed")
+
+(* {1 Result-returning variants} *)
+
+let test_subscribe_errors () =
+  let b = Broker.create () in
+  (match Broker.subscribe b ~subscriber:"alice" "/a[" with
+  | Error (Pf_intf.Bad_expression _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Pf_intf.error_message e)
+  | Ok _ -> Alcotest.fail "bad syntax accepted");
+  (match Broker.subscribe b ~subscriber:"alice" "/a/b" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid rejected: %s" (Pf_intf.error_message e));
+  (* failures consume no ids: the next subscription is dense *)
+  let s = Broker.subscribe_exn b ~subscriber:"alice" "/a/c" in
+  Alcotest.(check int) "ids stay dense across failures" 1 (Broker.subscription_id s)
+
+let test_unsubscribe_id () =
+  let b = Broker.create () in
+  let s = Broker.subscribe_exn b ~subscriber:"alice" "/a/b" in
+  let id = Broker.subscription_id s in
+  Alcotest.(check bool) "cancel" true (Broker.unsubscribe_id b id = Ok true);
+  Alcotest.(check bool) "idempotent retry" true (Broker.unsubscribe_id b id = Ok false);
+  (match Broker.unsubscribe_id b 999 with
+  | Error (Pf_intf.Unknown_subscription 999) -> ()
+  | _ -> Alcotest.fail "expected Unknown_subscription");
+  (* an id from another tenant's namespace is unknown, not cancellable *)
+  let s2 = Broker.subscribe_exn b ~ns:"tenant-a" ~subscriber:"alice" "/a/b" in
+  match Broker.unsubscribe_id b ~ns:"tenant-b" (Broker.subscription_id s2) with
+  | Error (Pf_intf.Unknown_subscription _) -> ()
+  | _ -> Alcotest.fail "cross-tenant cancel must fail"
+
+(* {1 Namespaces} *)
+
+let test_namespace_isolation () =
+  let b = Broker.create () in
+  let _ = Broker.subscribe_exn b ~ns:"t1" ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe_exn b ~ns:"t2" ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe_exn b ~ns:"t2" ~subscriber:"bob" "/a/d" in
+  Alcotest.(check (list string)) "t1 sees only t1" [ "alice" ]
+    (delivery_names (Broker.publish b ~ns:"t1" doc));
+  Alcotest.(check (list string)) "t2 sees only t2" [ "alice"; "bob" ]
+    (delivery_names (Broker.publish b ~ns:"t2" doc));
+  Alcotest.(check (list string)) "default ns sees nothing" []
+    (delivery_names (Broker.publish b doc));
+  (* suppression never crosses namespaces even for one subscriber name *)
+  let s = Broker.subscribe_exn b ~ns:"t3" ~subscriber:"alice" "/a/b/c" in
+  Alcotest.(check bool) "no cross-ns suppression" false (Broker.is_suppressed b s)
+
+(* {1 Command/event state machine} *)
+
+let test_apply_roundtrip () =
+  let b = Broker.create () in
+  let ev c = Broker.apply b c in
+  (match ev (Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a//c" }) with
+  | [ Broker.Subscribed { id = 0; suppressed = false } ] -> ()
+  | _ -> Alcotest.fail "subscribe event");
+  (match ev (Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a/b/c" }) with
+  | [ Broker.Subscribed { id = 1; suppressed = true } ] -> ()
+  | _ -> Alcotest.fail "suppressed subscribe event");
+  (match ev (Broker.Publish { ns = ""; doc = doc_src }) with
+  | [ Broker.Delivered { deliveries = [ ("alice", [ 0 ]) ] } ] -> ()
+  | _ -> Alcotest.fail "publish event");
+  (match ev (Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a[" }) with
+  | [ Broker.Failed { error = Pf_intf.Bad_expression _ } ] -> ()
+  | _ -> Alcotest.fail "failed subscribe event");
+  (match ev (Broker.Publish { ns = ""; doc = "<broken" }) with
+  | [ Broker.Failed { error = Pf_intf.Bad_document _ } ] -> ()
+  | _ -> Alcotest.fail "failed publish event");
+  (match ev (Broker.Unsubscribe { ns = ""; id = 0 }) with
+  | [ Broker.Unsubscribed { id = 0; existed = true } ] -> ()
+  | _ -> Alcotest.fail "unsubscribe event");
+  match ev (Broker.Drop_subscriber { ns = ""; subscriber = "alice" }) with
+  | [ Broker.Dropped { count = 1 } ] -> ()
+  | _ -> Alcotest.fail "drop event"
+
+let test_replay_determinism () =
+  let cmds =
+    [
+      Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a//c" };
+      Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a/b/c" };
+      Broker.Subscribe { ns = "t"; subscriber = "bob"; expr = "/a/d" };
+      Broker.Subscribe { ns = ""; subscriber = "carol"; expr = "bad[" };
+      Broker.Unsubscribe { ns = ""; id = 0 };
+      Broker.Subscribe { ns = ""; subscriber = "carol"; expr = "/a/d" };
+      Broker.Publish { ns = ""; doc = doc_src };
+      Broker.Publish { ns = "t"; doc = doc_src };
+    ]
+  in
+  let run () =
+    let b = Broker.create () in
+    List.concat_map (Broker.apply b) cmds
+  in
+  Alcotest.(check bool) "same command stream, same events" true (run () = run ())
+
+let test_snapshot_roundtrip () =
+  let b = Broker.create () in
+  let _ = Broker.subscribe_exn b ~subscriber:"alice" "/a//c" in
+  let s = Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c" in
+  let _ = Broker.subscribe_exn b ~ns:"t2" ~subscriber:"bob" "/a/d" in
+  ignore (Broker.unsubscribe_id b (Broker.subscription_id s));
+  let s2 = Broker.subscribe_exn b ~subscriber:"carol" "/a/d" in
+  let snap = Broker.snapshot b in
+  let b2 = Broker.create () in
+  Broker.load_snapshot b2 snap;
+  Alcotest.(check bool) "deliveries identical" true
+    (delivery_names (Broker.publish b doc) = delivery_names (Broker.publish b2 doc));
+  Alcotest.(check bool) "t2 deliveries identical" true
+    (delivery_names (Broker.publish b ~ns:"t2" doc)
+    = delivery_names (Broker.publish b2 ~ns:"t2" doc));
+  (* ids continue from where the snapshot left off *)
+  let s3 = Broker.subscribe_exn b2 ~subscriber:"dave" "/a/b" in
+  Alcotest.(check int) "next id preserved" (Broker.subscription_id s2 + 1)
+    (Broker.subscription_id s3)
 
 (* property: suppression never changes the set of delivered subscribers *)
 let prop_suppression_transparent =
@@ -121,16 +276,12 @@ let prop_suppression_transparent =
       pair (list_size (int_range 1 10) Gen_helpers.single_path_gen) Gen_helpers.doc_gen)
     (fun (paths, d) ->
       let run suppression =
-        let b =
-          Broker.create
-            ~config:{ Broker.default_config with Broker.covering_suppression = suppression }
-            ()
-        in
+        let b = Broker.create ~covering_suppression:suppression () in
         (* two subscribers sharing the workload halves *)
         List.iteri
           (fun i p ->
             ignore
-              (Broker.subscribe_path b
+              (Broker.subscribe_path_exn b
                  ~subscriber:(if i mod 2 = 0 then "even" else "odd")
                  p))
           paths;
@@ -149,7 +300,7 @@ let prop_churn_consistent =
     (fun (paths, d) ->
       let b = Broker.create () in
       let subs =
-        List.map (fun p -> Broker.subscribe_path b ~subscriber:"s" p) paths
+        List.map (fun p -> Broker.subscribe_path_exn b ~subscriber:"s" p) paths
       in
       let before = Broker.publish b d <> [] in
       List.iter (fun s -> ignore (Broker.unsubscribe b s)) subs;
@@ -157,6 +308,37 @@ let prop_churn_consistent =
       (* after cancelling everything nothing is delivered, regardless of
          what was delivered before *)
       after = [] && (before || true))
+
+(* property: a snapshot of any subscribe/unsubscribe history restores a
+   broker with identical deliveries *)
+let prop_snapshot_faithful =
+  QCheck2.Test.make ~name:"snapshot/load preserves deliveries" ~count:100
+    ~print:(fun (paths, d) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 10) Gen_helpers.single_path_gen) Gen_helpers.doc_gen)
+    (fun (paths, d) ->
+      let b = Broker.create () in
+      List.iteri
+        (fun i p ->
+          let s =
+            Broker.subscribe_path_exn b
+              ~subscriber:(if i mod 2 = 0 then "even" else "odd")
+              p
+          in
+          (* cancel every third to exercise suppressed/re-homed states *)
+          if i mod 3 = 2 then ignore (Broker.unsubscribe b s))
+        paths;
+      let b2 = Broker.create () in
+      Broker.load_snapshot b2 (Broker.snapshot b);
+      let shape ds =
+        List.map
+          (fun dl ->
+            (dl.Broker.subscriber, List.map Broker.subscription_id dl.Broker.via))
+          ds
+      in
+      shape (Broker.publish b d) = shape (Broker.publish b2 d))
 
 let () =
   Alcotest.run "broker"
@@ -174,9 +356,18 @@ let () =
           Alcotest.test_case "duplicates suppressed" `Quick test_duplicate_subscription_suppressed;
           Alcotest.test_case "drop subscriber" `Quick test_drop_subscriber;
           Alcotest.test_case "suppression disabled" `Quick test_suppression_disabled;
+          Alcotest.test_case "composed filter" `Quick test_composed_filter;
+          Alcotest.test_case "legacy config compat" `Quick test_legacy_config_compat;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "subscribe errors" `Quick test_subscribe_errors;
+          Alcotest.test_case "unsubscribe by id" `Quick test_unsubscribe_id;
+          Alcotest.test_case "namespace isolation" `Quick test_namespace_isolation;
+          Alcotest.test_case "apply round-trip" `Quick test_apply_roundtrip;
+          Alcotest.test_case "replay determinism" `Quick test_replay_determinism;
+          Alcotest.test_case "snapshot round-trip" `Quick test_snapshot_roundtrip;
         ] );
       ( "properties",
         List.map Gen_helpers.to_alcotest
-          [ prop_suppression_transparent; prop_churn_consistent ] );
+          [ prop_suppression_transparent; prop_churn_consistent; prop_snapshot_faithful ] );
     ]

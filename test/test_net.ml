@@ -1,0 +1,257 @@
+(* End-to-end tests of the wire server: subscribe/publish over a Unix
+   socket, multi-tenant isolation, error replies, protocol enforcement,
+   pipelining, and durable restart. *)
+
+open Pf_net
+module Broker = Pf_broker.Broker
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pfnet-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_server ?data_dir ?(domains = 1) ?validate_documents f =
+  let dir = fresh_dir () in
+  let sock = Filename.concat dir "broker.sock" in
+  let cfg = Server.config ?data_dir ?validate_documents ~domains (Server.Unix_sock sock) in
+  let srv = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      rm_rf dir)
+    (fun () -> f srv)
+
+let doc = "<a><b n=\"1\"><c/></b><d/></a>"
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Pf_intf.error_message e)
+
+let test_subscribe_publish () =
+  with_server @@ fun srv ->
+  let c = Client.connect (Server.listen_address srv) in
+  let id_a, sup_a = ok (Client.subscribe c ~subscriber:"alice" "/a/b/c") in
+  Alcotest.(check (pair int bool)) "alice's id" (0, false) (id_a, sup_a);
+  let id_b, _ = ok (Client.subscribe c ~subscriber:"bob" "/a/x") in
+  Alcotest.(check int) "bob's id" 1 id_b;
+  Alcotest.(check bool) "deliveries" true
+    (ok (Client.publish c doc) = [ ("alice", [ 0 ]) ]);
+  Alcotest.(check bool) "unsubscribe" true (ok (Client.unsubscribe c id_a));
+  Alcotest.(check bool) "idempotent retry" false (ok (Client.unsubscribe c id_a));
+  Alcotest.(check bool) "nobody left" true (ok (Client.publish c doc) = []);
+  Client.close c
+
+let test_error_replies () =
+  with_server @@ fun srv ->
+  let c = Client.connect (Server.listen_address srv) in
+  (match Client.subscribe c ~subscriber:"alice" "/a[" with
+  | Error (Pf_intf.Bad_expression _) -> ()
+  | _ -> Alcotest.fail "expected Bad_expression");
+  (match Client.unsubscribe c 99 with
+  | Error (Pf_intf.Unknown_subscription 99) -> ()
+  | _ -> Alcotest.fail "expected Unknown_subscription");
+  (match Client.publish c "<broken" with
+  | Error (Pf_intf.Bad_document _) -> ()
+  | _ -> Alcotest.fail "expected Bad_document");
+  (* the connection survives error replies *)
+  let id, _ = ok (Client.subscribe c ~subscriber:"alice" "/a/d") in
+  Alcotest.(check bool) "still usable" true
+    (ok (Client.publish c doc) = [ ("alice", [ id ]) ]);
+  Client.close c
+
+let test_multi_tenant () =
+  with_server @@ fun srv ->
+  let addr = Server.listen_address srv in
+  let c1 = Client.connect ~ns:"tenant-1" addr in
+  let c2 = Client.connect ~ns:"tenant-2" addr in
+  let id1, _ = ok (Client.subscribe c1 ~subscriber:"alice" "/a/b/c") in
+  let id2, _ = ok (Client.subscribe c2 ~subscriber:"alice" "/a/b/c") in
+  Alcotest.(check bool) "ids are global across tenants" true (id1 <> id2);
+  Alcotest.(check bool) "tenant-1 delivery" true
+    (ok (Client.publish c1 doc) = [ ("alice", [ id1 ]) ]);
+  Alcotest.(check bool) "tenant-2 delivery" true
+    (ok (Client.publish c2 doc) = [ ("alice", [ id2 ]) ]);
+  (* one tenant cannot cancel the other's subscription *)
+  (match Client.unsubscribe c2 id1 with
+  | Error (Pf_intf.Unknown_subscription _) -> ()
+  | _ -> Alcotest.fail "cross-tenant cancel must fail");
+  Client.close c1;
+  Client.close c2
+
+let test_covering_over_the_wire () =
+  with_server @@ fun srv ->
+  let c = Client.connect (Server.listen_address srv) in
+  let _, sup1 = ok (Client.subscribe c ~subscriber:"alice" "/a//c") in
+  let _, sup2 = ok (Client.subscribe c ~subscriber:"alice" "/a/b/c") in
+  Alcotest.(check (pair bool bool)) "second is suppressed" (false, true) (sup1, sup2);
+  Client.close c
+
+let test_pipelined_publishes () =
+  with_server ~domains:2 @@ fun srv ->
+  let c = Client.connect (Server.listen_address srv) in
+  let id, _ = ok (Client.subscribe c ~subscriber:"alice" "/a/b/c") in
+  let n = 64 in
+  let reqs = List.init n (fun _ -> Client.publish_async c doc) in
+  let results = List.map (fun r -> ok (Client.await c r)) reqs in
+  Alcotest.(check int) "all resolved" n (List.length results);
+  Alcotest.(check bool) "every delivery correct" true
+    (List.for_all (fun d -> d = [ ("alice", [ id ]) ]) results);
+  Client.close c
+
+let test_unvalidated_publish () =
+  with_server ~validate_documents:false @@ fun srv ->
+  let c = Client.connect (Server.listen_address srv) in
+  let id, _ = ok (Client.subscribe c ~subscriber:"alice" "/a/b/c") in
+  Alcotest.(check bool) "well-formed still delivers" true
+    (ok (Client.publish c doc) = [ ("alice", [ id ]) ]);
+  (* malformed documents silently deliver to nobody in streaming mode *)
+  Alcotest.(check bool) "malformed delivers empty" true (ok (Client.publish c "<broken") = []);
+  Client.close c
+
+(* Raw-socket probe for protocol enforcement: the server must reply with
+   a PROTOCOL error frame and close. *)
+let raw_roundtrip srv frame =
+  let sock =
+    match Server.listen_address srv with
+    | Server.Unix_sock path -> path
+    | Server.Tcp _ -> Alcotest.fail "expected unix socket"
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      let rec write_all off =
+        if off < Bytes.length frame then
+          write_all (off + Unix.write fd frame off (Bytes.length frame - off))
+      in
+      write_all 0;
+      (* read whatever comes back until EOF *)
+      let buf = Bytes.create 4096 in
+      let fill = ref 0 in
+      let rec drain () =
+        let n = Unix.read fd buf !fill (Bytes.length buf - !fill) in
+        if n > 0 then begin
+          fill := !fill + n;
+          drain ()
+        end
+      in
+      drain ();
+      (!fill, buf))
+
+let expect_protocol_error (fill, buf) =
+  match Wire.decode buf ~off:0 ~len:fill with
+  | `Frame (_, _, Wire.Event (Broker.Failed { error = Pf_intf.Protocol_error _ })) -> ()
+  | `Frame (_, _, _) -> Alcotest.fail "expected a PROTOCOL error frame"
+  | `Need _ -> Alcotest.fail "server closed without replying"
+  | `Error e -> Alcotest.failf "unreadable reply: %s" (Format.asprintf "%a" Wire.pp_error e)
+
+let test_requires_hello () =
+  with_server @@ fun srv ->
+  let b = Buffer.create 64 in
+  Wire.encode b ~req_id:1
+    (Wire.Command (Broker.Subscribe { ns = ""; subscriber = "x"; expr = "/a" }));
+  expect_protocol_error (raw_roundtrip srv (Buffer.to_bytes b))
+
+let test_rejects_garbage () =
+  with_server @@ fun srv ->
+  (* a frame with a bogus version byte *)
+  let b = Buffer.create 64 in
+  Wire.encode b ~req_id:1 (Wire.Hello { version = Wire.version; ns = "" });
+  let frame = Buffer.to_bytes b in
+  Bytes.set frame 4 '\x09';
+  expect_protocol_error (raw_roundtrip srv frame)
+
+let test_durable_restart () =
+  let dir = fresh_dir () in
+  let data = Filename.concat dir "data" in
+  let deliveries_before, id_alice =
+    with_server ~data_dir:data @@ fun srv ->
+    let c = Client.connect (Server.listen_address srv) in
+    let id, _ = ok (Client.subscribe c ~subscriber:"alice" "/a/b/c") in
+    let _ = ok (Client.subscribe c ~subscriber:"alice" "/a//c") in
+    let _ = ok (Client.subscribe c ~subscriber:"bob" "/a/x") in
+    let ds = ok (Client.publish c doc) in
+    Client.close c;
+    (ds, id)
+  in
+  (* the server was stopped; a new one over the same data directory must
+     resume with identical subscriptions, ids and deliveries *)
+  (Fun.protect ~finally:(fun () -> rm_rf data; rm_rf dir)) @@ fun () ->
+  with_server ~data_dir:data @@ fun srv ->
+  let c = Client.connect (Server.listen_address srv) in
+  Alcotest.(check bool) "deliveries survive restart" true
+    (ok (Client.publish c doc) = deliveries_before);
+  (* ids keep counting from where the previous incarnation stopped *)
+  let id_new, _ = ok (Client.subscribe c ~subscriber:"carol" "/a/d") in
+  Alcotest.(check int) "id continuity" 3 id_new;
+  Alcotest.(check bool) "old id still cancellable" true (ok (Client.unsubscribe c id_alice));
+  Client.close c
+
+let test_tcp_listener () =
+  let cfg = Server.config (Server.Tcp ("127.0.0.1", 0)) in
+  let srv = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () ->
+      (match Server.listen_address srv with
+      | Server.Tcp (_, port) -> Alcotest.(check bool) "ephemeral port" true (port > 0)
+      | Server.Unix_sock _ -> Alcotest.fail "expected tcp");
+      let c = Client.connect (Server.listen_address srv) in
+      let id, _ = ok (Client.subscribe c ~subscriber:"alice" "/a/b/c") in
+      Alcotest.(check bool) "tcp delivery" true
+        (ok (Client.publish c doc) = [ ("alice", [ id ]) ]);
+      Client.close c)
+
+let test_metrics () =
+  with_server @@ fun srv ->
+  let c = Client.connect (Server.listen_address srv) in
+  let _ = ok (Client.subscribe c ~subscriber:"alice" "/a/b/c") in
+  let _ = ok (Client.publish c doc) in
+  let reg = Server.metrics srv in
+  let counter name =
+    match Pf_obs.Registry.find_counter reg name with
+    | Some v -> v
+    | None -> Alcotest.fail ("missing counter " ^ name)
+  in
+  Alcotest.(check int) "connections" 1 (counter "net_connections");
+  Alcotest.(check int) "publishes" 1 (counter "net_publishes");
+  Alcotest.(check int) "mutations" 1 (counter "net_mutations");
+  Alcotest.(check bool) "frames flowed" true (counter "net_frames_in" >= 3);
+  Client.close c
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "e2e",
+        [
+          Alcotest.test_case "subscribe/publish" `Quick test_subscribe_publish;
+          Alcotest.test_case "error replies" `Quick test_error_replies;
+          Alcotest.test_case "multi-tenant isolation" `Quick test_multi_tenant;
+          Alcotest.test_case "covering over the wire" `Quick test_covering_over_the_wire;
+          Alcotest.test_case "pipelined publishes" `Quick test_pipelined_publishes;
+          Alcotest.test_case "unvalidated publish" `Quick test_unvalidated_publish;
+          Alcotest.test_case "tcp listener" `Quick test_tcp_listener;
+          Alcotest.test_case "metrics" `Quick test_metrics;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "requires HELLO" `Quick test_requires_hello;
+          Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+        ] );
+      ( "durability",
+        [ Alcotest.test_case "durable restart" `Quick test_durable_restart ] );
+    ]

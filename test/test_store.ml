@@ -1,0 +1,323 @@
+(* Durability tests: WAL append/replay, snapshot codec, and the
+   crash-recovery property — a snapshot plus a WAL truncated at an
+   arbitrary byte recovers to exactly the state of an in-memory broker
+   that replayed the surviving command prefix. *)
+
+open Pf_net
+module Broker = Pf_broker.Broker
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pfstore-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let make_broker () = Broker.create ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      b)
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+(* Broker state equality: the snapshot is the canonical serializable
+   image (ids, namespaces, suppression links, next id). *)
+let same_state a b = Broker.snapshot a = Broker.snapshot b
+
+(* {1 WAL} *)
+
+let test_wal_roundtrip () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "w.wal" in
+  let cmds =
+    [
+      Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a/b" };
+      Broker.Unsubscribe { ns = ""; id = 0 };
+      Broker.Drop_subscriber { ns = "t"; subscriber = "bob" };
+    ]
+  in
+  let wal, recovered = Wal.open_log path in
+  Alcotest.(check int) "fresh log is empty" 0 (List.length recovered);
+  List.iter (fun c -> ignore (Wal.append wal c : int)) cmds;
+  Wal.sync wal;
+  Wal.close wal;
+  let wal, recovered = Wal.open_log path in
+  Wal.close wal;
+  Alcotest.(check bool) "records round-trip in order" true
+    (List.map snd recovered = cmds);
+  Alcotest.(check (list int)) "sequence numbers" [ 1; 2; 3 ] (List.map fst recovered)
+
+let test_wal_torn_tail () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "w.wal" in
+  let wal, _ = Wal.open_log path in
+  for i = 0 to 4 do
+    ignore
+      (Wal.append wal
+         (Broker.Subscribe
+            { ns = ""; subscriber = "s"; expr = Printf.sprintf "/a/b%d" i })
+        : int)
+  done;
+  Wal.sync wal;
+  Wal.close wal;
+  let whole = read_file path in
+  (* chop one byte off: the last record is torn and must be dropped *)
+  write_file path (Bytes.sub whole 0 (Bytes.length whole - 1));
+  let wal, recovered = Wal.open_log path in
+  Alcotest.(check int) "one record lost" 4 (List.length recovered);
+  (* the truncated file accepts appends again *)
+  ignore (Wal.append wal (Broker.Unsubscribe { ns = ""; id = 0 }) : int);
+  Wal.sync wal;
+  Wal.close wal;
+  let wal, recovered = Wal.open_log path in
+  Wal.close wal;
+  Alcotest.(check int) "append after truncation" 5 (List.length recovered);
+  (* the torn record's sequence number was never acknowledged, so the
+     next append takes it over *)
+  Alcotest.(check int) "sequence continues from the surviving prefix" 5
+    (fst (List.nth recovered 4))
+
+let test_wal_corrupt_crc () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "w.wal" in
+  let wal, _ = Wal.open_log path in
+  ignore (Wal.append wal (Broker.Subscribe { ns = ""; subscriber = "a"; expr = "/x" }) : int);
+  ignore (Wal.append wal (Broker.Subscribe { ns = ""; subscriber = "b"; expr = "/y" }) : int);
+  Wal.sync wal;
+  Wal.close wal;
+  let whole = read_file path in
+  (* flip a byte in the second record's payload: crc rejects it *)
+  let pos = Bytes.length whole - 1 in
+  Bytes.set whole pos (Char.chr (Char.code (Bytes.get whole pos) lxor 0xff));
+  write_file path whole;
+  let wal, recovered = Wal.open_log path in
+  Wal.close wal;
+  Alcotest.(check int) "corrupt record dropped" 1 (List.length recovered)
+
+(* {1 Snapshot codec} *)
+
+let test_snapshot_codec () =
+  let b = Broker.create () in
+  ignore (Broker.subscribe_exn b ~subscriber:"alice" "/a//c");
+  ignore (Broker.subscribe_exn b ~subscriber:"alice" "/a/b/c");
+  ignore (Broker.subscribe_exn b ~ns:"t2" ~subscriber:"bob" "/a/d[@k = 'v']");
+  let snap = Broker.snapshot b in
+  let bytes = Store.encode_snapshot ~seq:17 snap in
+  (match Store.decode_snapshot bytes with
+  | Ok (seq, decoded) ->
+      Alcotest.(check int) "seq" 17 seq;
+      Alcotest.(check bool) "snapshot round-trips" true (decoded = snap)
+  | Error e -> Alcotest.failf "rejected: %s" e);
+  (* any single-byte corruption is caught *)
+  let corrupt = Bytes.copy bytes in
+  let pos = Bytes.length corrupt / 2 in
+  Bytes.set corrupt pos (Char.chr (Char.code (Bytes.get corrupt pos) lxor 0x01));
+  match Store.decode_snapshot corrupt with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt snapshot accepted"
+
+(* {1 Store recovery} *)
+
+let mutations =
+  [
+    Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a//c" };
+    Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a/b/c" };
+    Broker.Subscribe { ns = "t2"; subscriber = "bob"; expr = "/a/d" };
+    Broker.Unsubscribe { ns = ""; id = 0 };
+    Broker.Subscribe { ns = ""; subscriber = "carol"; expr = "/a/d" };
+    Broker.Drop_subscriber { ns = "t2"; subscriber = "bob" };
+  ]
+
+let test_store_reopen () =
+  with_dir @@ fun dir ->
+  let st = Store.open_store ~dir make_broker in
+  List.iter (fun c -> ignore (Store.log st c : Broker.event list)) mutations;
+  Store.close st;
+  let st2 = Store.open_store ~dir make_broker in
+  let reference = Broker.create () in
+  List.iter (fun c -> ignore (Broker.apply reference c)) mutations;
+  Alcotest.(check bool) "reopened state matches replay" true
+    (same_state (Store.broker st2) reference);
+  Alcotest.(check int) "all records replayed" (List.length mutations)
+    (Store.recovered_records st2);
+  Store.close st2
+
+let test_store_snapshot_cycle () =
+  with_dir @@ fun dir ->
+  (* snapshot every 2 mutations: 6 commands → 3 snapshots, empty tail *)
+  let st = Store.open_store ~snapshot_every:2 ~dir make_broker in
+  List.iter (fun c -> ignore (Store.log st c : Broker.event list)) mutations;
+  Alcotest.(check int) "snapshots taken" 3 (Store.snapshots_taken st);
+  Store.close st;
+  let st2 = Store.open_store ~dir make_broker in
+  Alcotest.(check int) "nothing to replay after snapshot" 0 (Store.recovered_records st2);
+  let reference = Broker.create () in
+  List.iter (fun c -> ignore (Broker.apply reference c)) mutations;
+  Alcotest.(check bool) "state preserved via snapshot" true
+    (same_state (Store.broker st2) reference);
+  Store.close st2
+
+let test_failed_commands_not_logged () =
+  with_dir @@ fun dir ->
+  let st = Store.open_store ~dir make_broker in
+  ignore (Store.log st (Broker.Subscribe { ns = ""; subscriber = "a"; expr = "/a/b" }));
+  ignore (Store.log st (Broker.Subscribe { ns = ""; subscriber = "a"; expr = "broken[" }));
+  ignore (Store.log st (Broker.Unsubscribe { ns = ""; id = 77 }));
+  (* publishes are not mutations and never hit the log *)
+  ignore (Store.log st (Broker.Publish { ns = ""; doc = "<a><b/></a>" }));
+  Alcotest.(check int) "only the successful mutation logged" 1 (Store.wal_seq st);
+  Store.close st
+
+(* {1 Crash-recovery property}
+
+   Drive a store with [n] always-successful mutations (snapshotting
+   every [snap_every]), then cut the WAL at an arbitrary byte. The
+   surviving state must be byte-identical (same snapshot image) to an
+   in-memory broker that applied the prefix of commands the snapshot
+   covers plus the WAL records that survived the cut — for every cut
+   point and snapshot cadence. *)
+
+let gen_commands paths =
+  (* every command succeeds: subscribes parse (generated paths), and
+     unsubscribes target previously-issued ids (idempotent Ok false is
+     still a success) *)
+  List.concat
+    (List.mapi
+       (fun i p ->
+         let expr = Pf_xpath.Parser.to_string p in
+         let sub =
+           Broker.Subscribe
+             { ns = (if i mod 4 = 3 then "t2" else "");
+               subscriber = Printf.sprintf "s%d" (i mod 3);
+               expr }
+         in
+         if i mod 5 = 4 then begin
+           (* target an id that exists, in the namespace it was issued
+              under, so the unsubscribe never fails (and stays logged) *)
+           let j = i / 2 in
+           [ sub; Broker.Unsubscribe { ns = (if j mod 4 = 3 then "t2" else ""); id = j } ]
+         end
+         else [ sub ])
+       paths)
+
+let wal_record_ends bytes =
+  (* record boundaries of a well-formed WAL: magic, then u32 len + u32
+     crc + payload per record *)
+  let header = 8 in
+  let ends = ref [] in
+  let pos = ref header in
+  let len = Bytes.length bytes in
+  (try
+     while !pos < len do
+       let b i = Char.code (Bytes.get bytes (!pos + i)) in
+       let rlen = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+       pos := !pos + 8 + rlen;
+       if !pos > len then raise Exit;
+       ends := !pos :: !ends
+     done
+   with Exit -> ());
+  List.rev !ends
+
+let crash_recovery_case (paths, cut_frac, snap_every) =
+  let cmds = gen_commands paths in
+  with_dir @@ fun dir ->
+  let st = Store.open_store ~snapshot_every:snap_every ~dir make_broker in
+  List.iter (fun c -> ignore (Store.log st c : Broker.event list)) cmds;
+  Store.close st;
+  let wal_path = Filename.concat dir "broker.wal" in
+  let snap_path = Filename.concat dir "broker.snap" in
+  let covered_seq =
+    if Sys.file_exists snap_path then
+      match Store.decode_snapshot (read_file snap_path) with
+      | Ok (seq, _) -> seq
+      | Error e -> Alcotest.failf "snapshot unreadable: %s" e
+    else 0
+  in
+  let wal = read_file wal_path in
+  (* cut the WAL at an arbitrary byte of its tail *)
+  let cut = 8 + int_of_float (cut_frac *. float_of_int (max 0 (Bytes.length wal - 8))) in
+  let cut = min cut (Bytes.length wal) in
+  write_file wal_path (Bytes.sub wal 0 cut);
+  let surviving_tail =
+    List.length (List.filter (fun e -> e <= cut) (wal_record_ends wal))
+  in
+  let surviving = covered_seq + surviving_tail in
+  let st2 = Store.open_store ~snapshot_every:snap_every ~dir make_broker in
+  let reference = Broker.create () in
+  List.iteri (fun i c -> if i < surviving then ignore (Broker.apply reference c)) cmds;
+  let ok = same_state (Store.broker st2) reference in
+  Store.close st2;
+  ok
+
+let prop_crash_recovery =
+  QCheck2.Test.make ~name:"snapshot + truncated WAL recovers the logged prefix" ~count:60
+    ~print:(fun (paths, frac, snap_every) ->
+      Printf.sprintf "%d paths, cut at %.2f of the log, snapshot every %d"
+        (List.length paths) frac snap_every)
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 12) Gen_helpers.single_path_gen)
+        (float_bound_inclusive 1.0)
+        (oneofl [ 2; 5; 1000 ]))
+    crash_recovery_case
+
+let test_crash_recovery_edges () =
+  (* deterministic corners: cut everything, cut nothing, tiny cadence *)
+  List.iter
+    (fun (frac, snap_every) ->
+      let paths =
+        List.map
+          (fun s -> Pf_xpath.Parser.parse s)
+          [ "/a/b/c"; "/a//c"; "//d"; "/a/b"; "/a/d[@k = '1']" ]
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "cut %.1f snap %d" frac snap_every)
+        true
+        (crash_recovery_case (paths, frac, snap_every)))
+    [ (0.0, 1000); (1.0, 1000); (0.5, 1); (0.3, 2); (0.9, 2) ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "round-trip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt crc" `Quick test_wal_corrupt_crc;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "codec + corruption" `Quick test_snapshot_codec ] );
+      ( "store",
+        [
+          Alcotest.test_case "reopen" `Quick test_store_reopen;
+          Alcotest.test_case "snapshot cycle" `Quick test_store_snapshot_cycle;
+          Alcotest.test_case "failed commands unlogged" `Quick test_failed_commands_not_logged;
+          Alcotest.test_case "crash recovery edges" `Quick test_crash_recovery_edges;
+        ] );
+      ("properties", List.map Gen_helpers.to_alcotest [ prop_crash_recovery ]);
+    ]

@@ -1,0 +1,263 @@
+(* Wire codec tests: round-trips, incremental decoding, and exact-offset
+   rejection of short and overlong frames. *)
+
+open Pf_net
+module Broker = Pf_broker.Broker
+
+let encode_frame ~req_id msg =
+  let b = Buffer.create 64 in
+  Wire.encode b ~req_id msg;
+  Buffer.to_bytes b
+
+let check_roundtrip ?(req_id = 7) msg =
+  let buf = encode_frame ~req_id msg in
+  match Wire.decode buf ~off:0 ~len:(Bytes.length buf) with
+  | `Frame (consumed, rid, decoded) ->
+      Alcotest.(check int) "consumed whole buffer" (Bytes.length buf) consumed;
+      Alcotest.(check int) "request id" req_id rid;
+      Alcotest.(check bool) "message round-trips" true (decoded = msg)
+  | `Need n -> Alcotest.failf "incomplete: need %d" n
+  | `Error e -> Alcotest.failf "rejected: %s" (Format.asprintf "%a" Wire.pp_error e)
+
+let test_roundtrips () =
+  List.iter check_roundtrip
+    [
+      Wire.Hello { version = Wire.version; ns = "tenant-1" };
+      Wire.Welcome { version = Wire.version; server = "pf-broker" };
+      Wire.Command (Broker.Subscribe { ns = ""; subscriber = "alice"; expr = "/a/b[@x = 1]" });
+      Wire.Command (Broker.Unsubscribe { ns = "t"; id = 12345 });
+      Wire.Command (Broker.Drop_subscriber { ns = ""; subscriber = "bob" });
+      Wire.Command (Broker.Publish { ns = "t"; doc = "<a><b/></a>" });
+      Wire.Event (Broker.Subscribed { id = 0; suppressed = true });
+      Wire.Event (Broker.Unsubscribed { id = 300; existed = false });
+      Wire.Event (Broker.Dropped { count = 0 });
+      Wire.Event (Broker.Delivered { deliveries = [] });
+      Wire.Event
+        (Broker.Delivered { deliveries = [ ("alice", [ 0; 2; 129 ]); ("bob", []) ] });
+      Wire.Event (Broker.Failed { error = Pf_intf.Bad_expression "nope" });
+      Wire.Event (Broker.Failed { error = Pf_intf.Unknown_subscription 42 });
+      Wire.Event (Broker.Failed { error = Pf_intf.Protocol_error "" });
+    ]
+
+let test_decode_at_offset () =
+  let msg = Wire.Command (Broker.Publish { ns = ""; doc = "<a/>" }) in
+  let frame = encode_frame ~req_id:9 msg in
+  let pad = 13 in
+  let buf = Bytes.make (pad + Bytes.length frame) '\xff' in
+  Bytes.blit frame 0 buf pad (Bytes.length frame);
+  match Wire.decode buf ~off:pad ~len:(Bytes.length buf) with
+  | `Frame (consumed, rid, decoded) ->
+      Alcotest.(check int) "consumed" (Bytes.length frame) consumed;
+      Alcotest.(check int) "req id" 9 rid;
+      Alcotest.(check bool) "msg" true (decoded = msg)
+  | _ -> Alcotest.fail "decode at offset failed"
+
+(* Every strict prefix must report exactly how many bytes are missing:
+   header-relative before the length field arrives, frame-relative
+   after. *)
+let check_incremental msg =
+  let buf = encode_frame ~req_id:1 msg in
+  let total = Bytes.length buf in
+  let ok = ref true in
+  for k = 0 to total - 1 do
+    let expected = if k < 4 then 4 - k else total - k in
+    (match Wire.decode buf ~off:0 ~len:k with
+    | `Need n -> if n <> expected then ok := false
+    | `Frame _ | `Error _ -> ok := false);
+    ()
+  done;
+  !ok
+
+let test_incremental () =
+  Alcotest.(check bool) "prefixes of a subscribe frame" true
+    (check_incremental
+       (Wire.Command (Broker.Subscribe { ns = "t"; subscriber = "alice"; expr = "/a/b" })));
+  Alcotest.(check bool) "prefixes of a results frame" true
+    (check_incremental
+       (Wire.Event (Broker.Delivered { deliveries = [ ("alice", [ 1; 2; 3 ]) ] })))
+
+let set_u32 buf off v =
+  Bytes.set buf off (Char.chr ((v lsr 24) land 0xff));
+  Bytes.set buf (off + 1) (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set buf (off + 2) (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set buf (off + 3) (Char.chr (v land 0xff))
+
+let expect_error buf ~len ~offset what =
+  match Wire.decode buf ~off:0 ~len with
+  | `Error e ->
+      Alcotest.(check int) (what ^ " offset") offset e.Wire.offset;
+      true
+  | `Frame _ -> Alcotest.failf "%s: frame accepted" what
+  | `Need n -> Alcotest.failf "%s: need %d" what n
+
+(* Subscribe {ns = "t"; subscriber = "alice"; expr = "/a/b"}: payload is
+   str "t" (2 bytes at offset 10), str "alice" (6 bytes at 12), str
+   "/a/b" (5 bytes at 18). Frame length field n = 6 + 13 = 19, whole
+   frame 23 bytes. *)
+let subscribe_frame () =
+  encode_frame ~req_id:1
+    (Wire.Command (Broker.Subscribe { ns = "t"; subscriber = "alice"; expr = "/a/b" }))
+
+let test_short_frame () =
+  let buf = subscribe_frame () in
+  Alcotest.(check int) "fixture size" 23 (Bytes.length buf);
+  (* declared length 18 instead of 19: the expr string (whose length
+     varint sits at absolute offset 18) runs past the frame end *)
+  set_u32 buf 0 18;
+  ignore (expect_error buf ~len:22 ~offset:18 "short expr");
+  (* declared length 12: the subscriber string at offset 12 is cut *)
+  let buf = subscribe_frame () in
+  set_u32 buf 0 12;
+  ignore (expect_error buf ~len:16 ~offset:12 "short subscriber");
+  (* declared length 6: an empty payload fails on the first field *)
+  let buf = subscribe_frame () in
+  set_u32 buf 0 6;
+  ignore (expect_error buf ~len:10 ~offset:10 "empty payload")
+
+let test_overlong_frame () =
+  let buf0 = subscribe_frame () in
+  (* declare one extra byte and supply it: the payload decodes fully at
+     offset 23 with one unconsumed byte *)
+  let buf = Bytes.make 24 '\x00' in
+  Bytes.blit buf0 0 buf 0 23;
+  set_u32 buf 0 20;
+  ignore (expect_error buf ~len:24 ~offset:23 "overlong")
+
+let test_header_rejections () =
+  let buf = subscribe_frame () in
+  (* length below the 6-byte fixed part *)
+  set_u32 buf 0 5;
+  ignore (expect_error buf ~len:23 ~offset:0 "undersized length");
+  let buf = subscribe_frame () in
+  set_u32 buf 0 (Wire.max_frame + 1);
+  ignore (expect_error buf ~len:23 ~offset:0 "oversized length");
+  (* wrong protocol version, rejected at the version byte *)
+  let buf = subscribe_frame () in
+  Bytes.set buf 4 '\x02';
+  ignore (expect_error buf ~len:23 ~offset:4 "bad version");
+  (* unknown tag, rejected at the tag byte *)
+  let buf = subscribe_frame () in
+  Bytes.set buf 5 '\x7f';
+  ignore (expect_error buf ~len:23 ~offset:5 "unknown tag")
+
+let test_crc32 () =
+  (* the standard check vector *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926
+    (Wire.crc32 (Bytes.of_string "123456789") ~pos:0 ~len:9);
+  Alcotest.(check int) "crc32 empty" 0 (Wire.crc32 Bytes.empty ~pos:0 ~len:0)
+
+let test_command_codec () =
+  let cmd = Broker.Subscribe { ns = "t"; subscriber = "alice"; expr = "/a/b" } in
+  let b = Buffer.create 32 in
+  Wire.encode_command b cmd;
+  let bytes = Buffer.to_bytes b in
+  (match Wire.decode_command bytes ~pos:0 ~limit:(Bytes.length bytes) with
+  | Ok (decoded, fin) ->
+      Alcotest.(check bool) "command round-trips" true (decoded = cmd);
+      Alcotest.(check int) "consumed all" (Bytes.length bytes) fin
+  | Error e -> Alcotest.failf "rejected: %s" (Format.asprintf "%a" Wire.pp_error e));
+  (* a trailing byte inside the declared extent is an error *)
+  let padded = Bytes.cat bytes (Bytes.make 1 '\x00') in
+  match Wire.decode_command padded ~pos:0 ~limit:(Bytes.length padded) with
+  | Error e -> Alcotest.(check int) "trailing offset" (Bytes.length bytes) e.Wire.offset
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+
+(* {1 Properties} *)
+
+open QCheck2
+
+let byte_str = Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12))
+let small_id = Gen.(int_range 0 100_000)
+
+let command_gen =
+  Gen.(
+    oneof
+      [
+        map3
+          (fun ns subscriber expr -> Broker.Subscribe { ns; subscriber; expr })
+          byte_str byte_str byte_str;
+        map2 (fun ns id -> Broker.Unsubscribe { ns; id }) byte_str small_id;
+        map2 (fun ns subscriber -> Broker.Drop_subscriber { ns; subscriber }) byte_str byte_str;
+        map2 (fun ns doc -> Broker.Publish { ns; doc }) byte_str byte_str;
+      ])
+
+let error_gen =
+  Gen.(
+    oneof
+      [
+        map (fun m -> Pf_intf.Bad_expression m) byte_str;
+        map (fun m -> Pf_intf.Unsupported_expression m) byte_str;
+        map (fun id -> Pf_intf.Unknown_subscription id) small_id;
+        map (fun m -> Pf_intf.Bad_document m) byte_str;
+        map (fun m -> Pf_intf.Protocol_error m) byte_str;
+      ])
+
+let event_gen =
+  Gen.(
+    oneof
+      [
+        map2 (fun id suppressed -> Broker.Subscribed { id; suppressed }) small_id bool;
+        map2 (fun id existed -> Broker.Unsubscribed { id; existed }) small_id bool;
+        map (fun count -> Broker.Dropped { count }) small_id;
+        map
+          (fun deliveries -> Broker.Delivered { deliveries })
+          (list_size (int_range 0 4) (pair byte_str (list_size (int_range 0 5) small_id)));
+        map (fun error -> Broker.Failed { error }) error_gen;
+      ])
+
+let msg_gen =
+  Gen.(
+    oneof
+      [
+        map (fun ns -> Wire.Hello { version = Wire.version; ns }) byte_str;
+        map (fun server -> Wire.Welcome { version = Wire.version; server }) byte_str;
+        map (fun c -> Wire.Command c) command_gen;
+        map (fun e -> Wire.Event e) event_gen;
+      ])
+
+let msg_print m =
+  match m with
+  | Wire.Hello { ns; _ } -> Printf.sprintf "Hello %S" ns
+  | Wire.Welcome { server; _ } -> Printf.sprintf "Welcome %S" server
+  | Wire.Command c -> Format.asprintf "Command (%a)" Broker.pp_command c
+  | Wire.Event e -> Format.asprintf "Event (%a)" Broker.pp_event e
+
+let prop_roundtrip =
+  Test.make ~name:"decode (encode m) = m" ~count:500 ~print:msg_print msg_gen (fun msg ->
+      let buf = encode_frame ~req_id:42 msg in
+      match Wire.decode buf ~off:0 ~len:(Bytes.length buf) with
+      | `Frame (consumed, 42, decoded) -> consumed = Bytes.length buf && decoded = msg
+      | _ -> false)
+
+let prop_incremental =
+  Test.make ~name:"every strict prefix reports exact missing bytes" ~count:200
+    ~print:msg_print msg_gen check_incremental
+
+let prop_command_roundtrip =
+  Test.make ~name:"decode_command (encode_command c) = c" ~count:500
+    ~print:(Format.asprintf "%a" Broker.pp_command) command_gen (fun cmd ->
+      let b = Buffer.create 32 in
+      Wire.encode_command b cmd;
+      let bytes = Buffer.to_bytes b in
+      match Wire.decode_command bytes ~pos:0 ~limit:(Bytes.length bytes) with
+      | Ok (decoded, fin) -> decoded = cmd && fin = Bytes.length bytes
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "round-trips" `Quick test_roundtrips;
+          Alcotest.test_case "decode at offset" `Quick test_decode_at_offset;
+          Alcotest.test_case "incremental need" `Quick test_incremental;
+          Alcotest.test_case "short frames" `Quick test_short_frame;
+          Alcotest.test_case "overlong frames" `Quick test_overlong_frame;
+          Alcotest.test_case "header rejections" `Quick test_header_rejections;
+          Alcotest.test_case "crc32 vector" `Quick test_crc32;
+          Alcotest.test_case "command codec" `Quick test_command_codec;
+        ] );
+      ( "properties",
+        List.map Gen_helpers.to_alcotest
+          [ prop_roundtrip; prop_incremental; prop_command_roundtrip ] );
+    ]
