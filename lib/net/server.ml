@@ -39,15 +39,16 @@ type config = {
   domains : int;
   batch : int;
   validate_documents : bool;
+  send_timeout : float;
   server_name : string;
 }
 
 let config ?data_dir ?(snapshot_every = 1024)
     ?(filter = (Pf_core.Engine.filter ~dedup_paths:true () :> Pf_intf.filter))
     ?(covering_suppression = true) ?(mode = Pf_service.Doc) ?(domains = 1) ?(batch = 8)
-    ?(validate_documents = true) ?(server_name = "pf-broker") listen =
+    ?(validate_documents = true) ?(send_timeout = 15.) ?(server_name = "pf-broker") listen =
   { listen; data_dir; snapshot_every; filter; covering_suppression; mode; domains; batch;
-    validate_documents; server_name }
+    validate_documents; send_timeout; server_name }
 
 type metrics = {
   c_connections : Pf_obs.Counter.t;
@@ -285,7 +286,12 @@ let reader_loop t conn =
            (Broker.Failed
               { error = Pf_intf.Protocol_error (Format.asprintf "%a" Wire.pp_error e) }))
   | Unix.Unix_error (err, _, _) ->
-      Log.debug (fun m -> m "%s: read error %s" conn.peer (Unix.error_message err)));
+      Log.debug (fun m -> m "%s: read error %s" conn.peer (Unix.error_message err))
+  | e ->
+      (* anything else (a decoder bug, an engine failure) must still fall
+         through to the cleanup below, or the fd and conns entry leak *)
+      Pf_obs.Counter.incr t.m.c_proto_errors;
+      Log.warn (fun m -> m "%s: connection failed: %s, closing" conn.peer (Printexc.to_string e)));
   (* let in-flight publishes resolve before the write side goes away *)
   drain_inflight conn;
   Mutex.lock conn.wlock;
@@ -294,9 +300,10 @@ let reader_loop t conn =
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
   Mutex.lock t.conns_lock;
   t.conns <- List.filter (fun (c, _) -> c != conn) t.conns;
-  Mutex.unlock t.conns_lock;
-  Pf_obs.Gauge.set t.m.g_open
-    (Pf_obs.Gauge.get t.m.g_open -. 1.0)
+  (* the gauge mirrors the list it is updated under: no read-modify-write
+     race with the accept thread *)
+  Pf_obs.Gauge.set t.m.g_open (float_of_int (List.length t.conns));
+  Mutex.unlock t.conns_lock
 
 let accept_loop t =
   while Atomic.get t.running do
@@ -320,15 +327,24 @@ let accept_loop t =
           | Unix.ADDR_INET (host, port) ->
               Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
         in
+        (* bound blocked sends so a peer that stops reading cannot wedge a
+           worker domain (and thereby shutdown) forever; a timed-out write
+           raises and the connection is marked dead like any send error *)
+        if t.cfg.send_timeout > 0. then
+          (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.send_timeout
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
         let conn =
           { fd; peer; wlock = Mutex.create (); ns = Broker.default_ns; greeted = false;
             alive = true; ilock = Mutex.create (); icond = Condition.create (); inflight = 0 }
         in
         Pf_obs.Counter.incr t.m.c_connections;
-        Pf_obs.Gauge.set t.m.g_open (Pf_obs.Gauge.get t.m.g_open +. 1.0);
-        let thr = Thread.create (fun () -> reader_loop t conn) () in
+        (* spawn under conns_lock: the reader's cleanup also takes it, so
+           the conn is in the list (and counted) before it can remove
+           itself — no ghost entry when a connection dies instantly *)
         Mutex.lock t.conns_lock;
+        let thr = Thread.create (fun () -> reader_loop t conn) () in
         t.conns <- (conn, thr) :: t.conns;
+        Pf_obs.Gauge.set t.m.g_open (float_of_int (List.length t.conns));
         Mutex.unlock t.conns_lock)
   done
 

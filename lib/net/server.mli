@@ -48,6 +48,11 @@ type config = {
           with a BAD_DOCUMENT error frame; when off, raw text goes
           straight into the streaming pipeline and malformed documents
           silently deliver to nobody *)
+  send_timeout : float;
+      (** [SO_SNDTIMEO] in seconds on accepted sockets: a peer that stops
+          reading cannot block a worker domain's delivery (or graceful
+          shutdown) for longer than this — the write fails and the
+          connection is marked dead. [0.] means block forever. *)
   server_name : string;
 }
 
@@ -60,12 +65,13 @@ val config :
   ?domains:int ->
   ?batch:int ->
   ?validate_documents:bool ->
+  ?send_timeout:float ->
   ?server_name:string ->
   listen ->
   config
 (** Defaults: no data dir, [snapshot_every] 1024, the broker's default
     filter, suppression on, [Doc] mode, 1 domain, batch 8, validation
-    on, name ["pf-broker"]. *)
+    on, send timeout 15 s, name ["pf-broker"]. *)
 
 type t
 

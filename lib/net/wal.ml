@@ -84,8 +84,13 @@ let open_log path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let buf = read_file fd in
   let records, valid, last_seq = scan path buf in
-  let fresh = Bytes.length buf < header_len in
-  if fresh then begin
+  let header_ok =
+    Bytes.length buf >= header_len && Bytes.sub_string buf 0 header_len = magic
+  in
+  if not header_ok then begin
+    (* empty file, or a corrupt header scan just discarded: rewrite the
+       magic so appends land after a valid header — appending after
+       garbage would make every fsync'd record invisible to recovery *)
     ignore (Unix.lseek fd 0 Unix.SEEK_SET : int);
     Unix.ftruncate fd 0;
     write_all fd (Bytes.of_string magic);
@@ -95,7 +100,7 @@ let open_log path =
     Unix.ftruncate fd valid;
     Unix.fsync fd
   end;
-  let file_len = if fresh then header_len else valid in
+  let file_len = if header_ok then valid else header_len in
   ignore (Unix.lseek fd file_len Unix.SEEK_SET : int);
   ({ fd; path; seq = last_seq; file_len }, records)
 

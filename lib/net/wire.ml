@@ -76,8 +76,11 @@ module Prim = struct
     let start = r.pos in
     let rec go shift acc =
       if r.pos >= r.limit then raise (Short (start, what));
-      if shift > 56 then raise (Short (start, what ^ " (varint too long)"));
       let byte = Char.code (Bytes.get r.buf r.pos) in
+      (* bit 62 is the OCaml sign bit: at shift 56 anything past the low
+         6 bits would flip the sign (or demand a 10th byte) *)
+      if shift = 56 && byte > 0x3f then
+        raise (Short (start, what ^ " (varint overflows)"));
       r.pos <- r.pos + 1;
       let acc = acc lor ((byte land 0x7f) lsl shift) in
       if byte land 0x80 = 0 then acc else go (shift + 7) acc
@@ -87,10 +90,19 @@ module Prim = struct
   let str r ~what =
     let start = r.pos in
     let n = varint r ~what in
-    if r.pos + n > r.limit then raise (Short (start, what));
+    if n < 0 || n > r.limit - r.pos then raise (Short (start, what));
     let s = Bytes.sub_string r.buf r.pos n in
     r.pos <- r.pos + n;
     s
+
+  (* An element-count prefix: every element costs at least one byte, so a
+     count beyond the remaining payload is a truncation, caught here
+     before List.init walks (or rejects) a hostile count. *)
+  let count r ~what =
+    let start = r.pos in
+    let n = varint r ~what in
+    if n < 0 || n > r.limit - r.pos then raise (Short (start, what));
+    n
 end
 
 open Prim
@@ -227,11 +239,11 @@ let decode_event_payload tag r : (Broker.event, error) result =
     Ok (Broker.Dropped { count })
   end
   else if tag = tag_results then begin
-    let n = varint r ~what:"results count" in
+    let n = count r ~what:"results count" in
     let deliveries =
       List.init n (fun _ ->
           let subscriber = str r ~what:"results subscriber" in
-          let k = varint r ~what:"results id count" in
+          let k = count r ~what:"results id count" in
           let ids = List.init k (fun _ -> varint r ~what:"results id") in
           (subscriber, ids))
     in

@@ -83,6 +83,9 @@ module Prim : sig
   val u8 : reader -> what:string -> int
   val u32 : reader -> what:string -> int
   val varint : reader -> what:string -> int
+  (** Rejects (with {!Short}) encodings that would overflow a
+      non-negative OCaml int. *)
+
   val str : reader -> what:string -> string
 end
 

@@ -102,6 +102,29 @@ let test_wal_torn_tail () =
   Alcotest.(check int) "sequence continues from the surviving prefix" 5
     (fst (List.nth recovered 4))
 
+let test_wal_corrupt_header () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "w.wal" in
+  let wal, _ = Wal.open_log path in
+  ignore (Wal.append wal (Broker.Subscribe { ns = ""; subscriber = "a"; expr = "/x" }) : int);
+  Wal.sync wal;
+  Wal.close wal;
+  (* smash the magic: the log is unreadable and must restart fresh — in
+     particular the bad header has to be rewritten, or records appended
+     after it would be invisible to every future recovery *)
+  let whole = read_file path in
+  Bytes.set whole 0 '\xff';
+  write_file path whole;
+  let wal, recovered = Wal.open_log path in
+  Alcotest.(check int) "corrupt-header log recovers nothing" 0 (List.length recovered);
+  ignore (Wal.append wal (Broker.Subscribe { ns = ""; subscriber = "b"; expr = "/y" }) : int);
+  Wal.sync wal;
+  Wal.close wal;
+  let wal, recovered = Wal.open_log path in
+  Wal.close wal;
+  Alcotest.(check bool) "appends after a corrupt header survive reopen" true
+    (List.map snd recovered = [ Broker.Subscribe { ns = ""; subscriber = "b"; expr = "/y" } ])
+
 let test_wal_corrupt_crc () =
   with_dir @@ fun dir ->
   let path = Filename.concat dir "w.wal" in
@@ -308,6 +331,7 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_wal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt header" `Quick test_wal_corrupt_header;
           Alcotest.test_case "corrupt crc" `Quick test_wal_corrupt_crc;
         ] );
       ( "snapshot",

@@ -140,6 +140,26 @@ let test_header_rejections () =
   Bytes.set buf 5 '\x7f';
   ignore (expect_error buf ~len:23 ~offset:5 "unknown tag")
 
+(* A nine-byte varint whose ninth byte spills past the low 6 bits would
+   set OCaml's sign bit — once upon a time that produced a negative
+   length that escaped the decoder as Invalid_argument. It must be a
+   clean [`Error]. *)
+let test_varint_overflow () =
+  let b = Buffer.create 32 in
+  Buffer.add_string b "\x00\x00\x00\x11";  (* n = 6 + 2 + 9 *)
+  Buffer.add_char b '\x01';                (* version *)
+  Buffer.add_char b '\x04';                (* UNSUBSCRIBE *)
+  Buffer.add_string b "\x00\x00\x00\x01";  (* request id *)
+  Buffer.add_string b "\x01t";             (* ns "t" *)
+  Buffer.add_string b "\xff\xff\xff\xff\xff\xff\xff\xff\x7f";  (* id: bit 62 set *)
+  let buf = Buffer.to_bytes b in
+  (match Wire.decode buf ~off:0 ~len:(Bytes.length buf) with
+  | `Error _ -> ()
+  | `Frame _ -> Alcotest.fail "overflowing varint accepted"
+  | `Need n -> Alcotest.failf "incomplete: need %d" n);
+  (* the largest encodable id still round-trips *)
+  check_roundtrip (Wire.Command (Broker.Unsubscribe { ns = "t"; id = max_int }))
+
 let test_crc32 () =
   (* the standard check vector *)
   Alcotest.(check int) "crc32(123456789)" 0xCBF43926
@@ -254,6 +274,7 @@ let () =
           Alcotest.test_case "short frames" `Quick test_short_frame;
           Alcotest.test_case "overlong frames" `Quick test_overlong_frame;
           Alcotest.test_case "header rejections" `Quick test_header_rejections;
+          Alcotest.test_case "varint overflow" `Quick test_varint_overflow;
           Alcotest.test_case "crc32 vector" `Quick test_crc32;
           Alcotest.test_case "command codec" `Quick test_command_codec;
         ] );
