@@ -55,6 +55,10 @@ let classify ~exp path =
   else if has_sub ~sub:"minor_words" base || has_sub ~sub:"major_words" base
           || has_sub ~sub:"gc_" base
   then Free_lower
+  else if base = "probes_per_doc" || base = "hits_per_doc" then
+    (* deterministic work profile of the predicate stage on the seeded
+       workload: growth means the index got less selective *)
+    Free_lower
   else if has_sub ~sub:"docs_per_s" base || has_sub ~sub:"speedup" base then
     Timing_higher
   else if

@@ -1,22 +1,8 @@
 type pid = int
 
-(* Per-operator arrays of pid lists, indexed by predicate value. A slot
-   holds a list because predicates sharing (tags, op, value) but differing
-   in attribute constraints are distinct. *)
-type slots = {
-  eq : pid list Vec.t;
-  ge : pid list Vec.t;
-}
-
-let make_slots () =
-  { eq = Vec.create ~dummy:[] (); ge = Vec.create ~dummy:[] () }
-
-let slot_vec slots (op : Predicate.op) =
-  match op with Predicate.Eq -> slots.eq | Predicate.Ge -> slots.ge
-
 (* Stage counters, typically registered in the owning engine's registry:
-   [probes] counts candidate predicate inspections (slot-list entries
-   visited by a run), [hits] the occurrence pairs recorded. *)
+   [probes] counts candidate predicate inspections (arena slots visited by
+   a run), [hits] the occurrence pairs recorded. *)
 type metrics = { probes : Pf_obs.Counter.t; hits : Pf_obs.Counter.t }
 
 let make_metrics ?registry () =
@@ -29,39 +15,115 @@ let make_metrics ?registry () =
         ~help:"occurrence pairs recorded during predicate matching";
   }
 
-(* Tag tables are dense vectors indexed by interned symbol. Unused slots
-   share physically-identical placeholder values (recognized by [==],
-   replaced by fresh structures on first intern, never written through) —
-   the same trick Expr_index plays with its depth buckets. *)
-let dummy_slots = make_slots ()
-let dummy_rel : (int, slots) Hashtbl.t = Hashtbl.create 1
-let dummy_eop : pid list Vec.t = Vec.create ~dummy:[] ()
-
-type t = {
-  preds : Predicate.t Vec.t;  (* pid -> predicate *)
-  cons1 : Predicate.attr_constraint list Vec.t;  (* pid -> first-var constraints *)
-  cons2 : Predicate.attr_constraint list Vec.t;
-  absolute : slots Vec.t;  (* indexed by tag symbol *)
-  relative : (int, slots) Hashtbl.t Vec.t;
-      (* indexed by first symbol; inner table keyed by second symbol *)
-  end_of_path : pid list Vec.t Vec.t;  (* indexed by tag symbol *)
-  length_slots : pid list Vec.t;  (* value-indexed; op is always >= *)
-  m : metrics;
-}
-
 let src = Pf_obs.Events.src "predicate_index" ~doc:"Predicate index interning"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Storage layout
+
+   The index keeps two representations. The build side records, per pid,
+   which of six logical tables the predicate belongs to plus its key
+   symbols and value — cheap to append to, never read while matching. The
+   match side is a flat image of contiguous int arrays rebuilt lazily
+   (once per subscription change, not per document): per table a CSR
+   layout of key rows over dense value columns over one shared pid arena,
+   so the inner match loop is sequential array walks with no boxing, no
+   hashing and no closures. *)
+
+(* Logical tables. Every predicate lives in exactly one. *)
+let tab_abs_eq = 0 (* Absolute, op = Eq; key = tag symbol *)
+let tab_abs_ge = 1 (* Absolute, op = Ge *)
+let tab_eop = 2 (* End_of_path (always >=); key = tag symbol *)
+let tab_rel_eq = 3 (* Relative, op = Eq; key = dense (first,second) pair id *)
+let tab_rel_ge = 4 (* Relative, op = Ge *)
+let tab_length = 5 (* Length (always >=); single key 0 *)
+
+(* One flattened table. [rows.(k)] is the first column of key [k]: row [k]
+   spans columns [rows.(k) .. rows.(k+1)-1] and column [rows.(k) + v]
+   holds exactly the pids stored under value [v] (dense value columns, so
+   an Eq probe is a bounds check plus one contiguous slice). [starts] is
+   globally cumulative over the columns, and columns of one row are
+   consecutive in value order — a Ge probe over values [1..stop] is
+   therefore the single slice
+   [starts.(rows.(k)+1) .. starts.(rows.(k)+stop+1)] of [tpids]. *)
+type table = {
+  rows : int array; (* key -> first column; length nkeys+1 *)
+  starts : int array; (* column -> first slot of tpids; length ncols+1 *)
+  tpids : int array; (* flat pid arena, column-major *)
+}
+
+type flat = {
+  nsym : int; (* symbol bound shared by every symbol-indexed array *)
+  abs_eq : table;
+  abs_ge : table;
+  eop : table;
+  rel_eq : table;
+  rel_ge : table;
+  len_tab : table;
+  rel_row : int array;
+      (* first symbol -> dense row index among relative predicates, -1 if
+         no relative predicate names it; length nsym *)
+  rel_pair : int array;
+      (* row-major [row * nsym + second symbol] -> dense pair id, -1;
+         replaces the per-symbol hashtable probe of the O(n^2) tuple-pair
+         loop with one array read *)
+  cmask : int array;
+      (* packed per-pid constraint bitmap (32 bits per element): bit set
+         iff the pid carries attribute constraints, so the unconstrained
+         common case never touches the cons1/cons2 vectors *)
+}
+
+let empty_table = { rows = [| 0; 0 |]; starts = [| 0 |]; tpids = [||] }
+
+let empty_flat =
+  {
+    nsym = 0;
+    abs_eq = empty_table;
+    abs_ge = empty_table;
+    eop = empty_table;
+    rel_eq = empty_table;
+    rel_ge = empty_table;
+    len_tab = empty_table;
+    rel_row = [||];
+    rel_pair = [||];
+    cmask = [||];
+  }
+
+module Ptbl = Hashtbl.Make (struct
+  type t = Predicate.t
+
+  let equal = Predicate.equal
+  let hash = Predicate.hash
+end)
+
+type t = {
+  preds : Predicate.t Vec.t; (* pid -> predicate *)
+  cons1 : Predicate.attr_constraint list Vec.t; (* pid -> first-var constraints *)
+  cons2 : Predicate.attr_constraint list Vec.t;
+  by_pred : pid Ptbl.t; (* structural dedup at intern time *)
+  ptab : int Vec.t; (* pid -> logical table *)
+  psym1 : int Vec.t; (* pid -> first key symbol (0 for Length) *)
+  psym2 : int Vec.t; (* pid -> second key symbol (relative only) *)
+  pval : int Vec.t; (* pid -> predicate value *)
+  mutable dirty : bool; (* a new predicate invalidated the flat image *)
+  mutable flat : flat;
+  m : metrics;
+}
 
 let create ?metrics () =
   {
     preds = Vec.create ~dummy:(Predicate.Length { v = 0 }) ();
     cons1 = Vec.create ~dummy:[] ();
     cons2 = Vec.create ~dummy:[] ();
-    absolute = Vec.create ~dummy:dummy_slots ();
-    relative = Vec.create ~dummy:dummy_rel ();
-    end_of_path = Vec.create ~dummy:dummy_eop ();
-    length_slots = Vec.create ~dummy:[] ();
+    by_pred = Ptbl.create 256;
+    ptab = Vec.create ~dummy:0 ();
+    psym1 = Vec.create ~dummy:0 ();
+    psym2 = Vec.create ~dummy:0 ();
+    pval = Vec.create ~dummy:0 ();
+    (* dirty so the first run builds the (empty) flat image too *)
+    dirty = true;
+    flat = empty_flat;
     m = (match metrics with Some m -> m | None -> make_metrics ());
   }
 
@@ -69,79 +131,145 @@ let predicate t pid = Vec.get t.preds pid
 
 let size t = Vec.length t.preds
 
-(* The value-indexed slot vector and value for a predicate. Tag names are
-   interned here, at expression-compile time; the match loop below only
-   ever sees symbols. *)
-let locate t (p : Predicate.t) : pid list Vec.t * int =
-  match p with
-  | Predicate.Absolute { tag; op; v } ->
-    let sym = Symbol.intern tag.name in
-    Vec.ensure t.absolute (sym + 1);
-    let slots =
-      let s = Vec.get t.absolute sym in
-      if s != dummy_slots then s
-      else begin
-        let s = make_slots () in
-        Vec.set t.absolute sym s;
-        s
-      end
-    in
-    slot_vec slots op, v
-  | Predicate.Relative { first; second; op; v } ->
-    let sym1 = Symbol.intern first.name and sym2 = Symbol.intern second.name in
-    Vec.ensure t.relative (sym1 + 1);
-    let tbl2 =
-      let tbl = Vec.get t.relative sym1 in
-      if tbl != dummy_rel then tbl
-      else begin
-        let tbl = Hashtbl.create 8 in
-        Vec.set t.relative sym1 tbl;
-        tbl
-      end
-    in
-    let slots =
-      match Hashtbl.find_opt tbl2 sym2 with
-      | Some s -> s
-      | None ->
-        let s = make_slots () in
-        Hashtbl.add tbl2 sym2 s;
-        s
-    in
-    slot_vec slots op, v
-  | Predicate.End_of_path { tag; v } ->
-    let sym = Symbol.intern tag.name in
-    Vec.ensure t.end_of_path (sym + 1);
-    let vec =
-      let vec = Vec.get t.end_of_path sym in
-      if vec != dummy_eop then vec
-      else begin
-        let vec = Vec.create ~dummy:[] () in
-        Vec.set t.end_of_path sym vec;
-        vec
-      end
-    in
-    vec, v
-  | Predicate.Length { v } -> t.length_slots, v
-
-let find t p =
-  let vec, v = locate t p in
-  if v >= Vec.length vec then None
-  else
-    List.find_opt (fun pid -> Predicate.equal (Vec.get t.preds pid) p) (Vec.get vec v)
+let find t p = Ptbl.find_opt t.by_pred p
 
 let intern t p =
-  let vec, v = locate t p in
-  Vec.ensure vec (v + 1);
-  match List.find_opt (fun pid -> Predicate.equal (Vec.get t.preds pid) p) (Vec.get vec v) with
+  match Ptbl.find_opt t.by_pred p with
   | Some pid -> pid
   | None ->
     let pid = Vec.push t.preds p in
+    Ptbl.add t.by_pred p pid;
     let c1, c2 = Predicate.constraints_of p in
     let (_ : int) = Vec.push t.cons1 c1 in
     let (_ : int) = Vec.push t.cons2 c2 in
-    Vec.set vec v (pid :: Vec.get vec v);
+    (* tag names are interned here, at expression-compile time; the match
+       loop below only ever sees symbols *)
+    let tab, s1, s2, v =
+      match p with
+      | Predicate.Absolute { tag; op = Predicate.Eq; v } ->
+        tab_abs_eq, Symbol.intern tag.name, 0, v
+      | Predicate.Absolute { tag; op = Predicate.Ge; v } ->
+        tab_abs_ge, Symbol.intern tag.name, 0, v
+      | Predicate.End_of_path { tag; v } -> tab_eop, Symbol.intern tag.name, 0, v
+      | Predicate.Relative { first; second; op; v } ->
+        ( (match op with Predicate.Eq -> tab_rel_eq | Predicate.Ge -> tab_rel_ge),
+          Symbol.intern first.name,
+          Symbol.intern second.name,
+          v )
+      | Predicate.Length { v } -> tab_length, 0, 0, v
+    in
+    let (_ : int) = Vec.push t.ptab tab in
+    let (_ : int) = Vec.push t.psym1 s1 in
+    let (_ : int) = Vec.push t.psym2 s2 in
+    let (_ : int) = Vec.push t.pval v in
+    t.dirty <- true;
     Log.debug (fun m -> m "interned pid %d: %a" pid Predicate.pp p);
     pid
+
+(* ------------------------------------------------------------------ *)
+(* Flat-image construction (cold path: once per subscription change) *)
+
+let is_rel tab = tab = tab_rel_eq || tab = tab_rel_ge
+
+let rebuild t =
+  let n = Vec.length t.preds in
+  let nsym = ref 0 in
+  for pid = 0 to n - 1 do
+    if Vec.get t.ptab pid <> tab_length then begin
+      nsym := max !nsym (Vec.get t.psym1 pid + 1);
+      nsym := max !nsym (Vec.get t.psym2 pid + 1)
+    end
+  done;
+  let nsym = !nsym in
+  (* dense rows for the first symbols of relative predicates, then dense
+     pair ids for their (first, second) combinations *)
+  let rel_row = Array.make (max nsym 1) (-1) in
+  let nrows = ref 0 in
+  for pid = 0 to n - 1 do
+    if is_rel (Vec.get t.ptab pid) then begin
+      let s1 = Vec.get t.psym1 pid in
+      if rel_row.(s1) < 0 then begin
+        rel_row.(s1) <- !nrows;
+        incr nrows
+      end
+    end
+  done;
+  let rel_pair = Array.make (max 1 (!nrows * nsym)) (-1) in
+  let npairs = ref 0 in
+  for pid = 0 to n - 1 do
+    if is_rel (Vec.get t.ptab pid) then begin
+      let cell = (rel_row.(Vec.get t.psym1 pid) * nsym) + Vec.get t.psym2 pid in
+      if rel_pair.(cell) < 0 then begin
+        rel_pair.(cell) <- !npairs;
+        incr npairs
+      end
+    end
+  done;
+  let npairs = !npairs in
+  let key_of pid =
+    let tab = Vec.get t.ptab pid in
+    if tab = tab_length then 0
+    else if is_rel tab then
+      rel_pair.((rel_row.(Vec.get t.psym1 pid) * nsym) + Vec.get t.psym2 pid)
+    else Vec.get t.psym1 pid
+  in
+  (* counting sort of one table's pids into its CSR image *)
+  let build tab nkeys =
+    let width = Array.make (max 1 nkeys) 0 in
+    for pid = 0 to n - 1 do
+      if Vec.get t.ptab pid = tab then begin
+        let k = key_of pid in
+        width.(k) <- max width.(k) (Vec.get t.pval pid + 1)
+      end
+    done;
+    let rows = Array.make (nkeys + 1) 0 in
+    for k = 0 to nkeys - 1 do
+      rows.(k + 1) <- rows.(k) + width.(k)
+    done;
+    let ncols = rows.(nkeys) in
+    let starts = Array.make (ncols + 1) 0 in
+    for pid = 0 to n - 1 do
+      if Vec.get t.ptab pid = tab then begin
+        let col = rows.(key_of pid) + Vec.get t.pval pid in
+        starts.(col + 1) <- starts.(col + 1) + 1
+      end
+    done;
+    for c = 0 to ncols - 1 do
+      starts.(c + 1) <- starts.(c) + starts.(c + 1)
+    done;
+    let tpids = Array.make (max 1 starts.(ncols)) 0 in
+    let cursor = Array.copy starts in
+    for pid = 0 to n - 1 do
+      if Vec.get t.ptab pid = tab then begin
+        let col = rows.(key_of pid) + Vec.get t.pval pid in
+        tpids.(cursor.(col)) <- pid;
+        cursor.(col) <- cursor.(col) + 1
+      end
+    done;
+    { rows; starts; tpids }
+  in
+  let cmask = Array.make (max 1 ((n + 31) lsr 5)) 0 in
+  for pid = 0 to n - 1 do
+    if Vec.get t.cons1 pid <> [] || Vec.get t.cons2 pid <> [] then
+      cmask.(pid lsr 5) <- cmask.(pid lsr 5) lor (1 lsl (pid land 31))
+  done;
+  t.flat <-
+    {
+      nsym;
+      abs_eq = build tab_abs_eq nsym;
+      abs_ge = build tab_abs_ge nsym;
+      eop = build tab_eop nsym;
+      rel_eq = build tab_rel_eq npairs;
+      rel_ge = build tab_rel_ge npairs;
+      len_tab = build tab_length 1;
+      rel_row;
+      rel_pair;
+      cmask;
+    };
+  t.dirty <- false;
+  Log.debug (fun m ->
+      m "rebuilt flat image: %d predicates, %d symbols, %d relative pairs" n nsym
+        npairs)
 
 (* ------------------------------------------------------------------ *)
 (* Predicate matching                                                   *)
@@ -161,11 +289,11 @@ let packed_second p = p land 0xffff
    list boxing, and traversal walks contiguous memory. *)
 type results = {
   mutable epoch : int;
-  mutable stamp : int array;  (* pid -> epoch of last match *)
-  mutable heads : int array;  (* pid -> newest cell index (valid iff stamped) *)
+  mutable stamp : int array; (* pid -> epoch of last match *)
+  mutable heads : int array; (* pid -> newest cell index (valid iff stamped) *)
   mutable cells : int array;
-  mutable n_cells : int;  (* cells used this epoch *)
-  mutable matched : int;  (* matched predicates this epoch *)
+  mutable n_cells : int; (* cells used this epoch *)
+  mutable matched : int; (* matched predicates this epoch *)
   mutable r_probes : int;
       (* [run]'s scratch counters — fields rather than refs so a run
          allocates nothing; flushed to the metrics once per run *)
@@ -239,7 +367,8 @@ let get res pid =
 let matched_count res = res.matched
 
 (* Check the attribute constraints of [pid]'s first/second variable against
-   tuple attributes. Unconstrained predicates skip the list traversal. *)
+   tuple attributes. Only reached when the constraint bitmap says the pid
+   is constrained, so one side is always non-empty. *)
 let cons_ok t pid ~first ~second =
   (match Vec.get t.cons1 pid with
   | [] -> true
@@ -249,103 +378,137 @@ let cons_ok t pid ~first ~second =
   | [] -> true
   | cs -> Predicate.check_constraints cs second
 
-(* Visit one candidate pid list: count the probe, check attribute
-   constraints, record the packed pair on success. A top-level function
-   rather than a closure inside [run]'s loops — the slot loops below
-   execute per (tuple, value) and a closure allocation there used to
-   dominate the whole match path's allocation (the loops themselves are
-   allocation-free, so this keeps the streaming mode's steady state at
-   zero words per path). Probe/hit tallies go to [res.r_probes]/
-   [res.r_hits] — mutable scratch fields, not refs, so a run allocates
-   nothing — and are flushed to the metrics once per run. *)
-let rec visit_slot t res first second packed = function
-  | [] -> ()
-  | pid :: rest ->
+(* Visit one contiguous pid-arena slice: count each probe, gate the
+   attribute-constraint check on the bitmap, record the packed pair on
+   success. A top-level function rather than a closure inside [run_flat]'s
+   loops — the slices execute per (tuple, value range) and a closure
+   allocation there would dominate the whole match path's allocation (the
+   loops themselves are allocation-free, so this keeps the streaming
+   mode's steady state at zero words per path). Probe/hit tallies go to
+   [res.r_probes]/[res.r_hits] — mutable scratch fields, not refs — and
+   are flushed to the metrics once per run. *)
+let visit t cmask tpids res first second packed lo hi =
+  for s = lo to hi - 1 do
+    let pid = tpids.(s) in
     res.r_probes <- res.r_probes + 1;
-    if cons_ok t pid ~first ~second then begin
+    if
+      cmask.(pid lsr 5) land (1 lsl (pid land 31)) = 0
+      || cons_ok t pid ~first ~second
+    then begin
       res.r_hits <- res.r_hits + 1;
       record res pid packed
-    end;
-    visit_slot t res first second packed rest
+    end
+  done
 
-let rec visit_length res = function
-  | [] -> ()
-  | pid :: rest ->
-    res.r_probes <- res.r_probes + 1;
-    res.r_hits <- res.r_hits + 1;
-    record res pid (pack 0 0);
-    visit_length res rest
-
-let run t res (pub : Publication.t) =
+(* Match one publication against the current flat image. The caller has
+   already reset the probe/hit scratch and ensured the image is fresh. *)
+let run_flat t res (pub : Publication.t) =
   ensure_capacity res (Vec.length t.preds);
   res.epoch <- res.epoch + 1;
   res.n_cells <- 0;
   res.matched <- 0;
-  res.r_probes <- 0;
-  res.r_hits <- 0;
+  let fl = t.flat in
+  let cmask = fl.cmask in
   let l = pub.Publication.length in
-  (* length-of-expression predicates: (length,>=,v) matches iff l >= v *)
-  let stop = min l (Vec.length t.length_slots - 1) in
-  for v = 1 to stop do
-    visit_length res (Vec.get t.length_slots v)
-  done;
+  (* length-of-expression predicates: (length,>=,v) matches iff l >= v;
+     the single row's columns are value-ascending, so values 1..stop are
+     one contiguous slice (Length predicates never carry constraints, so
+     the bitmap branch in [visit] always takes the fast side) *)
+  let lt = fl.len_tab in
+  let stop = min l (lt.rows.(1) - 1) in
+  if stop >= 1 then
+    visit t cmask lt.tpids res [] [] (pack 0 0) lt.starts.(1) lt.starts.(stop + 1);
   let tuples = pub.Publication.tuples in
-  let n = pub.Publication.length in
-  let n_abs = Vec.length t.absolute in
-  let n_rel = Vec.length t.relative in
-  let n_eop = Vec.length t.end_of_path in
-  for i = 0 to n - 1 do
+  let nsym = fl.nsym in
+  let abs_eq = fl.abs_eq and abs_ge = fl.abs_ge and eop = fl.eop in
+  let rel_eq = fl.rel_eq and rel_ge = fl.rel_ge in
+  let rel_row = fl.rel_row and rel_pair = fl.rel_pair in
+  for i = 0 to l - 1 do
     let tu = tuples.(i) in
     let sym = tu.Publication.tag in
-    let o = tu.Publication.occurrence in
-    let attrs = tu.Publication.attrs in
-    (* absolute predicates *)
-    (if sym < n_abs then begin
-       let slots = Vec.get t.absolute sym in
-       if slots != dummy_slots then begin
-         let pos = tu.Publication.pos in
-         if pos < Vec.length slots.eq then
-           visit_slot t res attrs attrs (pack o o) (Vec.get slots.eq pos);
-         let stop = min pos (Vec.length slots.ge - 1) in
-         for v = 1 to stop do
-           visit_slot t res attrs attrs (pack o o) (Vec.get slots.ge v)
-         done
-       end
-     end);
-    (* end-of-path predicates: (p_t-|,>=,v) matches iff l - pos >= v *)
-    (if sym < n_eop then begin
-       let vec = Vec.get t.end_of_path sym in
-       if vec != dummy_eop then begin
-         let stop = min (l - tu.Publication.pos) (Vec.length vec - 1) in
-         for v = 1 to stop do
-           visit_slot t res attrs attrs (pack o o) (Vec.get vec v)
-         done
-       end
-     end);
-    (* relative predicates: pair this tuple with every later tuple *)
-    if sym < n_rel then begin
-      let tbl2 = Vec.get t.relative sym in
-      if tbl2 != dummy_rel then
-        for j = i + 1 to n - 1 do
+    (* a symbol interned after the last rebuild cannot be named by any
+       stored predicate — neither as a first nor (below) second variable *)
+    if sym < nsym then begin
+      let o = tu.Publication.occurrence in
+      let attrs = tu.Publication.attrs in
+      let pos = tu.Publication.pos in
+      let packed = pack o o in
+      (* absolute =: the value must equal the tuple position *)
+      let base = abs_eq.rows.(sym) in
+      if pos < abs_eq.rows.(sym + 1) - base then begin
+        let col = base + pos in
+        visit t cmask abs_eq.tpids res attrs attrs packed abs_eq.starts.(col)
+          abs_eq.starts.(col + 1)
+      end;
+      (* absolute >=: values 1..min(pos, width-1) — one slice *)
+      let base = abs_ge.rows.(sym) in
+      let stop = min pos (abs_ge.rows.(sym + 1) - base - 1) in
+      if stop >= 1 then
+        visit t cmask abs_ge.tpids res attrs attrs packed
+          abs_ge.starts.(base + 1)
+          abs_ge.starts.(base + stop + 1);
+      (* end-of-path: (p_t-|,>=,v) matches iff l - pos >= v *)
+      let base = eop.rows.(sym) in
+      let stop = min (l - pos) (eop.rows.(sym + 1) - base - 1) in
+      if stop >= 1 then
+        visit t cmask eop.tpids res attrs attrs packed
+          eop.starts.(base + 1)
+          eop.starts.(base + stop + 1);
+      (* relative predicates: pair this tuple with every later tuple; the
+         dense row/pair arrays replace the per-symbol hashtable probe *)
+      let r = rel_row.(sym) in
+      if r >= 0 then begin
+        let prow = r * nsym in
+        for j = i + 1 to l - 1 do
           let tu2 = tuples.(j) in
-          (* find, not find_opt: the option would be the only allocation
-             in this loop *)
-          match Hashtbl.find tbl2 tu2.Publication.tag with
-          | exception Not_found -> ()
-          | slots ->
-            let d = tu2.Publication.pos - tu.Publication.pos in
-            let o2 = tu2.Publication.occurrence in
-            let attrs2 = tu2.Publication.attrs in
-            if d < Vec.length slots.eq then
-              visit_slot t res attrs attrs2 (pack o o2)
-                (Vec.get slots.eq d);
-            let stop = min d (Vec.length slots.ge - 1) in
-            for v = 1 to stop do
-              visit_slot t res attrs attrs2 (pack o o2)
-                (Vec.get slots.ge v)
-            done
+          let s2 = tu2.Publication.tag in
+          if s2 < nsym then begin
+            let k = rel_pair.(prow + s2) in
+            if k >= 0 then begin
+              let d = tu2.Publication.pos - pos in
+              let packed2 = pack o tu2.Publication.occurrence in
+              let attrs2 = tu2.Publication.attrs in
+              let base = rel_eq.rows.(k) in
+              if d < rel_eq.rows.(k + 1) - base then begin
+                let col = base + d in
+                visit t cmask rel_eq.tpids res attrs attrs2 packed2
+                  rel_eq.starts.(col)
+                  rel_eq.starts.(col + 1)
+              end;
+              let base = rel_ge.rows.(k) in
+              let stop = min d (rel_ge.rows.(k + 1) - base - 1) in
+              if stop >= 1 then
+                visit t cmask rel_ge.tpids res attrs attrs2 packed2
+                  rel_ge.starts.(base + 1)
+                  rel_ge.starts.(base + stop + 1)
+            end
+          end
         done
+      end
     end
-  done;
+  done
+
+let run t res pub =
+  if t.dirty then rebuild t;
+  res.r_probes <- 0;
+  res.r_hits <- 0;
+  run_flat t res pub;
   Pf_obs.Counter.add t.m.probes res.r_probes;
   Pf_obs.Counter.add t.m.hits res.r_hits
+
+let run_batch t ress pubs =
+  let n = Array.length pubs in
+  if Array.length ress <> n then
+    invalid_arg "Predicate_index.run_batch: results/publications length mismatch";
+  (* one freshness check for the whole batch: the flat image stays hot in
+     cache across the publications instead of alternating with downstream
+     per-document work *)
+  if t.dirty then rebuild t;
+  for i = 0 to n - 1 do
+    let res = ress.(i) in
+    res.r_probes <- 0;
+    res.r_hits <- 0;
+    run_flat t res pubs.(i);
+    Pf_obs.Counter.add t.m.probes res.r_probes;
+    Pf_obs.Counter.add t.m.hits res.r_hits
+  done

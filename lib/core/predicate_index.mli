@@ -2,12 +2,18 @@
     matching stage (Section 4.1).
 
     Distinct predicates are stored once and identified by dense integer
-    {e pids}. The index is staged: predicates are first dispatched on their
-    type, then indexed by interned tag {!Symbol.t} (dense vectors, no
-    string hashing on the match path), then stored in per-operator arrays
-    indexed by the predicate value — insertion and exact lookup are
-    constant-time, and matching a publication touches exactly the array
-    slots its tuples can satisfy.
+    {e pids}. The match side is a {e cache-flat image} of contiguous int
+    arrays, rebuilt lazily once per subscription change: per logical table
+    (absolute/relative × =/>=, end-of-path, length) a CSR layout of
+    symbol- or symbol-pair-keyed rows over dense value columns over one
+    shared flat pid arena. An = probe is a bounds check plus one
+    contiguous slice; a >= probe over values [1..stop] collapses to a
+    single contiguous arena slice because a row's columns are
+    value-ascending; relative predicates dispatch through dense
+    row/pair-id arrays instead of per-symbol hashtables; and a packed
+    per-pid constraint bitmap keeps the unconstrained common case away
+    from the constraint vectors. The inner match loop is sequential array
+    walks with no boxing, no hashing and no closures.
 
     Matching results (the occurrence pairs of Section 4.2) are stored in a
     reusable {!results} cell arena; an epoch counter makes resets free and
@@ -57,7 +63,18 @@ val run : t -> results -> Publication.t -> unit
 (** Evaluate every stored predicate against the publication per the rules
     of Section 4.1.1, recording occurrence pairs. Previous contents of
     [results] are discarded (O(1)). Predicates with attribute constraints
-    only match tuples whose attributes satisfy them (inline evaluation). *)
+    only match tuples whose attributes satisfy them (inline evaluation).
+    The first run after a subscription change rebuilds the flat match
+    image; steady-state runs allocate nothing. *)
+
+val run_batch : t -> results array -> Publication.t array -> unit
+(** [run_batch idx ress pubs] matches [pubs.(i)] into [ress.(i)] for every
+    [i], exactly as [Array.iter2 (run idx) ress pubs] would — same match
+    sets, same pair order, same probe/hit counter totals — but checks the
+    flat image's freshness once for the whole batch and keeps it hot in
+    cache across the publications instead of alternating with downstream
+    per-document work. The arrays must have equal length
+    ([Invalid_argument] otherwise); steady state allocates nothing. *)
 
 val get : results -> pid -> (int * int) list
 (** Matching occurrence pairs for [pid] in the last {!run}; [[]] if the

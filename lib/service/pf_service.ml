@@ -70,6 +70,7 @@ type replica = Replica : (module Pf_intf.FILTER with type t = 'a) * 'a -> replic
 type metrics = {
   registry : Pf_obs.Registry.t;
   documents : Pf_obs.Counter.t;
+  batched_documents : Pf_obs.Counter.t;
   batches : Pf_obs.Counter.t;
   updates_applied : Pf_obs.Counter.t;
   subscribes : Pf_obs.Counter.t;
@@ -87,6 +88,9 @@ let make_metrics () =
     registry;
     documents =
       Pf_obs.Counter.make ~registry "documents" ~help:"documents matched and delivered";
+    batched_documents =
+      Pf_obs.Counter.make ~registry "batched_documents"
+        ~help:"documents matched through a grouped engine match_batch call";
     batches = Pf_obs.Counter.make ~registry "batches" ~help:"worker batch dequeues";
     updates_applied =
       Pf_obs.Counter.make ~registry "updates_applied"
@@ -182,43 +186,115 @@ let worker t r =
            so observations flush into the shared histogram under the
            post-batch lock *)
         let lats = ref [] in
-        Array.iter
-          (fun job ->
-            (try
-               (* batch boundary: catch the replica up to this document's
-                  epoch before matching — never further *)
-               while !applied < job.epoch do
-                 (match pending.(!applied - base) with
-                 | Add p -> ignore (F.add inst p)
-                 | Remove sid -> ignore (F.remove inst sid));
-                 incr applied
-               done;
-               (match job.trace with
-               | None -> ()
-               | Some ctx -> Pf_obs.Trace.set_ambient ctx);
-               let sids =
-                 Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
-                     match job.doc with
-                     | Tree d -> F.match_document inst d
-                     | Raw s -> F.match_string inst s)
-               in
-               match job.trace with
-               | None -> job.deliver sids
-               | Some ctx -> Pf_obs.Trace.span ctx "deliver" (fun () -> job.deliver sids)
-             with e ->
-               if !first_error = None then first_error := Some e;
-               (* deliver something so waiters (filter_batch, drain) never
-                  hang; the exception resurfaces at shutdown *)
-               (try job.deliver [] with _ -> ()));
-            (match job.trace with
-            | None -> ()
-            | Some ctx -> Pf_obs.Trace.finish ctx);
-            lats :=
-              Int64.to_int (Int64.sub (Pf_obs.Span.now ()) job.t_submit) :: !lats)
-          jobs;
+        let batched = ref 0 in
+        (* batch boundary: catch the replica up to a document's epoch
+           before matching — never further *)
+        let catch_up epoch =
+          while !applied < epoch do
+            (match pending.(!applied - base) with
+            | Add p -> ignore (F.add inst p)
+            | Remove sid -> ignore (F.remove inst sid));
+            incr applied
+          done
+        in
+        let finish_job job sids =
+          (try
+             match job.trace with
+             | None -> job.deliver sids
+             | Some ctx -> Pf_obs.Trace.span ctx "deliver" (fun () -> job.deliver sids)
+           with e ->
+             if !first_error = None then first_error := Some e;
+             (* deliver something so waiters (filter_batch, drain) never
+                hang; the exception resurfaces at shutdown *)
+             (try job.deliver [] with _ -> ()));
+          (match job.trace with
+          | None -> ()
+          | Some ctx -> Pf_obs.Trace.finish ctx);
+          lats :=
+            Int64.to_int (Int64.sub (Pf_obs.Span.now ()) job.t_submit) :: !lats
+        in
+        let run_single job =
+          let sids =
+            try
+              catch_up job.epoch;
+              (match job.trace with
+              | None -> ()
+              | Some ctx -> Pf_obs.Trace.set_ambient ctx);
+              Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
+                  match job.doc with
+                  | Tree d -> F.match_document inst d
+                  | Raw s -> F.match_string inst s)
+            with e ->
+              if !first_error = None then first_error := Some e;
+              []
+          in
+          finish_job job sids
+        in
+        (* group consecutive untraced jobs of one epoch and one payload
+           kind into a single engine match_batch call: the replica state is
+           constant across the group (same epoch, no catch-up in between),
+           so the grouped call is observationally the per-job loop, and a
+           batching engine amortizes its predicate stage across the group *)
+        let same_group a b =
+          a.trace = None && b.trace = None
+          && a.epoch = b.epoch
+          &&
+          match a.doc, b.doc with
+          | Tree _, Tree _ | Raw _, Raw _ -> true
+          | Tree _, Raw _ | Raw _, Tree _ -> false
+        in
+        let i = ref 0 in
+        while !i < n do
+          let j = !i in
+          let job = jobs.(j) in
+          let k = ref (j + 1) in
+          while !k < n && same_group job jobs.(!k) do
+            incr k
+          done;
+          let len = !k - j in
+          if len >= 2 then begin
+            (match
+               catch_up job.epoch;
+               (match job.doc with
+               | Tree _ ->
+                 F.match_batch inst
+                   (List.init len (fun o ->
+                        match jobs.(j + o).doc with
+                        | Tree d -> d
+                        | Raw _ -> assert false))
+               | Raw _ ->
+                 F.match_string_batch inst
+                   (List.init len (fun o ->
+                        match jobs.(j + o).doc with
+                        | Raw s -> s
+                        | Tree _ -> assert false)))
+               |> fun results ->
+               if List.length results <> len then
+                 failwith "match_batch: result count mismatch"
+               else results
+             with
+            | results ->
+              batched := !batched + len;
+              List.iteri (fun o sids -> finish_job jobs.(j + o) sids) results
+            | exception _ ->
+              (* a batched engine reports the group's first failure without
+                 saying which document raised; re-run the group one document
+                 at a time so failures stay per-job (the failing document
+                 delivers [], the others their real match sets) *)
+              for o = j to !k - 1 do
+                run_single jobs.(o)
+              done);
+            i := !k
+          end
+          else begin
+            run_single job;
+            incr i
+          end
+        done;
         Mutex.lock t.lock;
         t.in_flight <- t.in_flight - n;
         Pf_obs.Counter.add t.m.documents n;
+        Pf_obs.Counter.add t.m.batched_documents !batched;
         Pf_obs.Counter.incr t.m.batches;
         Pf_obs.Counter.add t.m.updates_applied (!applied - base);
         List.iter (Pf_obs.Qhist.observe t.m.latency) !lats;
@@ -308,35 +384,100 @@ let eworker t w r =
         let to_deliver = ref [] in
         let n_delivered = ref 0 in
         let lats = ref [] in
-        Array.iter
-          (fun job ->
-            let part =
-              try
-                while !applied < job.e_epoch do
-                  apply_one pending.(!applied - base);
-                  incr applied
-                done;
-                (* spans recorded here carry this worker's domain id and
-                   the job's trace id; the merge side stitches them *)
-                (match job.e_trace with
-                | None -> ()
-                | Some ctx -> Pf_obs.Trace.set_ambient ctx);
-                let locals =
-                  Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
-                      match job.e_doc with
-                      | Tree d -> F.match_document inst d
-                      | Raw s -> F.match_string inst s)
-                in
-                let g = !g_of_l in
-                List.map (fun l -> g.(l)) locals
-              with e ->
-                if !first_error = None then first_error := Some e;
-                []
-            in
-            job.parts.(w) <- part;
-            if Atomic.fetch_and_add job.remaining (-1) = 1 then
-              to_deliver := job :: !to_deliver)
-          jobs;
+        let batched = ref 0 in
+        let catch_up epoch =
+          while !applied < epoch do
+            apply_one pending.(!applied - base);
+            incr applied
+          done
+        in
+        let complete job part =
+          job.parts.(w) <- part;
+          if Atomic.fetch_and_add job.remaining (-1) = 1 then
+            to_deliver := job :: !to_deliver
+        in
+        let run_single job =
+          let part =
+            try
+              catch_up job.e_epoch;
+              (* spans recorded here carry this worker's domain id and
+                 the job's trace id; the merge side stitches them *)
+              (match job.e_trace with
+              | None -> ()
+              | Some ctx -> Pf_obs.Trace.set_ambient ctx);
+              let locals =
+                Fun.protect ~finally:Pf_obs.Trace.clear_ambient (fun () ->
+                    match job.e_doc with
+                    | Tree d -> F.match_document inst d
+                    | Raw s -> F.match_string inst s)
+              in
+              let g = !g_of_l in
+              List.map (fun l -> g.(l)) locals
+            with e ->
+              if !first_error = None then first_error := Some e;
+              []
+          in
+          complete job part
+        in
+        (* same grouping as the document-replicated worker: consecutive
+           untraced same-epoch same-kind broadcasts go through one shard
+           match_batch call *)
+        let same_group a b =
+          a.e_trace = None && b.e_trace = None
+          && a.e_epoch = b.e_epoch
+          &&
+          match a.e_doc, b.e_doc with
+          | Tree _, Tree _ | Raw _, Raw _ -> true
+          | Tree _, Raw _ | Raw _, Tree _ -> false
+        in
+        let i = ref 0 in
+        while !i < n do
+          let j = !i in
+          let job = jobs.(j) in
+          let k = ref (j + 1) in
+          while !k < n && same_group job jobs.(!k) do
+            incr k
+          done;
+          let len = !k - j in
+          if len >= 2 then begin
+            (match
+               catch_up job.e_epoch;
+               let locals_per_doc =
+                 match job.e_doc with
+                 | Tree _ ->
+                   F.match_batch inst
+                     (List.init len (fun o ->
+                          match jobs.(j + o).e_doc with
+                          | Tree d -> d
+                          | Raw _ -> assert false))
+                 | Raw _ ->
+                   F.match_string_batch inst
+                     (List.init len (fun o ->
+                          match jobs.(j + o).e_doc with
+                          | Raw s -> s
+                          | Tree _ -> assert false))
+               in
+               if List.length locals_per_doc <> len then
+                 failwith "match_batch: result count mismatch";
+               let g = !g_of_l in
+               List.map (List.map (fun l -> g.(l))) locals_per_doc
+             with
+            | parts ->
+              batched := !batched + len;
+              List.iteri (fun o part -> complete jobs.(j + o) part) parts
+            | exception _ ->
+              (* per-document fallback: failures must stay per-job (see the
+                 document-replicated worker) *)
+              for o = j to !k - 1 do
+                run_single jobs.(o)
+              done);
+            i := !k
+          end
+          else begin
+            run_single job;
+            incr i
+          end
+        done;
         List.iter
           (fun job ->
             incr n_delivered;
@@ -361,8 +502,10 @@ let eworker t w r =
           (List.rev !to_deliver);
         Mutex.lock t.lock;
         t.in_flight <- t.in_flight - n;
-        (* count a document once, at its merging worker *)
+        (* count a document once, at its merging worker; batched shard
+           matches are per-worker, so every worker contributes *)
         Pf_obs.Counter.add t.m.documents !n_delivered;
+        Pf_obs.Counter.add t.m.batched_documents !batched;
         Pf_obs.Counter.add t.m.merges !n_delivered;
         Pf_obs.Counter.incr t.m.batches;
         Pf_obs.Counter.add t.m.updates_applied (!applied - base);

@@ -28,6 +28,18 @@
     responsible for and performs delivery after its whole batch is
     matched, outside the lock.
 
+    Within a dequeued batch, consecutive jobs that share an epoch and a
+    payload kind (all parsed trees, or all raw text) and carry no trace
+    context are matched through one engine
+    {!Pf_intf.FILTER.match_batch} / [match_string_batch] call per group
+    (groups of at least two; single jobs and traced jobs keep the
+    per-document path). The replica state is constant across such a group
+    — same epoch means no catch-up between its documents — so grouping is
+    observationally the per-job loop, while a batching engine (the
+    predicate engine in [Tree] ingest) amortizes its cache-flat predicate
+    stage across the group. Delivery, latency accounting and (in [Expr]
+    mode) per-shard merge countdowns stay per-job.
+
     {2 Epoch semantics}
 
     Subscription changes never race a matching engine. [subscribe] and
@@ -164,11 +176,14 @@ val shutdown : t -> unit
 val metrics : t -> Pf_obs.Registry.t
 (** The service's own registry (scope ["service"]): counters
     ["documents"] (matched and delivered — counted once per document in
-    either mode), ["batches"] (worker dequeues), ["updates_applied"] (log
-    entries applied across replicas, primary excluded), ["subscribes"],
-    ["unsubscribes"], ["submit_waits"] (submissions that blocked on a
-    full queue), ["merges"] (expression-sharded result merges); gauges
-    ["domains"] and ["queue_high_water"]. *)
+    either mode), ["batched_documents"] (documents that went through a
+    grouped engine [match_batch] call; in [Expr] mode each worker's shard
+    match counts, so the counter can exceed ["documents"]), ["batches"]
+    (worker dequeues), ["updates_applied"] (log entries applied across
+    replicas, primary excluded), ["subscribes"], ["unsubscribes"],
+    ["submit_waits"] (submissions that blocked on a full queue),
+    ["merges"] (expression-sharded result merges); gauges ["domains"] and
+    ["queue_high_water"]. *)
 
 val engine_metrics : t -> Pf_obs.Registry.t
 (** A fresh snapshot (scope ["service-engines"], unlisted) merging the

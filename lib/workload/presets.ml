@@ -14,3 +14,12 @@ let documents_for = function
   | s -> invalid_arg (Printf.sprintf "Presets.documents_for: unknown DTD %S" s)
 
 let paper_queries = Xpath_gen.default
+
+(* Subscription-heavy regime: far more expressions than the paper's sweeps
+   (duplicates allowed, as in a real dissemination system where many
+   subscribers register the same feeds), against the skewed NITF-style
+   documents. The regime where per-document fixed costs — predicate-image
+   freshness checks, cache refills between expression evaluation and the
+   predicate stage — dominate, i.e. what the batched match path is for. *)
+let heavy_subscriptions =
+  { Xpath_gen.default with Xpath_gen.count = 100_000; distinct = false }

@@ -24,3 +24,12 @@ val documents_for : string -> Xml_gen.params
 val paper_queries : Xpath_gen.params
 (** Section 6.2 settings: L=6, W=0.2, DO=0.2, distinct. Set [count] (and
     [distinct], [filters_per_path], ...) per experiment. *)
+
+val heavy_subscriptions : Xpath_gen.params
+(** The subscription-heavy regime: {!paper_queries} with
+    [count = 100_000] and [distinct = false] (duplicates allowed — real
+    dissemination workloads repeat popular feeds). Pair with
+    {!nitf_documents}: a skewed, selective stream against a very large
+    subscription table, where per-document fixed costs dominate and the
+    service's expr-mode sharding plus the engine's batched predicate
+    stage are supposed to pay off. *)

@@ -193,29 +193,30 @@ let naive_matches (pred : Predicate.t) (pub : Publication.t) =
       tuples
   | Predicate.Length { v } -> if pub.Publication.length >= v then [ 0, 0 ] else []
 
+let pred_gen =
+  let open QCheck2 in
+  Gen.(
+    oneof
+      [
+        (Gen_helpers.tag_gen >>= fun t ->
+         oneofl [ Predicate.Eq; Predicate.Ge ] >>= fun op ->
+         int_range 1 6 >>= fun v ->
+         return (Predicate.Absolute { tag = Predicate.tagvar t; op; v }));
+        (Gen_helpers.tag_gen >>= fun t1 ->
+         Gen_helpers.tag_gen >>= fun t2 ->
+         oneofl [ Predicate.Eq; Predicate.Ge ] >>= fun op ->
+         int_range 1 5 >>= fun v ->
+         return
+           (Predicate.Relative
+              { first = Predicate.tagvar t1; second = Predicate.tagvar t2; op; v }));
+        (Gen_helpers.tag_gen >>= fun t ->
+         int_range 1 5 >>= fun v ->
+         return (Predicate.End_of_path { tag = Predicate.tagvar t; v }));
+        (int_range 1 6 >>= fun v -> return (Predicate.Length { v }));
+      ])
+
 let prop_matching_agrees_with_naive =
   let open QCheck2 in
-  let pred_gen =
-    Gen.(
-      oneof
-        [
-          (Gen_helpers.tag_gen >>= fun t ->
-           oneofl [ Predicate.Eq; Predicate.Ge ] >>= fun op ->
-           int_range 1 6 >>= fun v ->
-           return (Predicate.Absolute { tag = Predicate.tagvar t; op; v }));
-          (Gen_helpers.tag_gen >>= fun t1 ->
-           Gen_helpers.tag_gen >>= fun t2 ->
-           oneofl [ Predicate.Eq; Predicate.Ge ] >>= fun op ->
-           int_range 1 5 >>= fun v ->
-           return
-             (Predicate.Relative
-                { first = Predicate.tagvar t1; second = Predicate.tagvar t2; op; v }));
-          (Gen_helpers.tag_gen >>= fun t ->
-           int_range 1 5 >>= fun v ->
-           return (Predicate.End_of_path { tag = Predicate.tagvar t; v }));
-          (int_range 1 6 >>= fun v -> return (Predicate.Length { v }));
-        ])
-  in
   let tags_gen = Gen.(list_size (int_range 1 7) Gen_helpers.tag_gen) in
   Test.make ~name:"index matching = naive rule evaluation" ~count:2000
     ~print:(fun (preds, tags) ->
@@ -232,6 +233,138 @@ let prop_matching_agrees_with_naive =
           sorted_pairs (Predicate_index.get res pid)
           = sorted_pairs (naive_matches pred pub))
         preds pids)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence with the pre-rewrite list-slot implementation
+   (Pf_difftest.Predicate_ref): the cache-flat index must be
+   byte-identical — same pids, same packed pairs in the same order, same
+   probe/hit counter totals — including across re-interning churn (which
+   must not perturb anything) and mid-sequence growth (which forces a
+   flat-image rebuild between documents). *)
+
+module Pref = Pf_difftest.Predicate_ref
+
+(* like [pred_gen] but a third of the absolute predicates carry attribute
+   constraints, so the constraint-bitmap path is exercised *)
+let cpred_gen =
+  let open QCheck2 in
+  let constraint_gen =
+    Gen.(
+      Gen_helpers.attr_name_gen >>= fun attr ->
+      oneofl Pf_xpath.Ast.[ Eq; Ne; Ge; Lt ] >>= fun cmp ->
+      int_range 0 3 >>= fun v ->
+      return { Predicate.attr; cmp; value = Pf_xpath.Ast.Int v })
+  in
+  Gen.(
+    oneof
+      [
+        pred_gen;
+        pred_gen;
+        (Gen_helpers.tag_gen >>= fun t ->
+         list_size (int_range 1 2) constraint_gen >>= fun cs ->
+         oneofl [ Predicate.Eq; Predicate.Ge ] >>= fun op ->
+         int_range 1 4 >>= fun v ->
+         return (Predicate.Absolute { tag = Predicate.tagvar ~constraints:cs t; op; v }));
+      ])
+
+let pubs_of_docs docs =
+  List.concat_map
+    (fun d -> List.map Publication.of_path (Pf_xml.Path.of_document d))
+    docs
+
+let agree idx res rdx rres pub =
+  Predicate_index.run idx res pub;
+  Pref.run rdx rres pub;
+  Predicate_index.matched_count res = Pref.matched_count rres
+  && List.for_all
+       (fun pid ->
+         Predicate_index.is_matched res pid = Pref.is_matched rres pid
+         && Predicate_index.get_packed res pid = Pref.get_packed rres pid)
+       (List.init (Predicate_index.size idx) Fun.id)
+
+let equiv_print (batch1, batch2, docs) =
+  Format.asprintf "%a then %a on %d docs" Predicate.pp_list batch1 Predicate.pp_list
+    batch2 (List.length docs)
+
+let prop_flat_agrees_with_listslot =
+  let open QCheck2 in
+  Test.make ~name:"flat index = list-slot reference (with churn)" ~count:600
+    ~print:equiv_print
+    Gen.(
+      triple
+        (list_size (int_range 1 5) cpred_gen)
+        (list_size (int_range 0 4) cpred_gen)
+        (list_size (int_range 1 3) Gen_helpers.doc_gen))
+    (fun (batch1, batch2, docs) ->
+      let m_new = Predicate_index.make_metrics () in
+      let m_old = Pref.make_metrics () in
+      let idx = Predicate_index.create ~metrics:m_new () in
+      let rdx = Pref.create ~metrics:m_old () in
+      let pids1 = List.map (Predicate_index.intern idx) batch1 in
+      let rpids1 = List.map (Pref.intern rdx) batch1 in
+      let res = Predicate_index.create_results () in
+      let rres = Pref.create_results () in
+      let pubs = pubs_of_docs docs in
+      let k = List.length pubs / 2 in
+      let before = List.filteri (fun i _ -> i < k) pubs in
+      let after = List.filteri (fun i _ -> i >= k) pubs in
+      pids1 = rpids1
+      && List.for_all (agree idx res rdx rres) before
+      && begin
+           (* churn: new predicates force a rebuild before the next run;
+              re-interning existing ones must change nothing (same pids,
+              no divergence) *)
+           let pids2 = List.map (Predicate_index.intern idx) batch2 in
+           let rpids2 = List.map (Pref.intern rdx) batch2 in
+           let again1 = List.map (Predicate_index.intern idx) batch1 in
+           let ragain1 = List.map (Pref.intern rdx) batch1 in
+           pids2 = rpids2 && again1 = pids1 && ragain1 = rpids1
+         end
+      && List.for_all (agree idx res rdx rres) after
+      && Pf_obs.Counter.get m_new.Predicate_index.probes
+         = Pf_obs.Counter.get m_old.Pref.probes
+      && Pf_obs.Counter.get m_new.Predicate_index.hits
+         = Pf_obs.Counter.get m_old.Pref.hits)
+
+let prop_run_batch_agrees =
+  let open QCheck2 in
+  Test.make ~name:"run_batch = iterated reference runs" ~count:400
+    ~print:(fun (preds, docs) ->
+      Format.asprintf "%a on %d docs" Predicate.pp_list preds (List.length docs))
+    Gen.(
+      pair
+        (list_size (int_range 1 6) cpred_gen)
+        (list_size (int_range 1 3) Gen_helpers.doc_gen))
+    (fun (preds, docs) ->
+      let m_new = Predicate_index.make_metrics () in
+      let m_old = Pref.make_metrics () in
+      let idx = Predicate_index.create ~metrics:m_new () in
+      let rdx = Pref.create ~metrics:m_old () in
+      let pids = List.map (Predicate_index.intern idx) preds in
+      let rpids = List.map (Pref.intern rdx) preds in
+      let pubs = Array.of_list (pubs_of_docs docs) in
+      let n = Array.length pubs in
+      let ress = Array.init n (fun _ -> Predicate_index.create_results ()) in
+      Predicate_index.run_batch idx ress pubs;
+      let rres = Pref.create_results () in
+      pids = rpids
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun i pub ->
+                Pref.run rdx rres pub;
+                Predicate_index.matched_count ress.(i) = Pref.matched_count rres
+                && List.for_all
+                     (fun pid ->
+                       Predicate_index.is_matched ress.(i) pid
+                       = Pref.is_matched rres pid
+                       && Predicate_index.get_packed ress.(i) pid
+                          = Pref.get_packed rres pid)
+                     (List.init (Predicate_index.size idx) Fun.id))
+              pubs)
+      && Pf_obs.Counter.get m_new.Predicate_index.probes
+         = Pf_obs.Counter.get m_old.Pref.probes
+      && Pf_obs.Counter.get m_new.Predicate_index.hits
+         = Pf_obs.Counter.get m_old.Pref.hits)
 
 let () =
   Alcotest.run "predicate_index"
@@ -254,5 +387,11 @@ let () =
           Alcotest.test_case "epoch reset" `Quick test_epoch_reset;
           Alcotest.test_case "inline constraints" `Quick test_inline_constraints;
         ] );
-      "properties", List.map Gen_helpers.to_alcotest [ prop_matching_agrees_with_naive ];
+      ( "properties",
+        List.map Gen_helpers.to_alcotest
+          [
+            prop_matching_agrees_with_naive;
+            prop_flat_agrees_with_listslot;
+            prop_run_batch_agrees;
+          ] );
     ]
