@@ -20,14 +20,22 @@ let read_expressions path =
   in
   go [] 1
 
-let run engine_name shard_mode domains batch path_cache stream quiet count_only
-    metrics_fmt trace_srcs trace_out trace_slowest exprs_file docs =
+let run engine_name shard_mode domains batch path_cache subsumption stream quiet
+    count_only metrics_fmt trace_srcs trace_out trace_slowest exprs_file docs =
   let path_cache =
     match path_cache with
     | "on" -> true
     | "off" -> false
     | s ->
       Printf.eprintf "bad --path-cache %S (try on or off)\n" s;
+      exit 2
+  in
+  let subsumption =
+    match subsumption with
+    | "on" -> true
+    | "off" -> false
+    | s ->
+      Printf.eprintf "bad --subsumption %S (try on or off)\n" s;
       exit 2
   in
   if path_cache && Pf_core.Expr_index.variant_of_name engine_name = None then begin
@@ -103,6 +111,9 @@ let run engine_name shard_mode domains batch path_cache stream quiet count_only
       Printf.eprintf "unknown engine %S\n" engine_name;
       exit 2
   in
+  (* the subsumption index wraps any engine: logical sids out, hash-consed
+     physical registration in — match answers are byte-identical *)
+  let filter = if subsumption then Pf_core.Subsume.filter filter else filter in
   let svc = Pf_service.create ~mode ~domains ~batch filter in
   let exprs = read_expressions exprs_file in
   let table = Hashtbl.create (List.length exprs) in
@@ -253,6 +264,16 @@ let path_cache_arg =
   in
   Arg.(value & opt string "off" & info [ "path-cache" ] ~docv:"on|off" ~doc)
 
+let subsumption_arg =
+  let doc =
+    "Subsumption index: $(b,on) canonicalizes and hash-conses subscriptions \
+     so semantically equal expressions share one physical expression in the \
+     engine, with matches fanned back out to the original subscription ids \
+     (byte-identical answers); $(b,off) (default) registers every \
+     subscription verbatim. Works with every engine and shard mode."
+  in
+  Arg.(value & opt string "off" & info [ "subsumption" ] ~docv:"on|off" ~doc)
+
 let stream_arg =
   let doc =
     "Fully streaming matching: documents are sent to the workers as raw XML \
@@ -319,7 +340,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ engine_arg $ shard_mode_arg $ domains_arg $ batch_arg $ path_cache_arg
-      $ stream_arg $ quiet_arg $ count_arg $ metrics_arg $ trace_arg $ trace_out_arg
-      $ trace_slowest_arg $ exprs_arg $ docs_arg)
+      $ subsumption_arg $ stream_arg $ quiet_arg $ count_arg $ metrics_arg $ trace_arg
+      $ trace_out_arg $ trace_slowest_arg $ exprs_arg $ docs_arg)
 
 let () = exit (Cmd.eval cmd)

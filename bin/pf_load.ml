@@ -25,6 +25,7 @@ type cfg = {
   documents : int;
   window : int;
   filters_per_path : int;
+  redundant : bool;
   seed : int;
   retry_for : float;
   deliveries_out : string option;
@@ -63,11 +64,20 @@ let run cfg =
         exit 2
   in
   let exprs =
-    Pf_workload.Xpath_gen.generate dtd
-      { Pf_workload.Presets.paper_queries with
-        count = cfg.subscriptions;
-        filters_per_path = cfg.filters_per_path;
-        seed = cfg.seed }
+    (if cfg.redundant then
+       (* redundancy-skewed soak: spelling variants and covering pairs of
+          a small pool, the workload the broker's covering suppression
+          and a subsumed engine are built for *)
+       Pf_workload.Xpath_gen.generate_redundant dtd
+         { Pf_workload.Presets.redundant_subscriptions with
+           Pf_workload.Xpath_gen.count = cfg.subscriptions;
+           rseed = cfg.seed }
+     else
+       Pf_workload.Xpath_gen.generate dtd
+         { Pf_workload.Presets.paper_queries with
+           count = cfg.subscriptions;
+           filters_per_path = cfg.filters_per_path;
+           seed = cfg.seed })
     |> List.map Pf_xpath.Parser.to_string
   in
   let docs =
@@ -216,8 +226,8 @@ let run cfg =
     exit 1
   end
 
-let run_cli connect ns workload subscriptions churn documents window filters seed retry_for
-    deliveries_out json quiet =
+let run_cli connect ns workload subscriptions churn documents window filters redundant
+    seed retry_for deliveries_out json quiet =
   let addr =
     match Pf_net.Server.listen_of_string connect with
     | Ok a -> a
@@ -231,7 +241,8 @@ let run_cli connect ns workload subscriptions churn documents window filters see
   end;
   run
     { addr; ns; workload; subscriptions; churn; documents; window;
-      filters_per_path = filters; seed; retry_for; deliveries_out; json; quiet }
+      filters_per_path = filters; redundant; seed; retry_for; deliveries_out;
+      json; quiet }
 
 let connect_arg =
   Arg.(
@@ -269,6 +280,15 @@ let filters_arg =
     value & opt int 1
     & info [ "filters-per-path" ] ~docv:"N" ~doc:"Attribute filters per generated expression.")
 
+let redundant_arg =
+  let doc =
+    "Generate a redundancy-skewed subscription set (spelling variants and \
+     covering pairs over a small pool) instead of independent expressions — \
+     the workload the broker's covering suppression and the subsumption \
+     index are designed for. Ignores $(b,--filters-per-path)."
+  in
+  Arg.(value & flag & info [ "redundant" ] ~doc)
+
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
 
 let retry_arg =
@@ -297,6 +317,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run_cli $ connect_arg $ ns_arg $ workload_arg $ subs_arg $ churn_arg $ docs_arg
-      $ window_arg $ filters_arg $ seed_arg $ retry_arg $ deliveries_arg $ json_arg $ quiet_arg)
+      $ window_arg $ filters_arg $ redundant_arg $ seed_arg $ retry_arg $ deliveries_arg
+      $ json_arg $ quiet_arg)
 
 let () = exit (Cmd.eval cmd)

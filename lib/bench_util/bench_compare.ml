@@ -59,6 +59,12 @@ let classify ~exp path =
     (* deterministic work profile of the predicate stage on the seeded
        workload: growth means the index got less selective *)
     Free_lower
+  else if base = "physical_over_logical" || base = "covers_probes_per_expr" then
+    (* deterministic sharing profile of the subsumption index on the
+       seeded redundant workload: a rising ratio means lost sharing, a
+       rising per-expression probe count means the candidate probe is
+       drifting super-linear *)
+    Free_lower
   else if has_sub ~sub:"docs_per_s" base || has_sub ~sub:"speedup" base then
     Timing_higher
   else if

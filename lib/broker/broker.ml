@@ -23,6 +23,8 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let default_ns = ""
 
+module Probe = Pf_core.Subsume.Probe
+
 type state =
   | Active of int  (* engine sid *)
   | Suppressed of int  (* uid of the covering subscription *)
@@ -59,6 +61,8 @@ type metrics = {
   documents : Pf_obs.Counter.t;
   deliveries : Pf_obs.Counter.t;
   suppressions : Pf_obs.Counter.t;
+  covers_probes : Pf_obs.Counter.t;
+  promotions : Pf_obs.Counter.t;
   subscriptions_g : Pf_obs.Gauge.t;
   suppressed_g : Pf_obs.Gauge.t;
   engine_exprs_g : Pf_obs.Gauge.t;
@@ -75,6 +79,12 @@ let make_metrics () =
     suppressions =
       Pf_obs.Counter.make ~registry "covering_suppressions"
         ~help:"subscriptions suppressed by a covering subscription at subscribe time";
+    covers_probes =
+      Pf_obs.Counter.make ~registry "covers_probes"
+        ~help:"containment tests made by covering-suppression probes";
+    promotions =
+      Pf_obs.Counter.make ~registry "promotions"
+        ~help:"suppressed subscriptions re-activated after their cover left";
     (* populations add up across broker shards: Sum, not the gauge
        default Max (which is for high-water marks) *)
     subscriptions_g =
@@ -95,6 +105,10 @@ type t = {
   by_sid : (int, subscription) Hashtbl.t;  (* append-only *)
   by_uid : (int, subscription) Hashtbl.t;
   by_subscriber : (string * string, subscription list ref) Hashtbl.t;  (* (ns, name) *)
+  (* shape-bucket candidate index per (ns, subscriber): holds exactly the
+     active single-path subscriptions, so find_cover probes the
+     expression's tag buckets instead of scanning every subscription *)
+  probes : (string * string, subscription Probe.t) Hashtbl.t;
   mutable next_uid : int;
   mutable active_count : int;
   mutable suppressed_count : int;
@@ -111,6 +125,7 @@ let create_over ?(covering_suppression = true) port =
     by_sid = Hashtbl.create 1024;
     by_uid = Hashtbl.create 1024;
     by_subscriber = Hashtbl.create 64;
+    probes = Hashtbl.create 64;
     next_uid = 0;
     active_count = 0;
     suppressed_count = 0;
@@ -169,18 +184,53 @@ let subscriber_subs t ~ns subscriber =
   | Some l -> !l
   | None -> []
 
+let probe_key sub = sub.ns, sub.subscriber
+
+let probe_add (t : t) sub =
+  if t.covering_suppression && Ast.is_single_path sub.expr then begin
+    let probe =
+      match Hashtbl.find_opt t.probes (probe_key sub) with
+      | Some p -> p
+      | None ->
+        let p = Probe.create () in
+        Hashtbl.add t.probes (probe_key sub) p;
+        p
+    in
+    Probe.add probe sub.expr ~key:sub.uid sub
+  end
+
+let probe_remove (t : t) sub =
+  if t.covering_suppression && Ast.is_single_path sub.expr then
+    match Hashtbl.find_opt t.probes (probe_key sub) with
+    | Some probe -> Probe.remove probe sub.expr ~key:sub.uid
+    | None -> ()
+
 (* An active single-path subscription of the same (namespace, subscriber)
-   that covers [expr] makes it redundant: it can never add a delivery. *)
+   that covers [expr] makes it redundant: it can never add a delivery.
+   Candidates come from the shape-bucket probe, uncapped and complete, so
+   the suppression decision — and the chosen cover: the newest (largest
+   uid) covering subscription, as the former newest-first linear scan
+   picked — is identical; only the cost drops from every live
+   subscription to the expression's tag buckets. Replayed command logs
+   therefore reproduce the same suppression graph. *)
 let find_cover (t : t) ~ns ~subscriber (expr : Ast.path) =
   if (not t.covering_suppression) || not (Ast.is_single_path expr) then None
   else
-    List.find_opt
-      (fun sub ->
-        match sub.state with
-        | Active _ ->
-          Ast.is_single_path sub.expr && Pf_core.Containment.covers sub.expr expr
-        | Suppressed _ | Cancelled -> false)
-      (subscriber_subs t ~ns subscriber)
+    match Hashtbl.find_opt t.probes (ns, subscriber) with
+    | None -> None
+    | Some probe ->
+      let best = ref None in
+      Probe.iter_candidates probe expr (fun uid sub ->
+          if
+            (match !best with Some b -> uid > b.uid | None -> true)
+            && match sub.state with
+               | Active _ -> true
+               | Suppressed _ | Cancelled -> false
+          then begin
+            Pf_obs.Counter.incr t.m.covers_probes;
+            if Pf_core.Containment.covers sub.expr expr then best := Some sub
+          end);
+      !best
 
 (* ------------------------------------------------------------------ *)
 (* Internal transitions (caller holds the lock). *)
@@ -197,7 +247,8 @@ let activate t sub =
   let sid = t.port.port_subscribe sub.expr in
   sub.state <- Active sid;
   t.active_count <- t.active_count + 1;
-  Hashtbl.replace t.by_sid sid sub
+  Hashtbl.replace t.by_sid sid sub;
+  probe_add t sub
 
 (* Raises Pf_intf.Unsupported when the engine rejects the expression; the
    broker is left unchanged and no uid is consumed (covering check and
@@ -229,7 +280,8 @@ let deactivate t sub =
   (match sub.state with
   | Active sid ->
     ignore (t.port.port_unsubscribe sid : bool);
-    t.active_count <- t.active_count - 1
+    t.active_count <- t.active_count - 1;
+    probe_remove t sub
     (* by_sid keeps the entry: in-flight documents may still report it *)
   | Suppressed _ -> t.suppressed_count <- t.suppressed_count - 1
   | Cancelled -> ());
@@ -257,7 +309,9 @@ let unsubscribe_in t sub =
           | Some cover -> dependent.state <- Suppressed cover.uid
           | None -> (
             t.suppressed_count <- t.suppressed_count - 1;
-            try activate t dependent
+            try
+              activate t dependent;
+              Pf_obs.Counter.incr t.m.promotions
             with Pf_intf.Unsupported msg ->
               (* only reachable with an engine whose subset is narrower
                  than the containment checker's (never the default
@@ -292,6 +346,7 @@ let drop_subscriber_in t ~ns subscriber =
       0 subs
   in
   Hashtbl.remove t.by_subscriber (ns, subscriber);
+  Hashtbl.remove t.probes (ns, subscriber);
   set_gauges t;
   n
 

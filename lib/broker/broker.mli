@@ -18,6 +18,11 @@
       holds cannot change that subscriber's deliveries, so it is recorded
       but not registered in the engine; when the covering subscription is
       cancelled, its suppressed dependents are activated transparently.
+      Covers are found by probing a per-(namespace, subscriber)
+      shape-bucket index ({!Pf_core.Subsume.Probe}) rather than scanning
+      every live subscription — exact and uncapped, so suppression
+      decisions (and replay determinism) are unchanged while subscribing
+      n redundant expressions costs o(n²) containment tests.
 
     {2 One state machine, many transports}
 
@@ -269,7 +274,9 @@ val pp_stats : Format.formatter -> stats -> unit
 
 val metrics : t -> Pf_obs.Registry.t
 (** Metric registry (scope ["broker"]): counters ["documents_published"],
-    ["deliveries"] and ["covering_suppressions"]; gauges
+    ["deliveries"], ["covering_suppressions"], ["covers_probes"]
+    (containment tests spent probing for covers) and ["promotions"]
+    (suppressed subscriptions re-activated after their cover left); gauges
     ["subscriptions"] (Sum), ["suppressed"] (Sum) and
     ["engine_expressions"] (Sum) kept current on every mutation so they
     export to Prometheus alongside the wire server's [net_*] metrics.

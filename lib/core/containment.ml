@@ -3,86 +3,11 @@ open Pf_xpath
 (* ------------------------------------------------------------------ *)
 (* Filter implication *)
 
-(* Does the value set selected by (c2, v2) lie inside the one selected by
-   (c1, v1)? Integer sets are points, punctured lines or rays; the integer
-   cases exploit adjacency (x < v  <=>  x <= v - 1). *)
-let int_subset (c2, v2) (c1, v1) =
-  match c1 with
-  | Ast.Eq -> (
-    match c2 with Ast.Eq -> v2 = v1 | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> false)
-  | Ast.Ne -> (
-    match c2 with
-    | Ast.Eq -> v2 <> v1
-    | Ast.Ne -> v2 = v1
-    | Ast.Lt -> v2 <= v1
-    | Ast.Le -> v2 < v1
-    | Ast.Gt -> v2 >= v1
-    | Ast.Ge -> v2 > v1)
-  | Ast.Lt -> (
-    match c2 with
-    | Ast.Eq -> v2 < v1
-    | Ast.Lt -> v2 <= v1
-    | Ast.Le -> v2 < v1
-    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
-  | Ast.Le -> (
-    match c2 with
-    | Ast.Eq -> v2 <= v1
-    | Ast.Lt -> v2 <= v1 + 1
-    | Ast.Le -> v2 <= v1
-    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
-  | Ast.Gt -> (
-    match c2 with
-    | Ast.Eq -> v2 > v1
-    | Ast.Gt -> v2 >= v1
-    | Ast.Ge -> v2 > v1
-    | Ast.Ne | Ast.Lt | Ast.Le -> false)
-  | Ast.Ge -> (
-    match c2 with
-    | Ast.Eq -> v2 >= v1
-    | Ast.Gt -> v2 >= v1 - 1
-    | Ast.Ge -> v2 >= v1
-    | Ast.Ne | Ast.Lt | Ast.Le -> false)
-
-(* Sound (adjacency-free) version for string-ordered domains. *)
-let str_subset (c2, v2) (c1, v1) =
-  match c1 with
-  | Ast.Eq -> c2 = Ast.Eq && String.equal v2 v1
-  | Ast.Ne -> (
-    match c2 with
-    | Ast.Eq -> not (String.equal v2 v1)
-    | Ast.Ne -> String.equal v2 v1
-    | Ast.Lt -> String.compare v2 v1 <= 0
-    | Ast.Le -> String.compare v2 v1 < 0
-    | Ast.Gt -> String.compare v2 v1 >= 0
-    | Ast.Ge -> String.compare v2 v1 > 0)
-  | Ast.Lt -> (
-    match c2 with
-    | Ast.Eq -> String.compare v2 v1 < 0
-    | Ast.Lt | Ast.Le -> String.compare v2 v1 < 0 || (c2 = Ast.Lt && String.equal v2 v1)
-    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
-  | Ast.Le -> (
-    match c2 with
-    | Ast.Eq | Ast.Le -> String.compare v2 v1 <= 0
-    | Ast.Lt -> String.compare v2 v1 <= 0
-    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
-  | Ast.Gt -> (
-    match c2 with
-    | Ast.Eq -> String.compare v2 v1 > 0
-    | Ast.Gt | Ast.Ge -> String.compare v2 v1 > 0 || (c2 = Ast.Gt && String.equal v2 v1)
-    | Ast.Ne | Ast.Lt | Ast.Le -> false)
-  | Ast.Ge -> (
-    match c2 with
-    | Ast.Eq | Ast.Ge -> String.compare v2 v1 >= 0
-    | Ast.Gt -> String.compare v2 v1 >= 0
-    | Ast.Ne | Ast.Lt | Ast.Le -> false)
-
-let implied_filter (f : Ast.attr_filter) (g : Ast.attr_filter) =
-  String.equal f.Ast.attr g.Ast.attr
-  &&
-  match f.Ast.value, g.Ast.value with
-  | Ast.Int v1, Ast.Int v2 -> int_subset (g.Ast.cmp, v2) (f.Ast.cmp, v1)
-  | Ast.Str v1, Ast.Str v2 -> str_subset (g.Ast.cmp, v2) (f.Ast.cmp, v1)
-  | Ast.Int _, Ast.Str _ | Ast.Str _, Ast.Int _ -> false
+(* The single-filter implication primitives live in Pf_xpath.Canonical —
+   the canonicalizer uses them to merge sibling filters and cannot depend
+   on this library — and are re-exported here under their historical
+   name. *)
+let implied_filter = Canonical.implied_filter
 
 (* ------------------------------------------------------------------ *)
 (* Homomorphism test *)

@@ -42,5 +42,8 @@ val redundant : Pf_xpath.Ast.path list -> (int * int) list
 (** [redundant exprs] lists pairs [(i, j)], [i <> j], such that
     [covers (nth i) (nth j)] holds: every match of expression [j] is also
     a match of expression [i] (restricted to single-path expressions;
-    others are skipped). Quadratic; intended for offline workload
-    analysis. *)
+    others are skipped). Quadratic; intended for offline analysis of
+    {e small} workloads only — at dissemination scale (100k–1M
+    expressions) use {!Subsume.redundant_indexed}, which canonicalizes
+    into a shape table and probes shape buckets instead of testing all
+    pairs. *)

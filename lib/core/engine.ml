@@ -856,3 +856,17 @@ let filter ?variant ?attr_mode ?collect_stats ?dedup_paths ?path_cache
   end)
 
 module Filter = (val filter ())
+
+(* [filter] pins [type t = t] in its result, which a subsumption wrapper
+   (logical sids over a private shape table) cannot satisfy — so the
+   subsumed variant is a separate constructor returning a plain
+   [Pf_intf.filter]. *)
+let filter_subsumed ?variant ?attr_mode ?collect_stats ?dedup_paths ?path_cache
+    ?path_cache_capacity ?stream ?(subsumption = true) () : Pf_intf.filter =
+  let base =
+    (filter ?variant ?attr_mode ?collect_stats ?dedup_paths ?path_cache
+       ?path_cache_capacity ?stream ()
+      : (module Pf_intf.FILTER with type t = t)
+      :> Pf_intf.filter)
+  in
+  if subsumption then Subsume.filter base else base

@@ -106,6 +106,26 @@ val filter :
 module Filter : Pf_intf.FILTER with type t = t
 (** [filter ()] applied: the default configuration as a named module. *)
 
+val filter_subsumed :
+  ?variant:Expr_index.variant ->
+  ?attr_mode:attr_mode ->
+  ?collect_stats:bool ->
+  ?dedup_paths:bool ->
+  ?path_cache:bool ->
+  ?path_cache_capacity:int ->
+  ?stream:ingest ->
+  ?subsumption:bool ->
+  unit ->
+  Pf_intf.filter
+(** {!filter} wrapped in the subsumption index ({!Subsume.filter}):
+    semantically equal expressions share one physical engine expression
+    and match results fan back out to logical sids, byte-identical to the
+    unwrapped engine. With [~subsumption:false] (default [true]) the
+    wrapper is omitted — same module shape either way, for call sites
+    toggling the optimization. Returns a plain [Pf_intf.filter] (the
+    wrapper's [t] is not the engine's [t], so it cannot share {!filter}'s
+    signature). *)
+
 val add : t -> Pf_xpath.Ast.path -> int
 (** Register an expression; returns its sid (dense, starting at 0).
     Duplicate expressions receive distinct sids but share all predicate

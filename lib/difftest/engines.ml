@@ -177,6 +177,22 @@ let batched (filter : Pf_intf.filter) : Pf_intf.filter =
     let match_string t s = match_document t (Pf_xml.Sax.parse_document s)
   end)
 
+(* The subsumption wrapper under churn: canonicalization, hash-consing,
+   alias merging and shape retirement/promotion all run between documents
+   (the churn wave removes and re-adds expressions, so shapes collapse to
+   one physical sid, lose logicals, retire and are rebuilt), and the
+   fan-out must stay byte-identical to the oracle throughout. *)
+let subsumed_engine ~ename ?variant ?attr_mode ?stream () =
+  {
+    ename;
+    filter =
+      churned
+        (Pf_core.Subsume.filter
+           (Pf_core.Engine.filter ?variant ?attr_mode ?stream () :> Pf_intf.filter));
+    supports = engine_subset;
+    finalize = ignore;
+  }
+
 let batched_engine ~ename ?variant ?attr_mode ?stream () =
   {
     ename;
@@ -221,16 +237,16 @@ let index_filter_engine =
    when the case crashes. Matching through the service exercises replica
    log replay, batching and (in [Expr] mode) shard merging against the
    same oracle as the sequential engines. *)
-let service_engine ~ename ~mode ~domains ?(stream = Pf_core.Engine.Tree) () =
+let service_engine ~ename ~mode ~domains ?(stream = Pf_core.Engine.Tree)
+    ?(subsumption = false) () =
   let live : Pf_service.t list ref = ref [] in
   let module S = struct
     type t = Pf_service.t
 
     let create () =
-      let svc =
-        Pf_service.create ~mode ~domains ~batch:2
-          (Pf_core.Engine.filter ~stream () :> Pf_intf.filter)
-      in
+      let base = (Pf_core.Engine.filter ~stream () :> Pf_intf.filter) in
+      let filter = if subsumption then Pf_core.Subsume.filter base else base in
+      let svc = Pf_service.create ~mode ~domains ~batch:2 filter in
       live := svc :: !live;
       svc
 
@@ -328,4 +344,12 @@ let extended_roster () =
         ~stream:Pf_core.Engine.Stream ();
       service_engine ~ename:"service-stream-expr" ~mode:Pf_service.Expr ~domains:2
         ~stream:Pf_core.Engine.Stream ();
+      (* the subsumption index between the roster and the engine: logical
+         sids fan out from hash-consed physical shapes, with churn waves
+         retiring and rebuilding shapes between documents *)
+      subsumed_engine ~ename:"engine-subsumed" ();
+      service_engine ~ename:"service-subsumed-doc" ~mode:Pf_service.Doc ~domains:2
+        ~subsumption:true ();
+      service_engine ~ename:"service-subsumed-expr" ~mode:Pf_service.Expr ~domains:3
+        ~subsumption:true ();
     ]

@@ -80,6 +80,18 @@ val batched_engine :
 (** A predicate-engine configuration behind {!batched} — the differential
     wall for the chunked predicate-stage batching and its results pool. *)
 
+val subsumed_engine :
+  ename:string ->
+  ?variant:Pf_core.Expr_index.variant ->
+  ?attr_mode:Pf_core.Engine.attr_mode ->
+  ?stream:Pf_core.Engine.ingest ->
+  unit ->
+  engine
+(** The predicate engine behind {!Pf_core.Subsume.filter}, behind
+    {!churned}: per-document churn waves remove and re-add expressions, so
+    shapes merge, lose logicals, retire and are rebuilt — and the fan-out
+    must stay byte-identical to the oracle throughout. *)
+
 val yfilter_engine : engine
 val index_filter_engine : engine
 
@@ -88,6 +100,7 @@ val service_engine :
   mode:Pf_service.mode ->
   domains:int ->
   ?stream:Pf_core.Engine.ingest ->
+  ?subsumption:bool ->
   unit ->
   engine
 (** The predicate engine behind {!Pf_service}, one [filter_batch] per
@@ -95,8 +108,10 @@ val service_engine :
     [Expr] mode — shard merging, against the same oracle. With a
     non-[Tree] [stream] the engine replicas are streaming and documents
     are submitted as serialized text through [filter_batch_raw], so no
-    layer parses a tree on the matching side. Worker domains are joined
-    by [finalize] after each case. *)
+    layer parses a tree on the matching side. With [subsumption] (default
+    false) each replica's engine sits behind the subsumption index, so
+    replica log replay and shard merging run over fanned-out logical
+    sids. Worker domains are joined by [finalize] after each case. *)
 
 val default_roster : unit -> engine list
 (** The five engines of the differential harness, oracle first:
@@ -123,7 +138,10 @@ val extended_roster : unit -> engine list
     domains), ["service-expr"] (the expression-sharded service at 3
     domains) and ["service-stream"] / ["service-stream-expr"] (streaming
     replicas fed raw document text through [filter_batch_raw], in both
-    modes). *)
+    modes), plus the subsumption-index entries: ["engine-subsumed"] (the
+    churned subsumption wrapper — see {!subsumed_engine}) and
+    ["service-subsumed-doc"] / ["service-subsumed-expr"] (subsumed engine
+    replicas behind the service in both shard modes). *)
 
 val engine_subset : Pf_xpath.Ast.path -> bool
 (** The predicate engine's supported subset: no attribute or nested filters

@@ -23,3 +23,10 @@ let paper_queries = Xpath_gen.default
    predicate stage — dominate, i.e. what the batched match path is for. *)
 let heavy_subscriptions =
   { Xpath_gen.default with Xpath_gen.count = 100_000; distinct = false }
+
+(* Redundancy-skewed regime: 100k logical subscriptions drawn from a
+   1000-expression pool with spelling/widening/narrowing mutations — the
+   workload the subsumption index (Pf_core.Subsume) collapses to a few
+   thousand physical shapes. *)
+let redundant_subscriptions =
+  { Xpath_gen.default_redundant with Xpath_gen.count = 100_000 }

@@ -33,3 +33,11 @@ val heavy_subscriptions : Xpath_gen.params
     subscription table, where per-document fixed costs dominate and the
     service's expr-mode sharding plus the engine's batched predicate
     stage are supposed to pay off. *)
+
+val redundant_subscriptions : Xpath_gen.redundant_params
+(** The redundancy-skewed regime: {!Xpath_gen.default_redundant} with
+    [count = 100_000] — 100k logical subscriptions over a 1000-expression
+    pool, mutated by spelling variants and small widenings/narrowings.
+    The distinct-shape count lands around 10–15% of the logical count,
+    the regime [Pf_core.Subsume] (physical sharing + containment DAG) is
+    built for. *)

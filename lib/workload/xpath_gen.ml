@@ -167,3 +167,261 @@ let distinct_count paths =
   let seen = Hashtbl.create 1024 in
   List.iter (fun p -> Hashtbl.replace seen (Parser.to_string p) ()) paths;
   Hashtbl.length seen
+
+(* ------------------------------------------------------------------ *)
+(* Redundancy-skewed workloads *)
+
+type redundant_params = {
+  pool_params : params;
+  pool : int;
+  count : int;
+  mutation_prob : float;
+  rseed : int;
+}
+
+let default_redundant =
+  {
+    pool_params =
+      { default with
+        filters_per_path = 2;
+        (* wild, descendant-heavy pool: interior gaps give the respell
+           ops room to spell one canonical form many ways *)
+        wildcard_prob = 0.35;
+        descendant_prob = 0.35;
+      };
+    pool = 300;
+    count = 100_000;
+    mutation_prob = 0.85;
+    rseed = 23;
+  }
+
+let map_step (p : Ast.path) i f =
+  { p with Ast.steps = List.mapi (fun j s -> if j = i then f s else s) p.Ast.steps }
+
+let pick_opt rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+
+(* positions (step index, filter index) of attribute filters *)
+let attr_positions (p : Ast.path) =
+  List.concat
+    (List.mapi
+       (fun i (s : Ast.step) ->
+         List.concat
+           (List.mapi
+              (fun j -> function Ast.Attr _ -> [ i, j ] | Ast.Nested _ -> [])
+              s.Ast.filters))
+       p.Ast.steps)
+
+let map_attr p (i, j) f =
+  map_step p i (fun (s : Ast.step) ->
+      {
+        s with
+        Ast.filters =
+          List.mapi
+            (fun k fl ->
+              if k = j then match fl with Ast.Attr a -> Ast.Attr (f a) | x -> x
+              else fl)
+            s.Ast.filters;
+      })
+
+(* Spelling variants: the canonical form (Canonical.normalize) is
+   unchanged, so the subsumption index folds the mutant onto its base's
+   shape. These exercise the canonicalizer, not the containment test. *)
+let respell_once rng (p : Ast.path) =
+  let ops =
+    [
+      (fun (p : Ast.path) ->
+        (* //a... <-> relative a... *)
+        match p.Ast.steps with
+        | s :: tl when p.Ast.absolute && s.Ast.axis = Ast.Descendant ->
+          Some { Ast.absolute = false; steps = { s with Ast.axis = Ast.Child } :: tl }
+        | _ -> None);
+      (fun p ->
+        (* duplicate an attribute filter *)
+        match pick_opt rng (attr_positions p) with
+        | Some (i, j) ->
+          Some
+            (map_step p i (fun (s : Ast.step) ->
+                 { s with Ast.filters = s.Ast.filters @ [ List.nth s.Ast.filters j ] }))
+        | None -> None);
+      (fun (p : Ast.path) ->
+        (* reorder a step's filters *)
+        let multi =
+          List.concat
+            (List.mapi
+               (fun i (s : Ast.step) ->
+                 if List.length s.Ast.filters >= 2 then [ i ] else [])
+               p.Ast.steps)
+        in
+        match pick_opt rng multi with
+        | Some i ->
+          Some
+            (map_step p i (fun (s : Ast.step) ->
+                 { s with Ast.filters = List.rev s.Ast.filters }))
+        | None -> None);
+      (fun p ->
+        (* integer adjacency: @x<=v <-> @x<v+1, @x>=v <-> @x>v-1 *)
+        match pick_opt rng (attr_positions p) with
+        | Some pos ->
+          Some
+            (map_attr p pos (fun (a : Ast.attr_filter) ->
+                 match a.Ast.cmp, a.Ast.value with
+                 | Ast.Le, Ast.Int v when v < max_int ->
+                   { a with Ast.cmp = Ast.Lt; value = Ast.Int (v + 1) }
+                 | Ast.Ge, Ast.Int v when v > min_int ->
+                   { a with Ast.cmp = Ast.Gt; value = Ast.Int (v - 1) }
+                 | _ -> a))
+        | None -> None);
+      (fun (p : Ast.path) ->
+        (* trailing filter-free wildcard: child <-> descendant axis *)
+        match List.rev p.Ast.steps with
+        | ({ Ast.axis = Ast.Child; test = Ast.Wildcard; filters = [] } as s) :: tl ->
+          Some { p with Ast.steps = List.rev ({ s with Ast.axis = Ast.Descendant } :: tl) }
+        | _ -> None);
+      (fun (p : Ast.path) ->
+        (* interior gap re-edging: a maximal filter-free wildcard run with
+           an anchored step above, a bounding step below and at least one
+           descendant edge among the run's and bound's axes collapses
+           (Canonical.normalize) to child-wilds + a descendant bound no
+           matter which of those edges are descendant — so any other
+           non-empty descendant pattern spells the same canonical form *)
+        let steps = Array.of_list p.Ast.steps in
+        let n = Array.length steps in
+        let is_gap (s : Ast.step) =
+          s.Ast.test = Ast.Wildcard && s.Ast.filters = []
+        in
+        let runs = ref [] in
+        let i = ref 0 in
+        while !i < n do
+          if is_gap steps.(!i) then begin
+            let j = ref !i in
+            while !j + 1 < n && is_gap steps.(!j + 1) do
+              incr j
+            done;
+            (* started below an anchor, bounded by a non-gap step below *)
+            if !i > 0 && !j + 1 < n then runs := (!i, !j + 1) :: !runs;
+            i := !j + 2
+          end
+          else incr i
+        done;
+        let has_desc (lo, hi) =
+          let rec go k =
+            k <= hi && (steps.(k).Ast.axis = Ast.Descendant || go (k + 1))
+          in
+          go lo
+        in
+        match pick_opt rng (List.filter has_desc !runs) with
+        | Some (lo, hi) ->
+          let any = ref false in
+          for k = lo to hi do
+            let axis =
+              if Random.State.bool rng then Ast.Descendant else Ast.Child
+            in
+            if axis = Ast.Descendant then any := true;
+            steps.(k) <- { (steps.(k)) with Ast.axis = axis }
+          done;
+          if not !any then begin
+            let k = lo + Random.State.int rng (hi - lo + 1) in
+            steps.(k) <- { (steps.(k)) with Ast.axis = Ast.Descendant }
+          end;
+          Some { p with Ast.steps = Array.to_list steps }
+        | None -> None);
+    ]
+  in
+  let n = List.length ops in
+  let start = Random.State.int rng n in
+  let rec try_from k =
+    if k = n then p
+    else
+      match (List.nth ops ((start + k) mod n)) p with
+      | Some p' -> p'
+      | None -> try_from (k + 1)
+  in
+  try_from 0
+
+(* Two to four composed rewrites: single-op variants barely outnumber
+   the ops themselves, so an expression trie still shares most of them;
+   composition multiplies the distinct-spelling space while the canonical
+   form stays fixed. *)
+let respell rng (p : Ast.path) =
+  let rec go k p = if k = 0 then p else go (k - 1) (respell_once rng p) in
+  go (2 + Random.State.int rng 3) p
+
+let small_delta rng = 1 + Random.State.int rng 2
+
+(* Widening: the mutant covers the base (its value set is a superset). *)
+let widen rng (p : Ast.path) =
+  match pick_opt rng (attr_positions p) with
+  | None -> p
+  | Some ((i, j) as pos) ->
+    if Random.State.bool rng then
+      (* drop the filter *)
+      map_step p i (fun (s : Ast.step) ->
+          { s with Ast.filters = List.filteri (fun k _ -> k <> j) s.Ast.filters })
+    else
+      let d = small_delta rng in
+      map_attr p pos (fun (a : Ast.attr_filter) ->
+          match a.Ast.cmp, a.Ast.value with
+          | Ast.Ge, Ast.Int v -> { a with Ast.value = Ast.Int (v - d) }
+          | Ast.Le, Ast.Int v -> { a with Ast.value = Ast.Int (v + d) }
+          | Ast.Eq, Ast.Int v ->
+            (* @x=v widens into a ray containing it *)
+            if Random.State.bool rng then { a with Ast.cmp = Ast.Ge; value = Ast.Int (v - d) }
+            else { a with Ast.cmp = Ast.Le; value = Ast.Int (v + d) }
+          | _ -> a)
+
+(* Narrowing: the base covers the mutant. *)
+let narrow dtd rng (p : Ast.path) =
+  match Random.State.int rng 3 with
+  | 0 ->
+    (* tighten a bound *)
+    (match pick_opt rng (attr_positions p) with
+    | None -> p
+    | Some pos ->
+      let d = small_delta rng in
+      map_attr p pos (fun (a : Ast.attr_filter) ->
+          match a.Ast.cmp, a.Ast.value with
+          | Ast.Ge, Ast.Int v -> { a with Ast.value = Ast.Int (v + d) }
+          | Ast.Le, Ast.Int v -> { a with Ast.value = Ast.Int (v - d) }
+          | _ -> a))
+  | 1 ->
+    (* demand an extra level below the result node *)
+    let axis = if Random.State.bool rng then Ast.Child else Ast.Descendant in
+    { p with Ast.steps = p.Ast.steps @ [ { Ast.axis; test = Ast.Wildcard; filters = [] } ] }
+  | _ -> (
+    (* add an attribute filter to a tag step that declares attributes *)
+    let candidates =
+      List.concat
+        (List.mapi
+           (fun i (s : Ast.step) ->
+             match s.Ast.test with
+             | Ast.Tag name when (Dtd.decl dtd name).Dtd.attrs <> [] -> [ i, name ]
+             | Ast.Tag _ | Ast.Wildcard -> [])
+           p.Ast.steps)
+    in
+    match pick_opt rng candidates with
+    | None -> p
+    | Some (i, name) ->
+      let attr, bound = pick rng (Dtd.decl dtd name).Dtd.attrs in
+      let cmp = if Random.State.bool rng then Ast.Ge else Ast.Le in
+      let value = Ast.Int (Random.State.int rng (bound + 1)) in
+      map_step p i (fun (s : Ast.step) ->
+          { s with Ast.filters = s.Ast.filters @ [ Ast.Attr { Ast.attr; cmp; value } ] }))
+
+let generate_redundant dtd rp =
+  let pool_params =
+    { rp.pool_params with count = rp.pool; distinct = true; seed = rp.rseed }
+  in
+  let pool = Array.of_list (generate dtd pool_params) in
+  if Array.length pool = 0 then
+    invalid_arg "Xpath_gen.generate_redundant: the DTD yielded an empty pool";
+  let rng = Random.State.make [| rp.rseed; 0x12ed0d |] in
+  List.init rp.count (fun _ ->
+      let base = pool.(Random.State.int rng (Array.length pool)) in
+      if Random.State.float rng 1.0 >= rp.mutation_prob then base
+      else
+        match Random.State.int rng 7 with
+        | 0 | 1 | 2 | 3 | 4 -> respell rng base
+        | 5 -> widen rng base
+        | _ -> narrow dtd rng base)

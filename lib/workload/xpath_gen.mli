@@ -36,3 +36,38 @@ val generate : Dtd.t -> params -> Pf_xpath.Ast.path list
 val distinct_count : Pf_xpath.Ast.path list -> int
 (** Number of distinct expressions in a workload (the paper reports it for
     the duplicate workloads). *)
+
+(** {1 Redundancy-skewed workloads}
+
+    What a large dissemination system's subscription table actually looks
+    like: a modest pool of popular feeds, each spelled and perturbed many
+    ways by independent subscribers. Expressions are drawn from a
+    generated pool and, with probability [mutation_prob], mutated by one
+    of three moves: a {e respelling} (relative/absolute-descendant form,
+    filter duplication and reordering, integer-adjacency comparison
+    spelling, trailing child/descendant wildcard) that preserves the
+    canonical form exactly; a {e widening} (relax or drop a bound) that
+    makes the mutant cover its base; or a {e narrowing} (tighten a bound,
+    demand an extra level, add a filter) covered by its base. Mutation
+    deltas are small, so mutants collide with each other too — the
+    distinct-shape count stays far below [count], which is the regime the
+    subsumption index ([Pf_core.Subsume]) is built for. *)
+
+type redundant_params = {
+  pool_params : params;  (** generator for the base pool ([count], [distinct], [seed] overridden) *)
+  pool : int;  (** distinct base expressions to draw from *)
+  count : int;  (** expressions emitted *)
+  mutation_prob : float;  (** chance an emitted expression is mutated *)
+  rseed : int;  (** seed for pool generation and mutation draws *)
+}
+
+val default_redundant : redundant_params
+(** [pool_params = { default with filters_per_path = 2 }; pool = 500;
+    count = 100_000; mutation_prob = 0.7; rseed = 23]. Mutations are
+    respell-heavy (5/7 respell, 1/7 widen, 1/7 narrow): spelling variants
+    are what a syntactic expression trie cannot share and the
+    canonicalizer can. *)
+
+val generate_redundant : Dtd.t -> redundant_params -> Pf_xpath.Ast.path list
+(** Generates [count] expressions (deterministic in [rseed]). All
+    expressions are single paths when [pool_params.nested_prob = 0]. *)

@@ -1,0 +1,234 @@
+(* Normal form for XPath expressions (see the mli for the rewrite rules
+   and why each one is exact for existential matching). The subsumption
+   index hash-conses expressions by this form, so every rule here turns
+   syntactic variety into physical sharing. *)
+
+(* ------------------------------------------------------------------ *)
+(* Filter implication (shared with Pf_core.Containment) *)
+
+(* Does the value set selected by (c2, v2) lie inside the one selected by
+   (c1, v1)? Integer sets are points, punctured lines or rays; the integer
+   cases exploit adjacency (x < v  <=>  x <= v - 1). *)
+let int_subset (c2, v2) (c1, v1) =
+  match c1 with
+  | Ast.Eq -> (
+    match c2 with Ast.Eq -> v2 = v1 | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> false)
+  | Ast.Ne -> (
+    match c2 with
+    | Ast.Eq -> v2 <> v1
+    | Ast.Ne -> v2 = v1
+    | Ast.Lt -> v2 <= v1
+    | Ast.Le -> v2 < v1
+    | Ast.Gt -> v2 >= v1
+    | Ast.Ge -> v2 > v1)
+  | Ast.Lt -> (
+    match c2 with
+    | Ast.Eq -> v2 < v1
+    | Ast.Lt -> v2 <= v1
+    | Ast.Le -> v2 < v1
+    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
+  | Ast.Le -> (
+    match c2 with
+    | Ast.Eq -> v2 <= v1
+    | Ast.Lt -> v2 <= v1 + 1
+    | Ast.Le -> v2 <= v1
+    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
+  | Ast.Gt -> (
+    match c2 with
+    | Ast.Eq -> v2 > v1
+    | Ast.Gt -> v2 >= v1
+    | Ast.Ge -> v2 > v1
+    | Ast.Ne | Ast.Lt | Ast.Le -> false)
+  | Ast.Ge -> (
+    match c2 with
+    | Ast.Eq -> v2 >= v1
+    | Ast.Gt -> v2 >= v1 - 1
+    | Ast.Ge -> v2 >= v1
+    | Ast.Ne | Ast.Lt | Ast.Le -> false)
+
+(* Sound (adjacency-free) version for string-ordered domains. *)
+let str_subset (c2, v2) (c1, v1) =
+  match c1 with
+  | Ast.Eq -> c2 = Ast.Eq && String.equal v2 v1
+  | Ast.Ne -> (
+    match c2 with
+    | Ast.Eq -> not (String.equal v2 v1)
+    | Ast.Ne -> String.equal v2 v1
+    | Ast.Lt -> String.compare v2 v1 <= 0
+    | Ast.Le -> String.compare v2 v1 < 0
+    | Ast.Gt -> String.compare v2 v1 >= 0
+    | Ast.Ge -> String.compare v2 v1 > 0)
+  | Ast.Lt -> (
+    match c2 with
+    | Ast.Eq -> String.compare v2 v1 < 0
+    | Ast.Lt | Ast.Le -> String.compare v2 v1 < 0 || (c2 = Ast.Lt && String.equal v2 v1)
+    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
+  | Ast.Le -> (
+    match c2 with
+    | Ast.Eq | Ast.Le -> String.compare v2 v1 <= 0
+    | Ast.Lt -> String.compare v2 v1 <= 0
+    | Ast.Ne | Ast.Gt | Ast.Ge -> false)
+  | Ast.Gt -> (
+    match c2 with
+    | Ast.Eq -> String.compare v2 v1 > 0
+    | Ast.Gt | Ast.Ge -> String.compare v2 v1 > 0 || (c2 = Ast.Gt && String.equal v2 v1)
+    | Ast.Ne | Ast.Lt | Ast.Le -> false)
+  | Ast.Ge -> (
+    match c2 with
+    | Ast.Eq | Ast.Ge -> String.compare v2 v1 >= 0
+    | Ast.Gt -> String.compare v2 v1 >= 0
+    | Ast.Ne | Ast.Lt | Ast.Le -> false)
+
+let implied_filter (f : Ast.attr_filter) (g : Ast.attr_filter) =
+  String.equal f.Ast.attr g.Ast.attr
+  &&
+  match f.Ast.value, g.Ast.value with
+  | Ast.Int v1, Ast.Int v2 -> int_subset (g.Ast.cmp, v2) (f.Ast.cmp, v1)
+  | Ast.Str v1, Ast.Str v2 -> str_subset (g.Ast.cmp, v2) (f.Ast.cmp, v1)
+  | Ast.Int _, Ast.Str _ | Ast.Str _, Ast.Int _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Attribute filter normalization *)
+
+(* Adjacency: over the integers, x < v iff x <= v - 1, so Lt/Gt filters
+   have a Le/Ge spelling with identical semantics (document attribute
+   values are compared as parsed integers). Guard the overflow corners. *)
+let normalize_attr (f : Ast.attr_filter) =
+  match f.Ast.cmp, f.Ast.value with
+  | Ast.Lt, Ast.Int v when v > min_int -> { f with Ast.cmp = Ast.Le; value = Ast.Int (v - 1) }
+  | Ast.Gt, Ast.Int v when v < max_int -> { f with Ast.cmp = Ast.Ge; value = Ast.Int (v + 1) }
+  | _ -> f
+
+let cmp_rank = function
+  | Ast.Eq -> 0
+  | Ast.Ne -> 1
+  | Ast.Le -> 2
+  | Ast.Lt -> 3
+  | Ast.Ge -> 4
+  | Ast.Gt -> 5
+
+let value_key = function Ast.Int n -> 0, n, "" | Ast.Str s -> 1, 0, s
+
+let attr_order (f : Ast.attr_filter) (g : Ast.attr_filter) =
+  compare
+    (f.Ast.attr, cmp_rank f.Ast.cmp, value_key f.Ast.value)
+    (g.Ast.attr, cmp_rank g.Ast.cmp, value_key g.Ast.value)
+
+(* Deduplicate, then drop every filter implied by a surviving sibling: a
+   filter goes when another one selects a strictly smaller value set, or
+   an equal set with a smaller sort position (the tie-break keeps exactly
+   one member of a mutual-implication group). Implication is transitive,
+   so a dropped filter is always implied by some kept one. *)
+let reduce_attrs fs =
+  let fs = List.sort_uniq attr_order (List.map normalize_attr fs) in
+  let arr = Array.of_list fs in
+  let n = Array.length arr in
+  let keep i f =
+    let implied = ref false in
+    for j = 0 to n - 1 do
+      if
+        (not !implied) && j <> i
+        && implied_filter f arr.(j)
+        && ((not (implied_filter arr.(j) f)) || j < i)
+      then implied := true
+    done;
+    not !implied
+  in
+  List.filteri keep fs
+
+(* ------------------------------------------------------------------ *)
+(* Gap collapsing *)
+
+(* A gap is a maximal run of filter-free wildcard steps: pure distance
+   constraints between the anchored steps around them. *)
+let is_gap (s : Ast.step) = s.Ast.test = Ast.Wildcard && s.Ast.filters = []
+
+let child_wilds k =
+  List.init k (fun _ -> { Ast.axis = Ast.Child; test = Ast.Wildcard; filters = [] })
+
+let split_gap steps =
+  let rec go acc = function
+    | s :: rest when is_gap s -> go (s :: acc) rest
+    | rest -> List.rev acc, rest
+  in
+  go [] steps
+
+(* [collapse_tail steps]: [steps] sits immediately below an anchored
+   position (a matched step, or the containing element of a nested
+   filter). A trailing gap of k steps demands a node at distance >= k or
+   exactly k below the anchor — equivalent existentially, since any deep
+   node has an ancestor at the exact distance — so it always becomes k
+   child steps. An interior gap with any descendant edge (including the
+   following anchor's axis) demands the next anchor at distance >= k + 1,
+   spelled as k child wildcards plus a descendant edge into the anchor;
+   an all-child interior gap is an exact distance and stays. *)
+let rec collapse_tail steps =
+  let gap, rest = split_gap steps in
+  let k = List.length gap in
+  match rest with
+  | [] -> child_wilds k
+  | b :: tl ->
+    let any_desc =
+      List.exists (fun (s : Ast.step) -> s.Ast.axis = Ast.Descendant) gap
+      || b.Ast.axis = Ast.Descendant
+    in
+    if k = 0 then b :: collapse_tail tl
+    else if any_desc then
+      child_wilds k @ ({ b with Ast.axis = Ast.Descendant } :: collapse_tail tl)
+    else gap @ (b :: collapse_tail tl)
+
+(* The top of the path is the one place relative/absolute matters. A
+   relative path starts at any element (Eval seeds the candidate set with
+   every node), which is the absolute-descendant form; an all-wild path
+   is a pure depth constraint. A leading gap is exact only when the path
+   is absolute and every edge through the gap into the first anchor is a
+   child edge. *)
+let collapse_path (p : Ast.path) =
+  let gap, rest = split_gap p.Ast.steps in
+  let k = List.length gap in
+  match rest with
+  | [] -> { Ast.absolute = true; steps = child_wilds k }
+  | b :: tl ->
+    let tail = collapse_tail tl in
+    let exact =
+      p.Ast.absolute
+      && List.for_all (fun (s : Ast.step) -> s.Ast.axis = Ast.Child) gap
+      && b.Ast.axis = Ast.Child
+    in
+    if exact then { Ast.absolute = true; steps = gap @ (b :: tail) }
+    else
+      {
+        Ast.absolute = true;
+        steps = child_wilds k @ ({ b with Ast.axis = Ast.Descendant } :: tail);
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Putting it together *)
+
+let rec normalize_step (s : Ast.step) =
+  let attrs, nested =
+    List.partition_map
+      (function Ast.Attr f -> Either.Left f | Ast.Nested p -> Either.Right p)
+      s.Ast.filters
+  in
+  let attrs = reduce_attrs attrs in
+  let nested = List.sort_uniq Ast.compare (List.map normalize_nested nested) in
+  {
+    s with
+    Ast.filters =
+      List.map (fun f -> Ast.Attr f) attrs @ List.map (fun p -> Ast.Nested p) nested;
+  }
+
+(* A nested path is evaluated from its containing element — the element
+   is a virtual anchor above the first step (Eval ignores a nested path's
+   [absolute] flag), so its leading gap follows the interior rule and no
+   relative-to-absolute rewrite applies. *)
+and normalize_nested (p : Ast.path) =
+  { Ast.absolute = false; steps = collapse_tail (List.map normalize_step p.Ast.steps) }
+
+let normalize (p : Ast.path) =
+  match p.Ast.steps with
+  | [] -> p
+  | _ -> collapse_path { p with Ast.steps = List.map normalize_step p.Ast.steps }
+
+let key p = Parser.to_string (normalize p)

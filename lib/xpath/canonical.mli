@@ -1,0 +1,57 @@
+(** Canonicalization of XPath expressions: a normal form under which
+    semantically equal expressions become structurally equal.
+
+    [normalize] rewrites an expression without changing its match
+    semantics (existential matching over documents, {!Eval.matches}):
+
+    - a relative path is rewritten to an absolute path whose first step
+      uses the descendant axis ([a/b] -> [//a/b]) — {!Eval} starts a
+      relative path at any element, which is exactly what [//] means;
+    - maximal runs of filter-free wildcard steps ("gaps") collapse into
+      length constraints: a trailing gap always becomes child-axis steps
+      ([a//*//*] -> [a/*/*] — in a tree, a descendant at depth >= k
+      exists iff one at depth exactly k does), and an interior gap with
+      any descendant edge becomes child-axis steps with the descendant
+      axis pushed onto the following anchored step ([a//*/b] ->
+      [a/*//b]); all-child gaps are exact-depth constraints and stay;
+    - integer comparisons are normalized by adjacency
+      ([@x < 5] -> [@x <= 4], [@x > 4] -> [@x >= 5]);
+    - each step's attribute filters are deduplicated, filters implied by
+      a sibling filter are dropped ([@x >= 3][@x >= 5] -> [@x >= 5]),
+      and the survivors are sorted;
+    - nested path filters are normalized recursively (without the
+      relative-to-absolute rewrite: a nested path is anchored at its
+      containing element, so its leading gap is an interior gap) and
+      sorted.
+
+    Normalization is idempotent, never moves a filter onto a wildcard
+    step, and preserves {!Ast.is_single_path} — an expression accepted
+    by an engine stays accepted in canonical form. The property suite
+    pins idempotence and semantics preservation against {!Eval}. *)
+
+val normalize : Ast.path -> Ast.path
+(** The canonical form. [Eval.matches p d = Eval.matches (normalize p) d]
+    for every document [d], and [normalize (normalize p) = normalize p]. *)
+
+val key : Ast.path -> string
+(** [Parser.to_string (normalize p)] — the hash-consing key used by the
+    subsumption index's shape table. *)
+
+(** {1 Filter implication}
+
+    The single-filter implication primitives (shared with
+    [Pf_core.Containment], which re-exports {!implied_filter}). *)
+
+val implied_filter : Ast.attr_filter -> Ast.attr_filter -> bool
+(** [implied_filter f g]: does filter [g] (on the same step) imply filter
+    [f]? Sound and complete for integer comparisons on one attribute;
+    filters on different attributes never imply each other. *)
+
+val int_subset : Ast.comparison * int -> Ast.comparison * int -> bool
+(** [int_subset (c2, v2) (c1, v1)]: is the integer set selected by
+    [(c2, v2)] contained in the one selected by [(c1, v1)]? Exploits
+    adjacency ([x < v] iff [x <= v - 1]). *)
+
+val str_subset : Ast.comparison * string -> Ast.comparison * string -> bool
+(** The string-ordered counterpart of {!int_subset} (adjacency-free,
+    sound). *)

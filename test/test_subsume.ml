@@ -1,0 +1,510 @@
+(* Tests for the subsumption index: the canonicalizer (Pf_xpath.Canonical),
+   the shape table / containment DAG (Pf_core.Subsume) and the
+   redundancy-skewed workload generator that feeds them. *)
+
+open Pf_core
+
+let p = Pf_xpath.Parser.parse
+let print = Pf_xpath.Parser.to_string
+let canon s = print (Pf_xpath.Canonical.normalize (p s))
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalizer units *)
+
+let check_canon expected input =
+  Alcotest.(check string) (Printf.sprintf "normalize %s" input) expected (canon input)
+
+let test_canonical_forms () =
+  (* relative = absolute-descendant *)
+  check_canon (canon "//a/b") "a/b";
+  check_canon (canon "//a") "a";
+  (* trailing gaps are exact-depth: a descendant at depth >= k exists iff
+     one at exactly k does *)
+  check_canon (canon "/a/*") "/a//*";
+  check_canon (canon "/a/*/*") "/a//*//*";
+  (* interior gap with a descendant edge: child wildcards + descendant
+     axis on the next anchor *)
+  check_canon (canon "/a/*//b") "/a//*/b";
+  check_canon (canon "/a/*//b") "/a//*//b";
+  (* all-child interior gaps are exact distances and must NOT merge with
+     the descendant spelling *)
+  Alcotest.(check bool) "exact distance preserved" false (canon "/a/*/b" = canon "/a/*//b");
+  (* integer adjacency *)
+  check_canon (canon "/a[@x <= 4]") "/a[@x < 5]";
+  check_canon (canon "/a[@x >= 5]") "/a[@x > 4]";
+  (* filter dedup, implication and ordering *)
+  check_canon (canon "/a[@x >= 5]") "/a[@x >= 3][@x >= 5]";
+  check_canon (canon "/a[@x >= 5]") "/a[@x >= 5][@x >= 5]";
+  check_canon (canon "/a[@x = 1][@y = 2]") "/a[@y = 2][@x = 1]";
+  (* all-wild paths are pure depth constraints *)
+  check_canon (canon "/*/*") "*/*";
+  (* nested paths are anchored at their element: leading gap follows the
+     interior rule, and the nested absolute flag is ignored by Eval *)
+  check_canon (canon "//a[b//c]") "a[b//c]";
+  check_canon (canon "//a[*//b]") "a[//*/b]"
+
+let test_canonical_distinct () =
+  (* pairs that must NOT collapse *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) (Printf.sprintf "%s /= %s" a b) false (canon a = canon b))
+    [
+      "/a/b", "/a//b";
+      "/a", "//a";
+      "/a[@x >= 3]", "/a[@x >= 4]";
+      "/a[@x = 3]", "/a";
+      "/a/b", "/a/b/c";
+      "/*/a", "//a";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalizer properties *)
+
+let prop_canonical_idempotent =
+  QCheck2.Test.make ~name:"normalize is idempotent" ~count:2000
+    ~print:Gen_helpers.path_print Gen_helpers.any_path_gen (fun path ->
+      let c = Pf_xpath.Canonical.normalize path in
+      Pf_xpath.Ast.equal c (Pf_xpath.Canonical.normalize c))
+
+let prop_canonical_semantics =
+  QCheck2.Test.make ~name:"normalize preserves Eval semantics" ~count:3000
+    ~print:(fun (path, d) ->
+      Gen_helpers.path_print path ^ " on " ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(pair Gen_helpers.any_path_gen Gen_helpers.doc_gen)
+    (fun (path, d) ->
+      Pf_xpath.Eval.matches path d
+      = Pf_xpath.Eval.matches (Pf_xpath.Canonical.normalize path) d)
+
+let prop_canonical_single_preserved =
+  QCheck2.Test.make ~name:"normalize preserves is_single_path" ~count:1000
+    ~print:Gen_helpers.path_print Gen_helpers.any_path_gen (fun path ->
+      Pf_xpath.Ast.is_single_path path
+      = Pf_xpath.Ast.is_single_path (Pf_xpath.Canonical.normalize path))
+
+(* A canonical-form collision IS a semantic equivalence: documents cannot
+   tell two expressions with equal canonical forms apart. Indirectly
+   covered by the fan-out identity below, but this pins the direction the
+   hash-consing relies on. *)
+let prop_canonical_collision_sound =
+  QCheck2.Test.make ~name:"equal canonical forms match alike" ~count:2000
+    ~print:(fun (s1, s2, d) ->
+      Gen_helpers.path_print s1 ^ " ~ " ^ Gen_helpers.path_print s2 ^ " on "
+      ^ Gen_helpers.doc_print d)
+    QCheck2.Gen.(
+      triple Gen_helpers.any_path_gen Gen_helpers.any_path_gen Gen_helpers.doc_gen)
+    (fun (s1, s2, d) ->
+      (not
+         (Pf_xpath.Ast.equal
+            (Pf_xpath.Canonical.normalize s1)
+            (Pf_xpath.Canonical.normalize s2)))
+      || Pf_xpath.Eval.matches s1 d = Pf_xpath.Eval.matches s2 d)
+
+(* ------------------------------------------------------------------ *)
+(* DTD-world containment oracle *)
+
+(* covers soundness checked on realistic workloads: expressions generated
+   from each DTD, documents generated from the same DTD — a covering
+   claim refuted by any document is a bug in covers (and would poison the
+   alias/DAG layers built on it). *)
+let test_containment_oracle_worlds () =
+  List.iter
+    (fun world ->
+      let dtd = Option.get (Pf_workload.Dtd.by_name world) in
+      let exprs =
+        Pf_workload.Xpath_gen.generate dtd
+          {
+            Pf_workload.Presets.paper_queries with
+            Pf_workload.Xpath_gen.count = 60;
+            filters_per_path = 1;
+            seed = 19;
+          }
+      in
+      let docs =
+        Pf_workload.Xml_gen.generate_many dtd (Pf_workload.Presets.documents_for world) 20
+      in
+      let arr = Array.of_list exprs in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if
+            i <> j
+            && Pf_xpath.Ast.is_single_path arr.(i)
+            && Pf_xpath.Ast.is_single_path arr.(j)
+            && Containment.covers arr.(i) arr.(j)
+          then
+            List.iter
+              (fun d ->
+                if Pf_xpath.Eval.matches arr.(j) d then
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: %s covers %s refuted by document" world
+                       (print arr.(i)) (print arr.(j)))
+                    true
+                    (Pf_xpath.Eval.matches arr.(i) d))
+              docs
+        done
+      done)
+    [ "nitf"; "psd"; "auction" ]
+
+(* ------------------------------------------------------------------ *)
+(* The index: fan-out identity and DAG invariants under churn *)
+
+module Sub = Subsume.Make (Pf_intf.Reference)
+
+(* Drive the subsumed reference and a plain reference through an
+   identical add/remove/match script; every match result must be
+   byte-identical and every index invariant must hold throughout. *)
+let prop_fanout_identity =
+  QCheck2.Test.make ~name:"subsumed fan-out is byte-identical under churn" ~count:120
+    ~print:(fun (paths, docs, _) ->
+      String.concat " ; " (List.map Gen_helpers.path_print paths)
+      ^ " || "
+      ^ String.concat " ; " (List.map Gen_helpers.doc_print docs))
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 30) Gen_helpers.any_path_gen)
+        (list_size (int_range 1 4) Gen_helpers.doc_gen)
+        int)
+    (fun (paths, docs, salt) ->
+      let sub = Sub.create () in
+      let plain = Pf_intf.Reference.create () in
+      let sids = ref [] in
+      List.iter
+        (fun path ->
+          let a = Sub.add sub path in
+          let b = Pf_intf.Reference.add plain path in
+          if a <> b then failwith "sid drift between subsumed and plain";
+          sids := a :: !sids)
+        paths;
+      Sub.validate sub;
+      let check_docs () =
+        List.iter
+          (fun d ->
+            let a = Sub.match_document sub d in
+            let b = Pf_intf.Reference.match_document plain d in
+            if a <> b then
+              QCheck2.Test.fail_reportf "fan-out diverged: [%s] vs plain [%s]"
+                (String.concat ";" (List.map string_of_int a))
+                (String.concat ";" (List.map string_of_int b)))
+          docs
+      in
+      check_docs ();
+      (* churn: remove a deterministic subset (including representatives
+         — the oldest sid of a duplicated shape goes first when salt is
+         even), re-check, then re-add everything again *)
+      List.iter
+        (fun sid ->
+          if (sid + salt) mod 3 = 0 then begin
+            let a = Sub.remove sub sid in
+            let b = Pf_intf.Reference.remove plain sid in
+            if a <> b then failwith "remove verdict drift"
+          end)
+        (List.rev !sids);
+      Sub.validate sub;
+      check_docs ();
+      List.iter
+        (fun path ->
+          let a = Sub.add sub path in
+          let b = Pf_intf.Reference.add plain path in
+          if a <> b then failwith "sid drift after re-add")
+        paths;
+      Sub.validate sub;
+      check_docs ();
+      (* double-remove must be false on both *)
+      (match !sids with
+      | sid :: _ ->
+        let a = Sub.remove sub sid in
+        let b = Pf_intf.Reference.remove plain sid in
+        if a <> b then failwith "remove verdict drift (tail)";
+        if Sub.remove sub sid then failwith "double remove succeeded"
+      | [] -> ());
+      Sub.validate sub;
+      true)
+
+let test_sharing_and_promotion () =
+  let t = Sub.create () in
+  (* three spellings of one shape + one strictly wider and one strictly
+     narrower expression *)
+  let s0 = Sub.add t (p "/a/b[@x < 5]") in
+  let s1 = Sub.add t (p "/a/b[@x <= 4]") in
+  let s2 = Sub.add t (p "/a/b[@x <= 4][@x <= 9]") in
+  let wide = Sub.add t (p "/a/b") in
+  let narrow = Sub.add t (p "/a/b[@x <= 2]") in
+  Alcotest.(check (list int)) "dense sids" [ 0; 1; 2; 3; 4 ] [ s0; s1; s2; wide; narrow ];
+  let st = Sub.stats t in
+  Alcotest.(check int) "three physical shapes" 3 st.Subsume.shapes;
+  Alcotest.(check int) "five logicals" 5 st.Subsume.logical;
+  Alcotest.(check int) "two dedup hits" 2 st.Subsume.dedup_hits;
+  (* /a/b covers both filtered shapes: two edges; narrow is also covered
+     by the @x<=4 shape *)
+  Alcotest.(check int) "dag edges" 3 st.Subsume.dag_edges;
+  Alcotest.(check int) "covered shapes" 2 st.Subsume.covered_shapes;
+  Sub.validate t;
+  (* removing the representative of the shared shape promotes a survivor *)
+  Alcotest.(check bool) "remove rep" true (Sub.remove t s0);
+  let st = Sub.stats t in
+  Alcotest.(check int) "promotion counted" 1 st.Subsume.promotions;
+  Alcotest.(check int) "shape survives" 3 st.Subsume.shapes;
+  (* removing the rest of the shape's logicals retires the physical *)
+  Alcotest.(check bool) "remove s1" true (Sub.remove t s1);
+  Alcotest.(check bool) "remove s2" true (Sub.remove t s2);
+  let st = Sub.stats t in
+  Alcotest.(check int) "physical retired" 2 st.Subsume.shapes;
+  Alcotest.(check int) "one retirement" 1 st.Subsume.retirements;
+  Alcotest.(check int) "edges unlinked" 1 st.Subsume.dag_edges;
+  Sub.validate t;
+  (* matching still fans out to the surviving logicals only *)
+  let doc = Pf_xml.Sax.parse_document "<a><b x=\"1\"/></a>" in
+  Alcotest.(check (list int)) "fan-out after churn" [ wide; narrow ]
+    (Sub.match_document t doc)
+
+module Esub = Subsume.Make (Engine.Filter)
+
+let test_unsupported_atomicity () =
+  let t = Esub.create () in
+  let ok = Esub.add t (p "/a/b") in
+  Alcotest.(check int) "first sid" 0 ok;
+  (* the engine rejects filters on wildcard steps; the wrapper must stay
+     untouched, consume no sid and keep working *)
+  (match Esub.add t (p "/a/*[@x = 1]") with
+  | exception Pf_intf.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported");
+  Esub.validate t;
+  let st = Esub.stats t in
+  Alcotest.(check int) "no logical leaked" 1 st.Subsume.logical;
+  Alcotest.(check int) "no shape leaked" 1 st.Subsume.shapes;
+  Alcotest.(check int) "next sid unchanged" 1 (Esub.add t (p "/a/c"))
+
+(* ------------------------------------------------------------------ *)
+(* redundant_indexed *)
+
+let test_redundant_indexed_small () =
+  let exprs = List.map p [ "/a/b"; "//a/b"; "a/b"; "/a/b[@x >= 3]"; "/x/y" ] in
+  let r = Subsume.redundant_indexed exprs in
+  (* //a/b and a/b share a shape; /a/b, /a/b[@x>=3] and /x/y are their own *)
+  Alcotest.(check int) "exprs" 5 r.Subsume.red_exprs;
+  Alcotest.(check int) "shapes" 4 r.Subsume.red_shapes;
+  Alcotest.(check int) "duplicates" 1 r.Subsume.red_duplicates;
+  (* //a/b covers /a/b and /a/b[@x>=3]; /a/b covers /a/b[@x>=3] *)
+  Alcotest.(check int) "dag edges" 3 r.Subsume.red_dag_edges;
+  Alcotest.(check int) "covered shapes" 2 r.Subsume.red_covered_shapes;
+  Alcotest.(check bool) "no truncation" true (r.Subsume.red_probe_truncations = 0)
+
+(* exact agreement with a quadratic reference analysis: group distinct
+   canonical forms into shapes by mutual containment (the index's alias
+   rule), then count shapes, strict-covering shape pairs (= DAG edges)
+   and covered shapes. With an unbounded probe cap the index must land on
+   the same numbers — its candidate enumeration is complete. *)
+let test_redundant_indexed_vs_quadratic () =
+  let dtd = Option.get (Pf_workload.Dtd.by_name "psd") in
+  let exprs =
+    Pf_workload.Xpath_gen.generate dtd
+      {
+        Pf_workload.Presets.paper_queries with
+        Pf_workload.Xpath_gen.count = 80;
+        filters_per_path = 1;
+        seed = 5;
+      }
+  in
+  let r = Subsume.redundant_indexed ~probe_cap:max_int exprs in
+  (* distinct canonical forms, in first-seen order *)
+  let seen = Hashtbl.create 64 in
+  let forms = ref [] in
+  List.iter
+    (fun e ->
+      let c = Pf_xpath.Canonical.normalize e in
+      let k = print c in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.add seen k ();
+        forms := c :: !forms
+      end)
+    exprs;
+  let forms = Array.of_list (List.rev !forms) in
+  let m = Array.length forms in
+  let single = Array.map Pf_xpath.Ast.is_single_path forms in
+  let covers i j =
+    single.(i) && single.(j) && Containment.covers forms.(i) forms.(j)
+  in
+  (* mutual containment is an equivalence (covers is transitive): greedy
+     class assignment to the earliest mutually-covering form *)
+  let cls = Array.init m Fun.id in
+  for i = 0 to m - 1 do
+    (try
+       for j = 0 to i - 1 do
+         if cls.(j) = j && covers i j && covers j i then begin
+           cls.(i) <- j;
+           raise Exit
+         end
+       done
+     with Exit -> ())
+  done;
+  let reps = Array.to_list cls |> List.sort_uniq compare in
+  let strict a b = covers a b && not (covers b a) in
+  let edges =
+    List.concat_map (fun a -> List.filter (fun b -> a <> b && strict a b) reps) reps
+  in
+  let covered = List.filter (fun b -> List.exists (fun a -> a <> b && strict a b) reps) reps in
+  Alcotest.(check int) "shapes agree" (List.length reps) r.Subsume.red_shapes;
+  Alcotest.(check int) "dag edges agree" (List.length edges) r.Subsume.red_dag_edges;
+  Alcotest.(check int) "covered shapes agree" (List.length covered)
+    r.Subsume.red_covered_shapes
+
+(* ------------------------------------------------------------------ *)
+(* The redundant workload *)
+
+let small_redundant count =
+  {
+    Pf_workload.Presets.redundant_subscriptions with
+    Pf_workload.Xpath_gen.count;
+  }
+
+let test_redundant_workload_deterministic () =
+  let dtd = Option.get (Pf_workload.Dtd.by_name "nitf") in
+  let a = Pf_workload.Xpath_gen.generate_redundant dtd (small_redundant 500) in
+  let b = Pf_workload.Xpath_gen.generate_redundant dtd (small_redundant 500) in
+  Alcotest.(check (list string)) "deterministic in rseed" (List.map print a)
+    (List.map print b);
+  Alcotest.(check int) "count honored" 500 (List.length a);
+  Alcotest.(check bool) "single paths only" true
+    (List.for_all Pf_xpath.Ast.is_single_path a)
+
+let test_redundant_workload_ratio () =
+  (* a scaled-down sample of the 100k preset; the bench gates the full
+     size. The physical/logical ratio must stay well under the 25%
+     acceptance bar, and probe work must stay linear-ish: the per-insert
+     probe is capped, so total covers tests are O(count * cap), not
+     O(count^2). *)
+  let dtd = Option.get (Pf_workload.Dtd.by_name "nitf") in
+  let count = 20_000 in
+  let exprs = Pf_workload.Xpath_gen.generate_redundant dtd (small_redundant count) in
+  let r = Subsume.redundant_indexed exprs in
+  let ratio = float_of_int r.Subsume.red_shapes /. float_of_int r.Subsume.red_exprs in
+  Alcotest.(check bool)
+    (Printf.sprintf "physical/logical ratio %.3f <= 0.25" ratio)
+    true (ratio <= 0.25);
+  Alcotest.(check bool)
+    (Printf.sprintf "covers probes %d sub-quadratic" r.Subsume.red_covers_probes)
+    true
+    (r.Subsume.red_covers_probes < count * 200);
+  Alcotest.(check bool) "mutants produce dag edges" true (r.Subsume.red_dag_edges > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Broker integration: probe-backed suppression *)
+
+let broker_counter t name =
+  match Pf_obs.Registry.find_counter (Pf_broker.Broker.metrics t) name with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "broker counter %s missing" name)
+
+let test_broker_probe_suppression () =
+  let b = Pf_broker.Broker.create () in
+  let sub_wide = Pf_broker.Broker.subscribe_path_exn b ~subscriber:"u" (p "/a/b") in
+  let sub_narrow =
+    Pf_broker.Broker.subscribe_path_exn b ~subscriber:"u" (p "/a/b[@x >= 3]")
+  in
+  Alcotest.(check bool) "narrow suppressed" true
+    (Pf_broker.Broker.is_suppressed b sub_narrow);
+  Alcotest.(check bool) "probe was used" true (broker_counter b "covers_probes" > 0);
+  (* an unrelated subscriber is not probed into suppression *)
+  let other =
+    Pf_broker.Broker.subscribe_path_exn b ~subscriber:"v" (p "/a/b[@x >= 3]")
+  in
+  Alcotest.(check bool) "other subscriber active" false
+    (Pf_broker.Broker.is_suppressed b other);
+  (* cancelling the cover promotes the dependent *)
+  Alcotest.(check bool) "unsubscribe wide" true
+    (Pf_broker.Broker.unsubscribe b sub_wide);
+  Alcotest.(check bool) "narrow re-activated" false
+    (Pf_broker.Broker.is_suppressed b sub_narrow);
+  Alcotest.(check int) "promotion counted" 1 (broker_counter b "promotions");
+  (* the re-activated subscription delivers *)
+  let deliveries =
+    Pf_broker.Broker.publish b (Pf_xml.Sax.parse_document "<a><b x=\"7\"/></a>")
+  in
+  Alcotest.(check bool) "delivery to u" true
+    (List.exists (fun d -> d.Pf_broker.Broker.subscriber = "u") deliveries)
+
+(* The probe must reproduce the former linear scan's choice: the newest
+   (largest-uid) active cover — WAL replay determinism depends on it. *)
+let test_broker_probe_picks_newest_cover () =
+  let b = Pf_broker.Broker.create () in
+  let c1 = Pf_broker.Broker.subscribe_path_exn b ~subscriber:"u" (p "/a//b") in
+  let c2 = Pf_broker.Broker.subscribe_path_exn b ~subscriber:"u" (p "//a/b") in
+  let dep = Pf_broker.Broker.subscribe_path_exn b ~subscriber:"u" (p "/a/b") in
+  Alcotest.(check bool) "dep suppressed" true (Pf_broker.Broker.is_suppressed b dep);
+  (* cancelling the older cover must not touch the dependent: it is held
+     by the newest cover *)
+  ignore (Pf_broker.Broker.unsubscribe b c1 : bool);
+  Alcotest.(check bool) "still suppressed by newest" true
+    (Pf_broker.Broker.is_suppressed b dep);
+  ignore (Pf_broker.Broker.unsubscribe b c2 : bool);
+  Alcotest.(check bool) "now active" false (Pf_broker.Broker.is_suppressed b dep)
+
+let test_broker_redundant_subscribe_scaling () =
+  (* the o(n^2) acceptance angle, scaled down for the test suite: the
+     per-subscriber probe means covers tests stay near-linear in the
+     subscription count for the redundant workload *)
+  let dtd = Option.get (Pf_workload.Dtd.by_name "nitf") in
+  let n = 4000 in
+  let exprs = Pf_workload.Xpath_gen.generate_redundant dtd (small_redundant n) in
+  let b = Pf_broker.Broker.create () in
+  List.iteri
+    (fun i e ->
+      ignore
+        (Pf_broker.Broker.subscribe_path_exn b
+           ~subscriber:(Printf.sprintf "user-%d" (i mod 40))
+           e))
+    exprs;
+  let probes = broker_counter b "covers_probes" in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d probes for %d subscribes is o(n^2)" probes n)
+    true
+    (probes < n * 120);
+  Alcotest.(check bool) "suppressions happened" true
+    (broker_counter b "covering_suppressions" > 0)
+
+let () =
+  Alcotest.run "subsume"
+    [
+      ( "canonical",
+        [
+          Alcotest.test_case "rewrite rules" `Quick test_canonical_forms;
+          Alcotest.test_case "distinct shapes stay distinct" `Quick test_canonical_distinct;
+        ] );
+      ( "canonical-properties",
+        List.map Gen_helpers.to_alcotest
+          [
+            prop_canonical_idempotent;
+            prop_canonical_semantics;
+            prop_canonical_single_preserved;
+            prop_canonical_collision_sound;
+          ] );
+      ( "containment-oracle",
+        [ Alcotest.test_case "DTD worlds" `Slow test_containment_oracle_worlds ] );
+      ( "index",
+        [
+          Alcotest.test_case "sharing, promotion, retirement" `Quick
+            test_sharing_and_promotion;
+          Alcotest.test_case "Unsupported is atomic" `Quick test_unsupported_atomicity;
+        ] );
+      ("index-properties", List.map Gen_helpers.to_alcotest [ prop_fanout_identity ]);
+      ( "redundant-indexed",
+        [
+          Alcotest.test_case "small workload" `Quick test_redundant_indexed_small;
+          Alcotest.test_case "vs quadratic analysis" `Quick
+            test_redundant_indexed_vs_quadratic;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic" `Quick test_redundant_workload_deterministic;
+          Alcotest.test_case "ratio and probe bounds" `Slow test_redundant_workload_ratio;
+        ] );
+      ( "broker",
+        [
+          Alcotest.test_case "probe-backed suppression" `Quick
+            test_broker_probe_suppression;
+          Alcotest.test_case "newest cover wins" `Quick
+            test_broker_probe_picks_newest_cover;
+          Alcotest.test_case "redundant subscribe scaling" `Slow
+            test_broker_redundant_subscribe_scaling;
+        ] );
+    ]
